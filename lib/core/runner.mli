@@ -1,0 +1,49 @@
+(** The end-to-end harness: compile a kernel, execute it on the Snitch
+    simulator against deterministic random inputs, validate the outputs
+    against the reference interpreter (high-level kernels) or the native
+    lane-exact reference (handwritten kernels), and report the paper's
+    metrics (§4.1). *)
+
+exception Run_error of string
+
+type metrics = {
+  cycles : int;
+  fpu_util : float;  (** percent *)
+  flops_per_cycle : float;
+  loads : int;
+  stores : int;
+  freps : int;
+  flop_count : int;
+}
+
+type run_result = {
+  asm : string;
+  metrics : metrics;
+  outputs : float array list;  (** simulator outputs, argument order *)
+  expected : float array list;  (** reference outputs, argument order *)
+  max_abs_err : float;
+  report : Mlc_regalloc.Allocator.report option;
+  stats : Mlc_riscv.Asm_emit.stats option;
+  trace : string list;
+      (** per-instruction issue trace when requested via [~trace:true] *)
+}
+
+(** Largest absolute element difference between two output sets. *)
+val max_abs_err : float array list -> float array list -> float
+
+(** Compile and run a linalg-level kernel under the given pipeline flags
+    (default: the full multi-level pipeline), validating against the
+    interpreter. [seed] fixes the random inputs. *)
+val run :
+  ?flags:Mlc_transforms.Pipeline.flags ->
+  ?seed:int ->
+  ?verify_each:bool ->
+  ?trace:bool ->
+  ?allocator:(Mlc_ir.Ir.op -> Mlc_regalloc.Allocator.report) ->
+  Mlc_kernels.Builders.spec ->
+  run_result
+
+(** Allocate, emit and run a handwritten assembly-level kernel,
+    validating against its native reference. *)
+val run_lowlevel :
+  ?seed:int -> ?verify_each:bool -> Mlc_kernels.Lowlevel.spec -> run_result

@@ -1,0 +1,85 @@
+(* The arith dialect: scalar arithmetic on builtin types (paper Figure 2).
+   Smart constructors append at the builder's insertion point and return
+   the result value. *)
+
+open Mlc_ir
+
+let verify_binary op =
+  Op_registry.expect_num_operands op 2;
+  Op_registry.expect_num_results op 1;
+  let t0 = Ir.Value.ty (Ir.Op.operand op 0) in
+  Op_registry.expect_operand_ty op 1 t0;
+  Op_registry.expect_result_ty op 0 t0
+
+let verify_float_binary op =
+  verify_binary op;
+  if not (Ty.is_float (Ir.Value.ty (Ir.Op.operand op 0))) then
+    Op_registry.fail_op op "expected floating-point operands"
+
+let verify_int_binary op =
+  verify_binary op;
+  let t = Ir.Value.ty (Ir.Op.operand op 0) in
+  if not (Ty.is_int t || Ty.equal t Ty.Index) then
+    Op_registry.fail_op op "expected integer or index operands"
+
+let constant_op =
+  Op_registry.register "arith.constant" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 1;
+      Op_registry.expect_attr op "value";
+      match (Ir.Op.attr_exn op "value", Ir.Value.ty (Ir.Op.result op 0)) with
+      | Attr.Float _, t when Ty.is_float t -> ()
+      | Attr.Int _, t when Ty.is_int t || Ty.equal t Ty.Index -> ()
+      | a, t ->
+        Op_registry.fail_op op "constant value %s incompatible with type %s"
+          (Attr.to_string a) (Ty.to_string t))
+
+let addf_op = Op_registry.register "arith.addf" ~pure:true ~verify:verify_float_binary
+let subf_op = Op_registry.register "arith.subf" ~pure:true ~verify:verify_float_binary
+let mulf_op = Op_registry.register "arith.mulf" ~pure:true ~verify:verify_float_binary
+let divf_op = Op_registry.register "arith.divf" ~pure:true ~verify:verify_float_binary
+let maxf_op = Op_registry.register "arith.maximumf" ~pure:true ~verify:verify_float_binary
+let minf_op = Op_registry.register "arith.minimumf" ~pure:true ~verify:verify_float_binary
+let addi_op = Op_registry.register "arith.addi" ~pure:true ~verify:verify_int_binary
+let subi_op = Op_registry.register "arith.subi" ~pure:true ~verify:verify_int_binary
+let muli_op = Op_registry.register "arith.muli" ~pure:true ~verify:verify_int_binary
+
+(* Fused multiply-add: a*b + c, matching the FPU's fmadd (2 FLOPs). *)
+let fmaf_op =
+  Op_registry.register "arith.fmaf" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 3;
+      Op_registry.expect_num_results op 1;
+      let t0 = Ir.Value.ty (Ir.Op.operand op 0) in
+      if not (Ty.is_float t0) then
+        Op_registry.fail_op op "expected floating-point operands";
+      Op_registry.expect_operand_ty op 1 t0;
+      Op_registry.expect_operand_ty op 2 t0;
+      Op_registry.expect_result_ty op 0 t0)
+
+let constant b attr ty =
+  Builder.create1 b ~attrs:[ ("value", attr) ] ~result:ty constant_op []
+
+let const_float b ?(ty = Ty.F64) f = constant b (Attr.Float f) ty
+let const_int b ?(ty = Ty.i32) i = constant b (Attr.Int i) ty
+let const_index b i = constant b (Attr.Int i) Ty.Index
+
+let binary b name lhs rhs =
+  Builder.create1 b ~result:(Ir.Value.ty lhs) name [ lhs; rhs ]
+
+let addf b lhs rhs = binary b addf_op lhs rhs
+let subf b lhs rhs = binary b subf_op lhs rhs
+let mulf b lhs rhs = binary b mulf_op lhs rhs
+let divf b lhs rhs = binary b divf_op lhs rhs
+let maxf b lhs rhs = binary b maxf_op lhs rhs
+let minf b lhs rhs = binary b minf_op lhs rhs
+let addi b lhs rhs = binary b addi_op lhs rhs
+let subi b lhs rhs = binary b subi_op lhs rhs
+let muli b lhs rhs = binary b muli_op lhs rhs
+
+let fmaf b x y acc = Builder.create1 b ~result:(Ir.Value.ty x) fmaf_op [ x; y; acc ]
+
+(* Constant-value view of a value, if its defining op is arith.constant. *)
+let as_constant v =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = constant_op -> Some (Ir.Op.attr_exn op "value")
+  | _ -> None

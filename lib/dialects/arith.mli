@@ -1,0 +1,43 @@
+(** The arith dialect: scalar arithmetic on builtin types (paper Figure
+    2). Smart constructors append at the builder's insertion point and
+    return the result value; [*_op] values are the registered op names. *)
+
+open Mlc_ir
+
+val constant_op : string
+val addf_op : string
+val subf_op : string
+val mulf_op : string
+val divf_op : string
+val maxf_op : string
+val minf_op : string
+val addi_op : string
+val subi_op : string
+val muli_op : string
+
+(** Fused multiply-add [a*b + c], matching the FPU's fmadd (2 FLOPs). *)
+val fmaf_op : string
+
+(** [constant b attr ty] materialises a compile-time constant. The
+    verifier checks the attribute kind against the result type. *)
+val constant : Builder.t -> Attr.t -> Ty.t -> Ir.value
+
+val const_float : Builder.t -> ?ty:Ty.t -> float -> Ir.value
+val const_int : Builder.t -> ?ty:Ty.t -> int -> Ir.value
+val const_index : Builder.t -> int -> Ir.value
+
+val addf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val subf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val mulf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val divf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val maxf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val minf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val addi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val subi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val muli : Builder.t -> Ir.value -> Ir.value -> Ir.value
+
+(** [fmaf b x y acc] is [x*y + acc]. *)
+val fmaf : Builder.t -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+
+(** The constant attribute if [v] is defined by arith.constant. *)
+val as_constant : Ir.value -> Attr.t option

@@ -1,0 +1,13 @@
+(* The builtin dialect: the top-level module operation. *)
+
+open Mlc_ir
+
+let module_op =
+  Op_registry.register "builtin.module"
+    ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_num_regions op 1)
+
+let create_module () = Ir.Module_.create ()
+let module_body = Ir.Module_.body

@@ -1,0 +1,7 @@
+(** The builtin dialect: the top-level module operation. *)
+
+open Mlc_ir
+
+val module_op : string
+val create_module : unit -> Ir.op
+val module_body : Ir.op -> Ir.block

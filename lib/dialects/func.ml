@@ -1,0 +1,66 @@
+(* The func dialect: functions with by-reference memref arguments, the
+   entry point of every micro-kernel (paper Figure 2). *)
+
+open Mlc_ir
+
+let func_op =
+  Op_registry.register "func.func" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_num_regions op 1;
+      Op_registry.expect_attr op "sym_name";
+      Op_registry.expect_attr op "function_type";
+      match Ir.Op.attr_exn op "function_type" with
+      | Attr.Ty (Ty.Func_ty (args, _)) ->
+        let entry = Ir.Region.only_block (Ir.Op.region op 0) in
+        let actual = List.map Ir.Value.ty (Ir.Block.args entry) in
+        if
+          List.length actual <> List.length args
+          || not (List.for_all2 Ty.equal actual args)
+        then Op_registry.fail_op op "entry block args do not match function_type"
+      | _ -> Op_registry.fail_op op "function_type must be a function type")
+
+let return_op =
+  Op_registry.register "func.return" ~terminator:true ~verify:(fun op ->
+      Op_registry.expect_num_results op 0)
+
+let call_op =
+  Op_registry.register "func.call" ~verify:(fun op ->
+      Op_registry.expect_attr op "callee")
+
+(* Create a function and return (op, entry block). The body is built by
+   the caller through a builder positioned in the entry block. *)
+let func b ~name ~args ~results =
+  let region = Ir.Region.single_block ~args () in
+  let op =
+    Builder.create b
+      ~attrs:
+        [
+          ("sym_name", Attr.Str name);
+          ("function_type", Attr.Ty (Ty.Func_ty (args, results)));
+        ]
+      ~regions:[ region ] ~results:[] func_op []
+  in
+  (op, Ir.Region.only_block region)
+
+let return_ b values = Builder.create0 b return_op values
+
+let call b ~callee ~results args =
+  Builder.create b ~attrs:[ ("callee", Attr.Str callee) ] ~results call_op args
+
+let name op = Attr.get_str (Ir.Op.attr_exn op "sym_name")
+
+let func_type op =
+  match Ir.Op.attr_exn op "function_type" with
+  | Attr.Ty (Ty.Func_ty (args, results)) -> (args, results)
+  | _ -> invalid_arg "Func.func_type"
+
+let body op = Ir.Region.only_block (Ir.Op.region op 0)
+
+(* Find a function by name within a module. *)
+let lookup m fname =
+  Ir.find_first m (fun op ->
+      Ir.Op.name op = func_op
+      && (match Ir.Op.attr op "sym_name" with
+         | Some (Attr.Str s) -> s = fname
+         | _ -> false))

@@ -1,0 +1,31 @@
+(** The func dialect: functions passing arguments by reference as memref
+    parameters — the entry point of every micro-kernel (paper Figure 2). *)
+
+open Mlc_ir
+
+val func_op : string
+val return_op : string
+val call_op : string
+
+(** [func b ~name ~args ~results] creates a function with an entry block
+    of the given argument types; returns (op, entry block). *)
+val func :
+  Builder.t ->
+  name:string ->
+  args:Ty.t list ->
+  results:Ty.t list ->
+  Ir.op * Ir.block
+
+val return_ : Builder.t -> Ir.value list -> unit
+val call : Builder.t -> callee:string -> results:Ty.t list -> Ir.value list -> Ir.op
+
+val name : Ir.op -> string
+
+(** (argument types, result types) from the function_type attribute. *)
+val func_type : Ir.op -> Ty.t list * Ty.t list
+
+(** The single entry block. *)
+val body : Ir.op -> Ir.block
+
+(** Find a function by symbol name within a module. *)
+val lookup : Ir.op -> string -> Ir.op option

@@ -1,0 +1,140 @@
+(* The linalg dialect: high-level structured linear algebra (paper §2.2).
+
+   [linalg.generic] carries i) explicit iterator types, ii) affine maps
+   from iteration space to operand elements, iii) an iteration space
+   inferred from operand shapes and iv) a scalar computation body. It is
+   the entry abstraction of the micro-kernel compiler. *)
+
+open Mlc_ir
+
+let num_ins op = Attr.get_int (Ir.Op.attr_exn op "ins")
+
+let indexing_maps op =
+  List.map
+    (function
+      | Attr.Affine_map m -> m
+      | a -> invalid_arg ("linalg: bad indexing map " ^ Attr.to_string a))
+    (Attr.get_arr (Ir.Op.attr_exn op "indexing_maps"))
+
+let iterator_types op = Attr.get_iterators (Ir.Op.attr_exn op "iterator_types")
+
+let ins op =
+  List.filteri (fun i _ -> i < num_ins op) (Ir.Op.operands op)
+
+let outs op =
+  List.filteri (fun i _ -> i >= num_ins op) (Ir.Op.operands op)
+
+let generic_op =
+  Op_registry.register "linalg.generic" ~verify:(fun op ->
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_num_regions op 1;
+      Op_registry.expect_attr op "indexing_maps";
+      Op_registry.expect_attr op "iterator_types";
+      Op_registry.expect_attr op "ins";
+      let maps = indexing_maps op in
+      let iters = iterator_types op in
+      let n_operands = Ir.Op.num_operands op in
+      if List.length maps <> n_operands then
+        Op_registry.fail_op op "one indexing map required per operand";
+      List.iter
+        (fun (m : Affine.map) ->
+          if m.Affine.num_dims <> List.length iters then
+            Op_registry.fail_op op
+              "indexing map arity does not match iterator count")
+        maps;
+      List.iter
+        (fun it ->
+          if it = Attr.Interleaved then
+            Op_registry.fail_op op
+              "interleaved iterators only exist at the memref_stream level")
+        iters;
+      (* outputs must be memrefs; inputs may be memrefs or scalars *)
+      List.iter
+        (fun v ->
+          match Ir.Value.ty v with
+          | Ty.Memref _ -> ()
+          | t -> Op_registry.fail_op op "output must be a memref, got %s" (Ty.to_string t))
+        (outs op);
+      let body = Ir.Region.only_block (Ir.Op.region op 0) in
+      if Ir.Block.num_args body <> n_operands then
+        Op_registry.fail_op op "body must have one argument per operand";
+      match Ir.Block.terminator body with
+      | Some t when Ir.Op.name t = "linalg.yield" ->
+        if Ir.Op.num_operands t <> List.length (outs op) then
+          Op_registry.fail_op op "yield arity must match output count"
+      | _ -> Op_registry.fail_op op "body must terminate with linalg.yield")
+
+let yield_op =
+  Op_registry.register "linalg.yield" ~terminator:true ~verify:(fun op ->
+      Op_registry.expect_num_results op 0)
+
+let fill_op =
+  Op_registry.register "linalg.fill" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 2;
+      Op_registry.expect_num_results op 0;
+      let elem = Ty.memref_elem (Ir.Value.ty (Ir.Op.operand op 1)) in
+      Op_registry.expect_operand_ty op 0 elem)
+
+(* Element type seen by the body for an operand value. *)
+let body_elem_ty v =
+  match Ir.Value.ty v with Ty.Memref { elem; _ } -> elem | t -> t
+
+(* [generic b ~ins ~outs ~maps ~iterators f]: [f] receives a builder in
+   the body plus the scalar block arguments (one per in, then one per
+   out, the latter holding the current output element for reductions)
+   and returns the yielded values. *)
+let generic b ~ins:in_vals ~outs:out_vals ~maps ~iterators f =
+  let arg_tys = List.map body_elem_ty (in_vals @ out_vals) in
+  let region = Ir.Region.single_block ~args:arg_tys () in
+  let body = Ir.Region.only_block region in
+  let op =
+    Builder.create b
+      ~attrs:
+        [
+          ("indexing_maps", Attr.Arr (List.map (fun m -> Attr.Affine_map m) maps));
+          ("iterator_types", Attr.Iterators iterators);
+          ("ins", Attr.Int (List.length in_vals));
+        ]
+      ~regions:[ region ] ~results:[] generic_op (in_vals @ out_vals)
+  in
+  let bb = Builder.at_end body in
+  let args = Ir.Block.args body in
+  let n_in = List.length in_vals in
+  let in_args = List.filteri (fun i _ -> i < n_in) args in
+  let out_args = List.filteri (fun i _ -> i >= n_in) args in
+  let yielded = f bb in_args out_args in
+  Builder.create0 bb yield_op yielded;
+  op
+
+let fill b value memref = Builder.create0 b fill_op [ value; memref ]
+
+let body op = Ir.Region.only_block (Ir.Op.region op 0)
+
+(* Infer the iteration-space bounds from operand shapes: for each
+   iteration dimension, find an operand map result that is exactly that
+   dimension and read the bound off the operand's shape (paper §2.2:
+   "an iteration space completely defined by input/output operands"). *)
+let infer_bounds op =
+  let maps = indexing_maps op in
+  let operands = Ir.Op.operands op in
+  let n_dims = List.length (iterator_types op) in
+  let bounds = Array.make n_dims (-1) in
+  List.iter2
+    (fun (m : Affine.map) v ->
+      match Ir.Value.ty v with
+      | Ty.Memref { shape; _ } ->
+        List.iteri
+          (fun result_idx e ->
+            match e with
+            | Affine.Dim d when bounds.(d) < 0 ->
+              bounds.(d) <- List.nth shape result_idx
+            | _ -> ())
+          m.Affine.exprs
+      | _ -> ())
+    maps operands;
+  Array.iteri
+    (fun d bnd ->
+      if bnd < 0 then
+        Op_registry.fail_op op "cannot infer bound for iteration dimension %d" d)
+    bounds;
+  Array.to_list bounds

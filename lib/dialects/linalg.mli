@@ -1,0 +1,47 @@
+(** The linalg dialect: high-level structured linear algebra (paper
+    §2.2). [linalg.generic] carries i) explicit iterator types, ii)
+    affine maps from iteration space to operand elements, iii) an
+    iteration space inferred from operand shapes and iv) a scalar
+    computation body — the properties that are "hard, or impossible, to
+    reconstruct from low-level encodings" and that the multi-level
+    backend preserves all the way down. *)
+
+open Mlc_ir
+
+val generic_op : string
+val yield_op : string
+val fill_op : string
+
+(** [generic b ~ins ~outs ~maps ~iterators f]: one indexing map per
+    operand (ins then outs), one iterator kind per iteration dimension.
+    [f] receives the body builder, the input element arguments and the
+    output current-value arguments (used by reductions) and returns the
+    yielded values. Inputs may be memrefs or scalars; outputs must be
+    memrefs. *)
+val generic :
+  Builder.t ->
+  ins:Ir.value list ->
+  outs:Ir.value list ->
+  maps:Affine.map list ->
+  iterators:Attr.iterator list ->
+  (Builder.t -> Ir.value list -> Ir.value list -> Ir.value list) ->
+  Ir.op
+
+(** [fill b value memref] sets every element of the buffer. *)
+val fill : Builder.t -> Ir.value -> Ir.value -> unit
+
+val num_ins : Ir.op -> int
+val indexing_maps : Ir.op -> Affine.map list
+val iterator_types : Ir.op -> Attr.iterator list
+val ins : Ir.op -> Ir.value list
+val outs : Ir.op -> Ir.value list
+val body : Ir.op -> Ir.block
+
+(** The element type a body argument sees for an operand value. *)
+val body_elem_ty : Ir.value -> Ty.t
+
+(** Infer the iteration-space bounds from operand shapes: each dimension
+    must appear bare in some operand's map (paper §2.2: the iteration
+    space is "completely defined by input/output operands"). Raises
+    [Failure] when a bound is not inferable. *)
+val infer_bounds : Ir.op -> int list

@@ -1,0 +1,58 @@
+(* The memref dialect: loads and stores against statically-shaped,
+   row-major buffers (paper Figure 2). *)
+
+open Mlc_ir
+
+let check_indices op memref_idx n_indices =
+  let mty = Ir.Value.ty (Ir.Op.operand op memref_idx) in
+  match mty with
+  | Ty.Memref { shape; _ } ->
+    if List.length shape <> n_indices then
+      Op_registry.fail_op op "expected %d indices for %s, got %d"
+        (List.length shape) (Ty.to_string mty) n_indices
+  | _ -> Op_registry.fail_op op "expected a memref operand"
+
+let load_op =
+  Op_registry.register "memref.load" ~verify:(fun op ->
+      Op_registry.expect_num_results op 1;
+      if Ir.Op.num_operands op < 1 then
+        Op_registry.fail_op op "expected memref operand";
+      check_indices op 0 (Ir.Op.num_operands op - 1);
+      let elem = Ty.memref_elem (Ir.Value.ty (Ir.Op.operand op 0)) in
+      Op_registry.expect_result_ty op 0 elem)
+
+let store_op =
+  Op_registry.register "memref.store" ~verify:(fun op ->
+      Op_registry.expect_num_results op 0;
+      if Ir.Op.num_operands op < 2 then
+        Op_registry.fail_op op "expected value and memref operands";
+      check_indices op 1 (Ir.Op.num_operands op - 2);
+      let elem = Ty.memref_elem (Ir.Value.ty (Ir.Op.operand op 1)) in
+      Op_registry.expect_operand_ty op 0 elem)
+
+let alloc_op =
+  Op_registry.register "memref.alloc" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 1;
+      match Ir.Value.ty (Ir.Op.result op 0) with
+      | Ty.Memref _ -> ()
+      | _ -> Op_registry.fail_op op "result must be a memref")
+
+let dim_op =
+  Op_registry.register "memref.dim" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 2;
+      Op_registry.expect_num_results op 1;
+      Op_registry.expect_result_ty op 0 Ty.Index)
+
+let load b memref indices =
+  let elem = Ty.memref_elem (Ir.Value.ty memref) in
+  Builder.create1 b ~result:elem load_op (memref :: indices)
+
+let store b value memref indices =
+  Builder.create0 b store_op ((value :: memref :: indices))
+
+let alloc b shape elem =
+  Builder.create1 b ~result:(Ty.memref shape elem) alloc_op []
+
+let dim b memref i =
+  Builder.create1 b ~result:Ty.Index dim_op [ memref; i ]

@@ -1,0 +1,16 @@
+(** The memref dialect: loads and stores against statically-shaped,
+    row-major buffers (paper Figure 2). *)
+
+open Mlc_ir
+
+val load_op : string
+val store_op : string
+val alloc_op : string
+val dim_op : string
+
+(** [load b memref indices] — one index per memref dimension. *)
+val load : Builder.t -> Ir.value -> Ir.value list -> Ir.value
+
+val store : Builder.t -> Ir.value -> Ir.value -> Ir.value list -> unit
+val alloc : Builder.t -> int list -> Ty.t -> Ir.value
+val dim : Builder.t -> Ir.value -> Ir.value -> Ir.value

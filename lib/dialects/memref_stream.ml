@@ -1,0 +1,242 @@
+(* The memref_stream dialect: the bridge between linalg abstractions and
+   the Snitch streaming hardware (paper §3.4, Figure 7).
+
+   [memref_stream.generic] mirrors [linalg.generic] but
+   - carries explicit iteration [bounds] (decoupled from operand shapes,
+     so it can consume shape-less stream values),
+   - supports an [interleaved] iterator type: the trailing iteration
+     dimension may be unrolled-and-jammed into the body, which then takes
+     one argument copy per unrolled iteration,
+   - supports [inits] operands: scalar initial values for outputs whose
+     zero-fill has been fused into the computation.
+
+   [memref_stream.streaming_region] encapsulates the stream configuration
+   (one stride pattern per streamed operand) and a region in which the
+   streams are accessed as SSA values through [read]/[write]. *)
+
+open Mlc_ir
+
+let num_ins op = Attr.get_int (Ir.Op.attr_exn op "ins")
+let num_inits op = Attr.get_int (Ir.Op.attr_exn op "inits")
+let num_outs op = Ir.Op.num_operands op - num_ins op - num_inits op
+
+let bounds op = Attr.get_int_arr (Ir.Op.attr_exn op "bounds")
+
+let indexing_maps op =
+  List.map
+    (function
+      | Attr.Affine_map m -> m
+      | a -> invalid_arg ("memref_stream: bad indexing map " ^ Attr.to_string a))
+    (Attr.get_arr (Ir.Op.attr_exn op "indexing_maps"))
+
+let iterator_types op = Attr.get_iterators (Ir.Op.attr_exn op "iterator_types")
+
+let ins op = List.filteri (fun i _ -> i < num_ins op) (Ir.Op.operands op)
+
+let outs op =
+  let n_in = num_ins op and n_out = num_outs op in
+  List.filteri (fun i _ -> i >= n_in && i < n_in + n_out) (Ir.Op.operands op)
+
+let inits op =
+  let k = num_ins op + num_outs op in
+  List.filteri (fun i _ -> i >= k) (Ir.Op.operands op)
+
+(* The unroll factor: the bound of the trailing interleaved dimension, or
+   1 when no dimension is interleaved. *)
+let unroll_factor op =
+  let iters = iterator_types op in
+  match List.rev iters with
+  | Attr.Interleaved :: _ -> List.nth (bounds op) (List.length iters - 1)
+  | _ -> 1
+
+let elem_ty_of v =
+  match Ir.Value.ty v with
+  | Ty.Memref { elem; _ } -> elem
+  | Ty.Stream_readable e | Ty.Stream_writable e -> e
+  | t -> t
+
+let generic_op =
+  Op_registry.register "memref_stream.generic" ~verify:(fun op ->
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_num_regions op 1;
+      List.iter (Op_registry.expect_attr op)
+        [ "bounds"; "indexing_maps"; "iterator_types"; "ins"; "inits" ];
+      let bnds = bounds op in
+      let iters = iterator_types op in
+      if List.length bnds <> List.length iters then
+        Op_registry.fail_op op "bounds/iterator_types length mismatch";
+      List.iteri
+        (fun i it ->
+          if it = Attr.Interleaved && i <> List.length iters - 1 then
+            Op_registry.fail_op op
+              "only the trailing dimension may be interleaved")
+        iters;
+      let n_in = num_ins op and n_out = num_outs op in
+      if n_out < 0 then Op_registry.fail_op op "operand segment underflow";
+      if num_inits op > n_out then
+        Op_registry.fail_op op "more inits than outputs";
+      let maps = indexing_maps op in
+      if List.length maps <> n_in + n_out then
+        Op_registry.fail_op op "one indexing map required per in/out operand";
+      List.iter
+        (fun (m : Affine.map) ->
+          if m.Affine.num_dims <> List.length bnds then
+            Op_registry.fail_op op "indexing map arity must match bounds")
+        maps;
+      let u = unroll_factor op in
+      let body = Ir.Region.only_block (Ir.Op.region op 0) in
+      if Ir.Block.num_args body <> u * (n_in + n_out) then
+        Op_registry.fail_op op
+          "body must have %d args (%d operands x unroll %d), has %d"
+          (u * (n_in + n_out))
+          (n_in + n_out) u (Ir.Block.num_args body);
+      match Ir.Block.terminator body with
+      | Some t when Ir.Op.name t = "memref_stream.yield" ->
+        if Ir.Op.num_operands t <> u * n_out then
+          Op_registry.fail_op op "yield must produce %d values" (u * n_out)
+      | _ -> Op_registry.fail_op op "body must terminate with memref_stream.yield")
+
+let yield_op =
+  Op_registry.register "memref_stream.yield" ~terminator:true
+    ~verify:(fun op -> Op_registry.expect_num_results op 0)
+
+(* Number of streams of a streaming_region (its operands are the streamed
+   memrefs followed by optional per-stream element offsets). *)
+let num_streams op =
+  let offsets =
+    match Ir.Op.attr op "offsets" with Some (Attr.Int n) -> n | _ -> 0
+  in
+  Ir.Op.num_operands op - offsets
+
+let num_offsets op = Ir.Op.num_operands op - num_streams op
+
+let streamed_operands op =
+  List.filteri (fun i _ -> i < num_streams op) (Ir.Op.operands op)
+
+let offset_operands op =
+  List.filteri (fun i _ -> i >= num_streams op) (Ir.Op.operands op)
+
+let streaming_region_op =
+  Op_registry.register "memref_stream.streaming_region" ~verify:(fun op ->
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_num_regions op 1;
+      Op_registry.expect_attr op "patterns";
+      Op_registry.expect_attr op "ins";
+      let n = num_streams op in
+      let n_off = num_offsets op in
+      if n_off <> 0 && n_off <> n then
+        Op_registry.fail_op op "offsets must be absent or one per stream";
+      let patterns = Attr.get_arr (Ir.Op.attr_exn op "patterns") in
+      if List.length patterns <> n then
+        Op_registry.fail_op op "one pattern required per stream";
+      let body = Ir.Region.only_block (Ir.Op.region op 0) in
+      if Ir.Block.num_args body <> n then
+        Op_registry.fail_op op "one stream block-arg per stream";
+      let n_in = num_ins op in
+      List.iteri
+        (fun i arg ->
+          match (i < n_in, Ir.Value.ty arg) with
+          | true, Ty.Stream_readable _ | false, Ty.Stream_writable _ -> ()
+          | _ ->
+            Op_registry.fail_op op
+              "stream block-arg %d has the wrong directionality" i)
+        (Ir.Block.args body))
+
+let read_op =
+  Op_registry.register "memref_stream.read" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 1;
+      match Ir.Value.ty (Ir.Op.operand op 0) with
+      | Ty.Stream_readable e -> Op_registry.expect_result_ty op 0 e
+      | _ -> Op_registry.fail_op op "operand must be a readable stream")
+
+let write_op =
+  Op_registry.register "memref_stream.write" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 2;
+      Op_registry.expect_num_results op 0;
+      match Ir.Value.ty (Ir.Op.operand op 1) with
+      | Ty.Stream_writable e -> Op_registry.expect_operand_ty op 0 e
+      | _ -> Op_registry.fail_op op "second operand must be a writable stream")
+
+let fill_op =
+  Op_registry.register "memref_stream.fill" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 2;
+      Op_registry.expect_num_results op 0)
+
+(* Builder for memref_stream.generic. [f] receives the body builder, the
+   input argument copies and output argument copies; it returns the
+   yielded values (u values per output, grouped by unroll copy:
+   [out0#0, out1#0, ..., out0#1, out1#1, ...]). *)
+let generic b ~bounds:bnds ~ins:in_vals ~outs:out_vals ?(inits = [])
+    ~maps ~iterators f =
+  let u =
+    match List.rev iterators with
+    | Attr.Interleaved :: _ -> List.nth bnds (List.length bnds - 1)
+    | _ -> 1
+  in
+  let copy n tys = List.concat (List.init n (fun _ -> tys)) in
+  let arg_tys =
+    copy u (List.map elem_ty_of in_vals) @ copy u (List.map elem_ty_of out_vals)
+  in
+  let region = Ir.Region.single_block ~args:arg_tys () in
+  let body = Ir.Region.only_block region in
+  let op =
+    Builder.create b
+      ~attrs:
+        [
+          ("bounds", Attr.int_arr bnds);
+          ("indexing_maps", Attr.Arr (List.map (fun m -> Attr.Affine_map m) maps));
+          ("iterator_types", Attr.Iterators iterators);
+          ("ins", Attr.Int (List.length in_vals));
+          ("inits", Attr.Int (List.length inits));
+        ]
+      ~regions:[ region ] ~results:[] generic_op
+      (in_vals @ out_vals @ inits)
+  in
+  let bb = Builder.at_end body in
+  let args = Ir.Block.args body in
+  let n_in = u * List.length in_vals in
+  let in_args = List.filteri (fun i _ -> i < n_in) args in
+  let out_args = List.filteri (fun i _ -> i >= n_in) args in
+  let yielded = f bb in_args out_args in
+  Builder.create0 bb yield_op yielded;
+  op
+
+(* Builder for streaming_region. [f] receives the body builder and the
+   stream block arguments. [offsets], when given, supplies one
+   element-offset index value per stream (hoisted outer-loop
+   contribution to the base address). *)
+let streaming_region b ~patterns ~ins:in_vals ~outs:out_vals ?(offsets = []) f =
+  let arg_tys =
+    List.map (fun v -> Ty.Stream_readable (elem_ty_of v)) in_vals
+    @ List.map (fun v -> Ty.Stream_writable (elem_ty_of v)) out_vals
+  in
+  let region = Ir.Region.single_block ~args:arg_tys () in
+  let body = Ir.Region.only_block region in
+  let op =
+    Builder.create b
+      ~attrs:
+        [
+          ( "patterns",
+            Attr.Arr (List.map (fun p -> Attr.Index_pattern p) patterns) );
+          ("ins", Attr.Int (List.length in_vals));
+          ("offsets", Attr.Int (List.length offsets));
+        ]
+      ~regions:[ region ] ~results:[] streaming_region_op
+      (in_vals @ out_vals @ offsets)
+  in
+  let bb = Builder.at_end body in
+  f bb (Ir.Block.args body);
+  op
+
+let read b stream =
+  match Ir.Value.ty stream with
+  | Ty.Stream_readable e -> Builder.create1 b ~result:e read_op [ stream ]
+  | _ -> invalid_arg "Memref_stream.read: not a readable stream"
+
+let write b value stream = Builder.create0 b write_op [ value; stream ]
+
+let body op = Ir.Region.only_block (Ir.Op.region op 0)
+
+let patterns op =
+  List.map Attr.get_index_pattern (Attr.get_arr (Ir.Op.attr_exn op "patterns"))

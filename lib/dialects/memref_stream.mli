@@ -1,0 +1,84 @@
+(** The memref_stream dialect: the bridge between linalg abstractions and
+    the Snitch streaming hardware (paper §3.4, Figure 7).
+
+    [memref_stream.generic] mirrors [linalg.generic] but carries explicit
+    iteration [bounds], supports an [interleaved] trailing iterator
+    (unroll-and-jam: the body holds one copy of the computation per
+    interleaved iteration) and [inits] operands (scalar initial values
+    for outputs whose zero-fill was fused in).
+
+    [memref_stream.streaming_region] fixes the access order of streamed
+    operands with one index pattern per stream and exposes them to its
+    region as readable/writable stream values; optional per-stream
+    element offsets carry hoisted outer-loop contributions (DESIGN.md). *)
+
+open Mlc_ir
+
+val generic_op : string
+val yield_op : string
+val streaming_region_op : string
+val read_op : string
+val write_op : string
+val fill_op : string
+
+(** {2 generic accessors} *)
+
+val num_ins : Ir.op -> int
+val num_inits : Ir.op -> int
+val num_outs : Ir.op -> int
+val bounds : Ir.op -> int list
+val indexing_maps : Ir.op -> Affine.map list
+val iterator_types : Ir.op -> Attr.iterator list
+val ins : Ir.op -> Ir.value list
+val outs : Ir.op -> Ir.value list
+val inits : Ir.op -> Ir.value list
+
+(** The bound of the trailing interleaved dimension (1 when none): how
+    many copies of the computation the body holds. *)
+val unroll_factor : Ir.op -> int
+
+val elem_ty_of : Ir.value -> Ty.t
+val body : Ir.op -> Ir.block
+
+(** {2 streaming_region accessors} *)
+
+val num_streams : Ir.op -> int
+val num_offsets : Ir.op -> int
+val streamed_operands : Ir.op -> Ir.value list
+val offset_operands : Ir.op -> Ir.value list
+val patterns : Ir.op -> Attr.index_pattern list
+
+(** {2 builders} *)
+
+(** [generic b ~bounds ~ins ~outs ?inits ~maps ~iterators f]: [f]
+    receives the body builder, the input argument copies (all copies of
+    copy 0's inputs first: [in0#0, in1#0, ..., in0#1, ...]) and the
+    output accumulator copies, and returns the yielded values
+    (copy-major: [out0#0, out1#0, ..., out0#1, ...]). *)
+val generic :
+  Builder.t ->
+  bounds:int list ->
+  ins:Ir.value list ->
+  outs:Ir.value list ->
+  ?inits:Ir.value list ->
+  maps:Affine.map list ->
+  iterators:Attr.iterator list ->
+  (Builder.t -> Ir.value list -> Ir.value list -> Ir.value list) ->
+  Ir.op
+
+(** [streaming_region b ~patterns ~ins ~outs ?offsets f]: [f] receives
+    the body builder and the stream block arguments (readable first). *)
+val streaming_region :
+  Builder.t ->
+  patterns:Attr.index_pattern list ->
+  ins:Ir.value list ->
+  outs:Ir.value list ->
+  ?offsets:Ir.value list ->
+  (Builder.t -> Ir.value list -> unit) ->
+  Ir.op
+
+(** Pop one element from a readable stream. *)
+val read : Builder.t -> Ir.value -> Ir.value
+
+(** Push one element to a writable stream. *)
+val write : Builder.t -> Ir.value -> Ir.value -> unit

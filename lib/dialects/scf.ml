@@ -1,0 +1,70 @@
+(* The scf dialect: structured control flow. Only [scf.for] (with
+   loop-carried iteration arguments) and [scf.yield] are needed by the
+   lowering pipeline (paper Figure 2, §3.4). *)
+
+open Mlc_ir
+
+let for_op =
+  Op_registry.register "scf.for" ~verify:(fun op ->
+      Op_registry.expect_num_regions op 1;
+      if Ir.Op.num_operands op < 3 then
+        Op_registry.fail_op op "expected at least lb, ub, step operands";
+      let n_iter = Ir.Op.num_operands op - 3 in
+      Op_registry.expect_num_results op n_iter;
+      let body = Ir.Region.only_block (Ir.Op.region op 0) in
+      if Ir.Block.num_args body <> n_iter + 1 then
+        Op_registry.fail_op op
+          "body must have induction variable plus one arg per iter_arg";
+      if not (Ty.equal (Ir.Value.ty (Ir.Block.arg body 0)) Ty.Index) then
+        Op_registry.fail_op op "induction variable must have index type";
+      for i = 0 to n_iter - 1 do
+        let iter_ty = Ir.Value.ty (Ir.Op.operand op (3 + i)) in
+        Op_registry.expect_result_ty op i iter_ty;
+        if not (Ty.equal (Ir.Value.ty (Ir.Block.arg body (i + 1))) iter_ty) then
+          Op_registry.fail_op op "iter_arg %d type mismatch" i
+      done;
+      match Ir.Block.terminator body with
+      | Some t when Ir.Op.name t = "scf.yield" ->
+        if Ir.Op.num_operands t <> n_iter then
+          Op_registry.fail_op op "yield arity does not match iter_args"
+      | _ -> Op_registry.fail_op op "body must terminate with scf.yield")
+
+let yield_op =
+  Op_registry.register "scf.yield" ~terminator:true ~verify:(fun op ->
+      Op_registry.expect_num_results op 0)
+
+(* [for_ b ~lb ~ub ~step ~iter_args f] creates an scf.for. [f] is called
+   with a builder positioned in the body, the induction variable and the
+   iteration arguments; it must return the yielded values. *)
+let for_ b ~lb ~ub ~step ?(iter_args = []) f =
+  let region =
+    Ir.Region.single_block
+      ~args:(Ty.Index :: List.map Ir.Value.ty iter_args)
+      ()
+  in
+  let body = Ir.Region.only_block region in
+  let op =
+    Builder.create b ~regions:[ region ]
+      ~results:(List.map Ir.Value.ty iter_args)
+      for_op
+      ([ lb; ub; step ] @ iter_args)
+  in
+  let bb = Builder.at_end body in
+  let iv = Ir.Block.arg body 0 in
+  let iters = List.tl (Ir.Block.args body) in
+  let yielded = f bb iv iters in
+  Builder.create0 bb yield_op yielded;
+  op
+
+let lb op = Ir.Op.operand op 0
+let ub op = Ir.Op.operand op 1
+let step op = Ir.Op.operand op 2
+let iter_operands op = List.filteri (fun i _ -> i >= 3) (Ir.Op.operands op)
+let body op = Ir.Region.only_block (Ir.Op.region op 0)
+let induction_var op = Ir.Block.arg (body op) 0
+let iter_args op = List.tl (Ir.Block.args (body op))
+
+let yield_of op =
+  match Ir.Block.terminator (body op) with
+  | Some t when Ir.Op.name t = yield_op -> t
+  | _ -> invalid_arg "Scf.yield_of: malformed scf.for"

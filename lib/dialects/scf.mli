@@ -1,0 +1,33 @@
+(** The scf dialect: structured control flow. [scf.for] carries
+    loop-carried values as iteration arguments, the property the
+    register allocator later exploits (paper §3.3). *)
+
+open Mlc_ir
+
+val for_op : string
+val yield_op : string
+
+(** [for_ b ~lb ~ub ~step ~iter_args f] builds a for loop; [f] receives
+    the body builder, the induction variable (index-typed) and the
+    iteration arguments and returns the yielded values. Bounds are
+    index-typed SSA values. Returns the loop op (whose results are the
+    final iteration values). *)
+val for_ :
+  Builder.t ->
+  lb:Ir.value ->
+  ub:Ir.value ->
+  step:Ir.value ->
+  ?iter_args:Ir.value list ->
+  (Builder.t -> Ir.value -> Ir.value list -> Ir.value list) ->
+  Ir.op
+
+val lb : Ir.op -> Ir.value
+val ub : Ir.op -> Ir.value
+val step : Ir.op -> Ir.value
+val iter_operands : Ir.op -> Ir.value list
+val body : Ir.op -> Ir.block
+val induction_var : Ir.op -> Ir.value
+val iter_args : Ir.op -> Ir.value list
+
+(** The body's terminating scf.yield. *)
+val yield_of : Ir.op -> Ir.op

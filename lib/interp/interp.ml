@@ -1,0 +1,374 @@
+(* A reference interpreter for the high-level dialects (func, scf, arith,
+   memref, linalg, memref_stream). It defines the executable semantics
+   that the compiled kernels are differentially tested against: for every
+   kernel, pipeline configuration and input, the simulator output of the
+   compiled code must equal the interpreter output (the paper validates
+   against precomputed outputs the same way, §A.2).
+
+   Buffers hold f64 values regardless of element type; stores to f32
+   buffers round through single precision so packed-SIMD kernels compare
+   exactly. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+exception Interp_error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Interp_error m)) fmt
+
+type buffer = {
+  shape : int list;
+  strides : int list; (* row-major, in elements *)
+  data : float array;
+  elem : Ty.t;
+}
+
+let buffer_create shape elem =
+  {
+    shape;
+    strides = Ty.row_major_strides shape;
+    data = Array.make (max 1 (Ty.num_elements shape)) 0.0;
+    elem;
+  }
+
+let round_to_elem elem v =
+  match elem with
+  | Ty.F32 -> Int32.float_of_bits (Int32.bits_of_float v)
+  | _ -> v
+
+let buffer_flat_index buf indices =
+  if List.length indices <> List.length buf.shape then
+    err "buffer access with %d indices, rank is %d" (List.length indices)
+      (List.length buf.shape);
+  List.iter2
+    (fun i d -> if i < 0 || i >= d then err "index %d out of bound %d" i d)
+    indices buf.shape;
+  List.fold_left2 (fun acc i s -> acc + (i * s)) 0 indices buf.strides
+
+let buffer_get buf indices = buf.data.(buffer_flat_index buf indices)
+
+let buffer_set buf indices v =
+  buf.data.(buffer_flat_index buf indices) <- round_to_elem buf.elem v
+
+type stream =
+  | Readable of { mutable queue : float list }
+  | Writable of { buf : buffer; order : int array; mutable pos : int }
+      (* order: flat element index per write, fixed by the stride pattern *)
+
+type rtval = F of float | I of int | Buf of buffer | Stream of stream
+
+let as_f = function F f -> f | _ -> err "expected a float value"
+let as_i = function I i -> i | _ -> err "expected an integer value"
+let as_buf = function Buf b -> b | _ -> err "expected a memref value"
+let as_stream = function Stream s -> s | _ -> err "expected a stream value"
+
+type env = (int, rtval) Hashtbl.t
+
+let lookup env v =
+  match Hashtbl.find_opt env (Ir.Value.id v) with
+  | Some r -> r
+  | None -> err "use of unbound value %%%d" (Ir.Value.id v)
+
+let bind env v r = Hashtbl.replace env (Ir.Value.id v) r
+
+(* Iterate [f] over the lexicographic product of [bounds]. *)
+let iter_space bounds f =
+  let n = List.length bounds in
+  let bounds = Array.of_list bounds in
+  let idx = Array.make n 0 in
+  let rec go d = if d = n then f (Array.copy idx)
+    else
+      for i = 0 to bounds.(d) - 1 do
+        idx.(d) <- i;
+        go (d + 1)
+      done
+  in
+  if n = 0 then f [||] else go 0
+
+(* Enumerate the element access order induced by an index pattern over a
+   buffer: the iteration space of [ip_ub] traversed lexicographically,
+   mapped through [ip_map]. *)
+let pattern_order (p : Attr.index_pattern) (buf : buffer) =
+  let acc = ref [] in
+  iter_space p.ip_ub (fun idx ->
+      let coords = Affine.eval p.ip_map ~dims:idx () in
+      acc := buffer_flat_index buf coords :: !acc);
+  Array.of_list (List.rev !acc)
+
+let value_of_float ty f = F (round_to_elem ty f)
+
+(* --- arithmetic --- *)
+
+let eval_arith env op =
+  let name = Ir.Op.name op in
+  let x i = lookup env (Ir.Op.operand op i) in
+  let res = Ir.Op.result op 0 in
+  let rty = Ir.Value.ty res in
+  let fbin f = bind env res (value_of_float rty (f (as_f (x 0)) (as_f (x 1)))) in
+  let ibin f = bind env res (I (f (as_i (x 0)) (as_i (x 1)))) in
+  match name with
+  | "arith.constant" -> (
+    match Ir.Op.attr_exn op "value" with
+    | Attr.Float f -> bind env res (value_of_float rty f)
+    | Attr.Int i -> bind env res (I i)
+    | a -> err "bad constant %s" (Attr.to_string a))
+  | "arith.addf" -> fbin ( +. )
+  | "arith.subf" -> fbin ( -. )
+  | "arith.mulf" -> fbin ( *. )
+  | "arith.divf" -> fbin ( /. )
+  | "arith.maximumf" -> fbin Float.max
+  | "arith.minimumf" -> fbin Float.min
+  | "arith.fmaf" ->
+    bind env res
+      (value_of_float rty (Float.fma (as_f (x 0)) (as_f (x 1)) (as_f (x 2))))
+  | "arith.addi" -> ibin ( + )
+  | "arith.subi" -> ibin ( - )
+  | "arith.muli" -> ibin ( * )
+  | other -> err "unhandled arith op %s" other
+
+(* --- structured ops --- *)
+
+let rec exec_op env op =
+  let name = Ir.Op.name op in
+  match name with
+  | _ when String.length name > 6 && String.sub name 0 6 = "arith." ->
+    eval_arith env op
+  | "memref.load" ->
+    let buf = as_buf (lookup env (Ir.Op.operand op 0)) in
+    let indices =
+      List.map (fun v -> as_i (lookup env v))
+        (List.tl (Ir.Op.operands op))
+    in
+    bind env (Ir.Op.result op 0) (F (buffer_get buf indices))
+  | "memref.store" ->
+    let v = as_f (lookup env (Ir.Op.operand op 0)) in
+    let buf = as_buf (lookup env (Ir.Op.operand op 1)) in
+    let indices =
+      List.map (fun v -> as_i (lookup env v))
+        (List.filteri (fun i _ -> i >= 2) (Ir.Op.operands op))
+    in
+    buffer_set buf indices v
+  | "memref.alloc" ->
+    let ty = Ir.Value.ty (Ir.Op.result op 0) in
+    bind env (Ir.Op.result op 0)
+      (Buf (buffer_create (Ty.memref_shape ty) (Ty.memref_elem ty)))
+  | "scf.for" -> exec_scf_for env op
+  | "linalg.fill" ->
+    let v = as_f (lookup env (Ir.Op.operand op 0)) in
+    let buf = as_buf (lookup env (Ir.Op.operand op 1)) in
+    Array.fill buf.data 0 (Array.length buf.data) (round_to_elem buf.elem v)
+  | "linalg.generic" -> exec_linalg_generic env op
+  | "memref_stream.generic" -> exec_stream_generic env op
+  | "memref_stream.streaming_region" -> exec_streaming_region env op
+  | "memref_stream.read" ->
+    let s = as_stream (lookup env (Ir.Op.operand op 0)) in
+    (match s with
+    | Readable r -> (
+      match r.queue with
+      | [] -> err "read past end of stream"
+      | v :: rest ->
+        r.queue <- rest;
+        bind env (Ir.Op.result op 0) (F v))
+    | Writable _ -> err "reading from a writable stream")
+  | "memref_stream.write" ->
+    let v = as_f (lookup env (Ir.Op.operand op 0)) in
+    let s = as_stream (lookup env (Ir.Op.operand op 1)) in
+    (match s with
+    | Writable w ->
+      if w.pos >= Array.length w.order then err "write past end of stream";
+      w.buf.data.(w.order.(w.pos)) <- round_to_elem w.buf.elem v;
+      w.pos <- w.pos + 1
+    | Readable _ -> err "writing to a readable stream")
+  | "func.return" | "scf.yield" | "linalg.yield" | "memref_stream.yield" ->
+    () (* handled by enclosing op *)
+  | other -> err "unhandled op %s" other
+
+and exec_block_ops env block =
+  Ir.Block.iter_ops block (fun op -> exec_op env op)
+
+and exec_scf_for env op =
+  let lb = as_i (lookup env (Scf.lb op)) in
+  let ub = as_i (lookup env (Scf.ub op)) in
+  let step = as_i (lookup env (Scf.step op)) in
+  if step <= 0 then err "scf.for with non-positive step";
+  let body = Scf.body op in
+  let iters = ref (List.map (lookup env) (Scf.iter_operands op)) in
+  let i = ref lb in
+  while !i < ub do
+    bind env (Scf.induction_var op) (I !i);
+    List.iter2 (fun arg v -> bind env arg v) (Scf.iter_args op) !iters;
+    exec_block_ops env body;
+    let yield = Scf.yield_of op in
+    iters := List.map (lookup env) (Ir.Op.operands yield);
+    i := !i + step
+  done;
+  List.iteri (fun k res -> bind env res (List.nth !iters k)) (Ir.Op.results op)
+
+and exec_linalg_generic env op =
+  let maps = Linalg.indexing_maps op in
+  let bounds = Linalg.infer_bounds op in
+  let n_in = Linalg.num_ins op in
+  let operands = Ir.Op.operands op in
+  let body = Linalg.body op in
+  let yield =
+    match Ir.Block.terminator body with
+    | Some t -> t
+    | None -> err "linalg.generic without terminator"
+  in
+  iter_space bounds (fun idx ->
+      (* Bind body args: element for memrefs, the value itself for
+         scalars. *)
+      List.iteri
+        (fun k v ->
+          let arg = Ir.Block.arg body k in
+          match lookup env v with
+          | Buf buf ->
+            let coords = Affine.eval (List.nth maps k) ~dims:idx () in
+            bind env arg (F (buffer_get buf coords))
+          | other -> bind env arg other)
+        operands;
+      exec_block_ops env body;
+      (* Write back yields to outputs. *)
+      List.iteri
+        (fun k y ->
+          let out = List.nth operands (n_in + k) in
+          let buf = as_buf (lookup env out) in
+          let coords = Affine.eval (List.nth maps (n_in + k)) ~dims:idx () in
+          buffer_set buf coords (as_f (lookup env y)))
+        (Ir.Op.operands yield))
+
+and exec_stream_generic env op =
+  let maps = Memref_stream.indexing_maps op in
+  let bounds = Memref_stream.bounds op in
+  let iterators = Memref_stream.iterator_types op in
+  let n_in = Memref_stream.num_ins op in
+  let n_out = Memref_stream.num_outs op in
+  let u = Memref_stream.unroll_factor op in
+  let inits = Memref_stream.inits op in
+  let interleaved = u > 1 in
+  let body = Memref_stream.body op in
+  let yield =
+    match Ir.Block.terminator body with
+    | Some t -> t
+    | None -> err "memref_stream.generic without terminator"
+  in
+  let operands = Ir.Op.operands op in
+  (* Iterate the space of all non-interleaved dimensions; the interleaved
+     trailing dimension is materialised as the u body-argument copies. *)
+  let outer_bounds =
+    if interleaved then
+      List.filteri (fun i _ -> i < List.length bounds - 1) bounds
+    else bounds
+  in
+  let reduction_dims =
+    List.filteri (fun i _ -> List.nth iterators i = Attr.Reduction)
+      (List.mapi (fun i _ -> i) iterators)
+  in
+  iter_space outer_bounds (fun outer_idx ->
+      let full_idx j =
+        if interleaved then Array.append outer_idx [| j |] else outer_idx
+      in
+      let at_reduction_start =
+        List.for_all (fun d -> outer_idx.(d) = 0) reduction_dims
+      in
+      (* Bind input copies: args are grouped all-ins-per-copy first. *)
+      for j = 0 to u - 1 do
+        List.iteri
+          (fun k v ->
+            let arg = Ir.Block.arg body ((j * n_in) + k) in
+            match lookup env v with
+            | Buf buf ->
+              let coords = Affine.eval (List.nth maps k) ~dims:(full_idx j) () in
+              bind env arg (F (buffer_get buf coords))
+            | Stream (Readable r) -> (
+              match r.queue with
+              | [] -> err "stream exhausted inside generic"
+              | v :: rest ->
+                r.queue <- rest;
+                bind env arg (F v))
+            | other -> bind env arg other)
+          (List.filteri (fun i _ -> i < n_in) operands)
+      done;
+      (* Bind output accumulator copies. *)
+      for j = 0 to u - 1 do
+        List.iteri
+          (fun k v ->
+            let arg = Ir.Block.arg body ((u * n_in) + (j * n_out) + k) in
+            let init_value =
+              if at_reduction_start && List.length inits > k then
+                Some (as_f (lookup env (List.nth inits k)))
+              else None
+            in
+            match (lookup env v, init_value) with
+            | _, Some f -> bind env arg (F f)
+            | Buf buf, None ->
+              let coords =
+                Affine.eval (List.nth maps (n_in + k)) ~dims:(full_idx j) ()
+              in
+              bind env arg (F (buffer_get buf coords))
+            | other, None -> bind env arg other)
+          (Memref_stream.outs op)
+      done;
+      exec_block_ops env body;
+      (* Write back yields: u values per output, copy-major. *)
+      List.iteri
+        (fun pos y ->
+          let j = pos / n_out and k = pos mod n_out in
+          let out = List.nth operands (n_in + k) in
+          (match lookup env out with
+          | Buf buf ->
+            let coords =
+              Affine.eval (List.nth maps (n_in + k)) ~dims:(full_idx j) ()
+            in
+            buffer_set buf coords (as_f (lookup env y))
+          | Stream (Writable w) ->
+            if w.pos >= Array.length w.order then err "write past end of stream";
+            w.buf.data.(w.order.(w.pos)) <-
+              round_to_elem w.buf.elem (as_f (lookup env y));
+            w.pos <- w.pos + 1
+          | _ -> err "output must be a memref or writable stream"))
+        (Ir.Op.operands yield))
+
+and exec_streaming_region env op =
+  let patterns = Memref_stream.patterns op in
+  let n_in = Memref_stream.num_ins op in
+  let body = Memref_stream.body op in
+  let offsets =
+    match Memref_stream.offset_operands op with
+    | [] -> List.map (fun _ -> 0) (Memref_stream.streamed_operands op)
+    | offs -> List.map (fun v -> as_i (lookup env v)) offs
+  in
+  List.iteri
+    (fun k v ->
+      let buf = as_buf (lookup env v) in
+      let pattern = List.nth patterns k in
+      let base = List.nth offsets k in
+      let order = Array.map (fun i -> i + base) (pattern_order pattern buf) in
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= Array.length buf.data then
+            err "stream pattern escapes its buffer (flat index %d)" i)
+        order;
+      let arg = Ir.Block.arg body k in
+      if k < n_in then
+        bind env arg
+          (Stream
+             (Readable
+                { queue = Array.to_list (Array.map (fun i -> buf.data.(i)) order) }))
+      else bind env arg (Stream (Writable { buf; order; pos = 0 })))
+    (Memref_stream.streamed_operands op);
+  exec_block_ops env body
+
+(* Run function [fname] of module [m] with the given arguments. Buffers
+   are mutated in place. *)
+let run_func m fname (args : rtval list) =
+  match Func.lookup m fname with
+  | None -> err "no function named %s" fname
+  | Some fn ->
+    let body = Func.body fn in
+    if List.length args <> Ir.Block.num_args body then
+      err "%s expects %d arguments, got %d" fname (Ir.Block.num_args body)
+        (List.length args);
+    let env : env = Hashtbl.create 64 in
+    List.iteri (fun i v -> bind env (Ir.Block.arg body i) v) args;
+    exec_block_ops env body

@@ -1,0 +1,36 @@
+(** A reference interpreter for the high-level dialects (func, scf,
+    arith, memref, linalg, memref_stream): the executable semantics the
+    compiled kernels are differentially tested against (the paper
+    validates against precomputed outputs the same way, §A.2).
+
+    Buffers hold f64 values regardless of element type; stores to f32
+    buffers round through single precision. *)
+
+open Mlc_ir
+
+exception Interp_error of string
+
+type buffer = {
+  shape : int list;
+  strides : int list; (* row-major, in elements *)
+  data : float array;
+  elem : Ty.t;
+}
+
+val buffer_create : int list -> Ty.t -> buffer
+val buffer_get : buffer -> int list -> float
+
+(** Bounds-checked; rounds through the element precision. *)
+val buffer_set : buffer -> int list -> float -> unit
+
+type stream =
+  | Readable of { mutable queue : float list }
+  | Writable of { buf : buffer; order : int array; mutable pos : int }
+
+(** Runtime values. *)
+type rtval = F of float | I of int | Buf of buffer | Stream of stream
+
+(** Run function [fname] of module [m] with the given arguments; buffers
+    are mutated in place. Raises {!Interp_error} on semantic faults
+    (out-of-bounds access, stream overrun, unbound values). *)
+val run_func : Ir.op -> string -> rtval list -> unit

@@ -1,0 +1,272 @@
+(* Affine expressions and maps, modelled after MLIR's affine_map.
+
+   An affine expression is built from loop dimensions [d0, d1, ...],
+   symbols [s0, s1, ...] and integer constants, combined with +, *,
+   floordiv, ceildiv and mod. Multiplication is only permitted when one
+   side is a constant (semi-affine forms are rejected at smart-constructor
+   level), which keeps evaluation and linear-coefficient extraction
+   total. *)
+
+type expr =
+  | Dim of int
+  | Sym of int
+  | Const of int
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Floordiv of expr * expr
+  | Ceildiv of expr * expr
+  | Mod of expr * expr
+
+type map = { num_dims : int; num_syms : int; exprs : expr list }
+
+exception Not_affine of string
+
+let dim i =
+  if i < 0 then invalid_arg "Affine.dim: negative index";
+  Dim i
+
+let sym i =
+  if i < 0 then invalid_arg "Affine.sym: negative index";
+  Sym i
+
+let const c = Const c
+
+let rec is_const = function
+  | Const _ -> true
+  | Dim _ | Sym _ -> false
+  | Add (a, b) | Mul (a, b) | Floordiv (a, b) | Ceildiv (a, b) | Mod (a, b) ->
+    is_const a && is_const b
+
+(* Smart constructors with light algebraic simplification so that derived
+   maps (e.g. after composition) stay readable and strides extract
+   cleanly. *)
+
+let rec add a b =
+  match (a, b) with
+  | Const 0, e | e, Const 0 -> e
+  | Const x, Const y -> Const (x + y)
+  | Add (x, Const c1), Const c2 -> add x (Const (c1 + c2))
+  | Const _, e -> Add (e, a)
+  | _ -> Add (a, b)
+
+let rec mul a b =
+  match (a, b) with
+  | Const 0, _ | _, Const 0 -> Const 0
+  | Const 1, e | e, Const 1 -> e
+  | Const x, Const y -> Const (x * y)
+  | Const _, e -> mul e a
+  | Add (x, y), (Const _ as c) -> add (mul x c) (mul y c)
+  | e, Const c -> Mul (e, Const c)
+  | _ -> raise (Not_affine "multiplication of two non-constant expressions")
+
+let floordiv a b =
+  match (a, b) with
+  | _, Const 0 -> invalid_arg "Affine.floordiv: division by zero"
+  | e, Const 1 -> e
+  | Const x, Const y ->
+    (* OCaml's / truncates towards zero; emulate floor semantics. *)
+    let q = x / y and r = x mod y in
+    Const (if r <> 0 && r * y < 0 then q - 1 else q)
+  | _, Const _ -> Floordiv (a, b)
+  | _ -> raise (Not_affine "floordiv by a non-constant expression")
+
+let ceildiv a b =
+  match (a, b) with
+  | _, Const 0 -> invalid_arg "Affine.ceildiv: division by zero"
+  | e, Const 1 -> e
+  | Const x, Const y ->
+    let q = x / y and r = x mod y in
+    Const (if r <> 0 && r * y > 0 then q + 1 else q)
+  | _, Const _ -> Ceildiv (a, b)
+  | _ -> raise (Not_affine "ceildiv by a non-constant expression")
+
+let modulo a b =
+  match (a, b) with
+  | _, Const 0 -> invalid_arg "Affine.modulo: modulo by zero"
+  | _, Const 1 -> Const 0
+  | Const x, Const y ->
+    let r = x mod y in
+    Const (if r <> 0 && r * y < 0 then r + y else r)
+  | _, Const _ -> Mod (a, b)
+  | _ -> raise (Not_affine "modulo by a non-constant expression")
+
+let neg e = mul e (Const (-1))
+let sub a b = add a (neg b)
+
+let rec eval_expr ~dims ~syms e =
+  let ev e = eval_expr ~dims ~syms e in
+  match e with
+  | Dim i ->
+    if i >= Array.length dims then invalid_arg "Affine.eval: dim out of range";
+    dims.(i)
+  | Sym i ->
+    if i >= Array.length syms then invalid_arg "Affine.eval: sym out of range";
+    syms.(i)
+  | Const c -> c
+  | Add (a, b) -> ev a + ev b
+  | Mul (a, b) -> ev a * ev b
+  | Floordiv (a, b) -> (
+    match floordiv (Const (ev a)) (Const (ev b)) with
+    | Const c -> c
+    | _ -> assert false)
+  | Ceildiv (a, b) -> (
+    match ceildiv (Const (ev a)) (Const (ev b)) with
+    | Const c -> c
+    | _ -> assert false)
+  | Mod (a, b) -> (
+    match modulo (Const (ev a)) (Const (ev b)) with
+    | Const c -> c
+    | _ -> assert false)
+
+(* Linear-form extraction: expression as (dim coefficients, sym
+   coefficients, constant). Raises [Not_affine] on floordiv/mod, which are
+   not linear. Used to derive SSR strides from indexing maps. *)
+let linear_form ~num_dims ~num_syms e =
+  let dcoef = Array.make num_dims 0 in
+  let scoef = Array.make num_syms 0 in
+  let cst = ref 0 in
+  let rec go scale = function
+    | Const c -> cst := !cst + (scale * c)
+    | Dim i -> dcoef.(i) <- dcoef.(i) + scale
+    | Sym i -> scoef.(i) <- scoef.(i) + scale
+    | Add (a, b) ->
+      go scale a;
+      go scale b
+    | Mul (a, Const c) -> go (scale * c) a
+    | Mul (Const c, a) -> go (scale * c) a
+    | Mul _ -> raise (Not_affine "non-linear multiplication")
+    | Floordiv _ | Ceildiv _ | Mod _ ->
+      raise (Not_affine "floordiv/ceildiv/mod are not linear")
+  in
+  go 1 e;
+  (dcoef, scoef, !cst)
+
+let rec subst_expr ~dims ~syms e =
+  let s e = subst_expr ~dims ~syms e in
+  match e with
+  | Dim i -> dims.(i)
+  | Sym i -> syms.(i)
+  | Const c -> Const c
+  | Add (a, b) -> add (s a) (s b)
+  | Mul (a, b) -> mul (s a) (s b)
+  | Floordiv (a, b) -> floordiv (s a) (s b)
+  | Ceildiv (a, b) -> ceildiv (s a) (s b)
+  | Mod (a, b) -> modulo (s a) (s b)
+
+let rec expr_equal a b =
+  match (a, b) with
+  | Dim i, Dim j | Sym i, Sym j -> i = j
+  | Const x, Const y -> x = y
+  | Add (a1, b1), Add (a2, b2)
+  | Mul (a1, b1), Mul (a2, b2)
+  | Floordiv (a1, b1), Floordiv (a2, b2)
+  | Ceildiv (a1, b1), Ceildiv (a2, b2)
+  | Mod (a1, b1), Mod (a2, b2) -> expr_equal a1 a2 && expr_equal b1 b2
+  | _ -> false
+
+(* Maps *)
+
+let rec max_indices e =
+  match e with
+  | Dim i -> (i + 1, 0)
+  | Sym i -> (0, i + 1)
+  | Const _ -> (0, 0)
+  | Add (a, b) | Mul (a, b) | Floordiv (a, b) | Ceildiv (a, b) | Mod (a, b) ->
+    let da, sa = max_indices a and db, sb = max_indices b in
+    (max da db, max sa sb)
+
+let make ~num_dims ~num_syms exprs =
+  List.iter
+    (fun e ->
+      let d, s = max_indices e in
+      if d > num_dims then invalid_arg "Affine.make: dim index out of range";
+      if s > num_syms then invalid_arg "Affine.make: sym index out of range")
+    exprs;
+  { num_dims; num_syms; exprs }
+
+let identity n = make ~num_dims:n ~num_syms:0 (List.init n dim)
+
+let constant_map cs =
+  make ~num_dims:0 ~num_syms:0 (List.map const cs)
+
+let empty n = make ~num_dims:n ~num_syms:0 []
+
+let num_results m = List.length m.exprs
+
+let eval m ~dims ?(syms = [||]) () =
+  if Array.length dims <> m.num_dims then
+    invalid_arg "Affine.eval: wrong number of dims";
+  if Array.length syms <> m.num_syms then
+    invalid_arg "Affine.eval: wrong number of syms";
+  List.map (eval_expr ~dims ~syms) m.exprs
+
+(* [compose f g] is the map x -> f (g x): g's results feed f's dims. *)
+let compose f g =
+  if num_results g <> f.num_dims then
+    invalid_arg "Affine.compose: result/dim arity mismatch";
+  let dims = Array.of_list g.exprs in
+  let syms = Array.init f.num_syms sym in
+  make ~num_dims:g.num_dims ~num_syms:(max f.num_syms g.num_syms)
+    (List.map (subst_expr ~dims ~syms) f.exprs)
+
+let equal m1 m2 =
+  m1.num_dims = m2.num_dims && m1.num_syms = m2.num_syms
+  && List.length m1.exprs = List.length m2.exprs
+  && List.for_all2 expr_equal m1.exprs m2.exprs
+
+(* Drop the given dimensions from the map's domain, renumbering the rest.
+   All dropped dims must be unused by the results. *)
+let drop_dims m drop =
+  let keep = List.filter (fun i -> not (List.mem i drop)) (List.init m.num_dims Fun.id) in
+  let renumber = Hashtbl.create 8 in
+  List.iteri (fun new_i old_i -> Hashtbl.add renumber old_i new_i) keep;
+  let dims =
+    Array.init m.num_dims (fun i ->
+        match Hashtbl.find_opt renumber i with
+        | Some j -> Dim j
+        | None -> Const 0)
+  in
+  let rec uses_dropped = function
+    | Dim i -> List.mem i drop
+    | Sym _ | Const _ -> false
+    | Add (a, b) | Mul (a, b) | Floordiv (a, b) | Ceildiv (a, b) | Mod (a, b)
+      -> uses_dropped a || uses_dropped b
+  in
+  List.iter
+    (fun e ->
+      if uses_dropped e then
+        invalid_arg "Affine.drop_dims: dropped dimension is used by a result")
+    m.exprs;
+  make ~num_dims:(List.length keep) ~num_syms:m.num_syms
+    (List.map (subst_expr ~dims ~syms:(Array.init m.num_syms sym)) m.exprs)
+
+(* Printing, in MLIR's syntax: (d0, d1)[s0] -> (d0 * 4 + d1) *)
+
+let rec pp_expr fmt = function
+  | Dim i -> Fmt.pf fmt "d%d" i
+  | Sym i -> Fmt.pf fmt "s%d" i
+  | Const c -> Fmt.int fmt c
+  | Add (a, Mul (b, Const -1)) -> Fmt.pf fmt "%a - %a" pp_expr a pp_paren b
+  | Add (a, Const c) when c < 0 -> Fmt.pf fmt "%a - %d" pp_expr a (-c)
+  | Add (a, b) -> Fmt.pf fmt "%a + %a" pp_expr a pp_expr b
+  | Mul (a, b) -> Fmt.pf fmt "%a * %a" pp_paren a pp_paren b
+  | Floordiv (a, b) -> Fmt.pf fmt "%a floordiv %a" pp_paren a pp_paren b
+  | Ceildiv (a, b) -> Fmt.pf fmt "%a ceildiv %a" pp_paren a pp_paren b
+  | Mod (a, b) -> Fmt.pf fmt "%a mod %a" pp_paren a pp_paren b
+
+and pp_paren fmt e =
+  match e with
+  | Dim _ | Sym _ | Const _ -> pp_expr fmt e
+  | _ -> Fmt.pf fmt "(%a)" pp_expr e
+
+let pp fmt m =
+  let pp_dims fmt n = Fmt.pf fmt "%a" Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") string)
+      (List.init n (Printf.sprintf "d%d")) in
+  Fmt.pf fmt "(%a)" pp_dims m.num_dims;
+  if m.num_syms > 0 then
+    Fmt.pf fmt "[%a]" Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") string)
+      (List.init m.num_syms (Printf.sprintf "s%d"));
+  Fmt.pf fmt " -> (%a)" Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") pp_expr) m.exprs
+
+let to_string m = Fmt.str "%a" pp m
+let expr_to_string e = Fmt.str "%a" pp_expr e

@@ -1,0 +1,87 @@
+(** Affine expressions and affine maps, modelled after MLIR's
+    [affine_map]. Used throughout the backend for [linalg] indexing maps
+    and for deriving Snitch SSR stride patterns (paper §3.2, §3.4). *)
+
+(** An affine expression over dimensions [d0, d1, ...] and symbols
+    [s0, s1, ...]. Construct via the smart constructors below, which
+    simplify constants and reject semi-affine (non-constant multiplier)
+    forms. *)
+type expr = private
+  | Dim of int
+  | Sym of int
+  | Const of int
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Floordiv of expr * expr
+  | Ceildiv of expr * expr
+  | Mod of expr * expr
+
+(** An affine map [(d0, ..., dn)[s0, ..., sm] -> (e0, ..., ek)]. *)
+type map = private { num_dims : int; num_syms : int; exprs : expr list }
+
+(** Raised when an operation would produce a non-affine expression, e.g.
+    multiplying two non-constant expressions. *)
+exception Not_affine of string
+
+val dim : int -> expr
+val sym : int -> expr
+val const : int -> expr
+
+val add : expr -> expr -> expr
+val sub : expr -> expr -> expr
+val neg : expr -> expr
+
+(** [mul a b] requires at least one side to be constant. *)
+val mul : expr -> expr -> expr
+
+(** Euclidean-style division/modulo with floor semantics, as in MLIR.
+    The right-hand side must be a constant. *)
+val floordiv : expr -> expr -> expr
+
+val ceildiv : expr -> expr -> expr
+val modulo : expr -> expr -> expr
+
+val is_const : expr -> bool
+val expr_equal : expr -> expr -> bool
+val eval_expr : dims:int array -> syms:int array -> expr -> int
+
+(** [subst_expr ~dims ~syms e] substitutes each dimension/symbol with the
+    given expression, re-simplifying through the smart constructors. *)
+val subst_expr : dims:expr array -> syms:expr array -> expr -> expr
+
+(** [linear_form ~num_dims ~num_syms e] decomposes a linear expression into
+    per-dimension coefficients, per-symbol coefficients and a constant.
+    Raises {!Not_affine} if [e] contains division or modulo. *)
+val linear_form : num_dims:int -> num_syms:int -> expr -> int array * int array * int
+
+(** [make ~num_dims ~num_syms exprs] builds a map, checking that every
+    dimension and symbol index referenced is in range. *)
+val make : num_dims:int -> num_syms:int -> expr list -> map
+
+(** [identity n] is [(d0, ..., dn-1) -> (d0, ..., dn-1)]. *)
+val identity : int -> map
+
+(** A map with no dimensions producing the given constants. *)
+val constant_map : int list -> map
+
+(** [empty n] is the map [(d0, ..., dn-1) -> ()]. *)
+val empty : int -> map
+
+val num_results : map -> int
+val eval : map -> dims:int array -> ?syms:int array -> unit -> int list
+
+(** [compose f g] is the map [x -> f (g x)]. The number of results of [g]
+    must equal the number of dimensions of [f]. *)
+val compose : map -> map -> map
+
+val equal : map -> map -> bool
+
+(** [drop_dims m dims] removes the given dimensions from the domain,
+    renumbering the remaining ones. The dropped dimensions must not appear
+    in any result expression. *)
+val drop_dims : map -> int list -> map
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> map -> unit
+val to_string : map -> string
+val expr_to_string : expr -> string

@@ -1,0 +1,119 @@
+(* Attributes: compile-time constant data attached to operations as a
+   key-value map (paper §2.1). A handful of domain-specific attributes
+   (iterator types, stride patterns) are first-class constructors rather
+   than encodings, which keeps the passes that consume them simple. *)
+
+type iterator = Parallel | Reduction | Interleaved
+
+(* A resolved stream stride pattern: upper bounds (outermost first) and
+   byte strides, as programmed into a Snitch SSR (paper §3.2 d). *)
+type stride_pattern = { ub : int list; strides : int list }
+
+(* A memref_stream-level stride pattern: upper bounds plus an affine
+   index map from iteration space to operand element space (Figure 7). *)
+type index_pattern = { ip_ub : int list; ip_map : Affine.map }
+
+type t =
+  | Unit_attr
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ty of Ty.t
+  | Arr of t list
+  | Dict of (string * t) list
+  | Affine_map of Affine.map
+  | Iterators of iterator list
+  | Stride_pattern of stride_pattern
+  | Index_pattern of index_pattern
+
+let iterator_to_string = function
+  | Parallel -> "parallel"
+  | Reduction -> "reduction"
+  | Interleaved -> "interleaved"
+
+let iterator_of_string = function
+  | "parallel" -> Parallel
+  | "reduction" -> Reduction
+  | "interleaved" -> Interleaved
+  | s -> invalid_arg ("Attr.iterator_of_string: " ^ s)
+
+let rec equal a b =
+  match (a, b) with
+  | Unit_attr, Unit_attr -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Ty x, Ty y -> Ty.equal x y
+  | Arr x, Arr y ->
+    List.length x = List.length y && List.for_all2 equal x y
+  | Dict x, Dict y ->
+    List.length x = List.length y
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && equal v1 v2) x y
+  | Affine_map x, Affine_map y -> Affine.equal x y
+  | Iterators x, Iterators y -> x = y
+  | Stride_pattern x, Stride_pattern y -> x = y
+  | Index_pattern x, Index_pattern y ->
+    x.ip_ub = y.ip_ub && Affine.equal x.ip_map y.ip_map
+  | _ -> false
+
+let rec pp fmt = function
+  | Unit_attr -> Fmt.string fmt "unit"
+  | Bool b -> Fmt.bool fmt b
+  | Int i -> Fmt.int fmt i
+  | Float f -> Fmt.pf fmt "%h" f
+  | Str s -> Fmt.pf fmt "%S" s
+  | Ty t -> Ty.pp fmt t
+  | Arr l -> Fmt.pf fmt "[%a]" Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") pp) l
+  | Dict l ->
+    Fmt.pf fmt "{%a}"
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") (fun fmt (k, v) -> Fmt.pf fmt "%s = %a" k pp v))
+      l
+  | Affine_map m -> Fmt.pf fmt "affine_map<%a>" Affine.pp m
+  | Iterators l ->
+    Fmt.pf fmt "#iterators<%a>"
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") (fun fmt i -> Fmt.string fmt (iterator_to_string i)))
+      l
+  | Stride_pattern { ub; strides } ->
+    Fmt.pf fmt "#stride_pattern<ub = [%a], strides = [%a]>"
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") int)
+      ub
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") int)
+      strides
+  | Index_pattern { ip_ub; ip_map } ->
+    Fmt.pf fmt "#stride_pattern<ub = [%a], index_map = %a>"
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") int)
+      ip_ub Affine.pp ip_map
+
+let to_string a = Fmt.str "%a" pp a
+
+(* Typed accessors; raise on shape mismatch, which indicates an internal
+   invariant violation rather than user error. *)
+
+let get_int = function Int i -> i | a -> invalid_arg ("Attr.get_int: " ^ to_string a)
+let get_float = function Float f -> f | a -> invalid_arg ("Attr.get_float: " ^ to_string a)
+let get_str = function Str s -> s | a -> invalid_arg ("Attr.get_str: " ^ to_string a)
+let get_bool = function Bool b -> b | a -> invalid_arg ("Attr.get_bool: " ^ to_string a)
+let get_ty = function Ty t -> t | a -> invalid_arg ("Attr.get_ty: " ^ to_string a)
+let get_arr = function Arr l -> l | a -> invalid_arg ("Attr.get_arr: " ^ to_string a)
+
+let get_affine_map = function
+  | Affine_map m -> m
+  | a -> invalid_arg ("Attr.get_affine_map: " ^ to_string a)
+
+let get_iterators = function
+  | Iterators l -> l
+  | a -> invalid_arg ("Attr.get_iterators: " ^ to_string a)
+
+let get_stride_pattern = function
+  | Stride_pattern p -> p
+  | a -> invalid_arg ("Attr.get_stride_pattern: " ^ to_string a)
+
+let get_index_pattern = function
+  | Index_pattern p -> p
+  | a -> invalid_arg ("Attr.get_index_pattern: " ^ to_string a)
+
+let int_arr l = Arr (List.map (fun i -> Int i) l)
+
+let get_int_arr a = List.map get_int (get_arr a)

@@ -1,0 +1,62 @@
+(** Attributes: compile-time constant data attached to operations as a
+    key-value map (paper §2.1). A handful of domain-specific attributes
+    (iterator kinds, stream stride patterns) are first-class constructors
+    rather than generic encodings, keeping the passes that consume them
+    simple and typed. *)
+
+(** Iterator kinds of a [linalg]/[memref_stream] generic.
+    [Interleaved] marks the trailing dimension materialised by
+    unroll-and-jam (paper §3.4, Figure 7). *)
+type iterator = Parallel | Reduction | Interleaved
+
+(** A resolved SSR stream pattern: per-dimension upper bounds (outermost
+    first) and byte strides, as programmed into a Snitch data mover
+    (paper §3.2). *)
+type stride_pattern = { ub : int list; strides : int list }
+
+(** A memref_stream-level pattern: iteration bounds plus the affine map
+    from iteration space to operand element coordinates (Figure 7's
+    [#memref_stream.stride_pattern]). *)
+type index_pattern = { ip_ub : int list; ip_map : Affine.map }
+
+type t =
+  | Unit_attr
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ty of Ty.t
+  | Arr of t list
+  | Dict of (string * t) list
+  | Affine_map of Affine.map
+  | Iterators of iterator list
+  | Stride_pattern of stride_pattern
+  | Index_pattern of index_pattern
+
+val iterator_to_string : iterator -> string
+
+(** Raises [Invalid_argument] on unknown names. *)
+val iterator_of_string : string -> iterator
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Typed accessors; each raises [Invalid_argument] on a shape mismatch
+    (which indicates a compiler bug, not user error). *)
+
+val get_int : t -> int
+val get_float : t -> float
+val get_str : t -> string
+val get_bool : t -> bool
+val get_ty : t -> Ty.t
+val get_arr : t -> t list
+val get_affine_map : t -> Affine.map
+val get_iterators : t -> iterator list
+val get_stride_pattern : t -> stride_pattern
+val get_index_pattern : t -> index_pattern
+
+(** [int_arr [1;2]] is [Arr [Int 1; Int 2]]. *)
+val int_arr : int list -> t
+
+val get_int_arr : t -> int list

@@ -1,0 +1,55 @@
+(* Insertion-point-based IR construction, mirroring MLIR's OpBuilder.
+   Dialect smart constructors take a builder and append their op at the
+   current insertion point, returning result values. *)
+
+type point = At_end of Ir.block | Before of Ir.op | After of Ir.op
+
+type t = { mutable point : point }
+
+let at_end block = { point = At_end block }
+let before op = { point = Before op }
+let after op = { point = After op }
+
+let set_insertion_point_to_end t block = t.point <- At_end block
+let set_insertion_point_before t op = t.point <- Before op
+let set_insertion_point_after t op = t.point <- After op
+
+let insertion_block t =
+  match t.point with
+  | At_end b -> b
+  | Before op | After op -> (
+    match Ir.Op.parent op with
+    | Some b -> b
+    | None -> invalid_arg "Builder.insertion_block: anchor op is detached")
+
+(* Insert an already-created op at the insertion point. For [After]
+   anchors the point advances past the inserted op, so a sequence of
+   insertions stays in program order. *)
+let insert t op =
+  (match t.point with
+  | At_end b -> Ir.Block.append b op
+  | Before anchor -> Ir.Op.insert_before ~anchor op
+  | After anchor ->
+    Ir.Op.insert_after ~anchor op;
+    t.point <- After op);
+  op
+
+(* Create and insert; returns the op. *)
+let create t ?attrs ?regions ?successors ~results name operands =
+  insert t (Ir.Op.create ?attrs ?regions ?successors ~results name operands)
+
+(* Create and insert an op with exactly one result; returns the value. *)
+let create1 t ?attrs ?regions ?successors ~result name operands =
+  let op = create t ?attrs ?regions ?successors ~results:[ result ] name operands in
+  Ir.Op.result op 0
+
+(* Create and insert a zero-result op. *)
+let create0 t ?attrs ?regions ?successors name operands =
+  ignore (create t ?attrs ?regions ?successors ~results:[] name operands)
+
+(* Run [f] with the insertion point moved to the end of [block], restoring
+   the previous point afterwards. *)
+let within t block f =
+  let saved = t.point in
+  t.point <- At_end block;
+  Fun.protect ~finally:(fun () -> t.point <- saved) f

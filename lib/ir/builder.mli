@@ -1,0 +1,58 @@
+(** Insertion-point-based IR construction, mirroring MLIR's OpBuilder.
+    Dialect smart constructors take a builder, append their op at the
+    current insertion point and return result values. *)
+
+type point = At_end of Ir.block | Before of Ir.op | After of Ir.op
+
+type t = { mutable point : point }
+
+val at_end : Ir.block -> t
+val before : Ir.op -> t
+val after : Ir.op -> t
+val set_insertion_point_to_end : t -> Ir.block -> unit
+val set_insertion_point_before : t -> Ir.op -> unit
+val set_insertion_point_after : t -> Ir.op -> unit
+
+(** The block the next insertion lands in. *)
+val insertion_block : t -> Ir.block
+
+(** Insert an already-created (detached) op at the insertion point. With
+    an [After] anchor the point advances past the inserted op, so
+    consecutive insertions stay in program order. Returns the op. *)
+val insert : t -> Ir.op -> Ir.op
+
+(** Create and insert; returns the op. *)
+val create :
+  t ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Ir.region list ->
+  ?successors:Ir.block list ->
+  results:Ty.t list ->
+  string ->
+  Ir.value list ->
+  Ir.op
+
+(** Create and insert an op with exactly one result; returns the value. *)
+val create1 :
+  t ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Ir.region list ->
+  ?successors:Ir.block list ->
+  result:Ty.t ->
+  string ->
+  Ir.value list ->
+  Ir.value
+
+(** Create and insert a zero-result op. *)
+val create0 :
+  t ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Ir.region list ->
+  ?successors:Ir.block list ->
+  string ->
+  Ir.value list ->
+  unit
+
+(** Run [f] with the insertion point at the end of [block], restoring the
+    previous point afterwards. *)
+val within : t -> Ir.block -> (unit -> 'a) -> 'a

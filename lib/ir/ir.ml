@@ -1,0 +1,425 @@
+(* The core SSA-with-regions IR (paper §2.1).
+
+   The representation mirrors MLIR/xDSL: operations hold operands,
+   results, attributes and regions; regions hold blocks; blocks hold a
+   doubly-linked list of operations plus block arguments. Values know
+   their definition and maintain an explicit use list, enabling O(1)
+   replace-all-uses and in-place rewriting during progressive lowering.
+
+   All structures are identified by a process-unique integer id; equality
+   is physical. *)
+
+type value = {
+  vid : int;
+  mutable vty : Ty.t;
+  vdef : vdef;
+  mutable uses : use list;
+}
+
+and vdef = Op_result of op * int | Block_arg of block * int
+
+and use = { user : op; index : int }
+
+and op = {
+  oid : int;
+  mutable op_name : string;
+  mutable operands : value array;
+  mutable results : value array;
+  mutable attrs : (string * Attr.t) list;
+  mutable regions : region list;
+  mutable successors : block list;
+  mutable op_parent : block option;
+  mutable prev : op option;
+  mutable next : op option;
+}
+
+and block = {
+  bid : int;
+  mutable args : value array;
+  mutable first : op option;
+  mutable last : op option;
+  mutable blk_parent : region option;
+}
+
+and region = { rid : int; mutable blocks : block list; mutable rgn_parent : op option }
+
+let next_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+module Value = struct
+  type t = value
+
+  let equal a b = a == b
+  let id v = v.vid
+  let ty v = v.vty
+  let set_ty v ty = v.vty <- ty
+  let def v = v.vdef
+  let uses v = v.uses
+
+  let defining_op v =
+    match v.vdef with Op_result (op, _) -> Some op | Block_arg _ -> None
+
+  let owner_block v =
+    match v.vdef with
+    | Op_result (op, _) -> op.op_parent
+    | Block_arg (b, _) -> Some b
+
+  let has_uses v = v.uses <> []
+  let num_uses v = List.length v.uses
+
+  let add_use v use = v.uses <- use :: v.uses
+
+  let remove_use v ~user ~index =
+    v.uses <-
+      List.filter (fun u -> not (u.user == user && u.index = index)) v.uses
+
+  let pp fmt v = Fmt.pf fmt "%%%d : %a" v.vid Ty.pp v.vty
+end
+
+module Op = struct
+  type t = op
+
+  let equal a b = a == b
+  let id op = op.oid
+  let name op = op.op_name
+  let operands op = Array.to_list op.operands
+  let operand op i = op.operands.(i)
+  let num_operands op = Array.length op.operands
+  let results op = Array.to_list op.results
+  let result op i = op.results.(i)
+  let num_results op = Array.length op.results
+  let regions op = op.regions
+  let region op i = List.nth op.regions i
+  let successors op = op.successors
+  let parent op = op.op_parent
+  let attrs op = op.attrs
+
+  let attr op key = List.assoc_opt key op.attrs
+
+  let attr_exn op key =
+    match attr op key with
+    | Some a -> a
+    | None ->
+      invalid_arg (Printf.sprintf "Op.attr_exn: %s has no attr %s" op.op_name key)
+
+  let set_attr op key v =
+    op.attrs <- (key, v) :: List.remove_assoc key op.attrs
+
+  let remove_attr op key = op.attrs <- List.remove_assoc key op.attrs
+
+  let has_attr op key = List.mem_assoc key op.attrs
+
+  let create ?(attrs = []) ?(regions = []) ?(successors = []) ~results name
+      operands =
+    let operands = Array.of_list operands in
+    let op =
+      {
+        oid = next_id ();
+        op_name = name;
+        operands;
+        results = [||];
+        attrs;
+        regions;
+        successors;
+        op_parent = None;
+        prev = None;
+        next = None;
+      }
+    in
+    op.results <-
+      Array.of_list
+        (List.mapi
+           (fun i ty ->
+             { vid = next_id (); vty = ty; vdef = Op_result (op, i); uses = [] })
+           results);
+    Array.iteri (fun i v -> Value.add_use v { user = op; index = i }) operands;
+    List.iter (fun r -> r.rgn_parent <- Some op) regions;
+    op
+
+  (* Append a fresh result value of the given type (used by transforms
+     that extend loop-carried state, e.g. induction-variable strength
+     reduction). *)
+  let add_result op ty =
+    let i = Array.length op.results in
+    let v = { vid = next_id (); vty = ty; vdef = Op_result (op, i); uses = [] } in
+    op.results <- Array.append op.results [| v |];
+    v
+
+  let set_operand op i v =
+    Value.remove_use op.operands.(i) ~user:op ~index:i;
+    op.operands.(i) <- v;
+    Value.add_use v { user = op; index = i }
+
+  let set_operands op vs =
+    Array.iteri (fun i v -> Value.remove_use v ~user:op ~index:i) op.operands;
+    op.operands <- Array.of_list vs;
+    Array.iteri (fun i v -> Value.add_use v { user = op; index = i }) op.operands
+
+  (* Structural iteration over the op's regions' blocks' ops. *)
+  let iter_nested_ops op f =
+    let rec go op =
+      List.iter
+        (fun r ->
+          List.iter
+            (fun b ->
+              let cur = ref b.first in
+              while !cur <> None do
+                let o = Option.get !cur in
+                (* Capture [next] before [f] in case [f] erases [o]. *)
+                let nxt = o.next in
+                f o;
+                go o;
+                cur := nxt
+              done)
+            r.blocks)
+        op.regions
+    in
+    go op
+
+  (* Unlink from the containing block without touching uses. *)
+  let unlink op =
+    (match op.op_parent with
+    | None -> ()
+    | Some b ->
+      (match op.prev with
+      | Some p -> p.next <- op.next
+      | None -> b.first <- op.next);
+      (match op.next with
+      | Some n -> n.prev <- op.prev
+      | None -> b.last <- op.prev));
+    op.op_parent <- None;
+    op.prev <- None;
+    op.next <- None
+
+  let insert_before ~anchor op =
+    assert (op.op_parent = None);
+    let b =
+      match anchor.op_parent with
+      | Some b -> b
+      | None -> invalid_arg "Op.insert_before: anchor is detached"
+    in
+    op.op_parent <- Some b;
+    op.prev <- anchor.prev;
+    op.next <- Some anchor;
+    (match anchor.prev with
+    | Some p -> p.next <- Some op
+    | None -> b.first <- Some op);
+    anchor.prev <- Some op
+
+  let insert_after ~anchor op =
+    assert (op.op_parent = None);
+    let b =
+      match anchor.op_parent with
+      | Some b -> b
+      | None -> invalid_arg "Op.insert_after: anchor is detached"
+    in
+    op.op_parent <- Some b;
+    op.next <- anchor.next;
+    op.prev <- Some anchor;
+    (match anchor.next with
+    | Some n -> n.prev <- Some op
+    | None -> b.last <- Some op);
+    anchor.next <- Some op
+
+  (* Erase the op: it must have no remaining uses of its results. Drops
+     operand uses and recursively erases nested ops. *)
+  let rec erase op =
+    Array.iter
+      (fun r ->
+        if Value.has_uses r then
+          invalid_arg
+            (Printf.sprintf "Op.erase: %s result %%%d still has uses" op.op_name
+               r.vid))
+      op.results;
+    List.iter
+      (fun rg ->
+        List.iter
+          (fun b ->
+            let cur = ref b.last in
+            while !cur <> None do
+              let o = Option.get !cur in
+              let prv = o.prev in
+              erase o;
+              cur := prv
+            done)
+          rg.blocks)
+      op.regions;
+    Array.iteri (fun i v -> Value.remove_use v ~user:op ~index:i) op.operands;
+    op.operands <- [||];
+    unlink op
+
+  let is_before ~anchor op =
+    (* Both in the same block: is [op] strictly before [anchor]? *)
+    let rec go cur =
+      match cur with
+      | None -> false
+      | Some o -> if o == anchor then false else if o == op then true else go o.next
+    in
+    match (op.op_parent, anchor.op_parent) with
+    | Some b1, Some b2 when b1 == b2 -> go b1.first
+    | _ -> invalid_arg "Op.is_before: ops not in the same block"
+
+  let pp_name fmt op = Fmt.pf fmt "%s" op.op_name
+end
+
+module Block = struct
+  type t = block
+
+  let equal a b = a == b
+  let id b = b.bid
+
+  let create ?(args = []) () =
+    let b = { bid = next_id (); args = [||]; first = None; last = None; blk_parent = None } in
+    b.args <-
+      Array.of_list
+        (List.mapi
+           (fun i ty ->
+             { vid = next_id (); vty = ty; vdef = Block_arg (b, i); uses = [] })
+           args);
+    b
+
+  let args b = Array.to_list b.args
+  let arg b i = b.args.(i)
+  let num_args b = Array.length b.args
+  let parent b = b.blk_parent
+
+  let parent_op b =
+    match b.blk_parent with None -> None | Some r -> r.rgn_parent
+
+  let add_arg b ty =
+    let i = Array.length b.args in
+    let v = { vid = next_id (); vty = ty; vdef = Block_arg (b, i); uses = [] } in
+    b.args <- Array.append b.args [| v |];
+    v
+
+  let first_op b = b.first
+  let last_op b = b.last
+
+  let append b op =
+    assert (op.op_parent = None);
+    op.op_parent <- Some b;
+    op.prev <- b.last;
+    op.next <- None;
+    (match b.last with Some l -> l.next <- Some op | None -> b.first <- Some op);
+    b.last <- Some op
+
+  let prepend b op =
+    assert (op.op_parent = None);
+    op.op_parent <- Some b;
+    op.next <- b.first;
+    op.prev <- None;
+    (match b.first with Some f -> f.prev <- Some op | None -> b.last <- Some op);
+    b.first <- Some op
+
+  let iter_ops b f =
+    let cur = ref b.first in
+    while !cur <> None do
+      let o = Option.get !cur in
+      let nxt = o.next in
+      f o;
+      cur := nxt
+    done
+
+  let rev_iter_ops b f =
+    let cur = ref b.last in
+    while !cur <> None do
+      let o = Option.get !cur in
+      let prv = o.prev in
+      f o;
+      cur := prv
+    done
+
+  let fold_ops b ~init ~f =
+    let acc = ref init in
+    iter_ops b (fun o -> acc := f !acc o);
+    !acc
+
+  let ops b = List.rev (fold_ops b ~init:[] ~f:(fun acc o -> o :: acc))
+  let num_ops b = fold_ops b ~init:0 ~f:(fun n _ -> n + 1)
+
+  let terminator b = b.last
+end
+
+module Region = struct
+  type t = region
+
+  let create ?(blocks = []) () =
+    let r = { rid = next_id (); blocks; rgn_parent = None } in
+    List.iter (fun b -> b.blk_parent <- Some r) blocks;
+    r
+
+  let blocks r = r.blocks
+  let parent_op r = r.rgn_parent
+
+  let add_block r b =
+    b.blk_parent <- Some r;
+    r.blocks <- r.blocks @ [ b ]
+
+  let first_block r =
+    match r.blocks with [] -> None | b :: _ -> Some b
+
+  let only_block r =
+    match r.blocks with
+    | [ b ] -> b
+    | _ -> invalid_arg "Region.only_block: region does not have exactly one block"
+
+  (* A single-block region wrapping the given args. *)
+  let single_block ?(args = []) () =
+    let b = Block.create ~args () in
+    create ~blocks:[ b ] ()
+end
+
+(* Replace every use of [v] with [with_]. *)
+let replace_all_uses v ~with_ =
+  if not (Value.equal v with_) then begin
+    let uses = v.uses in
+    v.uses <- [];
+    List.iter
+      (fun { user; index } ->
+        user.operands.(index) <- with_;
+        Value.add_use with_ { user; index })
+      uses
+  end
+
+(* Walk all ops nested under [op] (excluding [op] itself), pre-order. *)
+let walk op f = Op.iter_nested_ops op f
+
+(* Walk including the op itself. *)
+let walk_incl op f =
+  f op;
+  walk op f
+
+(* Collect nested ops matching a predicate. *)
+let collect op pred =
+  let acc = ref [] in
+  walk op (fun o -> if pred o then acc := o :: !acc);
+  List.rev !acc
+
+let find_first op pred =
+  let exception Found of op in
+  try
+    walk op (fun o -> if pred o then raise (Found o));
+    None
+  with Found o -> Some o
+
+(* The top-level module op. *)
+module Module_ = struct
+  let create () = Op.create ~regions:[ Region.single_block () ] ~results:[] "builtin.module" []
+
+  let body m =
+    match m.regions with
+    | [ r ] -> Region.only_block r
+    | _ -> invalid_arg "Module_.body: malformed module"
+end
+
+(* Enclosing ancestor op of [op] satisfying [pred], if any. *)
+let rec ancestor_op op pred =
+  match op.op_parent with
+  | None -> None
+  | Some b -> (
+    match Block.parent_op b with
+    | None -> None
+    | Some p -> if pred p then Some p else ancestor_op p pred)

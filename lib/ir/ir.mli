@@ -1,0 +1,243 @@
+(** The core SSA-with-regions IR (paper §2.1).
+
+    The representation mirrors MLIR/xDSL: operations hold operands,
+    results, attributes and regions; regions hold blocks; blocks hold a
+    doubly-linked list of operations plus block arguments. Values know
+    their definition and maintain an explicit use list, enabling O(1)
+    replace-all-uses and in-place rewriting during progressive lowering.
+
+    The types are exposed concretely — passes are allowed to restructure
+    the IR directly (e.g. detach a region to re-attach it to a
+    replacement op) — but everyday construction and traversal should go
+    through the {!Op}/{!Block}/{!Region} functions and {!Builder}, which
+    maintain the use-list and parent-link invariants that {!Verifier}
+    checks. Identity is by the process-unique [*id] fields; equality of
+    any structure is physical. *)
+
+type value = {
+  vid : int;
+  mutable vty : Ty.t;
+  vdef : vdef;
+  mutable uses : use list;
+}
+
+and vdef = Op_result of op * int | Block_arg of block * int
+
+and use = { user : op; index : int }
+
+and op = {
+  oid : int;
+  mutable op_name : string;
+  mutable operands : value array;
+  mutable results : value array;
+  mutable attrs : (string * Attr.t) list;
+  mutable regions : region list;
+  mutable successors : block list;
+  mutable op_parent : block option;
+  mutable prev : op option;
+  mutable next : op option;
+}
+
+and block = {
+  bid : int;
+  mutable args : value array;
+  mutable first : op option;
+  mutable last : op option;
+  mutable blk_parent : region option;
+}
+
+and region = {
+  rid : int;
+  mutable blocks : block list;
+  mutable rgn_parent : op option;
+}
+
+(** A fresh process-unique id (used internally; exposed for tools that
+    need to mint identities consistent with the IR's). *)
+val next_id : unit -> int
+
+(** SSA values. *)
+module Value : sig
+  type t = value
+
+  val equal : t -> t -> bool
+  val id : t -> int
+  val ty : t -> Ty.t
+
+  (** Mutate the value's type in place — how the register allocator
+      records assignments (an unallocated [!rv.reg] becomes
+      [!rv.reg<t0>]). *)
+  val set_ty : t -> Ty.t -> unit
+
+  val def : t -> vdef
+
+  (** The op producing this value, or [None] for block arguments. *)
+  val defining_op : t -> op option
+
+  (** The block containing the definition (the defining op's block, or
+      the block whose argument this is). *)
+  val owner_block : t -> block option
+
+  val uses : t -> use list
+  val has_uses : t -> bool
+  val num_uses : t -> int
+
+  (** Low-level use-list maintenance; {!Op.set_operand} and friends call
+      these — passes normally never should. *)
+  val add_use : t -> use -> unit
+
+  val remove_use : t -> user:op -> index:int -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Operations. *)
+module Op : sig
+  type t = op
+
+  val equal : t -> t -> bool
+  val id : t -> int
+  val name : t -> string
+  val operands : t -> value list
+  val operand : t -> int -> value
+  val num_operands : t -> int
+  val results : t -> value list
+  val result : t -> int -> value
+  val num_results : t -> int
+  val regions : t -> region list
+  val region : t -> int -> region
+  val successors : t -> block list
+  val parent : t -> block option
+  val attrs : t -> (string * Attr.t) list
+  val attr : t -> string -> Attr.t option
+
+  (** Like {!attr} but raises [Invalid_argument] when absent. *)
+  val attr_exn : t -> string -> Attr.t
+
+  val set_attr : t -> string -> Attr.t -> unit
+  val remove_attr : t -> string -> unit
+  val has_attr : t -> string -> bool
+
+  (** Create a detached op. Result values are created from the [results]
+      type list; operand use-lists and region parent links are wired up.
+      Insert with {!insert_before}/{!insert_after}/{!Block.append}. *)
+  val create :
+    ?attrs:(string * Attr.t) list ->
+    ?regions:region list ->
+    ?successors:block list ->
+    results:Ty.t list ->
+    string ->
+    value list ->
+    t
+
+  (** Replace one operand, maintaining use lists. *)
+  val set_operand : t -> int -> value -> unit
+
+  (** Replace all operands, maintaining use lists. *)
+  val set_operands : t -> value list -> unit
+
+  (** Append a fresh result value of the given type (used by transforms
+      that extend loop-carried state, e.g. induction-variable strength
+      reduction). *)
+  val add_result : t -> Ty.t -> value
+
+  (** Apply [f] to every op nested under this one (not the op itself),
+      pre-order; [f] may erase the op it receives. *)
+  val iter_nested_ops : t -> (t -> unit) -> unit
+
+  (** Remove from the containing block without touching uses. *)
+  val unlink : t -> unit
+
+  val insert_before : anchor:t -> t -> unit
+  val insert_after : anchor:t -> t -> unit
+
+  (** Erase the op and its nested ops. Raises [Invalid_argument] if any
+      result still has uses. *)
+  val erase : t -> unit
+
+  (** [is_before ~anchor op] — is [op] strictly before [anchor] in their
+      (shared) block? Raises if they are in different blocks. *)
+  val is_before : anchor:t -> t -> bool
+
+  val pp_name : Format.formatter -> t -> unit
+end
+
+(** Basic blocks: straight-line op sequences with arguments. *)
+module Block : sig
+  type t = block
+
+  val equal : t -> t -> bool
+  val id : t -> int
+
+  (** A detached block with arguments of the given types. *)
+  val create : ?args:Ty.t list -> unit -> t
+
+  val args : t -> value list
+  val arg : t -> int -> value
+  val num_args : t -> int
+  val parent : t -> region option
+
+  (** The op owning the region this block belongs to. *)
+  val parent_op : t -> op option
+
+  val add_arg : t -> Ty.t -> value
+  val first_op : t -> op option
+  val last_op : t -> op option
+  val append : t -> op -> unit
+  val prepend : t -> op -> unit
+
+  (** Iterate ops in order; the callback may erase the current op. *)
+  val iter_ops : t -> (op -> unit) -> unit
+
+  (** Iterate ops in reverse order (the register allocator's walk). *)
+  val rev_iter_ops : t -> (op -> unit) -> unit
+
+  val fold_ops : t -> init:'a -> f:('a -> op -> 'a) -> 'a
+  val ops : t -> op list
+  val num_ops : t -> int
+
+  (** The last op of the block ([None] when empty). *)
+  val terminator : t -> op option
+end
+
+(** Regions: block lists owned by an operation. *)
+module Region : sig
+  type t = region
+
+  val create : ?blocks:block list -> unit -> t
+  val blocks : t -> block list
+  val parent_op : t -> op option
+  val add_block : t -> block -> unit
+  val first_block : t -> block option
+
+  (** Raises [Invalid_argument] unless the region has exactly one block. *)
+  val only_block : t -> block
+
+  (** A fresh region holding one block with the given argument types. *)
+  val single_block : ?args:Ty.t list -> unit -> t
+end
+
+(** Redirect every use of a value to another (O(uses)). *)
+val replace_all_uses : value -> with_:value -> unit
+
+(** Pre-order walk over all ops strictly nested under [op]. *)
+val walk : op -> (op -> unit) -> unit
+
+(** Like {!walk} but visiting [op] itself first. *)
+val walk_incl : op -> (op -> unit) -> unit
+
+(** Nested ops satisfying the predicate, in walk order. *)
+val collect : op -> (op -> bool) -> op list
+
+(** First nested op satisfying the predicate, if any. *)
+val find_first : op -> (op -> bool) -> op option
+
+(** The top-level [builtin.module] op. *)
+module Module_ : sig
+  val create : unit -> op
+
+  (** The single block of the module's region. *)
+  val body : op -> block
+end
+
+(** Closest enclosing ancestor op of [op] satisfying [pred]. *)
+val ancestor_op : op -> (op -> bool) -> op option

@@ -1,0 +1,225 @@
+(* A small hand-written lexer for the generic IR syntax produced by
+   {!Printer}. Kept deliberately simple: the token set covers exactly
+   what the printer emits. *)
+
+type token =
+  | Ident of string (* foo, f64, parallel, affine_map, unit *)
+  | Bang_ident of string (* !rv.reg, !stream.readable *)
+  | Hash_ident of string (* #iterators, #stride_pattern *)
+  | Value_id of string (* %0, %arg3 *)
+  | Block_id of string (* ^bb0 *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Less
+  | Greater
+  | Comma
+  | Colon
+  | Equal
+  | Arrow (* -> *)
+  | Plus
+  | Minus
+  | Star
+  | Eof
+
+exception Lex_error of string * int (* message, offset *)
+
+type t = { src : string; mutable pos : int; mutable tok : token }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t = t.pos <- t.pos + 1
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance t;
+    skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+    while peek_char t <> None && peek_char t <> Some '\n' do
+      advance t
+    done;
+    skip_ws t
+  | _ -> ()
+
+let read_while t pred =
+  let start = t.pos in
+  while match peek_char t with Some c -> pred c | None -> false do
+    advance t
+  done;
+  String.sub t.src start (t.pos - start)
+
+let read_number t =
+  let start = t.pos in
+  if peek_char t = Some '-' then advance t;
+  if peek_char t = Some '0' && t.pos + 1 < String.length t.src
+     && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X')
+  then begin
+    (* Hex literal: either an integer or a %h float like 0x1.8p+1. *)
+    advance t;
+    advance t;
+    let _ =
+      read_while t (fun c ->
+          is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F'))
+    in
+    let is_float = ref false in
+    if peek_char t = Some '.' then begin
+      is_float := true;
+      advance t;
+      ignore
+        (read_while t (fun c ->
+             is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')))
+    end;
+    (match peek_char t with
+    | Some ('p' | 'P') ->
+      is_float := true;
+      advance t;
+      (match peek_char t with Some ('+' | '-') -> advance t | _ -> ());
+      ignore (read_while t is_digit)
+    | _ -> ());
+    let s = String.sub t.src start (t.pos - start) in
+    if !is_float then
+      match float_of_string_opt s with
+      | Some f -> Float_lit f
+      | None -> raise (Lex_error (Printf.sprintf "malformed float %S" s, start))
+    else
+      match int_of_string_opt s with
+      | Some i -> Int_lit i
+      | None -> raise (Lex_error (Printf.sprintf "malformed integer %S" s, start))
+  end
+  else begin
+    ignore (read_while t is_digit);
+    let is_float = ref false in
+    if peek_char t = Some '.'
+       && t.pos + 1 < String.length t.src
+       && is_digit t.src.[t.pos + 1]
+    then begin
+      is_float := true;
+      advance t;
+      ignore (read_while t is_digit)
+    end;
+    (match peek_char t with
+    | Some ('e' | 'E') ->
+      is_float := true;
+      advance t;
+      (match peek_char t with Some ('+' | '-') -> advance t | _ -> ());
+      ignore (read_while t is_digit)
+    | _ -> ());
+    let s = String.sub t.src start (t.pos - start) in
+    if !is_float then
+      match float_of_string_opt s with
+      | Some f -> Float_lit f
+      | None -> raise (Lex_error (Printf.sprintf "malformed float %S" s, start))
+    else
+      match int_of_string_opt s with
+      | Some i -> Int_lit i
+      | None -> raise (Lex_error (Printf.sprintf "malformed integer %S" s, start))
+  end
+
+let read_string t =
+  (* Opening quote already consumed. *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char t with
+    | None -> raise (Lex_error ("unterminated string literal", t.pos))
+    | Some '"' -> advance t
+    | Some '\\' ->
+      advance t;
+      (match peek_char t with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some c -> Buffer.add_char buf c
+      | None -> raise (Lex_error ("unterminated escape", t.pos)));
+      advance t;
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance t;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token t =
+  skip_ws t;
+  match peek_char t with
+  | None -> Eof
+  | Some c -> (
+    match c with
+    | '(' -> advance t; Lparen
+    | ')' -> advance t; Rparen
+    | '{' -> advance t; Lbrace
+    | '}' -> advance t; Rbrace
+    | '[' -> advance t; Lbracket
+    | ']' -> advance t; Rbracket
+    | '<' -> advance t; Less
+    | '>' -> advance t; Greater
+    | ',' -> advance t; Comma
+    | ':' -> advance t; Colon
+    | '=' -> advance t; Equal
+    | '+' -> advance t; Plus
+    | '*' -> advance t; Star
+    | '"' ->
+      advance t;
+      Str_lit (read_string t)
+    | '%' ->
+      advance t;
+      Value_id ("%" ^ read_while t is_ident_char)
+    | '^' ->
+      advance t;
+      Block_id ("^" ^ read_while t is_ident_char)
+    | '!' ->
+      advance t;
+      Bang_ident ("!" ^ read_while t is_ident_char)
+    | '#' ->
+      advance t;
+      Hash_ident ("#" ^ read_while t is_ident_char)
+    | '-' ->
+      if t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '>' then begin
+        advance t;
+        advance t;
+        Arrow
+      end
+      else if t.pos + 1 < String.length t.src && is_digit t.src.[t.pos + 1] then
+        read_number t
+      else begin
+        advance t;
+        Minus
+      end
+    | c when is_digit c -> read_number t
+    | c when is_ident_start c -> Ident (read_while t is_ident_char)
+    | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, t.pos)))
+
+let create src =
+  let t = { src; pos = 0; tok = Eof } in
+  t.tok <- next_token t;
+  t
+
+let peek t = t.tok
+let next t = t.tok <- next_token t
+
+let token_to_string = function
+  | Ident s | Bang_ident s | Hash_ident s | Value_id s | Block_id s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> Printf.sprintf "%S" s
+  | Lparen -> "(" | Rparen -> ")" | Lbrace -> "{" | Rbrace -> "}"
+  | Lbracket -> "[" | Rbracket -> "]" | Less -> "<" | Greater -> ">"
+  | Comma -> "," | Colon -> ":" | Equal -> "=" | Arrow -> "->"
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Eof -> "<eof>"

@@ -1,0 +1,36 @@
+(** Hand-written lexer for the generic IR syntax of {!Printer}/{!Parser}. *)
+
+type token =
+  | Ident of string
+  | Bang_ident of string  (** !rv.reg, !stream.readable *)
+  | Hash_ident of string  (** #iterators, #stride_pattern *)
+  | Value_id of string  (** %0 *)
+  | Block_id of string  (** ^bb0 *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Less
+  | Greater
+  | Comma
+  | Colon
+  | Equal
+  | Arrow
+  | Plus
+  | Minus
+  | Star
+  | Eof
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+type t = { src : string; mutable pos : int; mutable tok : token }
+
+val create : string -> t
+val peek : t -> token
+val next : t -> unit
+val token_to_string : token -> string

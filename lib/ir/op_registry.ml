@@ -1,0 +1,85 @@
+(* A registry of operation metadata, the OCaml counterpart of MLIR's
+   dialect registration. Dialect modules register their ops at module
+   initialisation time; the verifier and generic transforms consult the
+   registry for structural facts (terminator-ness, purity) and per-op
+   invariants.
+
+   Unregistered op names are allowed (verified structurally only), which
+   keeps tests and experiments with ad-hoc ops cheap. *)
+
+type info = {
+  dialect : string;
+  op : string; (* short name, e.g. "addf" *)
+  terminator : bool;
+  pure : bool;
+  (* Per-op structural verification; raises [Failure] with a message on
+     violation. *)
+  verify : Ir.op -> unit;
+}
+
+let registry : (string, info) Hashtbl.t = Hashtbl.create 256
+
+let no_verify (_ : Ir.op) = ()
+
+let register ?(terminator = false) ?(pure = false) ?(verify = no_verify) name =
+  (match String.index_opt name '.' with
+  | None -> invalid_arg ("Op_registry.register: missing dialect prefix: " ^ name)
+  | Some i ->
+    let dialect = String.sub name 0 i in
+    let op = String.sub name (i + 1) (String.length name - i - 1) in
+    if Hashtbl.mem registry name then
+      invalid_arg ("Op_registry.register: duplicate registration: " ^ name);
+    Hashtbl.add registry name { dialect; op; terminator; pure; verify });
+  name
+
+let find name = Hashtbl.find_opt registry name
+
+let is_terminator op_name =
+  match find op_name with Some i -> i.terminator | None -> false
+
+let is_pure op_name = match find op_name with Some i -> i.pure | None -> false
+
+let is_registered name = Hashtbl.mem registry name
+
+let verify_op (op : Ir.op) =
+  match find (Ir.Op.name op) with
+  | Some info -> info.verify op
+  | None -> ()
+
+let registered_names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+(* Common verification helpers used by dialect definitions. *)
+
+let fail_op op fmt =
+  Format.kasprintf
+    (fun msg -> failwith (Printf.sprintf "%s: %s" (Ir.Op.name op) msg))
+    fmt
+
+let expect_num_operands op n =
+  if Ir.Op.num_operands op <> n then
+    fail_op op "expected %d operands, got %d" n (Ir.Op.num_operands op)
+
+let expect_num_results op n =
+  if Ir.Op.num_results op <> n then
+    fail_op op "expected %d results, got %d" n (Ir.Op.num_results op)
+
+let expect_num_regions op n =
+  if List.length (Ir.Op.regions op) <> n then
+    fail_op op "expected %d regions, got %d" n (List.length (Ir.Op.regions op))
+
+let expect_attr op key =
+  if not (Ir.Op.has_attr op key) then fail_op op "missing attribute %s" key
+
+let expect_operand_ty op i ty =
+  let actual = Ir.Value.ty (Ir.Op.operand op i) in
+  if not (Ty.equal actual ty) then
+    fail_op op "operand %d: expected %s, got %s" i (Ty.to_string ty)
+      (Ty.to_string actual)
+
+let expect_result_ty op i ty =
+  let actual = Ir.Value.ty (Ir.Op.result op i) in
+  if not (Ty.equal actual ty) then
+    fail_op op "result %d: expected %s, got %s" i (Ty.to_string ty)
+      (Ty.to_string actual)

@@ -1,0 +1,48 @@
+(** The operation registry — the OCaml counterpart of MLIR's dialect
+    registration. Dialect modules register their ops (with structural
+    verifiers and trait flags) at module-initialisation time; the
+    verifier and generic transforms consult the registry.
+
+    Unregistered op names are permitted and verified structurally only,
+    keeping ad-hoc test ops cheap. *)
+
+type info = {
+  dialect : string;
+  op : string;
+  terminator : bool;
+  pure : bool;
+  verify : Ir.op -> unit;
+}
+
+(** Register an op name ("dialect.op"); returns the name so dialects can
+    write [let addf_op = Op_registry.register "arith.addf" ...]. Raises
+    [Invalid_argument] on duplicates or names without a dialect prefix.
+    [verify] should raise [Failure] with a message on violation. *)
+val register :
+  ?terminator:bool ->
+  ?pure:bool ->
+  ?verify:(Ir.op -> unit) ->
+  string ->
+  string
+
+val find : string -> info option
+val is_terminator : string -> bool
+val is_pure : string -> bool
+val is_registered : string -> bool
+
+(** Run the registered verifier of [op], if any. *)
+val verify_op : Ir.op -> unit
+
+val registered_names : unit -> string list
+
+(** {2 Verification helpers for dialect definitions} *)
+
+(** Raise [Failure] with the op name prefixed. *)
+val fail_op : Ir.op -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val expect_num_operands : Ir.op -> int -> unit
+val expect_num_results : Ir.op -> int -> unit
+val expect_num_regions : Ir.op -> int -> unit
+val expect_attr : Ir.op -> string -> unit
+val expect_operand_ty : Ir.op -> int -> Ty.t -> unit
+val expect_result_ty : Ir.op -> int -> Ty.t -> unit

@@ -1,0 +1,551 @@
+(* Recursive-descent parser for the generic IR syntax emitted by
+   {!Printer}. The printer/parser pair is lossless, which the test suite
+   checks by round-tripping randomly generated programs. *)
+
+exception Parse_error of string
+
+type t = {
+  lx : Lexer.t;
+  values : (string, Ir.value) Hashtbl.t;
+  mutable block_scopes : (string, Ir.block) Hashtbl.t list;
+}
+
+let fail t msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (at token %s, offset %d)" msg
+          (Lexer.token_to_string (Lexer.peek t.lx))
+          t.lx.Lexer.pos))
+
+let peek t = Lexer.peek t.lx
+let advance t = Lexer.next t.lx
+
+let expect t tok what =
+  if peek t = tok then advance t else fail t ("expected " ^ what)
+
+let accept t tok =
+  if peek t = tok then begin
+    advance t;
+    true
+  end
+  else false
+
+let ident t =
+  match peek t with
+  | Lexer.Ident s ->
+    advance t;
+    s
+  | _ -> fail t "expected identifier"
+
+(* --- types --- *)
+
+let scalar_ty_of_string s =
+  match s with
+  | "f16" -> Some Ty.F16
+  | "f32" -> Some Ty.F32
+  | "f64" -> Some Ty.F64
+  | "index" -> Some Ty.Index
+  | "none" -> Some Ty.Unit_ty
+  | _ ->
+    if String.length s > 1 && s.[0] = 'i' then
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n -> Some (Ty.I n)
+      | None -> None
+    else None
+
+(* Parse the inside of memref<...>: "200xf64", "4x5xf64" or just "f64".
+   The lexer tokenizes "4x5xf64" as [Int 4; Ident "x5xf64"], so we split
+   the composite identifier on 'x'. *)
+let parse_memref_contents t =
+  let dims = ref [] in
+  let elem = ref None in
+  let consume_composite s =
+    (* s like "x5xf64" or "xf64": leading 'x'-separated segments. *)
+    let parts = String.split_on_char 'x' s in
+    List.iter
+      (fun part ->
+        if part = "" then ()
+        else
+          match int_of_string_opt part with
+          | Some d -> dims := d :: !dims
+          | None -> (
+            match scalar_ty_of_string part with
+            | Some ty -> elem := Some ty
+            | None -> fail t ("bad memref element: " ^ part)))
+      parts
+  in
+  let rec go () =
+    match peek t with
+    | Lexer.Int_lit d ->
+      advance t;
+      dims := d :: !dims;
+      go ()
+    | Lexer.Ident s ->
+      advance t;
+      (match scalar_ty_of_string s with
+      | Some ty when !elem = None && not (String.contains s 'x') ->
+        elem := Some ty
+      | _ -> consume_composite s);
+      go ()
+    | Lexer.Greater -> ()
+    | _ -> fail t "expected memref shape"
+  in
+  go ();
+  match !elem with
+  | Some e -> Ty.Memref { shape = List.rev !dims; elem = e }
+  | None -> fail t "memref without element type"
+
+let rec parse_ty t =
+  match peek t with
+  | Lexer.Ident "memref" ->
+    advance t;
+    expect t Lexer.Less "'<'";
+    let ty = parse_memref_contents t in
+    expect t Lexer.Greater "'>'";
+    ty
+  | Lexer.Ident s -> (
+    match scalar_ty_of_string s with
+    | Some ty ->
+      advance t;
+      ty
+    | None -> fail t ("unknown type " ^ s))
+  | Lexer.Bang_ident "!stream.readable" ->
+    advance t;
+    expect t Lexer.Less "'<'";
+    let e = parse_ty t in
+    expect t Lexer.Greater "'>'";
+    Ty.Stream_readable e
+  | Lexer.Bang_ident "!stream.writable" ->
+    advance t;
+    expect t Lexer.Less "'<'";
+    let e = parse_ty t in
+    expect t Lexer.Greater "'>'";
+    Ty.Stream_writable e
+  | Lexer.Bang_ident "!rv.reg" ->
+    advance t;
+    if accept t Lexer.Less then begin
+      let r = ident t in
+      expect t Lexer.Greater "'>'";
+      Ty.Int_reg (Some r)
+    end
+    else Ty.Int_reg None
+  | Lexer.Bang_ident "!rv.freg" ->
+    advance t;
+    if accept t Lexer.Less then begin
+      let r = ident t in
+      expect t Lexer.Greater "'>'";
+      Ty.Float_reg (Some r)
+    end
+    else Ty.Float_reg None
+  | Lexer.Lparen ->
+    (* function type: (tys) -> (tys) *)
+    advance t;
+    let args = parse_ty_list t in
+    expect t Lexer.Rparen "')'";
+    expect t Lexer.Arrow "'->'";
+    expect t Lexer.Lparen "'('";
+    let results = parse_ty_list t in
+    expect t Lexer.Rparen "')'";
+    Ty.Func_ty (args, results)
+  | _ -> fail t "expected type"
+
+and parse_ty_list t =
+  if peek t = Lexer.Rparen then []
+  else
+    let rec go acc =
+      let ty = parse_ty t in
+      if accept t Lexer.Comma then go (ty :: acc) else List.rev (ty :: acc)
+    in
+    go []
+
+(* --- affine maps --- *)
+
+let parse_affine_map t =
+  (* (d0, d1)[s0] -> (exprs) *)
+  let dims = Hashtbl.create 4 and syms = Hashtbl.create 4 in
+  expect t Lexer.Lparen "'('";
+  let ndims = ref 0 in
+  while peek t <> Lexer.Rparen do
+    let d = ident t in
+    Hashtbl.add dims d !ndims;
+    incr ndims;
+    ignore (accept t Lexer.Comma)
+  done;
+  advance t;
+  let nsyms = ref 0 in
+  if accept t Lexer.Lbracket then begin
+    while peek t <> Lexer.Rbracket do
+      let s = ident t in
+      Hashtbl.add syms s !nsyms;
+      incr nsyms;
+      ignore (accept t Lexer.Comma)
+    done;
+    advance t
+  end;
+  expect t Lexer.Arrow "'->'";
+  expect t Lexer.Lparen "'('";
+  let rec parse_expr () =
+    let lhs = parse_term () in
+    parse_expr_rest lhs
+  and parse_expr_rest lhs =
+    match peek t with
+    | Lexer.Plus ->
+      advance t;
+      parse_expr_rest (Affine.add lhs (parse_term ()))
+    | Lexer.Minus ->
+      advance t;
+      parse_expr_rest (Affine.sub lhs (parse_term ()))
+    | _ -> lhs
+  and parse_term () =
+    let lhs = parse_atom () in
+    parse_term_rest lhs
+  and parse_term_rest lhs =
+    match peek t with
+    | Lexer.Star ->
+      advance t;
+      parse_term_rest (Affine.mul lhs (parse_atom ()))
+    | Lexer.Ident "floordiv" ->
+      advance t;
+      parse_term_rest (Affine.floordiv lhs (parse_atom ()))
+    | Lexer.Ident "ceildiv" ->
+      advance t;
+      parse_term_rest (Affine.ceildiv lhs (parse_atom ()))
+    | Lexer.Ident "mod" ->
+      advance t;
+      parse_term_rest (Affine.modulo lhs (parse_atom ()))
+    | _ -> lhs
+  and parse_atom () =
+    match peek t with
+    | Lexer.Int_lit i ->
+      advance t;
+      Affine.const i
+    | Lexer.Minus ->
+      advance t;
+      Affine.neg (parse_atom ())
+    | Lexer.Lparen ->
+      advance t;
+      let e = parse_expr () in
+      expect t Lexer.Rparen "')'";
+      e
+    | Lexer.Ident s -> (
+      advance t;
+      match Hashtbl.find_opt dims s with
+      | Some i -> Affine.dim i
+      | None -> (
+        match Hashtbl.find_opt syms s with
+        | Some i -> Affine.sym i
+        | None -> fail t ("unknown affine identifier " ^ s)))
+    | _ -> fail t "expected affine expression"
+  in
+  let exprs = ref [] in
+  while peek t <> Lexer.Rparen do
+    exprs := parse_expr () :: !exprs;
+    ignore (accept t Lexer.Comma)
+  done;
+  advance t;
+  Affine.make ~num_dims:!ndims ~num_syms:!nsyms (List.rev !exprs)
+
+(* --- attributes --- *)
+
+let parse_int_list t =
+  expect t Lexer.Lbracket "'['";
+  let acc = ref [] in
+  while peek t <> Lexer.Rbracket do
+    (match peek t with
+    | Lexer.Int_lit i ->
+      advance t;
+      acc := i :: !acc
+    | _ -> fail t "expected integer");
+    ignore (accept t Lexer.Comma)
+  done;
+  advance t;
+  List.rev !acc
+
+let rec parse_attr t =
+  match peek t with
+  | Lexer.Ident "unit" ->
+    advance t;
+    Attr.Unit_attr
+  | Lexer.Ident "true" ->
+    advance t;
+    Attr.Bool true
+  | Lexer.Ident "false" ->
+    advance t;
+    Attr.Bool false
+  | Lexer.Ident "nan" ->
+    advance t;
+    Attr.Float Float.nan
+  | Lexer.Ident "infinity" ->
+    advance t;
+    Attr.Float Float.infinity
+  | Lexer.Minus ->
+    advance t;
+    (match parse_attr t with
+    | Attr.Int i -> Attr.Int (-i)
+    | Attr.Float f -> Attr.Float (-.f)
+    | _ -> fail t "expected number after '-'")
+  | Lexer.Ident "affine_map" ->
+    advance t;
+    expect t Lexer.Less "'<'";
+    let m = parse_affine_map t in
+    expect t Lexer.Greater "'>'";
+    Attr.Affine_map m
+  | Lexer.Hash_ident "#iterators" ->
+    advance t;
+    expect t Lexer.Less "'<'";
+    let acc = ref [] in
+    while peek t <> Lexer.Greater do
+      acc := Attr.iterator_of_string (ident t) :: !acc;
+      ignore (accept t Lexer.Comma)
+    done;
+    advance t;
+    Attr.Iterators (List.rev !acc)
+  | Lexer.Hash_ident "#stride_pattern" ->
+    advance t;
+    expect t Lexer.Less "'<'";
+    expect t (Lexer.Ident "ub") "'ub'";
+    expect t Lexer.Equal "'='";
+    let ub = parse_int_list t in
+    expect t Lexer.Comma "','";
+    let result =
+      match peek t with
+      | Lexer.Ident "strides" ->
+        advance t;
+        expect t Lexer.Equal "'='";
+        let strides = parse_int_list t in
+        Attr.Stride_pattern { ub; strides }
+      | Lexer.Ident "index_map" ->
+        advance t;
+        expect t Lexer.Equal "'='";
+        let m = parse_affine_map t in
+        Attr.Index_pattern { ip_ub = ub; ip_map = m }
+      | _ -> fail t "expected 'strides' or 'index_map'"
+    in
+    expect t Lexer.Greater "'>'";
+    result
+  | Lexer.Int_lit i ->
+    advance t;
+    Attr.Int i
+  | Lexer.Float_lit f ->
+    advance t;
+    Attr.Float f
+  | Lexer.Str_lit s ->
+    advance t;
+    Attr.Str s
+  | Lexer.Lbracket ->
+    advance t;
+    let acc = ref [] in
+    while peek t <> Lexer.Rbracket do
+      acc := parse_attr t :: !acc;
+      ignore (accept t Lexer.Comma)
+    done;
+    advance t;
+    Attr.Arr (List.rev !acc)
+  | Lexer.Lbrace ->
+    advance t;
+    let acc = ref [] in
+    while peek t <> Lexer.Rbrace do
+      let k = ident t in
+      expect t Lexer.Equal "'='";
+      let v = parse_attr t in
+      acc := (k, v) :: !acc;
+      ignore (accept t Lexer.Comma)
+    done;
+    advance t;
+    Attr.Dict (List.rev !acc)
+  | Lexer.Ident _ | Lexer.Bang_ident _ | Lexer.Lparen -> Attr.Ty (parse_ty t)
+  | _ -> fail t "expected attribute"
+
+(* --- values, blocks, ops --- *)
+
+let lookup_value t name =
+  match Hashtbl.find_opt t.values name with
+  | Some v -> v
+  | None -> fail t ("use of undefined value " ^ name)
+
+let current_block_scope t =
+  match t.block_scopes with
+  | scope :: _ -> scope
+  | [] -> fail t "internal error: no block scope"
+
+let lookup_block t name =
+  let scope = current_block_scope t in
+  match Hashtbl.find_opt scope name with
+  | Some b -> b
+  | None ->
+    (* Forward reference: create an empty placeholder to be populated when
+       the block header is parsed. *)
+    let b = Ir.Block.create () in
+    Hashtbl.add scope name b;
+    b
+
+let value_id t =
+  match peek t with
+  | Lexer.Value_id s ->
+    advance t;
+    s
+  | _ -> fail t "expected value id"
+
+let rec parse_op t =
+  (* results *)
+  let result_names =
+    match peek t with
+    | Lexer.Value_id _ ->
+      let rec go acc =
+        let v = value_id t in
+        if accept t Lexer.Comma then go (v :: acc) else List.rev (v :: acc)
+      in
+      let names = go [] in
+      expect t Lexer.Equal "'='";
+      names
+    | _ -> []
+  in
+  let name =
+    match peek t with
+    | Lexer.Str_lit s ->
+      advance t;
+      s
+    | _ -> fail t "expected op name string"
+  in
+  expect t Lexer.Lparen "'('";
+  let operand_names =
+    if peek t = Lexer.Rparen then []
+    else
+      let rec go acc =
+        let v = value_id t in
+        if accept t Lexer.Comma then go (v :: acc) else List.rev (v :: acc)
+      in
+      go []
+  in
+  expect t Lexer.Rparen "')'";
+  let successors =
+    if accept t Lexer.Lbracket then begin
+      let acc = ref [] in
+      while peek t <> Lexer.Rbracket do
+        (match peek t with
+        | Lexer.Block_id b ->
+          advance t;
+          acc := lookup_block t b :: !acc
+        | _ -> fail t "expected block id");
+        ignore (accept t Lexer.Comma)
+      done;
+      advance t;
+      List.rev !acc
+    end
+    else []
+  in
+  let regions =
+    if peek t = Lexer.Lparen then begin
+      advance t;
+      let acc = ref [] in
+      let rec go () =
+        acc := parse_region t :: !acc;
+        if accept t Lexer.Comma then go ()
+      in
+      go ();
+      expect t Lexer.Rparen "')'";
+      List.rev !acc
+    end
+    else []
+  in
+  let attrs =
+    if accept t Lexer.Lbrace then begin
+      let acc = ref [] in
+      while peek t <> Lexer.Rbrace do
+        let k = ident t in
+        expect t Lexer.Equal "'='";
+        let v = parse_attr t in
+        acc := (k, v) :: !acc;
+        ignore (accept t Lexer.Comma)
+      done;
+      advance t;
+      List.rev !acc
+    end
+    else []
+  in
+  expect t Lexer.Colon "':'";
+  expect t Lexer.Lparen "'('";
+  let operand_tys = parse_ty_list t in
+  expect t Lexer.Rparen "')'";
+  expect t Lexer.Arrow "'->'";
+  expect t Lexer.Lparen "'('";
+  let result_tys = parse_ty_list t in
+  expect t Lexer.Rparen "')'";
+  if List.length operand_tys <> List.length operand_names then
+    fail t "operand/type arity mismatch";
+  if List.length result_tys <> List.length result_names then
+    fail t "result/type arity mismatch";
+  let operands = List.map (lookup_value t) operand_names in
+  List.iter2
+    (fun v ty ->
+      if not (Ty.equal (Ir.Value.ty v) ty) then
+        fail t
+          (Printf.sprintf "operand type mismatch: %s has %s, signature says %s"
+             (Fmt.str "%a" Ir.Value.pp v)
+             (Ty.to_string (Ir.Value.ty v))
+             (Ty.to_string ty)))
+    operands operand_tys;
+  let op = Ir.Op.create ~attrs ~regions ~successors ~results:result_tys name operands in
+  List.iteri
+    (fun i n -> Hashtbl.replace t.values n (Ir.Op.result op i))
+    result_names;
+  op
+
+and parse_region t =
+  expect t Lexer.Lbrace "'{'";
+  t.block_scopes <- Hashtbl.create 8 :: t.block_scopes;
+  let region = Ir.Region.create () in
+  while peek t <> Lexer.Rbrace do
+    let b = parse_block t in
+    Ir.Region.add_block region b
+  done;
+  advance t;
+  t.block_scopes <- List.tl t.block_scopes;
+  region
+
+and parse_block t =
+  let name =
+    match peek t with
+    | Lexer.Block_id b ->
+      advance t;
+      b
+    | _ -> fail t "expected block header"
+  in
+  let scope = current_block_scope t in
+  let block =
+    match Hashtbl.find_opt scope name with
+    | Some b -> b
+    | None ->
+      let b = Ir.Block.create () in
+      Hashtbl.add scope name b;
+      b
+  in
+  expect t Lexer.Lparen "'('";
+  while peek t <> Lexer.Rparen do
+    let vname = value_id t in
+    expect t Lexer.Colon "':'";
+    let ty = parse_ty t in
+    let arg = Ir.Block.add_arg block ty in
+    Hashtbl.replace t.values vname arg;
+    ignore (accept t Lexer.Comma)
+  done;
+  advance t;
+  expect t Lexer.Colon "':'";
+  (* ops until the next block header or the region's closing brace *)
+  let rec go () =
+    match peek t with
+    | Lexer.Rbrace | Lexer.Block_id _ -> ()
+    | _ ->
+      Ir.Block.append block (parse_op t);
+      go ()
+  in
+  go ();
+  block
+
+let parse_string src =
+  let t =
+    { lx = Lexer.create src; values = Hashtbl.create 64; block_scopes = [] }
+  in
+  let op = parse_op t in
+  if peek t <> Lexer.Eof then fail t "trailing input after top-level op";
+  op

@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the generic IR syntax emitted by
+    {!Printer}. Together they give a lossless textual round-trip — the
+    interchange mechanism the paper relies on between xDSL and MLIR
+    (§4.1, "interoperability ... via the common text IR format"). *)
+
+exception Parse_error of string
+
+(** Parse one top-level operation (typically a [builtin.module]).
+    Raises {!Parse_error} (or {!Lexer.Lex_error}) on malformed input,
+    including uses of undefined values and operand/type arity
+    mismatches. *)
+val parse_string : string -> Ir.op

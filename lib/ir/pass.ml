@@ -1,0 +1,39 @@
+(* Compilation passes and the pass manager. A pass transforms a module op
+   in place. The pass manager runs a pipeline, optionally verifying the IR
+   after every pass (the default in tests), mirroring the "small,
+   self-contained passes" structure of the paper's lowering (§3.4). *)
+
+type t = { name : string; run : Ir.op -> unit }
+
+let make name run = { name; run }
+
+exception Pass_failed of string * exn
+
+type trace_entry = { pass_name : string; ir_after : string }
+
+(* Run [passes] over module [m]. When [verify_each] is set, the verifier
+   runs after every pass and failures are attributed to the offending
+   pass. When [trace] is set, the IR after each pass is captured (used by
+   the CLI's --print-ir-after-all). *)
+let run_pipeline ?(verify_each = true) ?(trace = false) (m : Ir.op)
+    (passes : t list) : trace_entry list =
+  let entries = ref [] in
+  List.iter
+    (fun pass ->
+      (try pass.run m
+       with e when not (e = Stdlib.Exit) -> raise (Pass_failed (pass.name, e)));
+      if verify_each then begin
+        try Verifier.verify m
+        with Verifier.Verification_error msg ->
+          raise
+            (Pass_failed
+               (pass.name, Failure (Printf.sprintf "post-pass verification: %s" msg)))
+      end;
+      if trace then
+        entries :=
+          { pass_name = pass.name; ir_after = Printer.to_string m } :: !entries)
+    passes;
+  List.rev !entries
+
+let run ?(verify_each = true) m passes =
+  ignore (run_pipeline ~verify_each ~trace:false m passes)

@@ -1,0 +1,23 @@
+(** Compilation passes and the pass manager. A pass transforms a module
+    op in place; pipelines are plain lists, and the IR is verified after
+    every pass by default — the "small, self-contained passes" structure
+    of the paper's lowering (§3.4). *)
+
+type t = { name : string; run : Ir.op -> unit }
+
+val make : string -> (Ir.op -> unit) -> t
+
+(** Raised when a pass (or its post-verification) fails; carries the pass
+    name and the original exception. *)
+exception Pass_failed of string * exn
+
+type trace_entry = { pass_name : string; ir_after : string }
+
+(** Run [passes] over module [m]. [verify_each] (default true) runs the
+    verifier after every pass; [trace] captures the printed IR after each
+    pass (the CLI's --print-ir). *)
+val run_pipeline :
+  ?verify_each:bool -> ?trace:bool -> Ir.op -> t list -> trace_entry list
+
+(** {!run_pipeline} without tracing. *)
+val run : ?verify_each:bool -> Ir.op -> t list -> unit

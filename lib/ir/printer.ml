@@ -1,0 +1,111 @@
+(* Printing of the IR in MLIR's *generic* operation syntax:
+
+     %0, %1 = "dialect.op"(%2)[^bb1]({ ... region ... }){k = attr}
+              : (operand-tys) -> (result-tys)
+
+   We only implement the generic form (plus light indentation); the
+   parser in {!Parser} accepts exactly this syntax, giving a lossless
+   round-trip used by the property tests. Assembly-level pretty output
+   lives in the [riscv] library instead. *)
+
+type env = {
+  value_names : (int, string) Hashtbl.t;
+  block_names : (int, string) Hashtbl.t;
+  mutable next_value : int;
+  mutable next_block : int;
+}
+
+let make_env () =
+  {
+    value_names = Hashtbl.create 64;
+    block_names = Hashtbl.create 16;
+    next_value = 0;
+    next_block = 0;
+  }
+
+let value_name env (v : Ir.value) =
+  match Hashtbl.find_opt env.value_names v.vid with
+  | Some n -> n
+  | None ->
+    let n = Printf.sprintf "%%%d" env.next_value in
+    env.next_value <- env.next_value + 1;
+    Hashtbl.add env.value_names v.vid n;
+    n
+
+let block_name env (b : Ir.block) =
+  match Hashtbl.find_opt env.block_names b.bid with
+  | Some n -> n
+  | None ->
+    let n = Printf.sprintf "^bb%d" env.next_block in
+    env.next_block <- env.next_block + 1;
+    Hashtbl.add env.block_names b.bid n;
+    n
+
+let rec pp_op env indent fmt (op : Ir.op) =
+  let pad = String.make indent ' ' in
+  Fmt.pf fmt "%s" pad;
+  (match Ir.Op.results op with
+  | [] -> ()
+  | results ->
+    Fmt.pf fmt "%a = "
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") string)
+      (List.map (value_name env) results));
+  Fmt.pf fmt "%S(%a)" (Ir.Op.name op)
+    Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") string)
+    (List.map (value_name env) (Ir.Op.operands op));
+  (match Ir.Op.successors op with
+  | [] -> ()
+  | succs ->
+    Fmt.pf fmt "[%a]"
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") string)
+      (List.map (block_name env) succs));
+  (match Ir.Op.regions op with
+  | [] -> ()
+  | regions ->
+    Fmt.pf fmt "(%a)"
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") (pp_region env indent))
+      regions);
+  (match Ir.Op.attrs op with
+  | [] -> ()
+  | attrs ->
+    let attrs = List.sort (fun (a, _) (b, _) -> compare a b) attrs in
+    Fmt.pf fmt "{%a}"
+      Fmt.(
+        list ~sep:(fun fmt () -> Fmt.string fmt ", ") (fun fmt (k, v) -> Fmt.pf fmt "%s = %a" k Attr.pp v))
+      attrs);
+  Fmt.pf fmt " : (%a) -> (%a)"
+    Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") Ty.pp)
+    (List.map Ir.Value.ty (Ir.Op.operands op))
+    Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") Ty.pp)
+    (List.map Ir.Value.ty (Ir.Op.results op))
+
+and pp_region env indent fmt (r : Ir.region) =
+  let pad = String.make indent ' ' in
+  Fmt.pf fmt "{@\n";
+  List.iter (fun b -> pp_block env (indent + 2) fmt b) (Ir.Region.blocks r);
+  Fmt.pf fmt "%s}" pad
+
+and pp_block env indent fmt (b : Ir.block) =
+  let pad = String.make (indent - 2) ' ' in
+  Fmt.pf fmt "%s%s(%a):@\n" pad (block_name env b)
+    Fmt.(
+      list ~sep:(fun fmt () -> Fmt.string fmt ", ") (fun fmt v ->
+          Fmt.pf fmt "%s : %a" (value_name env v) Ty.pp (Ir.Value.ty v)))
+    (Ir.Block.args b);
+  Ir.Block.iter_ops b (fun op -> Fmt.pf fmt "%a@\n" (pp_op env indent) op)
+
+let pp fmt op = pp_op (make_env ()) 0 fmt op
+
+let to_string op = Fmt.str "%a" pp op
+
+(* Convenience: print just the op head (name + attrs), used in error
+   messages and traces. *)
+let op_head op =
+  Fmt.str "%S%s" (Ir.Op.name op)
+    (match Ir.Op.attrs op with
+    | [] -> ""
+    | attrs ->
+      Fmt.str "{%a}"
+        Fmt.(
+          list ~sep:(fun fmt () -> Fmt.string fmt ", ") (fun fmt (k, v) -> Fmt.pf fmt "%s = %a" k Attr.pp v))
+        attrs)

@@ -1,0 +1,18 @@
+(** Printing of the IR in MLIR's generic operation syntax:
+
+    {v
+    %0, %1 = "dialect.op"(%2)[^bb1]({ ... region ... }){k = attr}
+             : (operand-tys) -> (result-tys)
+    v}
+
+    The generic form is lossless: {!Parser.parse_string} accepts exactly
+    this syntax, and the property tests round-trip random programs
+    through print → parse → print. *)
+
+val pp : Format.formatter -> Ir.op -> unit
+
+(** The op (and everything nested) as generic-syntax text. *)
+val to_string : Ir.op -> string
+
+(** Just the op head (name + attributes), for error messages/traces. *)
+val op_head : Ir.op -> string

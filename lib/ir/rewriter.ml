@@ -1,0 +1,94 @@
+(* Greedy pattern-rewrite driver. A pattern inspects an operation and
+   either rewrites the IR in place (returning [Applied]) or declines.
+   The driver repeatedly sweeps all nested operations until a fixpoint,
+   which is how the backend's peephole optimisations (paper §3.2) run.
+
+   Patterns receive a {!Builder.t} positioned immediately before the
+   matched op, so newly created ops land in the right place. *)
+
+type outcome = Applied | Declined
+
+type pattern = {
+  pat_name : string;
+  (* [match_and_rewrite builder op]: rewrite in place or decline. The
+     pattern may erase [op]; the driver captures iteration state before
+     invoking it. *)
+  match_and_rewrite : Builder.t -> Ir.op -> outcome;
+}
+
+let pattern name f = { pat_name = name; match_and_rewrite = f }
+
+exception Max_iterations_exceeded of string
+
+(* Apply patterns greedily to all ops nested under [root] until no
+   pattern applies. Returns the number of rewrites performed. *)
+let rewrite_greedy ?(max_iterations = 1000) (root : Ir.op) (patterns : pattern list) =
+  let total = ref 0 in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed do
+    incr iters;
+    if !iters > max_iterations then
+      raise
+        (Max_iterations_exceeded
+           (Printf.sprintf
+              "rewrite_greedy: no fixpoint after %d sweeps (patterns: %s)"
+              max_iterations
+              (String.concat ", " (List.map (fun p -> p.pat_name) patterns))));
+    changed := false;
+    (* Collect first: patterns may restructure the op list under us. *)
+    let ops = Ir.collect root (fun _ -> true) in
+    List.iter
+      (fun op ->
+        (* The op may have been erased by a previous rewrite this sweep. *)
+        if Ir.Op.parent op <> None then
+          List.iter
+            (fun p ->
+              if Ir.Op.parent op <> None then
+                let b = Builder.before op in
+                match p.match_and_rewrite b op with
+                | Applied ->
+                  incr total;
+                  changed := true
+                | Declined -> ())
+            patterns)
+      ops
+  done;
+  !total
+
+(* Replace [op] with [values] (which must match its result arity) and
+   erase it. *)
+let replace_op (op : Ir.op) (values : Ir.value list) =
+  if List.length values <> Ir.Op.num_results op then
+    invalid_arg "Rewriter.replace_op: arity mismatch";
+  List.iteri
+    (fun i v -> Ir.replace_all_uses (Ir.Op.result op i) ~with_:v)
+    values;
+  Ir.Op.erase op
+
+(* Erase an op that has no used results. *)
+let erase_op (op : Ir.op) = Ir.Op.erase op
+
+(* Move all ops of [src] block to the end of [dst], remapping [src]'s
+   block arguments to [values]. Used when inlining single-block regions
+   (e.g. lowering scf.for bodies). *)
+let inline_block_at_end (src : Ir.block) (dst : Ir.block) (values : Ir.value list) =
+  if List.length values <> Ir.Block.num_args src then
+    invalid_arg "Rewriter.inline_block_at_end: block-arg arity mismatch";
+  List.iteri
+    (fun i v -> Ir.replace_all_uses (Ir.Block.arg src i) ~with_:v)
+    values;
+  Ir.Block.iter_ops src (fun op ->
+      Ir.Op.unlink op;
+      Ir.Block.append dst op)
+
+(* Move all ops of [src] before [anchor], remapping [src]'s block args. *)
+let inline_block_before (src : Ir.block) ~(anchor : Ir.op) (values : Ir.value list) =
+  if List.length values <> Ir.Block.num_args src then
+    invalid_arg "Rewriter.inline_block_before: block-arg arity mismatch";
+  List.iteri
+    (fun i v -> Ir.replace_all_uses (Ir.Block.arg src i) ~with_:v)
+    values;
+  Ir.Block.iter_ops src (fun op ->
+      Ir.Op.unlink op;
+      Ir.Op.insert_before ~anchor op)

@@ -1,0 +1,36 @@
+(** Greedy pattern-rewrite driver: patterns inspect an op and rewrite the
+    IR in place or decline; the driver sweeps all nested ops to a
+    fixpoint. This is how the backend's peephole optimisations run
+    (paper §3.2: "simple peephole rewrites for custom optimizations"). *)
+
+type outcome = Applied | Declined
+
+type pattern = {
+  pat_name : string;
+  match_and_rewrite : Builder.t -> Ir.op -> outcome;
+}
+
+(** [pattern name f] — [f] receives a builder positioned immediately
+    before the matched op. *)
+val pattern : string -> (Builder.t -> Ir.op -> outcome) -> pattern
+
+exception Max_iterations_exceeded of string
+
+(** Apply the patterns to every op nested under [root] until none
+    applies; returns the number of rewrites. Raises
+    {!Max_iterations_exceeded} if no fixpoint is reached (a pattern that
+    re-fires on its own output). *)
+val rewrite_greedy : ?max_iterations:int -> Ir.op -> pattern list -> int
+
+(** Replace [op]'s results with [values] and erase it. *)
+val replace_op : Ir.op -> Ir.value list -> unit
+
+(** Erase an op whose results are unused. *)
+val erase_op : Ir.op -> unit
+
+(** Move all ops of [src] to the end of [dst], substituting [src]'s block
+    arguments with [values]. *)
+val inline_block_at_end : Ir.block -> Ir.block -> Ir.value list -> unit
+
+(** Move all ops of [src] before [anchor], substituting block args. *)
+val inline_block_before : Ir.block -> anchor:Ir.op -> Ir.value list -> unit

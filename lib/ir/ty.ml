@@ -1,0 +1,104 @@
+(* The type system of the multi-level backend. A single concrete variant
+   covers all abstraction levels used by the paper: builtin scalar types,
+   memrefs, streams (memref_stream level) and RISC-V register types
+   (rv/rv_snitch level). Register types carry an optional concrete
+   register name: [None] denotes a yet-unallocated register, which the
+   allocator replaces in place. *)
+
+type t =
+  | F16
+  | F32
+  | F64
+  | I of int (* iN *)
+  | Index
+  | Unit_ty
+  | Memref of { shape : int list; elem : t }
+  | Stream_readable of t
+  | Stream_writable of t
+  | Int_reg of string option (* !rv.reg / !rv.reg<t0> *)
+  | Float_reg of string option (* !rv.freg / !rv.freg<ft3> *)
+  | Func_ty of t list * t list
+
+let i1 = I 1
+let i32 = I 32
+let i64 = I 64
+
+let memref shape elem = Memref { shape; elem }
+
+let rec equal a b =
+  match (a, b) with
+  | F16, F16 | F32, F32 | F64, F64 | Index, Index | Unit_ty, Unit_ty -> true
+  | I n, I m -> n = m
+  | Memref m1, Memref m2 -> m1.shape = m2.shape && equal m1.elem m2.elem
+  | Stream_readable a, Stream_readable b | Stream_writable a, Stream_writable b
+    -> equal a b
+  | Int_reg r1, Int_reg r2 | Float_reg r1, Float_reg r2 -> r1 = r2
+  | Func_ty (a1, r1), Func_ty (a2, r2) ->
+    List.length a1 = List.length a2
+    && List.length r1 = List.length r2
+    && List.for_all2 equal a1 a2 && List.for_all2 equal r1 r2
+  | _ -> false
+
+let is_float = function F16 | F32 | F64 -> true | _ -> false
+let is_int = function I _ -> true | _ -> false
+let is_register = function Int_reg _ | Float_reg _ -> true | _ -> false
+
+let is_allocated_register = function
+  | Int_reg (Some _) | Float_reg (Some _) -> true
+  | _ -> false
+
+(* Width in bytes of a scalar element as stored in memory. *)
+let byte_width = function
+  | F16 -> 2
+  | F32 -> 4
+  | F64 -> 8
+  | I n -> max 1 ((n + 7) / 8)
+  | Index -> 8
+  | _ -> invalid_arg "Ty.byte_width: not a scalar type"
+
+let memref_elem = function
+  | Memref { elem; _ } -> elem
+  | _ -> invalid_arg "Ty.memref_elem: not a memref"
+
+let memref_shape = function
+  | Memref { shape; _ } -> shape
+  | _ -> invalid_arg "Ty.memref_shape: not a memref"
+
+let num_elements shape = List.fold_left ( * ) 1 shape
+
+(* Row-major strides, in elements, for a static shape. *)
+let row_major_strides shape =
+  let rec go = function
+    | [] -> []
+    | [ _ ] -> [ 1 ]
+    | _ :: rest ->
+      let strides = go rest in
+      (List.hd rest * List.hd strides) :: strides
+  in
+  go shape
+
+let rec pp fmt = function
+  | F16 -> Fmt.string fmt "f16"
+  | F32 -> Fmt.string fmt "f32"
+  | F64 -> Fmt.string fmt "f64"
+  | I n -> Fmt.pf fmt "i%d" n
+  | Index -> Fmt.string fmt "index"
+  | Unit_ty -> Fmt.string fmt "none"
+  | Memref { shape; elem } ->
+    Fmt.pf fmt "memref<%a%a>"
+      Fmt.(list ~sep:nop (fun fmt d -> Fmt.pf fmt "%dx" d))
+      shape pp elem
+  | Stream_readable t -> Fmt.pf fmt "!stream.readable<%a>" pp t
+  | Stream_writable t -> Fmt.pf fmt "!stream.writable<%a>" pp t
+  | Int_reg None -> Fmt.string fmt "!rv.reg"
+  | Int_reg (Some r) -> Fmt.pf fmt "!rv.reg<%s>" r
+  | Float_reg None -> Fmt.string fmt "!rv.freg"
+  | Float_reg (Some r) -> Fmt.pf fmt "!rv.freg<%s>" r
+  | Func_ty (args, results) ->
+    Fmt.pf fmt "(%a) -> (%a)"
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") pp)
+      args
+      Fmt.(list ~sep:(fun fmt () -> Fmt.string fmt ", ") pp)
+      results
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,47 @@
+(** The type system shared by every abstraction level of the backend:
+    builtin scalar types, memrefs, streams ([memref_stream] level) and
+    RISC-V register types ([rv]/[rv_snitch] level).
+
+    Register types carry an optional concrete register name: [None]
+    denotes a yet-unallocated register; the register allocator replaces
+    it in place with e.g. [Some "t0"] (paper §3.1, Figure 6). *)
+
+type t =
+  | F16
+  | F32
+  | F64
+  | I of int  (** [iN] integers *)
+  | Index
+  | Unit_ty
+  | Memref of { shape : int list; elem : t }
+      (** Statically-shaped, row-major memref. *)
+  | Stream_readable of t  (** [!stream.readable<elem>] *)
+  | Stream_writable of t  (** [!stream.writable<elem>] *)
+  | Int_reg of string option  (** [!rv.reg] or [!rv.reg<name>] *)
+  | Float_reg of string option  (** [!rv.freg] or [!rv.freg<name>] *)
+  | Func_ty of t list * t list
+
+val i1 : t
+val i32 : t
+val i64 : t
+val memref : int list -> t -> t
+val equal : t -> t -> bool
+val is_float : t -> bool
+val is_int : t -> bool
+val is_register : t -> bool
+val is_allocated_register : t -> bool
+
+(** Width in bytes of a scalar type as stored in memory. Raises
+    [Invalid_argument] on non-scalar types. *)
+val byte_width : t -> int
+
+val memref_elem : t -> t
+val memref_shape : t -> int list
+val num_elements : int list -> int
+
+(** Row-major strides, in elements, for a static shape, e.g.
+    [row_major_strides [2; 3; 4] = [12; 4; 1]]. *)
+val row_major_strides : int list -> int list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

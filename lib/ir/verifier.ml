@@ -1,0 +1,211 @@
+(* IR verification: structural integrity (parent/use-def links), SSA
+   dominance (including across nested regions), terminator discipline,
+   and per-op invariants from the registry.
+
+   Dominance within multi-block regions uses the classical iterative
+   dominator-set algorithm; with the micro-kernel-sized CFGs produced by
+   this backend the quadratic behaviour is irrelevant. *)
+
+exception Verification_error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Verification_error m)) fmt
+
+(* Map from block id to its position within its region and the CFG's
+   dominator sets. *)
+type region_cfg = {
+  order : Ir.block array;
+  index : (int, int) Hashtbl.t; (* block id -> order position *)
+  doms : (int, unit) Hashtbl.t array; (* position -> set of dominator positions *)
+}
+
+let build_cfg (region : Ir.region) : region_cfg =
+  let blocks = Array.of_list (Ir.Region.blocks region) in
+  let n = Array.length blocks in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i b -> Hashtbl.add index b.Ir.bid i) blocks;
+  let succs i =
+    match Ir.Block.terminator blocks.(i) with
+    | None -> []
+    | Some t ->
+      List.filter_map
+        (fun (s : Ir.block) -> Hashtbl.find_opt index s.Ir.bid)
+        (Ir.Op.successors t)
+  in
+  let preds = Array.make n [] in
+  for i = 0 to n - 1 do
+    List.iter (fun s -> preds.(s) <- i :: preds.(s)) (succs i)
+  done;
+  (* Iterative dominator sets: dom(entry) = {entry};
+     dom(b) = {b} ∪ ⋂ dom(preds). *)
+  let full () =
+    let h = Hashtbl.create n in
+    for i = 0 to n - 1 do
+      Hashtbl.replace h i ()
+    done;
+    h
+  in
+  let doms = Array.init n (fun i -> if i = 0 then Hashtbl.create 1 else full ()) in
+  if n > 0 then Hashtbl.replace doms.(0) 0 ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let inter =
+        match preds.(i) with
+        | [] -> Hashtbl.create 1 (* unreachable: dominated by nothing but itself *)
+        | p :: rest ->
+          let acc = Hashtbl.copy doms.(p) in
+          List.iter
+            (fun q ->
+              Hashtbl.iter
+                (fun k () -> if not (Hashtbl.mem doms.(q) k) then Hashtbl.remove acc k)
+                (Hashtbl.copy acc))
+            rest;
+          acc
+      in
+      Hashtbl.replace inter i ();
+      if Hashtbl.length inter <> Hashtbl.length doms.(i) then begin
+        doms.(i) <- inter;
+        changed := true
+      end
+    done
+  done;
+  { order = blocks; index; doms }
+
+(* Does the definition site [def] dominate the use in op [user]?
+   [def_block] is the block holding the definition (or whose argument it
+   is); visibility also extends into nested regions (an SSA value is
+   visible in regions nested under ops that follow it). *)
+let value_visible_at ~(v : Ir.value) ~(user : Ir.op) : bool =
+  (* Walk up from [user] through enclosing blocks. At each level, check
+     whether [v] is defined in that block (as an arg, or by an op strictly
+     before the enclosing op at this level) or in a dominating block of
+     the same region. *)
+  let def_block = Ir.Value.owner_block v in
+  match def_block with
+  | None -> false
+  | Some def_block ->
+    let rec up (at_op : Ir.op) =
+      match Ir.Op.parent at_op with
+      | None -> false
+      | Some blk ->
+        if Ir.Block.equal blk def_block then
+          (* Same block: block args always visible; op results must come
+             strictly before [at_op]. *)
+          (match Ir.Value.def v with
+          | Ir.Block_arg _ -> true
+          | Ir.Op_result (def_op, _) ->
+            if Ir.Op.equal def_op at_op then false
+            else Ir.Op.is_before ~anchor:at_op def_op)
+        else begin
+          (* Different block: if both blocks are in the same region, check
+             dominance; otherwise walk up to the op owning this block's
+             region. *)
+          match (Ir.Block.parent blk, Ir.Block.parent def_block) with
+          | Some r1, Some r2 when r1 == r2 ->
+            let cfg = build_cfg r1 in
+            let bi = Hashtbl.find_opt cfg.index blk.Ir.bid in
+            let di = Hashtbl.find_opt cfg.index def_block.Ir.bid in
+            (match (bi, di) with
+            | Some bi, Some di -> Hashtbl.mem cfg.doms.(bi) di
+            | _ -> false)
+          | _ -> (
+            match Ir.Block.parent_op blk with
+            | None -> false
+            | Some parent -> up parent)
+        end
+    in
+    up user
+
+let check_structure (root : Ir.op) =
+  Ir.walk_incl root (fun op ->
+      (* results point back at op *)
+      List.iteri
+        (fun i r ->
+          match Ir.Value.def r with
+          | Ir.Op_result (o, j) when Ir.Op.equal o op && i = j -> ()
+          | _ -> err "%s: result %d has a corrupt def link" (Ir.Op.name op) i)
+        (Ir.Op.results op);
+      (* operand use lists contain this op *)
+      List.iteri
+        (fun i v ->
+          let found =
+            List.exists
+              (fun (u : Ir.use) -> Ir.Op.equal u.user op && u.index = i)
+              (Ir.Value.uses v)
+          in
+          if not found then
+            err "%s: operand %d (%a) missing from use list" (Ir.Op.name op) i
+              Ir.Value.pp
+              v)
+        (Ir.Op.operands op);
+      (* nested regions/blocks have correct parents *)
+      List.iter
+        (fun (r : Ir.region) ->
+          (match Ir.Region.parent_op r with
+          | Some o when Ir.Op.equal o op -> ()
+          | _ -> err "%s: region with corrupt parent" (Ir.Op.name op));
+          List.iter
+            (fun (b : Ir.block) ->
+              match Ir.Block.parent b with
+              | Some r' when r' == r -> ()
+              | _ -> err "%s: block with corrupt parent" (Ir.Op.name op))
+            (Ir.Region.blocks r))
+        (Ir.Op.regions op))
+
+let check_dominance (root : Ir.op) =
+  Ir.walk_incl root (fun op ->
+      List.iteri
+        (fun i v ->
+          if not (value_visible_at ~v ~user:op) then
+            err "%s: operand %d (%a) does not dominate its use" (Ir.Op.name op)
+              i
+              Ir.Value.pp
+              v)
+        (Ir.Op.operands op))
+
+let check_terminators (root : Ir.op) =
+  Ir.walk_incl root (fun op ->
+      List.iter
+        (fun (r : Ir.region) ->
+          let blocks = Ir.Region.blocks r in
+          let multi = List.length blocks > 1 in
+          List.iter
+            (fun (b : Ir.block) ->
+              match Ir.Block.terminator b with
+              | Some t ->
+                (* No terminator op may appear in the middle of a block. *)
+                Ir.Block.iter_ops b (fun o ->
+                    if
+                      (not (Ir.Op.equal o t))
+                      && Op_registry.is_terminator (Ir.Op.name o)
+                    then
+                      err "%s: terminator %s in the middle of a block"
+                        (Ir.Op.name op) (Ir.Op.name o));
+                if multi && not (Op_registry.is_terminator (Ir.Op.name t)) then
+                  err
+                    "%s: block in multi-block region does not end with a \
+                     terminator (ends with %s)"
+                    (Ir.Op.name op) (Ir.Op.name t)
+              | None ->
+                if multi then
+                  err "%s: empty block in multi-block region" (Ir.Op.name op))
+            blocks)
+        (Ir.Op.regions op))
+
+let check_registered_invariants (root : Ir.op) =
+  Ir.walk_incl root (fun op ->
+      try Op_registry.verify_op op
+      with Failure msg -> err "%s" msg)
+
+(* Verify the whole IR rooted at [root]; raises {!Verification_error}. *)
+let verify (root : Ir.op) =
+  check_structure root;
+  check_dominance root;
+  check_terminators root;
+  check_registered_invariants root
+
+let verify_result root =
+  match verify root with
+  | () -> Ok ()
+  | exception Verification_error msg -> Error msg

@@ -1,0 +1,18 @@
+(** IR verification: structural integrity (parent and use-def links), SSA
+    dominance including across nested regions and multi-block CFGs,
+    terminator discipline, and the per-op invariants registered in
+    {!Op_registry}.
+
+    The pass manager runs this after every pass (unless disabled), so a
+    lowering bug surfaces at the pass that introduced it. *)
+
+exception Verification_error of string
+
+(** Is [v] visible (defined-before-use under SSA-with-regions rules) at
+    op [user]? Exposed for transforms that need dominance queries. *)
+val value_visible_at : v:Ir.value -> user:Ir.op -> bool
+
+(** Verify the IR rooted at [root]; raises {!Verification_error}. *)
+val verify : Ir.op -> unit
+
+val verify_result : Ir.op -> (unit, string) result

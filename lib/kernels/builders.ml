@@ -1,0 +1,278 @@
+(* The DNN micro-kernels of the evaluation (paper Table 1), expressed at
+   the linalg level exactly as a DSL frontend would produce them:
+   reduction kernels are a linalg.fill (output initialisation) followed
+   by a linalg.generic (the computation), as noted in §4.1. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+(* How the run harness supplies each function argument. *)
+type arg_spec =
+  | Buf_in of int list (* randomly initialised input buffer *)
+  | Buf_out of int list (* zero-initialised output buffer *)
+  | Scalar_float of float (* scalar float argument *)
+
+type spec = {
+  kernel_name : string; (* "matmul" *)
+  fn_name : string; (* symbol of the generated function *)
+  elem : Ty.t;
+  args : arg_spec list;
+  flops : int; (* total floating-point operations *)
+  min_cycles : int; (* FLOPs-derived lower bound on cycles (§4.1) *)
+  build : unit -> Ir.op; (* fresh linalg-level module *)
+}
+
+let memref_arg shape elem = Ty.memref shape elem
+
+(* Build a module with a single function. [f] receives a builder in the
+   entry block and the argument values. *)
+let module_with_fn ~name ~args ~elem f =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let arg_tys =
+    List.map
+      (function
+        | Buf_in shape | Buf_out shape -> memref_arg shape elem
+        | Scalar_float _ -> elem)
+      args
+  in
+  let _fn, entry = Func.func b ~name ~args:arg_tys ~results:[] in
+  let bb = Builder.at_end entry in
+  f bb (Ir.Block.args entry);
+  Func.return_ bb [];
+  m
+
+(* --- element-wise kernels --- *)
+
+(* Fill: out[i,j] = v. Memory-bound, linear access (Table 1). *)
+let fill ?(elem = Ty.F64) ~n ~m () =
+  let args = [ Scalar_float 3.25; Buf_out [ n; m ] ] in
+  {
+    kernel_name = "fill";
+    fn_name = "fill";
+    elem;
+    args;
+    flops = n * m;
+    min_cycles = n * m;
+    build =
+      (fun () ->
+        module_with_fn ~name:"fill" ~args ~elem (fun bb values ->
+            match values with
+            | [ v; out ] -> Linalg.fill bb v out
+            | _ -> assert false));
+  }
+
+(* Sum: z = x + y element-wise. *)
+let sum ?(elem = Ty.F64) ~n ~m () =
+  let args = [ Buf_in [ n; m ]; Buf_in [ n; m ]; Buf_out [ n; m ] ] in
+  {
+    kernel_name = "sum";
+    fn_name = "sum";
+    elem;
+    args;
+    flops = n * m;
+    min_cycles = n * m;
+    build =
+      (fun () ->
+        module_with_fn ~name:"sum" ~args ~elem (fun bb values ->
+            match values with
+            | [ x; y; z ] ->
+              let id = Affine.identity 2 in
+              ignore
+                (Linalg.generic bb ~ins:[ x; y ] ~outs:[ z ]
+                   ~maps:[ id; id; id ]
+                   ~iterators:[ Attr.Parallel; Attr.Parallel ]
+                   (fun bb in_args _ ->
+                     match in_args with
+                     | [ a; b ] -> [ Arith.addf bb a b ]
+                     | _ -> assert false))
+            | _ -> assert false));
+  }
+
+(* ReLU: y = max(x, 0). The zero is a scalar input of the generic so the
+   lowering keeps it loop-invariant. *)
+let relu ?(elem = Ty.F64) ~n ~m () =
+  let args = [ Buf_in [ n; m ]; Buf_out [ n; m ] ] in
+  {
+    kernel_name = "relu";
+    fn_name = "relu";
+    elem;
+    args;
+    flops = n * m;
+    min_cycles = n * m;
+    build =
+      (fun () ->
+        module_with_fn ~name:"relu" ~args ~elem (fun bb values ->
+            match values with
+            | [ x; y ] ->
+              let zero = Arith.const_float bb ~ty:elem 0.0 in
+              let id = Affine.identity 2 in
+              ignore
+                (Linalg.generic bb ~ins:[ x; zero ] ~outs:[ y ]
+                   ~maps:[ id; Affine.empty 2; id ]
+                   ~iterators:[ Attr.Parallel; Attr.Parallel ]
+                   (fun bb in_args _ ->
+                     match in_args with
+                     | [ a; z ] -> [ Arith.maxf bb a z ]
+                     | _ -> assert false))
+            | _ -> assert false));
+  }
+
+(* 3x3 window kernels over an (n+2)x(m+2) input producing n x m output
+   (stride 1, valid padding): dims (rows, cols, window row, window col),
+   maps in -> (d0+d2, d1+d3), out -> (d0, d1). *)
+let window_maps () =
+  let open Affine in
+  let in_map =
+    make ~num_dims:4 ~num_syms:0 [ add (dim 0) (dim 2); add (dim 1) (dim 3) ]
+  in
+  let out_map = make ~num_dims:4 ~num_syms:0 [ dim 0; dim 1 ] in
+  (in_map, out_map)
+
+let pool_kernel ~variant ?(elem = Ty.F64) ~n ~m () =
+  let kernel_name, init, combine, kflops =
+    match variant with
+    | `Max ->
+      ( "max_pool",
+        Float.neg_infinity,
+        (fun bb acc x -> Arith.maxf bb acc x),
+        9 * n * m )
+    | `Sum -> ("sum_pool", 0.0, (fun bb acc x -> Arith.addf bb acc x), 9 * n * m)
+  in
+  (* The 3x3 window operand is shape-only (its values are never read), a
+     standard linalg idiom for pooling: it defines the bounds of the two
+     reduction dimensions. *)
+  let args = [ Buf_in [ n + 2; m + 2 ]; Buf_in [ 3; 3 ]; Buf_out [ n; m ] ] in
+  {
+    kernel_name;
+    fn_name = kernel_name;
+    elem;
+    args;
+    flops = kflops;
+    min_cycles = kflops;
+    build =
+      (fun () ->
+        module_with_fn ~name:kernel_name ~args ~elem (fun bb values ->
+            match values with
+            | [ x; w; y ] ->
+              let c = Arith.const_float bb ~ty:elem init in
+              Linalg.fill bb c y;
+              let in_map, out_map = window_maps () in
+              let w_map =
+                Affine.make ~num_dims:4 ~num_syms:0 [ Affine.dim 2; Affine.dim 3 ]
+              in
+              ignore
+                (Linalg.generic bb ~ins:[ x; w ] ~outs:[ y ]
+                   ~maps:[ in_map; w_map; out_map ]
+                   ~iterators:
+                     [ Attr.Parallel; Attr.Parallel; Attr.Reduction; Attr.Reduction ]
+                   (fun bb in_args out_args ->
+                     match (in_args, out_args) with
+                     | [ a; _w ], [ acc ] -> [ combine bb acc a ]
+                     | _ -> assert false))
+            | _ -> assert false));
+  }
+
+let max_pool = pool_kernel ~variant:`Max
+let sum_pool = pool_kernel ~variant:`Sum
+
+(* Conv 3x3: out[i,j] = sum_{r,c} in[i+r, j+c] * w[r,c]. *)
+let conv3x3 ?(elem = Ty.F64) ~n ~m () =
+  let args = [ Buf_in [ n + 2; m + 2 ]; Buf_in [ 3; 3 ]; Buf_out [ n; m ] ] in
+  {
+    kernel_name = "conv3x3";
+    fn_name = "conv3x3";
+    elem;
+    args;
+    flops = 18 * n * m;
+    min_cycles = 9 * n * m (* fmadd: 2 FLOPs/cycle *);
+    build =
+      (fun () ->
+        module_with_fn ~name:"conv3x3" ~args ~elem (fun bb values ->
+            match values with
+            | [ x; w; y ] ->
+              let zero = Arith.const_float bb ~ty:elem 0.0 in
+              Linalg.fill bb zero y;
+              let in_map, out_map = window_maps () in
+              let w_map =
+                Affine.make ~num_dims:4 ~num_syms:0 [ Affine.dim 2; Affine.dim 3 ]
+              in
+              ignore
+                (Linalg.generic bb ~ins:[ x; w ] ~outs:[ y ]
+                   ~maps:[ in_map; w_map; out_map ]
+                   ~iterators:
+                     [ Attr.Parallel; Attr.Parallel; Attr.Reduction; Attr.Reduction ]
+                   (fun bb in_args out_args ->
+                     match (in_args, out_args) with
+                     | [ a; wv ], [ acc ] ->
+                       [ Arith.addf bb acc (Arith.mulf bb a wv) ]
+                     | _ -> assert false))
+            | _ -> assert false));
+  }
+
+(* MatMul: C[n x m] = A[n x k] * B[k x m], with the zeroing fill. *)
+let matmul ?(elem = Ty.F64) ~n ~m ~k () =
+  let args = [ Buf_in [ n; k ]; Buf_in [ k; m ]; Buf_out [ n; m ] ] in
+  {
+    kernel_name = "matmul";
+    fn_name = "matmul";
+    elem;
+    args;
+    flops = 2 * n * m * k;
+    min_cycles = n * m * k;
+    build =
+      (fun () ->
+        module_with_fn ~name:"matmul" ~args ~elem (fun bb values ->
+            match values with
+            | [ a; b_mat; c ] ->
+              let zero = Arith.const_float bb ~ty:elem 0.0 in
+              Linalg.fill bb zero c;
+              let open Affine in
+              let a_map = make ~num_dims:3 ~num_syms:0 [ dim 0; dim 2 ] in
+              let b_map = make ~num_dims:3 ~num_syms:0 [ dim 2; dim 1 ] in
+              let c_map = make ~num_dims:3 ~num_syms:0 [ dim 0; dim 1 ] in
+              ignore
+                (Linalg.generic bb ~ins:[ a; b_mat ] ~outs:[ c ]
+                   ~maps:[ a_map; b_map; c_map ]
+                   ~iterators:[ Attr.Parallel; Attr.Parallel; Attr.Reduction ]
+                   (fun bb in_args out_args ->
+                     match (in_args, out_args) with
+                     | [ av; bv ], [ acc ] ->
+                       [ Arith.addf bb acc (Arith.mulf bb av bv) ]
+                     | _ -> assert false))
+            | _ -> assert false));
+  }
+
+(* MatMulT: C[n x m] = A[n x k] * B[m x k]^T (both operands row-major,
+   reduction along contiguous rows). *)
+let matmul_t ?(elem = Ty.F64) ~n ~m ~k () =
+  let args = [ Buf_in [ n; k ]; Buf_in [ m; k ]; Buf_out [ n; m ] ] in
+  {
+    kernel_name = "matmul_t";
+    fn_name = "matmul_t";
+    elem;
+    args;
+    flops = 2 * n * m * k;
+    min_cycles = n * m * k;
+    build =
+      (fun () ->
+        module_with_fn ~name:"matmul_t" ~args ~elem (fun bb values ->
+            match values with
+            | [ a; b_mat; c ] ->
+              let zero = Arith.const_float bb ~ty:elem 0.0 in
+              Linalg.fill bb zero c;
+              let open Affine in
+              let a_map = make ~num_dims:3 ~num_syms:0 [ dim 0; dim 2 ] in
+              let b_map = make ~num_dims:3 ~num_syms:0 [ dim 1; dim 2 ] in
+              let c_map = make ~num_dims:3 ~num_syms:0 [ dim 0; dim 1 ] in
+              ignore
+                (Linalg.generic bb ~ins:[ a; b_mat ] ~outs:[ c ]
+                   ~maps:[ a_map; b_map; c_map ]
+                   ~iterators:[ Attr.Parallel; Attr.Parallel; Attr.Reduction ]
+                   (fun bb in_args out_args ->
+                     match (in_args, out_args) with
+                     | [ av; bv ], [ acc ] ->
+                       [ Arith.addf bb acc (Arith.mulf bb av bv) ]
+                     | _ -> assert false))
+            | _ -> assert false));
+  }

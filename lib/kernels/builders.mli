@@ -1,0 +1,51 @@
+(** The DNN micro-kernels of the evaluation (paper Table 1), expressed at
+    the linalg level exactly as a DSL frontend would produce them:
+    reduction kernels are a linalg.fill (output initialisation) followed
+    by a linalg.generic (the computation), as noted in §4.1. *)
+
+open Mlc_ir
+
+(** How the run harness supplies each function argument. *)
+type arg_spec =
+  | Buf_in of int list  (** randomly initialised input buffer *)
+  | Buf_out of int list  (** zero-initialised output buffer *)
+  | Scalar_float of float  (** scalar float argument (value given) *)
+
+(** A runnable kernel description: metadata for the harnesses plus a
+    builder producing a fresh linalg-level module. *)
+type spec = {
+  kernel_name : string;
+  fn_name : string;
+  elem : Ty.t;
+  args : arg_spec list;
+  flops : int;  (** total floating-point operations at this shape *)
+  min_cycles : int;  (** FLOPs-derived cycle lower bound (§4.1) *)
+  build : unit -> Ir.op;
+}
+
+(** Build a module with a single function; [f] receives a builder in the
+    entry block and the argument values. Exposed so examples can define
+    new kernels against the same harness. *)
+val module_with_fn :
+  name:string ->
+  args:arg_spec list ->
+  elem:Ty.t ->
+  (Builder.t -> Ir.value list -> unit) ->
+  Ir.op
+
+val fill : ?elem:Ty.t -> n:int -> m:int -> unit -> spec
+val sum : ?elem:Ty.t -> n:int -> m:int -> unit -> spec
+val relu : ?elem:Ty.t -> n:int -> m:int -> unit -> spec
+
+(** 3x3 pooling over an (n+2)x(m+2) input producing n x m output; the
+    window operand is shape-only (standard linalg idiom). *)
+val max_pool : ?elem:Ty.t -> n:int -> m:int -> unit -> spec
+
+val sum_pool : ?elem:Ty.t -> n:int -> m:int -> unit -> spec
+val conv3x3 : ?elem:Ty.t -> n:int -> m:int -> unit -> spec
+
+(** C[n x m] = A[n x k] * B[k x m]. *)
+val matmul : ?elem:Ty.t -> n:int -> m:int -> k:int -> unit -> spec
+
+(** C[n x m] = A[n x k] * B[m x k]^T (contiguous reduction rows). *)
+val matmul_t : ?elem:Ty.t -> n:int -> m:int -> k:int -> unit -> spec

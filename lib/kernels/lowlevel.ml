@@ -1,0 +1,243 @@
+(* Handwritten micro-kernels in the assembly-level dialects (paper §4.2,
+   Figure 9): partially register-allocated IR (the ABI argument registers
+   are fixed, everything else is left to the allocator), written directly
+   against snitch_stream / rv_snitch / rv. These exercise RQ1 (dialect
+   expressiveness) and, at 32 bits, the packed-SIMD instructions.
+
+   Each spec carries an OCaml reference implementation that mirrors the
+   kernel's exact FP evaluation order (lane-split accumulation for the
+   SIMD kernels), so outputs compare exactly. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+type spec = {
+  name : string;
+  fn_name : string;
+  elem : Ty.t;
+  args : Builders.arg_spec list;
+  flops : int;
+  min_cycles : int;
+  (* peak FLOPs/cycle for this kernel's instruction mix *)
+  peak_throughput : float;
+  build : unit -> Ir.op;
+  (* reference: input arrays (in arg order) -> output arrays (in arg
+     order), mutated in place *)
+  reference : float array list -> unit;
+}
+
+let r32 v = Int32.float_of_bits (Int32.bits_of_float v)
+
+let module_with_rv_fn ~name ~n_ptr_args f =
+  let m = Mlc_dialects.Builtin.create_module () in
+  let b = Builder.at_end (Mlc_dialects.Builtin.module_body m) in
+  let _fn, entry =
+    Rv_func.func b ~name ~args:(List.init n_ptr_args (fun _ -> Reg.Int_kind))
+  in
+  let bb = Builder.at_end entry in
+  f bb (Ir.Block.args entry);
+  Rv_func.return_ bb [];
+  m
+
+(* Contiguous packed stream over [pairs] 64-bit elements. *)
+let flat_pattern pairs = { Attr.ub = [ pairs ]; strides = [ 8 ] }
+
+(* --- Sum (f32, packed): z = x + y --- *)
+
+let sum32 ~n ~m () =
+  let total = n * m in
+  assert (total mod 2 = 0);
+  let pairs = total / 2 in
+  {
+    name = "sum";
+    fn_name = "sum32_ll";
+    elem = Ty.F32;
+    args =
+      [ Builders.Buf_in [ n; m ]; Builders.Buf_in [ n; m ]; Builders.Buf_out [ n; m ] ];
+    flops = total;
+    min_cycles = pairs;
+    peak_throughput = 2.0;
+    build =
+      (fun () ->
+        module_with_rv_fn ~name:"sum32_ll" ~n_ptr_args:3 (fun bb args ->
+            match args with
+            | [ x; y; z ] ->
+              ignore
+                (Snitch_stream.streaming_region bb
+                   ~patterns:[ flat_pattern pairs; flat_pattern pairs; flat_pattern pairs ]
+                   ~ins:[ x; y ] ~outs:[ z ]
+                   (fun bb streams ->
+                     match streams with
+                     | [ s0; s1; s2 ] ->
+                       let rpt = Rv.li bb (pairs - 1) in
+                       ignore
+                         (Rv_snitch.frep_outer bb ~rpt (fun fb _ ->
+                              let a = Rv_snitch.read fb s0 in
+                              let b = Rv_snitch.read fb s1 in
+                              let s =
+                                Rv_snitch.vf_binary fb Rv_snitch.vfadd_s_op a b
+                              in
+                              Rv_snitch.write fb s s2;
+                              []))
+                     | _ -> assert false))
+            | _ -> assert false));
+    reference =
+      (fun bufs ->
+        match bufs with
+        | [ x; y; z ] ->
+          Array.iteri (fun i xi -> z.(i) <- r32 (xi +. y.(i))) x
+        | _ -> assert false);
+  }
+
+(* --- ReLU (f32, packed): y = max(x, 0) --- *)
+
+let relu32 ~n ~m () =
+  let total = n * m in
+  assert (total mod 2 = 0);
+  let pairs = total / 2 in
+  {
+    name = "relu";
+    fn_name = "relu32_ll";
+    elem = Ty.F32;
+    args = [ Builders.Buf_in [ n; m ]; Builders.Buf_out [ n; m ] ];
+    flops = total;
+    min_cycles = pairs;
+    peak_throughput = 2.0;
+    build =
+      (fun () ->
+        module_with_rv_fn ~name:"relu32_ll" ~n_ptr_args:2 (fun bb args ->
+            match args with
+            | [ x; y ] ->
+              let zero = Rv.fcvt_d_w bb (Rv.get_register bb "zero") in
+              ignore
+                (Snitch_stream.streaming_region bb
+                   ~patterns:[ flat_pattern pairs; flat_pattern pairs ]
+                   ~ins:[ x ] ~outs:[ y ]
+                   (fun bb streams ->
+                     match streams with
+                     | [ s0; s1 ] ->
+                       let rpt = Rv.li bb (pairs - 1) in
+                       ignore
+                         (Rv_snitch.frep_outer bb ~rpt (fun fb _ ->
+                              let a = Rv_snitch.read fb s0 in
+                              let v =
+                                Rv_snitch.vf_binary fb Rv_snitch.vfmax_s_op a zero
+                              in
+                              Rv_snitch.write fb v s1;
+                              []))
+                     | _ -> assert false))
+            | _ -> assert false));
+    reference =
+      (fun bufs ->
+        match bufs with
+        | [ x; y ] -> Array.iteri (fun i xi -> y.(i) <- Float.max xi 0.0) x
+        | _ -> assert false);
+  }
+
+(* --- MatMulT (f32, packed SIMD): C[n x m] = A[n x k] * B[m x k]^T ---
+
+   Processes four output columns at a time (unroll 4, paper §4.3): per
+   k-pair, the A element pair is served four times via the SSR repeat
+   optimisation while four different B rows stream in; four packed
+   accumulators collect even/odd lane partial sums; after the hardware
+   loop, vfsum reduces the lanes and vfcpka packs result pairs for the
+   output stream. *)
+
+let matmul_t32 ~n ~m ~k () =
+  assert (m mod 4 = 0 && k mod 2 = 0);
+  let pairs = k / 2 in
+  {
+    name = "matmul_t";
+    fn_name = "matmul_t32_ll";
+    elem = Ty.F32;
+    args =
+      [ Builders.Buf_in [ n; k ]; Builders.Buf_in [ m; k ]; Builders.Buf_out [ n; m ] ];
+    flops = 2 * n * m * k;
+    min_cycles = n * m * k / 4 (* vfmac: 4 FLOPs/cycle *);
+    peak_throughput = 4.0;
+    build =
+      (fun () ->
+        module_with_rv_fn ~name:"matmul_t32_ll" ~n_ptr_args:3 (fun bb args ->
+            match args with
+            | [ a_ptr; b_ptr; c_ptr ] ->
+              let a_pattern =
+                (* A[i] pair p, repeated for the 4 interleaved columns *)
+                { Attr.ub = [ n; m / 4; pairs; 4 ]; strides = [ 4 * k; 0; 8; 0 ] }
+              in
+              let b_pattern =
+                (* B[j4*4+c] pair p: column c innermost *)
+                {
+                  Attr.ub = [ n; m / 4; pairs; 4 ];
+                  strides = [ 0; 4 * (4 * k); 8; 4 * k ];
+                }
+              in
+              let c_pattern =
+                (* two packed pairs per (i, j4) *)
+                { Attr.ub = [ n; m / 4; 2 ]; strides = [ 4 * m; 16; 8 ] }
+              in
+              let zero = Rv.fcvt_d_w bb (Rv.get_register bb "zero") in
+              let zero_i = Rv.li bb 0 in
+              let n_reg = Rv.li bb n in
+              let m4_reg = Rv.li bb (m / 4) in
+              ignore
+                (Snitch_stream.streaming_region bb
+                   ~patterns:[ a_pattern; b_pattern; c_pattern ]
+                   ~ins:[ a_ptr; b_ptr ] ~outs:[ c_ptr ]
+                   (fun bb streams ->
+                     match streams with
+                     | [ s0; s1; s2 ] ->
+                       ignore
+                         (Rv_scf.for_ bb ~lb:zero_i ~ub:n_reg
+                            (fun bb _i _ ->
+                              ignore
+                                (Rv_scf.for_ bb ~lb:zero_i ~ub:m4_reg
+                                   (fun bb _j4 _ ->
+                                     let accs0 =
+                                       List.init 4 (fun _ -> Rv.fmv_d bb zero)
+                                     in
+                                     let rpt = Rv.li bb (pairs - 1) in
+                                     let frep =
+                                       Rv_snitch.frep_outer bb ~rpt
+                                         ~iter_args:accs0 (fun fb accs ->
+                                           List.map
+                                             (fun acc ->
+                                               let a = Rv_snitch.read fb s0 in
+                                               let b = Rv_snitch.read fb s1 in
+                                               Rv_snitch.vfmac_s fb a b acc)
+                                             accs)
+                                     in
+                                     let res =
+                                       List.map
+                                         (fun acc ->
+                                           Rv_snitch.vfsum_s bb acc (Rv.fmv_d bb zero))
+                                         (Ir.Op.results frep)
+                                     in
+                                     (match res with
+                                     | [ r0; r1; r2; r3 ] ->
+                                       let p01 = Rv_snitch.vfcpka_s_s bb r0 r1 in
+                                       Rv_snitch.write bb p01 s2;
+                                       let p23 = Rv_snitch.vfcpka_s_s bb r2 r3 in
+                                       Rv_snitch.write bb p23 s2
+                                     | _ -> assert false);
+                                     []));
+                              []))
+                     | _ -> assert false))
+            | _ -> assert false));
+    reference =
+      (fun bufs ->
+        match bufs with
+        | [ a; b; c ] ->
+          for i = 0 to n - 1 do
+            for j = 0 to m - 1 do
+              (* Mirror the lane-split accumulation exactly. *)
+              let lo = ref 0.0 and hi = ref 0.0 in
+              for p = 0 to pairs - 1 do
+                lo := r32 (Float.fma a.((i * k) + (2 * p)) b.((j * k) + (2 * p)) !lo);
+                hi :=
+                  r32 (Float.fma a.((i * k) + (2 * p) + 1) b.((j * k) + (2 * p) + 1) !hi)
+              done;
+              c.((i * m) + j) <- r32 (r32 (0.0 +. !lo) +. !hi)
+            done
+          done
+        | _ -> assert false);
+  }

@@ -1,0 +1,33 @@
+(** Handwritten micro-kernels in the assembly-level dialects (paper §4.2,
+    Figure 9): partially register-allocated IR written directly against
+    snitch_stream / rv_snitch / rv, exercising RQ1 (dialect
+    expressiveness) and the packed-SIMD instructions at 32 bits. Each
+    spec carries a reference implementation mirroring the kernel's exact
+    FP evaluation order, so outputs compare bit-for-bit. *)
+
+open Mlc_ir
+
+type spec = {
+  name : string;
+  fn_name : string;
+  elem : Ty.t;
+  args : Builders.arg_spec list;
+  flops : int;
+  min_cycles : int;
+  peak_throughput : float;  (** FLOPs/cycle peak for this instruction mix *)
+  build : unit -> Ir.op;
+  reference : float array list -> unit;
+      (** input arrays (arg order) -> outputs mutated in place *)
+}
+
+(** z = x + y, packed f32 pairs through three SSRs and one FREP. *)
+val sum32 : n:int -> m:int -> unit -> spec
+
+(** y = max(x, 0), packed f32. *)
+val relu32 : n:int -> m:int -> unit -> spec
+
+(** C[n x m] = A[n x k] * B[m x k]^T with vfmac/vfsum/vfcpka, four output
+    columns at a time, A served through the SSR repeat optimisation
+    (paper §4.3's register-pressure case study). Requires [m] divisible
+    by 4 and [k] even. *)
+val matmul_t32 : n:int -> m:int -> k:int -> unit -> spec

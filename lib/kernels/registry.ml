@@ -1,0 +1,92 @@
+(* The kernel registry: Table 1 of the paper — each evaluated micro-kernel
+   with its computational/memory-access characteristics, input-shape
+   template and FLOP count formula, plus constructors for the harnesses. *)
+
+type entry = {
+  name : string;
+  characteristics : string list; (* Table 1, "Characteristics" column *)
+  input_shapes : string; (* Table 1, "Input Shapes" column *)
+  flops_formula : string; (* Table 1, "FLOPs" column *)
+  (* Instantiate at a given shape. [k] is ignored by non-matmul kernels. *)
+  instantiate : ?elem:Mlc_ir.Ty.t -> n:int -> m:int -> k:int -> unit -> Builders.spec;
+}
+
+let table1 : entry list =
+  [
+    {
+      name = "Sum";
+      characteristics = [ "element-wise"; "linear access"; "memory-bound"; "parallel" ];
+      input_shapes = "NM, NM";
+      flops_formula = "NM";
+      instantiate = (fun ?elem ~n ~m ~k:_ () -> Builders.sum ?elem ~n ~m ());
+    };
+    {
+      name = "Fill";
+      characteristics = [ "element-wise"; "linear access"; "memory-bound"; "parallel" ];
+      input_shapes = "NM";
+      flops_formula = "NM";
+      instantiate = (fun ?elem ~n ~m ~k:_ () -> Builders.fill ?elem ~n ~m ());
+    };
+    {
+      name = "ReLU";
+      characteristics = [ "element-wise"; "non-linear access"; "parallel" ];
+      input_shapes = "NM";
+      flops_formula = "NM";
+      instantiate = (fun ?elem ~n ~m ~k:_ () -> Builders.relu ?elem ~n ~m ());
+    };
+    {
+      name = "Conv 3x3";
+      characteristics = [ "non-affine access"; "fixed-size reduction" ];
+      input_shapes = "(N+2)(M+2)";
+      flops_formula = "18NM";
+      instantiate = (fun ?elem ~n ~m ~k:_ () -> Builders.conv3x3 ?elem ~n ~m ());
+    };
+    {
+      name = "Max Pool 3x3";
+      characteristics = [ "sparse access"; "fixed-size reduction" ];
+      input_shapes = "(N+2)(M+2)";
+      flops_formula = "9NM";
+      instantiate = (fun ?elem ~n ~m ~k:_ () -> Builders.max_pool ?elem ~n ~m ());
+    };
+    {
+      name = "Sum Pool 3x3";
+      characteristics = [ "sparse access"; "fixed-size reduction" ];
+      input_shapes = "(N+2)(M+2)";
+      flops_formula = "9NM";
+      instantiate = (fun ?elem ~n ~m ~k:_ () -> Builders.sum_pool ?elem ~n ~m ());
+    };
+    {
+      name = "MatMul";
+      characteristics = [ "nested loops"; "reduction" ];
+      input_shapes = "NK, KM";
+      flops_formula = "2NMK";
+      instantiate = (fun ?elem ~n ~m ~k () -> Builders.matmul ?elem ~n ~m ~k ());
+    };
+    {
+      name = "MatMulT";
+      characteristics = [ "nested loops"; "reduction" ];
+      input_shapes = "NK, MK";
+      flops_formula = "2NMK";
+      instantiate = (fun ?elem ~n ~m ~k () -> Builders.matmul_t ?elem ~n ~m ~k ());
+    };
+  ]
+
+let find name =
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name)
+    table1
+
+(* Kernels by the short constructor names used on the command line. *)
+let by_short_name = function
+  | "sum" -> find "Sum"
+  | "fill" -> find "Fill"
+  | "relu" -> find "ReLU"
+  | "conv3x3" | "conv" -> find "Conv 3x3"
+  | "max_pool" | "maxpool" -> find "Max Pool 3x3"
+  | "sum_pool" | "sumpool" -> find "Sum Pool 3x3"
+  | "matmul" -> find "MatMul"
+  | "matmul_t" | "matmult" -> find "MatMulT"
+  | _ -> None
+
+let short_names =
+  [ "fill"; "sum"; "relu"; "max_pool"; "sum_pool"; "conv3x3"; "matmul"; "matmul_t" ]

@@ -1,0 +1,20 @@
+(** The kernel registry — paper Table 1: each evaluated micro-kernel with
+    its characteristics, shape template and FLOP formula, plus
+    constructors for the harnesses. *)
+
+type entry = {
+  name : string;
+  characteristics : string list;
+  input_shapes : string;
+  flops_formula : string;
+  instantiate :
+    ?elem:Mlc_ir.Ty.t -> n:int -> m:int -> k:int -> unit -> Builders.spec;
+}
+
+val table1 : entry list
+val find : string -> entry option
+
+(** Lookup by the short names used on the command line. *)
+val by_short_name : string -> entry option
+
+val short_names : string list

@@ -1,0 +1,417 @@
+(* The multi-level, spill-free register allocator (paper §3.3).
+
+   Registers are allocated in three linear passes over a function in
+   structured machine form (rv ops, rv_scf.for loops, rv_snitch.frep
+   loops, stream read/write ops):
+
+   1. Exclusion: every register already named in the IR is removed from
+      the caller-saved pools (15 integer, 20 FP), so partially-allocated
+      code is handled generically (Figure 6 A).
+   2. Escape analysis: values used inside a loop region but defined
+      outside are recorded per loop (Figure 6 B).
+   3. A backwards, in-place walk: a register is assigned at a value's
+      last use (the first seen walking backwards) and released at its
+      definition. Loops are processed by first unifying the registers of
+      iteration results / iteration operands / body block arguments /
+      yielded values (Figure 6 D), then extending the live ranges of the
+      escaping values across the loop, then recursing into the body.
+
+   There is NO spilling: exhausting a pool raises {!Out_of_registers}.
+   The evaluation (paper §4.3) shows this suffices for linear-algebra
+   micro-kernels. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+exception Out_of_registers of Reg.kind
+exception Allocation_conflict of string
+
+let conflict fmt = Format.kasprintf (fun m -> raise (Allocation_conflict m)) fmt
+
+type t = {
+  mutable free_int : string list;
+  mutable free_float : string list;
+  (* Registers managed by this allocator (drawn from the pools); others
+     (pre-allocated args, SSR data registers) are never freed into the
+     free lists. *)
+  managed : (string, unit) Hashtbl.t;
+  in_use : (string, unit) Hashtbl.t;
+  (* Registers carrying loop-unified values while their loop body is
+     being processed: the live range spans the back edge, so the usual
+     release-at-definition rule must not fire inside the body. The value
+     counts nesting depth. *)
+  pinned : (string, int) Hashtbl.t;
+  (* op id of a loop -> values defined outside, used inside *)
+  externals : (int, Ir.value list) Hashtbl.t;
+}
+
+let reg_of_value v =
+  match Ir.Value.ty v with
+  | Ty.Int_reg r | Ty.Float_reg r -> r
+  | t ->
+    conflict "value %a of type %s is not register-typed" Ir.Value.pp v
+      (Ty.to_string t)
+
+let kind_of_value v =
+  match Ir.Value.ty v with
+  | Ty.Int_reg _ -> Reg.Int_kind
+  | Ty.Float_reg _ -> Reg.Float_kind
+  | t -> conflict "value of type %s is not register-typed" (Ty.to_string t)
+
+let is_allocated v = reg_of_value v <> None
+
+let assign v reg =
+  match Ir.Value.ty v with
+  | Ty.Int_reg None -> Ir.Value.set_ty v (Ty.Int_reg (Some reg))
+  | Ty.Float_reg None -> Ir.Value.set_ty v (Ty.Float_reg (Some reg))
+  | Ty.Int_reg (Some r) | Ty.Float_reg (Some r) ->
+    if r <> reg then
+      conflict "cannot re-assign register %s to a value already in %s" reg r
+  | t -> conflict "cannot assign a register to type %s" (Ty.to_string t)
+
+(* --- pass 1: exclusion --- *)
+
+(* The paper reserves argument registers outright and lists lifting that
+   restriction as future work (§4.3). We implement the sound subset:
+   registers of *unused* entry arguments (e.g. the shape-only pooling
+   window pointer) rejoin the pool. Reusing a live argument's register
+   after its last use would require whole-function interval knowledge —
+   see Linear_scan — and stays future work here too. *)
+let collect_used_registers ?(reclaim_dead_args = true) fn =
+  let used = Hashtbl.create 16 in
+  let note v =
+    match Ir.Value.ty v with
+    | Ty.Int_reg (Some r) | Ty.Float_reg (Some r) -> Hashtbl.replace used r ()
+    | _ -> ()
+  in
+  let note_block (b : Ir.block) = List.iter note (Ir.Block.args b) in
+  List.iter
+    (fun v ->
+      if (not reclaim_dead_args) || Ir.Value.has_uses v then note v)
+    (Ir.Block.args (Rv_func.entry fn));
+  Ir.walk fn (fun op ->
+      List.iter note (Ir.Op.operands op);
+      List.iter note (Ir.Op.results op);
+      List.iter
+        (fun rg -> List.iter note_block (Ir.Region.blocks rg))
+        (Ir.Op.regions op));
+  used
+
+(* --- pass 2: escape analysis --- *)
+
+(* A value escapes into loop [l] if its owner block is not nested inside
+   [l] but one of its uses is. *)
+let compute_externals fn externals =
+  let rec block_within_op (b : Ir.block) (op : Ir.op) =
+    match Ir.Block.parent_op b with
+    | None -> false
+    | Some p ->
+      Ir.Op.equal p op
+      || (match Ir.Op.parent p with
+         | None -> false
+         | Some pb -> block_within_op pb op)
+  in
+  let is_loop op =
+    let n = Ir.Op.name op in
+    n = Rv_scf.for_op || n = Rv_snitch.frep_outer_op
+  in
+  Ir.walk fn (fun loop ->
+      if is_loop loop then begin
+        let seen = Hashtbl.create 8 in
+        let acc = ref [] in
+        Ir.walk loop (fun inner ->
+            List.iter
+              (fun v ->
+                match Ir.Value.owner_block v with
+                | Some owner
+                  when (not (block_within_op owner loop))
+                       && not (Hashtbl.mem seen (Ir.Value.id v)) ->
+                  (* Loop operands are handled by the loop-unification
+                     step; only record values flowing in "sideways". *)
+                  Hashtbl.replace seen (Ir.Value.id v) ();
+                  acc := v :: !acc
+                | _ -> ())
+              (Ir.Op.operands inner));
+        Hashtbl.replace externals (Ir.Op.id loop) (List.rev !acc)
+      end)
+
+(* --- pass 3: backwards walk --- *)
+
+let alloc st kind =
+  match kind with
+  | Reg.Int_kind -> (
+    match st.free_int with
+    | [] -> raise (Out_of_registers Reg.Int_kind)
+    | r :: rest ->
+      st.free_int <- rest;
+      Hashtbl.replace st.in_use r ();
+      r)
+  | Reg.Float_kind -> (
+    match st.free_float with
+    | [] -> raise (Out_of_registers Reg.Float_kind)
+    | r :: rest ->
+      st.free_float <- rest;
+      Hashtbl.replace st.in_use r ();
+      r)
+
+let pin st reg =
+  Hashtbl.replace st.pinned reg
+    (1 + Option.value ~default:0 (Hashtbl.find_opt st.pinned reg))
+
+let unpin st reg =
+  match Hashtbl.find_opt st.pinned reg with
+  | Some 1 -> Hashtbl.remove st.pinned reg
+  | Some n -> Hashtbl.replace st.pinned reg (n - 1)
+  | None -> ()
+
+let is_pinned st reg = Hashtbl.mem st.pinned reg
+
+let release st reg =
+  if
+    Hashtbl.mem st.managed reg
+    && Hashtbl.mem st.in_use reg
+    && not (is_pinned st reg)
+  then begin
+    Hashtbl.remove st.in_use reg;
+    match Reg.kind_of reg with
+    | Reg.Int_kind -> st.free_int <- reg :: st.free_int
+    | Reg.Float_kind -> st.free_float <- reg :: st.free_float
+  end
+
+(* Mark a pool register as occupied (used when unifying against an
+   already-placed register). *)
+let occupy st reg =
+  if Hashtbl.mem st.managed reg && not (Hashtbl.mem st.in_use reg) then begin
+    Hashtbl.replace st.in_use reg ();
+    match Reg.kind_of reg with
+    | Reg.Int_kind -> st.free_int <- List.filter (( <> ) reg) st.free_int
+    | Reg.Float_kind -> st.free_float <- List.filter (( <> ) reg) st.free_float
+  end
+
+let ensure_allocated st v =
+  match reg_of_value v with
+  | Some r -> r
+  | None ->
+    let r = alloc st (kind_of_value v) in
+    assign v r;
+    r
+
+(* Operand index tied to the result register (two-address accumulator
+   instructions). *)
+let tied_operand op =
+  match Ir.Op.name op with
+  | "rv_snitch.vfmac.s" -> Some 2
+  | "rv_snitch.vfsum.s" -> Some 1
+  | _ -> None
+
+let rec process_op st op =
+  let name = Ir.Op.name op in
+  if name = Rv_scf.for_op || name = Rv_snitch.frep_outer_op then
+    process_loop st op
+  else if List.length (Ir.Op.regions op) > 0 then
+    conflict "cannot allocate registers for region op %s" name
+  else begin
+    (* Stream reads produce their element in the SSR data register
+       itself: pin the result before general handling. *)
+    if name = Rv_snitch.read_op then begin
+      let src = Ir.Op.operand op 0 in
+      let res = Ir.Op.result op 0 in
+      match reg_of_value res with
+      | None -> assign res (Option.get (reg_of_value src))
+      | Some r when Some r = reg_of_value src -> ()
+      | Some r ->
+        conflict "stream read result pinned to %s but stream register differs" r
+    end;
+    (* Stream writes require the written value in the SSR data register. *)
+    if name = Rv_snitch.write_op then begin
+      let v = Ir.Op.operand op 0 in
+      let dst = Ir.Op.operand op 1 in
+      match reg_of_value v with
+      | None -> assign v (Option.get (reg_of_value dst))
+      | Some r when Some r = reg_of_value dst -> ()
+      | Some r ->
+        conflict
+          "value written to stream is in %s; it must be produced directly \
+           into the stream register" r
+    end;
+    (* Definition point: results' live ranges start here; release their
+       registers (allocating first if the result is dead). Tied
+       accumulators keep the register alive through the op. *)
+    let tied = tied_operand op in
+    List.iteri
+      (fun i res ->
+        let r = ensure_allocated st res in
+        match tied with
+        | Some acc_idx when i = 0 ->
+          let acc = Ir.Op.operand op acc_idx in
+          (match reg_of_value acc with
+          | None -> assign acc r
+          | Some r' when r' = r -> ()
+          | Some r' ->
+            conflict "tied accumulator in %s but result in %s" r' r)
+        | _ -> release st r)
+      (Ir.Op.results op);
+    (* Last-use point: allocate any still-unallocated operands. *)
+    List.iter
+      (fun v -> ignore (ensure_allocated st v))
+      (Ir.Op.operands op)
+  end
+
+and process_loop st op =
+  let name = Ir.Op.name op in
+  let body =
+    if name = Rv_scf.for_op then Rv_scf.body op else Rv_snitch.body op
+  in
+  let iter_operands =
+    if name = Rv_scf.for_op then Rv_scf.iter_operands op
+    else Rv_snitch.iter_operands op
+  in
+  let iter_args =
+    if name = Rv_scf.for_op then Rv_scf.iter_args op
+    else Ir.Block.args body
+  in
+  let yield =
+    if name = Rv_scf.for_op then Rv_scf.yield_of op else Rv_snitch.yield_of op
+  in
+  let results = Ir.Op.results op in
+  (* Unify result / iter operand / block arg / yielded value (Figure 6 D).
+     Loop-carried values keep one register across iterations. *)
+  let unify quad =
+    let existing =
+      List.filter_map (fun v -> reg_of_value v) quad |> List.sort_uniq compare
+    in
+    let r =
+      match existing with
+      | [] -> alloc st (kind_of_value (List.hd quad))
+      | [ r ] ->
+        occupy st r;
+        r
+      | rs ->
+        conflict "loop-carried value pinned to multiple registers: %s"
+          (String.concat ", " rs)
+    in
+    List.iter (fun v -> assign v r) quad
+  in
+  let quad_regs = ref [] in
+  List.iteri
+    (fun i res ->
+      let quad =
+        [ res; List.nth iter_operands i; List.nth iter_args i;
+          Ir.Op.operand yield i ]
+      in
+      unify quad;
+      match reg_of_value res with
+      | Some r -> quad_regs := r :: !quad_regs
+      | None -> ())
+    results;
+  (* Extend live ranges of values defined outside but used inside: they
+     must hold their registers across all iterations. *)
+  let externals =
+    match Hashtbl.find_opt st.externals (Ir.Op.id op) with
+    | Some vs -> vs
+    | None -> []
+  in
+  List.iter
+    (fun v ->
+      match reg_of_value v with
+      | Some r -> occupy st r
+      | None -> ignore (ensure_allocated st v))
+    externals;
+  (* Only the upper bound is read on every trip (the back-edge compare):
+     it must hold its register across the body. The lower bound (and an
+     FREP's repetition count) is consumed once at loop entry, so it is
+     allocated after the body walk — its live range ends where the loop
+     begins. *)
+  (if name = Rv_scf.for_op then
+     ignore (ensure_allocated st (Ir.Op.operand op 1)));
+  (* The induction variable lives only inside the body. *)
+  let induction =
+    if name = Rv_scf.for_op then Some (Ir.Block.arg body 0) else None
+  in
+  Option.iter (fun iv -> ignore (ensure_allocated st iv)) induction;
+  (* Recurse into the body, backwards. Loop-carried registers are pinned
+     so releases at their defining ops inside the body do not free them:
+     the values live across the back edge. *)
+  List.iter (pin st) !quad_regs;
+  process_block st body;
+  List.iter (unpin st) !quad_regs;
+  Option.iter (fun iv -> Option.iter (release st) (reg_of_value iv)) induction;
+  (* Entry-only operands: lb (rv_scf) / repetition count (frep). *)
+  List.iter (fun v -> ignore (ensure_allocated st v)) (Ir.Op.operands op);
+  (* Loop results stay live until the iteration operands' definitions,
+     which are processed later in the enclosing walk; nothing to release
+     here. *)
+  ()
+
+and process_block st block =
+  Ir.Block.rev_iter_ops block (fun op ->
+      match Ir.Op.name op with
+      | "rv_scf.yield" | "rv_snitch.frep_yield" | "rv_func.return" ->
+        (* Terminators: operands were unified by the enclosing loop
+           (yields) or are pre-allocated ABI registers (returns). Any
+           still-unallocated yield operand is loop-invariant dataflow. *)
+        List.iter (fun v -> ignore (ensure_allocated st v)) (Ir.Op.operands op)
+      | _ -> process_op st op)
+
+type report = {
+  fp_regs : string list; (* distinct FP registers in the allocated function *)
+  int_regs : string list;
+  fp_count : int;
+  int_count : int;
+}
+
+(* Allocate every register in [fn] (an rv_func.func in structured machine
+   form) in place. Raises {!Out_of_registers} rather than spilling. *)
+let allocate_func ?(reclaim_dead_args = true) fn =
+  if Ir.Op.name fn <> Rv_func.func_op then
+    invalid_arg "Allocator.allocate_func: expected rv_func.func";
+  (* Pass 1: exclusion. *)
+  let used = collect_used_registers ~reclaim_dead_args fn in
+  let free_int = List.filter (fun r -> not (Hashtbl.mem used r)) Reg.int_pool in
+  let free_float =
+    List.filter (fun r -> not (Hashtbl.mem used r)) Reg.float_pool
+  in
+  let managed = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace managed r ()) free_int;
+  List.iter (fun r -> Hashtbl.replace managed r ()) free_float;
+  let st =
+    {
+      free_int;
+      free_float;
+      managed;
+      in_use = Hashtbl.create 32;
+      pinned = Hashtbl.create 8;
+      externals = Hashtbl.create 8;
+    }
+  in
+  (* Pass 2: escape analysis. *)
+  compute_externals fn st.externals;
+  (* Pin stream reads/writes to their SSR data registers before the
+     backwards walk, so consumers see the hardware register rather than
+     drawing from the pool (paper §3.3: streaming constraints are
+     declared on the ops). *)
+  Ir.walk fn (fun op ->
+      if Ir.Op.name op = Rv_snitch.read_op then begin
+        let src_reg = Option.get (reg_of_value (Ir.Op.operand op 0)) in
+        assign (Ir.Op.result op 0) src_reg
+      end
+      else if Ir.Op.name op = Rv_snitch.write_op then begin
+        let dst_reg = Option.get (reg_of_value (Ir.Op.operand op 1)) in
+        assign (Ir.Op.operand op 0) dst_reg
+      end);
+  (* Pass 3: backwards in-place allocation, one block at this level. *)
+  (match Ir.Region.blocks (Rv_func.body_region fn) with
+  | [ body ] -> process_block st body
+  | _ ->
+    invalid_arg
+      "Allocator.allocate_func: structured form must have a single body block");
+  (* Everything register-typed must now be placed. *)
+  let check v =
+    if not (is_allocated v) then
+      conflict "value %a left unallocated" Ir.Value.pp v
+  in
+  Ir.walk fn (fun op ->
+      List.iter check (Ir.Op.operands op);
+      List.iter check (Ir.Op.results op));
+  let fp, ints = Asm_emit.used_registers fn in
+  { fp_regs = fp; int_regs = ints; fp_count = List.length fp; int_count = List.length ints }

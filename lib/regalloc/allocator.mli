@@ -1,0 +1,38 @@
+(** The multi-level, spill-free register allocator (paper §3.3).
+
+    Three linear passes over a function in structured machine form:
+    1. {e Exclusion} — registers already named in the IR leave the
+       caller-saved pools (15 integer, 20 FP), so partially-allocated
+       code is handled generically (Figure 6 A).
+    2. {e Escape analysis} — values used inside a loop region but defined
+       outside are recorded per loop (Figure 6 B).
+    3. {e Backwards in-place walk} — registers are assigned at a value's
+       last use and released at its definition; loops unify the
+       registers of results / iteration operands / block arguments /
+       yields first (Figure 6 D), extend escaping values' ranges across
+       the body, then recurse.
+
+    There is {b no spilling}: exhausting a pool raises
+    {!Out_of_registers} (see {!Remat} for the rematerialisation
+    fallback and {!Linear_scan} for the classical comparator). *)
+
+open Mlc_riscv
+
+exception Out_of_registers of Reg.kind
+exception Allocation_conflict of string
+
+type report = {
+  fp_regs : string list;
+  int_regs : string list;
+  fp_count : int;
+  int_count : int;
+}
+
+(** Allocate every register of an [rv_func.func] in place (by mutating
+    value types). Raises {!Out_of_registers} rather than spilling, and
+    {!Allocation_conflict} on contradictory pinning (a lowering bug).
+
+    [reclaim_dead_args] (default true) returns the registers of unused
+    entry arguments to the pool — the sound subset of the
+    argument-register reuse the paper lists as future work (§4.3). *)
+val allocate_func : ?reclaim_dead_args:bool -> Mlc_ir.Ir.op -> report

@@ -1,0 +1,232 @@
+(* An independent register-allocation soundness checker: given an
+   allocated function in structured machine form, rebuild conservative
+   live ranges from scratch (without consulting any allocator state) and
+   verify that no two distinct live ranges assigned to the same register
+   overlap. Serves as the test oracle for both the structured spill-free
+   allocator and the linear scan.
+
+   Live-range model (positions from a pre-order linearisation):
+   - an op result lives from its op to its last use;
+   - entry block arguments live from position 0;
+   - loop-carried quads (result / iteration operand / body argument /
+     yield operand) form one range extended to the loop's end;
+   - induction variables live across their whole loop;
+   - a value used inside a loop but defined outside lives to the loop's
+     end (it is re-read every iteration);
+   - a loop's upper bound (operand 1 of rv_scf.for) is re-read at every
+     back edge and lives to the loop's end; the lower bound and an
+     FREP's repetition count are consumed at entry only.
+
+   Exempt from checking: SSR data registers (every stream access
+   intentionally names ft0-ft2), "zero", and unallocated values. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+exception Overlap of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Overlap m)) fmt
+
+type range = {
+  reg : string;
+  mutable lo : int;
+  mutable hi : int;
+  repr : int; (* representative value id *)
+}
+
+let check_func fn =
+  if Ir.Op.name fn <> Rv_func.func_op then
+    invalid_arg "Check.check_func: expected rv_func.func";
+  (* Linearise. *)
+  let op_pos = Hashtbl.create 128 in
+  let loop_extent = Hashtbl.create 16 in
+  let next = ref 1 in
+  let rec walk_block (b : Ir.block) =
+    Ir.Block.iter_ops b (fun op ->
+        let start = !next in
+        incr next;
+        Hashtbl.replace op_pos (Ir.Op.id op) start;
+        List.iter
+          (fun (r : Ir.region) -> List.iter walk_block (Ir.Region.blocks r))
+          (Ir.Op.regions op);
+        if Ir.Op.regions op <> [] then begin
+          Hashtbl.replace loop_extent (Ir.Op.id op) (start, !next);
+          incr next
+        end)
+  in
+  List.iter walk_block (Ir.Region.blocks (Rv_func.body_region fn));
+  (* Union-find for quad unification. *)
+  let parent = Hashtbl.create 64 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None -> x
+    | Some p when p = x -> x
+    | Some p ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  let is_loop op =
+    Ir.Op.name op = Rv_scf.for_op || Ir.Op.name op = Rv_snitch.frep_outer_op
+  in
+  Ir.walk fn (fun op ->
+      if is_loop op then begin
+        let body = Ir.Region.only_block (Ir.Op.region op 0) in
+        let iter_operands =
+          if Ir.Op.name op = Rv_scf.for_op then Rv_scf.iter_operands op
+          else Rv_snitch.iter_operands op
+        in
+        let iter_args =
+          if Ir.Op.name op = Rv_scf.for_op then Rv_scf.iter_args op
+          else Ir.Block.args body
+        in
+        let yield = Option.get (Ir.Block.terminator body) in
+        List.iteri
+          (fun i res ->
+            union (Ir.Value.id res) (Ir.Value.id (List.nth iter_operands i));
+            union (Ir.Value.id res) (Ir.Value.id (List.nth iter_args i));
+            union (Ir.Value.id res) (Ir.Value.id (Ir.Op.operand yield i)))
+          (Ir.Op.results op)
+      end);
+  (* Collect values. *)
+  let values = Hashtbl.create 256 in
+  let note v = Hashtbl.replace values (Ir.Value.id v) v in
+  List.iter note (Ir.Block.args (Rv_func.entry fn));
+  Ir.walk fn (fun op ->
+      List.iter note (Ir.Op.results op);
+      List.iter note (Ir.Op.operands op);
+      List.iter
+        (fun (r : Ir.region) ->
+          List.iter
+            (fun (b : Ir.block) -> List.iter note (Ir.Block.args b))
+            (Ir.Region.blocks r))
+        (Ir.Op.regions op));
+  let reg_of v =
+    match Ir.Value.ty v with
+    | Ty.Int_reg (Some r) | Ty.Float_reg (Some r) -> Some r
+    | _ -> None
+  in
+  let exempt r = r = Reg.zero || List.mem r Reg.ssr_data_registers in
+  (* Build ranges per class. *)
+  let ranges : (int, range) Hashtbl.t = Hashtbl.create 128 in
+  let def_pos v =
+    match Ir.Value.def v with
+    | Ir.Op_result (op, _) ->
+      Option.value ~default:0 (Hashtbl.find_opt op_pos (Ir.Op.id op))
+    | Ir.Block_arg (b, _) -> (
+      if Ir.Block.equal b (Rv_func.entry fn) then 0
+      else
+        match Ir.Block.parent_op b with
+        | Some loop ->
+          fst (Option.value ~default:(0, 0)
+                 (Hashtbl.find_opt loop_extent (Ir.Op.id loop)))
+        | None -> 0)
+  in
+  Hashtbl.iter
+    (fun vid v ->
+      match reg_of v with
+      | Some r when not (exempt r) ->
+        let root = find vid in
+        let range =
+          match Hashtbl.find_opt ranges root with
+          | Some range ->
+            if range.reg <> r then
+              fail "loop-carried class split across %s and %s" range.reg r;
+            range
+          | None ->
+            let range = { reg = r; lo = max_int; hi = 0; repr = root } in
+            Hashtbl.replace ranges root range;
+            range
+        in
+        range.lo <- min range.lo (def_pos v);
+        List.iter
+          (fun (u : Ir.use) ->
+            (match Hashtbl.find_opt op_pos (Ir.Op.id u.Ir.user) with
+            | Some p -> range.hi <- max range.hi p
+            | None -> ());
+            (* Loop upper bound: re-read at the back edge. *)
+            if Ir.Op.name u.Ir.user = Rv_scf.for_op && u.Ir.index = 1 then
+              match Hashtbl.find_opt loop_extent (Ir.Op.id u.Ir.user) with
+              | Some (_, lend) -> range.hi <- max range.hi lend
+              | None -> ())
+          (Ir.Value.uses v)
+      | _ -> ())
+    values;
+  (* Extension across loops. A loop-carried class (or induction variable)
+     is live across ITS OWN loop's back edge only — it is re-initialised
+     on each entry from an enclosing loop. *)
+  let carried = Hashtbl.create 32 in
+  Ir.walk fn (fun op ->
+      if is_loop op then begin
+        let _, lend =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt loop_extent (Ir.Op.id op))
+        in
+        List.iter
+          (fun res -> Hashtbl.replace carried (find (Ir.Value.id res)) lend)
+          (Ir.Op.results op);
+        if Ir.Op.name op = Rv_scf.for_op then
+          Hashtbl.replace carried
+            (find (Ir.Value.id (Rv_scf.induction_var op)))
+            lend
+      end);
+  Hashtbl.iter
+    (fun root range ->
+      match Hashtbl.find_opt carried root with
+      | Some lend -> range.hi <- max range.hi lend
+      | None -> ())
+    ranges;
+  (* Iterate to a fixpoint: extending into one loop may move the range
+     end inside an enclosing loop processed earlier. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun _ (lstart, lend) ->
+        Hashtbl.iter
+          (fun _ range ->
+            (* live-through: defined before the loop, still used inside *)
+            if range.lo < lstart && range.hi > lstart && range.hi < lend then begin
+              range.hi <- lend;
+              changed := true
+            end)
+          ranges)
+      loop_extent
+  done;
+  (* Overlap check per register. *)
+  let by_reg = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun _ range ->
+      if range.hi >= range.lo then
+        Hashtbl.replace by_reg range.reg
+          (range :: Option.value ~default:[] (Hashtbl.find_opt by_reg range.reg)))
+    ranges;
+  Hashtbl.iter
+    (fun reg rs ->
+      let sorted = List.sort (fun a b -> compare a.lo b.lo) rs in
+      (* Sweep with the running maximum end so a long range is checked
+         against every later range it spans, not just its neighbour.
+         Touching at one position is legal: an instruction may read a
+         register as its last use and redefine it (dest = src). *)
+      let rec scan prev cur_hi = function
+        | b :: rest ->
+          if b.lo < cur_hi then
+            fail
+              "register %s assigned to overlapping live ranges [%d, %d] \
+               (class %d) and [%d, %d] (class %d)"
+              reg prev.lo prev.hi prev.repr b.lo b.hi b.repr;
+          scan (if b.hi > cur_hi then b else prev) (max cur_hi b.hi) rest
+        | [] -> ()
+      in
+      (match sorted with
+      | first :: rest -> scan first first.hi rest
+      | [] -> ()))
+    by_reg
+
+let check_result fn =
+  match check_func fn with
+  | () -> Ok ()
+  | exception Overlap msg -> Error msg

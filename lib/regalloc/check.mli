@@ -1,0 +1,12 @@
+(** An independent register-allocation soundness checker: rebuilds
+    conservative live ranges from scratch and verifies that no two
+    distinct ranges assigned to the same register overlap. The test
+    oracle for both {!Allocator} and {!Linear_scan}; the .ml header
+    documents the live-range model and exemptions. *)
+
+exception Overlap of string
+
+(** Check an allocated [rv_func.func]; raises {!Overlap} on a violation. *)
+val check_func : Mlc_ir.Ir.op -> unit
+
+val check_result : Mlc_ir.Ir.op -> (unit, string) result

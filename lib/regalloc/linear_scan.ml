@@ -1,0 +1,452 @@
+(* A classical linear-scan register allocator WITH spilling (Poletto &
+   Sarkar style), the approach the paper contrasts its structured
+   spill-free allocator against (§3.3: "spilling, a feature required for
+   general-purpose register allocation, has a negative performance
+   impact, making it undesired for micro-kernel compilation").
+
+   The allocator linearises the structured IR, computes live intervals
+   (loop-carried quads are unified and extended across their loop; values
+   used inside a loop but defined outside live to the loop's end), scans
+   intervals by start point and, under pressure, spills the interval with
+   the furthest end to a stack slot. Spill code uses reserved scratch
+   registers: the definition stores to the slot, every use reloads.
+
+   Restrictions (documented): loop-carried values, induction variables
+   and block arguments are never spilled (raises {!Cannot_spill} if only
+   those remain), and streaming kernels (pinned SSR registers) are out of
+   scope — the paper's baselines, which this allocator exists to model,
+   use neither. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+exception Cannot_spill of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Cannot_spill m)) fmt
+
+(* Reserved scratch registers (removed from the pools): the head of the
+   integer list holds the frame pointer, the rest serve spill stores and
+   reloads. *)
+let int_scratch = [ "t4"; "t5"; "t6" ]
+let float_scratch = [ "ft9"; "ft10"; "ft11" ]
+
+(* --- union-find over value ids (loop quad unification) --- *)
+
+type uf = (int, int) Hashtbl.t
+
+let rec uf_find (uf : uf) x =
+  match Hashtbl.find_opt uf x with
+  | None -> x
+  | Some p when p = x -> x
+  | Some p ->
+    let r = uf_find uf p in
+    Hashtbl.replace uf x r;
+    r
+
+let uf_union uf a b =
+  let ra = uf_find uf a and rb = uf_find uf b in
+  if ra <> rb then Hashtbl.replace uf ra rb
+
+(* --- linearisation --- *)
+
+type linearized = {
+  op_pos : (int, int) Hashtbl.t; (* op id -> position *)
+  loop_extent : (int, int * int) Hashtbl.t; (* loop op id -> (start, end) *)
+  mutable max_pos : int;
+}
+
+let linearize fn =
+  let lz =
+    { op_pos = Hashtbl.create 64; loop_extent = Hashtbl.create 8; max_pos = 0 }
+  in
+  let next = ref 0 in
+  let rec walk_block (b : Ir.block) =
+    Ir.Block.iter_ops b (fun op ->
+        let start = !next in
+        incr next;
+        Hashtbl.replace lz.op_pos (Ir.Op.id op) start;
+        List.iter
+          (fun (r : Ir.region) -> List.iter walk_block (Ir.Region.blocks r))
+          (Ir.Op.regions op);
+        if Ir.Op.regions op <> [] then begin
+          let stop = !next in
+          incr next;
+          Hashtbl.replace lz.loop_extent (Ir.Op.id op) (start, stop)
+        end)
+  in
+  (match Ir.Region.blocks (Rv_func.body_region fn) with
+  | [ body ] -> walk_block body
+  | _ -> fail "linear scan requires a single structured body block");
+  lz.max_pos <- !next;
+  lz
+
+(* --- intervals --- *)
+
+type interval = {
+  class_id : int; (* uf representative value id *)
+  kind : Reg.kind;
+  mutable istart : int;
+  mutable iend : int;
+  members : Ir.value list;
+  precolored : string option;
+  spillable : bool;
+  mutable assigned : string option;
+  mutable spilled : bool;
+}
+
+let value_kind v =
+  match Ir.Value.ty v with
+  | Ty.Int_reg _ -> Reg.Int_kind
+  | Ty.Float_reg _ -> Reg.Float_kind
+  | t -> fail "non-register value of type %s" (Ty.to_string t)
+
+let precolor_of v =
+  match Ir.Value.ty v with
+  | Ty.Int_reg (Some r) | Ty.Float_reg (Some r) -> Some r
+  | _ -> None
+
+(* Position of a value's definition. *)
+let def_pos lz fn v =
+  match Ir.Value.def v with
+  | Ir.Op_result (op, _) -> (
+    match Hashtbl.find_opt lz.op_pos (Ir.Op.id op) with
+    | Some p -> p
+    | None -> fail "definition outside the function body")
+  | Ir.Block_arg (b, _) -> (
+    if Ir.Block.equal b (Rv_func.entry fn) then 0
+    else
+      match Ir.Block.parent_op b with
+      | Some loop -> fst (Hashtbl.find lz.loop_extent (Ir.Op.id loop))
+      | None -> fail "block argument without a parent loop")
+
+let build_intervals fn lz =
+  let uf : uf = Hashtbl.create 64 in
+  (* Unify loop-carried quads; remember which classes are carried. *)
+  let carried = Hashtbl.create 16 in
+  let carried_members = Hashtbl.create 16 in
+  Ir.walk fn (fun op ->
+      if Ir.Op.name op = Rv_scf.for_op then begin
+        let body = Rv_scf.body op in
+        let yield = Rv_scf.yield_of op in
+        List.iteri
+          (fun i res ->
+            let quad =
+              [
+                res;
+                List.nth (Rv_scf.iter_operands op) i;
+                Ir.Block.arg body (i + 1);
+                Ir.Op.operand yield i;
+              ]
+            in
+            List.iter
+              (fun v -> uf_union uf (Ir.Value.id (List.hd quad)) (Ir.Value.id v))
+              quad;
+            Hashtbl.replace carried_members (Ir.Value.id res) ())
+          (Ir.Op.results op);
+        (* The induction variable is live across the back edge too. *)
+        Hashtbl.replace carried_members
+          (Ir.Value.id (Rv_scf.induction_var op))
+          ()
+      end);
+  (* Resolve recorded members to final representatives (unions after the
+     recording could have moved roots). *)
+  Hashtbl.iter
+    (fun vid () -> Hashtbl.replace carried (uf_find uf vid) ())
+    carried_members;
+  (* Collect all values. *)
+  let values = Hashtbl.create 128 in
+  let note v = Hashtbl.replace values (Ir.Value.id v) v in
+  List.iter note (Ir.Block.args (Rv_func.entry fn));
+  Ir.walk fn (fun op ->
+      List.iter note (Ir.Op.results op);
+      List.iter note (Ir.Op.operands op);
+      List.iter
+        (fun (r : Ir.region) ->
+          List.iter
+            (fun (b : Ir.block) -> List.iter note (Ir.Block.args b))
+            (Ir.Region.blocks r))
+        (Ir.Op.regions op));
+  (* Build classes. *)
+  let classes : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun vid v ->
+      let root = uf_find uf vid in
+      let is_block_arg = match Ir.Value.def v with Ir.Block_arg _ -> true | _ -> false in
+      match Hashtbl.find_opt classes root with
+      | Some itv ->
+        let itv =
+          {
+            itv with
+            members = v :: itv.members;
+            precolored =
+              (match (itv.precolored, precolor_of v) with
+              | Some r, Some r' when r <> r' ->
+                fail "conflicting precolors %s / %s in one class" r r'
+              | Some r, _ -> Some r
+              | None, p -> p);
+            spillable = itv.spillable && not is_block_arg;
+          }
+        in
+        Hashtbl.replace classes root itv
+      | None ->
+        Hashtbl.replace classes root
+          {
+            class_id = root;
+            kind = value_kind v;
+            istart = max_int;
+            iend = 0;
+            members = [ v ];
+            precolored = precolor_of v;
+            spillable =
+              (not is_block_arg) && not (Hashtbl.mem carried root);
+            assigned = None;
+            spilled = false;
+          })
+    values;
+  (* Interval endpoints. Values consumed by a loop op itself (bounds) are
+     read at the back edge every iteration and must stay in a register:
+     mark them unspillable. *)
+  let unspillable = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun root itv ->
+      List.iter
+        (fun v ->
+          itv.istart <- min itv.istart (def_pos lz fn v);
+          List.iter
+            (fun (u : Ir.use) ->
+              if Ir.Op.name u.Ir.user = Rv_scf.for_op then begin
+                Hashtbl.replace unspillable root ();
+                (* Loop bounds are re-read at every back edge: the value
+                   lives to the loop's end. *)
+                match Hashtbl.find_opt lz.loop_extent (Ir.Op.id u.Ir.user) with
+                | Some (_, lend) -> itv.iend <- max itv.iend lend
+                | None -> ()
+              end;
+              match Hashtbl.find_opt lz.op_pos (Ir.Op.id u.Ir.user) with
+              | Some p -> itv.iend <- max itv.iend p
+              | None -> ())
+            (Ir.Value.uses v))
+        itv.members)
+    classes;
+  Hashtbl.iter
+    (fun root () ->
+      match Hashtbl.find_opt classes root with
+      | Some itv -> Hashtbl.replace classes root { itv with spillable = false }
+      | None -> ())
+    unspillable;
+  (* Extend across loops: used inside a loop but defined before it, or a
+     loop-carried class, lives to the loop's end. *)
+  Hashtbl.iter
+    (fun loop_id (lstart, lend) ->
+      ignore loop_id;
+      Hashtbl.iter
+        (fun _ itv ->
+          if itv.istart < lstart && itv.iend > lstart && itv.iend < lend then
+            itv.iend <- lend;
+          if Hashtbl.mem carried itv.class_id && itv.istart >= lstart
+             && itv.istart <= lend then
+            itv.iend <- max itv.iend lend)
+        classes)
+    lz.loop_extent;
+  classes
+
+(* --- the scan --- *)
+
+type result = {
+  report : Allocator.report;
+  spill_slots : int;
+  spilled_classes : int;
+}
+
+let allocate_func ?(int_pool = Reg.int_pool) ?(float_pool = Reg.float_pool) fn =
+  if Ir.Op.name fn <> Rv_func.func_op then
+    invalid_arg "Linear_scan.allocate_func: expected rv_func.func";
+  Ir.walk fn (fun op ->
+      if Ir.Op.name op = Snitch_stream.streaming_region_op
+         || Ir.Op.name op = Rv_snitch.read_op
+      then fail "streaming kernels are out of scope for the linear-scan comparator");
+  let lz = linearize fn in
+  let classes = build_intervals fn lz in
+  let intervals =
+    Hashtbl.fold (fun _ itv acc -> itv :: acc) classes []
+    |> List.sort (fun a b -> compare (a.istart, a.class_id) (b.istart, b.class_id))
+  in
+  (* Pools minus scratch and precolored registers. *)
+  let precolored_regs =
+    List.filter_map (fun itv -> itv.precolored) intervals
+  in
+  let avail kind =
+    let pool, scratch =
+      match kind with
+      | Reg.Int_kind -> (int_pool, int_scratch)
+      | Reg.Float_kind -> (float_pool, float_scratch)
+    in
+    List.filter
+      (fun r -> (not (List.mem r scratch)) && not (List.mem r precolored_regs))
+      pool
+  in
+  let free_int = ref (avail Reg.Int_kind) in
+  let free_float = ref (avail Reg.Float_kind) in
+  let free_of = function Reg.Int_kind -> free_int | Reg.Float_kind -> free_float in
+  let active = ref [] (* sorted by iend *) in
+  let expire pos =
+    let expired, live = List.partition (fun itv -> itv.iend < pos) !active in
+    List.iter
+      (fun itv ->
+        match itv.assigned with
+        | Some r when itv.precolored = None ->
+          let fr = free_of itv.kind in
+          fr := r :: !fr
+        | _ -> ())
+      expired;
+    active := live
+  in
+  let n_spilled = ref 0 in
+  List.iter
+    (fun itv ->
+      if itv.precolored <> None then itv.assigned <- itv.precolored
+      else begin
+        expire itv.istart;
+        let fr = free_of itv.kind in
+        match !fr with
+        | r :: rest ->
+          fr := rest;
+          itv.assigned <- Some r;
+          active :=
+            List.sort (fun a b -> compare a.iend b.iend) (itv :: !active)
+        | [] ->
+          (* Spill the same-kind interval with the furthest end. *)
+          let candidates =
+            List.filter (fun a -> a.kind = itv.kind && a.spillable) !active
+          in
+          let victim =
+            List.fold_left
+              (fun best a ->
+                match best with
+                | Some b when b.iend >= a.iend -> Some b
+                | _ -> Some a)
+              (if itv.spillable then Some itv else None)
+              candidates
+          in
+          (match victim with
+          | None -> fail "pressure requires spilling an unspillable value"
+          | Some v when v == itv ->
+            itv.spilled <- true;
+            incr n_spilled
+          | Some v ->
+            v.spilled <- true;
+            incr n_spilled;
+            itv.assigned <- v.assigned;
+            v.assigned <- None;
+            active :=
+              List.sort (fun a b -> compare a.iend b.iend)
+                (itv :: List.filter (fun a -> not (a == v)) !active))
+      end)
+    intervals;
+  (* Apply register assignments. *)
+  List.iter
+    (fun itv ->
+      match itv.assigned with
+      | Some r when not itv.spilled ->
+        List.iter
+          (fun v ->
+            match Ir.Value.ty v with
+            | Ty.Int_reg None -> Ir.Value.set_ty v (Ty.Int_reg (Some r))
+            | Ty.Float_reg None -> Ir.Value.set_ty v (Ty.Float_reg (Some r))
+            | _ -> ())
+          itv.members
+      | _ -> ())
+    intervals;
+  (* Insert spill code: store after def, reload before each use. Spilled
+     classes are single-member plain op results by construction. *)
+  let spilled = List.filter (fun itv -> itv.spilled) intervals in
+  let n_slots = List.length spilled in
+  if n_slots > 0 then begin
+    let entry = Rv_func.entry fn in
+    let first_op =
+      match Ir.Block.first_op entry with
+      | Some op -> op
+      | None -> fail "empty function"
+    in
+    let bb_entry = Builder.before first_op in
+    let frame = (n_slots * 8 + 15) / 16 * 16 in
+    (* Leaf-function red zone: the frame pointer is sp - frame in a
+       reserved scratch register; sp itself never moves (the kernels
+       make no calls). *)
+    let sp0 = Rv.get_register bb_entry "sp" in
+    let sp = Rv.addi bb_entry sp0 (-frame) in
+    Ir.Value.set_ty sp (Ty.Int_reg (Some (List.hd int_scratch)));
+    List.iteri
+      (fun slot itv ->
+        let off = slot * 8 in
+        List.iter
+          (fun v ->
+            let def_op =
+              match Ir.Value.defining_op v with
+              | Some op -> op
+              | None -> fail "spilled block argument"
+            in
+            let scratch_pool =
+              match itv.kind with
+              | Reg.Int_kind -> List.tl int_scratch
+              | Reg.Float_kind -> float_scratch
+            in
+            let store_name, load_name =
+              match itv.kind with
+              | Reg.Int_kind -> (Rv.sd_op, Rv.ld_op)
+              | Reg.Float_kind -> (Rv.fsd_op, Rv.fld_op)
+            in
+            (* Definition lands in scratch and is stored to the slot. *)
+            let def_scratch = List.hd scratch_pool in
+            (match Ir.Value.ty v with
+            | Ty.Int_reg None -> Ir.Value.set_ty v (Ty.Int_reg (Some def_scratch))
+            | Ty.Float_reg None ->
+              Ir.Value.set_ty v (Ty.Float_reg (Some def_scratch))
+            | _ -> ());
+            let bb = Builder.after def_op in
+            (match itv.kind with
+            | Reg.Int_kind -> Rv.store bb store_name ~offset:off v sp
+            | Reg.Float_kind -> Rv.fstore bb store_name ~offset:off v sp);
+            (* Each use reloads into a scratch register chosen by operand
+               index, so several spilled operands of one instruction get
+               distinct registers. *)
+            let uses = Ir.Value.uses v in
+            List.iter
+              (fun (u : Ir.use) ->
+                (* Skip the store we just inserted. *)
+                if not (Ir.Op.name u.Ir.user = store_name
+                        && Ir.Op.operand u.Ir.user 0 == v)
+                then begin
+                  let bb = Builder.before u.Ir.user in
+                  let scratch =
+                    List.nth scratch_pool (u.Ir.index mod List.length scratch_pool)
+                  in
+                  let reload =
+                    match itv.kind with
+                    | Reg.Int_kind -> Rv.load bb load_name ~offset:off sp
+                    | Reg.Float_kind -> Rv.fload bb load_name ~offset:off sp
+                  in
+                  (match Ir.Value.ty reload with
+                  | Ty.Int_reg None ->
+                    Ir.Value.set_ty reload (Ty.Int_reg (Some scratch))
+                  | Ty.Float_reg None ->
+                    Ir.Value.set_ty reload (Ty.Float_reg (Some scratch))
+                  | _ -> ());
+                  Ir.Op.set_operand u.Ir.user u.Ir.index reload
+                end)
+              uses)
+          itv.members)
+      spilled
+  end;
+  let fp, ints = Asm_emit.used_registers fn in
+  {
+    report =
+      {
+        Allocator.fp_regs = fp;
+        int_regs = ints;
+        fp_count = List.length fp;
+        int_count = List.length ints;
+      };
+    spill_slots = n_slots;
+    spilled_classes = !n_spilled;
+  }

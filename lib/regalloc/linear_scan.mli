@@ -1,0 +1,27 @@
+(** A classical linear-scan register allocator {e with spilling}
+    (Poletto & Sarkar), the comparator the paper's structured spill-free
+    allocator is argued against (§3.3: spilling "has a negative
+    performance impact, making it undesired for micro-kernel
+    compilation"). Intended for the non-streaming baseline flows and for
+    the spilling-cost ablation bench; see the .ml header for the
+    documented restrictions. *)
+
+
+exception Cannot_spill of string
+
+type result = {
+  report : Allocator.report;
+  spill_slots : int;  (** stack slots allocated *)
+  spilled_classes : int;  (** live ranges sent to memory *)
+}
+
+(** Allocate in place. [int_pool]/[float_pool] override the register
+    pools (shrink them to force spilling in tests and ablations);
+    reserved scratch registers are excluded automatically. Raises
+    {!Cannot_spill} when pressure can only be relieved by spilling a
+    loop-carried value, an induction variable or a loop bound. *)
+val allocate_func :
+  ?int_pool:string list ->
+  ?float_pool:string list ->
+  Mlc_ir.Ir.op ->
+  result

@@ -1,0 +1,135 @@
+(* Rematerialisation on register pressure: when the spill-free allocator
+   runs out of registers, constants and register-materialisation ops that
+   are live across long ranges are re-created next to each of their uses,
+   shrinking their live ranges to a single instruction, and allocation is
+   retried. This is the constant-rematerialisation every classical
+   backend performs and keeps the *spill-free* guarantee of the paper's
+   allocator intact: memory is never touched.
+
+   Used primarily by the baseline flows, whose naive address arithmetic
+   hoists many constants; the paper's own pipeline rarely triggers it. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+(* Ops cheap enough to duplicate freely. Their operands (if any) are
+   reused, not cloned: they dominate the original definition and hence
+   every use. *)
+let remat_ops =
+  [
+    "rv.li"; "rv.li_bits"; "rv.get_register"; "rv.fcvt.d.w"; "rv.fcvt.s.w";
+    "rv.fmv.d.x"; "rv.fmv.w.x";
+    (* Address arithmetic: under pressure it is cheaper to recompute an
+       address chain at each use than to keep it live (this selectively
+       reverses LICM/CSE, as pressure-aware backends do). *)
+    "rv.slli"; "rv.addi"; "rv.add"; "rv.sub"; "rv.mul";
+  ]
+
+let kind_of_result op =
+  match Ir.Value.ty (Ir.Op.result op 0) with
+  | Ty.Float_reg _ -> Some Reg.Float_kind
+  | Ty.Int_reg _ -> Some Reg.Int_kind
+  | _ -> None
+
+let inside_frep (user : Ir.op) =
+  Ir.ancestor_op user (fun p -> Ir.Op.name p = Rv_snitch.frep_outer_op) <> None
+
+(* A candidate must actually shrink a live range: more than one use, or a
+   single use in a different block. Uses inside FREP bodies block
+   non-FPU rematerialisation (the sequencer cannot execute an li). *)
+let is_candidate kind op =
+  List.mem (Ir.Op.name op) remat_ops
+  && Ir.Op.num_results op = 1
+  && kind_of_result op = Some kind
+  && (let res = Ir.Op.result op 0 in
+      let uses = Ir.Value.uses res in
+      let spread =
+        match uses with
+        | [] -> false
+        | [ { Ir.user; _ } ] -> (
+          match (Ir.Op.parent user, Ir.Op.parent op) with
+          | Some a, Some b -> not (Ir.Block.equal a b)
+          | _ -> false)
+        | _ -> true
+      in
+      spread
+      && (Rv.is_fpu_op (Ir.Op.name op)
+         || List.for_all (fun (u : Ir.use) -> not (inside_frep u.user)) uses))
+
+let rematerialize op =
+  let res = Ir.Op.result op 0 in
+  let uses = Ir.Value.uses res in
+  List.iter
+    (fun (u : Ir.use) ->
+      let clone =
+        Ir.Op.create
+          ~attrs:(Ir.Op.attrs op)
+          ~results:[ Ir.Value.ty res ]
+          (Ir.Op.name op) (Ir.Op.operands op)
+      in
+      Ir.Op.insert_before ~anchor:u.Ir.user clone;
+      Ir.Op.set_operand u.Ir.user u.Ir.index (Ir.Op.result clone 0))
+    uses;
+  Ir.Op.erase op
+
+(* Snapshot / restore of register assignments so a failed attempt leaves
+   no partial allocation behind. *)
+let snapshot fn =
+  let acc = ref [] in
+  let note v = acc := (v, Ir.Value.ty v) :: !acc in
+  List.iter note (Ir.Block.args (Rv_func.entry fn));
+  Ir.walk fn (fun op ->
+      List.iter note (Ir.Op.results op);
+      List.iter
+        (fun (r : Ir.region) ->
+          List.iter
+            (fun (b : Ir.block) -> List.iter note (Ir.Block.args b))
+            (Ir.Region.blocks r))
+        (Ir.Op.regions op));
+  !acc
+
+let restore snap = List.iter (fun (v, ty) -> Ir.Value.set_ty v ty) snap
+
+exception Still_out_of_registers of Reg.kind
+
+let allocate_with_remat ?(max_rounds = 64) fn =
+  let rec attempt round =
+    let snap = snapshot fn in
+    match Allocator.allocate_func fn with
+    | report -> report
+    | exception Allocator.Out_of_registers kind ->
+      restore snap;
+      if round >= max_rounds then raise (Still_out_of_registers kind);
+      (* Prefer rematerialising values whose uses sit in the shallowest
+         loop nesting: recomputation there is cheapest, and hot inner
+         loops keep their hoisted invariants. *)
+      let loop_depth op =
+        let rec go o acc =
+          match Ir.ancestor_op o (fun p -> Ir.Op.regions p <> []) with
+          | Some p -> go p (acc + 1)
+          | None -> acc
+        in
+        go op 0
+      in
+      let cost op =
+        List.fold_left
+          (fun acc (u : Ir.use) -> max acc (loop_depth u.Ir.user))
+          0
+          (Ir.Value.uses (Ir.Op.result op 0))
+      in
+      let candidate =
+        let best = ref None in
+        Ir.walk fn (fun op ->
+            if is_candidate kind op then
+              let c = cost op in
+              match !best with
+              | Some (_, bc) when bc <= c -> ()
+              | _ -> best := Some (op, c));
+        Option.map fst !best
+      in
+      (match candidate with
+      | Some op -> rematerialize op
+      | None -> raise (Still_out_of_registers kind));
+      attempt (round + 1)
+  in
+  attempt 0

@@ -1,0 +1,16 @@
+(** Rematerialisation on register pressure: when the spill-free allocator
+    runs out of registers, constants and address arithmetic with
+    spread-out uses are re-created next to each use (shrinking their
+    live ranges to one instruction) and allocation is retried — memory
+    is never touched, preserving the paper's spill-free property.
+    Candidates are chosen depth-aware: the shallowest-nested first, so
+    hot inner loops keep their hoisted invariants. *)
+
+open Mlc_riscv
+
+exception Still_out_of_registers of Reg.kind
+
+(** Like {!Allocator.allocate_func} with the rematerialisation retry
+    loop. A failed attempt is rolled back before rewriting, so the IR is
+    never left partially allocated. *)
+val allocate_with_remat : ?max_rounds:int -> Mlc_ir.Ir.op -> Allocator.report

@@ -1,0 +1,243 @@
+(* Assembly emission: walks register-allocated IR in-order and prints
+   RISC-V assembly with Snitch extensions, per-op (paper §3.1: "Assembly
+   is printed using an interface-based design, where the IR is walked
+   in-order, and printed according to implementation of each operation").
+
+   Structured operations emit their own control flow:
+   - rv_scf.for prints the classic guard / body / increment / back-branch
+     skeleton over its (already unified) registers;
+   - rv_snitch.frep_outer prints a frep.o covering its body in-line.
+
+   Ops that exist purely to bridge SSA and registers (get_register,
+   stream read/write, yields) emit nothing. *)
+
+exception Emit_error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Emit_error m)) fmt
+
+open Mlc_ir
+
+let r op i = Rv.reg_of (Ir.Op.operand op i)
+let d op = Rv.reg_of (Ir.Op.result op 0)
+let imm op key = Attr.get_int (Ir.Op.attr_exn op key)
+
+(* Number of machine instructions an op expands to. Loops are forbidden
+   where this is used (FREP instruction counting). *)
+let rec instr_count op =
+  match Ir.Op.name op with
+  | "rv.get_register" | "rv_snitch.read" | "rv_snitch.write"
+  | "rv_snitch.frep_yield" | "rv_scf.yield" | "rv.comment" -> 0
+  | "rv_snitch.frep_outer" ->
+    let body = Rv_snitch.body op in
+    1 + Ir.Block.fold_ops body ~init:0 ~f:(fun n o -> n + instr_count o)
+  | "rv_scf.for" -> err "rv_scf.for inside an frep-counted region"
+  | _ -> 1
+
+let branch_mnemonic = function
+  | "rv_cf.beq" -> "beq"
+  | "rv_cf.bne" -> "bne"
+  | "rv_cf.blt" -> "blt"
+  | "rv_cf.bge" -> "bge"
+  | name -> err "unknown branch op %s" name
+
+type ctx = {
+  fname : string;
+  mutable fresh_label : int;
+  label_table : (int, string) Hashtbl.t; (* block id -> label *)
+}
+
+let fresh_label ctx hint =
+  let l = Printf.sprintf ".%s_%s%d" ctx.fname hint ctx.fresh_label in
+  ctx.fresh_label <- ctx.fresh_label + 1;
+  l
+
+let label_of ctx (b : Ir.block) =
+  match Hashtbl.find_opt ctx.label_table b.Ir.bid with
+  | Some l -> l
+  | None -> err "branch to unlabelled block"
+
+let rec op_lines ctx ~next_block op =
+  let name = Ir.Op.name op in
+  match name with
+  | "rv.get_register" | "rv_snitch.read" | "rv_snitch.frep_yield"
+  | "rv_scf.yield" -> []
+  | "rv_snitch.write" ->
+    (* The producing instruction's destination is the stream register;
+       nothing to emit, but sanity-check the allocation. *)
+    let v = Ir.Op.operand op 0 and s = Ir.Op.operand op 1 in
+    if Rv.reg_of v <> Rv.reg_of s then
+      err "stream write value allocated to %s, expected %s" (Rv.reg_of v)
+        (Rv.reg_of s);
+    []
+  | "rv.comment" ->
+    [ Printf.sprintf "    # %s" (Attr.get_str (Ir.Op.attr_exn op "text")) ]
+  | "rv.li" -> [ Printf.sprintf "    li %s, %d" (d op) (imm op "imm") ]
+  | "rv.li_bits" ->
+    let f = Attr.get_float (Ir.Op.attr_exn op "value") in
+    [ Printf.sprintf "    li %s, 0x%Lx" (d op) (Int64.bits_of_float f) ]
+  | "rv.mv" -> [ Printf.sprintf "    mv %s, %s" (d op) (r op 0) ]
+  | "rv.add" | "rv.sub" | "rv.mul" | "rv.div" | "rv.and" | "rv.or" | "rv.xor"
+  | "rv.slt" ->
+    [ Printf.sprintf "    %s %s, %s, %s" (Rv.mnemonic name) (d op) (r op 0) (r op 1) ]
+  | "rv.addi" | "rv.slli" | "rv.srai" | "rv.andi" ->
+    [ Printf.sprintf "    %s %s, %s, %d" (Rv.mnemonic name) (d op) (r op 0) (imm op "imm") ]
+  | "rv.lw" | "rv.ld" | "rv.flw" | "rv.fld" ->
+    [ Printf.sprintf "    %s %s, %d(%s)" (Rv.mnemonic name) (d op) (imm op "offset") (r op 0) ]
+  | "rv.sw" | "rv.sd" | "rv.fsw" | "rv.fsd" ->
+    [ Printf.sprintf "    %s %s, %d(%s)" (Rv.mnemonic name) (r op 0) (imm op "offset") (r op 1) ]
+  | "rv.fadd.d" | "rv.fsub.d" | "rv.fmul.d" | "rv.fdiv.d" | "rv.fmax.d"
+  | "rv.fmin.d" | "rv.fadd.s" | "rv.fsub.s" | "rv.fmul.s" | "rv.fdiv.s"
+  | "rv.fmax.s" | "rv.fmin.s" | "rv_snitch.vfadd.s" | "rv_snitch.vfsub.s"
+  | "rv_snitch.vfmul.s" | "rv_snitch.vfmax.s" | "rv_snitch.vfmin.s"
+  | "rv_snitch.vfcpka.s.s" ->
+    [ Printf.sprintf "    %s %s, %s, %s" (Rv.mnemonic name) (d op) (r op 0) (r op 1) ]
+  | "rv.fmadd.d" | "rv.fmadd.s" ->
+    [ Printf.sprintf "    %s %s, %s, %s, %s" (Rv.mnemonic name) (d op) (r op 0)
+        (r op 1) (r op 2) ]
+  | "rv_snitch.vfmac.s" ->
+    (* Two-address accumulator: rd must equal the acc operand. *)
+    if d op <> r op 2 then
+      err "vfmac.s destination %s must match accumulator %s" (d op) (r op 2);
+    [ Printf.sprintf "    vfmac.s %s, %s, %s" (d op) (r op 0) (r op 1) ]
+  | "rv_snitch.vfsum.s" ->
+    if d op <> r op 1 then
+      err "vfsum.s destination %s must match accumulator %s" (d op) (r op 1);
+    [ Printf.sprintf "    vfsum.s %s, %s" (d op) (r op 0) ]
+  | "rv.fmv.d" -> [ Printf.sprintf "    fmv.d %s, %s" (d op) (r op 0) ]
+  | "rv.fcvt.d.w" | "rv.fcvt.s.w" | "rv.fmv.d.x" | "rv.fmv.w.x" ->
+    [ Printf.sprintf "    %s %s, %s" (Rv.mnemonic name) (d op) (r op 0) ]
+  | "rv_snitch.scfgwi" ->
+    [ Printf.sprintf "    scfgwi %s, %d" (r op 0) (imm op "imm") ]
+  | "rv_snitch.ssr_enable" -> [ "    csrsi 0x7c0, 1" ]
+  | "rv_snitch.ssr_disable" -> [ "    csrci 0x7c0, 1" ]
+  | "rv_snitch.frep_outer" ->
+    let body = Rv_snitch.body op in
+    let n = Ir.Block.fold_ops body ~init:0 ~f:(fun n o -> n + instr_count o) in
+    if n = 0 then err "frep with empty body";
+    let header = Printf.sprintf "    frep.o %s, %d, 0, 0" (r op 0) n in
+    header :: List.concat_map (op_lines ctx ~next_block) (Ir.Block.ops body)
+  | "rv_scf.for" ->
+    (* Guarded loop over unified registers:
+         mv   iv, lb          (unless same register)
+         bge  iv, ub, .exit
+       .head:
+         <body>
+         addi iv, iv, <step>
+         blt  iv, ub, .head
+       .exit:                                                       *)
+    let iv = Rv.reg_of (Rv_scf.induction_var op) in
+    let lb = r op 0 and ub = r op 1 in
+    let step = Rv_scf.step op in
+    let head = fresh_label ctx "loop" and exit_l = fresh_label ctx "endloop" in
+    let body = Rv_scf.body op in
+    let prologue =
+      (if iv = lb then [] else [ Printf.sprintf "    mv %s, %s" iv lb ])
+      @ [ Printf.sprintf "    bge %s, %s, %s" iv ub exit_l; head ^ ":" ]
+    in
+    let body_lines = List.concat_map (op_lines ctx ~next_block) (Ir.Block.ops body) in
+    prologue @ body_lines
+    @ [
+        Printf.sprintf "    addi %s, %s, %d" iv iv step;
+        Printf.sprintf "    blt %s, %s, %s" iv ub head;
+        exit_l ^ ":";
+      ]
+  | "rv_cf.j" ->
+    let target = List.nth (Ir.Op.successors op) 0 in
+    [ Printf.sprintf "    j %s" (label_of ctx target) ]
+  | "rv_cf.beq" | "rv_cf.bne" | "rv_cf.blt" | "rv_cf.bge" ->
+    let taken = List.nth (Ir.Op.successors op) 0 in
+    let fall = List.nth (Ir.Op.successors op) 1 in
+    (match next_block with
+    | Some nb when Ir.Block.equal nb fall -> ()
+    | _ -> err "%s: fallthrough successor is not the next block" name);
+    [ Printf.sprintf "    %s %s, %s, %s" (branch_mnemonic name) (r op 0)
+        (r op 1) (label_of ctx taken) ]
+  | "rv_func.return" -> [ "    ret" ]
+  | other -> err "cannot emit %s: not a machine-level op" other
+
+let emit_func fn =
+  if Ir.Op.name fn <> Rv_func.func_op then
+    invalid_arg "Asm_emit.emit_func: expected rv_func.func";
+  let fname = Rv_func.name fn in
+  let ctx = { fname; fresh_label = 0; label_table = Hashtbl.create 8 } in
+  let blocks = Ir.Region.blocks (Rv_func.body_region fn) in
+  List.iteri
+    (fun i (b : Ir.block) ->
+      if i > 0 then
+        Hashtbl.replace ctx.label_table b.Ir.bid (Printf.sprintf ".%s_bb%d" fname i))
+    blocks;
+  let buf = ref [ Printf.sprintf "%s:" fname ] in
+  let rec emit_blocks = function
+    | [] -> ()
+    | (b : Ir.block) :: rest ->
+      (match Hashtbl.find_opt ctx.label_table b.Ir.bid with
+      | Some l -> buf := (l ^ ":") :: !buf
+      | None -> ());
+      let next_block = match rest with nb :: _ -> Some nb | [] -> None in
+      Ir.Block.iter_ops b (fun op ->
+          List.iter (fun line -> buf := line :: !buf) (op_lines ctx ~next_block op));
+      emit_blocks rest
+  in
+  emit_blocks blocks;
+  List.rev !buf
+
+(* Emit every function in the module, in order. *)
+let emit_module m =
+  let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
+  String.concat "\n" (List.concat_map (fun fn -> emit_func fn @ [ "" ]) fns)
+
+(* Static instruction statistics of a function, used for the Table 3
+   ablation columns. Loop bodies are counted once (static counts). *)
+type stats = {
+  loads : int;
+  stores : int;
+  fmadd : int;
+  frep : int;
+  total_ops : int;
+}
+
+let func_stats fn =
+  let loads = ref 0 and stores = ref 0 and fmadd = ref 0 and frep = ref 0 in
+  let total = ref 0 in
+  Ir.walk fn (fun op ->
+      (match Ir.Op.name op with
+      | "rv.get_register" | "rv_snitch.read" | "rv_snitch.write"
+      | "rv_snitch.frep_yield" | "rv_scf.yield" | "rv.comment"
+      | "rv_func.return" -> ()
+      | _ -> incr total);
+      match Ir.Op.name op with
+      | "rv.lw" | "rv.ld" | "rv.flw" | "rv.fld" -> incr loads
+      | "rv.sw" | "rv.sd" | "rv.fsw" | "rv.fsd" -> incr stores
+      | "rv.fmadd.d" | "rv.fmadd.s" | "rv_snitch.vfmac.s" -> incr fmadd
+      | "rv_snitch.frep_outer" -> incr frep
+      | _ -> ());
+  {
+    loads = !loads;
+    stores = !stores;
+    fmadd = !fmadd;
+    frep = !frep;
+    total_ops = !total;
+  }
+
+(* Distinct registers referenced in a function, for the Table 2 / Table 3
+   register-pressure columns. Returns (fp, int) register name lists. *)
+let used_registers fn =
+  let ints = Hashtbl.create 16 and floats = Hashtbl.create 16 in
+  let note v =
+    match Ir.Value.ty v with
+    | Ty.Int_reg (Some r) -> if r <> "zero" then Hashtbl.replace ints r ()
+    | Ty.Float_reg (Some r) -> Hashtbl.replace floats r ()
+    | _ -> ()
+  in
+  Ir.walk fn (fun op ->
+      List.iter note (Ir.Op.operands op);
+      List.iter note (Ir.Op.results op);
+      List.iter
+        (fun (rg : Ir.region) ->
+          List.iter
+            (fun (b : Ir.block) -> List.iter note (Ir.Block.args b))
+            (Ir.Region.blocks rg))
+        (Ir.Op.regions op));
+  List.iter note (Ir.Block.args (Rv_func.entry fn));
+  let keys h = Hashtbl.fold (fun k () acc -> k :: acc) h [] |> List.sort compare in
+  (keys floats, keys ints)

@@ -1,0 +1,36 @@
+(** Assembly emission: walks register-allocated IR in order and prints
+    RISC-V assembly with Snitch extensions (paper §3.1: "Assembly is
+    printed using an interface-based design, where the IR is walked
+    in-order, and printed according to implementation of each
+    operation"). Structured ops print their own control flow
+    ([rv_scf.for] as guard/body/back-branch, [frep_outer] as a [frep.o]
+    covering its body); SSA-bridging ops print nothing. *)
+
+open Mlc_ir
+
+exception Emit_error of string
+
+(** Machine instructions an op expands to (used for FREP's instruction
+    count; raises on loops, which cannot appear under FREP). *)
+val instr_count : Ir.op -> int
+
+(** The assembly lines of one function ([rv_func.func]). *)
+val emit_func : Ir.op -> string list
+
+(** Every function in the module, concatenated. *)
+val emit_module : Ir.op -> string
+
+(** Static instruction statistics (Table 3 columns). *)
+type stats = {
+  loads : int;
+  stores : int;
+  fmadd : int;
+  frep : int;
+  total_ops : int;
+}
+
+val func_stats : Ir.op -> stats
+
+(** Distinct (FP, integer) registers referenced by a function —
+    the Table 2 register-pressure metric. *)
+val used_registers : Ir.op -> string list * string list

@@ -1,0 +1,82 @@
+(* The RISC-V register model used by the backend and the register
+   allocator (paper §3.3).
+
+   The allocator draws from the caller-saved pools of the standard ABI:
+   15 integer registers (a0–a7, t0–t6) and 20 floating-point registers
+   (fa0–fa7, ft0–ft11). Snitch reserves ft0–ft2 as stream data registers
+   while streaming is enabled. *)
+
+type kind = Int_kind | Float_kind
+
+(* Integer caller-saved pool, in allocation preference order. t registers
+   first so that a-registers stay free for arguments/calls. *)
+let int_pool =
+  [ "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6";
+    "a0"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7" ]
+
+(* FP caller-saved pool. ft0-ft2 come last: they double as SSR data
+   registers and are excluded entirely inside streaming regions. *)
+let float_pool =
+  [ "ft3"; "ft4"; "ft5"; "ft6"; "ft7"; "ft8"; "ft9"; "ft10"; "ft11";
+    "fa0"; "fa1"; "fa2"; "fa3"; "fa4"; "fa5"; "fa6"; "fa7";
+    "ft0"; "ft1"; "ft2" ]
+
+let num_int_allocatable = List.length int_pool (* 15 *)
+let num_float_allocatable = List.length float_pool (* 20 *)
+
+(* SSR data registers: reading/writing these while streaming is enabled
+   pops/pushes stream elements (paper §2.4). *)
+let ssr_data_registers = [ "ft0"; "ft1"; "ft2" ]
+let num_ssrs = List.length ssr_data_registers
+
+(* Special registers that are never allocated. *)
+let zero = "zero"
+let ra = "ra"
+let sp = "sp"
+
+(* Argument registers in ABI order. *)
+let int_arg_regs = [ "a0"; "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "a7" ]
+let float_arg_regs = [ "fa0"; "fa1"; "fa2"; "fa3"; "fa4"; "fa5"; "fa6"; "fa7" ]
+
+let all_int_regs =
+  zero :: ra :: sp :: "gp" :: "tp"
+  :: (int_pool @ [ "s0"; "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7"; "s8"; "s9"; "s10"; "s11" ])
+
+let all_float_regs =
+  float_pool
+  @ [ "fs0"; "fs1"; "fs2"; "fs3"; "fs4"; "fs5"; "fs6"; "fs7"; "fs8"; "fs9"; "fs10"; "fs11" ]
+
+let is_int_reg r = List.mem r all_int_regs
+let is_float_reg r = List.mem r all_float_regs
+
+let kind_of r =
+  if is_int_reg r then Int_kind
+  else if is_float_reg r then Float_kind
+  else invalid_arg ("Reg.kind_of: unknown register " ^ r)
+
+(* Hardware encoding index (x0-x31 / f0-f31), needed by the simulator. *)
+let index_of r =
+  let abi_int =
+    [ ("zero", 0); ("ra", 1); ("sp", 2); ("gp", 3); ("tp", 4);
+      ("t0", 5); ("t1", 6); ("t2", 7); ("s0", 8); ("s1", 9);
+      ("a0", 10); ("a1", 11); ("a2", 12); ("a3", 13); ("a4", 14);
+      ("a5", 15); ("a6", 16); ("a7", 17); ("s2", 18); ("s3", 19);
+      ("s4", 20); ("s5", 21); ("s6", 22); ("s7", 23); ("s8", 24);
+      ("s9", 25); ("s10", 26); ("s11", 27); ("t3", 28); ("t4", 29);
+      ("t5", 30); ("t6", 31) ]
+  in
+  let abi_float =
+    [ ("ft0", 0); ("ft1", 1); ("ft2", 2); ("ft3", 3); ("ft4", 4);
+      ("ft5", 5); ("ft6", 6); ("ft7", 7); ("fs0", 8); ("fs1", 9);
+      ("fa0", 10); ("fa1", 11); ("fa2", 12); ("fa3", 13); ("fa4", 14);
+      ("fa5", 15); ("fa6", 16); ("fa7", 17); ("fs2", 18); ("fs3", 19);
+      ("fs4", 20); ("fs5", 21); ("fs6", 22); ("fs7", 23); ("fs8", 24);
+      ("fs9", 25); ("fs10", 26); ("fs11", 27); ("ft8", 28); ("ft9", 29);
+      ("ft10", 30); ("ft11", 31) ]
+  in
+  match List.assoc_opt r abi_int with
+  | Some i -> i
+  | None -> (
+    match List.assoc_opt r abi_float with
+    | Some i -> i
+    | None -> invalid_arg ("Reg.index_of: unknown register " ^ r))

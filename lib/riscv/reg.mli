@@ -1,0 +1,42 @@
+(** The RISC-V register model used by the backend and the register
+    allocator (paper §3.3): the caller-saved pools of the standard ABI —
+    15 integer registers ([a0–a7], [t0–t6]) and 20 floating-point
+    registers ([fa0–fa7], [ft0–ft11]) — plus the Snitch convention that
+    [ft0–ft2] double as SSR data registers while streaming. *)
+
+type kind = Int_kind | Float_kind
+
+(** Integer caller-saved pool, in allocation preference order
+    (t-registers first, keeping a-registers free for arguments). *)
+val int_pool : string list
+
+(** FP caller-saved pool; [ft0–ft2] come last because they are excluded
+    entirely inside streaming regions. *)
+val float_pool : string list
+
+val num_int_allocatable : int (* 15 *)
+val num_float_allocatable : int (* 20 *)
+
+(** SSR data registers: accessing these while streaming moves stream
+    elements (paper §2.4). *)
+val ssr_data_registers : string list
+
+val num_ssrs : int
+val zero : string
+val ra : string
+val sp : string
+
+(** Argument registers in ABI order. *)
+val int_arg_regs : string list
+
+val float_arg_regs : string list
+val all_int_regs : string list
+val all_float_regs : string list
+val is_int_reg : string -> bool
+val is_float_reg : string -> bool
+
+(** Raises [Invalid_argument] on unknown names. *)
+val kind_of : string -> kind
+
+(** Hardware encoding index (x0–x31 / f0–f31). *)
+val index_of : string -> int

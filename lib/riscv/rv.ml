@@ -1,0 +1,262 @@
+(* The rv dialect: RISC-V assembly instructions as SSA operations
+   (paper §3.1, Figure 6). Source registers are operands, destination
+   registers are results; the physical register lives in the value's
+   type, so unallocated code and allocated code share one representation.
+
+   The dialect is register-typed only: lowering from arith/scf converts
+   builtin-typed values into register-typed ones. *)
+
+open Mlc_ir
+
+let reg_of v =
+  match Ir.Value.ty v with
+  | Ty.Int_reg (Some r) | Ty.Float_reg (Some r) -> r
+  | _ ->
+    invalid_arg
+      (Fmt.str "Rv.reg_of: value %a has no allocated register" Ir.Value.pp v)
+
+let int_reg = Ty.Int_reg None
+let float_reg = Ty.Float_reg None
+
+let is_int_reg_ty v =
+  match Ir.Value.ty v with Ty.Int_reg _ -> true | _ -> false
+
+let is_float_reg_ty v =
+  match Ir.Value.ty v with Ty.Float_reg _ -> true | _ -> false
+
+let expect_int_reg op i =
+  if not (is_int_reg_ty (Ir.Op.operand op i)) then
+    Op_registry.fail_op op "operand %d must be an integer register" i
+
+let expect_float_reg op i =
+  if not (is_float_reg_ty (Ir.Op.operand op i)) then
+    Op_registry.fail_op op "operand %d must be a float register" i
+
+(* --- op registration helpers --- *)
+
+let reg_rr name =
+  (* (rs1, rs2) -> rd, all integer registers *)
+  Op_registry.register name ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 2;
+      Op_registry.expect_num_results op 1;
+      expect_int_reg op 0;
+      expect_int_reg op 1)
+
+let reg_ri name =
+  (* (rs1) {imm} -> rd *)
+  Op_registry.register name ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 1;
+      expect_int_reg op 0;
+      Op_registry.expect_attr op "imm")
+
+let reg_fff name =
+  (* (fs1, fs2) -> fd *)
+  Op_registry.register name ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 2;
+      Op_registry.expect_num_results op 1;
+      expect_float_reg op 0;
+      expect_float_reg op 1)
+
+let reg_ffff name =
+  (* (fs1, fs2, fs3) -> fd *)
+  Op_registry.register name ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 3;
+      Op_registry.expect_num_results op 1;
+      expect_float_reg op 0;
+      expect_float_reg op 1;
+      expect_float_reg op 2)
+
+(* --- integer ops --- *)
+
+let get_register_op =
+  Op_registry.register "rv.get_register" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 1;
+      match Ir.Value.ty (Ir.Op.result op 0) with
+      | Ty.Int_reg (Some _) | Ty.Float_reg (Some _) -> ()
+      | _ -> Op_registry.fail_op op "result must name a concrete register")
+
+let li_op =
+  Op_registry.register "rv.li" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 1;
+      Op_registry.expect_attr op "imm")
+
+let mv_op =
+  Op_registry.register "rv.mv" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 1;
+      expect_int_reg op 0)
+
+let add_op = reg_rr "rv.add"
+let sub_op = reg_rr "rv.sub"
+let mul_op = reg_rr "rv.mul"
+let div_op = reg_rr "rv.div"
+let and_op = reg_rr "rv.and"
+let or_op = reg_rr "rv.or"
+let xor_op = reg_rr "rv.xor"
+let slt_op = reg_rr "rv.slt"
+let addi_op = reg_ri "rv.addi"
+let slli_op = reg_ri "rv.slli"
+let srai_op = reg_ri "rv.srai"
+let andi_op = reg_ri "rv.andi"
+
+let load_verify op =
+  Op_registry.expect_num_operands op 1;
+  Op_registry.expect_num_results op 1;
+  expect_int_reg op 0;
+  Op_registry.expect_attr op "offset"
+
+let store_verify op =
+  Op_registry.expect_num_operands op 2;
+  Op_registry.expect_num_results op 0;
+  expect_int_reg op 1;
+  Op_registry.expect_attr op "offset"
+
+let lw_op = Op_registry.register "rv.lw" ~verify:load_verify
+let ld_op = Op_registry.register "rv.ld" ~verify:load_verify
+let sw_op = Op_registry.register "rv.sw" ~verify:store_verify
+let sd_op = Op_registry.register "rv.sd" ~verify:store_verify
+
+(* --- floating-point ops --- *)
+
+let fload_verify op =
+  Op_registry.expect_num_operands op 1;
+  Op_registry.expect_num_results op 1;
+  expect_int_reg op 0;
+  Op_registry.expect_attr op "offset"
+
+let fstore_verify op =
+  Op_registry.expect_num_operands op 2;
+  Op_registry.expect_num_results op 0;
+  expect_float_reg op 0;
+  expect_int_reg op 1;
+  Op_registry.expect_attr op "offset"
+
+let flw_op = Op_registry.register "rv.flw" ~verify:fload_verify
+let fld_op = Op_registry.register "rv.fld" ~verify:fload_verify
+let fsw_op = Op_registry.register "rv.fsw" ~verify:fstore_verify
+let fsd_op = Op_registry.register "rv.fsd" ~verify:fstore_verify
+
+let fadd_d_op = reg_fff "rv.fadd.d"
+let fsub_d_op = reg_fff "rv.fsub.d"
+let fmul_d_op = reg_fff "rv.fmul.d"
+let fdiv_d_op = reg_fff "rv.fdiv.d"
+let fmax_d_op = reg_fff "rv.fmax.d"
+let fmin_d_op = reg_fff "rv.fmin.d"
+let fadd_s_op = reg_fff "rv.fadd.s"
+let fsub_s_op = reg_fff "rv.fsub.s"
+let fmul_s_op = reg_fff "rv.fmul.s"
+let fdiv_s_op = reg_fff "rv.fdiv.s"
+let fmax_s_op = reg_fff "rv.fmax.s"
+let fmin_s_op = reg_fff "rv.fmin.s"
+let fmadd_d_op = reg_ffff "rv.fmadd.d"
+let fmadd_s_op = reg_ffff "rv.fmadd.s"
+
+(* Register-to-register FP move (fsgnj in hardware). *)
+let fmv_d_op =
+  Op_registry.register "rv.fmv.d" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 1;
+      expect_float_reg op 0)
+
+(* Integer-to-float conversions; [fcvt_d_w zero] is the idiomatic way to
+   materialise +0.0. *)
+let fcvt_d_w_op =
+  Op_registry.register "rv.fcvt.d.w" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 1;
+      expect_int_reg op 0)
+
+let fcvt_s_w_op =
+  Op_registry.register "rv.fcvt.s.w" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 1;
+      expect_int_reg op 0)
+
+(* Bit-pattern move from the integer register file; used to materialise
+   arbitrary FP constants from an [li]. *)
+let fmv_d_x_op =
+  Op_registry.register "rv.fmv.d.x" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 1;
+      expect_int_reg op 0)
+
+let fmv_w_x_op =
+  Op_registry.register "rv.fmv.w.x" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 1;
+      expect_int_reg op 0)
+
+(* Materialise the 64-bit pattern of an FP constant in an integer
+   register (printed as a hex li; a real toolchain would expand it or use
+   a constant pool). Combined with fmv.d.x to form FP constants. *)
+let li_bits_op =
+  Op_registry.register "rv.li_bits" ~pure:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 1;
+      Op_registry.expect_attr op "value")
+
+(* A free-form comment in the emitted assembly. *)
+let comment_op =
+  Op_registry.register "rv.comment" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_attr op "text")
+
+(* --- smart constructors --- *)
+
+let get_register b r = Builder.create1 b ~result:(Ty.Int_reg (Some r)) get_register_op []
+let get_float_register b r =
+  Builder.create1 b ~result:(Ty.Float_reg (Some r)) get_register_op []
+
+let li b imm = Builder.create1 b ~attrs:[ ("imm", Attr.Int imm) ] ~result:int_reg li_op []
+
+let li_bits b f =
+  Builder.create1 b ~attrs:[ ("value", Attr.Float f) ] ~result:int_reg li_bits_op []
+let mv b v = Builder.create1 b ~result:int_reg mv_op [ v ]
+let binary b name lhs rhs = Builder.create1 b ~result:int_reg name [ lhs; rhs ]
+let add b x y = binary b add_op x y
+let sub b x y = binary b sub_op x y
+let mul b x y = binary b mul_op x y
+let addi b x imm =
+  Builder.create1 b ~attrs:[ ("imm", Attr.Int imm) ] ~result:int_reg addi_op [ x ]
+let slli b x imm =
+  Builder.create1 b ~attrs:[ ("imm", Attr.Int imm) ] ~result:int_reg slli_op [ x ]
+
+let load b name ?(offset = 0) addr =
+  Builder.create1 b ~attrs:[ ("offset", Attr.Int offset) ] ~result:int_reg name [ addr ]
+
+let store b name ?(offset = 0) value addr =
+  Builder.create0 b ~attrs:[ ("offset", Attr.Int offset) ] name [ value; addr ]
+
+let fload b name ?(offset = 0) addr =
+  Builder.create1 b ~attrs:[ ("offset", Attr.Int offset) ] ~result:float_reg name [ addr ]
+
+let fstore b name ?(offset = 0) value addr =
+  Builder.create0 b ~attrs:[ ("offset", Attr.Int offset) ] name [ value; addr ]
+
+let fbinary b name lhs rhs = Builder.create1 b ~result:float_reg name [ lhs; rhs ]
+let fternary b name a x y = Builder.create1 b ~result:float_reg name [ a; x; y ]
+let fmv_d b v = Builder.create1 b ~result:float_reg fmv_d_op [ v ]
+let fcvt_d_w b v = Builder.create1 b ~result:float_reg fcvt_d_w_op [ v ]
+let fmv_d_x b v = Builder.create1 b ~result:float_reg fmv_d_x_op [ v ]
+let comment b text = Builder.create0 b ~attrs:[ ("text", Attr.Str text) ] comment_op []
+
+(* Mnemonic (without the "rv." prefix) of an op name. *)
+let mnemonic name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+(* Instructions whose execution happens in the FPU data path: these may
+   appear inside FREP bodies and count toward FPU occupancy. *)
+let is_fpu_op name =
+  List.mem name
+    [
+      fadd_d_op; fsub_d_op; fmul_d_op; fdiv_d_op; fmax_d_op; fmin_d_op;
+      fadd_s_op; fsub_s_op; fmul_s_op; fdiv_s_op; fmax_s_op; fmin_s_op;
+      fmadd_d_op; fmadd_s_op; fmv_d_op; fcvt_d_w_op; fcvt_s_w_op;
+      fmv_d_x_op; fmv_w_x_op;
+    ]

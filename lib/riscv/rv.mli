@@ -1,0 +1,116 @@
+(** The rv dialect: RISC-V assembly instructions as SSA operations (paper
+    §3.1, Figure 6). Source registers are operands, destination registers
+    are results; the physical register lives in the value's {e type}
+    ([!rv.reg] unallocated, [!rv.reg<t0>] allocated), so unallocated and
+    allocated code share one representation and the register allocator
+    works by mutating types in place. *)
+
+open Mlc_ir
+
+(** The concrete register of an allocated value; raises
+    [Invalid_argument] if unallocated. *)
+val reg_of : Ir.value -> string
+
+(** Unallocated register types, for smart constructors. *)
+val int_reg : Ty.t
+
+val float_reg : Ty.t
+
+val is_int_reg_ty : Ir.value -> bool
+val is_float_reg_ty : Ir.value -> bool
+
+(** {2 Registration helpers, exposed so extension dialects (e.g.
+    rv_snitch's packed SIMD) can reuse the standard shapes.} *)
+
+val reg_rr : string -> string (* (rs1, rs2) -> rd *)
+val reg_ri : string -> string (* (rs1){imm} -> rd *)
+val reg_fff : string -> string (* (fs1, fs2) -> fd *)
+val reg_ffff : string -> string (* (fs1, fs2, fs3) -> fd *)
+
+(** {2 Registered op names} *)
+
+val get_register_op : string
+val li_op : string
+val li_bits_op : string
+val mv_op : string
+val add_op : string
+val sub_op : string
+val mul_op : string
+val div_op : string
+val and_op : string
+val or_op : string
+val xor_op : string
+val slt_op : string
+val addi_op : string
+val slli_op : string
+val srai_op : string
+val andi_op : string
+val lw_op : string
+val ld_op : string
+val sw_op : string
+val sd_op : string
+val flw_op : string
+val fld_op : string
+val fsw_op : string
+val fsd_op : string
+val fadd_d_op : string
+val fsub_d_op : string
+val fmul_d_op : string
+val fdiv_d_op : string
+val fmax_d_op : string
+val fmin_d_op : string
+val fadd_s_op : string
+val fsub_s_op : string
+val fmul_s_op : string
+val fdiv_s_op : string
+val fmax_s_op : string
+val fmin_s_op : string
+val fmadd_d_op : string
+val fmadd_s_op : string
+val fmv_d_op : string
+val fcvt_d_w_op : string
+val fcvt_s_w_op : string
+val fmv_d_x_op : string
+val fmv_w_x_op : string
+val comment_op : string
+
+(** {2 Smart constructors} *)
+
+(** A value pinned to a named register (bridges SSA and pre-allocated
+    registers; prints nothing — Figure 6 point 2). *)
+val get_register : Builder.t -> string -> Ir.value
+
+val get_float_register : Builder.t -> string -> Ir.value
+val li : Builder.t -> int -> Ir.value
+
+(** Materialise an FP constant's 64-bit pattern in an integer register
+    (combine with {!fmv_d_x}). *)
+val li_bits : Builder.t -> float -> Ir.value
+
+val mv : Builder.t -> Ir.value -> Ir.value
+val binary : Builder.t -> string -> Ir.value -> Ir.value -> Ir.value
+val add : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val sub : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val mul : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val addi : Builder.t -> Ir.value -> int -> Ir.value
+val slli : Builder.t -> Ir.value -> int -> Ir.value
+val load : Builder.t -> string -> ?offset:int -> Ir.value -> Ir.value
+val store : Builder.t -> string -> ?offset:int -> Ir.value -> Ir.value -> unit
+val fload : Builder.t -> string -> ?offset:int -> Ir.value -> Ir.value
+val fstore : Builder.t -> string -> ?offset:int -> Ir.value -> Ir.value -> unit
+val fbinary : Builder.t -> string -> Ir.value -> Ir.value -> Ir.value
+
+(** [fternary b op x y acc] — fmadd-shaped: x*y + acc. *)
+val fternary : Builder.t -> string -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+
+val fmv_d : Builder.t -> Ir.value -> Ir.value
+val fcvt_d_w : Builder.t -> Ir.value -> Ir.value
+val fmv_d_x : Builder.t -> Ir.value -> Ir.value
+val comment : Builder.t -> string -> unit
+
+(** Assembly mnemonic of an op name (drops the dialect prefix). *)
+val mnemonic : string -> string
+
+(** Instructions executed in the FPU data path: these may appear inside
+    FREP bodies and count toward FPU occupancy. *)
+val is_fpu_op : string -> bool

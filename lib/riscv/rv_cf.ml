@@ -1,0 +1,30 @@
+(* The rv_cf dialect: unstructured control flow between basic blocks via
+   RISC-V jump and branch instructions (paper §3.1). Used only after
+   register allocation, when structured loops are flattened; blocks carry
+   no arguments because data flows through physical registers. *)
+
+open Mlc_ir
+
+let j_op =
+  Op_registry.register "rv_cf.j" ~terminator:true ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      if List.length (Ir.Op.successors op) <> 1 then
+        Op_registry.fail_op op "j requires exactly one successor")
+
+let branch_verify op =
+  Op_registry.expect_num_operands op 2;
+  Op_registry.expect_num_results op 0;
+  if List.length (Ir.Op.successors op) <> 2 then
+    Op_registry.fail_op op "conditional branch requires taken and fallthrough successors"
+
+(* Conditional branches: successors are [taken; fallthrough]. *)
+let beq_op = Op_registry.register "rv_cf.beq" ~terminator:true ~verify:branch_verify
+let bne_op = Op_registry.register "rv_cf.bne" ~terminator:true ~verify:branch_verify
+let blt_op = Op_registry.register "rv_cf.blt" ~terminator:true ~verify:branch_verify
+let bge_op = Op_registry.register "rv_cf.bge" ~terminator:true ~verify:branch_verify
+
+let j b target = Builder.create0 b ~successors:[ target ] j_op []
+
+let branch b name lhs rhs ~taken ~fallthrough =
+  Builder.create0 b ~successors:[ taken; fallthrough ] name [ lhs; rhs ]

@@ -1,0 +1,27 @@
+(** The rv_cf dialect: unstructured control flow between basic blocks via
+    RISC-V jump and branch instructions (paper §3.1). Used for
+    hand-written multi-block code; the main pipeline keeps loops
+    structured all the way to emission. Blocks carry no arguments —
+    data flows through physical registers. *)
+
+open Mlc_ir
+
+val j_op : string
+
+(** Conditional branches; successors are [taken; fallthrough]. *)
+val beq_op : string
+
+val bne_op : string
+val blt_op : string
+val bge_op : string
+
+val j : Builder.t -> Ir.block -> unit
+
+val branch :
+  Builder.t ->
+  string ->
+  Ir.value ->
+  Ir.value ->
+  taken:Ir.block ->
+  fallthrough:Ir.block ->
+  unit

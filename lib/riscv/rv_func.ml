@@ -1,0 +1,71 @@
+(* The rv_func dialect: functions at the RISC-V level. The ABI constraint
+   that arguments arrive in a-registers (fa-registers for FP) is encoded
+   directly in the entry block argument types (paper §3.1, Figure 6). *)
+
+open Mlc_ir
+
+let func_op =
+  Op_registry.register "rv_func.func" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_num_regions op 1;
+      Op_registry.expect_attr op "sym_name";
+      match Ir.Region.blocks (Ir.Op.region op 0) with
+      | [] -> Op_registry.fail_op op "function body must not be empty"
+      | entry :: _ ->
+        List.iter
+          (fun v ->
+            match Ir.Value.ty v with
+            | Ty.Int_reg (Some r) when List.mem r Reg.int_arg_regs -> ()
+            | Ty.Float_reg (Some r) when List.mem r Reg.float_arg_regs -> ()
+            | t ->
+              Op_registry.fail_op op
+                "entry argument of type %s violates the A-register ABI"
+                (Ty.to_string t))
+          (Ir.Block.args entry))
+
+let return_op =
+  Op_registry.register "rv_func.return" ~terminator:true ~verify:(fun op ->
+      Op_registry.expect_num_results op 0)
+
+(* Create a RISC-V function. [args] gives the kind of each parameter;
+   argument registers are assigned in ABI order. Returns (op, entry). *)
+let func b ~name ~args =
+  let next_int = ref 0 and next_float = ref 0 in
+  let arg_tys =
+    List.map
+      (fun kind ->
+        match kind with
+        | Reg.Int_kind ->
+          let r = List.nth Reg.int_arg_regs !next_int in
+          incr next_int;
+          Ty.Int_reg (Some r)
+        | Reg.Float_kind ->
+          let r = List.nth Reg.float_arg_regs !next_float in
+          incr next_float;
+          Ty.Float_reg (Some r))
+      args
+  in
+  let region = Ir.Region.single_block ~args:arg_tys () in
+  let op =
+    Builder.create b
+      ~attrs:[ ("sym_name", Attr.Str name) ]
+      ~regions:[ region ] ~results:[] func_op []
+  in
+  (op, Ir.Region.only_block region)
+
+let return_ b values = Builder.create0 b return_op values
+
+let name op = Attr.get_str (Ir.Op.attr_exn op "sym_name")
+let body_region op = Ir.Op.region op 0
+let entry op =
+  match Ir.Region.blocks (body_region op) with
+  | b :: _ -> b
+  | [] -> invalid_arg "Rv_func.entry: empty function"
+
+let lookup m fname =
+  Ir.find_first m (fun op ->
+      Ir.Op.name op = func_op
+      && (match Ir.Op.attr op "sym_name" with
+         | Some (Attr.Str s) -> s = fname
+         | _ -> false))

@@ -1,0 +1,19 @@
+(** The rv_func dialect: functions at the RISC-V level. The ABI
+    constraint that arguments arrive in a-registers (fa-registers for FP)
+    is encoded directly in the entry block argument types (paper §3.1,
+    Figure 6). *)
+
+open Mlc_ir
+
+val func_op : string
+val return_op : string
+
+(** [func b ~name ~args] assigns argument registers in ABI order from
+    the given parameter kinds; returns (op, entry block). *)
+val func : Builder.t -> name:string -> args:Reg.kind list -> Ir.op * Ir.block
+
+val return_ : Builder.t -> Ir.value list -> unit
+val name : Ir.op -> string
+val body_region : Ir.op -> Ir.region
+val entry : Ir.op -> Ir.block
+val lookup : Ir.op -> string -> Ir.op option

@@ -1,0 +1,139 @@
+(* A readable, dialect-aware printer for the RISC-V-level structured IR,
+   in the spirit of the paper's Figure 6: assembly-like operation lines
+   with SSA values, explicit loop structure and streaming regions. Meant
+   for humans inspecting --print-ir output; the lossless interchange
+   format remains {!Mlc_ir.Printer}'s generic syntax. *)
+
+open Mlc_ir
+
+type env = { names : (int, string) Hashtbl.t; mutable next : int }
+
+let name env (v : Ir.value) =
+  let base =
+    match Hashtbl.find_opt env.names v.Ir.vid with
+    | Some n -> n
+    | None ->
+      let n = Printf.sprintf "%%%d" env.next in
+      env.next <- env.next + 1;
+      Hashtbl.add env.names v.Ir.vid n;
+      n
+  in
+  (* Show the allocation when present: %3:t0 *)
+  match Ir.Value.ty v with
+  | Ty.Int_reg (Some r) | Ty.Float_reg (Some r) -> base ^ ":" ^ r
+  | _ -> base
+
+let operands env op =
+  String.concat ", " (List.map (name env) (Ir.Op.operands op))
+
+let rec pp_op env buf indent (op : Ir.op) =
+  let pad = String.make indent ' ' in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
+  let results =
+    match Ir.Op.results op with
+    | [] -> ""
+    | rs -> String.concat ", " (List.map (name env) rs) ^ " = "
+  in
+  match Ir.Op.name op with
+  | "rv_scf.for" ->
+    let iters =
+      match (Rv_scf.iter_args op, Rv_scf.iter_operands op) with
+      | [], [] -> ""
+      | args, inits ->
+        " iter("
+        ^ String.concat ", "
+            (List.map2
+               (fun a i -> Printf.sprintf "%s = %s" (name env a) (name env i))
+               args inits)
+        ^ ")"
+    in
+    line "%srv_scf.for %s = %s to %s step %d%s {" results
+      (name env (Rv_scf.induction_var op))
+      (name env (Rv_scf.lb op))
+      (name env (Rv_scf.ub op))
+      (Rv_scf.step op) iters;
+    Ir.Block.iter_ops (Rv_scf.body op) (fun o -> pp_op env buf (indent + 2) o);
+    line "}"
+  | "rv_snitch.frep_outer" ->
+    let iters =
+      match (Ir.Block.args (Rv_snitch.body op), Rv_snitch.iter_operands op) with
+      | [], [] -> ""
+      | args, inits ->
+        " iter("
+        ^ String.concat ", "
+            (List.map2
+               (fun a i -> Printf.sprintf "%s = %s" (name env a) (name env i))
+               args inits)
+        ^ ")"
+    in
+    line "%srv_snitch.frep %s%s {" results (name env (Rv_snitch.rpt op)) iters;
+    Ir.Block.iter_ops (Rv_snitch.body op) (fun o -> pp_op env buf (indent + 2) o);
+    line "}"
+  | "snitch_stream.streaming_region" ->
+    let pats =
+      String.concat ", "
+        (List.map
+           (fun (p : Attr.stride_pattern) ->
+             Printf.sprintf "<ub=[%s], strides=[%s]>"
+               (String.concat ", " (List.map string_of_int p.Attr.ub))
+               (String.concat ", " (List.map string_of_int p.Attr.strides)))
+           (Snitch_stream.patterns op))
+    in
+    line "snitch_stream.streaming_region ptrs(%s) patterns(%s) {" (operands env op) pats;
+    let body = Snitch_stream.body op in
+    line "  ^(%s):" (String.concat ", " (List.map (name env) (Ir.Block.args body)));
+    Ir.Block.iter_ops body (fun o -> pp_op env buf (indent + 2) o);
+    line "}"
+  | "rv_func.func" ->
+    let entry = Rv_func.entry op in
+    line "rv_func.func @%s(%s) {" (Rv_func.name op)
+      (String.concat ", " (List.map (name env) (Ir.Block.args entry)));
+    List.iter
+      (fun (b : Ir.block) ->
+        if not (Ir.Block.equal b entry) then line "^block:";
+        Ir.Block.iter_ops b (fun o -> pp_op env buf (indent + 2) o))
+      (Ir.Region.blocks (Rv_func.body_region op));
+    line "}"
+  | "builtin.module" ->
+    line "builtin.module {";
+    Ir.Block.iter_ops (Ir.Module_.body op) (fun o -> pp_op env buf (indent + 2) o);
+    line "}"
+  | "rv.li" ->
+    line "%srv.li %d" results (Attr.get_int (Ir.Op.attr_exn op "imm"))
+  | "rv.li_bits" ->
+    line "%srv.li 0x%Lx  # bits of %g" results
+      (Int64.bits_of_float (Attr.get_float (Ir.Op.attr_exn op "value")))
+      (Attr.get_float (Ir.Op.attr_exn op "value"))
+  | "rv.get_register" ->
+    line "%srv.get_register" results
+  | "rv.comment" ->
+    line "# %s" (Attr.get_str (Ir.Op.attr_exn op "text"))
+  | "rv.addi" | "rv.slli" | "rv.srai" | "rv.andi" ->
+    line "%s%s %s, %d" results (Ir.Op.name op) (operands env op)
+      (Attr.get_int (Ir.Op.attr_exn op "imm"))
+  | "rv.lw" | "rv.ld" | "rv.flw" | "rv.fld" ->
+    line "%s%s %d(%s)" results (Ir.Op.name op)
+      (Attr.get_int (Ir.Op.attr_exn op "offset"))
+      (operands env op)
+  | "rv.sw" | "rv.sd" | "rv.fsw" | "rv.fsd" ->
+    let v = name env (Ir.Op.operand op 0) in
+    let base = name env (Ir.Op.operand op 1) in
+    line "%s %s, %d(%s)" (Ir.Op.name op) v
+      (Attr.get_int (Ir.Op.attr_exn op "offset"))
+      base
+  | "rv_snitch.scfgwi" ->
+    line "rv_snitch.scfgwi %s, %d" (operands env op)
+      (Attr.get_int (Ir.Op.attr_exn op "imm"))
+  | "rv_scf.yield" | "rv_snitch.frep_yield" ->
+    if Ir.Op.num_operands op = 0 then line "yield"
+    else line "yield %s" (operands env op)
+  | other ->
+    if Ir.Op.num_operands op = 0 then line "%s%s" results other
+    else line "%s%s %s" results other (operands env op)
+
+(* Pretty-print any op at the RISC-V level (typically the module or one
+   function). *)
+let to_string op =
+  let buf = Buffer.create 1024 in
+  pp_op { names = Hashtbl.create 64; next = 0 } buf 0 op;
+  Buffer.contents buf

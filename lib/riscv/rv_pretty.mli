@@ -1,0 +1,7 @@
+(** A readable, dialect-aware printer for the RISC-V-level structured IR
+    (the paper's Figure 6 style): assembly-like operation lines with SSA
+    values (annotated with their allocated registers), explicit loop
+    structure and streaming regions. For humans; the lossless interchange
+    format is {!Mlc_ir.Printer}'s generic syntax. *)
+
+val to_string : Mlc_ir.Ir.op -> string

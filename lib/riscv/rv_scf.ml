@@ -1,0 +1,75 @@
+(* The rv_scf dialect: structured control flow over register-typed values
+   (paper §3.1). Mirrors scf.for so that lowering from scf is direct, and
+   preserves the loop structure that the register allocator exploits
+   (paper §3.3, Figure 6 D).
+
+   The step is a compile-time constant attribute: the loop increment is
+   an addi, so no register is burnt on the step (the micro-kernel
+   lowering only ever produces constant steps). *)
+
+open Mlc_ir
+
+let for_op =
+  Op_registry.register "rv_scf.for" ~verify:(fun op ->
+      Op_registry.expect_num_regions op 1;
+      Op_registry.expect_attr op "step";
+      if Attr.get_int (Ir.Op.attr_exn op "step") <= 0 then
+        Op_registry.fail_op op "step must be a positive constant";
+      if Ir.Op.num_operands op < 2 then
+        Op_registry.fail_op op "expected at least lb and ub operands";
+      let n_iter = Ir.Op.num_operands op - 2 in
+      Op_registry.expect_num_results op n_iter;
+      for i = 0 to 1 do
+        match Ir.Value.ty (Ir.Op.operand op i) with
+        | Ty.Int_reg _ -> ()
+        | _ -> Op_registry.fail_op op "loop bounds must be integer registers"
+      done;
+      let body = Ir.Region.only_block (Ir.Op.region op 0) in
+      if Ir.Block.num_args body <> n_iter + 1 then
+        Op_registry.fail_op op "body must carry induction variable and iter args";
+      (match Ir.Value.ty (Ir.Block.arg body 0) with
+      | Ty.Int_reg _ -> ()
+      | _ -> Op_registry.fail_op op "induction variable must be an integer register");
+      match Ir.Block.terminator body with
+      | Some t when Ir.Op.name t = "rv_scf.yield" ->
+        if Ir.Op.num_operands t <> n_iter then
+          Op_registry.fail_op op "yield arity does not match iter args"
+      | _ -> Op_registry.fail_op op "body must terminate with rv_scf.yield")
+
+let yield_op =
+  Op_registry.register "rv_scf.yield" ~terminator:true ~verify:(fun op ->
+      Op_registry.expect_num_results op 0)
+
+let for_ b ~lb ~ub ?(step = 1) ?(iter_args = []) f =
+  let region =
+    Ir.Region.single_block
+      ~args:(Ty.Int_reg None :: List.map Ir.Value.ty iter_args)
+      ()
+  in
+  let body = Ir.Region.only_block region in
+  let op =
+    Builder.create b ~regions:[ region ]
+      ~attrs:[ ("step", Attr.Int step) ]
+      ~results:(List.map Ir.Value.ty iter_args)
+      for_op
+      ([ lb; ub ] @ iter_args)
+  in
+  let bb = Builder.at_end body in
+  let iv = Ir.Block.arg body 0 in
+  let iters = List.tl (Ir.Block.args body) in
+  let yielded = f bb iv iters in
+  Builder.create0 bb yield_op yielded;
+  op
+
+let lb op = Ir.Op.operand op 0
+let ub op = Ir.Op.operand op 1
+let step op = Attr.get_int (Ir.Op.attr_exn op "step")
+let iter_operands op = List.filteri (fun i _ -> i >= 2) (Ir.Op.operands op)
+let body op = Ir.Region.only_block (Ir.Op.region op 0)
+let induction_var op = Ir.Block.arg (body op) 0
+let iter_args op = List.tl (Ir.Block.args (body op))
+
+let yield_of op =
+  match Ir.Block.terminator (body op) with
+  | Some t when Ir.Op.name t = yield_op -> t
+  | _ -> invalid_arg "Rv_scf.yield_of: malformed rv_scf.for"

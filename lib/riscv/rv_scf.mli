@@ -1,0 +1,34 @@
+(** The rv_scf dialect: structured control flow over register-typed
+    values (paper §3.1). Mirrors scf.for so lowering is direct, and
+    preserves the loop structure the register allocator exploits (paper
+    §3.3, Figure 6 D).
+
+    The step is a compile-time constant attribute: the loop increment
+    becomes an [addi], so no register is spent on it. *)
+
+open Mlc_ir
+
+val for_op : string
+val yield_op : string
+
+(** [for_ b ~lb ~ub ?step ~iter_args f]: [lb]/[ub] are integer-register
+    values, [step] a positive constant (default 1). [f] receives the
+    body builder, the induction register and the iteration arguments and
+    returns the yielded values. *)
+val for_ :
+  Builder.t ->
+  lb:Ir.value ->
+  ub:Ir.value ->
+  ?step:int ->
+  ?iter_args:Ir.value list ->
+  (Builder.t -> Ir.value -> Ir.value list -> Ir.value list) ->
+  Ir.op
+
+val lb : Ir.op -> Ir.value
+val ub : Ir.op -> Ir.value
+val step : Ir.op -> int
+val iter_operands : Ir.op -> Ir.value list
+val body : Ir.op -> Ir.block
+val induction_var : Ir.op -> Ir.value
+val iter_args : Ir.op -> Ir.value list
+val yield_of : Ir.op -> Ir.op

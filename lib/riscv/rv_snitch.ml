@@ -1,0 +1,148 @@
+(* The rv_snitch dialect: Snitch ISA extensions (paper §2.4, §3.2).
+
+   - [frep_outer]: the FREP hardware loop. The body region may contain
+     only FPU-data-path operations and stream reads/writes; loop-carried
+     accumulators are modelled as iter args whose registers the allocator
+     unifies (as for rv_scf.for).
+   - [read]/[write]: explicit interaction with stream semantic registers.
+     A [read] yields a fresh SSA value for one popped element; the
+     allocator pins it to the SSR data register so the consuming FP
+     instruction references ft0-ft2 directly and the op itself emits no
+     assembly. Symmetrically for [write].
+   - packed SIMD ([vfadd.s] etc.): 64-bit FP registers as 2xf32 lanes. *)
+
+open Mlc_ir
+
+let is_stream_reg v =
+  match Ir.Value.ty v with
+  | Ty.Float_reg (Some r) -> List.mem r Reg.ssr_data_registers
+  | _ -> false
+
+let read_op =
+  Op_registry.register "rv_snitch.read" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 1;
+      if not (is_stream_reg (Ir.Op.operand op 0)) then
+        Op_registry.fail_op op "operand must be an SSR data register (ft0-ft2)";
+      if Ir.Value.num_uses (Ir.Op.result op 0) > 1 then
+        Op_registry.fail_op op
+          "each stream read pops one element and must have a single use")
+
+let write_op =
+  Op_registry.register "rv_snitch.write" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 2;
+      Op_registry.expect_num_results op 0;
+      (match Ir.Value.ty (Ir.Op.operand op 0) with
+      | Ty.Float_reg _ -> ()
+      | _ -> Op_registry.fail_op op "written value must be a float register");
+      if not (is_stream_reg (Ir.Op.operand op 1)) then
+        Op_registry.fail_op op "target must be an SSR data register (ft0-ft2)")
+
+let frep_yield_op =
+  Op_registry.register "rv_snitch.frep_yield" ~terminator:true
+    ~verify:(fun op -> Op_registry.expect_num_results op 0)
+
+(* Ops allowed inside an FREP body: anything executed by the FPU
+   sequencer. *)
+let is_frep_safe name =
+  Rv.is_fpu_op name
+  || List.mem name
+       [ "rv_snitch.read"; "rv_snitch.write"; "rv_snitch.frep_yield" ]
+  || (String.length name >= 12 && String.sub name 0 12 = "rv_snitch.vf")
+
+let frep_outer_op =
+  Op_registry.register "rv_snitch.frep_outer" ~verify:(fun op ->
+      Op_registry.expect_num_regions op 1;
+      if Ir.Op.num_operands op < 1 then
+        Op_registry.fail_op op "expected repetition-count operand";
+      (match Ir.Value.ty (Ir.Op.operand op 0) with
+      | Ty.Int_reg _ -> ()
+      | _ -> Op_registry.fail_op op "repetition count must be an integer register");
+      let n_iter = Ir.Op.num_operands op - 1 in
+      Op_registry.expect_num_results op n_iter;
+      let body = Ir.Region.only_block (Ir.Op.region op 0) in
+      if Ir.Block.num_args body <> n_iter then
+        Op_registry.fail_op op "body must carry one arg per iter arg";
+      Ir.Block.iter_ops body (fun o ->
+          if not (is_frep_safe (Ir.Op.name o)) then
+            Op_registry.fail_op op
+              "op %s is not executable by the FPU sequencer inside frep"
+              (Ir.Op.name o));
+      match Ir.Block.terminator body with
+      | Some t when Ir.Op.name t = frep_yield_op ->
+        if Ir.Op.num_operands t <> n_iter then
+          Op_registry.fail_op op "frep_yield arity does not match iter args"
+      | _ -> Op_registry.fail_op op "body must terminate with frep_yield")
+
+(* Stream configuration writes (assembler contract in DESIGN.md):
+   scfgwi rs1, slot*8+dm. *)
+let scfgwi_op =
+  Op_registry.register "rv_snitch.scfgwi" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_attr op "imm")
+
+(* Streaming on/off: csrsi/csrci 0x7c0. *)
+let ssr_enable_op =
+  Op_registry.register "rv_snitch.ssr_enable" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0)
+
+let ssr_disable_op =
+  Op_registry.register "rv_snitch.ssr_disable" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0)
+
+(* Packed SIMD on 2xf32 lanes. *)
+let vfadd_s_op = Rv.reg_fff "rv_snitch.vfadd.s"
+let vfsub_s_op = Rv.reg_fff "rv_snitch.vfsub.s"
+let vfmul_s_op = Rv.reg_fff "rv_snitch.vfmul.s"
+let vfmax_s_op = Rv.reg_fff "rv_snitch.vfmax.s"
+let vfmin_s_op = Rv.reg_fff "rv_snitch.vfmin.s"
+
+(* vfmac.s: lanewise acc += a*b; modelled as (a, b, acc) -> acc'. *)
+let vfmac_s_op = Rv.reg_ffff "rv_snitch.vfmac.s"
+
+(* vfsum.s: acc[0] += s[0] + s[1]; modelled as (s, acc) -> acc'. *)
+let vfsum_s_op = Rv.reg_fff "rv_snitch.vfsum.s"
+
+(* vfcpka.s.s: pack two scalars into lanes: (lo, hi) -> packed. *)
+let vfcpka_s_s_op = Rv.reg_fff "rv_snitch.vfcpka.s.s"
+
+let read b stream =
+  Builder.create1 b ~result:Rv.float_reg read_op [ stream ]
+
+let write b value stream = Builder.create0 b write_op [ value; stream ]
+
+let frep_outer b ~rpt ?(iter_args = []) f =
+  let region = Ir.Region.single_block ~args:(List.map Ir.Value.ty iter_args) () in
+  let body = Ir.Region.only_block region in
+  let op =
+    Builder.create b ~regions:[ region ]
+      ~results:(List.map Ir.Value.ty iter_args)
+      frep_outer_op (rpt :: iter_args)
+  in
+  let bb = Builder.at_end body in
+  let yielded = f bb (Ir.Block.args body) in
+  Builder.create0 bb frep_yield_op yielded;
+  op
+
+let rpt op = Ir.Op.operand op 0
+let iter_operands op = List.tl (Ir.Op.operands op)
+let body op = Ir.Region.only_block (Ir.Op.region op 0)
+
+let yield_of op =
+  match Ir.Block.terminator (body op) with
+  | Some t when Ir.Op.name t = frep_yield_op -> t
+  | _ -> invalid_arg "Rv_snitch.yield_of: malformed frep"
+
+let scfgwi b value ~slot ~dm =
+  Builder.create0 b ~attrs:[ ("imm", Attr.Int ((slot * 8) + dm)) ] scfgwi_op [ value ]
+
+let ssr_enable b = Builder.create0 b ssr_enable_op []
+let ssr_disable b = Builder.create0 b ssr_disable_op []
+
+let vf_binary b name x y = Builder.create1 b ~result:Rv.float_reg name [ x; y ]
+let vfmac_s b x y acc = Builder.create1 b ~result:Rv.float_reg vfmac_s_op [ x; y; acc ]
+let vfsum_s b s acc = Builder.create1 b ~result:Rv.float_reg vfsum_s_op [ s; acc ]
+let vfcpka_s_s b lo hi = Builder.create1 b ~result:Rv.float_reg vfcpka_s_s_op [ lo; hi ]

@@ -1,0 +1,76 @@
+(** The rv_snitch dialect: Snitch ISA extensions (paper §2.4, §3.2).
+
+    - [frep_outer]: the FREP hardware loop. The body may contain only
+      FPU-data-path operations and stream reads/writes; loop-carried
+      accumulators are iteration arguments whose registers the allocator
+      unifies.
+    - [read]/[write]: explicit interaction with stream semantic
+      registers. A [read] yields a fresh SSA value for one popped
+      element and is pinned to the SSR data register by the allocator;
+      a [write]'s value must be produced directly into the register (see
+      the legalize-stream-writes pass). Both emit no assembly.
+    - packed SIMD ([vfadd.s] ...): 64-bit FP registers as 2 x f32 lanes;
+      [vfmac.s]/[vfsum.s] are two-address (result tied to the
+      accumulator operand). *)
+
+open Mlc_ir
+
+val read_op : string
+val write_op : string
+val frep_yield_op : string
+val frep_outer_op : string
+val scfgwi_op : string
+val ssr_enable_op : string
+val ssr_disable_op : string
+val vfadd_s_op : string
+val vfsub_s_op : string
+val vfmul_s_op : string
+val vfmax_s_op : string
+val vfmin_s_op : string
+val vfmac_s_op : string
+val vfsum_s_op : string
+val vfcpka_s_s_op : string
+
+(** Is this value typed as an SSR data register (ft0-ft2)? *)
+val is_stream_reg : Ir.value -> bool
+
+(** May this op execute under the FPU sequencer (inside FREP)? *)
+val is_frep_safe : string -> bool
+
+(** Pop one element from a stream register value. *)
+val read : Builder.t -> Ir.value -> Ir.value
+
+(** Push [value] to a stream register. *)
+val write : Builder.t -> Ir.value -> Ir.value -> unit
+
+(** [frep_outer b ~rpt ~iter_args f]: executes the body [rpt]+1 times.
+    [f] receives the body builder and the iteration arguments and
+    returns the yielded values. *)
+val frep_outer :
+  Builder.t ->
+  rpt:Ir.value ->
+  ?iter_args:Ir.value list ->
+  (Builder.t -> Ir.value list -> Ir.value list) ->
+  Ir.op
+
+val rpt : Ir.op -> Ir.value
+val iter_operands : Ir.op -> Ir.value list
+val body : Ir.op -> Ir.block
+val yield_of : Ir.op -> Ir.op
+
+(** Stream-configuration write: [scfgwi rs1, slot*8+dm] (assembler
+    contract in DESIGN.md). *)
+val scfgwi : Builder.t -> Ir.value -> slot:int -> dm:int -> unit
+
+val ssr_enable : Builder.t -> unit
+val ssr_disable : Builder.t -> unit
+val vf_binary : Builder.t -> string -> Ir.value -> Ir.value -> Ir.value
+
+(** [vfmac_s b x y acc] — lanewise acc += x*y (two-address). *)
+val vfmac_s : Builder.t -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+
+(** [vfsum_s b s acc] — acc.lo += s.lo + s.hi (two-address). *)
+val vfsum_s : Builder.t -> Ir.value -> Ir.value -> Ir.value
+
+(** [vfcpka_s_s b lo hi] — pack two scalars into lanes. *)
+val vfcpka_s_s : Builder.t -> Ir.value -> Ir.value -> Ir.value

@@ -1,0 +1,78 @@
+(* The snitch_stream dialect: the register-level counterpart of
+   memref_stream.streaming_region (paper §3.2, Figure 6 c).
+
+   The op holds fully-resolved stream configurations (upper bounds plus
+   byte strides per dimension, innermost last) as compile-time constants,
+   plus one pointer operand per stream. Its region's block arguments are
+   the SSR data registers (ft0, ft1, ft2 in operand order), typed as
+   concrete registers, from which rv_snitch.read/write move elements. *)
+
+open Mlc_ir
+
+let num_ins op = Attr.get_int (Ir.Op.attr_exn op "ins")
+
+let patterns op =
+  List.map Attr.get_stride_pattern (Attr.get_arr (Ir.Op.attr_exn op "patterns"))
+
+let streaming_region_op =
+  Op_registry.register "snitch_stream.streaming_region" ~verify:(fun op ->
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_num_regions op 1;
+      Op_registry.expect_attr op "patterns";
+      Op_registry.expect_attr op "ins";
+      let n = Ir.Op.num_operands op in
+      if n > Reg.num_ssrs then
+        Op_registry.fail_op op "at most %d streams are supported" Reg.num_ssrs;
+      if List.length (patterns op) <> n then
+        Op_registry.fail_op op "one stride pattern per stream required";
+      List.iter
+        (fun (p : Attr.stride_pattern) ->
+          if List.length p.ub <> List.length p.strides then
+            Op_registry.fail_op op "pattern ub/stride arity mismatch";
+          if List.length p.ub > 4 then
+            Op_registry.fail_op op "SSR address generators support at most 4 dimensions")
+        (patterns op);
+      List.iteri
+        (fun i v ->
+          match Ir.Value.ty v with
+          | Ty.Int_reg _ -> ()
+          | t ->
+            Op_registry.fail_op op "stream pointer %d must be an integer register, got %s"
+              i (Ty.to_string t))
+        (Ir.Op.operands op);
+      let body = Ir.Region.only_block (Ir.Op.region op 0) in
+      if Ir.Block.num_args body <> n then
+        Op_registry.fail_op op "one SSR block argument per stream required";
+      List.iteri
+        (fun i v ->
+          let expected = Ty.Float_reg (Some (List.nth Reg.ssr_data_registers i)) in
+          if not (Ty.equal (Ir.Value.ty v) expected) then
+            Op_registry.fail_op op "stream block arg %d must have type %s" i
+              (Ty.to_string expected))
+        (Ir.Block.args body))
+
+(* [streaming_region b ~patterns ~ins ~outs f]: [ins]/[outs] are pointer
+   registers; [f] receives the body builder and the SSR register values
+   (readable streams first). *)
+let streaming_region b ~patterns:pats ~ins:in_ptrs ~outs:out_ptrs f =
+  let n = List.length in_ptrs + List.length out_ptrs in
+  let arg_tys =
+    List.init n (fun i -> Ty.Float_reg (Some (List.nth Reg.ssr_data_registers i)))
+  in
+  let region = Ir.Region.single_block ~args:arg_tys () in
+  let body = Ir.Region.only_block region in
+  let op =
+    Builder.create b
+      ~attrs:
+        [
+          ("patterns", Attr.Arr (List.map (fun p -> Attr.Stride_pattern p) pats));
+          ("ins", Attr.Int (List.length in_ptrs));
+        ]
+      ~regions:[ region ] ~results:[] streaming_region_op
+      (in_ptrs @ out_ptrs)
+  in
+  let bb = Builder.at_end body in
+  f bb (Ir.Block.args body);
+  op
+
+let body op = Ir.Region.only_block (Ir.Op.region op 0)

@@ -1,0 +1,26 @@
+(** The snitch_stream dialect: the register-level counterpart of
+    memref_stream.streaming_region (paper §3.2, Figure 6 c). Holds
+    fully-resolved stream configurations (upper bounds and byte strides,
+    outermost first; a trailing zero-stride dimension encodes the
+    hardware repeat) as compile-time constants, plus one pointer operand
+    per stream. The region's block arguments are the SSR data registers
+    (ft0, ft1, ft2 in operand order). *)
+
+open Mlc_ir
+
+val streaming_region_op : string
+val num_ins : Ir.op -> int
+val patterns : Ir.op -> Attr.stride_pattern list
+
+(** [streaming_region b ~patterns ~ins ~outs f]: [ins]/[outs] are pointer
+    registers; [f] receives the body builder and the SSR register values
+    (readable streams first). *)
+val streaming_region :
+  Builder.t ->
+  patterns:Attr.stride_pattern list ->
+  ins:Ir.value list ->
+  outs:Ir.value list ->
+  (Builder.t -> Ir.value list -> unit) ->
+  Ir.op
+
+val body : Ir.op -> Ir.block

@@ -1,0 +1,237 @@
+(* The assembler: parses the textual assembly emitted by the backend into
+   decoded instructions with resolved labels. It accepts exactly the
+   mnemonics the backend emits plus conventional syntax (labels,
+   #-comments), mirroring the external-assembler step of the paper's
+   toolchain (§4.1). *)
+
+exception Asm_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Asm_error m)) fmt
+
+let int_reg_names =
+  [ ("zero", 0); ("ra", 1); ("sp", 2); ("gp", 3); ("tp", 4);
+    ("t0", 5); ("t1", 6); ("t2", 7); ("s0", 8); ("s1", 9);
+    ("a0", 10); ("a1", 11); ("a2", 12); ("a3", 13); ("a4", 14);
+    ("a5", 15); ("a6", 16); ("a7", 17); ("s2", 18); ("s3", 19);
+    ("s4", 20); ("s5", 21); ("s6", 22); ("s7", 23); ("s8", 24);
+    ("s9", 25); ("s10", 26); ("s11", 27); ("t3", 28); ("t4", 29);
+    ("t5", 30); ("t6", 31) ]
+
+let float_reg_names =
+  [ ("ft0", 0); ("ft1", 1); ("ft2", 2); ("ft3", 3); ("ft4", 4);
+    ("ft5", 5); ("ft6", 6); ("ft7", 7); ("fs0", 8); ("fs1", 9);
+    ("fa0", 10); ("fa1", 11); ("fa2", 12); ("fa3", 13); ("fa4", 14);
+    ("fa5", 15); ("fa6", 16); ("fa7", 17); ("fs2", 18); ("fs3", 19);
+    ("fs4", 20); ("fs5", 21); ("fs6", 22); ("fs7", 23); ("fs8", 24);
+    ("fs9", 25); ("fs10", 26); ("fs11", 27); ("ft8", 28); ("ft9", 29);
+    ("ft10", 30); ("ft11", 31) ]
+
+let xreg name =
+  match List.assoc_opt name int_reg_names with
+  | Some i -> i
+  | None -> err "unknown integer register %S" name
+
+let freg name =
+  match List.assoc_opt name float_reg_names with
+  | Some i -> i
+  | None -> err "unknown float register %S" name
+
+let imm64 s =
+  match Int64.of_string_opt s with
+  | Some v -> v
+  | None -> err "bad immediate %S" s
+
+let imm s = Int64.to_int (imm64 s)
+
+(* Split an instruction line into mnemonic and comma-separated operands;
+   memory operands "off(base)" are yielded as two tokens [off; base]. *)
+let tokenize line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then None
+  else
+    match String.index_opt line ' ' with
+    | None -> Some (line, [])
+    | Some i ->
+      let mn = String.sub line 0 i in
+      let rest = String.sub line i (String.length line - i) in
+      let parts =
+        String.split_on_char ',' rest
+        |> List.concat_map (fun part ->
+               let part = String.trim part in
+               match String.index_opt part '(' with
+               | Some l when String.length part > 0 && part.[String.length part - 1] = ')' ->
+                 [ String.trim (String.sub part 0 l);
+                   String.sub part (l + 1) (String.length part - l - 2) ]
+               | _ -> [ part ])
+        |> List.filter (fun s -> s <> "")
+      in
+      Some (mn, parts)
+
+type program = {
+  insns : Insn.t array;
+  labels : (string, int) Hashtbl.t; (* label -> pc *)
+  source : string array; (* original line per pc, for traces *)
+}
+
+let entry program name =
+  match Hashtbl.find_opt program.labels name with
+  | Some pc -> pc
+  | None -> err "no such label %S" name
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  (* First pass: assign pcs and record labels. *)
+  let labels = Hashtbl.create 16 in
+  let pending : (string * string list * string) list ref = ref [] in
+  let pc = ref 0 in
+  List.iter
+    (fun raw ->
+      match tokenize raw with
+      | None -> ()
+      | Some (mn, args) ->
+        if String.length mn > 0 && mn.[String.length mn - 1] = ':' then begin
+          let label = String.sub mn 0 (String.length mn - 1) in
+          if Hashtbl.mem labels label then err "duplicate label %S" label;
+          Hashtbl.replace labels label !pc
+        end
+        else begin
+          pending := (mn, args, String.trim raw) :: !pending;
+          incr pc
+        end)
+    lines;
+  let entries = List.rev !pending in
+  let target label =
+    match Hashtbl.find_opt labels label with
+    | Some pc -> pc
+    | None -> err "undefined label %S" label
+  in
+  let decode (mn, args, raw) : Insn.t =
+    let a i = List.nth args i in
+    let nargs = List.length args in
+    let need n = if nargs <> n then err "%s expects %d operands: %S" mn n raw in
+    match mn with
+    | "li" ->
+      need 2;
+      Li (xreg (a 0), imm64 (a 1))
+    | "mv" ->
+      need 2;
+      Mv (xreg (a 0), xreg (a 1))
+    | "add" | "sub" | "mul" | "div" | "and" | "or" | "xor" | "slt" ->
+      need 3;
+      let op : Insn.alu =
+        match mn with
+        | "add" -> Add
+        | "sub" -> Sub
+        | "mul" -> Mul
+        | "div" -> Div
+        | "and" -> And
+        | "or" -> Or
+        | "xor" -> Xor
+        | _ -> Slt
+      in
+      Alu (op, xreg (a 0), xreg (a 1), xreg (a 2))
+    | "addi" | "slli" | "srai" | "andi" ->
+      need 3;
+      let op : Insn.alu =
+        match mn with "addi" -> Add | "slli" -> Sll | "srai" -> Sra | _ -> And
+      in
+      Alui (op, xreg (a 0), xreg (a 1), imm64 (a 2))
+    | "lw" | "ld" ->
+      need 3;
+      Load ((if mn = "lw" then 4 else 8), xreg (a 0), imm (a 1), xreg (a 2))
+    | "sw" | "sd" ->
+      need 3;
+      Store ((if mn = "sw" then 4 else 8), xreg (a 0), imm (a 1), xreg (a 2))
+    | "flw" | "fld" ->
+      need 3;
+      Fload ((if mn = "flw" then 4 else 8), freg (a 0), imm (a 1), xreg (a 2))
+    | "fsw" | "fsd" ->
+      need 3;
+      Fstore ((if mn = "fsw" then 4 else 8), freg (a 0), imm (a 1), xreg (a 2))
+    | "fadd.d" | "fsub.d" | "fmul.d" | "fdiv.d" | "fmax.d" | "fmin.d"
+    | "fadd.s" | "fsub.s" | "fmul.s" | "fdiv.s" | "fmax.s" | "fmin.s" ->
+      need 3;
+      let prec : Insn.prec = if String.length mn = 6 && mn.[5] = 'd' then D else S in
+      let op : Insn.fop =
+        match String.sub mn 0 4 with
+        | "fadd" -> Fadd
+        | "fsub" -> Fsub
+        | "fmul" -> Fmul
+        | "fdiv" -> Fdiv
+        | "fmax" -> Fmax
+        | _ -> Fmin
+      in
+      Fop (op, prec, freg (a 0), freg (a 1), freg (a 2))
+    | "fmadd.d" | "fmadd.s" ->
+      need 4;
+      Fmadd
+        ( (if mn = "fmadd.d" then D else S),
+          freg (a 0), freg (a 1), freg (a 2), freg (a 3) )
+    | "fmv.d" | "fmv.s" ->
+      need 2;
+      Fmv (freg (a 0), freg (a 1))
+    | "fcvt.d.w" | "fcvt.s.w" ->
+      need 2;
+      Fcvt_from_int ((if mn = "fcvt.d.w" then D else S), freg (a 0), xreg (a 1))
+    | "fmv.d.x" | "fmv.w.x" ->
+      need 2;
+      Fmv_from_bits ((if mn = "fmv.d.x" then D else S), freg (a 0), xreg (a 1))
+    | "vfadd.s" | "vfsub.s" | "vfmul.s" | "vfmax.s" | "vfmin.s" ->
+      need 3;
+      let op : Insn.vfop =
+        match mn with
+        | "vfadd.s" -> Vfadd
+        | "vfsub.s" -> Vfsub
+        | "vfmul.s" -> Vfmul
+        | "vfmax.s" -> Vfmax
+        | _ -> Vfmin
+      in
+      Vf (op, freg (a 0), freg (a 1), freg (a 2))
+    | "vfmac.s" ->
+      need 3;
+      Vfmac (freg (a 0), freg (a 1), freg (a 2))
+    | "vfsum.s" ->
+      need 2;
+      Vfsum (freg (a 0), freg (a 1))
+    | "vfcpka.s.s" ->
+      need 3;
+      Vfcpka (freg (a 0), freg (a 1), freg (a 2))
+    | "scfgwi" ->
+      need 2;
+      Scfgwi (xreg (a 0), imm (a 1))
+    | "csrsi" ->
+      need 2;
+      Csrsi (imm (a 0), imm (a 1))
+    | "csrci" ->
+      need 2;
+      Csrci (imm (a 0), imm (a 1))
+    | "frep.o" ->
+      need 4;
+      Frep_o (xreg (a 0), imm (a 1))
+    | "j" ->
+      need 1;
+      J (target (a 0))
+    | "beq" | "bne" | "blt" | "bge" ->
+      need 3;
+      let c : Insn.cond =
+        match mn with "beq" -> Beq | "bne" -> Bne | "blt" -> Blt | _ -> Bge
+      in
+      Branch (c, xreg (a 0), xreg (a 1), target (a 2))
+    | "ret" ->
+      need 0;
+      Ret
+    | "nop" ->
+      need 0;
+      Nop
+    | other -> err "unknown mnemonic %S in %S" other raw
+  in
+  {
+    insns = Array.of_list (List.map decode entries);
+    labels;
+    source = Array.of_list (List.map (fun (_, _, raw) -> raw) entries);
+  }

@@ -1,0 +1,22 @@
+(** The assembler: parses the textual assembly the backend emits into
+    decoded instructions with resolved labels, mirroring the external
+    assembler step of the paper's toolchain (§4.1). *)
+
+exception Asm_error of string
+
+(** ABI register name -> hardware index; raise {!Asm_error} on unknown
+    names. *)
+val xreg : string -> int
+
+val freg : string -> int
+
+type program = {
+  insns : Insn.t array;
+  labels : (string, int) Hashtbl.t;
+  source : string array; (* original line per pc, for traces *)
+}
+
+(** The pc of a label; raises {!Asm_error} when absent. *)
+val entry : program -> string -> int
+
+val parse : string -> program

@@ -1,0 +1,92 @@
+(* Decoded instruction set of the simulated Snitch core: RV64 IM + FD +
+   the Snitch extensions (FREP, SSR config, packed SIMD). The DESIGN.md
+   substitution note explains why the integer core is modelled as 64-bit
+   (the original Snitch is RV32; pointer width does not affect any
+   reported metric). *)
+
+type alu = Add | Sub | Mul | Div | And | Or | Xor | Slt | Sll | Sra
+
+type fop =
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fmax
+  | Fmin
+
+type prec = D | S
+
+type vfop = Vfadd | Vfsub | Vfmul | Vfmax | Vfmin
+
+type cond = Beq | Bne | Blt | Bge
+
+type t =
+  | Li of int * int64 (* rd, imm *)
+  | Mv of int * int
+  | Alu of alu * int * int * int (* rd, rs1, rs2 *)
+  | Alui of alu * int * int * int64 (* rd, rs1, imm *)
+  | Load of int * int * int * int (* width, rd, offset, base *)
+  | Store of int * int * int * int (* width, rs, offset, base *)
+  | Fload of int * int * int * int (* width, fd, offset, base *)
+  | Fstore of int * int * int * int (* width, fs, offset, base *)
+  | Fop of fop * prec * int * int * int (* fd, fs1, fs2 *)
+  | Fmadd of prec * int * int * int * int (* fd, fs1, fs2, fs3 *)
+  | Fmv of int * int (* fd, fs *)
+  | Fcvt_from_int of prec * int * int (* fd, rs *)
+  | Fmv_from_bits of prec * int * int (* fd, rs *)
+  | Vf of vfop * int * int * int (* fd, fs1, fs2 *)
+  | Vfmac of int * int * int (* fd(acc), fs1, fs2 *)
+  | Vfsum of int * int (* fd(acc), fs *)
+  | Vfcpka of int * int * int (* fd, fs_lo, fs_hi *)
+  | Scfgwi of int * int (* rs1, imm = slot*8+dm *)
+  | Csrsi of int * int (* csr, imm *)
+  | Csrci of int * int
+  | Frep_o of int * int (* rpt reg, n body instructions *)
+  | Branch of cond * int * int * int (* rs1, rs2, target pc *)
+  | J of int (* target pc *)
+  | Ret
+  | Nop
+
+(* Does this instruction execute in the FPU data path (and therefore count
+   toward FPU occupancy and may appear in an FREP body)? *)
+let is_fpu = function
+  | Fop _ | Fmadd _ | Fmv _ | Fcvt_from_int _ | Fmv_from_bits _ | Vf _
+  | Vfmac _ | Vfsum _ | Vfcpka _ -> true
+  | Fload _ | Fstore _ -> false
+  | _ -> false
+
+(* FLOPs contributed by one dynamic execution (paper §4.1: fmadd counts
+   2; packed-SIMD f32 ops count per lane). *)
+let flops = function
+  | Fop ((Fadd | Fsub | Fmul | Fdiv | Fmax | Fmin), _, _, _, _) -> 1
+  | Fmadd _ -> 2
+  | Vf _ -> 2
+  | Vfmac _ -> 4
+  | Vfsum _ -> 2
+  | _ -> 0
+
+(* Registers read / written, for the timing scoreboard. Returns
+   (int_sources, fp_sources, int_dest, fp_dest). *)
+let deps = function
+  | Li (rd, _) -> ([], [], Some rd, None)
+  | Mv (rd, rs) -> ([ rs ], [], Some rd, None)
+  | Alu (_, rd, rs1, rs2) -> ([ rs1; rs2 ], [], Some rd, None)
+  | Alui (_, rd, rs1, _) -> ([ rs1 ], [], Some rd, None)
+  | Load (_, rd, _, base) -> ([ base ], [], Some rd, None)
+  | Store (_, rs, _, base) -> ([ rs; base ], [], None, None)
+  | Fload (_, fd, _, base) -> ([ base ], [], None, Some fd)
+  | Fstore (_, fs, _, base) -> ([ base ], [ fs ], None, None)
+  | Fop (_, _, fd, fs1, fs2) -> ([], [ fs1; fs2 ], None, Some fd)
+  | Fmadd (_, fd, fs1, fs2, fs3) -> ([], [ fs1; fs2; fs3 ], None, Some fd)
+  | Fmv (fd, fs) -> ([], [ fs ], None, Some fd)
+  | Fcvt_from_int (_, fd, rs) -> ([ rs ], [], None, Some fd)
+  | Fmv_from_bits (_, fd, rs) -> ([ rs ], [], None, Some fd)
+  | Vf (_, fd, fs1, fs2) -> ([], [ fs1; fs2 ], None, Some fd)
+  | Vfmac (fd, fs1, fs2) -> ([], [ fd; fs1; fs2 ], None, Some fd)
+  | Vfsum (fd, fs) -> ([], [ fd; fs ], None, Some fd)
+  | Vfcpka (fd, lo, hi) -> ([], [ lo; hi ], None, Some fd)
+  | Scfgwi (rs1, _) -> ([ rs1 ], [], None, None)
+  | Csrsi _ | Csrci _ -> ([], [], None, None)
+  | Frep_o (rs, _) -> ([ rs ], [], None, None)
+  | Branch (_, rs1, rs2, _) -> ([ rs1; rs2 ], [], None, None)
+  | J _ | Ret | Nop -> ([], [], None, None)

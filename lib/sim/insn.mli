@@ -1,0 +1,48 @@
+(** Decoded instruction set of the simulated Snitch core: RV64 IM + FD
+    plus the Snitch extensions (FREP, SSR configuration, packed SIMD).
+    DESIGN.md explains the RV64 modelling choice. *)
+
+type alu = Add | Sub | Mul | Div | And | Or | Xor | Slt | Sll | Sra
+type fop = Fadd | Fsub | Fmul | Fdiv | Fmax | Fmin
+type prec = D | S
+type vfop = Vfadd | Vfsub | Vfmul | Vfmax | Vfmin
+type cond = Beq | Bne | Blt | Bge
+
+type t =
+  | Li of int * int64
+  | Mv of int * int
+  | Alu of alu * int * int * int
+  | Alui of alu * int * int * int64
+  | Load of int * int * int * int  (** width, rd, offset, base *)
+  | Store of int * int * int * int
+  | Fload of int * int * int * int
+  | Fstore of int * int * int * int
+  | Fop of fop * prec * int * int * int
+  | Fmadd of prec * int * int * int * int
+  | Fmv of int * int
+  | Fcvt_from_int of prec * int * int
+  | Fmv_from_bits of prec * int * int
+  | Vf of vfop * int * int * int
+  | Vfmac of int * int * int  (** fd (tied accumulator), fs1, fs2 *)
+  | Vfsum of int * int
+  | Vfcpka of int * int * int
+  | Scfgwi of int * int  (** rs1, slot*8+dm *)
+  | Csrsi of int * int
+  | Csrci of int * int
+  | Frep_o of int * int  (** repetition register, body length *)
+  | Branch of cond * int * int * int
+  | J of int
+  | Ret
+  | Nop
+
+(** Executes in the FPU data path (counts toward occupancy; legal under
+    FREP)? *)
+val is_fpu : t -> bool
+
+(** FLOPs of one dynamic execution (fmadd 2; packed ops per lane,
+    paper §4.1). *)
+val flops : t -> int
+
+(** (integer sources, FP sources, integer dest, FP dest) for the timing
+    scoreboard. *)
+val deps : t -> int list * int list * int option * int option

@@ -1,0 +1,446 @@
+(* The Snitch core simulator: functional execution plus a cycle-level
+   timing model of the documented micro-architecture (paper §2.4, §4.1,
+   and the timing contract in DESIGN.md):
+
+   - in-order single-issue integer core (1 instruction/cycle, integer
+     loads have a 2-cycle use latency, taken branches cost 2 cycles);
+   - a decoupled FPU consuming a FIFO of FP instructions: one starts per
+     cycle, results are ready 3 cycles later (3-stage pipeline), so RAW
+     dependences stall the FPU — the stalls unroll-and-jam eliminates;
+   - FREP: the sequencer replays the buffered FP instructions without the
+     integer core, making the core pseudo-dual-issue;
+   - SSRs: reads/writes of ft0-ft2 while streaming move elements directly
+     between the FPU and the TCDM, with operands always ready.
+
+   FPU utilisation is the ratio of cycles with an FP instruction in the
+   EX stage over total execution latency, as in the paper. *)
+
+exception Exec_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
+
+type perf = {
+  mutable cycles : int;
+  mutable fpu_busy : int; (* dynamic FP-datapath instructions (1 EX cycle each) *)
+  mutable flops : int;
+  mutable loads : int; (* explicit loads (int + fp) *)
+  mutable stores : int;
+  mutable freps : int; (* dynamic frep.o issues *)
+  mutable retired : int;
+  mutable stream_reads : int;
+  mutable stream_writes : int;
+}
+
+let fresh_perf () =
+  {
+    cycles = 0;
+    fpu_busy = 0;
+    flops = 0;
+    loads = 0;
+    stores = 0;
+    freps = 0;
+    retired = 0;
+    stream_reads = 0;
+    stream_writes = 0;
+  }
+
+let fpu_latency = 3 (* paper §3.4: three pipeline stages for all FP ops *)
+let int_load_latency = 2
+let fp_load_latency = 2
+let taken_branch_cost = 2
+
+(* The sequencer/FPU instruction FIFO: the integer core stalls when this
+   many FP instructions are outstanding (decoupling is deep but not
+   unbounded). *)
+let fpu_fifo_depth = 16
+
+type t = {
+  mem : Mem.t;
+  iregs : int64 array;
+  fregs : int64 array;
+  ssrs : Ssr.t array;
+  ssr_cfg : Ssr.config array;
+  mutable ssr_enabled : bool;
+  (* timing state *)
+  mutable core_time : int;
+  mutable fpu_free_at : int;
+  int_ready : int array;
+  fp_ready : int array;
+  mutable fpu_last_done : int;
+  perf : perf;
+  mutable fuel : int;
+  (* optional instruction trace: (issue cycle, source line) *)
+  trace_enabled : bool;
+  mutable trace_buf : (int * string) list;
+}
+
+let create ?(fuel = 200_000_000) ?(trace = false) () =
+  let iregs = Array.make 32 0L in
+  (* ABI stack pointer: top of the TCDM, growing down. *)
+  iregs.(2) <- Int64.of_int (Mem.tcdm_base + Mem.tcdm_size);
+  {
+    mem = Mem.create ();
+    iregs;
+    fregs = Array.make 32 0L;
+    ssrs = Array.init 3 (fun _ -> Ssr.create ());
+    ssr_cfg = Array.init 3 (fun _ -> Ssr.fresh_config ());
+    ssr_enabled = false;
+    core_time = 0;
+    fpu_free_at = 0;
+    int_ready = Array.make 32 0;
+    fp_ready = Array.make 32 0;
+    fpu_last_done = 0;
+    perf = fresh_perf ();
+    fuel;
+    trace_enabled = trace;
+    trace_buf = [];
+  }
+
+let set_ireg t i v = if i <> 0 then t.iregs.(i) <- v
+let get_ireg t i = if i = 0 then 0L else t.iregs.(i)
+let set_freg t i v = t.fregs.(i) <- v
+let get_freg_raw t i = t.fregs.(i)
+
+(* --- SSR interaction --- *)
+
+let streaming_read t dm =
+  let addr = Ssr.next_read_address t.ssrs.(dm) in
+  t.perf.stream_reads <- t.perf.stream_reads + 1;
+  Mem.load64 t.mem addr
+
+let streaming_write t dm v =
+  let addr = Ssr.next_write_address t.ssrs.(dm) in
+  t.perf.stream_writes <- t.perf.stream_writes + 1;
+  Mem.store64 t.mem addr v
+
+let is_stream_reg t i = t.ssr_enabled && i < 3 && t.ssrs.(i).Ssr.active
+
+(* Fetch an FP source operand: pops a stream element if the register is a
+   streaming data register. *)
+let fetch_f t i = if is_stream_reg t i then streaming_read t i else t.fregs.(i)
+
+(* Commit an FP result: pushes to the stream if targeting a streaming
+   data register. *)
+let commit_f t i v =
+  if is_stream_reg t i then streaming_write t i v else t.fregs.(i) <- v
+
+(* --- scalar helpers --- *)
+
+let f64_of bits = Int64.float_of_bits bits
+let bits_of_f64 f = Int64.bits_of_float f
+
+let lo32 bits = Int32.float_of_bits (Int64.to_int32 bits)
+let hi32 bits = Int32.float_of_bits (Int64.to_int32 (Int64.shift_right_logical bits 32))
+
+let pack32 lo hi =
+  let l = Int64.of_int32 (Int32.bits_of_float lo) in
+  let h = Int64.of_int32 (Int32.bits_of_float hi) in
+  Int64.logor
+    (Int64.logand l 0xFFFFFFFFL)
+    (Int64.shift_left (Int64.logand h 0xFFFFFFFFL) 32)
+
+let with_lo32 bits lo =
+  Int64.logor
+    (Int64.logand bits 0xFFFFFFFF00000000L)
+    (Int64.logand (Int64.of_int32 (Int32.bits_of_float lo)) 0xFFFFFFFFL)
+
+let apply_fop (op : Insn.fop) a b =
+  match op with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+  | Fmax -> Float.max a b
+  | Fmin -> Float.min a b
+
+let f32_round f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let apply_alu (op : Insn.alu) a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Div -> if b = 0L then -1L else Int64.div a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Slt -> if Int64.compare a b < 0 then 1L else 0L
+  | Sll -> Int64.shift_left a (Int64.to_int b land 63)
+  | Sra -> Int64.shift_right a (Int64.to_int b land 63)
+
+(* --- timing helpers --- *)
+
+let ready_ints t srcs = List.fold_left (fun m r -> max m t.int_ready.(r)) 0 srcs
+
+let ready_fps t srcs =
+  List.fold_left
+    (fun m r -> if is_stream_reg t r then m else max m t.fp_ready.(r))
+    0 srcs
+
+(* Execute the FPU part of one dynamic FP-path instruction that becomes
+   available to the FPU at [avail]. Updates the FPU timeline and perf. *)
+let fpu_execute_timing t insn ~avail =
+  let _, fp_srcs, _, fp_dst = Insn.deps insn in
+  let start = max (max t.fpu_free_at (ready_fps t fp_srcs)) avail in
+  t.fpu_free_at <- start + 1;
+  let latency =
+    match insn with
+    | Insn.Fload _ -> fp_load_latency
+    | Insn.Fstore _ -> 1
+    | _ -> fpu_latency
+  in
+  (match fp_dst with
+  | Some d when not (is_stream_reg t d) -> t.fp_ready.(d) <- start + latency
+  | _ -> ());
+  if Insn.is_fpu insn then begin
+    t.perf.fpu_busy <- t.perf.fpu_busy + 1;
+    t.perf.flops <- t.perf.flops + Insn.flops insn
+  end;
+  t.fpu_last_done <- max t.fpu_last_done (start + latency)
+
+(* Functional execution of one FP-path instruction (arithmetic, FP
+   loads/stores); integer instructions are handled inline in [step]. *)
+let fpu_execute_functional t insn =
+  match insn with
+  | Insn.Fload (width, fd, off, base) ->
+    let addr = Int64.to_int (get_ireg t base) + off in
+    t.perf.loads <- t.perf.loads + 1;
+    let v =
+      if width = 8 then Mem.load64 t.mem addr
+      else Int64.logand (Int64.of_int32 (Mem.load32 t.mem addr)) 0xFFFFFFFFL
+    in
+    commit_f t fd v
+  | Insn.Fstore (width, fs, off, base) ->
+    let addr = Int64.to_int (get_ireg t base) + off in
+    t.perf.stores <- t.perf.stores + 1;
+    let v = fetch_f t fs in
+    if width = 8 then Mem.store64 t.mem addr v
+    else Mem.store32 t.mem addr (Int64.to_int32 v)
+  | Insn.Fop (op, prec, fd, fs1, fs2) ->
+    let a = fetch_f t fs1 and b = fetch_f t fs2 in
+    let v =
+      match prec with
+      | D -> bits_of_f64 (apply_fop op (f64_of a) (f64_of b))
+      | S -> with_lo32 a (f32_round (apply_fop op (lo32 a) (lo32 b)))
+    in
+    commit_f t fd v
+  | Insn.Fmadd (prec, fd, fs1, fs2, fs3) ->
+    let a = fetch_f t fs1 and b = fetch_f t fs2 and c = fetch_f t fs3 in
+    let v =
+      match prec with
+      | D -> bits_of_f64 (Float.fma (f64_of a) (f64_of b) (f64_of c))
+      | S -> with_lo32 a (f32_round (Float.fma (lo32 a) (lo32 b) (lo32 c)))
+    in
+    commit_f t fd v
+  | Insn.Fmv (fd, fs) -> commit_f t fd (fetch_f t fs)
+  | Insn.Fcvt_from_int (prec, fd, rs) ->
+    let x = Int64.to_float (get_ireg t rs) in
+    let v =
+      match prec with
+      | D -> bits_of_f64 x
+      | S -> pack32 (f32_round x) (f32_round x)
+    in
+    commit_f t fd v
+  | Insn.Fmv_from_bits (prec, fd, rs) ->
+    let bits = get_ireg t rs in
+    let v = match prec with D -> bits | S -> bits in
+    commit_f t fd v
+  | Insn.Vf (op, fd, fs1, fs2) ->
+    let a = fetch_f t fs1 and b = fetch_f t fs2 in
+    let fop : Insn.fop =
+      match op with
+      | Vfadd -> Fadd
+      | Vfsub -> Fsub
+      | Vfmul -> Fmul
+      | Vfmax -> Fmax
+      | Vfmin -> Fmin
+    in
+    let lo = f32_round (apply_fop fop (lo32 a) (lo32 b)) in
+    let hi = f32_round (apply_fop fop (hi32 a) (hi32 b)) in
+    commit_f t fd (pack32 lo hi)
+  | Insn.Vfmac (fd, fs1, fs2) ->
+    (* Two-address: the accumulator register is both read and written; a
+       streaming accumulator would be ill-formed, so read the register
+       file directly. *)
+    let a = fetch_f t fs1 and b = fetch_f t fs2 in
+    let acc = t.fregs.(fd) in
+    let lo = f32_round (Float.fma (lo32 a) (lo32 b) (lo32 acc)) in
+    let hi = f32_round (Float.fma (hi32 a) (hi32 b) (hi32 acc)) in
+    commit_f t fd (pack32 lo hi)
+  | Insn.Vfsum (fd, fs) ->
+    let s = fetch_f t fs in
+    let acc = t.fregs.(fd) in
+    let lo = f32_round (f32_round (lo32 acc +. lo32 s) +. hi32 s) in
+    commit_f t fd (pack32 lo (hi32 acc))
+  | Insn.Vfcpka (fd, fs1, fs2) ->
+    let a = fetch_f t fs1 and b = fetch_f t fs2 in
+    commit_f t fd (pack32 (lo32 a) (lo32 b))
+  | other ->
+    err "instruction is not FP-path executable: %s"
+      (match other with _ -> "(non-FP)")
+
+(* --- SSR configuration (assembler contract in DESIGN.md) --- *)
+
+let do_scfgwi t value imm =
+  if t.ssr_enabled then err "scfgwi while streaming is enabled";
+  let slot = imm / 8 and dm = imm mod 8 in
+  if dm < 0 || dm > 2 then err "scfgwi: bad data mover %d" dm;
+  let cfg = t.ssr_cfg.(dm) in
+  let v = Int64.to_int value in
+  match slot with
+  | 1 -> cfg.Ssr.c_repeat <- v
+  | 2 | 3 | 4 | 5 -> cfg.Ssr.c_bounds.(slot - 2) <- v
+  | 6 | 7 | 8 | 9 -> cfg.Ssr.c_strides.(slot - 6) <- v
+  | s when s >= 24 && s < 28 ->
+    Ssr.arm t.ssrs.(dm) cfg ~dims:(s - 24 + 1) ~ptr:v ~is_write:false
+  | s when s >= 28 && s < 32 ->
+    Ssr.arm t.ssrs.(dm) cfg ~dims:(s - 28 + 1) ~ptr:v ~is_write:true
+  | s -> err "scfgwi: bad slot %d" s
+
+(* --- main loop --- *)
+
+type outcome = { perf : perf; final_pc : int }
+
+let burn_fuel t =
+  t.fuel <- t.fuel - 1;
+  if t.fuel <= 0 then err "out of fuel: runaway execution (infinite loop?)"
+
+let run t (program : Asm_parse.program) ~entry =
+  let insns = program.insns in
+  let n = Array.length insns in
+  let pc = ref (Asm_parse.entry program entry) in
+  let running = ref true in
+  while !running do
+    if !pc < 0 || !pc >= n then err "pc %d out of program bounds" !pc;
+    burn_fuel t;
+    let insn = insns.(!pc) in
+    t.perf.retired <- t.perf.retired + 1;
+    let int_srcs, _, _, _ = Insn.deps insn in
+    let issue = max t.core_time (ready_ints t int_srcs) in
+    if t.trace_enabled then
+      t.trace_buf <- (issue, program.source.(!pc)) :: t.trace_buf;
+    (match insn with
+    | Insn.Li (rd, imm) ->
+      set_ireg t rd imm;
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + 1;
+      incr pc
+    | Insn.Mv (rd, rs) ->
+      set_ireg t rd (get_ireg t rs);
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + 1;
+      incr pc
+    | Insn.Alu (op, rd, rs1, rs2) ->
+      set_ireg t rd (apply_alu op (get_ireg t rs1) (get_ireg t rs2));
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + 1;
+      incr pc
+    | Insn.Alui (op, rd, rs1, imm) ->
+      set_ireg t rd (apply_alu op (get_ireg t rs1) imm);
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + 1;
+      incr pc
+    | Insn.Load (width, rd, off, base) ->
+      let addr = Int64.to_int (get_ireg t base) + off in
+      let v =
+        if width = 8 then Mem.load64 t.mem addr
+        else Int64.of_int32 (Mem.load32 t.mem addr)
+      in
+      set_ireg t rd v;
+      t.perf.loads <- t.perf.loads + 1;
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + int_load_latency;
+      incr pc
+    | Insn.Store (width, rs, off, base) ->
+      let addr = Int64.to_int (get_ireg t base) + off in
+      (if width = 8 then Mem.store64 t.mem addr (get_ireg t rs)
+       else Mem.store32 t.mem addr (Int64.to_int32 (get_ireg t rs)));
+      t.perf.stores <- t.perf.stores + 1;
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Branch (cond, rs1, rs2, target) ->
+      let a = get_ireg t rs1 and b = get_ireg t rs2 in
+      let taken =
+        match cond with
+        | Beq -> a = b
+        | Bne -> a <> b
+        | Blt -> Int64.compare a b < 0
+        | Bge -> Int64.compare a b >= 0
+      in
+      t.core_time <- issue + (if taken then taken_branch_cost else 1);
+      pc := if taken then target else !pc + 1
+    | Insn.J target ->
+      t.core_time <- issue + taken_branch_cost;
+      pc := target
+    | Insn.Ret ->
+      t.core_time <- issue + 1;
+      running := false
+    | Insn.Nop ->
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Csrsi (csr, _) ->
+      if csr = 0x7c0 then t.ssr_enabled <- true;
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Csrci (csr, _) ->
+      if csr = 0x7c0 then t.ssr_enabled <- false;
+      (* Disabling streams synchronises with outstanding FP work. *)
+      t.core_time <- max (issue + 1) t.fpu_last_done;
+      incr pc
+    | Insn.Scfgwi (rs1, imm) ->
+      do_scfgwi t (get_ireg t rs1) imm;
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Frep_o (rpt_reg, body_len) ->
+      if !pc + body_len >= n then err "frep body runs past end of program";
+      let iterations = Int64.to_int (get_ireg t rpt_reg) + 1 in
+      if iterations <= 0 then err "frep with non-positive iteration count";
+      t.perf.freps <- t.perf.freps + 1;
+      (* The core issues the frep plus the n buffered instructions once;
+         the sequencer replays them without the core. *)
+      t.core_time <- issue + 1 + body_len;
+      let avail = t.core_time in
+      for _iter = 1 to iterations do
+        for k = 1 to body_len do
+          let body_insn = insns.(!pc + k) in
+          if not (Insn.is_fpu body_insn) then
+            err "frep body contains a non-FPU instruction: %s"
+              program.source.(!pc + k);
+          burn_fuel t;
+          t.perf.retired <- t.perf.retired + 1;
+          if t.trace_enabled then
+            t.trace_buf <-
+              (t.fpu_free_at, program.source.(!pc + k)) :: t.trace_buf;
+          fpu_execute_functional t body_insn;
+          fpu_execute_timing t body_insn ~avail
+        done
+      done;
+      pc := !pc + 1 + body_len
+    | Insn.Fload _ | Insn.Fstore _ | Insn.Fop _ | Insn.Fmadd _ | Insn.Fmv _
+    | Insn.Fcvt_from_int _ | Insn.Fmv_from_bits _ | Insn.Vf _ | Insn.Vfmac _
+    | Insn.Vfsum _ | Insn.Vfcpka _ ->
+      (* Core issues the FP instruction into the FPU FIFO (one core
+         cycle); when the FIFO is full the core waits for the FPU to
+         drain below the depth. *)
+      let issue = max issue (t.fpu_free_at - fpu_fifo_depth) in
+      t.core_time <- issue + 1;
+      fpu_execute_functional t insn;
+      fpu_execute_timing t insn ~avail:(issue + 1);
+      incr pc)
+  done;
+  t.perf.cycles <- max t.core_time t.fpu_last_done;
+  { perf = t.perf; final_pc = !pc }
+
+(* The collected instruction trace, oldest first: "cycle: instruction". *)
+let trace t =
+  List.rev_map (fun (c, src) -> Printf.sprintf "%8d: %s" c src) t.trace_buf
+
+(* FPU utilisation in percent, as defined in paper §4.1. *)
+let utilization perf =
+  if perf.cycles = 0 then 0.0
+  else 100.0 *. float_of_int perf.fpu_busy /. float_of_int perf.cycles
+
+(* Throughput in FLOPs/cycle. *)
+let throughput perf =
+  if perf.cycles = 0 then 0.0
+  else float_of_int perf.flops /. float_of_int perf.cycles

@@ -1,0 +1,76 @@
+(** The Snitch core simulator: functional execution plus a cycle-level
+    timing model of the documented micro-architecture (paper §2.4, §4.1;
+    timing contract in DESIGN.md):
+
+    - in-order single-issue integer core (1 instruction/cycle, integer
+      loads with a 2-cycle use latency, taken branches cost 2);
+    - a decoupled FPU consuming a FIFO of FP instructions: one starts per
+      cycle, results ready 3 cycles later (3-stage pipeline), so RAW
+      chains stall — the stalls unroll-and-jam eliminates;
+    - FREP: the sequencer replays buffered FP instructions without the
+      integer core (pseudo-dual issue);
+    - SSRs: accesses to ft0–ft2 while streaming move elements directly
+      between FPU and TCDM. *)
+
+exception Exec_error of string
+
+(** Performance counters (paper §4.1 metrics). *)
+type perf = {
+  mutable cycles : int;
+  mutable fpu_busy : int;
+      (** dynamic FP-datapath instructions (one EX cycle each) *)
+  mutable flops : int;
+  mutable loads : int;  (** explicit loads (integer + FP) *)
+  mutable stores : int;
+  mutable freps : int;  (** dynamic frep.o issues *)
+  mutable retired : int;
+  mutable stream_reads : int;
+  mutable stream_writes : int;
+}
+
+type t = {
+  mem : Mem.t;
+  iregs : int64 array;
+  fregs : int64 array;
+  ssrs : Ssr.t array;
+  ssr_cfg : Ssr.config array;
+  mutable ssr_enabled : bool;
+  mutable core_time : int;
+  mutable fpu_free_at : int;
+  int_ready : int array;
+  fp_ready : int array;
+  mutable fpu_last_done : int;
+  perf : perf;
+  mutable fuel : int;
+  trace_enabled : bool;
+  mutable trace_buf : (int * string) list;
+}
+
+(** [create ~fuel ~trace ()] — [fuel] bounds dynamic instructions
+    (catches runaway loops); [trace] records per-instruction issue
+    cycles (see {!trace}). *)
+val create : ?fuel:int -> ?trace:bool -> unit -> t
+
+val set_ireg : t -> int -> int64 -> unit
+val get_ireg : t -> int -> int64
+val set_freg : t -> int -> int64 -> unit
+val get_freg_raw : t -> int -> int64
+
+type outcome = { perf : perf; final_pc : int }
+
+(** Execute from the [entry] label until [ret]. Functional state and
+    counters live in [t]; total cycles are the drain point of both the
+    integer core and the FPU. Raises {!Exec_error} on semantic faults
+    (non-FPU op under FREP, runaway execution), {!Mem.Access_fault} and
+    {!Ssr.Stream_fault} on memory/stream violations. *)
+val run : t -> Asm_parse.program -> entry:string -> outcome
+
+(** The instruction trace, oldest first, as "cycle: instruction" lines
+    (empty unless created with [~trace:true]). *)
+val trace : t -> string list
+
+(** FPU utilisation in percent (paper §4.1). *)
+val utilization : perf -> float
+
+(** FLOPs per cycle. *)
+val throughput : perf -> float

@@ -1,0 +1,46 @@
+(* The tightly-coupled data memory (TCDM): 128 KiB of software-managed L1,
+   the only memory the evaluated kernels touch (paper §2.4, §4.1). *)
+
+type t = { base : int; bytes : Bytes.t }
+
+exception Access_fault of string
+
+let tcdm_base = 0x10000000
+let tcdm_size = 128 * 1024
+
+let create () = { base = tcdm_base; bytes = Bytes.make tcdm_size '\000' }
+
+let check t addr width =
+  let off = addr - t.base in
+  if off < 0 || off + width > Bytes.length t.bytes then
+    raise
+      (Access_fault
+         (Printf.sprintf "address 0x%x (+%d bytes) outside TCDM [0x%x, 0x%x)"
+            addr width t.base
+            (t.base + Bytes.length t.bytes)));
+  off
+
+let load64 t addr = Bytes.get_int64_le t.bytes (check t addr 8)
+let store64 t addr v = Bytes.set_int64_le t.bytes (check t addr 8) v
+let load32 t addr = Bytes.get_int32_le t.bytes (check t addr 4)
+let store32 t addr v = Bytes.set_int32_le t.bytes (check t addr 4) v
+
+let load_f64 t addr = Int64.float_of_bits (load64 t addr)
+let store_f64 t addr v = store64 t addr (Int64.bits_of_float v)
+let load_f32 t addr = Int32.float_of_bits (load32 t addr)
+let store_f32 t addr v = store32 t addr (Int32.bits_of_float v)
+
+(* A bump allocator over the TCDM for test/bench harnesses. Alignment is
+   fixed at 8 bytes to keep 64-bit stream accesses natural. *)
+type arena = { mem : t; mutable next : int }
+
+let arena mem = { mem; next = mem.base }
+
+let alloc arena n_bytes =
+  let aligned = (arena.next + 7) / 8 * 8 in
+  if aligned + n_bytes > arena.mem.base + tcdm_size then
+    raise (Access_fault "TCDM arena exhausted");
+  arena.next <- aligned + n_bytes;
+  aligned
+
+let reset arena = arena.next <- arena.mem.base

@@ -1,0 +1,29 @@
+(** The tightly-coupled data memory (TCDM): 128 KiB of software-managed
+    L1, the only memory the evaluated kernels touch (paper §2.4, §4.1). *)
+
+type t = { base : int; bytes : Bytes.t }
+
+exception Access_fault of string
+
+val tcdm_base : int
+val tcdm_size : int
+val create : unit -> t
+val load64 : t -> int -> int64
+val store64 : t -> int -> int64 -> unit
+val load32 : t -> int -> int32
+val store32 : t -> int -> int32 -> unit
+val load_f64 : t -> int -> float
+val store_f64 : t -> int -> float -> unit
+val load_f32 : t -> int -> float
+val store_f32 : t -> int -> float -> unit
+
+(** A bump allocator over the TCDM for harnesses (8-byte aligned). *)
+type arena
+
+val arena : t -> arena
+
+(** Returns the allocated base address; raises {!Access_fault} when the
+    TCDM is exhausted. *)
+val alloc : arena -> int -> int
+
+val reset : arena -> unit

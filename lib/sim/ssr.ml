@@ -1,0 +1,107 @@
+(* Stream semantic register (SSR) address generators (paper §2.4).
+
+   Each data mover supports a 4-dimensional affine access pattern with
+   per-dimension upper bounds and byte strides, plus an innermost repeat
+   count that serves repeated accesses to the same location without
+   touching the memory interconnect (the paper's stride-0 optimisation,
+   §3.2 d). The data path is 64-bit: one stream element is 8 bytes. *)
+
+exception Stream_fault of string
+
+type t = {
+  mutable bounds : int array; (* active dims, innermost first *)
+  mutable strides : int array; (* byte strides, innermost first *)
+  mutable repeat : int; (* extra times each element is served *)
+  mutable ptr : int; (* base byte address *)
+  mutable idx : int array; (* odometer, innermost first *)
+  mutable rep_left : int;
+  mutable active : bool;
+  mutable finished : bool; (* pattern exhausted; further access faults *)
+  mutable is_write : bool;
+  mutable served : int; (* elements served so far *)
+}
+
+let create () =
+  {
+    bounds = [||];
+    strides = [||];
+    repeat = 0;
+    ptr = 0;
+    idx = [||];
+    rep_left = 0;
+    active = false;
+    finished = false;
+    is_write = false;
+    served = 0;
+  }
+
+(* Raw config slots as written by scfgwi before the pointer write arms the
+   stream. *)
+type config = { mutable c_bounds : int array; mutable c_strides : int array; mutable c_repeat : int }
+
+let fresh_config () = { c_bounds = Array.make 4 0; c_strides = Array.make 4 0; c_repeat = 0 }
+
+(* Arm the stream with [dims] active dimensions starting at [ptr]. Bound
+   slots hold the iteration count minus one, as in the Snitch ISA. *)
+let arm t config ~dims ~ptr ~is_write =
+  if dims < 1 || dims > 4 then
+    raise (Stream_fault (Printf.sprintf "SSR supports 1-4 dims, got %d" dims));
+  t.bounds <- Array.init dims (fun i -> config.c_bounds.(i) + 1);
+  t.strides <- Array.init dims (fun i -> config.c_strides.(i));
+  t.repeat <- config.c_repeat;
+  t.ptr <- ptr;
+  t.idx <- Array.make dims 0;
+  t.rep_left <- config.c_repeat;
+  t.active <- true;
+  t.finished <- false;
+  t.is_write <- is_write;
+  t.served <- 0
+
+let total_elements t =
+  Array.fold_left ( * ) 1 t.bounds * (t.repeat + 1)
+
+let current_address t =
+  let addr = ref t.ptr in
+  Array.iteri (fun d i -> addr := !addr + (i * t.strides.(d))) t.idx;
+  !addr
+
+(* Advance the odometer after one element has been served (accounting for
+   the repeat count on reads). *)
+let advance t =
+  if t.rep_left > 0 && not t.is_write then t.rep_left <- t.rep_left - 1
+  else begin
+    t.rep_left <- t.repeat;
+    let rec bump d =
+      if d >= Array.length t.idx then t.finished <- true
+      else begin
+        t.idx.(d) <- t.idx.(d) + 1;
+        if t.idx.(d) >= t.bounds.(d) then begin
+          t.idx.(d) <- 0;
+          bump (d + 1)
+        end
+      end
+    in
+    bump 0
+  end
+
+let next_read_address t =
+  if not t.active then
+    raise (Stream_fault "read from an unconfigured stream");
+  if t.finished then
+    raise (Stream_fault "read past the end of the configured stream pattern");
+  if t.is_write then raise (Stream_fault "reading from a write stream");
+  let a = current_address t in
+  t.served <- t.served + 1;
+  advance t;
+  a
+
+let next_write_address t =
+  if not t.active then
+    raise (Stream_fault "write to an unconfigured stream");
+  if t.finished then
+    raise (Stream_fault "write past the end of the configured stream pattern");
+  if not t.is_write then raise (Stream_fault "writing to a read stream");
+  let a = current_address t in
+  t.served <- t.served + 1;
+  advance t;
+  a

@@ -1,0 +1,40 @@
+(** Stream semantic register (SSR) address generators (paper §2.4): up to
+    4-dimensional affine patterns with per-dimension bounds and byte
+    strides, plus an innermost repeat count serving repeated accesses
+    without touching the interconnect (§3.2's stride-0 optimisation).
+    The data path is 64-bit: one element is 8 bytes. *)
+
+exception Stream_fault of string
+
+type t = {
+  mutable bounds : int array;
+  mutable strides : int array;
+  mutable repeat : int;
+  mutable ptr : int;
+  mutable idx : int array;
+  mutable rep_left : int;
+  mutable active : bool;
+  mutable finished : bool;
+  mutable is_write : bool;
+  mutable served : int;
+}
+
+val create : unit -> t
+
+(** Config slots accumulated by scfgwi writes before the pointer write
+    arms the stream. Bound slots hold count-1, as in the Snitch ISA. *)
+type config = {
+  mutable c_bounds : int array;
+  mutable c_strides : int array;
+  mutable c_repeat : int;
+}
+
+val fresh_config : unit -> config
+val arm : t -> config -> dims:int -> ptr:int -> is_write:bool -> unit
+val total_elements : t -> int
+
+(** Address of the next element to serve; advances the generator. Raises
+    {!Stream_fault} on overruns and direction mismatches. *)
+val next_read_address : t -> int
+
+val next_write_address : t -> int

@@ -1,0 +1,66 @@
+(* Canonicalisation at the arith/scf level: integer constant folding,
+   algebraic identities on index arithmetic, and dead pure-op
+   elimination. Keeps the address computations produced by
+   {!Lower_to_loops} small before RISC-V conversion. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+let const_int_of v =
+  match Arith.as_constant v with Some (Attr.Int i) -> Some i | _ -> None
+
+let fold_int_binops =
+  Rewriter.pattern "fold-int-binop" (fun b op ->
+      let fold f =
+        match
+          (const_int_of (Ir.Op.operand op 0), const_int_of (Ir.Op.operand op 1))
+        with
+        | Some x, Some y ->
+          let c =
+            Arith.constant b (Attr.Int (f x y)) (Ir.Value.ty (Ir.Op.result op 0))
+          in
+          Rewriter.replace_op op [ c ];
+          Rewriter.Applied
+        | _ -> Rewriter.Declined
+      in
+      match Ir.Op.name op with
+      | "arith.addi" -> fold ( + )
+      | "arith.subi" -> fold ( - )
+      | "arith.muli" -> fold ( * )
+      | _ -> Rewriter.Declined)
+
+let identities =
+  Rewriter.pattern "int-identities" (fun _b op ->
+      let replace_with v =
+        Rewriter.replace_op op [ v ];
+        Rewriter.Applied
+      in
+      match Ir.Op.name op with
+      | "arith.addi" -> (
+        match (const_int_of (Ir.Op.operand op 0), const_int_of (Ir.Op.operand op 1)) with
+        | Some 0, _ -> replace_with (Ir.Op.operand op 1)
+        | _, Some 0 -> replace_with (Ir.Op.operand op 0)
+        | _ -> Rewriter.Declined)
+      | "arith.muli" -> (
+        match (const_int_of (Ir.Op.operand op 0), const_int_of (Ir.Op.operand op 1)) with
+        | Some 1, _ -> replace_with (Ir.Op.operand op 1)
+        | _, Some 1 -> replace_with (Ir.Op.operand op 0)
+        | _ -> Rewriter.Declined)
+      | _ -> Rewriter.Declined)
+
+(* Erase registered-pure ops whose results are all unused. Constants,
+   index arithmetic and dead loads of the lowering all wash out here. *)
+let dce =
+  Rewriter.pattern "dce" (fun _b op ->
+      if
+        Op_registry.is_pure (Ir.Op.name op)
+        && List.for_all (fun r -> not (Ir.Value.has_uses r)) (Ir.Op.results op)
+      then begin
+        Rewriter.erase_op op;
+        Rewriter.Applied
+      end
+      else Rewriter.Declined)
+
+let pass =
+  Pass.make "canonicalize" (fun m ->
+      ignore (Rewriter.rewrite_greedy m [ fold_int_binops; identities; dce ]))

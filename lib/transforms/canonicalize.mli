@@ -1,0 +1,4 @@
+(** Canonicalisation at the arith/scf level: integer constant folding,
+    index-arithmetic identities, dead pure-op elimination. *)
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,279 @@
+(* Conversion from the high-level dialects (func, scf, arith, memref,
+   memref_stream regions) to the RISC-V dialects (rv_func, rv_scf, rv,
+   snitch_stream) — the entry into the backend proper (paper §3.1, §3.4).
+
+   - values become register-typed (float -> !rv.freg, everything else ->
+     !rv.reg); memrefs become base-pointer registers;
+   - memref accesses become explicit address arithmetic plus fld/fsd;
+   - streaming regions become snitch_stream.streaming_region ops with
+     fully-resolved byte-stride patterns (including the contiguity and
+     repeat optimisations of §3.2);
+   - loop iteration inits are copied into fresh registers so the
+     allocator can unify loop-carried values without conflicts. *)
+
+open Mlc_ir
+open Mlc_dialects
+open Mlc_riscv
+
+let fail fmt = Format.kasprintf failwith fmt
+
+type cctx = {
+  vmap : (int, Ir.value) Hashtbl.t;
+  (* original (pre-conversion) type of each converted value, for
+     precision selection *)
+  old_ty : (int, Ty.t) Hashtbl.t;
+  (* apply the §3.2 stream-pattern optimisations *)
+  pattern_opt : bool;
+}
+
+let cv ctx v =
+  match Hashtbl.find_opt ctx.vmap (Ir.Value.id v) with
+  | Some v' -> v'
+  | None -> fail "convert_to_rv: unconverted value %%%d" (Ir.Value.id v)
+
+let bind ctx old_v new_v =
+  Hashtbl.replace ctx.vmap (Ir.Value.id old_v) new_v;
+  Hashtbl.replace ctx.old_ty (Ir.Value.id new_v) (Ir.Value.ty old_v)
+
+let prec_of ctx v =
+  (* Original element precision of a converted float value. *)
+  match Hashtbl.find_opt ctx.old_ty (Ir.Value.id v) with
+  | Some Ty.F32 -> `S
+  | Some Ty.F16 -> `S
+  | _ -> `D
+
+let float_binop_name name prec =
+  let suffix = match prec with `S -> "s" | `D -> "d" in
+  match name with
+  | "arith.addf" -> "rv.fadd." ^ suffix
+  | "arith.subf" -> "rv.fsub." ^ suffix
+  | "arith.mulf" -> "rv.fmul." ^ suffix
+  | "arith.divf" -> "rv.fdiv." ^ suffix
+  | "arith.maximumf" -> "rv.fmax." ^ suffix
+  | "arith.minimumf" -> "rv.fmin." ^ suffix
+  | "arith.fmaf" -> "rv.fmadd." ^ suffix
+  | _ -> fail "not a float binop: %s" name
+
+(* Copy a loop-iteration init into a fresh register so loop unification
+   never conflicts with other uses of the same value. *)
+let copy_for_iteration bb v =
+  match Ir.Value.ty v with
+  | Ty.Float_reg _ -> Rv.fmv_d bb v
+  | Ty.Int_reg _ -> Rv.mv bb v
+  | t -> fail "cannot copy loop init of type %s" (Ty.to_string t)
+
+(* Emit address computation: base register + element-index terms scaled
+   by byte strides. Returns (address register, constant byte offset). *)
+let emit_address ctx bb base_old indices_old =
+  let base = cv ctx base_old in
+  let mty = Ir.Value.ty base_old in
+  let strides = Stream_patterns.mem_strides_of mty in
+  let esz = Ty.byte_width (Ty.memref_elem mty) in
+  let addr = ref base in
+  let const_off = ref 0 in
+  List.iter2
+    (fun idx_old stride ->
+      let scale = stride * esz in
+      if scale <> 0 then
+        match Arith.as_constant idx_old with
+        | Some (Attr.Int c) -> const_off := !const_off + (c * scale)
+        | _ ->
+          let idx = cv ctx idx_old in
+          let term =
+            if scale = 1 then idx
+            else
+              let s = Rv.li bb scale in
+              Rv.mul bb idx s
+          in
+          addr := Rv.add bb !addr term)
+    indices_old strides;
+  (!addr, !const_off)
+
+let rec convert_ops ctx (src : Ir.block) (bb : Builder.t) =
+  Ir.Block.iter_ops src (fun op -> convert_op ctx bb op)
+
+and convert_op ctx bb op =
+  let name = Ir.Op.name op in
+  let res i = Ir.Op.result op i in
+  let operand i = Ir.Op.operand op i in
+  match name with
+  | "arith.constant" -> (
+    match (Ir.Op.attr_exn op "value", Ir.Value.ty (res 0)) with
+    | Attr.Int i, _ -> bind ctx (res 0) (Rv.li bb i)
+    | Attr.Float f, Ty.F64 ->
+      if f = 0.0 then
+        bind ctx (res 0) (Rv.fcvt_d_w bb (Rv.get_register bb "zero"))
+      else
+        let bits = Rv.li_bits bb f in
+        bind ctx (res 0) (Rv.fmv_d_x bb bits)
+    | Attr.Float f, Ty.F32 ->
+      if f = 0.0 then
+        bind ctx (res 0)
+          (Builder.create1 bb ~result:Rv.float_reg Rv.fcvt_s_w_op
+             [ Rv.get_register bb "zero" ])
+      else
+        let bits = Rv.li bb (Int32.to_int (Int32.bits_of_float f)) in
+        bind ctx (res 0)
+          (Builder.create1 bb ~result:Rv.float_reg Rv.fmv_w_x_op [ bits ])
+    | a, t ->
+      fail "cannot convert constant %s : %s" (Attr.to_string a) (Ty.to_string t))
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf"
+  | "arith.maximumf" | "arith.minimumf" ->
+    let rv_name = float_binop_name name (prec_of ctx (cv ctx (operand 0))) in
+    bind ctx (res 0) (Rv.fbinary bb rv_name (cv ctx (operand 0)) (cv ctx (operand 1)))
+  | "arith.fmaf" ->
+    let rv_name = float_binop_name name (prec_of ctx (cv ctx (operand 0))) in
+    bind ctx (res 0)
+      (Rv.fternary bb rv_name (cv ctx (operand 0)) (cv ctx (operand 1))
+         (cv ctx (operand 2)))
+  | "arith.addi" -> bind ctx (res 0) (Rv.add bb (cv ctx (operand 0)) (cv ctx (operand 1)))
+  | "arith.subi" -> bind ctx (res 0) (Rv.sub bb (cv ctx (operand 0)) (cv ctx (operand 1)))
+  | "arith.muli" -> bind ctx (res 0) (Rv.mul bb (cv ctx (operand 0)) (cv ctx (operand 1)))
+  | "memref.load" ->
+    let indices = List.tl (Ir.Op.operands op) in
+    let addr, off = emit_address ctx bb (operand 0) indices in
+    let elem = Ty.memref_elem (Ir.Value.ty (operand 0)) in
+    let load_name = if Ty.equal elem Ty.F32 then Rv.flw_op else Rv.fld_op in
+    bind ctx (res 0) (Rv.fload bb load_name ~offset:off addr)
+  | "memref.store" ->
+    let indices = List.filteri (fun i _ -> i >= 2) (Ir.Op.operands op) in
+    let addr, off = emit_address ctx bb (operand 1) indices in
+    let elem = Ty.memref_elem (Ir.Value.ty (operand 1)) in
+    let store_name = if Ty.equal elem Ty.F32 then Rv.fsw_op else Rv.fsd_op in
+    Rv.fstore bb store_name ~offset:off (cv ctx (operand 0)) addr
+  | "scf.for" -> convert_scf_for ctx bb op
+  | "memref_stream.read" ->
+    bind ctx (res 0) (Rv_snitch.read bb (cv ctx (operand 0)))
+  | "memref_stream.write" ->
+    Rv_snitch.write bb (cv ctx (operand 0)) (cv ctx (operand 1))
+  | "memref_stream.streaming_region" ->
+    convert_streaming_region ~pattern_opt:ctx.pattern_opt ctx bb op
+  | "func.return" -> Rv_func.return_ bb []
+  | other -> fail "convert_to_rv: unhandled op %s" other
+
+and convert_scf_for ctx bb op =
+  let lb = cv ctx (Scf.lb op) in
+  let ub = cv ctx (Scf.ub op) in
+  let step =
+    match Arith.as_constant (Scf.step op) with
+    | Some (Attr.Int s) -> s
+    | _ -> fail "convert_to_rv: scf.for step must be a constant"
+  in
+  let iter_inits =
+    List.map (fun v -> copy_for_iteration bb (cv ctx v)) (Scf.iter_operands op)
+  in
+  let old_body = Scf.body op in
+  let region =
+    Ir.Region.single_block
+      ~args:(Ty.Int_reg None :: List.map Ir.Value.ty iter_inits)
+      ()
+  in
+  let body = Ir.Region.only_block region in
+  let new_for =
+    Builder.create bb ~regions:[ region ]
+      ~attrs:[ ("step", Attr.Int step) ]
+      ~results:(List.map Ir.Value.ty iter_inits)
+      Rv_scf.for_op
+      ([ lb; ub ] @ iter_inits)
+  in
+  (* Bind induction variable and iteration args, then convert the body. *)
+  bind ctx (Scf.induction_var op) (Ir.Block.arg body 0);
+  List.iteri
+    (fun i old_arg -> bind ctx old_arg (Ir.Block.arg body (i + 1)))
+    (Scf.iter_args op);
+  let inner = Builder.at_end body in
+  let old_yield = Scf.yield_of op in
+  Ir.Block.iter_ops old_body (fun o ->
+      if not (Ir.Op.equal o old_yield) then convert_op ctx inner o);
+  Builder.create0 inner Rv_scf.yield_op
+    (List.map (cv ctx) (Ir.Op.operands old_yield));
+  List.iteri (fun i r -> bind ctx r (Ir.Op.result new_for i)) (Ir.Op.results op)
+
+and convert_streaming_region ?(pattern_opt = true) ctx bb op =
+  let streams = Memref_stream.streamed_operands op in
+  let offsets = Memref_stream.offset_operands op in
+  let patterns = Memref_stream.patterns op in
+  let n_in = Memref_stream.num_ins op in
+  (* Resolve each index pattern to byte strides over the operand's
+     layout; apply the §3.2 pattern optimisations. *)
+  let resolved =
+    List.map2
+      (fun (p : Attr.index_pattern) v ->
+        let mty = Ir.Value.ty v in
+        let resolved =
+          Stream_patterns.resolve ~bounds:p.Attr.ip_ub ~map:p.Attr.ip_map
+            ~mem_strides:(Stream_patterns.mem_strides_of mty)
+            ~elem_size:(Ty.byte_width (Ty.memref_elem mty))
+        in
+        if pattern_opt then Stream_patterns.optimize resolved else resolved)
+      patterns streams
+  in
+  (* Base pointers: converted memref base + constant map offset +
+     runtime hoisted offset (in elements, scaled here). *)
+  let pointers =
+    List.mapi
+      (fun k v ->
+        let base = cv ctx v in
+        let esz = Ty.byte_width (Ty.memref_elem (Ir.Value.ty v)) in
+        let p = List.nth resolved k in
+        let base =
+          match List.nth_opt offsets k with
+          | None -> base
+          | Some off_idx -> (
+            match Arith.as_constant off_idx with
+            | Some (Attr.Int 0) -> base
+            | Some (Attr.Int c) -> Rv.addi bb base (c * esz)
+            | _ ->
+              let scaled =
+                if esz = 1 then cv ctx off_idx
+                else Rv.mul bb (cv ctx off_idx) (Rv.li bb esz)
+              in
+              Rv.add bb base scaled)
+        in
+        if p.Stream_patterns.offset = 0 then base
+        else Rv.addi bb base p.Stream_patterns.offset)
+      streams
+  in
+  let hw_patterns =
+    List.map
+      (fun (p : Stream_patterns.resolved) ->
+        { Attr.ub = p.Stream_patterns.ub; strides = p.Stream_patterns.strides })
+      resolved
+  in
+  let in_ptrs = List.filteri (fun i _ -> i < n_in) pointers in
+  let out_ptrs = List.filteri (fun i _ -> i >= n_in) pointers in
+  let old_body = Memref_stream.body op in
+  ignore
+    (Snitch_stream.streaming_region bb ~patterns:hw_patterns ~ins:in_ptrs
+       ~outs:out_ptrs (fun inner stream_args ->
+         List.iteri
+           (fun i old_arg -> bind ctx old_arg (List.nth stream_args i))
+           (Ir.Block.args old_body);
+         convert_ops ctx old_body inner))
+
+(* Convert one func.func into an rv_func.func inserted right before it;
+   the original is erased. *)
+let convert_func ?(pattern_opt = true) (fn : Ir.op) =
+  let old_entry = Func.body fn in
+  let kinds =
+    List.map
+      (fun v ->
+        match Ir.Value.ty v with
+        | Ty.F16 | Ty.F32 | Ty.F64 -> Reg.Float_kind
+        | _ -> Reg.Int_kind)
+      (Ir.Block.args old_entry)
+  in
+  let b = Builder.before fn in
+  let _new_fn, entry = Rv_func.func b ~name:(Func.name fn) ~args:kinds in
+  let ctx =
+    { vmap = Hashtbl.create 128; old_ty = Hashtbl.create 128; pattern_opt }
+  in
+  List.iteri
+    (fun i old_arg -> bind ctx old_arg (Ir.Block.arg entry i))
+    (Ir.Block.args old_entry);
+  convert_ops ctx old_entry (Builder.at_end entry);
+  Ir.Op.erase fn
+
+let pass pattern_opt =
+  Pass.make "convert-to-rv" (fun m ->
+      List.iter (convert_func ~pattern_opt) (Util.ops_named m Func.func_op))

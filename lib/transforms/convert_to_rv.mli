@@ -1,0 +1,10 @@
+(** Conversion from the high-level dialects to the RISC-V dialects
+    (paper §3.1, §3.4): values become register-typed, memref accesses
+    become address arithmetic plus fld/fsd, streaming regions resolve to
+    snitch_stream ops with byte-stride patterns (including the §3.2
+    contiguity/repeat optimisations), and loop iteration inits are
+    copied so the allocator can unify loop-carried registers. *)
+
+(** [pass pattern_opt]: [pattern_opt] enables the §3.2 stream-pattern
+    optimisations (contiguity collapse, hardware repeat). *)
+val pass : bool -> Mlc_ir.Pass.t

@@ -1,0 +1,169 @@
+(* Stream selection analysis (paper §3.4): decide which operands of a
+   memref_stream.generic will be accessed through SSRs, and how many
+   leading parallel dimensions must be hoisted above the streaming
+   region so that every chosen pattern fits the 4-dimensional hardware
+   address generators. The loop lowering consumes the annotations and
+   materialises the streaming region at the chosen depth, with runtime
+   pointer offsets carrying the hoisted dimensions' contribution.
+
+   Streamability:
+   - memref inputs with linear indexing maps always qualify;
+   - memref outputs qualify only when write-only: either covered by
+     [inits] (fused fill) or, for reduction-free generics, when the body
+     ignores the current output value;
+   - at most [Machine_params.num_ssrs] operands stream; inputs take
+     precedence in operand order. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+let stream_operands_key = "stream_operands"
+let hoist_key = "stream_hoist"
+
+let annotated_stream_operands op =
+  match Ir.Op.attr op stream_operands_key with
+  | Some a -> Attr.get_int_arr a
+  | None -> []
+
+let hoist_depth op =
+  match Ir.Op.attr op hoist_key with Some (Attr.Int h) -> h | _ -> 0
+
+let map_is_linear (m : Affine.map) =
+  List.for_all
+    (fun e ->
+      match Affine.linear_form ~num_dims:m.Affine.num_dims ~num_syms:0 e with
+      | _ -> true
+      | exception Affine.Not_affine _ -> false)
+    m.Affine.exprs
+
+(* Is the k-th input's value used by some body copy? Shape-only operands
+   (e.g. pooling windows) must not waste a data mover. *)
+let in_arg_used op k =
+  let n_in = Memref_stream.num_ins op in
+  let u = Memref_stream.unroll_factor op in
+  let body = Memref_stream.body op in
+  let rec any j =
+    j < u
+    && (Ir.Value.has_uses (Ir.Block.arg body ((j * n_in) + k)) || any (j + 1))
+  in
+  any 0
+
+(* Is the k-th output's current value unused by every body copy? *)
+let out_arg_unused op k =
+  let n_in = Memref_stream.num_ins op in
+  let n_out = Memref_stream.num_outs op in
+  let u = Memref_stream.unroll_factor op in
+  let body = Memref_stream.body op in
+  let rec all j =
+    j >= u
+    || (not (Ir.Value.has_uses (Ir.Block.arg body ((u * n_in) + (j * n_out) + k))))
+       && all (j + 1)
+  in
+  all 0
+
+let out_is_write_only op k =
+  Memref_stream.num_inits op > k
+  ||
+  let iterators = Memref_stream.iterator_types op in
+  (not (List.exists (( = ) Attr.Reduction) iterators)) && out_arg_unused op k
+
+(* The index pattern (iteration bounds + restricted map) an operand
+   streams with at hoist depth [h]: dims below h are hoisted to a runtime
+   offset; outputs additionally drop the reduction dims (they are written
+   once per non-reduction point). *)
+let local_index_pattern op k ~h : Attr.index_pattern =
+  let bounds = Memref_stream.bounds op in
+  let iterators = Memref_stream.iterator_types op in
+  let maps = Memref_stream.indexing_maps op in
+  let n_in = Memref_stream.num_ins op in
+  let red = Util.reduction_dims iterators in
+  let m = Stream_patterns.drop_leading_dims (List.nth maps k) h in
+  let local_bounds = List.filteri (fun d _ -> d >= h) bounds in
+  let local_red = List.filter_map (fun d -> if d >= h then Some (d - h) else None) red in
+  if k < n_in then { Attr.ip_ub = local_bounds; ip_map = m }
+  else
+    {
+      Attr.ip_ub =
+        List.concat
+          (List.mapi
+             (fun d b -> if List.mem d local_red then [] else [ b ])
+             local_bounds);
+      ip_map = Affine.drop_dims m local_red;
+    }
+
+let resolved_pattern op k ~h =
+  let p = local_index_pattern op k ~h in
+  let mty = Ir.Value.ty (List.nth (Ir.Op.operands op) k) in
+  Stream_patterns.resolve ~bounds:p.Attr.ip_ub ~map:p.Attr.ip_map
+    ~mem_strides:(Stream_patterns.mem_strides_of mty)
+    ~elem_size:(Ty.byte_width (Ty.memref_elem mty))
+
+let analyze (op : Ir.op) =
+  let bounds = Memref_stream.bounds op in
+  let iterators = Memref_stream.iterator_types op in
+  let maps = Memref_stream.indexing_maps op in
+  let n_in = Memref_stream.num_ins op in
+  let n_out = Memref_stream.num_outs op in
+  let u = Memref_stream.unroll_factor op in
+  (* Leading parallel dimensions eligible for hoisting: a prefix of the
+     dim list that is parallel (normalised order guarantees parallel
+     dims come first; the interleaved dim is never leading). *)
+  let n_loop_dims = List.length bounds - if u > 1 then 1 else 0 in
+  let max_hoist =
+    let rec count d =
+      if d < n_loop_dims && List.nth iterators d = Attr.Parallel then
+        count (d + 1)
+      else d
+    in
+    count 0
+  in
+  let candidate k v =
+    match Ir.Value.ty v with
+    | Ty.Memref _ ->
+      map_is_linear (List.nth maps k)
+      && (if k < n_in then in_arg_used op k else out_is_write_only op (k - n_in))
+    | _ -> false
+  in
+  let candidates =
+    List.concat
+      (List.mapi
+         (fun k v -> if k < n_in + n_out && candidate k v then [ k ] else [])
+         (Ir.Op.operands op))
+  in
+  (* Find the smallest hoist depth at which a maximal set of candidates
+     fits the hardware; candidates that never fit are dropped. *)
+  let fits_at h k =
+    Stream_patterns.fits ~is_read:(k < n_in) (resolved_pattern op k ~h)
+  in
+  let rec pick h =
+    if h > max_hoist then None
+    else if List.for_all (fits_at h) candidates then Some (h, candidates)
+    else pick (h + 1)
+  in
+  let chosen =
+    match pick 0 with
+    | Some r -> Some r
+    | None ->
+      (* Drop candidates that do not fit even at max hoist. *)
+      let surviving = List.filter (fits_at max_hoist) candidates in
+      let rec pick2 h =
+        if h > max_hoist then None
+        else if surviving <> [] && List.for_all (fits_at h) surviving then
+          Some (h, surviving)
+        else pick2 (h + 1)
+      in
+      pick2 0
+  in
+  match chosen with
+  | None -> ()
+  | Some (h, ks) ->
+    let ks =
+      (* Hardware cap: inputs take precedence (operand order). *)
+      List.filteri (fun i _ -> i < Machine_params.num_ssrs) ks
+    in
+    Ir.Op.set_attr op stream_operands_key (Attr.int_arr ks);
+    Ir.Op.set_attr op hoist_key (Attr.Int h)
+
+let pass =
+  Pass.make "stream-analysis" (fun m ->
+      List.iter analyze (Util.ops_named m Memref_stream.generic_op))

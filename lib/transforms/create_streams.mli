@@ -1,0 +1,22 @@
+(** Stream selection analysis (paper §3.4): decide which operands of a
+    memref_stream.generic stream through SSRs and how many leading
+    parallel dimensions must hoist above the streaming region so every
+    pattern fits the 4-D hardware address generators. {!Lower_to_loops}
+    consumes the annotations. *)
+
+open Mlc_ir
+
+val stream_operands_key : string
+val hoist_key : string
+
+(** Annotated operand indices (empty when the analysis has not run or
+    nothing qualifies). *)
+val annotated_stream_operands : Ir.op -> int list
+
+val hoist_depth : Ir.op -> int
+
+(** The index pattern operand [k] streams with at hoist depth [h]
+    (outputs drop the reduction dims). Shared with the loop lowering. *)
+val local_index_pattern : Ir.op -> int -> h:int -> Attr.index_pattern
+
+val pass : Pass.t

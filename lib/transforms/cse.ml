@@ -1,0 +1,56 @@
+(* Block-local common-subexpression elimination for pure operations.
+   Constants and address arithmetic produced by the loop lowering
+   otherwise occupy one register each; the classical backends the paper
+   compares against (LLVM) perform this folding, so the baseline flows
+   need it for a fair register-pressure comparison. *)
+
+open Mlc_ir
+
+let attr_key attrs =
+  attrs
+  |> List.map (fun (k, v) -> k ^ "=" ^ Attr.to_string v)
+  |> List.sort String.compare
+  |> String.concat ";"
+
+(* Commutative ops get a canonical operand order in the key. *)
+let commutative =
+  [ "rv.add"; "rv.mul"; "rv.and"; "rv.or"; "rv.xor"; "arith.addi";
+    "arith.muli"; "arith.addf"; "arith.mulf" ]
+
+let op_key op =
+  let ids = List.map Ir.Value.id (Ir.Op.operands op) in
+  let ids = if List.mem (Ir.Op.name op) commutative then List.sort compare ids else ids in
+  Printf.sprintf "%s(%s){%s}:%s" (Ir.Op.name op)
+    (String.concat "," (List.map string_of_int ids))
+    (attr_key (Ir.Op.attrs op))
+    (String.concat ","
+       (List.map (fun v -> Ty.to_string (Ir.Value.ty v)) (Ir.Op.results op)))
+
+(* Register-to-register copies exist to give loop-carried values private
+   registers (see Convert_to_rv.copy_for_iteration); merging them would
+   re-introduce the very conflicts they prevent. *)
+let never_cse = [ "rv.mv"; "rv.fmv.d" ]
+
+let run_on_block (block : Ir.block) =
+  let seen = Hashtbl.create 32 in
+  Ir.Block.iter_ops block (fun op ->
+      if
+        Op_registry.is_pure (Ir.Op.name op)
+        && (not (List.mem (Ir.Op.name op) never_cse))
+        && Ir.Op.regions op = [] && Ir.Op.num_results op = 1
+      then begin
+        let key = op_key op in
+        match Hashtbl.find_opt seen key with
+        | Some earlier ->
+          Ir.replace_all_uses (Ir.Op.result op 0) ~with_:(Ir.Op.result earlier 0);
+          Ir.Op.erase op
+        | None -> Hashtbl.replace seen key op
+      end)
+
+let run_on root =
+  Ir.walk_incl root (fun op ->
+      List.iter
+        (fun (r : Ir.region) -> List.iter run_on_block (Ir.Region.blocks r))
+        (Ir.Op.regions op))
+
+let pass = Pass.make "cse" run_on

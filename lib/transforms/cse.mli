@@ -1,0 +1,5 @@
+(** Block-local common-subexpression elimination for pure ops
+    (commutative-aware). Register-copy ops are never merged: they exist
+    to give loop-carried values private registers. *)
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,4 @@
+(** Fuse single-use multiply-add chains into [arith.fmaf], matching the
+    FPU's fmadd (2 FLOPs/cycle peak, paper §4.1). *)
+
+val pass : Mlc_ir.Pass.t

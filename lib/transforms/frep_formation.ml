@@ -1,0 +1,65 @@
+(* FREP formation (paper §3.2, Table 3 "+ FRep"): rewrite rv_scf.for
+   loops whose bodies run entirely in the FPU data path into
+   rv_snitch.frep_outer hardware loops, eliminating explicit loop control
+   flow and decoupling the FPU from the integer core.
+
+   Conditions: constant lower bound 0 and step 1, unused induction
+   variable (streams have removed all indexing), and every body op
+   executable by the FPU sequencer. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+let const_li v =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = Rv.li_op ->
+    Some (Mlc_ir.Attr.get_int (Ir.Op.attr_exn op "imm"))
+  | _ -> None
+
+let body_is_fpu_only body =
+  let terminator = Ir.Block.terminator body in
+  Ir.Block.fold_ops body ~init:true ~f:(fun acc o ->
+      acc
+      && (Rv_snitch.is_frep_safe (Ir.Op.name o)
+         || match terminator with Some t -> Ir.Op.equal t o | None -> false))
+
+let try_form (loop : Ir.op) =
+  let body = Rv_scf.body loop in
+  let iv = Rv_scf.induction_var loop in
+  if
+    const_li (Rv_scf.lb loop) = Some 0
+    && Rv_scf.step loop = 1
+    && (not (Ir.Value.has_uses iv))
+    && body_is_fpu_only body
+    && Ir.Block.num_ops body > 1 (* more than just the yield *)
+  then begin
+    let bb = Builder.before loop in
+    (* frep.o executes rpt+1 times: rpt = ub - 1. *)
+    let rpt = Rv.addi bb (Rv_scf.ub loop) (-1) in
+    let iter_tys = List.map Ir.Value.ty (Rv_scf.iter_operands loop) in
+    let region = Ir.Region.single_block ~args:iter_tys () in
+    let new_body = Ir.Region.only_block region in
+    let frep =
+      Ir.Op.create ~regions:[ region ] ~results:iter_tys
+        Rv_snitch.frep_outer_op
+        (rpt :: Rv_scf.iter_operands loop)
+    in
+    Ir.Op.insert_before ~anchor:loop frep;
+    (* Move the body across, dropping the induction variable. *)
+    List.iteri
+      (fun i old_arg ->
+        Ir.replace_all_uses old_arg ~with_:(Ir.Block.arg new_body i))
+      (Rv_scf.iter_args loop);
+    Ir.Block.iter_ops body (fun o ->
+        Ir.Op.unlink o;
+        Ir.Block.append new_body o);
+    Util.rename_terminator new_body ~to_:"rv_snitch.frep_yield";
+    List.iteri
+      (fun i r -> Ir.replace_all_uses r ~with_:(Ir.Op.result frep i))
+      (Ir.Op.results loop);
+    Ir.Op.erase loop
+  end
+
+let pass =
+  Pass.make "frep-formation" (fun m ->
+      List.iter try_form (Util.ops_named m Rv_scf.for_op))

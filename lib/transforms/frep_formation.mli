@@ -1,0 +1,5 @@
+(** FREP formation (paper §3.2, Table 3 "+ FRep"): rv_scf loops whose
+    bodies run entirely in the FPU data path (streams having removed all
+    indexing) become rv_snitch.frep_outer hardware loops. *)
+
+val pass : Mlc_ir.Pass.t

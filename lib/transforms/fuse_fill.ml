@@ -1,0 +1,91 @@
+(* Fill fusion (paper §4.4, Table 3 "+ Fuse Fill"): fold the generic that
+   zero-initialises an output buffer into the consuming reduction generic
+   as an [inits] operand. The consumer may then ignore the previous
+   contents of the buffer, eliminating its remaining output loads and —
+   because the output becomes write-only — enabling it to stream. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+(* Recognise a pure fill: an all-parallel generic with one output whose
+   body just yields a value defined outside the body (typically a scalar
+   input block-arg or a constant). Returns the filled value source. *)
+let as_fill (op : Ir.op) : [ `In_operand of int | `Constant of Attr.t ] option =
+  if Ir.Op.name op <> Memref_stream.generic_op then None
+  else if List.exists (fun it -> it <> Attr.Parallel) (Memref_stream.iterator_types op)
+  then None
+  else if List.length (Memref_stream.outs op) <> 1 then None
+  else
+    let body = Memref_stream.body op in
+    match Ir.Block.terminator body with
+    | Some yield when Ir.Op.num_operands yield = 1 -> (
+      let y = Ir.Op.operand yield 0 in
+      match Ir.Value.def y with
+      | Ir.Block_arg (b, i) when Ir.Block.equal b body ->
+        if i < Memref_stream.num_ins op then `In_operand i |> Option.some
+        else None
+      | Ir.Op_result (def, 0) when Ir.Op.name def = "arith.constant" ->
+        Some (`Constant (Ir.Op.attr_exn def "value"))
+      | _ -> None)
+    | _ -> None
+
+(* Is [buf] referenced by any op strictly between [a] and [b] (same
+   block)? *)
+let buffer_touched_between buf a b =
+  let touched = ref false in
+  let cur = ref a.Ir.next in
+  while (match !cur with Some o -> not (Ir.Op.equal o b) | None -> false) do
+    let o = Option.get !cur in
+    let uses_buf o =
+      List.exists (Ir.Value.equal buf) (Ir.Op.operands o)
+    in
+    if uses_buf o then touched := true;
+    Ir.walk o (fun inner -> if uses_buf inner then touched := true);
+    cur := o.Ir.next
+  done;
+  !touched
+
+let try_fuse (consumer : Ir.op) =
+  if
+    Scalar_replacement.is_marked consumer
+    && Memref_stream.num_inits consumer = 0
+    && Memref_stream.num_outs consumer = 1
+  then begin
+    let outs = Memref_stream.outs consumer in
+    (* Scan backwards from the consumer for an adjacent fill of one of
+       its outputs. *)
+    let rec scan prev =
+      match prev with
+      | None -> ()
+      | Some candidate -> (
+        match as_fill candidate with
+        | Some source
+          when List.exists
+                 (fun out ->
+                   List.exists (Ir.Value.equal out)
+                     (Memref_stream.outs candidate))
+                 outs
+               && not
+                    (buffer_touched_between
+                       (List.hd (Memref_stream.outs candidate))
+                       candidate consumer) ->
+          let init_value =
+            match source with
+            | `In_operand i -> List.nth (Memref_stream.ins candidate) i
+            | `Constant attr ->
+              let b = Builder.before consumer in
+              let out = List.hd (Memref_stream.outs candidate) in
+              Arith.constant b attr (Ty.memref_elem (Ir.Value.ty out))
+          in
+          Ir.Op.set_operands consumer (Ir.Op.operands consumer @ [ init_value ]);
+          Ir.Op.set_attr consumer "inits"
+            (Attr.Int (Memref_stream.num_inits consumer + 1));
+          Ir.Op.erase candidate
+        | _ -> scan (Option.get prev).Ir.prev)
+    in
+    scan consumer.Ir.prev
+  end
+
+let pass =
+  Pass.make "fuse-fill" (fun m ->
+      List.iter try_fuse (Util.ops_named m Memref_stream.generic_op))

@@ -1,0 +1,6 @@
+(** Fill fusion (paper §4.4, Table 3 "+ Fuse Fill"): fold the generic
+    that zero-initialises an output buffer into the consuming reduction
+    generic as an [inits] operand, eliminating the output's remaining
+    loads and making it write-only (hence streamable). *)
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,75 @@
+(* Induction-variable strength reduction on innermost rv_scf.for loops:
+   a multiplication (or shift) of the induction variable by a constant
+   becomes a loop-carried value bumped by an addi each iteration —
+   turning per-iteration address multiplies into adds, as the LLVM
+   backend the paper's baseline flows rely on would (§4.1, §4.4
+   discussion of the Clang/MLIR flows). *)
+
+open Mlc_ir
+open Mlc_riscv
+
+let const_li v =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = Rv.li_op ->
+    Some (Attr.get_int (Ir.Op.attr_exn op "imm"))
+  | _ -> None
+
+let is_innermost loop =
+  Ir.find_first loop (fun op -> Ir.Op.name op = Rv_scf.for_op) = None
+
+(* The scale factor if [op] computes iv * constant. *)
+let iv_scale iv op =
+  match Ir.Op.name op with
+  | "rv.slli" when Ir.Value.equal (Ir.Op.operand op 0) iv ->
+    Some (1 lsl Attr.get_int (Ir.Op.attr_exn op "imm"))
+  | "rv.mul" -> (
+    let a = Ir.Op.operand op 0 and b = Ir.Op.operand op 1 in
+    if Ir.Value.equal a iv then const_li b
+    else if Ir.Value.equal b iv then const_li a
+    else None)
+  | _ -> None
+
+let fits_imm12 c = c >= -2048 && c <= 2047
+
+let reduce_loop (loop : Ir.op) =
+  if is_innermost loop then begin
+    let iv = Rv_scf.induction_var loop in
+    let body = Rv_scf.body loop in
+    let yield = Rv_scf.yield_of loop in
+    let candidates =
+      Ir.Block.fold_ops body ~init:[] ~f:(fun acc op ->
+          match iv_scale iv op with Some c -> (op, c) :: acc | _ -> acc)
+      |> List.rev
+    in
+    let step = Rv_scf.step loop in
+    List.iter
+      (fun (op, scale) ->
+        if fits_imm12 (step * scale) then begin
+          let b = Builder.before loop in
+          (* init = lb * scale *)
+          let init =
+            match const_li (Rv_scf.lb loop) with
+            | Some lb -> Rv.li b (lb * scale)
+            | None ->
+              let s = Rv.li b scale in
+              Rv.mul b (Rv_scf.lb loop) s
+          in
+          (* Fresh copy so loop unification owns the register. *)
+          let init = Rv.mv b init in
+          Ir.Op.set_operands loop (Ir.Op.operands loop @ [ init ]);
+          let arg = Ir.Block.add_arg body (Ty.Int_reg None) in
+          let res = Ir.Op.add_result loop (Ty.Int_reg None) in
+          ignore res;
+          (* Bump at the end of the body, before the yield. *)
+          let bb = Builder.before yield in
+          let next = Rv.addi bb arg (step * scale) in
+          Ir.Op.set_operands yield (Ir.Op.operands yield @ [ next ]);
+          Ir.replace_all_uses (Ir.Op.result op 0) ~with_:arg;
+          Ir.Op.erase op
+        end)
+      candidates
+  end
+
+let pass =
+  Pass.make "iv-strength-reduce" (fun m ->
+      List.iter reduce_loop (Util.ops_named m Rv_scf.for_op))

@@ -1,0 +1,6 @@
+(** Induction-variable strength reduction on innermost rv_scf loops:
+    iv-times-constant becomes a loop-carried value bumped by addi,
+    turning per-iteration address multiplies into adds (as the LLVM
+    backend behind the paper's baselines would). *)
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,47 @@
+(* Legalise stream writes before register allocation: the value written
+   to an SSR data register must be produced *directly into* that register
+   by exactly one FPU instruction in the same block (each write of the
+   register pushes one stream element, paper §2.4). When the written
+   value is anything else — a function argument, a loop result, a
+   multiply-used value, the result of a two-address accumulator op — an
+   fmv.d (fsgnj) copy is inserted so the copy becomes the producing
+   instruction. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+(* Ops whose destination register can be retargeted to the stream
+   register without changing other semantics. Two-address ops (vfmac,
+   vfsum) are excluded: their destination is tied to the accumulator. *)
+let retargetable name =
+  Rv.is_fpu_op name
+  || List.mem name
+       [
+         "rv_snitch.vfadd.s"; "rv_snitch.vfsub.s"; "rv_snitch.vfmul.s";
+         "rv_snitch.vfmax.s"; "rv_snitch.vfmin.s"; "rv_snitch.vfcpka.s.s";
+       ]
+
+let same_block a b =
+  match (Ir.Op.parent a, Ir.Op.parent b) with
+  | Some x, Some y -> Ir.Block.equal x y
+  | _ -> false
+
+let needs_copy (write : Ir.op) =
+  let v = Ir.Op.operand write 0 in
+  match Ir.Value.def v with
+  | Ir.Block_arg _ -> true
+  | Ir.Op_result (def, _) ->
+    (not (retargetable (Ir.Op.name def)))
+    || Ir.Value.num_uses v > 1
+    || not (same_block def write)
+
+let legalize (write : Ir.op) =
+  if needs_copy write then begin
+    let b = Builder.before write in
+    let copy = Rv.fmv_d b (Ir.Op.operand write 0) in
+    Ir.Op.set_operand write 0 copy
+  end
+
+let pass =
+  Pass.make "legalize-stream-writes" (fun m ->
+      List.iter legalize (Util.ops_named m Rv_snitch.write_op))

@@ -1,0 +1,7 @@
+(** Legalise stream writes before register allocation: the written value
+    must be produced directly into the SSR data register by exactly one
+    same-block FPU instruction; anything else (loop results, arguments,
+    two-address accumulators, multi-use values) gets an fmv.d copy as
+    the producing instruction. *)
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,55 @@
+(* Loop-invariant code motion over structured loops (scf.for and
+   rv_scf.for): pure ops whose operands are all defined outside the loop
+   body move in front of the loop. Iterates to a fixpoint so chains of
+   invariant ops (constant, scale, base-address add) hoist together.
+
+   Like {!Cse}, this levels the playing field with the LLVM-based
+   baseline flows of the paper (§4.1), which perform LICM as a matter of
+   course. *)
+
+open Mlc_ir
+
+let loop_ops = [ "scf.for"; "rv_scf.for" ]
+
+let rec defined_within (v : Ir.value) (loop : Ir.op) =
+  match Ir.Value.owner_block v with
+  | None -> false
+  | Some b -> block_within b loop
+
+and block_within (b : Ir.block) (loop : Ir.op) =
+  match Ir.Block.parent_op b with
+  | None -> false
+  | Some p ->
+    Ir.Op.equal p loop
+    || (match Ir.Op.parent p with Some pb -> block_within pb loop | None -> false)
+
+(* Register copies that seed loop-carried values must re-execute on every
+   entry to their loop: after the allocator unifies the iteration
+   registers, the previous trip's final value would otherwise leak into
+   the next initialisation. *)
+let never_hoist = [ "rv.mv"; "rv.fmv.d" ]
+
+let hoistable loop op =
+  Op_registry.is_pure (Ir.Op.name op)
+  && (not (List.mem (Ir.Op.name op) never_hoist))
+  && Ir.Op.regions op = []
+  && List.for_all (fun v -> not (defined_within v loop)) (Ir.Op.operands op)
+
+let run_on root =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let loops = Ir.collect root (fun op -> List.mem (Ir.Op.name op) loop_ops) in
+    List.iter
+      (fun loop ->
+        let body = Ir.Region.only_block (Ir.Op.region loop 0) in
+        Ir.Block.iter_ops body (fun op ->
+            if hoistable loop op then begin
+              Ir.Op.unlink op;
+              Ir.Op.insert_before ~anchor:loop op;
+              changed := true
+            end))
+      loops
+  done
+
+let pass = Pass.make "licm" run_on

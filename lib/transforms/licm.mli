@@ -1,0 +1,6 @@
+(** Loop-invariant code motion over structured loops (scf / rv_scf),
+    iterated to a fixpoint. Iteration-seeding register copies are never
+    hoisted: they must re-execute on every loop entry once the allocator
+    unifies iteration registers. *)
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,73 @@
+(* Lower linalg to memref_stream (paper §3.4, Figure 7): the iteration
+   bounds become explicit, decoupling the computation from operand
+   shapes, and the dimensions are normalised to parallel-then-reduction
+   order (the order the later loop lowering expects).
+
+   linalg.fill becomes an all-parallel memref_stream.generic, so the
+   whole pipeline (streams, FREP) applies to initialisation code too. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+(* Permute dims of [m]: [perm] maps old dim index -> new dim index. *)
+let permute_map_dims (m : Affine.map) perm =
+  let dims = Array.init m.Affine.num_dims (fun old_i -> Affine.dim perm.(old_i)) in
+  Affine.make ~num_dims:m.Affine.num_dims ~num_syms:m.Affine.num_syms
+    (List.map
+       (fun e -> Affine.subst_expr ~dims ~syms:[||] e)
+       m.Affine.exprs)
+
+let convert_generic (op : Ir.op) =
+  let bounds = Linalg.infer_bounds op in
+  let maps = Linalg.indexing_maps op in
+  let iterators = Linalg.iterator_types op in
+  let n = List.length iterators in
+  (* Normalise: parallel dims first (stable), then reductions. *)
+  let order =
+    Util.dims_of_kind iterators Attr.Parallel
+    @ Util.dims_of_kind iterators Attr.Reduction
+  in
+  let perm = Array.make n 0 in
+  List.iteri (fun new_i old_i -> perm.(old_i) <- new_i) order;
+  let bounds' = List.map (fun old_i -> List.nth bounds old_i) order in
+  let iterators' = List.map (fun old_i -> List.nth iterators old_i) order in
+  let maps' = List.map (fun m -> permute_map_dims m perm) maps in
+  let region = Util.take_region op in
+  Util.rename_terminator (Ir.Region.only_block region) ~to_:Memref_stream.yield_op;
+  let replacement =
+    Ir.Op.create
+      ~attrs:
+        [
+          ("bounds", Attr.int_arr bounds');
+          ("indexing_maps", Attr.Arr (List.map (fun m -> Attr.Affine_map m) maps'));
+          ("iterator_types", Attr.Iterators iterators');
+          ("ins", Attr.Int (Linalg.num_ins op));
+          ("inits", Attr.Int 0);
+        ]
+      ~regions:[ region ] ~results:[] Memref_stream.generic_op
+      (Ir.Op.operands op)
+  in
+  Ir.Op.insert_before ~anchor:op replacement;
+  Ir.Op.erase op
+
+(* linalg.fill becomes an all-parallel generic over the buffer's
+   coordinates whose body yields the fill value. *)
+let convert_fill_nd (op : Ir.op) =
+  let value = Ir.Op.operand op 0 in
+  let buf = Ir.Op.operand op 1 in
+  let shape = Ty.memref_shape (Ir.Value.ty buf) in
+  let rank = List.length shape in
+  let b = Builder.before op in
+  let out_map = Affine.identity rank in
+  let in_map = Affine.empty rank in
+  ignore
+    (Memref_stream.generic b ~bounds:shape ~ins:[ value ] ~outs:[ buf ]
+       ~maps:[ in_map; out_map ]
+       ~iterators:(List.init rank (fun _ -> Attr.Parallel))
+       (fun _bb in_args _out_args -> in_args));
+  Ir.Op.erase op
+
+let pass =
+  Pass.make "linalg-to-memref-stream" (fun m ->
+      List.iter convert_generic (Util.ops_named m Linalg.generic_op);
+      List.iter convert_fill_nd (Util.ops_named m Linalg.fill_op))

@@ -1,0 +1,7 @@
+(** Lower linalg to memref_stream (paper §3.4, Figure 7): iteration
+    bounds become explicit (decoupling computation from operand shapes)
+    and dimensions are normalised to parallel-then-reduction order;
+    [linalg.fill] becomes an all-parallel generic so the whole pipeline
+    applies to initialisation code too. *)
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,68 @@
+(* Classic inner-loop unrolling at the RISC-V level: replicate the body
+   [u] times (chaining loop-carried values through the copies, offsetting
+   induction-variable uses by k*step) and multiply the step.
+
+   This is NOT the paper's unroll-and-jam (which interleaves independent
+   iterations at the memref_stream level); it models the plain unrolling
+   the LLVM backend applies in the Clang/MLIR baseline flows (§4.4: "Max
+   Pool benefits the most due to unrolling of some loops ... by the LLVM
+   backend"). Evaluation order is preserved exactly. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+let const_li v =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = Rv.li_op ->
+    Some (Attr.get_int (Ir.Op.attr_exn op "imm"))
+  | _ -> None
+
+let is_innermost loop =
+  Ir.find_first loop (fun op -> Ir.Op.name op = Rv_scf.for_op) = None
+
+let unroll_loop requested (loop : Ir.op) =
+  let step = Rv_scf.step loop in
+  match (const_li (Rv_scf.lb loop), const_li (Rv_scf.ub loop)) with
+  | Some lb, Some ub when is_innermost loop && step > 0 && (ub - lb) mod step = 0 ->
+    let trips = (ub - lb) / step in
+    (* Largest divisor of the trip count within the requested factor. *)
+    let rec divisor u = if u < 2 then 1 else if trips mod u = 0 then u else divisor (u - 1) in
+    let u = divisor (min requested trips) in
+    if u < 2 then ()
+    else begin
+    let old_body = Rv_scf.body loop in
+    let old_iv = Rv_scf.induction_var loop in
+    let iter_tys = List.map Ir.Value.ty (Rv_scf.iter_args loop) in
+    let region = Ir.Region.single_block ~args:(Ty.Int_reg None :: iter_tys) () in
+    let body = Ir.Region.only_block region in
+    let new_loop =
+      Ir.Op.create ~regions:[ region ]
+        ~attrs:[ ("step", Attr.Int (step * u)) ]
+        ~results:iter_tys Rv_scf.for_op
+        (Ir.Op.operands loop)
+    in
+    Ir.Op.insert_before ~anchor:loop new_loop;
+    let bb = Builder.at_end body in
+    let new_iv = Ir.Block.arg body 0 in
+    let cur = ref (List.tl (Ir.Block.args body)) in
+    for k = 0 to u - 1 do
+      let vmap = Hashtbl.create 16 in
+      let iv_k = if k = 0 then new_iv else Rv.addi bb new_iv (k * step) in
+      Hashtbl.replace vmap (Ir.Value.id old_iv) iv_k;
+      List.iter2
+        (fun old_arg v -> Hashtbl.replace vmap (Ir.Value.id old_arg) v)
+        (Rv_scf.iter_args loop) !cur;
+      cur := Util.clone_body_ops old_body bb vmap
+    done;
+    Builder.create0 bb Rv_scf.yield_op !cur;
+      List.iteri
+        (fun i r -> Ir.replace_all_uses r ~with_:(Ir.Op.result new_loop i))
+        (Ir.Op.results loop);
+      Ir.Op.erase loop
+    end
+  | _ -> ()
+
+let pass u =
+  Pass.make (Printf.sprintf "loop-unroll-%d" u) (fun m ->
+      if u > 1 then
+        List.iter (unroll_loop u) (Util.ops_named m Rv_scf.for_op))

@@ -1,0 +1,8 @@
+(** Plain inner-loop unrolling at the RISC-V level (NOT the paper's
+    unroll-and-jam): replicate the body, chaining loop-carried values and
+    offsetting induction uses, preserving evaluation order exactly.
+    Models the LLVM backend's unrolling in the baseline flows (§4.4). *)
+
+(** [pass u] unrolls innermost constant-trip loops by the largest divisor
+    of the trip count within [u]; [pass 1] is the identity. *)
+val pass : int -> Mlc_ir.Pass.t

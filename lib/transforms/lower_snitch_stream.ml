@@ -1,0 +1,78 @@
+(* Materialise snitch_stream.streaming_region ops into the explicit SSR
+   configuration sequence (li + scfgwi writes per the assembler contract
+   in DESIGN.md), stream enable/disable CSR ops, and the inlined body.
+   Runs before register allocation so the configuration code competes for
+   registers like any other code, and so the SSR data registers appear in
+   the IR for the allocator's exclusion pass (paper §3.3).
+
+   A trailing zero-stride dimension of a read pattern becomes the
+   hardware repeat count — the paper's optimisation for repeated accesses
+   to the same address (§3.2 d). *)
+
+open Mlc_ir
+open Mlc_riscv
+
+let fail fmt = Format.kasprintf failwith fmt
+
+let lower_region (op : Ir.op) =
+  let patterns = Snitch_stream.patterns op in
+  let n_in = Snitch_stream.num_ins op in
+  let bb = Builder.before op in
+  List.iteri
+    (fun dm (p : Attr.stride_pattern) ->
+      let is_read = dm < n_in in
+      let resolved =
+        { Stream_patterns.ub = p.Attr.ub; strides = p.Attr.strides; offset = 0 }
+      in
+      let repeat, body_pattern =
+        if is_read then Stream_patterns.split_repeat resolved
+        else (0, resolved)
+      in
+      (* Hardware dims are innermost-first; patterns store outermost
+         first. A fully-collapsed (scalar) pattern still needs one dim. *)
+      let dims =
+        match
+          List.rev
+            (List.combine body_pattern.Stream_patterns.ub
+               body_pattern.Stream_patterns.strides)
+        with
+        | [] -> [ (1, 0) ]
+        | dims -> dims
+      in
+      let n_dims = List.length dims in
+      if n_dims > Machine_params.ssr_max_dims then
+        fail "stream pattern for data mover %d needs %d hardware dims" dm n_dims;
+      Rv.comment bb
+        (Printf.sprintf "configure SSR %d (%d dims%s)" dm n_dims
+           (if repeat > 0 then Printf.sprintf ", repeat %d" repeat else ""));
+      let rep_reg = Rv.li bb repeat in
+      Rv_snitch.scfgwi bb rep_reg ~slot:1 ~dm;
+      List.iteri
+        (fun i (ub, stride) ->
+          let b_reg = Rv.li bb (ub - 1) in
+          Rv_snitch.scfgwi bb b_reg ~slot:(2 + i) ~dm;
+          let s_reg = Rv.li bb stride in
+          Rv_snitch.scfgwi bb s_reg ~slot:(6 + i) ~dm)
+        dims;
+      let ptr = Ir.Op.operand op dm in
+      let ptr_slot = (if is_read then 24 else 28) + (n_dims - 1) in
+      Rv_snitch.scfgwi bb ptr ~slot:ptr_slot ~dm)
+    patterns;
+  Rv_snitch.ssr_enable bb;
+  (* Inline the body: stream block args become explicit SSR register
+     values. *)
+  let body = Snitch_stream.body op in
+  let stream_regs =
+    List.mapi
+      (fun i _ -> Rv.get_float_register bb (List.nth Reg.ssr_data_registers i))
+      (Ir.Block.args body)
+  in
+  Rewriter.inline_block_before body ~anchor:op stream_regs;
+  let bb_after = Builder.before op in
+  Rv_snitch.ssr_disable bb_after;
+  Ir.Op.erase op
+
+let pass =
+  Pass.make "lower-snitch-stream" (fun m ->
+      List.iter lower_region
+        (Util.ops_named m Snitch_stream.streaming_region_op))

@@ -1,0 +1,8 @@
+(** Materialise snitch_stream.streaming_region into the explicit SSR
+    configuration sequence (li + scfgwi per the DESIGN.md assembler
+    contract), stream enable/disable CSR ops and the inlined body. Runs
+    before register allocation so the SSR data registers enter the IR
+    for the exclusion pass (paper §3.3) and a trailing zero-stride read
+    dimension becomes the hardware repeat (§3.2). *)
+
+val pass : Mlc_ir.Pass.t

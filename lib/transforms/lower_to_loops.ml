@@ -1,0 +1,300 @@
+(* Lower memref_stream.generic to scf.for loop nests (paper §3.4): the
+   iteration space becomes explicit loops; streamed operands turn into
+   stream read/write ops at the right points of the traversal; the
+   scalar-replacement marker decides whether reductions accumulate in
+   SSA values threaded through loop iter-args (registers after lowering)
+   or read-modify-write the output buffer every iteration (the baseline
+   behaviour of Table 3).
+
+   Interleaved trailing dimensions do not become loops: the generic's
+   body already holds one copy of the computation per interleaved
+   iteration (unroll-and-jam). *)
+
+open Mlc_ir
+open Mlc_dialects
+
+let fail fmt = Format.kasprintf failwith fmt
+
+type ctx = {
+  generic : Ir.op;
+  bounds : int list;
+  iterators : Attr.iterator list;
+  maps : Affine.map list;
+  n_in : int;
+  n_out : int;
+  u : int;
+  inits : Ir.value list;
+  scalar_rep : bool;
+  old_body : Ir.block;
+  (* dim -> current index value *)
+  env : (int, Ir.value) Hashtbl.t;
+  zero : Ir.value;
+  one : Ir.value;
+  bound_consts : Ir.value array;
+  interleave_consts : Ir.value array;
+  (* streaming: operand index -> stream block argument, populated when
+     the streaming region is opened at the hoist depth *)
+  streamed : int list;
+  hoist : int;
+  stream_args : (int, Ir.value) Hashtbl.t;
+}
+
+let operand_in ctx k = List.nth (Ir.Op.operands ctx.generic) k
+let operand_out ctx k = List.nth (Ir.Op.operands ctx.generic) (ctx.n_in + k)
+
+let dim_value ctx d =
+  match Hashtbl.find_opt ctx.env d with
+  | Some v -> v
+  | None -> fail "lower_to_loops: no index bound for dimension %d" d
+
+(* Emit the index values for operand [k] at the current loop point with
+   the interleaved dimension fixed to copy [j]. *)
+let emit_coords ctx bb k j =
+  let m = List.nth ctx.maps k in
+  let n = List.length ctx.bounds in
+  let dimv d =
+    if ctx.u > 1 && d = n - 1 then ctx.interleave_consts.(j) else dim_value ctx d
+  in
+  List.map (Util.emit_affine bb ~dim_value:dimv) m.Affine.exprs
+
+(* Read the current value of input operand [k] for copy [j]. *)
+let read_input ctx bb k j =
+  match Hashtbl.find_opt ctx.stream_args k with
+  | Some stream -> Memref_stream.read bb stream
+  | None -> (
+    let v = operand_in ctx k in
+    match Ir.Value.ty v with
+    | Ty.Memref _ -> Memref.load bb v (emit_coords ctx bb k j)
+    | _ -> v (* scalar passed straight through *))
+
+let input_is_streamed ctx k = Hashtbl.mem ctx.stream_args k
+
+(* Instantiate the body once. [out_binding j k] supplies the value bound
+   to the current-output argument of copy [j], output [k] (lazily, so
+   unused arguments of write-only outputs never force a load). Returns
+   the yielded values, copy-major. *)
+let instantiate_body ctx bb ~out_binding =
+  let vmap = Hashtbl.create 32 in
+  for j = 0 to ctx.u - 1 do
+    for k = 0 to ctx.n_in - 1 do
+      let arg = Ir.Block.arg ctx.old_body ((j * ctx.n_in) + k) in
+      if Ir.Value.has_uses arg then
+        Hashtbl.replace vmap (Ir.Value.id arg) (read_input ctx bb k j)
+      else if
+        (* Unused stream inputs still pop an element in hardware. *)
+        input_is_streamed ctx k
+      then ignore (read_input ctx bb k j)
+    done
+  done;
+  for j = 0 to ctx.u - 1 do
+    for k = 0 to ctx.n_out - 1 do
+      let arg =
+        Ir.Block.arg ctx.old_body ((ctx.u * ctx.n_in) + (j * ctx.n_out) + k)
+      in
+      if Ir.Value.has_uses arg then
+        Hashtbl.replace vmap (Ir.Value.id arg) (out_binding j k)
+    done
+  done;
+  Util.clone_body_ops ctx.old_body bb vmap
+
+(* Store yielded value [v] to output [k] at copy [j]. *)
+let store_output ctx bb k j v =
+  match Hashtbl.find_opt ctx.stream_args (ctx.n_in + k) with
+  | Some stream -> Memref_stream.write bb v stream
+  | None -> (
+    let out = operand_out ctx k in
+    match Ir.Value.ty out with
+    | Ty.Memref _ -> Memref.store bb v out (emit_coords ctx bb (ctx.n_in + k) j)
+    | t -> fail "lower_to_loops: bad output type %s" (Ty.to_string t))
+
+(* Read back the current value of output [k] (RMW and accumulator-init
+   paths); streamed outputs are write-only by construction. *)
+let load_output ctx bb k j =
+  if Hashtbl.mem ctx.stream_args (ctx.n_in + k) then
+    fail "cannot read back a streamed (write-only) output";
+  let out = operand_out ctx k in
+  match Ir.Value.ty out with
+  | Ty.Memref _ -> Memref.load bb out (emit_coords ctx bb (ctx.n_in + k) j)
+  | t -> fail "cannot read back a non-memref output (%s)" (Ty.to_string t)
+
+(* The innermost code for a scalar-replaced reduction: run the body once
+   with the accumulators bound, return the new accumulators. *)
+let reduction_body ctx bb accs =
+  instantiate_body ctx bb ~out_binding:(fun j k ->
+      List.nth accs ((j * ctx.n_out) + k))
+
+(* Build the nest of reduction loops carrying the accumulators. *)
+let rec build_reduction_loops ctx bb red_dims accs =
+  match red_dims with
+  | [] -> reduction_body ctx bb accs
+  | d :: rest ->
+    let for_op =
+      Scf.for_ bb ~lb:ctx.zero ~ub:ctx.bound_consts.(d) ~step:ctx.one
+        ~iter_args:accs (fun bb iv iters ->
+          Hashtbl.replace ctx.env d iv;
+          build_reduction_loops ctx bb rest iters)
+    in
+    Ir.Op.results for_op
+
+(* The code at the bottom of the parallel loops. *)
+let build_innermost ctx bb red_dims =
+  if ctx.scalar_rep && red_dims <> [] then begin
+    (* Initial accumulators: the fused fill value, or the current output
+       element. *)
+    let accs0 =
+      List.concat
+        (List.init ctx.u (fun j ->
+             List.init ctx.n_out (fun k ->
+                 match List.nth_opt ctx.inits k with
+                 | Some init -> init
+                 | None -> load_output ctx bb k j)))
+    in
+    let accs' = build_reduction_loops ctx bb red_dims accs0 in
+    List.iteri
+      (fun pos v ->
+        let j = pos / ctx.n_out and k = pos mod ctx.n_out in
+        store_output ctx bb k j v)
+      accs'
+  end
+  else begin
+    (* Read-modify-write form: plain loops over the reduction dims; the
+       body loads the current output element and stores the new one every
+       iteration. *)
+    let rec loops bb = function
+      | d :: rest ->
+        ignore
+          (Scf.for_ bb ~lb:ctx.zero ~ub:ctx.bound_consts.(d) ~step:ctx.one
+             (fun bb iv _ ->
+               Hashtbl.replace ctx.env d iv;
+               loops bb rest;
+               []))
+      | [] ->
+        let yields =
+          instantiate_body ctx bb ~out_binding:(fun j k -> load_output ctx bb k j)
+        in
+        List.iteri
+          (fun pos v ->
+            let j = pos / ctx.n_out and k = pos mod ctx.n_out in
+            store_output ctx bb k j v)
+          yields
+    in
+    loops bb red_dims
+  end
+
+(* Open the streaming region at the current depth: compute the hoisted
+   pointer offsets from the enclosing loop indices and bind the stream
+   block arguments; the remaining loops are built inside. *)
+let open_streaming_region ctx bb continue_ =
+  let n_dims = List.length ctx.bounds in
+  let offset_expr k =
+    (* Flat element offset of operand [k]'s access with dims >= h fixed
+       at zero: sum over map results of (restricted expr) * mem stride. *)
+    let m = List.nth ctx.maps k in
+    let dims =
+      Array.init n_dims (fun d ->
+          if d < ctx.hoist then Affine.dim d else Affine.const 0)
+    in
+    let mem_strides =
+      Stream_patterns.mem_strides_of
+        (Ir.Value.ty (List.nth (Ir.Op.operands ctx.generic) k))
+    in
+    List.fold_left2
+      (fun acc e ms ->
+        Affine.add acc
+          (Affine.mul (Affine.subst_expr ~dims ~syms:[||] e) (Affine.const ms)))
+      (Affine.const 0) m.Affine.exprs mem_strides
+  in
+  let offsets =
+    List.map
+      (fun k ->
+        Util.emit_affine bb ~dim_value:(fun d -> dim_value ctx d) (offset_expr k))
+      ctx.streamed
+  in
+  let patterns =
+    List.map
+      (fun k -> Create_streams.local_index_pattern ctx.generic k ~h:ctx.hoist)
+      ctx.streamed
+  in
+  let in_ks = List.filter (fun k -> k < ctx.n_in) ctx.streamed in
+  let out_ks = List.filter (fun k -> k >= ctx.n_in) ctx.streamed in
+  let operand k = List.nth (Ir.Op.operands ctx.generic) k in
+  ignore
+    (Memref_stream.streaming_region bb ~patterns
+       ~ins:(List.map operand in_ks)
+       ~outs:(List.map operand out_ks)
+       ~offsets
+       (fun bb stream_args ->
+         List.iteri
+           (fun pos k -> Hashtbl.replace ctx.stream_args k (List.nth stream_args pos))
+           (in_ks @ out_ks);
+         continue_ bb))
+
+let rec build_parallel_loops ctx bb depth par_dims red_dims =
+  if ctx.streamed <> [] && depth = ctx.hoist then begin
+    open_streaming_region ctx bb (fun bb ->
+        build_parallel_loops { ctx with streamed = [] } bb depth par_dims red_dims)
+  end
+  else
+    match par_dims with
+    | d :: rest ->
+      ignore
+        (Scf.for_ bb ~lb:ctx.zero ~ub:ctx.bound_consts.(d) ~step:ctx.one
+           (fun bb iv _ ->
+             Hashtbl.replace ctx.env d iv;
+             build_parallel_loops ctx bb (depth + 1) rest red_dims;
+             []))
+    | [] -> build_innermost ctx bb red_dims
+
+let lower (generic : Ir.op) =
+  let bounds = Memref_stream.bounds generic in
+  let iterators = Memref_stream.iterator_types generic in
+  let u = Memref_stream.unroll_factor generic in
+  let n = List.length bounds in
+  let loop_dims = List.init (if u > 1 then n - 1 else n) Fun.id in
+  let par_dims =
+    List.filter (fun d -> List.nth iterators d = Attr.Parallel) loop_dims
+  in
+  let red_dims =
+    List.filter (fun d -> List.nth iterators d = Attr.Reduction) loop_dims
+  in
+  if par_dims @ red_dims <> loop_dims then
+    fail "lower_to_loops: dimensions not in parallel-then-reduction order";
+  let bb = Builder.before generic in
+  let zero = Arith.const_index bb 0 in
+  let one = Arith.const_index bb 1 in
+  let bound_consts =
+    Array.of_list (List.map (fun bnd -> Arith.const_index bb bnd) bounds)
+  in
+  let interleave_consts = Array.init u (fun j -> Arith.const_index bb j) in
+  let ctx =
+    {
+      generic;
+      bounds;
+      iterators;
+      maps = Memref_stream.indexing_maps generic;
+      n_in = Memref_stream.num_ins generic;
+      n_out = Memref_stream.num_outs generic;
+      u;
+      inits = Memref_stream.inits generic;
+      scalar_rep = Scalar_replacement.is_marked generic;
+      old_body = Memref_stream.body generic;
+      env = Hashtbl.create 8;
+      zero;
+      one;
+      bound_consts;
+      interleave_consts;
+      streamed = Create_streams.annotated_stream_operands generic;
+      hoist = Create_streams.hoist_depth generic;
+      stream_args = Hashtbl.create 4;
+    }
+  in
+  (* Reduction dims must have a binding for output-coordinate emission
+     even under scalar replacement (they are never referenced there, but
+     the affine evaluator is total over the map's domain). *)
+  List.iter (fun d -> Hashtbl.replace ctx.env d zero) red_dims;
+  build_parallel_loops ctx bb 0 par_dims red_dims;
+  Ir.Op.erase generic
+
+let pass =
+  Pass.make "lower-memref-stream-to-loops" (fun m ->
+      List.iter lower (Util.ops_named m Memref_stream.generic_op))

@@ -1,0 +1,8 @@
+(** Lower memref_stream.generic to scf.for loop nests (paper §3.4):
+    explicit loops over the iteration space; streamed operands become
+    stream read/write ops inside a streaming region opened at the
+    annotated hoist depth; the scalar-replacement marker selects
+    register accumulation vs read-modify-write; interleaved trailing
+    dimensions are already unrolled in the body. *)
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,12 @@
+(* Target description of the Snitch core consumed by the scheduling
+   passes (paper §3.4: "We automatically select the optimal unroll factor
+   based on the pipeline depth"). *)
+
+(* All Snitch FPU operations traverse a 3-stage pipeline. *)
+let fpu_pipeline_stages = 3
+
+(* Number of stream semantic registers (data movers). *)
+let num_ssrs = 3
+
+(* Maximum pattern dimensionality of an SSR address generator. *)
+let ssr_max_dims = 4

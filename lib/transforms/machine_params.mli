@@ -1,0 +1,7 @@
+(** Target description of the Snitch core consumed by the scheduling
+    passes (paper §3.4: the unroll factor derives from the pipeline
+    depth). *)
+
+val fpu_pipeline_stages : int
+val num_ssrs : int
+val ssr_max_dims : int

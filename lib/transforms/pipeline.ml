@@ -1,0 +1,142 @@
+(* Pipeline configurations: the paper's full micro-kernel compiler, the
+   baseline flows it is compared against (§4.1, Figure 8), and the
+   cumulative ablation stages of Table 3.
+
+   Flag semantics:
+   - [streams]: access qualifying operands through SSRs (§3.2);
+   - [scalar_replacement]: accumulate reductions in registers (§3.4);
+   - [frep]: turn FP-only loops into FREP hardware loops (§3.2);
+   - [fuse_fill]: fold output zero-initialisation into the consumer,
+     making outputs write-only (§4.4);
+   - [unroll_jam]: interleave independent iterations to hide the FPU
+     pipeline latency (§3.4);
+   - [fma]: contract mul+add chains into fmadd.
+
+   The "clang" and "mlir" flows are documented substitutions for the
+   paper's LLVM-based baselines (see DESIGN.md): both lower the same
+   linalg input to plain RISC-V loops with explicit memory traffic and no
+   Snitch extensions; the "mlir" flavour additionally performs scalar
+   replacement, mirroring the affine-scalrep pass of the upstream MLIR
+   pipeline. Both reach the paper's reported ~25-42% FPU utilisation
+   ceiling on the in-order core. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+type flags = {
+  streams : bool;
+  scalar_replacement : bool;
+  frep : bool;
+  fuse_fill : bool;
+  unroll_jam : bool;
+  fma : bool;
+  (* plain inner-loop unroll factor; models the LLVM backend's unrolling
+     in the baseline flows (1 = off) *)
+  unroll_inner : int;
+  (* the §3.2 compile-time stream-pattern optimisations (contiguity
+     collapse, hardware repeat); off only for the ablation study *)
+  pattern_opt : bool;
+  (* generic cleanups every real backend performs (CSE, LICM, IV strength
+     reduction); off reproduces the paper's truly naive "direct lowering"
+     Table 3 baseline *)
+  cleanups : bool;
+}
+
+let ours =
+  {
+    streams = true;
+    scalar_replacement = true;
+    frep = true;
+    fuse_fill = true;
+    unroll_jam = true;
+    fma = true;
+    unroll_inner = 1;
+    pattern_opt = true;
+    cleanups = true;
+  }
+
+(* The paper's own direct lowering (the Table 3 "Baseline" row): no
+   schedule optimisations, no backend cleanups — addresses recomputed
+   from scratch every iteration, exactly what "direct lowering" emits. *)
+let baseline =
+  {
+    streams = false;
+    scalar_replacement = false;
+    frep = false;
+    fuse_fill = false;
+    unroll_jam = false;
+    fma = true;
+    unroll_inner = 1;
+    pattern_opt = true;
+    cleanups = false;
+  }
+
+(* LLVM-backed flows: naive C via Clang (unrolling, fma contraction,
+   classical cleanups) and the upstream MLIR pipeline (additionally
+   affine scalar replacement). *)
+let clang = { baseline with unroll_inner = 8; cleanups = true }
+let mlir =
+  { baseline with scalar_replacement = true; unroll_inner = 8; cleanups = true }
+
+(* Cumulative ablation stages of Table 3, in paper order. *)
+let ablation_stages : (string * flags) list =
+  [
+    ("Baseline", baseline);
+    ("+ Streams", { baseline with streams = true });
+    ( "+ Scalar Replacement",
+      { baseline with streams = true; scalar_replacement = true } );
+    ( "+ FRep",
+      { baseline with streams = true; scalar_replacement = true; frep = true } );
+    ( "+ Fuse Fill",
+      {
+        baseline with
+        streams = true;
+        scalar_replacement = true;
+        frep = true;
+        fuse_fill = true;
+      } );
+    ("+ Unroll-and-Jam", ours);
+  ]
+
+let passes flags =
+  List.concat
+    [
+      [ Linalg_to_stream.pass ];
+      (if flags.scalar_replacement then [ Scalar_replacement.pass ] else []);
+      (if flags.fuse_fill then [ Fuse_fill.pass ] else []);
+      (if flags.unroll_jam then [ Unroll_jam.pass ] else []);
+      (if flags.streams then [ Create_streams.pass ] else []);
+      [ Lower_to_loops.pass ];
+      (if flags.fma then [ Fma_fusion.pass ] else []);
+      [ Canonicalize.pass ];
+      (if flags.cleanups then [ Cse.pass; Licm.pass; Canonicalize.pass ] else []);
+      [ Convert_to_rv.pass flags.pattern_opt; Rv_canonicalize.pass ];
+      (if flags.cleanups then
+         [ Cse.pass; Licm.pass; Iv_strength_reduce.pass ]
+       else []);
+      [ Loop_unroll.pass flags.unroll_inner; Rv_canonicalize.pass ];
+      (if flags.cleanups then [ Cse.pass ] else []);
+      [ Lower_snitch_stream.pass ];
+      (if flags.frep then [ Frep_formation.pass ] else []);
+      [ Rv_canonicalize.pass; Legalize_stream_writes.pass ];
+    ]
+
+type result = {
+  asm : string;
+  reports : (string * Mlc_regalloc.Allocator.report) list;
+  stats : (string * Asm_emit.stats) list;
+}
+
+(* Run the full compilation on a module holding linalg-level functions,
+   in place, returning the assembly and per-function statistics. *)
+let compile ?(flags = ours) ?(verify_each = true) (m : Ir.op) : result =
+  Pass.run ~verify_each m (passes flags);
+  let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
+  let reports =
+    List.map
+      (fun fn -> (Rv_func.name fn, Mlc_regalloc.Remat.allocate_with_remat fn))
+      fns
+  in
+  if verify_each then Verifier.verify m;
+  let stats = List.map (fun fn -> (Rv_func.name fn, Asm_emit.func_stats fn)) fns in
+  { asm = Asm_emit.emit_module m; reports; stats }

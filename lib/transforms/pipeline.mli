@@ -1,0 +1,59 @@
+(** Pipeline configurations: the paper's full micro-kernel compiler, the
+    baseline flows it is compared against (§4.1, Figure 8), and the
+    cumulative ablation stages of Table 3. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+type flags = {
+  streams : bool;  (** access qualifying operands through SSRs (§3.2) *)
+  scalar_replacement : bool;
+      (** accumulate reductions in registers (§3.4) *)
+  frep : bool;  (** turn FP-only loops into FREP hardware loops (§3.2) *)
+  fuse_fill : bool;
+      (** fold output zero-init into the consumer, making outputs
+          write-only and streamable (§4.4) *)
+  unroll_jam : bool;
+      (** interleave independent iterations to hide FPU latency (§3.4) *)
+  fma : bool;  (** contract mul+add chains into fmadd *)
+  unroll_inner : int;
+      (** plain inner-loop unroll factor modelling the LLVM backend's
+          unrolling in the baseline flows (1 = off) *)
+  pattern_opt : bool;
+      (** the §3.2 compile-time stream-pattern optimisations (contiguity
+          collapse, hardware repeat); disable only for ablation *)
+  cleanups : bool;
+      (** generic backend cleanups (CSE, LICM, IV strength reduction);
+          off in the Table 3 "Baseline" to reproduce truly naive direct
+          lowering *)
+}
+
+(** The full multi-level pipeline (the paper's compiler). *)
+val ours : flags
+
+(** The paper's own direct lowering — the Table 3 "Baseline" row. *)
+val baseline : flags
+
+(** Substitutes for the LLVM-backed comparison flows (see DESIGN.md):
+    naive C via Clang (unrolling + fma contraction) and the upstream
+    MLIR pipeline (additionally affine scalar replacement). *)
+val clang : flags
+
+val mlir : flags
+
+(** Table 3's cumulative stages, in paper order. *)
+val ablation_stages : (string * flags) list
+
+(** The pass list a flag set induces. *)
+val passes : flags -> Pass.t list
+
+type result = {
+  asm : string;
+  reports : (string * Mlc_regalloc.Allocator.report) list;
+  stats : (string * Asm_emit.stats) list;
+}
+
+(** Run the full compilation on a module of linalg-level functions, in
+    place: the pass pipeline, spill-free register allocation (with
+    rematerialisation fallback) and assembly emission. *)
+val compile : ?flags:flags -> ?verify_each:bool -> Ir.op -> result

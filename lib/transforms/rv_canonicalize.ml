@@ -1,0 +1,171 @@
+(* Peephole cleanups at the RISC-V level (paper §3.2: "simple peephole
+   rewrites for custom optimizations"):
+
+   - strength reduction: multiplication by a power-of-two li becomes a
+     shift; addition of a small li becomes addi;
+   - address folding: loads/stores whose base is an addi fold the
+     constant into their offset;
+   - constant folding of integer chains and dead-code elimination of
+     pure ops. *)
+
+open Mlc_ir
+open Mlc_riscv
+
+let const_li v =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = Rv.li_op ->
+    Some (Mlc_ir.Attr.get_int (Ir.Op.attr_exn op "imm"))
+  | _ -> None
+
+let log2_exact n =
+  let rec go i = if 1 lsl i = n then Some i else if 1 lsl i > n then None else go (i + 1) in
+  if n <= 0 then None else go 0
+
+let fits_imm12 c = c >= -2048 && c <= 2047
+
+let strength_reduce =
+  Rewriter.pattern "rv-strength-reduce" (fun b op ->
+      match Ir.Op.name op with
+      | "rv.mul" -> (
+        let try_shift x c =
+          match log2_exact c with
+          | Some 0 ->
+            Rewriter.replace_op op [ x ];
+            Rewriter.Applied
+          | Some sh ->
+            let shifted = Rv.slli b x sh in
+            Rewriter.replace_op op [ shifted ];
+            Rewriter.Applied
+          | None -> Rewriter.Declined
+        in
+        match (const_li (Ir.Op.operand op 0), const_li (Ir.Op.operand op 1)) with
+        | _, Some c -> try_shift (Ir.Op.operand op 0) c
+        | Some c, _ -> try_shift (Ir.Op.operand op 1) c
+        | _ -> Rewriter.Declined)
+      | "rv.add" -> (
+        let try_addi x c =
+          if fits_imm12 c then begin
+            let a = Rv.addi b x c in
+            Rewriter.replace_op op [ a ];
+            Rewriter.Applied
+          end
+          else Rewriter.Declined
+        in
+        match (const_li (Ir.Op.operand op 0), const_li (Ir.Op.operand op 1)) with
+        | _, Some c -> try_addi (Ir.Op.operand op 0) c
+        | Some c, _ -> try_addi (Ir.Op.operand op 1) c
+        | _ -> Rewriter.Declined)
+      | _ -> Rewriter.Declined)
+
+let fold_const_chains =
+  Rewriter.pattern "rv-fold-consts" (fun b op ->
+      let fold2 f =
+        match (const_li (Ir.Op.operand op 0), const_li (Ir.Op.operand op 1)) with
+        | Some x, Some y ->
+          Rewriter.replace_op op [ Rv.li b (f x y) ];
+          Rewriter.Applied
+        | _ -> Rewriter.Declined
+      in
+      match Ir.Op.name op with
+      | "rv.add" -> fold2 ( + )
+      | "rv.sub" -> fold2 ( - )
+      | "rv.mul" -> fold2 ( * )
+      | "rv.addi" -> (
+        match const_li (Ir.Op.operand op 0) with
+        | Some x ->
+          Rewriter.replace_op op
+            [ Rv.li b (x + Mlc_ir.Attr.get_int (Ir.Op.attr_exn op "imm")) ];
+          Rewriter.Applied
+        | None -> Rewriter.Declined)
+      | "rv.slli" -> (
+        match const_li (Ir.Op.operand op 0) with
+        | Some x ->
+          Rewriter.replace_op op
+            [ Rv.li b (x lsl Mlc_ir.Attr.get_int (Ir.Op.attr_exn op "imm")) ];
+          Rewriter.Applied
+        | None -> Rewriter.Declined)
+      | _ -> Rewriter.Declined)
+
+(* Reassociate add-over-addi so constants bubble outward and eventually
+   fold into load/store offsets: add(x, addi(y, c)) -> addi(add(x, y), c).
+   Unrolled loop bodies rely on this to share one base address across
+   copies. *)
+let reassociate =
+  Rewriter.pattern "rv-reassociate" (fun b op ->
+      if Ir.Op.name op <> Rv.add_op then Rewriter.Declined
+      else
+        let try_side x y =
+          match Ir.Value.defining_op y with
+          | Some def when Ir.Op.name def = Rv.addi_op ->
+            let c = Mlc_ir.Attr.get_int (Ir.Op.attr_exn def "imm") in
+            let base_sum = Rv.add b x (Ir.Op.operand def 0) in
+            let folded = Rv.addi b base_sum c in
+            Rewriter.replace_op op [ folded ];
+            Rewriter.Applied
+          | _ -> Rewriter.Declined
+        in
+        match try_side (Ir.Op.operand op 0) (Ir.Op.operand op 1) with
+        | Rewriter.Applied -> Rewriter.Applied
+        | Rewriter.Declined -> try_side (Ir.Op.operand op 1) (Ir.Op.operand op 0))
+
+(* Collapse addi chains: addi(addi(x, c1), c2) -> addi(x, c1 + c2) when
+   the inner addi has no other user. *)
+let fold_addi_chain =
+  Rewriter.pattern "rv-fold-addi-chain" (fun b op ->
+      if Ir.Op.name op <> Rv.addi_op then Rewriter.Declined
+      else
+        match Ir.Value.defining_op (Ir.Op.operand op 0) with
+        | Some inner
+          when Ir.Op.name inner = Rv.addi_op
+               && Ir.Value.num_uses (Ir.Op.result inner 0) = 1 ->
+          let c1 = Mlc_ir.Attr.get_int (Ir.Op.attr_exn inner "imm") in
+          let c2 = Mlc_ir.Attr.get_int (Ir.Op.attr_exn op "imm") in
+          if fits_imm12 (c1 + c2) then begin
+            let merged = Rv.addi b (Ir.Op.operand inner 0) (c1 + c2) in
+            Rewriter.replace_op op [ merged ];
+            Rewriter.Applied
+          end
+          else Rewriter.Declined
+        | _ -> Rewriter.Declined)
+
+(* Fold addi-computed bases into load/store offsets. *)
+let fold_addresses =
+  Rewriter.pattern "rv-fold-address" (fun _b op ->
+      let fold base_idx =
+        let base = Ir.Op.operand op base_idx in
+        match Ir.Value.defining_op base with
+        | Some def when Ir.Op.name def = Rv.addi_op ->
+          let c = Mlc_ir.Attr.get_int (Ir.Op.attr_exn def "imm") in
+          let off = Mlc_ir.Attr.get_int (Ir.Op.attr_exn op "offset") in
+          if fits_imm12 (off + c) then begin
+            Ir.Op.set_operand op base_idx (Ir.Op.operand def 0);
+            Ir.Op.set_attr op "offset" (Mlc_ir.Attr.Int (off + c));
+            Rewriter.Applied
+          end
+          else Rewriter.Declined
+        | _ -> Rewriter.Declined
+      in
+      match Ir.Op.name op with
+      | "rv.lw" | "rv.ld" | "rv.flw" | "rv.fld" -> fold 0
+      | "rv.sw" | "rv.sd" | "rv.fsw" | "rv.fsd" -> fold 1
+      | _ -> Rewriter.Declined)
+
+let dce =
+  Rewriter.pattern "rv-dce" (fun _b op ->
+      if
+        Op_registry.is_pure (Ir.Op.name op)
+        && List.for_all (fun r -> not (Ir.Value.has_uses r)) (Ir.Op.results op)
+      then begin
+        Rewriter.erase_op op;
+        Rewriter.Applied
+      end
+      else Rewriter.Declined)
+
+let pass =
+  Pass.make "rv-canonicalize" (fun m ->
+      ignore
+        (Rewriter.rewrite_greedy m
+           [
+             fold_const_chains; strength_reduce; reassociate; fold_addi_chain;
+             fold_addresses; dce;
+           ]))

@@ -1,0 +1,6 @@
+(** Peephole cleanups at the RISC-V level (paper §3.2): strength
+    reduction (mul-by-power-of-two to shift, add-of-constant to addi),
+    add/addi reassociation, addi-chain collapsing, folding addi bases
+    into load/store offsets, constant folding and DCE. *)
+
+val pass : Mlc_ir.Pass.t

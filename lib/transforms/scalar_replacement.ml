@@ -1,0 +1,45 @@
+(* Scalar replacement (paper §3.4, Table 3): mark reduction generics so
+   that the loop lowering accumulates in SSA values (ultimately
+   registers) across the reduction dimensions instead of
+   loading/storing the output element every iteration.
+
+   The enabling property — output indexing maps that do not reference any
+   reduction dimension — is verified here; the marker attribute is
+   consumed by {!Lower_to_loops}. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+let attr_key = "scalar_replacement"
+
+let is_marked op = Ir.Op.has_attr op attr_key
+
+let mark (op : Ir.op) =
+  let iterators = Memref_stream.iterator_types op in
+  let red = Util.reduction_dims iterators in
+  if red <> [] then begin
+    let maps = Memref_stream.indexing_maps op in
+    let n_in = Memref_stream.num_ins op in
+    List.iteri
+      (fun k (m : Affine.map) ->
+        if k >= n_in then
+          List.iter
+            (fun e ->
+              let dcoef, _, _ =
+                Affine.linear_form ~num_dims:m.Affine.num_dims ~num_syms:0 e
+              in
+              List.iter
+                (fun d ->
+                  if dcoef.(d) <> 0 then
+                    failwith
+                      "scalar replacement requires outputs not indexed by \
+                       reduction dimensions")
+                red)
+            m.Affine.exprs)
+      maps;
+    Ir.Op.set_attr op attr_key (Attr.Bool true)
+  end
+
+let pass =
+  Pass.make "scalar-replacement" (fun m ->
+      List.iter mark (Util.ops_named m Memref_stream.generic_op))

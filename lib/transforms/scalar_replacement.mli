@@ -1,0 +1,12 @@
+(** Scalar replacement (paper §3.4, Table 3): mark reduction generics so
+    the loop lowering accumulates in SSA values (registers) across the
+    reduction dimensions instead of loading/storing the output element
+    every iteration. Verifies the enabling property — output maps that
+    ignore the reduction dimensions. *)
+
+val attr_key : string
+
+(** Has the generic been marked? Consumed by {!Lower_to_loops}. *)
+val is_marked : Mlc_ir.Ir.op -> bool
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,92 @@
+(* Resolution of iteration-space access patterns into SSR stride
+   configurations, including the paper's compile-time optimisations
+   (§3.2 d):
+
+   - unit-bound dimensions are dropped;
+   - an outer dimension whose stride equals the inner dimension's full
+     extent is merged with it (contiguous access detection);
+   - a trailing zero-stride dimension becomes the hardware repeat count,
+     relieving the memory interconnect of redundant reads.
+
+   A resolved pattern lists dimensions outermost-first; byte strides. *)
+
+open Mlc_ir
+
+type resolved = { ub : int list; strides : int list; offset : int }
+
+(* [resolve ~bounds ~map ~mem_strides ~elem_size] turns an indexing map
+   over the iteration space into per-dimension byte strides over the
+   buffer with the given element strides. *)
+let resolve ~bounds ~(map : Affine.map) ~mem_strides ~elem_size =
+  let n = List.length bounds in
+  let per_dim = Array.make n 0 in
+  let offset = ref 0 in
+  List.iteri
+    (fun r e ->
+      let dcoef, _, c = Affine.linear_form ~num_dims:n ~num_syms:0 e in
+      let ms = List.nth mem_strides r in
+      offset := !offset + (c * ms * elem_size);
+      Array.iteri
+        (fun d coef -> per_dim.(d) <- per_dim.(d) + (coef * ms * elem_size))
+        dcoef)
+    map.Affine.exprs;
+  { ub = bounds; strides = Array.to_list per_dim; offset = !offset }
+
+(* Drop unit dims, merge contiguous dims, then keep at most one trailing
+   zero-stride dim (repeat marker). *)
+let optimize (p : resolved) =
+  let dims = List.combine p.ub p.strides in
+  let dims = List.filter (fun (ub, _) -> ub <> 1) dims in
+  (* Merge from innermost: fold right, collapsing (outer, inner) when
+     stride_outer = ub_inner * stride_inner. *)
+  let dims =
+    List.fold_right
+      (fun (ub, stride) acc ->
+        match acc with
+        | (ub_in, s_in) :: rest when stride = ub_in * s_in && s_in <> 0 ->
+          (ub * ub_in, s_in) :: rest
+        | _ -> (ub, stride) :: acc)
+      dims []
+  in
+  (* Merge consecutive zero-stride dims. *)
+  let dims =
+    List.fold_right
+      (fun (ub, stride) acc ->
+        match acc with
+        | (ub_in, 0) :: rest when stride = 0 -> (ub * ub_in, 0) :: rest
+        | _ -> (ub, stride) :: acc)
+      dims []
+  in
+  { p with ub = List.map fst dims; strides = List.map snd dims }
+
+(* The repeat count encoded by a trailing zero-stride dimension, plus the
+   pattern with that dimension removed (read streams only). *)
+let split_repeat (p : resolved) =
+  match List.rev (List.combine p.ub p.strides) with
+  | (ub, 0) :: rest when ub > 1 ->
+    let dims = List.rev rest in
+    ( ub - 1,
+      { p with ub = List.map fst dims; strides = List.map snd dims } )
+  | _ -> (0, p)
+
+(* Number of hardware address-generator dimensions the pattern needs. *)
+let hw_dims ~is_read (p : resolved) =
+  let rep, body = if is_read then split_repeat (optimize p) else (0, optimize p) in
+  ignore rep;
+  max 1 (List.length body.ub)
+
+let fits ~is_read p = hw_dims ~is_read p <= Machine_params.ssr_max_dims
+
+(* Restrict [map] to dimensions >= h: dims below h contribute 0 (their
+   effect is carried by a runtime pointer offset); remaining dims are
+   renumbered. *)
+let drop_leading_dims (map : Affine.map) h =
+  let dims =
+    Array.init map.Affine.num_dims (fun d ->
+        if d < h then Affine.const 0 else Affine.dim (d - h))
+  in
+  Affine.make ~num_dims:(map.Affine.num_dims - h) ~num_syms:0
+    (List.map (Affine.subst_expr ~dims ~syms:[||]) map.Affine.exprs)
+
+(* Element strides (row-major) of a memref type. *)
+let mem_strides_of ty = Ty.row_major_strides (Ty.memref_shape ty)

@@ -1,0 +1,41 @@
+(** Resolution of iteration-space access patterns into SSR stride
+    configurations, with the paper's compile-time optimisations (§3.2):
+    unit-bound dimensions are dropped, contiguous dimensions merge, and
+    a trailing zero-stride dimension becomes the hardware repeat count. *)
+
+open Mlc_ir
+
+(** Dimensions outermost-first; strides in bytes; [offset] the constant
+    byte displacement contributed by the indexing map. *)
+type resolved = { ub : int list; strides : int list; offset : int }
+
+(** Turn an indexing map over the iteration space into per-dimension
+    byte strides over a buffer with the given element strides. *)
+val resolve :
+  bounds:int list ->
+  map:Affine.map ->
+  mem_strides:int list ->
+  elem_size:int ->
+  resolved
+
+(** Apply the §3.2 optimisations. The generated address sequence is
+    preserved exactly (property-tested). *)
+val optimize : resolved -> resolved
+
+(** Extract a trailing zero-stride dimension as (repeat count, remaining
+    pattern); (0, unchanged) when absent. *)
+val split_repeat : resolved -> int * resolved
+
+(** Hardware address-generator dimensions the pattern needs (after
+    optimisation; reads may use the repeat register). *)
+val hw_dims : is_read:bool -> resolved -> int
+
+val fits : is_read:bool -> resolved -> bool
+
+(** Restrict a map to dimensions >= h: lower dims contribute zero (their
+    effect is carried by a runtime pointer offset), remaining dims are
+    renumbered. *)
+val drop_leading_dims : Affine.map -> int -> Affine.map
+
+(** Row-major element strides of a memref type. *)
+val mem_strides_of : Ty.t -> int list

@@ -1,0 +1,148 @@
+(* Unroll-and-jam (paper §3.4, Figure 7): interleave several iterations
+   of a parallel dimension in the innermost loop body, so the FPU
+   pipeline sees independent accumulator chains instead of a single RAW
+   chain. With a 3-stage FPU, stalls are minimised once at least four
+   independent iterations are interleaved; the transform picks the unroll
+   factor from the pipeline depth automatically.
+
+   IR effect: the chosen parallel dimension moves to (or a split part of
+   it is appended at) the end of the iteration space with iterator type
+   [interleaved]; the body is replicated once per interleaved iteration
+   with fresh block-argument copies. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+(* Minimum interleave to cover the FPU pipeline (3 stages => 4). *)
+let min_factor = Machine_params.fpu_pipeline_stages + 1
+let max_factor = 8
+
+(* Choose the unroll factor for a dimension of size [b]:
+   - small dims are fully interleaved;
+   - larger dims are split by their largest divisor within
+     [min_factor, max_factor] (preferring larger);
+   - dims with no usable divisor are left alone. *)
+let choose_factor b =
+  if b < 2 then None
+  else if b <= max_factor then Some (b, false)
+  else begin
+    let rec search u =
+      if u < 2 then None
+      else if b mod u = 0 then Some (u, true)
+      else search (u - 1)
+    in
+    search max_factor
+  end
+
+let transform (op : Ir.op) =
+  let iterators = Memref_stream.iterator_types op in
+  let has_reduction = List.exists (( = ) Attr.Reduction) iterators in
+  (* Without a reduction there is no RAW chain to break: skip. *)
+  if
+    has_reduction
+    && Scalar_replacement.is_marked op
+    && Memref_stream.unroll_factor op = 1
+  then begin
+    let bounds = Memref_stream.bounds op in
+    let parallel = Util.dims_of_kind iterators Attr.Parallel in
+    (* Prefer the last parallel dimension (fastest-varying in the output). *)
+    let candidate =
+      List.fold_left
+        (fun acc d ->
+          match choose_factor (List.nth bounds d) with
+          | Some (u, split) -> Some (d, u, split)
+          | None -> acc)
+        None parallel
+    in
+    match candidate with
+    | None -> ()
+    | Some (p, u, split) ->
+      let n = List.length bounds in
+      let maps = Memref_stream.indexing_maps op in
+      let n_in = Memref_stream.num_ins op in
+      let n_out = Memref_stream.num_outs op in
+      (* New dimension layout. *)
+      let new_bounds, new_iterators, dim_subst =
+        if split then begin
+          (* dim p: b -> b/u (in place), new trailing interleaved dim u.
+             d_p := d_p * u + d_n *)
+          let nb =
+            List.mapi (fun i b -> if i = p then b / u else b) bounds @ [ u ]
+          in
+          let ni = iterators @ [ Attr.Interleaved ] in
+          let subst =
+            Array.init n (fun i ->
+                if i = p then
+                  Affine.(add (mul (dim p) (const u)) (dim n))
+                else Affine.dim i)
+          in
+          (nb, ni, subst)
+        end
+        else begin
+          (* Move dim p to the end as the interleaved dim. *)
+          let others = List.filter (fun i -> i <> p) (List.init n Fun.id) in
+          let order = others @ [ p ] in
+          let pos = Array.make n 0 in
+          List.iteri (fun new_i old_i -> pos.(old_i) <- new_i) order;
+          let nb = List.map (fun old_i -> List.nth bounds old_i) order in
+          let ni =
+            List.map
+              (fun old_i ->
+                if old_i = p then Attr.Interleaved
+                else List.nth iterators old_i)
+              order
+          in
+          let subst = Array.init n (fun i -> Affine.dim pos.(i)) in
+          (nb, ni, subst)
+        end
+      in
+      let new_num_dims = List.length new_bounds in
+      let new_maps =
+        List.map
+          (fun (m : Affine.map) ->
+            Affine.make ~num_dims:new_num_dims ~num_syms:0
+              (List.map (Affine.subst_expr ~dims:dim_subst ~syms:[||]) m.Affine.exprs))
+          maps
+      in
+      (* Replicate the body u times. *)
+      let old_body = Memref_stream.body op in
+      let operands = Ir.Op.operands op in
+      let ins = List.filteri (fun i _ -> i < n_in) operands in
+      let outs = List.filteri (fun i _ -> i >= n_in && i < n_in + n_out) operands in
+      let inits = List.filteri (fun i _ -> i >= n_in + n_out) operands in
+      let b = Builder.before op in
+      ignore
+        (Memref_stream.generic b ~bounds:new_bounds ~ins ~outs ~inits
+           ~maps:new_maps ~iterators:new_iterators
+           (fun bb in_args out_args ->
+             (* in_args = [copy0 ins..., copy1 ins...]; out_args
+                likewise. Clone the old single-copy body u times. *)
+             let yields = ref [] in
+             for j = 0 to u - 1 do
+               let vmap = Hashtbl.create 16 in
+               for k = 0 to n_in - 1 do
+                 Hashtbl.replace vmap
+                   (Ir.Value.id (Ir.Block.arg old_body k))
+                   (List.nth in_args ((j * n_in) + k))
+               done;
+               for k = 0 to n_out - 1 do
+                 Hashtbl.replace vmap
+                   (Ir.Value.id (Ir.Block.arg old_body (n_in + k)))
+                   (List.nth out_args ((j * n_out) + k))
+               done;
+               let copy_yields = Util.clone_body_ops old_body bb vmap in
+               yields := !yields @ copy_yields
+             done;
+             !yields));
+      let replacement =
+        match op.Ir.prev with
+        | Some r -> r
+        | None -> invalid_arg "unroll_jam: replacement not inserted"
+      in
+      Ir.Op.set_attr replacement Scalar_replacement.attr_key (Attr.Bool true);
+      Ir.Op.erase op
+  end
+
+let pass =
+  Pass.make "unroll-and-jam" (fun m ->
+      List.iter transform (Util.ops_named m Memref_stream.generic_op))

@@ -1,0 +1,16 @@
+(** Unroll-and-jam (paper §3.4, Figure 7): interleave several iterations
+    of a parallel dimension in the innermost body so the FPU sees
+    independent accumulator chains instead of one RAW chain. The factor
+    is derived from the FPU pipeline depth (>= stages + 1); small dims
+    interleave whole, larger ones split by their best divisor. *)
+
+(** Minimum interleave covering the FPU pipeline. *)
+val min_factor : int
+
+val max_factor : int
+
+(** [choose_factor b] is [Some (u, split?)] or [None] when a dim of
+    size [b] cannot be interleaved. *)
+val choose_factor : int -> (int * bool) option
+
+val pass : Mlc_ir.Pass.t

@@ -1,0 +1,74 @@
+(* Shared helpers for the lowering passes. *)
+
+open Mlc_ir
+
+(* Detach the single region of [op] so it can be re-attached to a
+   replacement op. *)
+let take_region (op : Ir.op) =
+  match op.Ir.regions with
+  | [ r ] ->
+    op.Ir.regions <- [];
+    r
+  | _ -> invalid_arg "Util.take_region: op does not have exactly one region"
+
+(* Rename the terminator of [block]. *)
+let rename_terminator (block : Ir.block) ~to_ =
+  match Ir.Block.terminator block with
+  | Some t -> t.Ir.op_name <- to_
+  | None -> invalid_arg "Util.rename_terminator: block has no terminator"
+
+(* Clone the non-terminator ops of [src] at builder [bb], mapping operands
+   through [vmap] (old value id -> new value). Results are added to
+   [vmap]. Returns the mapped operands of [src]'s terminator. Ops with
+   regions are not supported (bodies are straight-line arith code). *)
+let clone_body_ops (src : Ir.block) (bb : Builder.t) (vmap : (int, Ir.value) Hashtbl.t) =
+  let map_value v =
+    match Hashtbl.find_opt vmap (Ir.Value.id v) with
+    | Some v' -> v'
+    | None -> v (* defined outside the cloned block: keep *)
+  in
+  let terminator = Ir.Block.terminator src in
+  Ir.Block.iter_ops src (fun op ->
+      match terminator with
+      | Some t when Ir.Op.equal t op -> ()
+      | _ ->
+        if Ir.Op.regions op <> [] then
+          invalid_arg "Util.clone_body_ops: nested regions not supported";
+        let clone =
+          Builder.create bb
+            ~attrs:(Ir.Op.attrs op)
+            ~results:(List.map Ir.Value.ty (Ir.Op.results op))
+            (Ir.Op.name op)
+            (List.map map_value (Ir.Op.operands op))
+        in
+        List.iteri
+          (fun i r -> Hashtbl.replace vmap (Ir.Value.id r) (Ir.Op.result clone i))
+          (Ir.Op.results op));
+  match terminator with
+  | Some t -> List.map map_value (Ir.Op.operands t)
+  | None -> []
+
+(* Emit arith ops computing an affine expression over index values.
+   [dim_value d] supplies the SSA index value for dimension [d]. *)
+let rec emit_affine bb ~dim_value (e : Affine.expr) : Ir.value =
+  let open Mlc_dialects in
+  match e with
+  | Affine.Dim d -> dim_value d
+  | Affine.Const c -> Arith.const_index bb c
+  | Affine.Sym _ -> invalid_arg "Util.emit_affine: symbols not supported"
+  | Affine.Add (a, b) ->
+    Arith.addi bb (emit_affine bb ~dim_value a) (emit_affine bb ~dim_value b)
+  | Affine.Mul (a, b) ->
+    Arith.muli bb (emit_affine bb ~dim_value a) (emit_affine bb ~dim_value b)
+  | Affine.Floordiv _ | Affine.Ceildiv _ | Affine.Mod _ ->
+    invalid_arg "Util.emit_affine: non-linear affine expression"
+
+(* All ops of a module with the given name, in walk order. *)
+let ops_named m name = Ir.collect m (fun op -> Ir.Op.name op = name)
+
+(* Positions (indices) of dims with the given iterator kind. *)
+let dims_of_kind iterators kind =
+  List.concat
+    (List.mapi (fun i it -> if it = kind then [ i ] else []) iterators)
+
+let reduction_dims iterators = dims_of_kind iterators Mlc_ir.Attr.Reduction

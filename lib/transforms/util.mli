@@ -1,0 +1,28 @@
+(** Shared helpers for the lowering passes. *)
+
+open Mlc_ir
+
+(** Detach the single region of an op for re-attachment to a replacement. *)
+val take_region : Ir.op -> Ir.region
+
+(** Rename a block's terminator op in place. *)
+val rename_terminator : Ir.block -> to_:string -> unit
+
+(** Clone the non-terminator ops of [src] at the builder, mapping
+    operands through [vmap] (old value id -> new value; unmapped values
+    pass through). Returns the mapped operands of [src]'s terminator.
+    Bodies must be straight-line (no nested regions). *)
+val clone_body_ops :
+  Ir.block -> Builder.t -> (int, Ir.value) Hashtbl.t -> Ir.value list
+
+(** Emit arith ops computing an affine expression over index values. *)
+val emit_affine :
+  Builder.t -> dim_value:(int -> Ir.value) -> Affine.expr -> Ir.value
+
+(** All ops of [root] with the given name, in walk order. *)
+val ops_named : Ir.op -> string -> Ir.op list
+
+(** Positions of dims with the given iterator kind. *)
+val dims_of_kind : Attr.iterator list -> Attr.iterator -> int list
+
+val reduction_dims : Attr.iterator list -> int list

@@ -1,0 +1,162 @@
+(* Unit and property tests for affine expressions and maps. *)
+
+open Mlc_ir
+
+let check_int = Alcotest.(check int)
+
+let test_eval_simple () =
+  let e = Affine.(add (mul (dim 0) (const 4)) (dim 1)) in
+  check_int "d0*4+d1 at (3,2)" 14 (Affine.eval_expr ~dims:[| 3; 2 |] ~syms:[||] e)
+
+let test_constant_folding () =
+  let e = Affine.(add (const 3) (const 4)) in
+  Alcotest.(check bool) "3+4 folds" true (Affine.expr_equal e (Affine.const 7));
+  let e = Affine.(mul (const 3) (const 4)) in
+  Alcotest.(check bool) "3*4 folds" true (Affine.expr_equal e (Affine.const 12));
+  let e = Affine.(mul (dim 0) (const 0)) in
+  Alcotest.(check bool) "d0*0 folds" true (Affine.expr_equal e (Affine.const 0));
+  let e = Affine.(add (dim 0) (const 0)) in
+  Alcotest.(check bool) "d0+0 folds" true (Affine.expr_equal e (Affine.dim 0))
+
+let test_floor_ceil_mod () =
+  check_int "7 floordiv 2" 3
+    (Affine.eval_expr ~dims:[||] ~syms:[||] Affine.(floordiv (const 7) (const 2)));
+  check_int "-7 floordiv 2" (-4)
+    (Affine.eval_expr ~dims:[||] ~syms:[||] Affine.(floordiv (const (-7)) (const 2)));
+  check_int "7 ceildiv 2" 4
+    (Affine.eval_expr ~dims:[||] ~syms:[||] Affine.(ceildiv (const 7) (const 2)));
+  check_int "-7 mod 3" 2
+    (Affine.eval_expr ~dims:[||] ~syms:[||] Affine.(modulo (const (-7)) (const 3)))
+
+let test_not_affine () =
+  Alcotest.check_raises "d0*d1 rejected" (Affine.Not_affine
+    "multiplication of two non-constant expressions") (fun () ->
+      ignore (Affine.mul (Affine.dim 0) (Affine.dim 1)))
+
+let test_linear_form () =
+  let e = Affine.(add (add (mul (dim 0) (const 5)) (dim 2)) (const 7)) in
+  let d, s, c = Affine.linear_form ~num_dims:3 ~num_syms:0 e in
+  Alcotest.(check (array int)) "dim coefficients" [| 5; 0; 1 |] d;
+  Alcotest.(check (array int)) "sym coefficients" [||] s;
+  check_int "constant" 7 c
+
+let test_map_eval () =
+  (* Conv-style map: (d0, d1, d2, d3) -> (d0 + d2, d1 + d3) *)
+  let m =
+    Affine.make ~num_dims:4 ~num_syms:0
+      Affine.[ add (dim 0) (dim 2); add (dim 1) (dim 3) ]
+  in
+  Alcotest.(check (list int))
+    "conv map" [ 4; 6 ]
+    (Affine.eval m ~dims:[| 1; 2; 3; 4 |] ())
+
+let test_compose () =
+  (* f = (d0, d1) -> (d0 + d1); g = (d0) -> (2*d0, 3*d0);
+     f.g = (d0) -> (5*d0) *)
+  let f = Affine.make ~num_dims:2 ~num_syms:0 [ Affine.(add (dim 0) (dim 1)) ] in
+  let g =
+    Affine.make ~num_dims:1 ~num_syms:0
+      Affine.[ mul (dim 0) (const 2); mul (dim 0) (const 3) ]
+  in
+  let fg = Affine.compose f g in
+  Alcotest.(check (list int)) "composition" [ 35 ] (Affine.eval fg ~dims:[| 7 |] ())
+
+let test_identity () =
+  let m = Affine.identity 3 in
+  Alcotest.(check (list int)) "identity" [ 4; 5; 6 ] (Affine.eval m ~dims:[| 4; 5; 6 |] ())
+
+let test_drop_dims () =
+  (* (d0, d1, d2) -> (d0 * 5 + d2) with d1 dropped becomes
+     (d0, d1) -> (d0 * 5 + d1) *)
+  let m =
+    Affine.make ~num_dims:3 ~num_syms:0
+      [ Affine.(add (mul (dim 0) (const 5)) (dim 2)) ]
+  in
+  let m' = Affine.drop_dims m [ 1 ] in
+  check_int "domain shrinks" 2 m'.Affine.num_dims;
+  Alcotest.(check (list int)) "results renumbered" [ 17 ] (Affine.eval m' ~dims:[| 3; 2 |] ())
+
+let test_drop_used_dim_rejected () =
+  let m = Affine.make ~num_dims:2 ~num_syms:0 [ Affine.(add (dim 0) (dim 1)) ] in
+  Alcotest.(check bool) "dropping used dim raises" true
+    (match Affine.drop_dims m [ 1 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pp_roundtrip_examples () =
+  let m =
+    Affine.make ~num_dims:3 ~num_syms:0
+      [ Affine.(add (mul (dim 0) (const 5)) (dim 2)); Affine.dim 1 ]
+  in
+  Alcotest.(check string)
+    "printing" "(d0, d1, d2) -> (d0 * 5 + d2, d1)" (Affine.to_string m)
+
+(* Property tests *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof [ map Affine.dim (int_bound 2); map Affine.const (int_range (-8) 8) ]
+          else
+            frequency
+              [
+                (2, map Affine.dim (int_bound 2));
+                (2, map Affine.const (int_range (-8) 8));
+                (3, map2 Affine.add (self (n / 2)) (self (n / 2)));
+                ( 2,
+                  map2
+                    (fun e c -> Affine.mul e (Affine.const c))
+                    (self (n / 2)) (int_range (-4) 4) );
+              ])
+        (min n 8))
+
+let arb_expr = QCheck.make ~print:Affine.expr_to_string gen_expr
+
+let prop_linear_form_agrees_with_eval =
+  QCheck.Test.make ~name:"linear_form agrees with eval" ~count:200 arb_expr
+    (fun e ->
+      let dims = [| 3; -2; 5 |] in
+      let d, _, c = Affine.linear_form ~num_dims:3 ~num_syms:0 e in
+      let linear_val =
+        c + (d.(0) * dims.(0)) + (d.(1) * dims.(1)) + (d.(2) * dims.(2))
+      in
+      linear_val = Affine.eval_expr ~dims ~syms:[||] e)
+
+let prop_add_commutes_under_eval =
+  QCheck.Test.make ~name:"add commutes under eval" ~count:200
+    (QCheck.pair arb_expr arb_expr) (fun (a, b) ->
+      let dims = [| 2; 7; -3 |] in
+      Affine.eval_expr ~dims ~syms:[||] (Affine.add a b)
+      = Affine.eval_expr ~dims ~syms:[||] (Affine.add b a))
+
+let prop_floordiv_mod_law =
+  QCheck.Test.make ~name:"x = (x floordiv k)*k + (x mod k)" ~count:200
+    QCheck.(pair (int_range (-100) 100) (int_range 1 12))
+    (fun (x, k) ->
+      let ev e = Affine.eval_expr ~dims:[||] ~syms:[||] e in
+      let x' = Affine.const x and k' = Affine.const k in
+      x = (ev (Affine.floordiv x' k') * k) + ev (Affine.modulo x' k'))
+
+let suite =
+  [
+    ( "affine",
+      [
+        Alcotest.test_case "eval simple" `Quick test_eval_simple;
+        Alcotest.test_case "constant folding" `Quick test_constant_folding;
+        Alcotest.test_case "floor/ceil/mod" `Quick test_floor_ceil_mod;
+        Alcotest.test_case "non-affine rejected" `Quick test_not_affine;
+        Alcotest.test_case "linear form" `Quick test_linear_form;
+        Alcotest.test_case "map eval" `Quick test_map_eval;
+        Alcotest.test_case "compose" `Quick test_compose;
+        Alcotest.test_case "identity" `Quick test_identity;
+        Alcotest.test_case "drop dims" `Quick test_drop_dims;
+        Alcotest.test_case "drop used dim rejected" `Quick test_drop_used_dim_rejected;
+        Alcotest.test_case "printing" `Quick test_pp_roundtrip_examples;
+        QCheck_alcotest.to_alcotest prop_linear_form_agrees_with_eval;
+        QCheck_alcotest.to_alcotest prop_add_commutes_under_eval;
+        QCheck_alcotest.to_alcotest prop_floordiv_mod_law;
+      ] );
+  ]

@@ -1,0 +1,241 @@
+(* Tests for the dialect definitions: builders produce verifying IR and
+   the registered per-op verifiers reject malformed operations. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+let fresh_fn args f =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"t" ~args ~results:[] in
+  let bb = Builder.at_end entry in
+  f bb (Ir.Block.args entry);
+  Func.return_ bb [];
+  m
+
+let verifies m =
+  match Verifier.verify m with
+  | () -> true
+  | exception Verifier.Verification_error _ -> false
+
+let rejected m = not (verifies m)
+
+let test_arith_type_mismatch_rejected () =
+  let m =
+    fresh_fn [ Ty.F64; Ty.F32 ] (fun bb args ->
+        match args with
+        | [ a; b ] ->
+          (* addf over mixed types: build manually to bypass the smart
+             constructor's type propagation. *)
+          ignore
+            (Builder.create bb ~results:[ Ty.F64 ] Arith.addf_op [ a; b ])
+        | _ -> assert false)
+  in
+  Alcotest.(check bool) "mixed addf rejected" true (rejected m)
+
+let test_constant_type_check () =
+  let m =
+    fresh_fn [] (fun bb _ ->
+        ignore (Builder.create bb
+            ~attrs:[ ("value", Attr.Float 1.0) ]
+            ~results:[ Ty.i32 ] Arith.constant_op []))
+  in
+  Alcotest.(check bool) "float constant with int type rejected" true (rejected m)
+
+let test_memref_index_arity () =
+  let m =
+    fresh_fn [ Ty.memref [ 4; 4 ] Ty.F64 ] (fun bb args ->
+        let buf = List.hd args in
+        let i = Arith.const_index bb 0 in
+        (* rank-2 memref loaded with one index *)
+        ignore (Builder.create bb ~results:[ Ty.F64 ] Memref.load_op [ buf; i ]))
+  in
+  Alcotest.(check bool) "bad load arity rejected" true (rejected m)
+
+let test_scf_for_well_formed () =
+  let m =
+    fresh_fn [ Ty.F64 ] (fun bb args ->
+        let zero = Arith.const_index bb 0 in
+        let ten = Arith.const_index bb 10 in
+        let one = Arith.const_index bb 1 in
+        let acc0 = List.hd args in
+        let loop =
+          Scf.for_ bb ~lb:zero ~ub:ten ~step:one ~iter_args:[ acc0 ]
+            (fun bb _iv iters ->
+              [ Arith.addf bb (List.hd iters) (List.hd iters) ])
+        in
+        ignore (Ir.Op.results loop))
+  in
+  Alcotest.(check bool) "well-formed scf.for verifies" true (verifies m)
+
+let test_linalg_generic_map_arity () =
+  let m =
+    fresh_fn [ Ty.memref [ 4 ] Ty.F64; Ty.memref [ 4 ] Ty.F64 ] (fun bb args ->
+        match args with
+        | [ x; y ] ->
+          let generic =
+            Linalg.generic bb ~ins:[ x ] ~outs:[ y ]
+              ~maps:[ Affine.identity 1; Affine.identity 1 ]
+              ~iterators:[ Attr.Parallel ]
+              (fun _ ins _ -> ins)
+          in
+          (* Corrupt: drop one indexing map. *)
+          Ir.Op.set_attr generic "indexing_maps"
+            (Attr.Arr [ Attr.Affine_map (Affine.identity 1) ])
+        | _ -> assert false)
+  in
+  Alcotest.(check bool) "map arity mismatch rejected" true (rejected m)
+
+let test_linalg_infer_bounds_conv () =
+  let m = ref None in
+  let _ =
+    fresh_fn
+      [ Ty.memref [ 6; 6 ] Ty.F64; Ty.memref [ 3; 3 ] Ty.F64; Ty.memref [ 4; 4 ] Ty.F64 ]
+      (fun bb args ->
+        match args with
+        | [ x; w; y ] ->
+          let open Affine in
+          let in_map =
+            make ~num_dims:4 ~num_syms:0
+              [ add (dim 0) (dim 2); add (dim 1) (dim 3) ]
+          in
+          let w_map = make ~num_dims:4 ~num_syms:0 [ dim 2; dim 3 ] in
+          let out_map = make ~num_dims:4 ~num_syms:0 [ dim 0; dim 1 ] in
+          let g =
+            Linalg.generic bb ~ins:[ x; w ] ~outs:[ y ]
+              ~maps:[ in_map; w_map; out_map ]
+              ~iterators:[ Attr.Parallel; Attr.Parallel; Attr.Reduction; Attr.Reduction ]
+              (fun bb ins outs ->
+                match (ins, outs) with
+                | [ a; wv ], [ acc ] -> [ Arith.addf bb acc (Arith.mulf bb a wv) ]
+                | _ -> assert false)
+          in
+          m := Some g
+        | _ -> assert false)
+  in
+  Alcotest.(check (list int))
+    "conv bounds inferred from output and window shapes" [ 4; 4; 3; 3 ]
+    (Linalg.infer_bounds (Option.get !m))
+
+let test_memref_stream_interleave_verifier () =
+  (* An interleaved iterator anywhere but last is rejected. *)
+  let m =
+    fresh_fn [ Ty.memref [ 4 ] Ty.F64; Ty.memref [ 4 ] Ty.F64 ] (fun bb args ->
+        match args with
+        | [ x; y ] ->
+          let g =
+            Memref_stream.generic bb ~bounds:[ 2; 2 ] ~ins:[ x ] ~outs:[ y ]
+              ~maps:
+                [
+                  Affine.make ~num_dims:2 ~num_syms:0
+                    [ Affine.(add (mul (dim 0) (const 2)) (dim 1)) ];
+                  Affine.make ~num_dims:2 ~num_syms:0
+                    [ Affine.(add (mul (dim 0) (const 2)) (dim 1)) ];
+                ]
+              ~iterators:[ Attr.Parallel; Attr.Interleaved ]
+              (fun _bb ins _outs -> ins)
+          in
+          Ir.Op.set_attr g "iterator_types"
+            (Attr.Iterators [ Attr.Interleaved; Attr.Parallel ])
+        | _ -> assert false)
+  in
+  Alcotest.(check bool) "interleaved-first rejected" true (rejected m)
+
+let test_memref_stream_unroll_factor () =
+  let got = ref 0 in
+  let _ =
+    fresh_fn [ Ty.memref [ 8 ] Ty.F64; Ty.memref [ 8 ] Ty.F64 ] (fun bb args ->
+        match args with
+        | [ x; y ] ->
+          let map =
+            Affine.make ~num_dims:2 ~num_syms:0
+              [ Affine.(add (mul (dim 0) (const 4)) (dim 1)) ]
+          in
+          let g =
+            Memref_stream.generic bb ~bounds:[ 2; 4 ] ~ins:[ x ] ~outs:[ y ]
+              ~maps:[ map; map ]
+              ~iterators:[ Attr.Parallel; Attr.Interleaved ]
+              (fun _bb ins _outs -> ins)
+          in
+          got := Memref_stream.unroll_factor g
+        | _ -> assert false)
+  in
+  Alcotest.(check int) "unroll factor = trailing interleaved bound" 4 !got
+
+let test_streaming_region_directionality () =
+  let m =
+    fresh_fn [ Ty.memref [ 4 ] Ty.F64; Ty.memref [ 4 ] Ty.F64 ] (fun bb args ->
+        match args with
+        | [ x; y ] ->
+          let p = { Attr.ip_ub = [ 4 ]; ip_map = Affine.identity 1 } in
+          let region =
+            Memref_stream.streaming_region bb ~patterns:[ p; p ] ~ins:[ x ]
+              ~outs:[ y ]
+              (fun _bb _streams -> ())
+          in
+          (* Corrupt: claim both streams are inputs. *)
+          Ir.Op.set_attr region "ins" (Attr.Int 2)
+        | _ -> assert false)
+  in
+  Alcotest.(check bool) "wrong stream directionality rejected" true (rejected m)
+
+let test_rv_func_abi () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Mlc_riscv.Rv_func.func b ~name:"k"
+      ~args:[ Mlc_riscv.Reg.Int_kind; Mlc_riscv.Reg.Float_kind; Mlc_riscv.Reg.Int_kind ]
+  in
+  let bb = Builder.at_end entry in
+  Mlc_riscv.Rv_func.return_ bb [];
+  Alcotest.(check bool) "ABI arg registers assigned" true (verifies m);
+  let tys = List.map Ir.Value.ty (Ir.Block.args entry) in
+  Alcotest.(check bool) "a0, fa0, a1" true
+    (tys = [ Ty.Int_reg (Some "a0"); Ty.Float_reg (Some "fa0"); Ty.Int_reg (Some "a1") ])
+
+let test_frep_body_restriction () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Mlc_riscv.Rv_func.func b ~name:"k" ~args:[] in
+  let bb = Builder.at_end entry in
+  let rpt = Mlc_riscv.Rv.li bb 7 in
+  ignore
+    (Mlc_riscv.Rv_snitch.frep_outer bb ~rpt (fun fb _ ->
+         (* An integer op in the body must be rejected. *)
+         ignore (Mlc_riscv.Rv.li fb 1);
+         []));
+  Mlc_riscv.Rv_func.return_ bb [];
+  Alcotest.(check bool) "integer op in frep body rejected" true (rejected m)
+
+let test_snitch_stream_dim_limit () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Mlc_riscv.Rv_func.func b ~name:"k" ~args:[ Mlc_riscv.Reg.Int_kind ] in
+  let bb = Builder.at_end entry in
+  let p =
+    { Attr.ub = [ 2; 2; 2; 2; 2 ]; strides = [ 16; 16; 16; 16; 8 ] }
+  in
+  ignore
+    (Mlc_riscv.Snitch_stream.streaming_region bb ~patterns:[ p ]
+       ~ins:[ Ir.Block.arg entry 0 ] ~outs:[] (fun _bb _ -> ()));
+  Mlc_riscv.Rv_func.return_ bb [];
+  Alcotest.(check bool) "5-dim pattern rejected" true (rejected m)
+
+let suite =
+  [
+    ( "dialects",
+      [
+        Alcotest.test_case "arith type mismatch" `Quick test_arith_type_mismatch_rejected;
+        Alcotest.test_case "constant type check" `Quick test_constant_type_check;
+        Alcotest.test_case "memref index arity" `Quick test_memref_index_arity;
+        Alcotest.test_case "scf.for well-formed" `Quick test_scf_for_well_formed;
+        Alcotest.test_case "linalg map arity" `Quick test_linalg_generic_map_arity;
+        Alcotest.test_case "linalg conv bound inference" `Quick test_linalg_infer_bounds_conv;
+        Alcotest.test_case "interleaved must be last" `Quick test_memref_stream_interleave_verifier;
+        Alcotest.test_case "unroll factor" `Quick test_memref_stream_unroll_factor;
+        Alcotest.test_case "stream directionality" `Quick test_streaming_region_directionality;
+        Alcotest.test_case "rv_func ABI" `Quick test_rv_func_abi;
+        Alcotest.test_case "frep body restriction" `Quick test_frep_body_restriction;
+        Alcotest.test_case "SSR dim limit" `Quick test_snitch_stream_dim_limit;
+      ] );
+  ]

@@ -1,0 +1,272 @@
+(* Additional cross-cutting tests: loop-rich printer/parser round trips,
+   parser robustness against garbage, unstructured control flow
+   emission, the simulator trace, and extra affine-map laws. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+(* --- loop-rich round trip --- *)
+
+let gen_loop_program =
+  QCheck.Gen.(
+    pair (int_range 1 6) (list_size (int_range 1 6) (int_bound 3))
+    >|= fun (trip, ops) ->
+    let m = Builtin.create_module () in
+    let b = Builder.at_end (Builtin.module_body m) in
+    let _fn, entry =
+      Func.func b ~name:"looped"
+        ~args:[ Ty.memref [ 8 ] Ty.F64; Ty.F64 ]
+        ~results:[]
+    in
+    let bb = Builder.at_end entry in
+    let buf = Ir.Block.arg entry 0 and scale = Ir.Block.arg entry 1 in
+    let zero = Arith.const_index bb 0 in
+    let ub = Arith.const_index bb trip in
+    let one = Arith.const_index bb 1 in
+    let init = Arith.const_float bb 0.0 in
+    let loop =
+      Scf.for_ bb ~lb:zero ~ub ~step:one ~iter_args:[ init ] (fun bb iv iters ->
+          let acc = ref (List.hd iters) in
+          List.iteri
+            (fun i c ->
+              let v = Memref.load bb buf [ iv ] in
+              (acc :=
+                 match c with
+                 | 0 -> Arith.addf bb !acc v
+                 | 1 -> Arith.mulf bb !acc scale
+                 | 2 -> Arith.maxf bb !acc v
+                 | _ -> Arith.fmaf bb v scale !acc);
+              if i mod 2 = 0 then Memref.store bb !acc buf [ iv ])
+            ops;
+          [ !acc ])
+    in
+    ignore (Ir.Op.results loop);
+    Func.return_ bb [];
+    m)
+
+let arb_loop_program = QCheck.make ~print:Printer.to_string gen_loop_program
+
+let prop_loop_roundtrip =
+  QCheck.Test.make ~name:"loop-rich programs round-trip" ~count:40
+    arb_loop_program (fun m ->
+      Verifier.verify m;
+      let t1 = Printer.to_string m in
+      let m2 = Parser.parse_string t1 in
+      Verifier.verify m2;
+      String.equal t1 (Printer.to_string m2))
+
+(* --- parser robustness --- *)
+
+let prop_parser_never_crashes =
+  (* Arbitrary strings produce a clean Parse_error / Lex_error, never a
+     crash or an unverified op. *)
+  QCheck.Test.make ~name:"parser rejects garbage cleanly" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 60))
+    (fun s ->
+      match Parser.parse_string s with
+      | op -> ( match Verifier.verify_result op with Ok _ | Error _ -> true)
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true
+      | exception _ -> false)
+
+let prop_parser_mutation_robust =
+  (* Mutate one byte of a valid program: the parser either accepts (the
+     mutation may be benign, e.g. inside a string) or errors cleanly. *)
+  let base =
+    Printer.to_string (QCheck.Gen.generate1 gen_loop_program)
+  in
+  QCheck.Test.make ~name:"parser robust to single-byte mutations" ~count:200
+    QCheck.(pair (int_bound (String.length base - 1)) printable_char)
+    (fun (i, c) ->
+      let mutated = Bytes.of_string base in
+      Bytes.set mutated i c;
+      match Parser.parse_string (Bytes.to_string mutated) with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Lexer.Lex_error _ -> true
+      | exception Invalid_argument _ -> true (* e.g. malformed affine map *)
+      | exception Failure _ -> true (* int_of_string on huge literals *)
+      | exception _ -> false)
+
+(* --- unstructured control flow (rv_cf) emission --- *)
+
+let test_rv_cf_emission_and_execution () =
+  (* abs-difference via a branch:
+       if a >= b then r = a - b else r = b - a
+     built as a three-block CFG with pre-assigned registers. *)
+  let open Mlc_riscv in
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let region = Ir.Region.create () in
+  let entry = Ir.Block.create () in
+  let else_b = Ir.Block.create () in
+  let exit_b = Ir.Block.create () in
+  (* Block layout: the fallthrough successor must be textually next. *)
+  Ir.Region.add_block region entry;
+  Ir.Region.add_block region exit_b;
+  Ir.Region.add_block region else_b;
+  ignore
+    (Builder.create b
+       ~attrs:[ ("sym_name", Attr.Str "absdiff") ]
+       ~regions:[ region ] ~results:[] Rv_func.func_op []);
+  (* entry: a in t0, b in t1; branch to else when a < b *)
+  let bb = Builder.at_end entry in
+  let a = Rv.get_register bb "t0" in
+  let b1 = Rv.get_register bb "t1" in
+  Rv_cf.branch bb Rv_cf.blt_op a b1 ~taken:else_b ~fallthrough:exit_b;
+  (* exit block (fallthrough): r = a - b, into t2 *)
+  let bb = Builder.at_end exit_b in
+  let a' = Rv.get_register bb "t0" in
+  let b' = Rv.get_register bb "t1" in
+  let diff = Rv.sub bb a' b' in
+  Ir.Value.set_ty diff (Ty.Int_reg (Some "t2"));
+  Rv_func.return_ bb [];
+  (* else: r = b - a, then jump... make it the middle block returning
+     directly to keep fallthrough discipline. *)
+  let bb = Builder.at_end else_b in
+  let a'' = Rv.get_register bb "t0" in
+  let b'' = Rv.get_register bb "t1" in
+  let diff2 = Rv.sub bb b'' a'' in
+  Ir.Value.set_ty diff2 (Ty.Int_reg (Some "t2"));
+  Rv_func.return_ bb [];
+  Verifier.verify m;
+  let asm = Asm_emit.emit_module m in
+  let program = Mlc_sim.Asm_parse.parse asm in
+  let check x y expected =
+    let machine = Mlc_sim.Machine.create () in
+    Mlc_sim.Machine.set_ireg machine (Mlc_sim.Asm_parse.xreg "t0") (Int64.of_int x);
+    Mlc_sim.Machine.set_ireg machine (Mlc_sim.Asm_parse.xreg "t1") (Int64.of_int y);
+    ignore (Mlc_sim.Machine.run machine program ~entry:"absdiff");
+    Alcotest.(check int)
+      (Printf.sprintf "|%d - %d|" x y)
+      expected
+      (Int64.to_int (Mlc_sim.Machine.get_ireg machine (Mlc_sim.Asm_parse.xreg "t2")))
+  in
+  check 9 4 5;
+  check 4 9 5;
+  check 7 7 0
+
+(* --- simulator trace --- *)
+
+let test_trace_collection () =
+  let r = Mlc.Runner.run ~trace:true (Mlc_kernels.Builders.sum ~n:2 ~m:2 ()) in
+  Alcotest.(check bool) "trace non-empty" true (List.length r.Mlc.Runner.trace > 5);
+  Alcotest.(check bool) "trace mentions the frep" true
+    (List.exists
+       (fun line ->
+         let n = String.length line in
+         let rec has i =
+           i + 6 <= n && (String.sub line i 6 = "frep.o" || has (i + 1))
+         in
+         has 0)
+       r.Mlc.Runner.trace)
+
+(* --- extra affine laws --- *)
+
+let gen_linear_map n_dims =
+  QCheck.Gen.(
+    list_size (int_range 1 3)
+      (pair (list_size (return n_dims) (int_range (-3) 3)) (int_range (-5) 5))
+    >|= fun rows ->
+    Affine.make ~num_dims:n_dims ~num_syms:0
+      (List.map
+         (fun (coefs, c) ->
+           List.fold_left2
+             (fun acc coef d -> Affine.add acc (Affine.mul (Affine.dim d) (Affine.const coef)))
+             (Affine.const c) coefs
+             (List.init n_dims Fun.id))
+         rows))
+
+let prop_compose_matches_eval =
+  QCheck.Test.make ~name:"composition agrees with sequential evaluation"
+    ~count:100
+    (QCheck.make
+       ~print:(fun (f, g) -> Affine.to_string f ^ " . " ^ Affine.to_string g)
+       QCheck.Gen.(
+         gen_linear_map 2 >>= fun g ->
+         let k = Affine.num_results g in
+         gen_linear_map k >|= fun f -> (f, g)))
+    (fun (f, g) ->
+      let dims = [| 3; -2 |] in
+      let via_g = Array.of_list (Affine.eval g ~dims ()) in
+      let sequential = Affine.eval f ~dims:via_g () in
+      let composed = Affine.eval (Affine.compose f g) ~dims () in
+      sequential = composed)
+
+(* --- interpreter: memref.alloc --- *)
+
+let test_interp_alloc () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"with_temp"
+      ~args:[ Ty.memref [ 4 ] Ty.F64; Ty.memref [ 4 ] Ty.F64 ]
+      ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let x = Ir.Block.arg entry 0 and z = Ir.Block.arg entry 1 in
+  let tmp = Memref.alloc bb [ 4 ] Ty.F64 in
+  let id = Affine.identity 1 in
+  ignore
+    (Linalg.generic bb ~ins:[ x ] ~outs:[ tmp ] ~maps:[ id; id ]
+       ~iterators:[ Mlc_ir.Attr.Parallel ]
+       (fun bb ins _ -> [ Arith.addf bb (List.hd ins) (List.hd ins) ]));
+  ignore
+    (Linalg.generic bb ~ins:[ tmp ] ~outs:[ z ] ~maps:[ id; id ]
+       ~iterators:[ Mlc_ir.Attr.Parallel ]
+       (fun bb ins _ -> [ Arith.addf bb (List.hd ins) (List.hd ins) ]));
+  Func.return_ bb [];
+  Verifier.verify m;
+  let open Mlc_interp in
+  let mk data =
+    let buf = Interp.buffer_create [ 4 ] Ty.F64 in
+    Array.blit data 0 buf.Interp.data 0 4;
+    buf
+  in
+  let xs = mk [| 1.; 2.; 3.; 4. |] in
+  let zs = mk [| 0.; 0.; 0.; 0. |] in
+  Interp.run_func m "with_temp" [ Interp.Buf xs; Interp.Buf zs ];
+  Alcotest.(check (array (float 0.0)))
+    "z = 4x through a temporary"
+    [| 4.; 8.; 12.; 16. |]
+    zs.Interp.data
+
+(* --- pretty printer smoke --- *)
+
+let test_pretty_printer () =
+  let spec = Mlc_kernels.Builders.matmul ~n:1 ~m:5 ~k:20 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m (Mlc_transforms.Pipeline.passes Mlc_transforms.Pipeline.ours);
+  List.iter
+    (fun fn -> ignore (Mlc_regalloc.Remat.allocate_with_remat fn))
+    (Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv_func.func_op));
+  let text = Mlc_riscv.Rv_pretty.to_string m in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun marker ->
+      Alcotest.(check bool) (Printf.sprintf "pretty output mentions %S" marker)
+        true (contains marker))
+    [
+      "rv_func.func @matmul"; "rv_scf.for"; "rv_snitch.frep"; "iter(";
+      "rv_snitch.read"; ":ft0"; "yield";
+    ]
+
+let suite =
+  [
+    ( "extra",
+      [
+        QCheck_alcotest.to_alcotest prop_loop_roundtrip;
+        QCheck_alcotest.to_alcotest prop_parser_never_crashes;
+        QCheck_alcotest.to_alcotest prop_parser_mutation_robust;
+        Alcotest.test_case "rv_cf emission + execution" `Quick
+          test_rv_cf_emission_and_execution;
+        Alcotest.test_case "trace collection" `Quick test_trace_collection;
+        QCheck_alcotest.to_alcotest prop_compose_matches_eval;
+        Alcotest.test_case "interp memref.alloc" `Quick test_interp_alloc;
+        Alcotest.test_case "pretty printer" `Quick test_pretty_printer;
+      ] );
+  ]

@@ -1,0 +1,211 @@
+(* Tests for the reference interpreter: the executable semantics that the
+   differential tests in test_pipeline.ml trust. Each behaviour is checked
+   against values computed by independent OCaml code. *)
+
+open Mlc_ir
+open Mlc_dialects
+open Mlc_interp
+
+let buffer shape data =
+  let b = Interp.buffer_create shape Ty.F64 in
+  Array.blit data 0 b.Interp.data 0 (Array.length data);
+  b
+
+let check_arr = Alcotest.(check (array (float 1e-12)))
+
+let test_scalar_arith_and_loops () =
+  (* sum = Σ_{i<10} (i converted via buffer) using scf.for iter args *)
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"accumulate"
+      ~args:[ Ty.memref [ 10 ] Ty.F64; Ty.memref [ 1 ] Ty.F64 ]
+      ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let x = Ir.Block.arg entry 0 and out = Ir.Block.arg entry 1 in
+  let zero = Arith.const_index bb 0 in
+  let ten = Arith.const_index bb 10 in
+  let one = Arith.const_index bb 1 in
+  let init = Arith.const_float bb 0.0 in
+  let loop =
+    Scf.for_ bb ~lb:zero ~ub:ten ~step:one ~iter_args:[ init ] (fun bb iv iters ->
+        let v = Memref.load bb x [ iv ] in
+        [ Arith.addf bb (List.hd iters) v ])
+  in
+  Memref.store bb (Ir.Op.result loop 0) out [ zero ];
+  Func.return_ bb [];
+  Verifier.verify m;
+  let xs = buffer [ 10 ] (Array.init 10 float_of_int) in
+  let out_buf = buffer [ 1 ] [| 0.0 |] in
+  Interp.run_func m "accumulate" [ Interp.Buf xs; Interp.Buf out_buf ];
+  check_arr "sum 0..9" [| 45.0 |] out_buf.Interp.data
+
+let test_linalg_matmul_semantics () =
+  let spec = Mlc_kernels.Builders.matmul ~n:2 ~m:2 ~k:3 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  let a = buffer [ 2; 3 ] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let b = buffer [ 3; 2 ] [| 7.; 8.; 9.; 10.; 11.; 12. |] in
+  let c = buffer [ 2; 2 ] (Array.make 4 99.0) in
+  Interp.run_func m "matmul" [ Interp.Buf a; Interp.Buf b; Interp.Buf c ];
+  check_arr "matmul 2x3 * 3x2" [| 58.; 64.; 139.; 154. |] c.Interp.data
+
+let test_linalg_fill_overwrites () =
+  let spec = Mlc_kernels.Builders.fill ~n:2 ~m:2 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  let out = buffer [ 2; 2 ] (Array.make 4 7.0) in
+  Interp.run_func m "fill" [ Interp.F 1.25; Interp.Buf out ];
+  check_arr "filled" [| 1.25; 1.25; 1.25; 1.25 |] out.Interp.data
+
+let test_max_pool_semantics () =
+  let spec = Mlc_kernels.Builders.max_pool ~n:1 ~m:1 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  let x = buffer [ 3; 3 ] [| 1.; 5.; 2.; -3.; 4.; 0.; 9.; -1.; 2. |] in
+  let w = buffer [ 3; 3 ] (Array.make 9 0.0) in
+  let y = buffer [ 1; 1 ] [| 0.0 |] in
+  Interp.run_func m "max_pool" [ Interp.Buf x; Interp.Buf w; Interp.Buf y ];
+  check_arr "max of window" [| 9.0 |] y.Interp.data
+
+let test_stream_generic_interleaved () =
+  (* z[j] = x[j] * 2 over 4 elements with an interleaved dim of 4: the
+     body holds four copies. *)
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"x2"
+      ~args:[ Ty.memref [ 4 ] Ty.F64; Ty.memref [ 4 ] Ty.F64 ]
+      ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let x = Ir.Block.arg entry 0 and z = Ir.Block.arg entry 1 in
+  let map = Affine.make ~num_dims:1 ~num_syms:0 [ Affine.dim 0 ] in
+  ignore
+    (Memref_stream.generic bb ~bounds:[ 4 ] ~ins:[ x ] ~outs:[ z ]
+       ~maps:[ map; map ] ~iterators:[ Attr.Interleaved ]
+       (fun bb ins _outs ->
+         List.map (fun v -> Arith.addf bb v v) ins));
+  Func.return_ bb [];
+  Verifier.verify m;
+  let xs = buffer [ 4 ] [| 1.; 2.; 3.; 4. |] in
+  let zs = buffer [ 4 ] (Array.make 4 0.0) in
+  Interp.run_func m "x2" [ Interp.Buf xs; Interp.Buf zs ];
+  check_arr "doubled" [| 2.; 4.; 6.; 8. |] zs.Interp.data
+
+let test_stream_generic_inits () =
+  (* Reduction with a fused init: out = init + Σ x, via inits operand. *)
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"reduce"
+      ~args:[ Ty.memref [ 5 ] Ty.F64; Ty.memref [ 1 ] Ty.F64 ]
+      ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let x = Ir.Block.arg entry 0 and out = Ir.Block.arg entry 1 in
+  let init = Arith.const_float bb 100.0 in
+  let x_map = Affine.make ~num_dims:1 ~num_syms:0 [ Affine.dim 0 ] in
+  let out_map = Affine.make ~num_dims:1 ~num_syms:0 [ Affine.const 0 ] in
+  ignore
+    (Memref_stream.generic bb ~bounds:[ 5 ] ~ins:[ x ] ~outs:[ out ]
+       ~inits:[ init ] ~maps:[ x_map; out_map ]
+       ~iterators:[ Attr.Reduction ]
+       (fun bb ins outs ->
+         [ Arith.addf bb (List.hd outs) (List.hd ins) ]));
+  Func.return_ bb [];
+  Verifier.verify m;
+  let xs = buffer [ 5 ] [| 1.; 2.; 3.; 4.; 5. |] in
+  let out_buf = buffer [ 1 ] [| -999.0 |] in
+  Interp.run_func m "reduce" [ Interp.Buf xs; Interp.Buf out_buf ];
+  check_arr "init + sum" [| 115.0 |] out_buf.Interp.data
+
+let test_streaming_region_order () =
+  (* A transposed read pattern: stream a 2x3 buffer column-major and copy
+     into a flat output; checks pattern_order semantics. *)
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"transpose_copy"
+      ~args:[ Ty.memref [ 2; 3 ] Ty.F64; Ty.memref [ 6 ] Ty.F64 ]
+      ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let x = Ir.Block.arg entry 0 and z = Ir.Block.arg entry 1 in
+  (* iterate (col, row): element (d1, d0) *)
+  let in_pattern =
+    {
+      Attr.ip_ub = [ 3; 2 ];
+      ip_map = Affine.make ~num_dims:2 ~num_syms:0 [ Affine.dim 1; Affine.dim 0 ];
+    }
+  in
+  let out_pattern =
+    {
+      Attr.ip_ub = [ 6 ];
+      ip_map = Affine.make ~num_dims:1 ~num_syms:0 [ Affine.dim 0 ];
+    }
+  in
+  ignore
+    (Memref_stream.streaming_region bb ~patterns:[ in_pattern; out_pattern ]
+       ~ins:[ x ] ~outs:[ z ] (fun bb streams ->
+         match streams with
+         | [ s_in; s_out ] ->
+           let zero = Arith.const_index bb 0 in
+           let six = Arith.const_index bb 6 in
+           let one = Arith.const_index bb 1 in
+           ignore
+             (Scf.for_ bb ~lb:zero ~ub:six ~step:one (fun bb _ _ ->
+                  let v = Memref_stream.read bb s_in in
+                  Memref_stream.write bb v s_out;
+                  []))
+         | _ -> assert false));
+  Func.return_ bb [];
+  Verifier.verify m;
+  let xs = buffer [ 2; 3 ] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let zs = buffer [ 6 ] (Array.make 6 0.0) in
+  Interp.run_func m "transpose_copy" [ Interp.Buf xs; Interp.Buf zs ];
+  check_arr "column-major order" [| 1.; 4.; 2.; 5.; 3.; 6. |] zs.Interp.data
+
+let test_stream_overrun_detected () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"overrun" ~args:[ Ty.memref [ 2 ] Ty.F64 ] ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let x = Ir.Block.arg entry 0 in
+  let p = { Attr.ip_ub = [ 1 ]; ip_map = Affine.make ~num_dims:1 ~num_syms:0 [ Affine.dim 0 ] } in
+  ignore
+    (Memref_stream.streaming_region bb ~patterns:[ p ] ~ins:[ x ] ~outs:[]
+       (fun bb streams ->
+         let s = List.hd streams in
+         ignore (Memref_stream.read bb s);
+         ignore (Memref_stream.read bb s)));
+  Func.return_ bb [];
+  let xs = buffer [ 2 ] [| 1.; 2. |] in
+  Alcotest.(check bool) "stream overrun raises" true
+    (match Interp.run_func m "overrun" [ Interp.Buf xs ] with
+    | exception Interp.Interp_error _ -> true
+    | _ -> false)
+
+let test_f32_rounding () =
+  (* Stores to an f32 buffer round through single precision. *)
+  let b = Interp.buffer_create [ 1 ] Ty.F32 in
+  Interp.buffer_set b [ 0 ] 0.1;
+  Alcotest.(check bool) "f32 rounding applied" true
+    (b.Interp.data.(0) <> 0.1
+    && b.Interp.data.(0) = Int32.float_of_bits (Int32.bits_of_float 0.1))
+
+let suite =
+  [
+    ( "interp",
+      [
+        Alcotest.test_case "scalars and loops" `Quick test_scalar_arith_and_loops;
+        Alcotest.test_case "linalg matmul" `Quick test_linalg_matmul_semantics;
+        Alcotest.test_case "linalg fill" `Quick test_linalg_fill_overwrites;
+        Alcotest.test_case "max pool" `Quick test_max_pool_semantics;
+        Alcotest.test_case "interleaved generic" `Quick test_stream_generic_interleaved;
+        Alcotest.test_case "inits (fused fill)" `Quick test_stream_generic_inits;
+        Alcotest.test_case "streaming region order" `Quick test_streaming_region_order;
+        Alcotest.test_case "stream overrun" `Quick test_stream_overrun_detected;
+        Alcotest.test_case "f32 rounding" `Quick test_f32_rounding;
+      ] );
+  ]

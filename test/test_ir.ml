@@ -1,0 +1,311 @@
+(* Tests for the core IR: structure, use-def maintenance, builders,
+   verifier, printer/parser round-trip. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+let build_simple_fn () =
+  (* func @axpy(%a: f64, %x: memref<8xf64>) { ... } *)
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"axpy" ~args:[ Ty.F64; Ty.memref [ 8 ] Ty.F64 ] ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let a = Ir.Block.arg entry 0 and x = Ir.Block.arg entry 1 in
+  let zero = Arith.const_index bb 0 in
+  let eight = Arith.const_index bb 8 in
+  let one = Arith.const_index bb 1 in
+  let _for_op =
+    Scf.for_ bb ~lb:zero ~ub:eight ~step:one (fun bb iv _ ->
+        let v = Memref.load bb x [ iv ] in
+        let v' = Arith.mulf bb v a in
+        Memref.store bb v' x [ iv ];
+        [])
+  in
+  Func.return_ bb [];
+  m
+
+let test_build_and_verify () =
+  let m = build_simple_fn () in
+  Verifier.verify m;
+  Alcotest.(check pass) "verifies" () ()
+
+let test_use_lists () =
+  let m = build_simple_fn () in
+  let fn = Option.get (Func.lookup m "axpy") in
+  let a = Ir.Block.arg (Func.body fn) 0 in
+  Alcotest.(check int) "%a used once" 1 (Ir.Value.num_uses a);
+  let x = Ir.Block.arg (Func.body fn) 1 in
+  Alcotest.(check int) "%x used by load and store" 2 (Ir.Value.num_uses x)
+
+let test_replace_all_uses () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"f" ~args:[ Ty.F64; Ty.F64 ] ~results:[] in
+  let bb = Builder.at_end entry in
+  let p = Ir.Block.arg entry 0 and q = Ir.Block.arg entry 1 in
+  let s = Arith.addf bb p p in
+  let _t = Arith.mulf bb s s in
+  Func.return_ bb [];
+  Ir.replace_all_uses s ~with_:q;
+  Alcotest.(check int) "s now unused" 0 (Ir.Value.num_uses s);
+  Alcotest.(check int) "q has 2 uses" 2 (Ir.Value.num_uses q);
+  Verifier.verify m
+
+let test_erase_requires_no_uses () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"f" ~args:[ Ty.F64 ] ~results:[] in
+  let bb = Builder.at_end entry in
+  let p = Ir.Block.arg entry 0 in
+  let s = Arith.addf bb p p in
+  let _t = Arith.mulf bb s s in
+  Func.return_ bb [];
+  let def = Option.get (Ir.Value.defining_op s) in
+  Alcotest.(check bool) "erase with live uses raises" true
+    (match Ir.Op.erase def with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_op_order_helpers () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"f" ~args:[] ~results:[] in
+  let bb = Builder.at_end entry in
+  let c1 = Arith.const_index bb 1 in
+  let c2 = Arith.const_index bb 2 in
+  Func.return_ bb [];
+  let op1 = Option.get (Ir.Value.defining_op c1) in
+  let op2 = Option.get (Ir.Value.defining_op c2) in
+  Alcotest.(check bool) "op1 before op2" true (Ir.Op.is_before ~anchor:op2 op1);
+  Alcotest.(check bool) "op2 not before op1" false (Ir.Op.is_before ~anchor:op1 op2)
+
+let test_insert_positions () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"f" ~args:[] ~results:[] in
+  let bb = Builder.at_end entry in
+  let c1 = Arith.const_index bb 1 in
+  let c3 = Arith.const_index bb 3 in
+  Func.return_ bb [];
+  let op3 = Option.get (Ir.Value.defining_op c3) in
+  let b2 = Builder.before op3 in
+  let _c2 = Arith.const_index b2 2 in
+  let names =
+    List.map
+      (fun op ->
+        match Ir.Op.attr op "value" with
+        | Some (Attr.Int i) -> string_of_int i
+        | _ -> Ir.Op.name op)
+      (Ir.Block.ops entry)
+  in
+  Alcotest.(check (list string)) "program order" [ "1"; "2"; "3"; "func.return" ] names;
+  ignore c1;
+  Verifier.verify m
+
+let test_verifier_catches_dominance () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"f" ~args:[] ~results:[] in
+  let bb = Builder.at_end entry in
+  let c1 = Arith.const_index bb 1 in
+  let c2 = Arith.const_index bb 2 in
+  let s = Arith.addi bb c1 c2 in
+  Func.return_ bb [];
+  (* Move the add before its operands' definitions: dominance violation. *)
+  let add_op = Option.get (Ir.Value.defining_op s) in
+  let c1_op = Option.get (Ir.Value.defining_op c1) in
+  Ir.Op.unlink add_op;
+  Ir.Op.insert_before ~anchor:c1_op add_op;
+  Alcotest.(check bool) "dominance violation detected" true
+    (match Verifier.verify m with
+    | exception Verifier.Verification_error _ -> true
+    | _ -> false)
+
+let test_verifier_catches_bad_yield_arity () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"f" ~args:[ Ty.F64 ] ~results:[] in
+  let bb = Builder.at_end entry in
+  let zero = Arith.const_index bb 0 in
+  let one = Arith.const_index bb 1 in
+  let arg = Ir.Block.arg entry 0 in
+  let for_op =
+    Scf.for_ bb ~lb:zero ~ub:one ~step:one ~iter_args:[ arg ] (fun _ _ iters ->
+        iters)
+  in
+  Func.return_ bb [];
+  (* Break the loop: yield too few values. *)
+  let yield = Scf.yield_of for_op in
+  Ir.Op.set_operands yield [];
+  Alcotest.(check bool) "bad yield detected" true
+    (match Verifier.verify m with
+    | exception Verifier.Verification_error _ -> true
+    | _ -> false)
+
+let test_print_parse_roundtrip () =
+  let m = build_simple_fn () in
+  let text = Printer.to_string m in
+  let m2 = Parser.parse_string text in
+  Verifier.verify m2;
+  let text2 = Printer.to_string m2 in
+  Alcotest.(check string) "roundtrip is stable" text text2
+
+let test_parse_rejects_undefined_value () =
+  Alcotest.(check bool) "undefined value rejected" true
+    (match Parser.parse_string {|"test.op"(%0) : (f64) -> ()|} with
+    | exception Parser.Parse_error _ -> true
+    | _ -> false)
+
+let test_parse_types () =
+  let roundtrip ty =
+    let op = Ir.Op.create ~results:[ ty ] "test.mk" [] in
+    let text = Printer.to_string op in
+    let op2 = Parser.parse_string text in
+    Ty.equal (Ir.Value.ty (Ir.Op.result op2 0)) ty
+  in
+  List.iter
+    (fun ty -> Alcotest.(check bool) (Ty.to_string ty) true (roundtrip ty))
+    [
+      Ty.F16;
+      Ty.F32;
+      Ty.F64;
+      Ty.i32;
+      Ty.Index;
+      Ty.memref [ 4; 5 ] Ty.F64;
+      Ty.memref [ 200 ] Ty.F32;
+      Ty.memref [] Ty.F64;
+      Ty.Stream_readable Ty.F64;
+      Ty.Stream_writable Ty.F32;
+      Ty.Int_reg None;
+      Ty.Int_reg (Some "t0");
+      Ty.Float_reg (Some "ft3");
+    ]
+
+let test_parse_attrs () =
+  let roundtrip attrs =
+    let op = Ir.Op.create ~attrs ~results:[] "test.mk" [] in
+    let text = Printer.to_string op in
+    let op2 = Parser.parse_string text in
+    List.for_all
+      (fun (k, v) ->
+        match Ir.Op.attr op2 k with Some v2 -> Attr.equal v v2 | None -> false)
+      attrs
+  in
+  Alcotest.(check bool) "scalar attrs" true
+    (roundtrip
+       [
+         ("a", Attr.Int 42);
+         ("b", Attr.Float 1.5);
+         ("c", Attr.Str "hello world");
+         ("d", Attr.Bool true);
+         ("e", Attr.Int (-7));
+         ("f", Attr.Float (-2.25));
+       ]);
+  Alcotest.(check bool) "composite attrs" true
+    (roundtrip
+       [
+         ("arr", Attr.int_arr [ 1; 200; 5 ]);
+         ("iters", Attr.Iterators [ Attr.Parallel; Attr.Reduction; Attr.Interleaved ]);
+         ( "map",
+           Attr.Affine_map
+             (Affine.make ~num_dims:3 ~num_syms:0
+                [ Affine.(add (mul (dim 0) (const 5)) (dim 2)) ]) );
+         ("sp", Attr.Stride_pattern { ub = [ 200; 5 ]; strides = [ 8; 0 ] });
+         ( "ip",
+           Attr.Index_pattern
+             { ip_ub = [ 1; 200; 5 ]; ip_map = Affine.identity 3 } );
+         ("ty", Attr.Ty (Ty.memref [ 5; 200 ] Ty.F64));
+         ("fty", Attr.Ty (Ty.Func_ty ([ Ty.F64 ], [])));
+       ])
+
+let test_walk_collect () =
+  let m = build_simple_fn () in
+  let loads = Ir.collect m (fun op -> Ir.Op.name op = Memref.load_op) in
+  Alcotest.(check int) "one load" 1 (List.length loads);
+  let all = Ir.collect m (fun _ -> true) in
+  Alcotest.(check bool) "walk sees nested ops" true (List.length all > 6)
+
+let test_rewriter_fixpoint () =
+  let m = build_simple_fn () in
+  (* Fold (mulf x x) -> x just to exercise the driver (not semantically
+     meaningful). *)
+  let n =
+    Rewriter.rewrite_greedy m
+      [
+        Rewriter.pattern "collapse-mulf" (fun _b op ->
+            if Ir.Op.name op = Arith.mulf_op then begin
+              Rewriter.replace_op op [ Ir.Op.operand op 0 ];
+              Rewriter.Applied
+            end
+            else Rewriter.Declined);
+      ]
+  in
+  Alcotest.(check int) "one rewrite" 1 n;
+  Alcotest.(check int) "no mulf left" 0
+    (List.length (Ir.collect m (fun op -> Ir.Op.name op = Arith.mulf_op)))
+
+(* Property: a randomly generated straight-line arith program verifies,
+   prints, parses back and reprints identically. *)
+let gen_program =
+  let open QCheck.Gen in
+  list_size (int_range 1 20) (int_bound 4) >|= fun choices ->
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"rand" ~args:[ Ty.F64; Ty.F64 ] ~results:[] in
+  let bb = Builder.at_end entry in
+  let vals = ref [ Ir.Block.arg entry 0; Ir.Block.arg entry 1 ] in
+  List.iteri
+    (fun i c ->
+      let pick k = List.nth !vals (k mod List.length !vals) in
+      let v =
+        match c with
+        | 0 -> Arith.addf bb (pick i) (pick (i + 1))
+        | 1 -> Arith.mulf bb (pick (i * 3)) (pick i)
+        | 2 -> Arith.subf bb (pick i) (pick (2 * i))
+        | 3 -> Arith.maxf bb (pick i) (pick (i + 2))
+        | _ -> Arith.const_float bb (float_of_int i)
+      in
+      vals := v :: !vals)
+    choices;
+  Func.return_ bb [];
+  m
+
+let arb_program =
+  QCheck.make ~print:(fun m -> Printer.to_string m) gen_program
+
+let prop_random_program_verifies =
+  QCheck.Test.make ~name:"random straight-line program verifies" ~count:50
+    arb_program (fun m ->
+      match Verifier.verify m with () -> true | exception _ -> false)
+
+let prop_roundtrip_stable =
+  QCheck.Test.make ~name:"print/parse/print is stable" ~count:50 arb_program
+    (fun m ->
+      let t1 = Printer.to_string m in
+      let m2 = Parser.parse_string t1 in
+      String.equal t1 (Printer.to_string m2))
+
+let suite =
+  [
+    ( "ir",
+      [
+        Alcotest.test_case "build and verify" `Quick test_build_and_verify;
+        Alcotest.test_case "use lists" `Quick test_use_lists;
+        Alcotest.test_case "replace all uses" `Quick test_replace_all_uses;
+        Alcotest.test_case "erase requires no uses" `Quick test_erase_requires_no_uses;
+        Alcotest.test_case "op order" `Quick test_op_order_helpers;
+        Alcotest.test_case "insertion positions" `Quick test_insert_positions;
+        Alcotest.test_case "verifier: dominance" `Quick test_verifier_catches_dominance;
+        Alcotest.test_case "verifier: yield arity" `Quick test_verifier_catches_bad_yield_arity;
+        Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+        Alcotest.test_case "parse rejects undefined value" `Quick test_parse_rejects_undefined_value;
+        Alcotest.test_case "type roundtrip" `Quick test_parse_types;
+        Alcotest.test_case "attr roundtrip" `Quick test_parse_attrs;
+        Alcotest.test_case "walk/collect" `Quick test_walk_collect;
+        Alcotest.test_case "rewriter fixpoint" `Quick test_rewriter_fixpoint;
+        QCheck_alcotest.to_alcotest prop_random_program_verifies;
+        QCheck_alcotest.to_alcotest prop_roundtrip_stable;
+      ] );
+  ]

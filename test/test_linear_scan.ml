@@ -1,0 +1,169 @@
+(* Tests for the classical linear-scan allocator with spilling — the
+   paper's implicit comparator (§3.3) — including correctness of spill
+   code under forced pressure and the spilling-cost measurement that
+   motivates the spill-free design. *)
+
+open Mlc_regalloc
+open Mlc_transforms
+
+let lscan ?int_pool ?float_pool fn =
+  (Linear_scan.allocate_func ?int_pool ?float_pool fn).Linear_scan.report
+
+let run_baseline ?int_pool ?float_pool spec =
+  Mlc.Runner.run ~flags:Pipeline.baseline
+    ~allocator:(lscan ?int_pool ?float_pool)
+    spec
+
+let test_correct_without_pressure () =
+  let spec = Mlc_kernels.Builders.matmul ~n:2 ~m:4 ~k:3 () in
+  let r = run_baseline spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "linear scan output correct (|err| %g)" r.Mlc.Runner.max_abs_err)
+    true
+    (r.Mlc.Runner.max_abs_err < 1e-12)
+
+let test_correct_across_kernels () =
+  List.iter
+    (fun spec ->
+      let r = run_baseline spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s correct under linear scan"
+           spec.Mlc_kernels.Builders.kernel_name)
+        true
+        (r.Mlc.Runner.max_abs_err < 1e-10))
+    [
+      Mlc_kernels.Builders.sum ~n:4 ~m:6 ();
+      Mlc_kernels.Builders.relu ~n:4 ~m:6 ();
+      Mlc_kernels.Builders.max_pool ~n:3 ~m:3 ();
+      Mlc_kernels.Builders.conv3x3 ~n:3 ~m:4 ();
+      Mlc_kernels.Builders.matmul_t ~n:3 ~m:4 ~k:5 ();
+    ]
+
+(* Shrink the FP pool until spilling must happen; the result must remain
+   correct and the spill counters must report it. *)
+let test_forced_spilling_is_correct () =
+  let small_float_pool = [ "ft3"; "ft4" ] in
+  let spec = Mlc_kernels.Builders.conv3x3 ~n:3 ~m:4 () in
+  let spilled = ref (-1) in
+  let allocator fn =
+    let r = Linear_scan.allocate_func ~float_pool:small_float_pool fn in
+    spilled := max !spilled r.Linear_scan.spilled_classes;
+    r.Linear_scan.report
+  in
+  let r = Mlc.Runner.run ~flags:Pipeline.baseline ~allocator spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "correct with forced spills (|err| %g, %d spilled)"
+       r.Mlc.Runner.max_abs_err !spilled)
+    true
+    (r.Mlc.Runner.max_abs_err < 1e-10);
+  Alcotest.(check bool) "spilling actually occurred" true (!spilled > 0);
+  (* Spill traffic shows up as extra memory operations. *)
+  let baseline = run_baseline spec in
+  let traffic m = m.Mlc.Runner.loads + m.Mlc.Runner.stores in
+  Alcotest.(check bool)
+    (Printf.sprintf "spills add memory traffic (%d vs %d)"
+       (traffic r.Mlc.Runner.metrics) (traffic baseline.Mlc.Runner.metrics))
+    true
+    (traffic r.Mlc.Runner.metrics > traffic baseline.Mlc.Runner.metrics)
+
+(* The paper's argument, measured: spilling costs cycles. *)
+let test_spilling_costs_cycles () =
+  let spec () = Mlc_kernels.Builders.conv3x3 ~n:4 ~m:4 () in
+  let free = run_baseline (spec ()) in
+  let tight =
+    Mlc.Runner.run ~flags:Pipeline.baseline
+      ~allocator:(lscan ~float_pool:[ "ft3"; "ft4" ])
+      (spec ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "spilling is slower (%d vs %d cycles)"
+       tight.Mlc.Runner.metrics.cycles free.Mlc.Runner.metrics.cycles)
+    true
+    (tight.Mlc.Runner.metrics.cycles > free.Mlc.Runner.metrics.cycles)
+
+let test_rejects_streaming_kernels () =
+  let spec = Mlc_kernels.Builders.sum ~n:4 ~m:4 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Mlc_ir.Pass.run m (Pipeline.passes Pipeline.ours);
+  let fn =
+    List.hd
+      (Mlc_ir.Ir.collect m (fun op ->
+           Mlc_ir.Ir.Op.name op = Mlc_riscv.Rv_func.func_op))
+  in
+  Alcotest.(check bool) "streaming kernels rejected" true
+    (match Linear_scan.allocate_func fn with
+    | exception Linear_scan.Cannot_spill _ -> true
+    | _ -> false)
+
+let test_pools_respected () =
+  let spec = Mlc_kernels.Builders.matmul ~n:2 ~m:4 ~k:4 () in
+  let int_pool = [ "t0"; "t1"; "t2"; "t3"; "a3"; "a4"; "a5"; "a6"; "a7" ] in
+  let allocator fn =
+    let r = Linear_scan.allocate_func ~int_pool fn in
+    (* Every allocated integer register must come from the pool, the
+       scratch set, or a precolored argument. *)
+    List.iter
+      (fun reg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s within pool/scratch/args" reg)
+          true
+          (List.mem reg int_pool
+          || List.mem reg [ "t4"; "t5"; "t6" ]
+          || List.mem reg Mlc_riscv.Reg.int_arg_regs
+          || reg = "sp" || reg = "zero"))
+      r.Linear_scan.report.Allocator.int_regs;
+    r.Linear_scan.report
+  in
+  let r = Mlc.Runner.run ~flags:Pipeline.baseline ~allocator spec in
+  Alcotest.(check bool) "correct" true (r.Mlc.Runner.max_abs_err < 1e-12)
+
+(* Property: under any FP pool size that the unspillable values permit,
+   linear scan produces correct code (spilling as needed). *)
+let prop_random_pool_sizes =
+  QCheck.Test.make ~name:"linear scan correct under random pool sizes"
+    ~count:12
+    (QCheck.make
+       ~print:(fun (p, n, m) -> Printf.sprintf "pool=%d shape=%dx%d" p n m)
+       QCheck.Gen.(triple (int_range 2 17) (int_range 1 4) (int_range 1 6)))
+    (fun (pool_size, n, m) ->
+      let float_pool =
+        List.filteri (fun i _ -> i < pool_size) Mlc_riscv.Reg.float_pool
+      in
+      let spec = Mlc_kernels.Builders.conv3x3 ~n ~m () in
+      match
+        Mlc.Runner.run ~flags:Pipeline.baseline
+          ~allocator:(lscan ~float_pool)
+          spec
+      with
+      | r -> r.Mlc.Runner.max_abs_err < 1e-10
+      | exception Linear_scan.Cannot_spill _ ->
+        (* Acceptable: pressure hit an unspillable value. *)
+        true)
+
+(* Property: the structured allocator + rematerialisation either
+   allocates correctly or reports honest failure — never wrong code. *)
+let prop_remat_random_kernels =
+  QCheck.Test.make ~name:"remat allocation correct on random shapes" ~count:12
+    (QCheck.make
+       ~print:(fun (n, m, k) -> Printf.sprintf "%dx%dx%d" n m k)
+       QCheck.Gen.(triple (int_range 1 4) (int_range 1 8) (int_range 1 12)))
+    (fun (n, m, k) ->
+      let spec = Mlc_kernels.Builders.matmul_t ~n ~m ~k () in
+      match Mlc.Runner.run ~flags:Pipeline.clang spec with
+      | r -> r.Mlc.Runner.max_abs_err < 1e-10
+      | exception Mlc_regalloc.Remat.Still_out_of_registers _ -> true)
+
+let suite =
+  [
+    ( "linear_scan",
+      [
+        Alcotest.test_case "correct without pressure" `Quick test_correct_without_pressure;
+        Alcotest.test_case "correct across kernels" `Quick test_correct_across_kernels;
+        Alcotest.test_case "forced spilling correct" `Quick test_forced_spilling_is_correct;
+        Alcotest.test_case "spilling costs cycles" `Quick test_spilling_costs_cycles;
+        Alcotest.test_case "rejects streaming" `Quick test_rejects_streaming_kernels;
+        Alcotest.test_case "pools respected" `Quick test_pools_respected;
+        QCheck_alcotest.to_alcotest prop_random_pool_sizes;
+        QCheck_alcotest.to_alcotest prop_remat_random_kernels;
+      ] );
+  ]

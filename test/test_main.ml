@@ -1,0 +1,9 @@
+(* Test-suite entry point: aggregates per-module suites into one alcotest
+   run so that `dune runtest` exercises everything. *)
+
+let () =
+  Alcotest.run "snitch_mlc"
+    (Test_affine.suite @ Test_ir.suite @ Test_dialects.suite
+   @ Test_interp.suite @ Test_sim.suite @ Test_transforms.suite
+   @ Test_regalloc.suite @ Test_linear_scan.suite @ Test_pipeline.suite
+   @ Test_lowlevel.suite @ Test_extra.suite @ Test_regcheck.suite)

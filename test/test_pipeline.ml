@@ -1,0 +1,284 @@
+(* End-to-end differential tests: for every kernel, pipeline
+   configuration and a range of shapes, the simulator output of the
+   compiled code must match the reference interpreter (within FP
+   reassociation tolerance — the compiler fuses mul+add into fmadd and
+   the baselines do not, so bit equality is not expected).
+
+   These are the repository's strongest correctness guarantee: they
+   exercise the whole stack (lowering, register allocation, emission,
+   assembler, simulator) at once. *)
+
+open Mlc_transforms
+
+let tolerance (spec : Mlc_kernels.Builders.spec) =
+  (* Scale with reduction length; generous but far below any real bug. *)
+  let flops = float_of_int spec.Mlc_kernels.Builders.flops in
+  1e-12 *. Float.max 1.0 flops
+
+let check_run ?(flags = Pipeline.ours) name spec =
+  let r = Mlc.Runner.run ~flags spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |err| %g within tolerance" name r.Mlc.Runner.max_abs_err)
+    true
+    (r.Mlc.Runner.max_abs_err <= tolerance spec);
+  r
+
+let flows =
+  [ ("ours", Pipeline.ours); ("mlir", Pipeline.mlir); ("clang", Pipeline.clang) ]
+
+(* One named test case per (kernel, flow) pair. *)
+let kernel_flow_cases =
+  List.concat_map
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      List.map
+        (fun (fname, flags) ->
+          let name =
+            Printf.sprintf "%s via %s" e.Mlc_kernels.Registry.name fname
+          in
+          Alcotest.test_case name `Quick (fun () ->
+              let spec = e.Mlc_kernels.Registry.instantiate ~n:4 ~m:8 ~k:4 () in
+              ignore (check_run ~flags name spec)))
+        flows)
+    Mlc_kernels.Registry.table1
+
+(* One named test case per Table 3 ablation stage. *)
+let ablation_stage_cases =
+  List.map
+    (fun (stage, flags) ->
+      Alcotest.test_case (Printf.sprintf "ablation %s" stage) `Quick (fun () ->
+          let spec = Mlc_kernels.Builders.matmul ~n:2 ~m:5 ~k:12 () in
+          ignore (check_run ~flags stage spec)))
+    Pipeline.ablation_stages
+
+(* One named test case per matmul shape. *)
+let matmul_shape_cases =
+  List.map
+    (fun (n, m, k) ->
+      let name = Printf.sprintf "matmul %dx%dx%d" n m k in
+      Alcotest.test_case name `Quick (fun () ->
+          ignore (check_run name (Mlc_kernels.Builders.matmul ~n ~m ~k ()))))
+    [ (1, 1, 1); (1, 5, 200); (3, 7, 5); (8, 8, 8); (2, 16, 32); (5, 3, 2) ]
+
+(* One named test case per window-kernel shape. *)
+let window_shape_cases =
+  List.concat_map
+    (fun (n, m) ->
+      List.map
+        (fun (kname, mk) ->
+          let name = Printf.sprintf "%s %dx%d" kname n m in
+          Alcotest.test_case name `Quick (fun () ->
+              ignore (check_run name (mk ~n ~m ()))))
+        [
+          ("conv", fun ~n ~m () -> Mlc_kernels.Builders.conv3x3 ~n ~m ());
+          ("max_pool", fun ~n ~m () -> Mlc_kernels.Builders.max_pool ~n ~m ());
+          ("sum_pool", fun ~n ~m () -> Mlc_kernels.Builders.sum_pool ~n ~m ());
+        ])
+    [ (1, 1); (4, 4); (3, 5); (8, 12) ]
+
+let test_parallel_kernels_reach_high_utilization () =
+  (* Paper Figure 10: Sum / Fill / ReLU approach 100% as sizes grow. *)
+  List.iter
+    (fun spec ->
+      let r = check_run spec.Mlc_kernels.Builders.kernel_name spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s util %.1f%% > 85%%"
+           spec.Mlc_kernels.Builders.kernel_name r.Mlc.Runner.metrics.fpu_util)
+        true
+        (r.Mlc.Runner.metrics.fpu_util > 85.0))
+    [
+      Mlc_kernels.Builders.fill ~n:32 ~m:32 ();
+      Mlc_kernels.Builders.sum ~n:32 ~m:32 ();
+      Mlc_kernels.Builders.relu ~n:32 ~m:32 ();
+    ]
+
+let test_reduction_kernels_in_paper_band () =
+  (* Paper §4.4: reduction kernels stay within 70-80%+ as width grows. *)
+  List.iter
+    (fun (name, spec, lo) ->
+      let r = check_run name spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s util %.1f%% >= %.0f%%" name r.Mlc.Runner.metrics.fpu_util lo)
+        true
+        (r.Mlc.Runner.metrics.fpu_util >= lo))
+    [
+      ("conv", Mlc_kernels.Builders.conv3x3 ~n:16 ~m:16 (), 70.0);
+      ("max_pool", Mlc_kernels.Builders.max_pool ~n:16 ~m:16 (), 70.0);
+      ("matmul", Mlc_kernels.Builders.matmul ~n:8 ~m:16 ~k:16 (), 80.0);
+    ]
+
+let test_ours_beats_baselines () =
+  (* Figure 10's headline: the multi-level backend dominates both
+     baseline flows on every kernel. *)
+  List.iter
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      let cycles flags =
+        let spec = e.Mlc_kernels.Registry.instantiate ~n:8 ~m:8 ~k:8 () in
+        (Mlc.Runner.run ~flags spec).Mlc.Runner.metrics.cycles
+      in
+      let ours = cycles Pipeline.ours in
+      let mlir = cycles Pipeline.mlir in
+      let clang = cycles Pipeline.clang in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: ours %d < mlir %d and clang %d"
+           e.Mlc_kernels.Registry.name ours mlir clang)
+        true
+        (ours < mlir && ours < clang))
+    Mlc_kernels.Registry.table1
+
+let test_ablation_is_monotone_on_cycles () =
+  (* Each Table 3 stage must not be slower than the previous one (modulo
+     a small tolerance for the FRep/Fuse-Fill plateau). *)
+  let cycles =
+    List.map
+      (fun (_, flags) ->
+        let spec = Mlc_kernels.Builders.matmul ~n:1 ~m:5 ~k:200 () in
+        (Mlc.Runner.run ~flags spec).Mlc.Runner.metrics.cycles)
+      Pipeline.ablation_stages
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stage does not regress (%d -> %d)" a b)
+        true
+        (b <= a + (a / 20));
+      check rest
+    | _ -> ()
+  in
+  check cycles
+
+let test_table3_memory_ops_eliminated () =
+  (* The signature Table 3 columns: loads 3000 -> 1000 -> 5 -> 5 -> 0 -> 0. *)
+  let loads_stores =
+    List.map
+      (fun (_, flags) ->
+        let spec = Mlc_kernels.Builders.matmul ~n:1 ~m:5 ~k:200 () in
+        let r = Mlc.Runner.run ~flags spec in
+        (r.Mlc.Runner.metrics.loads, r.Mlc.Runner.metrics.stores))
+      Pipeline.ablation_stages
+  in
+  Alcotest.(check (list (pair int int)))
+    "dynamic memory operations per stage"
+    [ (3000, 1005); (1000, 1000); (5, 5); (5, 5); (0, 0); (0, 0) ]
+    loads_stores
+
+let test_fp32_scalar_pipeline () =
+  (* The compiler pipeline also handles f32 kernels (scalar fadd.s /
+     flw). Tolerance scales for single precision. *)
+  List.iter
+    (fun spec ->
+      let r = Mlc.Runner.run spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s f32: |err| %g" spec.Mlc_kernels.Builders.kernel_name
+           r.Mlc.Runner.max_abs_err)
+        true
+        (r.Mlc.Runner.max_abs_err
+        <= 1e-4 *. Float.max 1.0 (float_of_int spec.Mlc_kernels.Builders.flops)))
+    [
+      Mlc_kernels.Builders.sum ~elem:Mlc_ir.Ty.F32 ~n:4 ~m:4 ();
+      Mlc_kernels.Builders.relu ~elem:Mlc_ir.Ty.F32 ~n:4 ~m:4 ();
+      Mlc_kernels.Builders.matmul ~elem:Mlc_ir.Ty.F32 ~n:2 ~m:4 ~k:6 ();
+      Mlc_kernels.Builders.max_pool ~elem:Mlc_ir.Ty.F32 ~n:3 ~m:4 ();
+    ]
+
+(* Paper Table 2 samples four shape sizes per kernel and reports one
+   register count: the counts must be shape-invariant. *)
+let test_register_counts_shape_invariant () =
+  List.iter
+    (fun (name, shapes) ->
+      let counts =
+        List.map
+          (fun (n, m, k) ->
+            let e = Option.get (Mlc_kernels.Registry.by_short_name name) in
+            let spec = e.Mlc_kernels.Registry.instantiate ~n ~m ~k () in
+            let r = Mlc.Runner.run spec in
+            let rep = Option.get r.Mlc.Runner.report in
+            (rep.Mlc_regalloc.Allocator.fp_count,
+             rep.Mlc_regalloc.Allocator.int_count))
+          shapes
+      in
+      match counts with
+      | first :: rest ->
+        List.iter
+          (fun c ->
+            Alcotest.(check (pair int int))
+              (Printf.sprintf "%s: register counts shape-invariant" name)
+              first c)
+          rest
+      | [] -> ())
+    [
+      ("sum", [ (4, 4, 0); (8, 8, 0); (16, 4, 0); (4, 32, 0) ]);
+      ("relu", [ (4, 4, 0); (8, 8, 0); (16, 4, 0); (4, 32, 0) ]);
+      ("fill", [ (4, 4, 0); (8, 8, 0); (16, 4, 0); (4, 32, 0) ]);
+      (* Same interleave factor across shapes (the unroll factor — and
+         with it the accumulator count — legitimately tracks the width). *)
+      ("sum_pool", [ (4, 4, 0); (8, 4, 0); (12, 4, 0); (16, 4, 0) ]);
+    ]
+
+let test_determinism () =
+  let run () =
+    let spec = Mlc_kernels.Builders.matmul ~n:2 ~m:4 ~k:8 () in
+    let r = Mlc.Runner.run spec in
+    (r.Mlc.Runner.metrics.cycles, r.Mlc.Runner.asm)
+  in
+  let c1, a1 = run () in
+  let c2, a2 = run () in
+  Alcotest.(check int) "cycle counts deterministic" c1 c2;
+  Alcotest.(check string) "assembly deterministic" a1 a2
+
+(* Property: random shapes stay correct end-to-end. *)
+let arb_shape =
+  QCheck.make
+    ~print:(fun (n, m, k) -> Printf.sprintf "%dx%dx%d" n m k)
+    QCheck.Gen.(triple (int_range 1 6) (int_range 1 12) (int_range 1 24))
+
+let prop_matmul_random_shapes =
+  QCheck.Test.make ~name:"matmul correct on random shapes" ~count:15 arb_shape
+    (fun (n, m, k) ->
+      let spec = Mlc_kernels.Builders.matmul ~n ~m ~k () in
+      let r = Mlc.Runner.run spec in
+      r.Mlc.Runner.max_abs_err <= tolerance spec)
+
+let prop_conv_random_shapes =
+  QCheck.Test.make ~name:"conv3x3 correct on random shapes" ~count:10
+    (QCheck.make
+       ~print:(fun (n, m) -> Printf.sprintf "%dx%d" n m)
+       QCheck.Gen.(pair (int_range 1 10) (int_range 1 10)))
+    (fun (n, m) ->
+      let spec = Mlc_kernels.Builders.conv3x3 ~n ~m () in
+      let r = Mlc.Runner.run spec in
+      r.Mlc.Runner.max_abs_err <= tolerance spec)
+
+let prop_sum_random_shapes =
+  QCheck.Test.make ~name:"sum correct on random shapes" ~count:15
+    (QCheck.make
+       ~print:(fun (n, m) -> Printf.sprintf "%dx%d" n m)
+       QCheck.Gen.(pair (int_range 1 16) (int_range 1 16)))
+    (fun (n, m) ->
+      let spec = Mlc_kernels.Builders.sum ~n ~m () in
+      let r = Mlc.Runner.run spec in
+      r.Mlc.Runner.max_abs_err = 0.0)
+
+let suite =
+  [
+    ("pipeline: kernel x flow", kernel_flow_cases);
+    ("pipeline: ablation stages", ablation_stage_cases);
+    ("pipeline: matmul shapes", matmul_shape_cases);
+    ("pipeline: window-kernel shapes", window_shape_cases);
+    ( "pipeline",
+      [
+        Alcotest.test_case "parallel kernels ~100%" `Quick
+          test_parallel_kernels_reach_high_utilization;
+        Alcotest.test_case "reduction kernels 70-80%+" `Quick
+          test_reduction_kernels_in_paper_band;
+        Alcotest.test_case "ours beats baselines" `Slow test_ours_beats_baselines;
+        Alcotest.test_case "ablation monotone" `Slow test_ablation_is_monotone_on_cycles;
+        Alcotest.test_case "Table 3 memory ops" `Slow test_table3_memory_ops_eliminated;
+        Alcotest.test_case "f32 scalar pipeline" `Quick test_fp32_scalar_pipeline;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "Table 2 shape invariance" `Slow
+          test_register_counts_shape_invariant;
+        QCheck_alcotest.to_alcotest prop_matmul_random_shapes;
+        QCheck_alcotest.to_alcotest prop_conv_random_shapes;
+        QCheck_alcotest.to_alcotest prop_sum_random_shapes;
+      ] );
+  ]

@@ -1,0 +1,264 @@
+(* Tests for the multi-level spill-free register allocator (paper §3.3)
+   and the rematerialisation fallback. *)
+
+open Mlc_ir
+open Mlc_riscv
+open Mlc_regalloc
+
+let fresh_rv_fn args f =
+  let m = Mlc_dialects.Builtin.create_module () in
+  let b = Builder.at_end (Mlc_dialects.Builtin.module_body m) in
+  let fn, entry = Rv_func.func b ~name:"k" ~args in
+  let bb = Builder.at_end entry in
+  f bb (Ir.Block.args entry);
+  Rv_func.return_ bb [];
+  (m, fn)
+
+let reg v = Option.get (match Ir.Value.ty v with
+  | Ty.Int_reg r | Ty.Float_reg r -> r
+  | _ -> None)
+
+let test_straight_line () =
+  let m, fn =
+    fresh_rv_fn [ Reg.Int_kind ] (fun bb args ->
+        let base = List.hd args in
+        let x = Rv.fload bb Rv.fld_op base in
+        let y = Rv.fload bb Rv.fld_op ~offset:8 base in
+        let s = Rv.fbinary bb Rv.fadd_d_op x y in
+        Rv.fstore bb Rv.fsd_op ~offset:16 s base)
+  in
+  let report = Allocator.allocate_func fn in
+  Verifier.verify m;
+  Alcotest.(check bool) "few FP registers" true (report.Allocator.fp_count <= 3);
+  Alcotest.(check int) "one integer register (a0)" 1 report.Allocator.int_count
+
+let test_reuse_after_death () =
+  (* A long chain of single-use values reuses one register. *)
+  let _, fn =
+    fresh_rv_fn [] (fun bb _ ->
+        let v = ref (Rv.li bb 1) in
+        for _ = 1 to 30 do
+          v := Rv.addi bb !v 1
+        done;
+        ignore (Rv.mv bb !v))
+  in
+  let report = Allocator.allocate_func fn in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain fits in 2 registers (used %d)" report.Allocator.int_count)
+    true
+    (report.Allocator.int_count <= 2)
+
+let test_exclusion_of_preallocated () =
+  (* A value pre-pinned to t0 excludes t0 from the pool. *)
+  let _, fn =
+    fresh_rv_fn [] (fun bb _ ->
+        let pinned = Rv.get_register bb "t0" in
+        let a = Rv.li bb 5 in
+        let b = Rv.add bb a pinned in
+        ignore (Rv.add bb b pinned))
+  in
+  ignore (Allocator.allocate_func fn);
+  let clashes = ref 0 in
+  Ir.walk fn (fun op ->
+      List.iter
+        (fun v ->
+          match Ir.Value.ty v with
+          | Ty.Int_reg (Some "t0")
+            when Ir.Value.defining_op v <> None
+                 && Ir.Op.name (Option.get (Ir.Value.defining_op v))
+                    <> Rv.get_register_op ->
+            incr clashes
+          | _ -> ())
+        (Ir.Op.results op));
+  Alcotest.(check int) "t0 never reassigned" 0 !clashes
+
+let test_loop_unification () =
+  let _, fn =
+    fresh_rv_fn [] (fun bb _ ->
+        let lb = Rv.li bb 0 in
+        let ub = Rv.li bb 10 in
+        let zero = Rv.fcvt_d_w bb (Rv.get_register bb "zero") in
+        let init = Rv.fmv_d bb zero in
+        let loop =
+          Rv_scf.for_ bb ~lb ~ub ~iter_args:[ init ] (fun fb _iv iters ->
+              [ Rv.fbinary fb Rv.fadd_d_op (List.hd iters) (List.hd iters) ])
+        in
+        ignore (Rv.fmv_d bb (Ir.Op.result loop 0)))
+  in
+  ignore (Allocator.allocate_func fn);
+  let loop = List.hd (Ir.collect fn (fun op -> Ir.Op.name op = Rv_scf.for_op)) in
+  let r_init = reg (List.hd (Rv_scf.iter_operands loop)) in
+  let r_arg = reg (List.hd (Rv_scf.iter_args loop)) in
+  let r_res = reg (Ir.Op.result loop 0) in
+  let r_yield = reg (Ir.Op.operand (Rv_scf.yield_of loop) 0) in
+  Alcotest.(check string) "init = arg" r_init r_arg;
+  Alcotest.(check string) "arg = result" r_arg r_res;
+  Alcotest.(check string) "result = yield" r_res r_yield
+
+let test_accumulator_not_clobbered_in_loop_body () =
+  (* Regression for the pinning bug: a value allocated inside the body
+     must not steal the loop-carried accumulator's register. *)
+  let _, fn =
+    fresh_rv_fn [ Reg.Int_kind ] (fun bb args ->
+        let base = List.hd args in
+        let lb = Rv.li bb 0 in
+        let ub = Rv.li bb 10 in
+        let zero = Rv.fcvt_d_w bb (Rv.get_register bb "zero") in
+        let init = Rv.fmv_d bb zero in
+        let loop =
+          Rv_scf.for_ bb ~lb ~ub ~iter_args:[ init ] (fun fb _iv iters ->
+              let acc = List.hd iters in
+              let x = Rv.fload fb Rv.fld_op base in
+              [ Rv.fternary fb Rv.fmadd_d_op x x acc ])
+        in
+        Rv.fstore bb Rv.fsd_op (Ir.Op.result loop 0) base)
+  in
+  ignore (Allocator.allocate_func fn);
+  let loop = List.hd (Ir.collect fn (fun op -> Ir.Op.name op = Rv_scf.for_op)) in
+  let acc_reg = reg (List.hd (Rv_scf.iter_args loop)) in
+  let load =
+    List.hd (Ir.collect fn (fun op -> Ir.Op.name op = Rv.fld_op))
+  in
+  Alcotest.(check bool) "loaded value keeps its own register" true
+    (reg (Ir.Op.result load 0) <> acc_reg)
+
+let test_stream_read_pinning () =
+  let _, fn =
+    fresh_rv_fn [ Reg.Int_kind ] (fun bb args ->
+        let ptr = List.hd args in
+        ignore
+          (Snitch_stream.streaming_region bb
+             ~patterns:[ { Attr.ub = [ 8 ]; strides = [ 8 ] } ]
+             ~ins:[ ptr ] ~outs:[] (fun ib streams ->
+               let s = List.hd streams in
+               let v1 = Rv_snitch.read ib s in
+               let v2 = Rv_snitch.read ib s in
+               ignore (Rv.fbinary ib Rv.fadd_d_op v1 v2))))
+  in
+  Mlc_ir.Pass.run fn
+    [ Mlc_transforms.Lower_snitch_stream.pass ];
+  ignore (Allocator.allocate_func fn);
+  let read = List.hd (Ir.collect fn (fun op -> Ir.Op.name op = Rv_snitch.read_op)) in
+  Alcotest.(check string) "read result pinned to the SSR data register" "ft0"
+    (reg (Ir.Op.result read 0))
+
+let test_out_of_registers_raises () =
+  (* 25 simultaneously-live FP values cannot fit in 20 registers. *)
+  let _, fn =
+    fresh_rv_fn [ Reg.Int_kind ] (fun bb args ->
+        let base = List.hd args in
+        let vs =
+          List.init 25 (fun i -> Rv.fload bb Rv.fld_op ~offset:(8 * i) base)
+        in
+        (* Use them all afterwards so everything is live at once. *)
+        let acc =
+          List.fold_left (fun acc v -> Rv.fbinary bb Rv.fadd_d_op acc v)
+            (List.hd vs) (List.tl vs)
+        in
+        Rv.fstore bb Rv.fsd_op acc base)
+  in
+  Alcotest.(check bool) "raises Out_of_registers, never spills" true
+    (match Allocator.allocate_func fn with
+    | exception Allocator.Out_of_registers Reg.Float_kind -> true
+    | _ -> false)
+
+let test_remat_fallback () =
+  let _, fn =
+    fresh_rv_fn [ Reg.Int_kind ] (fun bb args ->
+        let base = List.hd args in
+        (* 20 distinct constants, each used twice far apart: naive
+           allocation keeps all live; remat duplicates them. *)
+        let consts = List.init 20 (fun i -> Rv.li bb (100 + i)) in
+        List.iter (fun c -> ignore (Rv.add bb base c)) consts;
+        List.iter (fun c -> ignore (Rv.add bb base c)) consts)
+  in
+  let report = Remat.allocate_with_remat fn in
+  Alcotest.(check bool) "fits after rematerialisation" true
+    (report.Allocator.int_count <= 15)
+
+(* The future-work feature (paper §4.3): registers of unused arguments
+   rejoin the pool. The pooling kernels' shape-only window pointer is
+   exactly such an argument. *)
+let test_dead_argument_register_reclaimed () =
+  let _, fn =
+    fresh_rv_fn [ Reg.Int_kind; Reg.Int_kind ] (fun bb args ->
+        (* Second argument (a1) is never used; 14 chained long-lived
+           values need every pool register plus the reclaimed a1. *)
+        ignore (List.nth args 1);
+        let vs = List.init 14 (fun i -> Rv.li bb i) in
+        ignore (List.fold_left (fun acc v -> Rv.add bb acc v) (List.hd vs) (List.tl vs)))
+  in
+  (* All 14 constants live simultaneously at the fold: needs 15 regs with
+     a0 excluded; only succeeds if a1 is reclaimed. *)
+  (match Allocator.allocate_func ~reclaim_dead_args:false fn with
+  | exception Allocator.Out_of_registers _ -> ()
+  | _ -> Alcotest.fail "expected pressure without reclamation");
+  ignore fn
+
+let test_dead_argument_register_reclaimed_positive () =
+  let _, fn =
+    fresh_rv_fn [ Reg.Int_kind; Reg.Int_kind ] (fun bb args ->
+        ignore (List.nth args 1);
+        let vs = List.init 14 (fun i -> Rv.li bb i) in
+        ignore (List.fold_left (fun acc v -> Rv.add bb acc v) (List.hd vs) (List.tl vs)))
+  in
+  let report = Allocator.allocate_func fn in
+  Alcotest.(check bool) "succeeds with reclamation" true
+    (report.Allocator.int_count >= 14)
+
+let test_never_uses_saved_registers () =
+  let spec = Mlc_kernels.Builders.matmul ~n:2 ~m:8 ~k:4 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  let result = Mlc_transforms.Pipeline.compile m in
+  List.iter
+    (fun (_, report) ->
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s is caller-saved" r)
+            false
+            (String.length r >= 2 && r.[0] = 's' && r.[1] <> 'p'))
+        (report.Allocator.int_regs @ report.Allocator.fp_regs))
+    result.Mlc_transforms.Pipeline.reports
+
+(* Paper §4.3 / Table 2: the allocator never exceeds the caller-saved
+   pools across the kernel suite and a range of shapes. *)
+let test_spill_free_across_suite () =
+  List.iter
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      List.iter
+        (fun (n, m, k) ->
+          let spec = e.Mlc_kernels.Registry.instantiate ~n ~m ~k () in
+          let mdl = spec.Mlc_kernels.Builders.build () in
+          let result = Mlc_transforms.Pipeline.compile mdl in
+          List.iter
+            (fun (_, report) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %dx%dx%d within pools" e.Mlc_kernels.Registry.name n m k)
+                true
+                (report.Allocator.fp_count <= 20 && report.Allocator.int_count <= 15))
+            result.Mlc_transforms.Pipeline.reports)
+        [ (4, 4, 4); (8, 16, 8); (16, 8, 16) ])
+    Mlc_kernels.Registry.table1
+
+let suite =
+  [
+    ( "regalloc",
+      [
+        Alcotest.test_case "straight line" `Quick test_straight_line;
+        Alcotest.test_case "reuse after death" `Quick test_reuse_after_death;
+        Alcotest.test_case "exclusion pass" `Quick test_exclusion_of_preallocated;
+        Alcotest.test_case "loop unification" `Quick test_loop_unification;
+        Alcotest.test_case "loop-carried pinning" `Quick
+          test_accumulator_not_clobbered_in_loop_body;
+        Alcotest.test_case "stream read pinning" `Quick test_stream_read_pinning;
+        Alcotest.test_case "out of registers raises" `Quick test_out_of_registers_raises;
+        Alcotest.test_case "remat fallback" `Quick test_remat_fallback;
+        Alcotest.test_case "dead arg reclaimed (negative)" `Quick
+          test_dead_argument_register_reclaimed;
+        Alcotest.test_case "dead arg reclaimed (positive)" `Quick
+          test_dead_argument_register_reclaimed_positive;
+        Alcotest.test_case "no callee-saved registers" `Quick test_never_uses_saved_registers;
+        Alcotest.test_case "spill-free across suite" `Slow test_spill_free_across_suite;
+      ] );
+  ]

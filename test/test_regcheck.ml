@@ -1,0 +1,119 @@
+(* Tests built on the independent allocation checker (Mlc_regalloc.Check):
+   every allocation the compiler produces — across kernels, flows,
+   shapes and both allocators — must pass the overlap oracle, and the
+   oracle itself must catch a seeded violation. *)
+
+open Mlc_ir
+open Mlc_regalloc
+open Mlc_transforms
+
+let compiled_fns flags spec =
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m (Pipeline.passes flags);
+  let fns =
+    Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
+  in
+  List.iter (fun fn -> ignore (Remat.allocate_with_remat fn)) fns;
+  fns
+
+let test_oracle_accepts_suite () =
+  List.iter
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      List.iter
+        (fun flags ->
+          let spec = e.Mlc_kernels.Registry.instantiate ~n:4 ~m:8 ~k:8 () in
+          List.iter
+            (fun fn ->
+              match Check.check_result fn with
+              | Ok () -> ()
+              | Error msg ->
+                Alcotest.failf "%s: allocation overlap: %s"
+                  e.Mlc_kernels.Registry.name msg)
+            (compiled_fns flags spec))
+        [ Pipeline.ours; Pipeline.mlir; Pipeline.clang; Pipeline.baseline ])
+    Mlc_kernels.Registry.table1
+
+let test_oracle_accepts_lowlevel () =
+  List.iter
+    (fun spec ->
+      let m = spec.Mlc_kernels.Lowlevel.build () in
+      Pass.run m
+        [
+          Lower_snitch_stream.pass; Rv_canonicalize.pass;
+          Legalize_stream_writes.pass;
+        ];
+      let fns =
+        Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
+      in
+      List.iter
+        (fun fn ->
+          ignore (Allocator.allocate_func fn);
+          Check.check_func fn)
+        fns)
+    [
+      Mlc_kernels.Lowlevel.sum32 ~n:8 ~m:8 ();
+      Mlc_kernels.Lowlevel.relu32 ~n:8 ~m:8 ();
+      Mlc_kernels.Lowlevel.matmul_t32 ~n:4 ~m:8 ~k:8 ();
+    ]
+
+let test_oracle_accepts_linear_scan () =
+  let spec = Mlc_kernels.Builders.conv3x3 ~n:4 ~m:4 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m (Pipeline.passes Pipeline.baseline);
+  let fn =
+    List.hd (Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv_func.func_op))
+  in
+  ignore (Linear_scan.allocate_func fn);
+  Check.check_func fn
+
+let test_oracle_catches_violation () =
+  (* Seed a genuine double-booking: force two simultaneously-live values
+     into the same register and expect the oracle to object. *)
+  let open Mlc_riscv in
+  let m = Mlc_dialects.Builtin.create_module () in
+  let b = Builder.at_end (Mlc_dialects.Builtin.module_body m) in
+  let _fn, entry = Rv_func.func b ~name:"bad" ~args:[ Reg.Int_kind ] in
+  let bb = Builder.at_end entry in
+  let base = Ir.Block.arg entry 0 in
+  let x = Rv.li bb 1 in
+  let y = Rv.li bb 2 in
+  let s = Rv.add bb x y in
+  Rv.store bb Rv.sd_op s base;
+  Rv_func.return_ bb [];
+  Ir.Value.set_ty x (Ty.Int_reg (Some "t0"));
+  Ir.Value.set_ty y (Ty.Int_reg (Some "t0")) (* overlap: both live at the add *);
+  Ir.Value.set_ty s (Ty.Int_reg (Some "t1"));
+  let fn =
+    List.hd (Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op))
+  in
+  Alcotest.(check bool) "overlap detected" true
+    (match Check.check_func fn with
+    | exception Check.Overlap _ -> true
+    | () -> false)
+
+let prop_oracle_random_shapes =
+  QCheck.Test.make ~name:"allocation oracle over random matmul shapes"
+    ~count:12
+    (QCheck.make
+       ~print:(fun (n, m, k) -> Printf.sprintf "%dx%dx%d" n m k)
+       QCheck.Gen.(triple (int_range 1 5) (int_range 1 10) (int_range 1 16)))
+    (fun (n, m, k) ->
+      let spec = Mlc_kernels.Builders.matmul ~n ~m ~k () in
+      List.for_all
+        (fun fn -> Check.check_result fn = Ok ())
+        (compiled_fns Pipeline.ours spec))
+
+let suite =
+  [
+    ( "regcheck",
+      [
+        Alcotest.test_case "oracle accepts the suite" `Slow test_oracle_accepts_suite;
+        Alcotest.test_case "oracle accepts handwritten kernels" `Quick
+          test_oracle_accepts_lowlevel;
+        Alcotest.test_case "oracle accepts linear scan" `Quick
+          test_oracle_accepts_linear_scan;
+        Alcotest.test_case "oracle catches violations" `Quick
+          test_oracle_catches_violation;
+        QCheck_alcotest.to_alcotest prop_oracle_random_shapes;
+      ] );
+  ]

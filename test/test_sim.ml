@@ -1,0 +1,422 @@
+(* Tests for the Snitch simulator: assembler, functional semantics,
+   SSR streaming, FREP, and the timing model's qualitative properties
+   (the properties the paper's evaluation relies on). *)
+
+open Mlc_sim
+
+let run_asm ?(setup = fun (_ : Machine.t) -> ()) asm =
+  let program = Asm_parse.parse asm in
+  let machine = Machine.create () in
+  setup machine;
+  let outcome = Machine.run machine program ~entry:"main" in
+  (machine, outcome)
+
+let check_int = Alcotest.(check int)
+let check_f64 = Alcotest.(check (float 1e-12))
+
+let ireg (m : Machine.t) name = Int64.to_int (Machine.get_ireg m (Asm_parse.xreg name))
+let freg_f64 (m : Machine.t) name =
+  Int64.float_of_bits (Machine.get_freg_raw m (Asm_parse.freg name))
+
+(* --- assembler --- *)
+
+let test_parse_basic () =
+  let p = Asm_parse.parse "main:\n    li t0, 42\n    addi t1, t0, -1 # comment\n    ret\n" in
+  check_int "three instructions" 3 (Array.length p.Asm_parse.insns);
+  check_int "label at 0" 0 (Asm_parse.entry p "main")
+
+let test_parse_memory_operand () =
+  let p = Asm_parse.parse "main:\n    fld ft0, 16(a0)\n    ret" in
+  match p.Asm_parse.insns.(0) with
+  | Insn.Fload (8, 0, 16, 10) -> ()
+  | _ -> Alcotest.fail "fld decoded incorrectly"
+
+let test_parse_rejects_unknown () =
+  Alcotest.(check bool) "unknown mnemonic" true
+    (match Asm_parse.parse "main:\n    bogus t0, t1\n" with
+    | exception Asm_parse.Asm_error _ -> true
+    | _ -> false)
+
+let test_parse_rejects_undefined_label () =
+  Alcotest.(check bool) "undefined label" true
+    (match Asm_parse.parse "main:\n    j nowhere\n" with
+    | exception Asm_parse.Asm_error _ -> true
+    | _ -> false)
+
+let test_parse_hex_immediate () =
+  let p = Asm_parse.parse "main:\n    li t0, 0xbff0000000000000\n    ret" in
+  match p.Asm_parse.insns.(0) with
+  | Insn.Li (5, bits) ->
+    check_f64 "li bit pattern is -1.0" (-1.0) (Int64.float_of_bits bits)
+  | _ -> Alcotest.fail "li decoded incorrectly"
+
+(* --- functional semantics --- *)
+
+let test_integer_arithmetic () =
+  let m, _ =
+    run_asm
+      {|main:
+    li t0, 21
+    li t1, 2
+    mul t2, t0, t1
+    addi t3, t2, -2
+    slli t4, t1, 4
+    sub t5, t4, t1
+    ret|}
+  in
+  check_int "mul" 42 (ireg m "t2");
+  check_int "addi" 40 (ireg m "t3");
+  check_int "slli" 32 (ireg m "t4");
+  check_int "sub" 30 (ireg m "t5")
+
+let test_float_arithmetic () =
+  let m, _ =
+    run_asm
+      {|main:
+    li t0, 0x4008000000000000
+    fmv.d.x ft1, t0
+    li t1, 0x3ff0000000000000
+    fmv.d.x ft2, t1
+    fadd.d ft3, ft1, ft2
+    fmul.d ft4, ft1, ft2
+    fmadd.d ft5, ft1, ft1, ft2
+    fmax.d ft6, ft1, ft2
+    fcvt.d.w ft7, zero
+    ret|}
+  in
+  check_f64 "3+1" 4.0 (freg_f64 m "ft3");
+  check_f64 "3*1" 3.0 (freg_f64 m "ft4");
+  check_f64 "3*3+1" 10.0 (freg_f64 m "ft5");
+  check_f64 "max" 3.0 (freg_f64 m "ft6");
+  check_f64 "cvt zero" 0.0 (freg_f64 m "ft7")
+
+let test_memory_roundtrip () =
+  let m, _ =
+    run_asm
+      ~setup:(fun m -> Machine.set_ireg m 10 (Int64.of_int Mem.tcdm_base))
+      {|main:
+    li t0, 0x400921fb54442d18
+    fmv.d.x ft1, t0
+    fsd ft1, 8(a0)
+    fld ft2, 8(a0)
+    li t1, 7
+    sd t1, 32(a0)
+    ld t2, 32(a0)
+    ret|}
+  in
+  check_f64 "fsd/fld" Float.pi (freg_f64 m "ft2");
+  check_int "sd/ld" 7 (ireg m "t2")
+
+let test_loop_and_branches () =
+  (* Sum 0..9 with a branch loop. *)
+  let m, _ =
+    run_asm
+      {|main:
+    li t0, 0
+    li t1, 0
+    li t2, 10
+.loop:
+    add t1, t1, t0
+    addi t0, t0, 1
+    blt t0, t2, .loop
+    ret|}
+  in
+  check_int "sum 0..9" 45 (ireg m "t1")
+
+let test_packed_simd () =
+  let m, _ =
+    run_asm
+      ~setup:(fun m ->
+        Mem.store_f32 m.Machine.mem Mem.tcdm_base 1.5;
+        Mem.store_f32 m.Machine.mem (Mem.tcdm_base + 4) 2.5;
+        Mem.store_f32 m.Machine.mem (Mem.tcdm_base + 8) 10.0;
+        Mem.store_f32 m.Machine.mem (Mem.tcdm_base + 12) 20.0;
+        Machine.set_ireg m 10 (Int64.of_int Mem.tcdm_base))
+      {|main:
+    fld ft1, 0(a0)
+    fld ft2, 8(a0)
+    vfadd.s ft3, ft1, ft2
+    fcvt.d.w ft4, zero
+    vfmac.s ft4, ft1, ft2
+    fcvt.d.w ft5, zero
+    vfsum.s ft5, ft4
+    vfcpka.s.s ft6, ft1, ft2
+    fsd ft3, 16(a0)
+    ret|}
+  in
+  let lo = Mem.load_f32 m.Machine.mem (Mem.tcdm_base + 16) in
+  let hi = Mem.load_f32 m.Machine.mem (Mem.tcdm_base + 20) in
+  Alcotest.(check (float 1e-6)) "vfadd lo" 11.5 lo;
+  Alcotest.(check (float 1e-6)) "vfadd hi" 22.5 hi;
+  (* vfmac: 1.5*10 + 0 = 15 (lo); 2.5*20 (hi); vfsum: 0 + 15 + 50 = 65 *)
+  Alcotest.(check (float 1e-6)) "vfsum" 65.0
+    (Int32.float_of_bits (Int64.to_int32 (Machine.get_freg_raw m 5)))
+
+(* --- SSR streaming --- *)
+
+let stream_sum_asm n =
+  (* z[i] = x[i] + y[i] over n doubles via three SSRs and FREP. *)
+  Printf.sprintf
+    {|main:
+    li t0, 0
+    scfgwi t0, 8
+    li t0, %d
+    scfgwi t0, 16
+    li t0, 8
+    scfgwi t0, 48
+    scfgwi a0, 192
+    li t0, 0
+    scfgwi t0, 9
+    li t0, %d
+    scfgwi t0, 17
+    li t0, 8
+    scfgwi t0, 49
+    scfgwi a1, 193
+    li t0, 0
+    scfgwi t0, 10
+    li t0, %d
+    scfgwi t0, 18
+    li t0, 8
+    scfgwi t0, 50
+    scfgwi a2, 226
+    csrsi 0x7c0, 1
+    li t1, %d
+    frep.o t1, 1, 0, 0
+    fadd.d ft2, ft0, ft1
+    csrci 0x7c0, 1
+    ret|}
+    (n - 1) (n - 1) (n - 1) (n - 1)
+
+let test_ssr_streaming () =
+  let n = 16 in
+  let base = Mem.tcdm_base in
+  let m, outcome =
+    run_asm
+      ~setup:(fun m ->
+        for i = 0 to n - 1 do
+          Mem.store_f64 m.Machine.mem (base + (8 * i)) (float_of_int i);
+          Mem.store_f64 m.Machine.mem (base + 256 + (8 * i)) (float_of_int (10 * i))
+        done;
+        Machine.set_ireg m 10 (Int64.of_int base);
+        Machine.set_ireg m 11 (Int64.of_int (base + 256));
+        Machine.set_ireg m 12 (Int64.of_int (base + 512)))
+      (stream_sum_asm n)
+  in
+  for i = 0 to n - 1 do
+    check_f64
+      (Printf.sprintf "z[%d]" i)
+      (float_of_int (11 * i))
+      (Mem.load_f64 m.Machine.mem (base + 512 + (8 * i)))
+  done;
+  check_int "no explicit loads" 0 outcome.Machine.perf.Machine.loads;
+  check_int "no explicit stores" 0 outcome.Machine.perf.Machine.stores;
+  check_int "stream reads" (2 * n) outcome.Machine.perf.Machine.stream_reads;
+  check_int "stream writes" n outcome.Machine.perf.Machine.stream_writes;
+  check_int "one frep" 1 outcome.Machine.perf.Machine.freps
+
+let test_ssr_repeat () =
+  (* A 1-element pattern with repeat 3 read four times. *)
+  let base = Mem.tcdm_base in
+  let m, _ =
+    run_asm
+      ~setup:(fun m ->
+        Mem.store_f64 m.Machine.mem base 2.5;
+        Machine.set_ireg m 10 (Int64.of_int base))
+      {|main:
+    li t0, 3
+    scfgwi t0, 8
+    li t0, 0
+    scfgwi t0, 16
+    li t0, 8
+    scfgwi t0, 48
+    scfgwi a0, 192
+    csrsi 0x7c0, 1
+    fcvt.d.w ft3, zero
+    fadd.d ft3, ft3, ft0
+    fadd.d ft3, ft3, ft0
+    fadd.d ft3, ft3, ft0
+    fadd.d ft3, ft3, ft0
+    csrci 0x7c0, 1
+    ret|}
+  in
+  check_f64 "repeat served 4x" 10.0 (freg_f64 m "ft3")
+
+let test_ssr_overrun_detected () =
+  let base = Mem.tcdm_base in
+  Alcotest.(check bool) "stream overrun raises" true
+    (match
+       run_asm
+         ~setup:(fun m -> Machine.set_ireg m 10 (Int64.of_int base))
+         {|main:
+    li t0, 0
+    scfgwi t0, 8
+    li t0, 0
+    scfgwi t0, 16
+    li t0, 8
+    scfgwi t0, 48
+    scfgwi a0, 192
+    csrsi 0x7c0, 1
+    fadd.d ft3, ft0, ft0
+    csrci 0x7c0, 1
+    ret|}
+     with
+    | exception Ssr.Stream_fault _ -> true
+    | _ -> false)
+
+let test_frep_non_fpu_body_rejected () =
+  Alcotest.(check bool) "integer op in frep body" true
+    (match
+       run_asm {|main:
+    li t1, 3
+    frep.o t1, 1, 0, 0
+    addi t2, t1, 1
+    ret|}
+     with
+    | exception Machine.Exec_error _ -> true
+    | _ -> false)
+
+let test_fuel_exhaustion () =
+  Alcotest.(check bool) "infinite loop runs out of fuel" true
+    (match
+       let program = Asm_parse.parse "main:\n    j main\n" in
+       let machine = Machine.create ~fuel:10_000 () in
+       Machine.run machine program ~entry:"main"
+     with
+    | exception Machine.Exec_error _ -> true
+    | _ -> false)
+
+let test_tcdm_bounds () =
+  Alcotest.(check bool) "out-of-TCDM access faults" true
+    (match run_asm {|main:
+    li t0, 64
+    fld ft1, 0(t0)
+    ret|} with
+    | exception Mem.Access_fault _ -> true
+    | _ -> false)
+
+(* --- timing model properties --- *)
+
+let cycles asm =
+  let _, outcome = run_asm asm in
+  outcome.Machine.perf.Machine.cycles
+
+let test_dependent_fp_ops_stall () =
+  (* A chain of dependent fadds pays the 3-cycle latency; independent
+     fadds pipeline at 1/cycle. *)
+  let dep =
+    cycles
+      {|main:
+    fcvt.d.w ft1, zero
+    fadd.d ft1, ft1, ft1
+    fadd.d ft1, ft1, ft1
+    fadd.d ft1, ft1, ft1
+    fadd.d ft1, ft1, ft1
+    ret|}
+  in
+  let indep =
+    cycles
+      {|main:
+    fcvt.d.w ft1, zero
+    fadd.d ft2, ft1, ft1
+    fadd.d ft3, ft1, ft1
+    fadd.d ft4, ft1, ft1
+    fadd.d ft5, ft1, ft1
+    ret|}
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dependent (%d) slower than independent (%d)" dep indep)
+    true
+    (dep >= indep + 5)
+
+let test_frep_decouples_core () =
+  (* With FREP the integer core runs ahead: total should be close to the
+     FP work, not FP work + loop control. *)
+  let n = 64 in
+  let with_frep =
+    cycles
+      (Printf.sprintf
+         {|main:
+    fcvt.d.w ft1, zero
+    fcvt.d.w ft2, zero
+    fcvt.d.w ft3, zero
+    fcvt.d.w ft4, zero
+    li t1, %d
+    frep.o t1, 4, 0, 0
+    fadd.d ft1, ft1, ft1
+    fadd.d ft2, ft2, ft2
+    fadd.d ft3, ft3, ft3
+    fadd.d ft4, ft4, ft4
+    ret|}
+         (n - 1))
+  in
+  (* 4 independent chains, n iterations: ~4n cycles. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "frep runs at ~1 FP op/cycle (%d for %d ops)" with_frep (4 * n))
+    true
+    (with_frep < (4 * n) + 32)
+
+let test_fpu_fifo_bounds_decoupling () =
+  (* A long RAW chain of fadds followed by independent integer work: the
+     core may run ahead of the FPU, but only by the FIFO depth. With 32
+     dependent fadds (3 cycles apart) the FPU finishes around ~100; the
+     integer work after them must not all retire before the FPU drains
+     its backlog below the FIFO bound. *)
+  let chain = String.concat "\n" (List.init 32 (fun _ -> "    fadd.d ft1, ft1, ft1")) in
+  let total =
+    cycles
+      (Printf.sprintf {|main:
+    fcvt.d.w ft1, zero
+%s
+    ret|} chain)
+  in
+  (* 32 dependent fadds: ~3 cycles each. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "RAW chain dominated by FPU latency (%d cycles)" total)
+    true
+    (total >= 90 && total <= 120)
+
+let test_taken_branch_costs_more () =
+  let taken =
+    cycles {|main:
+    li t0, 0
+    li t1, 100
+.l:
+    addi t0, t0, 1
+    blt t0, t1, .l
+    ret|}
+  in
+  (* 100 iterations x (addi 1 + taken branch 2) ~ 300. *)
+  Alcotest.(check bool) (Printf.sprintf "taken branches cost 2 (%d)" taken) true
+    (taken >= 295 && taken <= 310)
+
+let suite =
+  [
+    ( "sim",
+      [
+        Alcotest.test_case "parse basic" `Quick test_parse_basic;
+        Alcotest.test_case "parse memory operand" `Quick test_parse_memory_operand;
+        Alcotest.test_case "parse rejects unknown" `Quick test_parse_rejects_unknown;
+        Alcotest.test_case "parse rejects undefined label" `Quick
+          test_parse_rejects_undefined_label;
+        Alcotest.test_case "parse hex immediate" `Quick test_parse_hex_immediate;
+        Alcotest.test_case "integer arithmetic" `Quick test_integer_arithmetic;
+        Alcotest.test_case "float arithmetic" `Quick test_float_arithmetic;
+        Alcotest.test_case "memory roundtrip" `Quick test_memory_roundtrip;
+        Alcotest.test_case "loop and branches" `Quick test_loop_and_branches;
+        Alcotest.test_case "packed SIMD" `Quick test_packed_simd;
+        Alcotest.test_case "SSR streaming" `Quick test_ssr_streaming;
+        Alcotest.test_case "SSR repeat" `Quick test_ssr_repeat;
+        Alcotest.test_case "SSR overrun detected" `Quick test_ssr_overrun_detected;
+        Alcotest.test_case "frep rejects integer body" `Quick
+          test_frep_non_fpu_body_rejected;
+        Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+        Alcotest.test_case "TCDM bounds" `Quick test_tcdm_bounds;
+        Alcotest.test_case "timing: RAW stalls" `Quick test_dependent_fp_ops_stall;
+        Alcotest.test_case "timing: frep decouples core" `Quick
+          test_frep_decouples_core;
+        Alcotest.test_case "timing: taken branch cost" `Quick
+          test_taken_branch_costs_more;
+        Alcotest.test_case "timing: RAW chain bound" `Quick
+          test_fpu_fifo_bounds_decoupling;
+      ] );
+  ]

@@ -1,0 +1,436 @@
+(* Unit tests for the individual lowering and optimisation passes. *)
+
+open Mlc_ir
+open Mlc_dialects
+open Mlc_transforms
+
+let generic_of m =
+  List.hd (Ir.collect m (fun op -> Ir.Op.name op = Memref_stream.generic_op))
+
+let generics_of m =
+  Ir.collect m (fun op -> Ir.Op.name op = Memref_stream.generic_op)
+
+let matmul_spec ?(n = 2) ?(m = 4) ?(k = 3) () =
+  Mlc_kernels.Builders.matmul ~n ~m ~k ()
+
+(* --- linalg -> memref_stream --- *)
+
+let test_linalg_to_stream_bounds () =
+  let spec = matmul_spec () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m [ Linalg_to_stream.pass ];
+  let gs = generics_of m in
+  Alcotest.(check int) "fill + compute" 2 (List.length gs);
+  let compute =
+    List.find (fun g -> Memref_stream.num_ins g = 2) gs
+  in
+  Alcotest.(check (list int)) "bounds explicit" [ 2; 4; 3 ]
+    (Memref_stream.bounds compute);
+  Alcotest.(check bool) "parallel dims first" true
+    (Memref_stream.iterator_types compute
+    = [ Attr.Parallel; Attr.Parallel; Attr.Reduction ])
+
+let test_fill_becomes_generic () =
+  let spec = Mlc_kernels.Builders.fill ~n:3 ~m:5 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m [ Linalg_to_stream.pass ];
+  let g = generic_of m in
+  Alcotest.(check (list int)) "fill bounds are the shape" [ 3; 5 ]
+    (Memref_stream.bounds g);
+  Alcotest.(check int) "no linalg left" 0
+    (List.length (Ir.collect m (fun op -> Ir.Op.name op = Linalg.fill_op)))
+
+(* --- scalar replacement + fuse fill --- *)
+
+let test_scalar_replacement_marks () =
+  let spec = matmul_spec () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m [ Linalg_to_stream.pass; Scalar_replacement.pass ];
+  let compute = List.find (fun g -> Memref_stream.num_ins g = 2) (generics_of m) in
+  Alcotest.(check bool) "reduction generic marked" true
+    (Scalar_replacement.is_marked compute);
+  let fill = List.find (fun g -> Memref_stream.num_ins g = 1) (generics_of m) in
+  Alcotest.(check bool) "parallel generic unmarked" false
+    (Scalar_replacement.is_marked fill)
+
+let test_fuse_fill () =
+  let spec = matmul_spec () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m [ Linalg_to_stream.pass; Scalar_replacement.pass; Fuse_fill.pass ];
+  let gs = generics_of m in
+  Alcotest.(check int) "fill fused away" 1 (List.length gs);
+  Alcotest.(check int) "consumer gained an init" 1
+    (Memref_stream.num_inits (List.hd gs))
+
+let test_fuse_fill_requires_adjacent_buffer () =
+  (* Two fills of DIFFERENT buffers: only the matching one may fuse. *)
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"f"
+      ~args:[ Ty.memref [ 4 ] Ty.F64; Ty.memref [ 4 ] Ty.F64; Ty.memref [ 1 ] Ty.F64 ]
+      ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let x = Ir.Block.arg entry 0
+  and other = Ir.Block.arg entry 1
+  and out = Ir.Block.arg entry 2 in
+  let zero = Arith.const_float bb 0.0 in
+  Linalg.fill bb zero other;
+  Linalg.fill bb zero out;
+  let x_map = Affine.make ~num_dims:1 ~num_syms:0 [ Affine.dim 0 ] in
+  let out_map = Affine.make ~num_dims:1 ~num_syms:0 [ Affine.const 0 ] in
+  ignore
+    (Linalg.generic bb ~ins:[ x ] ~outs:[ out ] ~maps:[ x_map; out_map ]
+       ~iterators:[ Attr.Reduction ]
+       (fun bb ins outs -> [ Arith.addf bb (List.hd outs) (List.hd ins) ]));
+  Func.return_ bb [];
+  Pass.run m [ Linalg_to_stream.pass; Scalar_replacement.pass; Fuse_fill.pass ];
+  (* The fill of [other] must survive; the fill of [out] must be fused. *)
+  Alcotest.(check int) "one generic fused, one fill left" 2
+    (List.length (generics_of m))
+
+(* --- unroll and jam --- *)
+
+let test_unroll_jam_interleaves () =
+  let spec = matmul_spec ~n:2 ~m:4 ~k:3 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m
+    [ Linalg_to_stream.pass; Scalar_replacement.pass; Fuse_fill.pass; Unroll_jam.pass ];
+  let g = List.hd (generics_of m) in
+  Alcotest.(check int) "unroll factor 4" 4 (Memref_stream.unroll_factor g);
+  let iters = Memref_stream.iterator_types g in
+  Alcotest.(check bool) "trailing interleaved" true
+    (List.nth iters (List.length iters - 1) = Attr.Interleaved);
+  (* body replicated: 3 operands (2 in + 1 out) x 4 copies of args *)
+  Alcotest.(check int) "body args replicated" 12
+    (Ir.Block.num_args (Memref_stream.body g))
+
+let test_unroll_jam_splits_large_dims () =
+  let spec = matmul_spec ~n:2 ~m:24 ~k:3 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m
+    [ Linalg_to_stream.pass; Scalar_replacement.pass; Fuse_fill.pass; Unroll_jam.pass ];
+  let g = List.hd (generics_of m) in
+  (* 24 = 3 x 8: largest divisor in [4..8] is 8. *)
+  Alcotest.(check int) "split factor 8" 8 (Memref_stream.unroll_factor g);
+  Alcotest.(check (list int)) "bounds split" [ 2; 3; 3; 8 ] (Memref_stream.bounds g)
+
+let test_unroll_jam_skips_parallel_kernels () =
+  let spec = Mlc_kernels.Builders.sum ~n:4 ~m:4 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m [ Linalg_to_stream.pass; Scalar_replacement.pass; Unroll_jam.pass ];
+  Alcotest.(check int) "no interleaving without reduction" 1
+    (Memref_stream.unroll_factor (generic_of m))
+
+(* --- stream patterns --- *)
+
+let resolved ub strides = { Stream_patterns.ub; strides; offset = 0 }
+
+let test_pattern_contiguity_collapse () =
+  (* Row-major 4x8 f64 fully contiguous: collapses to one dim. *)
+  let p = Stream_patterns.optimize (resolved [ 4; 8 ] [ 64; 8 ]) in
+  Alcotest.(check (list int)) "ub merged" [ 32 ] p.Stream_patterns.ub;
+  Alcotest.(check (list int)) "stride 8" [ 8 ] p.Stream_patterns.strides
+
+let test_pattern_unit_dims_dropped () =
+  let p = Stream_patterns.optimize (resolved [ 1; 5; 1 ] [ 0; 8; 0 ]) in
+  Alcotest.(check (list int)) "unit dims dropped" [ 5 ] p.Stream_patterns.ub
+
+let test_pattern_repeat_detection () =
+  let rep, body =
+    Stream_patterns.split_repeat (Stream_patterns.optimize (resolved [ 10; 4 ] [ 8; 0 ]))
+  in
+  Alcotest.(check int) "repeat = 3" 3 rep;
+  Alcotest.(check (list int)) "body remains" [ 10 ] body.Stream_patterns.ub
+
+let test_pattern_resolution_strides () =
+  (* Map (d0, d1, d2) -> (d0*5+d2, d1) into a 5x200 f64 buffer:
+     strides (bytes): d0 -> 5*200*8, d1 -> 8, d2 -> 200*8. *)
+  let map =
+    Affine.make ~num_dims:3 ~num_syms:0
+      Affine.[ add (mul (dim 0) (const 5)) (dim 2); dim 1 ]
+  in
+  let p =
+    Stream_patterns.resolve ~bounds:[ 1; 200; 5 ] ~map
+      ~mem_strides:[ 200; 1 ] ~elem_size:8
+  in
+  Alcotest.(check (list int)) "strides" [ 8000; 8; 1600 ] p.Stream_patterns.strides;
+  Alcotest.(check int) "no offset" 0 p.Stream_patterns.offset
+
+(* Property: optimisation preserves the generated address sequence. *)
+let addresses (p : Stream_patterns.resolved) ~repeat =
+  let dims = List.combine p.Stream_patterns.ub p.Stream_patterns.strides in
+  let acc = ref [] in
+  let rec go addr = function
+    | [] ->
+      for _ = 0 to repeat do
+        acc := addr :: !acc
+      done
+    | (ub, stride) :: rest ->
+      for i = 0 to ub - 1 do
+        go (addr + (i * stride)) rest
+      done
+  in
+  go 0 dims;
+  List.rev !acc
+
+let gen_pattern =
+  QCheck.Gen.(
+    let dim = pair (int_range 1 4) (oneofl [ 0; 8; 16; 24; 64 ]) in
+    list_size (int_range 1 4) dim >|= fun dims ->
+    resolved (List.map fst dims) (List.map snd dims))
+
+let arb_pattern =
+  QCheck.make
+    ~print:(fun p ->
+      Printf.sprintf "ub=[%s] strides=[%s]"
+        (String.concat ";" (List.map string_of_int p.Stream_patterns.ub))
+        (String.concat ";" (List.map string_of_int p.Stream_patterns.strides)))
+    gen_pattern
+
+let prop_optimize_preserves_addresses =
+  QCheck.Test.make ~name:"pattern optimisation preserves the address sequence"
+    ~count:300 arb_pattern (fun p ->
+      let original = addresses p ~repeat:0 in
+      let rep, body = Stream_patterns.split_repeat (Stream_patterns.optimize p) in
+      let optimised = addresses body ~repeat:rep in
+      original = optimised)
+
+(* --- fma fusion and canonicalisation --- *)
+
+let test_fma_fusion () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"f" ~args:[ Ty.F64; Ty.F64; Ty.F64; Ty.memref [ 1 ] Ty.F64 ]
+      ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let a = Ir.Block.arg entry 0
+  and x = Ir.Block.arg entry 1
+  and c = Ir.Block.arg entry 2
+  and out = Ir.Block.arg entry 3 in
+  let r = Arith.addf bb c (Arith.mulf bb a x) in
+  let zero = Arith.const_index bb 0 in
+  Memref.store bb r out [ zero ];
+  Func.return_ bb [];
+  Pass.run m [ Fma_fusion.pass ];
+  Alcotest.(check int) "fmaf formed" 1
+    (List.length (Ir.collect m (fun op -> Ir.Op.name op = Arith.fmaf_op)));
+  Alcotest.(check int) "mulf gone" 0
+    (List.length (Ir.collect m (fun op -> Ir.Op.name op = Arith.mulf_op)))
+
+let test_fma_fusion_respects_multiple_uses () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry =
+    Func.func b ~name:"f" ~args:[ Ty.F64; Ty.memref [ 2 ] Ty.F64 ] ~results:[]
+  in
+  let bb = Builder.at_end entry in
+  let a = Ir.Block.arg entry 0 and out = Ir.Block.arg entry 1 in
+  let p = Arith.mulf bb a a in
+  let s = Arith.addf bb p a in
+  let zero = Arith.const_index bb 0 in
+  let one = Arith.const_index bb 1 in
+  Memref.store bb p out [ zero ];
+  Memref.store bb s out [ one ];
+  Func.return_ bb [];
+  Pass.run m [ Fma_fusion.pass ];
+  Alcotest.(check int) "multi-use mulf kept" 1
+    (List.length (Ir.collect m (fun op -> Ir.Op.name op = Arith.mulf_op)))
+
+let test_canonicalize_folds_and_dce () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"f" ~args:[ Ty.memref [ 64 ] Ty.F64 ] ~results:[] in
+  let bb = Builder.at_end entry in
+  let out = Ir.Block.arg entry 0 in
+  let c2 = Arith.const_index bb 2 in
+  let c3 = Arith.const_index bb 3 in
+  let c6 = Arith.muli bb c2 c3 in
+  let c7 = Arith.addi bb c6 (Arith.const_index bb 1) in
+  let _dead = Arith.muli bb c7 c7 in
+  let v = Arith.const_float bb 1.0 in
+  Memref.store bb v out [ c7 ];
+  Func.return_ bb [];
+  Pass.run m [ Canonicalize.pass ];
+  (* Everything folds into a single index constant. *)
+  let consts = Ir.collect m (fun op -> Ir.Op.name op = Arith.constant_op) in
+  Alcotest.(check bool) "constants folded and dead code removed" true
+    (List.length consts <= 3);
+  Alcotest.(check int) "no muli left" 0
+    (List.length (Ir.collect m (fun op -> Ir.Op.name op = Arith.muli_op)))
+
+(* --- stream analysis --- *)
+
+let test_stream_analysis_matmul () =
+  let spec = matmul_spec () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m
+    [
+      Linalg_to_stream.pass; Scalar_replacement.pass; Fuse_fill.pass;
+      Unroll_jam.pass; Create_streams.pass;
+    ];
+  let g = List.hd (generics_of m) in
+  Alcotest.(check (list int)) "A, B and C all stream" [ 0; 1; 2 ]
+    (Create_streams.annotated_stream_operands g);
+  Alcotest.(check int) "no hoisting needed" 0 (Create_streams.hoist_depth g)
+
+let test_stream_analysis_hoists_conv () =
+  let spec = Mlc_kernels.Builders.conv3x3 ~n:8 ~m:16 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m
+    [
+      Linalg_to_stream.pass; Scalar_replacement.pass; Fuse_fill.pass;
+      Unroll_jam.pass; Create_streams.pass;
+    ];
+  let g =
+    List.find (fun g -> Memref_stream.num_ins g = 2) (generics_of m)
+  in
+  (* After unroll-and-jam the image pattern needs 5 dims; one parallel
+     dim must hoist to fit the 4-dim address generators. *)
+  Alcotest.(check bool) "conv hoists at least one dim" true
+    (Create_streams.hoist_depth g >= 1);
+  Alcotest.(check bool) "image input streams" true
+    (List.mem 0 (Create_streams.annotated_stream_operands g))
+
+let test_stream_analysis_skips_rmw_output () =
+  let spec = matmul_spec () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  (* No scalar replacement / fuse fill: output is read-modify-write. *)
+  Pass.run m [ Linalg_to_stream.pass; Create_streams.pass ];
+  let compute = List.find (fun g -> Memref_stream.num_ins g = 2) (generics_of m) in
+  let streamed = Create_streams.annotated_stream_operands compute in
+  Alcotest.(check bool) "inputs stream, RMW output does not" true
+    (List.mem 0 streamed && List.mem 1 streamed && not (List.mem 2 streamed))
+
+(* --- frep formation --- *)
+
+let test_frep_formation_end_to_end () =
+  let spec = Mlc_kernels.Builders.sum ~n:4 ~m:4 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m (Pipeline.passes Pipeline.ours);
+  Alcotest.(check int) "sum gets a hardware loop" 1
+    (List.length
+       (Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv_snitch.frep_outer_op)))
+
+let test_frep_not_formed_with_memory_ops () =
+  let spec = Mlc_kernels.Builders.sum ~n:4 ~m:4 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  Pass.run m (Pipeline.passes { Pipeline.ours with Pipeline.streams = false });
+  (* Without streams the loop body has explicit loads: no FREP. *)
+  Alcotest.(check int) "no frep without streams" 0
+    (List.length
+       (Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv_snitch.frep_outer_op)))
+
+(* --- LICM / CSE / IV strength reduction --- *)
+
+let test_licm_hoists_invariants () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Func.func b ~name:"f" ~args:[ Ty.memref [ 8 ] Ty.F64 ] ~results:[] in
+  let bb = Builder.at_end entry in
+  let out = Ir.Block.arg entry 0 in
+  let zero = Arith.const_index bb 0 in
+  let eight = Arith.const_index bb 8 in
+  let one = Arith.const_index bb 1 in
+  ignore
+    (Scf.for_ bb ~lb:zero ~ub:eight ~step:one (fun bb iv _ ->
+         (* invariant: 2.0 * 3.0 *)
+         let c = Arith.mulf bb (Arith.const_float bb 2.0) (Arith.const_float bb 3.0) in
+         Memref.store bb c out [ iv ];
+         []));
+  Func.return_ bb [];
+  Pass.run m [ Licm.pass ];
+  let loop = List.hd (Ir.collect m (fun op -> Ir.Op.name op = Scf.for_op)) in
+  let body_ops = Ir.Block.num_ops (Scf.body loop) in
+  (* Only the store and the yield remain inside. *)
+  Alcotest.(check int) "invariants hoisted" 2 body_ops
+
+let test_iv_strength_reduction () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Mlc_riscv.Rv_func.func b ~name:"f" ~args:[ Mlc_riscv.Reg.Int_kind ] in
+  let bb = Builder.at_end entry in
+  let base = Ir.Block.arg entry 0 in
+  let lb = Mlc_riscv.Rv.li bb 0 in
+  let ub = Mlc_riscv.Rv.li bb 16 in
+  ignore
+    (Mlc_riscv.Rv_scf.for_ bb ~lb ~ub (fun bb iv _ ->
+         let off = Mlc_riscv.Rv.slli bb iv 3 in
+         let addr = Mlc_riscv.Rv.add bb base off in
+         ignore (Mlc_riscv.Rv.fload bb Mlc_riscv.Rv.fld_op addr);
+         []));
+  Mlc_riscv.Rv_func.return_ bb [];
+  Pass.run m [ Iv_strength_reduce.pass ];
+  Alcotest.(check int) "shift removed from loop" 0
+    (List.length (Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv.slli_op)));
+  let loop = List.hd (Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv_scf.for_op)) in
+  Alcotest.(check int) "loop gained a carried offset" 1
+    (List.length (Mlc_riscv.Rv_scf.iter_operands loop))
+
+let test_cse_shares_constants () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Mlc_riscv.Rv_func.func b ~name:"f" ~args:[] in
+  let bb = Builder.at_end entry in
+  let a = Mlc_riscv.Rv.li bb 8 in
+  let c = Mlc_riscv.Rv.li bb 8 in
+  let s = Mlc_riscv.Rv.add bb a c in
+  ignore (Mlc_riscv.Rv.add bb s s);
+  Mlc_riscv.Rv_func.return_ bb [];
+  Pass.run m [ Cse.pass ];
+  Alcotest.(check int) "duplicate li merged" 1
+    (List.length (Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv.li_op)))
+
+let test_cse_keeps_iteration_copies () =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let _fn, entry = Mlc_riscv.Rv_func.func b ~name:"f" ~args:[ Mlc_riscv.Reg.Float_kind ] in
+  let bb = Builder.at_end entry in
+  let v = Ir.Block.arg entry 0 in
+  let c1 = Mlc_riscv.Rv.fmv_d bb v in
+  let c2 = Mlc_riscv.Rv.fmv_d bb v in
+  ignore (Mlc_riscv.Rv.fbinary bb Mlc_riscv.Rv.fadd_d_op c1 c2);
+  Mlc_riscv.Rv_func.return_ bb [];
+  Pass.run m [ Cse.pass ];
+  Alcotest.(check int) "fmv copies never merged" 2
+    (List.length (Ir.collect m (fun op -> Ir.Op.name op = Mlc_riscv.Rv.fmv_d_op)))
+
+let suite =
+  [
+    ( "transforms",
+      [
+        Alcotest.test_case "linalg->stream bounds" `Quick test_linalg_to_stream_bounds;
+        Alcotest.test_case "fill becomes generic" `Quick test_fill_becomes_generic;
+        Alcotest.test_case "scalar replacement marks" `Quick test_scalar_replacement_marks;
+        Alcotest.test_case "fuse fill" `Quick test_fuse_fill;
+        Alcotest.test_case "fuse fill buffer matching" `Quick
+          test_fuse_fill_requires_adjacent_buffer;
+        Alcotest.test_case "unroll-and-jam interleaves" `Quick test_unroll_jam_interleaves;
+        Alcotest.test_case "unroll-and-jam splits" `Quick test_unroll_jam_splits_large_dims;
+        Alcotest.test_case "unroll-and-jam skips parallel" `Quick
+          test_unroll_jam_skips_parallel_kernels;
+        Alcotest.test_case "pattern contiguity collapse" `Quick
+          test_pattern_contiguity_collapse;
+        Alcotest.test_case "pattern unit dims" `Quick test_pattern_unit_dims_dropped;
+        Alcotest.test_case "pattern repeat detection" `Quick test_pattern_repeat_detection;
+        Alcotest.test_case "pattern stride resolution" `Quick test_pattern_resolution_strides;
+        QCheck_alcotest.to_alcotest prop_optimize_preserves_addresses;
+        Alcotest.test_case "fma fusion" `Quick test_fma_fusion;
+        Alcotest.test_case "fma fusion multi-use" `Quick test_fma_fusion_respects_multiple_uses;
+        Alcotest.test_case "canonicalize" `Quick test_canonicalize_folds_and_dce;
+        Alcotest.test_case "stream analysis: matmul" `Quick test_stream_analysis_matmul;
+        Alcotest.test_case "stream analysis: conv hoists" `Quick test_stream_analysis_hoists_conv;
+        Alcotest.test_case "stream analysis: RMW output" `Quick
+          test_stream_analysis_skips_rmw_output;
+        Alcotest.test_case "frep formation" `Quick test_frep_formation_end_to_end;
+        Alcotest.test_case "frep blocked by memory ops" `Quick
+          test_frep_not_formed_with_memory_ops;
+        Alcotest.test_case "licm" `Quick test_licm_hoists_invariants;
+        Alcotest.test_case "iv strength reduction" `Quick test_iv_strength_reduction;
+        Alcotest.test_case "cse shares constants" `Quick test_cse_shares_constants;
+        Alcotest.test_case "cse keeps copies" `Quick test_cse_keeps_iteration_copies;
+      ] );
+  ]
