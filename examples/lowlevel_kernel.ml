@@ -73,7 +73,7 @@ let () =
     report.Mlc_regalloc.Allocator.fp_count report.Mlc_regalloc.Allocator.int_count;
 
   (* Execute on the simulator and validate against OCaml. *)
-  let program = Mlc_sim.Asm_parse.parse asm in
+  let program = Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm) in
   let machine = Mlc_sim.Machine.create () in
   let base = Mlc_sim.Mem.tcdm_base in
   let xs = Array.init n (fun i -> Float.of_int (i mod 7) /. 3.0) in

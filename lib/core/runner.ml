@@ -20,7 +20,21 @@ type metrics = {
   stores : int;
   freps : int;
   flop_count : int; (* FLOPs the simulator observed *)
+  retired : int; (* dynamic instructions retired *)
 }
+
+(* How the compiled module reaches the simulator: [Direct] lowers
+   allocated IR straight to a pre-decoded program (Insn_emit, the
+   production path); [Via_text] prints assembly and re-parses it (the
+   legacy round-trip, kept as the cross-check and debug format). The two
+   produce equal programs — enforced by the registry-wide equivalence
+   test. *)
+type sim_path = Direct | Via_text
+
+(* Which simulation engine executes the program: the fast pre-decoded
+   engine or the reference per-instruction loop (the timing oracle). Both
+   produce bit-identical performance counters. *)
+type engine = Fast | Reference
 
 type run_result = {
   asm : string;
@@ -131,15 +145,25 @@ let metrics_of (perf : Mlc_sim.Machine.perf) =
     stores = perf.Mlc_sim.Machine.stores;
     freps = perf.Mlc_sim.Machine.freps;
     flop_count = perf.Mlc_sim.Machine.flops;
+    retired = perf.Mlc_sim.Machine.retired;
   }
 
-let simulate ?(trace = false) ~elem ~fn_name ~args ~data asm =
-  let program = Mlc_sim.Asm_parse.parse asm in
+let simulate_program ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args
+    ~data program =
   let machine = Mlc_sim.Machine.create ~trace () in
   let addrs = setup_machine ~elem machine args data in
-  let outcome = Mlc_sim.Machine.run machine program ~entry:fn_name in
+  let run =
+    match engine with
+    | Fast -> Mlc_sim.Machine.run
+    | Reference -> Mlc_sim.Machine.run_reference
+  in
+  let outcome = run machine program ~entry:fn_name in
   let outputs = read_back ~elem machine args addrs in
   (metrics_of outcome.Mlc_sim.Machine.perf, outputs, Mlc_sim.Machine.trace machine)
+
+let simulate ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args ~data asm =
+  let program = Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm) in
+  simulate_program ~trace ~engine ~elem ~fn_name ~args ~data program
 
 (* --- expected outputs through the interpreter --- *)
 
@@ -172,8 +196,8 @@ let interp_expected (spec : Builders.spec) (data : float array list) =
 (* Compile and run a linalg-level kernel with the given pipeline flags,
    validating against the interpreter. *)
 let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
-    ?(verify_each = true) ?(trace = false) ?allocator (spec : Builders.spec) :
-    run_result =
+    ?(verify_each = true) ?(trace = false) ?(sim_path = Direct)
+    ?(engine = Fast) ?allocator (spec : Builders.spec) : run_result =
   let data = gen_inputs ~seed ~elem:spec.Builders.elem spec.Builders.args in
   let expected = interp_expected spec data in
   let m = spec.Builders.build () in
@@ -199,9 +223,16 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
         stats;
       }
   in
+  let program =
+    match sim_path with
+    | Direct -> Insn_emit.emit_module m
+    | Via_text ->
+      Mlc_sim.Program.of_asm
+        (Mlc_sim.Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm)
+  in
   let metrics, outputs, trace_lines =
-    simulate ~trace ~elem:spec.Builders.elem ~fn_name:spec.Builders.fn_name
-      ~args:spec.Builders.args ~data compiled.Mlc_transforms.Pipeline.asm
+    simulate_program ~trace ~engine ~elem:spec.Builders.elem
+      ~fn_name:spec.Builders.fn_name ~args:spec.Builders.args ~data program
   in
   {
     asm = compiled.Mlc_transforms.Pipeline.asm;
@@ -216,8 +247,8 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
 
 (* Compile (allocate + emit) a handwritten assembly-level kernel and run
    it, validating against its native reference. *)
-let run_lowlevel ?(seed = 42) ?(verify_each = true) (spec : Lowlevel.spec) :
-    run_result =
+let run_lowlevel ?(seed = 42) ?(verify_each = true) ?(sim_path = Direct)
+    ?(engine = Fast) (spec : Lowlevel.spec) : run_result =
   let data = gen_inputs ~seed ~elem:spec.Lowlevel.elem spec.Lowlevel.args in
   (* Reference mutates output arrays in place over a private copy. *)
   let ref_data = List.map Array.copy data in
@@ -246,9 +277,14 @@ let run_lowlevel ?(seed = 42) ?(verify_each = true) (spec : Lowlevel.spec) :
   if verify_each then Verifier.verify m;
   let asm = Asm_emit.emit_module m in
   let stats = List.map (fun fn -> (Rv_func.name fn, Asm_emit.func_stats fn)) fns in
+  let program =
+    match sim_path with
+    | Direct -> Insn_emit.emit_module m
+    | Via_text -> Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm)
+  in
   let metrics, outputs, trace_lines =
-    simulate ~elem:spec.Lowlevel.elem ~fn_name:spec.Lowlevel.fn_name
-      ~args:spec.Lowlevel.args ~data asm
+    simulate_program ~engine ~elem:spec.Lowlevel.elem
+      ~fn_name:spec.Lowlevel.fn_name ~args:spec.Lowlevel.args ~data program
   in
   {
     asm;

@@ -14,7 +14,21 @@ type metrics = {
   stores : int;
   freps : int;
   flop_count : int;
+  retired : int;  (** dynamic instructions retired *)
 }
+
+(** How the compiled module reaches the simulator: [Direct] lowers
+    allocated IR straight to a pre-decoded program ({!Mlc_riscv.Insn_emit},
+    the default production path); [Via_text] prints assembly and
+    re-parses it (the legacy round-trip, kept as cross-check and debug
+    format). The two produce equal programs — enforced by the
+    registry-wide equivalence test. *)
+type sim_path = Direct | Via_text
+
+(** Which engine executes the program: the fast pre-decoded engine
+    (default) or the reference per-instruction loop (the timing oracle).
+    Performance counters are bit-identical between the two. *)
+type engine = Fast | Reference
 
 type run_result = {
   asm : string;
@@ -31,6 +45,49 @@ type run_result = {
 (** Largest absolute element difference between two output sets. *)
 val max_abs_err : float array list -> float array list -> float
 
+(** Deterministic random input buffers for an argument list (the paper
+    uses random input sets with precomputed outputs, §A.2). *)
+val gen_inputs :
+  seed:int ->
+  elem:Mlc_ir.Ty.t ->
+  Mlc_kernels.Builders.arg_spec list ->
+  float array list
+
+(** Load input buffers into a machine's TCDM and set up the ABI argument
+    registers (pointers in a0.., scalars in fa0..). Returns the buffer
+    base addresses (None for scalars). Exposed for the benchmark
+    driver. *)
+val setup_machine :
+  elem:Mlc_ir.Ty.t ->
+  Mlc_sim.Machine.t ->
+  Mlc_kernels.Builders.arg_spec list ->
+  float array list ->
+  int option list
+
+(** Execute a pre-decoded program on a fresh machine: loads the buffers
+    into the TCDM, sets up ABI argument registers, runs from [fn_name]
+    and reads outputs back. Exposed for the benchmark driver. *)
+val simulate_program :
+  ?trace:bool ->
+  ?engine:engine ->
+  elem:Mlc_ir.Ty.t ->
+  fn_name:string ->
+  args:Mlc_kernels.Builders.arg_spec list ->
+  data:float array list ->
+  Mlc_sim.Program.t ->
+  metrics * float array list * string list
+
+(** As {!simulate_program}, from assembly text (parse + pre-decode). *)
+val simulate :
+  ?trace:bool ->
+  ?engine:engine ->
+  elem:Mlc_ir.Ty.t ->
+  fn_name:string ->
+  args:Mlc_kernels.Builders.arg_spec list ->
+  data:float array list ->
+  string ->
+  metrics * float array list * string list
+
 (** Compile and run a linalg-level kernel under the given pipeline flags
     (default: the full multi-level pipeline), validating against the
     interpreter. [seed] fixes the random inputs. *)
@@ -39,6 +96,8 @@ val run :
   ?seed:int ->
   ?verify_each:bool ->
   ?trace:bool ->
+  ?sim_path:sim_path ->
+  ?engine:engine ->
   ?allocator:(Mlc_ir.Ir.op -> Mlc_regalloc.Allocator.report) ->
   Mlc_kernels.Builders.spec ->
   run_result
@@ -46,4 +105,9 @@ val run :
 (** Allocate, emit and run a handwritten assembly-level kernel,
     validating against its native reference. *)
 val run_lowlevel :
-  ?seed:int -> ?verify_each:bool -> Mlc_kernels.Lowlevel.spec -> run_result
+  ?seed:int ->
+  ?verify_each:bool ->
+  ?sim_path:sim_path ->
+  ?engine:engine ->
+  Mlc_kernels.Lowlevel.spec ->
+  run_result

@@ -1,0 +1,262 @@
+(* Direct emission: lowers register-allocated IR straight to decoded
+   {!Mlc_sim.Insn.t} programs, skipping the print → parse round-trip of
+   the textual path (Asm_emit + Asm_parse). This is the production
+   simulation path; the textual path stays the presentation/debug format.
+
+   The walk mirrors [Asm_emit.op_lines] exactly — same op coverage, same
+   allocation sanity checks, same fresh-label naming and ordering — so
+   that for every function the pre-decoded program equals
+   [Program.of_asm (Asm_parse.parse (Asm_emit.emit_module m))] up to
+   source text. The equivalence test in test_perf_model.ml enforces this
+   for every kernel in the registry. *)
+
+open Mlc_ir
+module Insn = Mlc_sim.Insn
+module Asm_parse = Mlc_sim.Asm_parse
+module Program = Mlc_sim.Program
+
+let err fmt = Format.kasprintf (fun m -> raise (Asm_emit.Emit_error m)) fmt
+
+(* Operand/result accessors, as hardware register indices. *)
+let xr op i = Asm_parse.xreg (Rv.reg_of (Ir.Op.operand op i))
+let fr op i = Asm_parse.freg (Rv.reg_of (Ir.Op.operand op i))
+let xd op = Asm_parse.xreg (Rv.reg_of (Ir.Op.result op 0))
+let fd op = Asm_parse.freg (Rv.reg_of (Ir.Op.result op 0))
+let imm op key = Attr.get_int (Ir.Op.attr_exn op key)
+
+(* Emission items: decoded instructions, plus label definitions and
+   label-addressed control flow resolved in a final fixup pass (labels
+   may be defined after their uses, e.g. loop exits). *)
+type item =
+  | Ins of Insn.t
+  | Jmp of string
+  | Br of Insn.cond * int * int * string
+  | Lbl of string
+
+type ctx = {
+  fname : string;
+  mutable fresh_label : int;
+  label_table : (int, string) Hashtbl.t; (* block id -> label *)
+}
+
+let fresh_label ctx hint =
+  let l = Printf.sprintf ".%s_%s%d" ctx.fname hint ctx.fresh_label in
+  ctx.fresh_label <- ctx.fresh_label + 1;
+  l
+
+let label_of ctx (b : Ir.block) =
+  match Hashtbl.find_opt ctx.label_table b.Ir.bid with
+  | Some l -> l
+  | None -> err "branch to unlabelled block"
+
+let rec op_items ctx ~next_block op =
+  let name = Ir.Op.name op in
+  match name with
+  | "rv.get_register" | "rv_snitch.read" | "rv_snitch.frep_yield"
+  | "rv_scf.yield" | "rv.comment" -> []
+  | "rv_snitch.write" ->
+    let v = Ir.Op.operand op 0 and s = Ir.Op.operand op 1 in
+    if Rv.reg_of v <> Rv.reg_of s then
+      err "stream write value allocated to %s, expected %s" (Rv.reg_of v)
+        (Rv.reg_of s);
+    []
+  | "rv.li" -> [ Ins (Insn.Li (xd op, Int64.of_int (imm op "imm"))) ]
+  | "rv.li_bits" ->
+    let f = Attr.get_float (Ir.Op.attr_exn op "value") in
+    [ Ins (Insn.Li (xd op, Int64.bits_of_float f)) ]
+  | "rv.mv" -> [ Ins (Insn.Mv (xd op, xr op 0)) ]
+  | "rv.add" | "rv.sub" | "rv.mul" | "rv.div" | "rv.and" | "rv.or" | "rv.xor"
+  | "rv.slt" ->
+    let alu : Insn.alu =
+      match name with
+      | "rv.add" -> Add
+      | "rv.sub" -> Sub
+      | "rv.mul" -> Mul
+      | "rv.div" -> Div
+      | "rv.and" -> And
+      | "rv.or" -> Or
+      | "rv.xor" -> Xor
+      | _ -> Slt
+    in
+    [ Ins (Insn.Alu (alu, xd op, xr op 0, xr op 1)) ]
+  | "rv.addi" | "rv.slli" | "rv.srai" | "rv.andi" ->
+    let alu : Insn.alu =
+      match name with
+      | "rv.addi" -> Add
+      | "rv.slli" -> Sll
+      | "rv.srai" -> Sra
+      | _ -> And
+    in
+    [ Ins (Insn.Alui (alu, xd op, xr op 0, Int64.of_int (imm op "imm"))) ]
+  | "rv.lw" -> [ Ins (Insn.Load (4, xd op, imm op "offset", xr op 0)) ]
+  | "rv.ld" -> [ Ins (Insn.Load (8, xd op, imm op "offset", xr op 0)) ]
+  | "rv.flw" -> [ Ins (Insn.Fload (4, fd op, imm op "offset", xr op 0)) ]
+  | "rv.fld" -> [ Ins (Insn.Fload (8, fd op, imm op "offset", xr op 0)) ]
+  | "rv.sw" -> [ Ins (Insn.Store (4, xr op 0, imm op "offset", xr op 1)) ]
+  | "rv.sd" -> [ Ins (Insn.Store (8, xr op 0, imm op "offset", xr op 1)) ]
+  | "rv.fsw" -> [ Ins (Insn.Fstore (4, fr op 0, imm op "offset", xr op 1)) ]
+  | "rv.fsd" -> [ Ins (Insn.Fstore (8, fr op 0, imm op "offset", xr op 1)) ]
+  | "rv.fadd.d" | "rv.fsub.d" | "rv.fmul.d" | "rv.fdiv.d" | "rv.fmax.d"
+  | "rv.fmin.d" | "rv.fadd.s" | "rv.fsub.s" | "rv.fmul.s" | "rv.fdiv.s"
+  | "rv.fmax.s" | "rv.fmin.s" ->
+    let prec : Insn.prec =
+      if name.[String.length name - 1] = 'd' then D else S
+    in
+    let fop : Insn.fop =
+      match String.sub name 3 4 with
+      | "fadd" -> Fadd
+      | "fsub" -> Fsub
+      | "fmul" -> Fmul
+      | "fdiv" -> Fdiv
+      | "fmax" -> Fmax
+      | _ -> Fmin
+    in
+    [ Ins (Insn.Fop (fop, prec, fd op, fr op 0, fr op 1)) ]
+  | "rv_snitch.vfadd.s" | "rv_snitch.vfsub.s" | "rv_snitch.vfmul.s"
+  | "rv_snitch.vfmax.s" | "rv_snitch.vfmin.s" ->
+    let vf : Insn.vfop =
+      match name with
+      | "rv_snitch.vfadd.s" -> Vfadd
+      | "rv_snitch.vfsub.s" -> Vfsub
+      | "rv_snitch.vfmul.s" -> Vfmul
+      | "rv_snitch.vfmax.s" -> Vfmax
+      | _ -> Vfmin
+    in
+    [ Ins (Insn.Vf (vf, fd op, fr op 0, fr op 1)) ]
+  | "rv_snitch.vfcpka.s.s" -> [ Ins (Insn.Vfcpka (fd op, fr op 0, fr op 1)) ]
+  | "rv.fmadd.d" | "rv.fmadd.s" ->
+    let prec : Insn.prec = if name = "rv.fmadd.d" then D else S in
+    [ Ins (Insn.Fmadd (prec, fd op, fr op 0, fr op 1, fr op 2)) ]
+  | "rv_snitch.vfmac.s" ->
+    if fd op <> fr op 2 then
+      err "vfmac.s destination %s must match accumulator %s"
+        (Rv.reg_of (Ir.Op.result op 0))
+        (Rv.reg_of (Ir.Op.operand op 2));
+    [ Ins (Insn.Vfmac (fd op, fr op 0, fr op 1)) ]
+  | "rv_snitch.vfsum.s" ->
+    if fd op <> fr op 1 then
+      err "vfsum.s destination %s must match accumulator %s"
+        (Rv.reg_of (Ir.Op.result op 0))
+        (Rv.reg_of (Ir.Op.operand op 1));
+    [ Ins (Insn.Vfsum (fd op, fr op 0)) ]
+  | "rv.fmv.d" -> [ Ins (Insn.Fmv (fd op, fr op 0)) ]
+  | "rv.fcvt.d.w" -> [ Ins (Insn.Fcvt_from_int (D, fd op, xr op 0)) ]
+  | "rv.fcvt.s.w" -> [ Ins (Insn.Fcvt_from_int (S, fd op, xr op 0)) ]
+  | "rv.fmv.d.x" -> [ Ins (Insn.Fmv_from_bits (D, fd op, xr op 0)) ]
+  | "rv.fmv.w.x" -> [ Ins (Insn.Fmv_from_bits (S, fd op, xr op 0)) ]
+  | "rv_snitch.scfgwi" -> [ Ins (Insn.Scfgwi (xr op 0, imm op "imm")) ]
+  | "rv_snitch.ssr_enable" -> [ Ins (Insn.Csrsi (0x7c0, 1)) ]
+  | "rv_snitch.ssr_disable" -> [ Ins (Insn.Csrci (0x7c0, 1)) ]
+  | "rv_snitch.frep_outer" ->
+    let body = Rv_snitch.body op in
+    let n =
+      Ir.Block.fold_ops body ~init:0 ~f:(fun n o -> n + Asm_emit.instr_count o)
+    in
+    if n = 0 then err "frep with empty body";
+    Ins (Insn.Frep_o (xr op 0, n))
+    :: List.concat_map (op_items ctx ~next_block) (Ir.Block.ops body)
+  | "rv_scf.for" ->
+    (* Same guard / body / increment / back-branch skeleton (and the same
+       fresh-label ordering) as the textual emitter. *)
+    let iv = Rv.reg_of (Rv_scf.induction_var op) in
+    let lb = Ir.Op.operand op 0 and ub = Ir.Op.operand op 1 in
+    let lb_name = Rv.reg_of lb and ub_name = Rv.reg_of ub in
+    let ivx = Asm_parse.xreg iv
+    and lbx = Asm_parse.xreg lb_name
+    and ubx = Asm_parse.xreg ub_name in
+    let step = Rv_scf.step op in
+    let head = fresh_label ctx "loop" and exit_l = fresh_label ctx "endloop" in
+    let body = Rv_scf.body op in
+    let prologue =
+      (if iv = lb_name then [] else [ Ins (Insn.Mv (ivx, lbx)) ])
+      @ [ Br (Insn.Bge, ivx, ubx, exit_l); Lbl head ]
+    in
+    let body_items =
+      List.concat_map (op_items ctx ~next_block) (Ir.Block.ops body)
+    in
+    prologue @ body_items
+    @ [
+        Ins (Insn.Alui (Insn.Add, ivx, ivx, Int64.of_int step));
+        Br (Insn.Blt, ivx, ubx, head);
+        Lbl exit_l;
+      ]
+  | "rv_cf.j" ->
+    let target = List.nth (Ir.Op.successors op) 0 in
+    [ Jmp (label_of ctx target) ]
+  | "rv_cf.beq" | "rv_cf.bne" | "rv_cf.blt" | "rv_cf.bge" ->
+    let taken = List.nth (Ir.Op.successors op) 0 in
+    let fall = List.nth (Ir.Op.successors op) 1 in
+    (match next_block with
+    | Some nb when Ir.Block.equal nb fall -> ()
+    | _ -> err "%s: fallthrough successor is not the next block" name);
+    let cond : Insn.cond =
+      match name with
+      | "rv_cf.beq" -> Beq
+      | "rv_cf.bne" -> Bne
+      | "rv_cf.blt" -> Blt
+      | _ -> Bge
+    in
+    [ Br (cond, xr op 0, xr op 1, label_of ctx taken) ]
+  | "rv_func.return" -> [ Ins Insn.Ret ]
+  | other -> err "cannot emit %s: not a machine-level op" other
+
+let func_items fn =
+  if Ir.Op.name fn <> Rv_func.func_op then
+    invalid_arg "Insn_emit.func_items: expected rv_func.func";
+  let fname = Rv_func.name fn in
+  let ctx = { fname; fresh_label = 0; label_table = Hashtbl.create 8 } in
+  let blocks = Ir.Region.blocks (Rv_func.body_region fn) in
+  List.iteri
+    (fun i (b : Ir.block) ->
+      if i > 0 then
+        Hashtbl.replace ctx.label_table b.Ir.bid
+          (Printf.sprintf ".%s_bb%d" fname i))
+    blocks;
+  let buf = ref [ Lbl fname ] in
+  let rec emit_blocks = function
+    | [] -> ()
+    | (b : Ir.block) :: rest ->
+      (match Hashtbl.find_opt ctx.label_table b.Ir.bid with
+      | Some l -> buf := Lbl l :: !buf
+      | None -> ());
+      let next_block = match rest with nb :: _ -> Some nb | [] -> None in
+      Ir.Block.iter_ops b (fun op ->
+          List.iter (fun it -> buf := it :: !buf) (op_items ctx ~next_block op));
+      emit_blocks rest
+  in
+  emit_blocks blocks;
+  List.rev !buf
+
+(* Resolve label definitions/uses over the whole module and pre-decode. *)
+let link items =
+  let labels = Hashtbl.create 16 in
+  let pc = ref 0 in
+  List.iter
+    (fun it ->
+      match it with
+      | Lbl l ->
+        if Hashtbl.mem labels l then err "duplicate label %S" l;
+        Hashtbl.replace labels l !pc
+      | Ins _ | Jmp _ | Br _ -> incr pc)
+    items;
+  let target l =
+    match Hashtbl.find_opt labels l with
+    | Some pc -> pc
+    | None -> err "undefined label %S" l
+  in
+  let insns =
+    List.filter_map
+      (fun it ->
+        match it with
+        | Lbl _ -> None
+        | Ins i -> Some i
+        | Jmp l -> Some (Insn.J (target l))
+        | Br (c, r1, r2, l) -> Some (Insn.Branch (c, r1, r2, target l)))
+      items
+    |> Array.of_list
+  in
+  Program.make ~insns ~labels ()
+
+let emit_module m =
+  let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
+  link (List.concat_map func_items fns)

@@ -1,0 +1,14 @@
+(** Direct emission: lowers register-allocated IR straight to a
+    pre-decoded {!Mlc_sim.Program.t}, skipping the print → parse text
+    round-trip. Mirrors {!Asm_emit} op-for-op (same coverage, same
+    allocation sanity checks, same label naming), so the result equals
+    [Program.of_asm (Asm_parse.parse (Asm_emit.emit_module m))] up to
+    source text — an invariant enforced by the registry-wide equivalence
+    test. Raises {!Asm_emit.Emit_error} on the same conditions as the
+    textual emitter. *)
+
+open Mlc_ir
+
+(** Every [rv_func.func] in the module, in order, linked into one
+    pre-decoded program (labels resolved module-wide). *)
+val emit_module : Ir.op -> Mlc_sim.Program.t

@@ -26,13 +26,23 @@ let float_reg_names =
     ("fs9", 25); ("fs10", 26); ("fs11", 27); ("ft8", 28); ("ft9", 29);
     ("ft10", 30); ("ft11", 31) ]
 
+let int_reg_table =
+  let h = Hashtbl.create 64 in
+  List.iter (fun (n, i) -> Hashtbl.add h n i) int_reg_names;
+  h
+
+let float_reg_table =
+  let h = Hashtbl.create 64 in
+  List.iter (fun (n, i) -> Hashtbl.add h n i) float_reg_names;
+  h
+
 let xreg name =
-  match List.assoc_opt name int_reg_names with
+  match Hashtbl.find_opt int_reg_table name with
   | Some i -> i
   | None -> err "unknown integer register %S" name
 
 let freg name =
-  match List.assoc_opt name float_reg_names with
+  match Hashtbl.find_opt float_reg_table name with
   | Some i -> i
   | None -> err "unknown float register %S" name
 
@@ -235,3 +245,93 @@ let parse text =
     labels;
     source = Array.of_list (List.map (fun (_, _, raw) -> raw) entries);
   }
+
+(* --- rendering decoded instructions back to text --- *)
+
+let ireg_name = Array.make 32 ""
+let freg_name = Array.make 32 ""
+
+let () =
+  List.iter (fun (n, i) -> ireg_name.(i) <- n) int_reg_names;
+  List.iter (fun (n, i) -> freg_name.(i) <- n) float_reg_names
+
+let x i = ireg_name.(i)
+let f i = freg_name.(i)
+
+let alu_mnemonic : Insn.alu -> string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Slt -> "slt"
+  | Sll -> "sll"
+  | Sra -> "sra"
+
+let alui_mnemonic : Insn.alu -> string = function
+  | Add -> "addi"
+  | Sll -> "slli"
+  | Sra -> "srai"
+  | And -> "andi"
+  | op -> alu_mnemonic op ^ "i"
+
+let prec_suffix : Insn.prec -> string = function D -> "d" | S -> "s"
+
+let fop_mnemonic (op : Insn.fop) (p : Insn.prec) =
+  let base =
+    match op with
+    | Fadd -> "fadd"
+    | Fsub -> "fsub"
+    | Fmul -> "fmul"
+    | Fdiv -> "fdiv"
+    | Fmax -> "fmax"
+    | Fmin -> "fmin"
+  in
+  base ^ "." ^ prec_suffix p
+
+let vfop_mnemonic : Insn.vfop -> string = function
+  | Vfadd -> "vfadd.s"
+  | Vfsub -> "vfsub.s"
+  | Vfmul -> "vfmul.s"
+  | Vfmax -> "vfmax.s"
+  | Vfmin -> "vfmin.s"
+
+(* One decoded instruction as assembly text. Branch targets are printed as
+   resolved pcs ("@12") since the decoded form no longer carries labels;
+   used for traces of directly-emitted programs (Insn_emit), where no
+   original source line exists. *)
+let render (insn : Insn.t) =
+  let p = Printf.sprintf in
+  match insn with
+  | Li (rd, imm) -> p "li %s, %Ld" (x rd) imm
+  | Mv (rd, rs) -> p "mv %s, %s" (x rd) (x rs)
+  | Alu (op, rd, rs1, rs2) -> p "%s %s, %s, %s" (alu_mnemonic op) (x rd) (x rs1) (x rs2)
+  | Alui (op, rd, rs1, imm) -> p "%s %s, %s, %Ld" (alui_mnemonic op) (x rd) (x rs1) imm
+  | Load (w, rd, off, base) -> p "%s %s, %d(%s)" (if w = 4 then "lw" else "ld") (x rd) off (x base)
+  | Store (w, rs, off, base) -> p "%s %s, %d(%s)" (if w = 4 then "sw" else "sd") (x rs) off (x base)
+  | Fload (w, fd, off, base) -> p "%s %s, %d(%s)" (if w = 4 then "flw" else "fld") (f fd) off (x base)
+  | Fstore (w, fs, off, base) -> p "%s %s, %d(%s)" (if w = 4 then "fsw" else "fsd") (f fs) off (x base)
+  | Fop (op, prec, fd, fs1, fs2) -> p "%s %s, %s, %s" (fop_mnemonic op prec) (f fd) (f fs1) (f fs2)
+  | Fmadd (prec, fd, fs1, fs2, fs3) ->
+    p "fmadd.%s %s, %s, %s, %s" (prec_suffix prec) (f fd) (f fs1) (f fs2) (f fs3)
+  | Fmv (fd, fs) -> p "fmv.d %s, %s" (f fd) (f fs)
+  | Fcvt_from_int (prec, fd, rs) -> p "fcvt.%s.w %s, %s" (prec_suffix prec) (f fd) (x rs)
+  | Fmv_from_bits (D, fd, rs) -> p "fmv.d.x %s, %s" (f fd) (x rs)
+  | Fmv_from_bits (S, fd, rs) -> p "fmv.w.x %s, %s" (f fd) (x rs)
+  | Vf (op, fd, fs1, fs2) -> p "%s %s, %s, %s" (vfop_mnemonic op) (f fd) (f fs1) (f fs2)
+  | Vfmac (fd, fs1, fs2) -> p "vfmac.s %s, %s, %s" (f fd) (f fs1) (f fs2)
+  | Vfsum (fd, fs) -> p "vfsum.s %s, %s" (f fd) (f fs)
+  | Vfcpka (fd, lo, hi) -> p "vfcpka.s.s %s, %s, %s" (f fd) (f lo) (f hi)
+  | Scfgwi (rs1, imm) -> p "scfgwi %s, %d" (x rs1) imm
+  | Csrsi (csr, imm) -> p "csrsi 0x%x, %d" csr imm
+  | Csrci (csr, imm) -> p "csrci 0x%x, %d" csr imm
+  | Frep_o (rpt, n) -> p "frep.o %s, %d, 0, 0" (x rpt) n
+  | Branch (Beq, rs1, rs2, t) -> p "beq %s, %s, @%d" (x rs1) (x rs2) t
+  | Branch (Bne, rs1, rs2, t) -> p "bne %s, %s, @%d" (x rs1) (x rs2) t
+  | Branch (Blt, rs1, rs2, t) -> p "blt %s, %s, @%d" (x rs1) (x rs2) t
+  | Branch (Bge, rs1, rs2, t) -> p "bge %s, %s, @%d" (x rs1) (x rs2) t
+  | J t -> p "j @%d" t
+  | Ret -> "ret"
+  | Nop -> "nop"

@@ -20,3 +20,8 @@ type program = {
 val entry : program -> string -> int
 
 val parse : string -> program
+
+(** One decoded instruction rendered back to assembly text. Branch targets
+    print as resolved pcs ("@12"): the decoded form carries no labels.
+    Used to synthesise trace text for directly-emitted programs. *)
+val render : Insn.t -> string

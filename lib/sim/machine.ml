@@ -13,7 +13,24 @@
      between the FPU and the TCDM, with operands always ready.
 
    FPU utilisation is the ratio of cycles with an FP instruction in the
-   EX stage over total execution latency, as in the paper. *)
+   EX stage over total execution latency, as in the paper.
+
+   Two execution engines implement this model over pre-decoded
+   {!Program.t} values:
+
+   - [run]: the fast path. Scoreboard lookups come from the program's
+     flat per-pc metadata arrays (no [Insn.deps] calls, no allocation per
+     retired instruction), FREP bodies are validated once per pc, and
+     stall-free SSR-streamed FREP bodies take a steady-state timing fast
+     path that replaces per-slot scoreboard updates with a closed form.
+
+   - [run_reference]: the original per-instruction loop, kept as the
+     timing oracle. Golden tests assert both engines produce bit-identical
+     performance counters on every kernel in the registry; the benchmark
+     driver uses it to measure the fast path's host-side speedup.
+
+   The timing model itself is identical between the two — the fast path
+   is an implementation change, not a model change. *)
 
 exception Exec_error of string
 
@@ -69,15 +86,35 @@ type t = {
   mutable fpu_last_done : int;
   perf : perf;
   mutable fuel : int;
-  (* optional instruction trace: (issue cycle, source line) *)
+  (* optional instruction trace: a bounded ring of (issue cycle, source
+     line) keeping the most recent [trace_cap] entries *)
   trace_enabled : bool;
-  mutable trace_buf : (int * string) list;
+  trace_cap : int;
+  trace_cycles : int array;
+  trace_srcs : string array;
+  mutable trace_len : int; (* total entries ever pushed *)
+  (* fast-engine cache of compiled FREP bodies: per body pc, the SSR
+     stream mask the body was specialised for, one fused
+     functional+timing closure per slot, and (lazily) one
+     functional-only closure per slot for the steady-state replay
+     (see [compile_slot]) *)
+  mutable frep_compiled : frep_body option array;
+  mutable frep_compiled_for : Program.t option;
 }
 
-let create ?(fuel = 200_000_000) ?(trace = false) () =
+and frep_body = {
+  b_mask : int;
+  b_fused : (unit -> unit) array;
+  mutable b_fn : (unit -> unit) array option;
+}
+
+let default_trace_cap = 65536
+
+let create ?(fuel = 200_000_000) ?(trace = false) ?(trace_cap = default_trace_cap) () =
   let iregs = Array.make 32 0L in
   (* ABI stack pointer: top of the TCDM, growing down. *)
   iregs.(2) <- Int64.of_int (Mem.tcdm_base + Mem.tcdm_size);
+  if trace_cap <= 0 then invalid_arg "Machine.create: trace_cap must be positive";
   {
     mem = Mem.create ();
     iregs;
@@ -93,13 +130,24 @@ let create ?(fuel = 200_000_000) ?(trace = false) () =
     perf = fresh_perf ();
     fuel;
     trace_enabled = trace;
-    trace_buf = [];
+    trace_cap;
+    trace_cycles = (if trace then Array.make trace_cap 0 else [||]);
+    trace_srcs = (if trace then Array.make trace_cap "" else [||]);
+    trace_len = 0;
+    frep_compiled = [||];
+    frep_compiled_for = None;
   }
 
 let set_ireg t i v = if i <> 0 then t.iregs.(i) <- v
 let get_ireg t i = if i = 0 then 0L else t.iregs.(i)
 let set_freg t i v = t.fregs.(i) <- v
 let get_freg_raw t i = t.fregs.(i)
+
+let trace_push t cycle src =
+  let i = t.trace_len mod t.trace_cap in
+  t.trace_cycles.(i) <- cycle;
+  t.trace_srcs.(i) <- src;
+  t.trace_len <- t.trace_len + 1
 
 (* --- SSR interaction --- *)
 
@@ -168,7 +216,8 @@ let apply_alu (op : Insn.alu) a b =
   | Sll -> Int64.shift_left a (Int64.to_int b land 63)
   | Sra -> Int64.shift_right a (Int64.to_int b land 63)
 
-(* --- timing helpers --- *)
+(* --- timing helpers (reference engine; the fast engine reads the
+   pre-decoded program arrays instead) --- *)
 
 let ready_ints t srcs = List.fold_left (fun m r -> max m t.int_ready.(r)) 0 srcs
 
@@ -199,7 +248,7 @@ let fpu_execute_timing t insn ~avail =
   t.fpu_last_done <- max t.fpu_last_done (start + latency)
 
 (* Functional execution of one FP-path instruction (arithmetic, FP
-   loads/stores); integer instructions are handled inline in [step]. *)
+   loads/stores); integer instructions are handled inline in the engines. *)
 let fpu_execute_functional t insn =
   match insn with
   | Insn.Fload (width, fd, off, base) ->
@@ -243,7 +292,16 @@ let fpu_execute_functional t insn =
     commit_f t fd v
   | Insn.Fmv_from_bits (prec, fd, rs) ->
     let bits = get_ireg t rs in
-    let v = match prec with D -> bits | S -> bits in
+    let v =
+      match prec with
+      | D -> bits
+      | S ->
+        (* fmv.w.x carries a 32-bit payload; following the packed-SIMD
+           convention used by fcvt.s.w and the f32 scalar-argument ABI,
+           the payload is replicated into both lanes. *)
+        let lo = Int64.logand bits 0xFFFFFFFFL in
+        Int64.logor lo (Int64.shift_left lo 32)
+    in
     commit_f t fd v
   | Insn.Vf (op, fd, fs1, fs2) ->
     let a = fetch_f t fs1 and b = fetch_f t fs2 in
@@ -275,9 +333,7 @@ let fpu_execute_functional t insn =
   | Insn.Vfcpka (fd, fs1, fs2) ->
     let a = fetch_f t fs1 and b = fetch_f t fs2 in
     commit_f t fd (pack32 (lo32 a) (lo32 b))
-  | other ->
-    err "instruction is not FP-path executable: %s"
-      (match other with _ -> "(non-FP)")
+  | _ -> err "instruction is not FP-path executable"
 
 (* --- SSR configuration (assembler contract in DESIGN.md) --- *)
 
@@ -297,7 +353,7 @@ let do_scfgwi t value imm =
     Ssr.arm t.ssrs.(dm) cfg ~dims:(s - 28 + 1) ~ptr:v ~is_write:true
   | s -> err "scfgwi: bad slot %d" s
 
-(* --- main loop --- *)
+(* --- main loops --- *)
 
 type outcome = { perf : perf; final_pc : int }
 
@@ -305,20 +361,454 @@ let burn_fuel t =
   t.fuel <- t.fuel - 1;
   if t.fuel <= 0 then err "out of fuel: runaway execution (infinite loop?)"
 
-let run t (program : Asm_parse.program) ~entry =
-  let insns = program.insns in
+let out_of_fuel () = err "out of fuel: runaway execution (infinite loop?)"
+
+(* --- FREP support for the fast engine --- *)
+
+(* Validate the body of the frep.o at [pc] (FPU-only instructions) and
+   compute its cached facts; called once per pc. *)
+let frep_decode (p : Program.t) pc body_len =
+  for k = 1 to body_len do
+    if not p.Program.is_fpu.(pc + k) then
+      err "frep body contains a non-FPU instruction: %s"
+        (Lazy.force p.Program.source).(pc + k)
+  done;
+  let srcs = Hashtbl.create 8 and dsts = Hashtbl.create 8 in
+  let note tbl r = if r >= 0 then Hashtbl.replace tbl r () in
+  let flops = ref 0 in
+  for k = 1 to body_len do
+    let bpc = pc + k in
+    note srcs p.Program.fp_src1.(bpc);
+    note srcs p.Program.fp_src2.(bpc);
+    note srcs p.Program.fp_src3.(bpc);
+    note dsts p.Program.fp_dst.(bpc);
+    flops := !flops + p.Program.flops.(bpc)
+  done;
+  let keys tbl = Hashtbl.fold (fun r () acc -> r :: acc) tbl [] |> Array.of_list in
+  let dst_regs = keys dsts in
+  let info =
+    {
+      Program.flops_per_iter = !flops;
+      src_regs = keys srcs;
+      dst_regs;
+      (* Only ft0-ft2 can stream, so a body writing any other register
+         updates the scoreboard and cannot be stall-free. *)
+      stallfree_candidate = Array.for_all (fun r -> r < 3) dst_regs;
+    }
+  in
+  p.Program.frep_info.(pc) <- Some info;
+  info
+
+(* The FP-source ready time of the pre-decoded instruction at [pc],
+   folded into [m]; streaming registers are always ready. *)
+let[@inline] fp_ready_from t (p : Program.t) pc m =
+  let rd r m =
+    if r >= 0 && not (is_stream_reg t r) then max m t.fp_ready.(r) else m
+  in
+  rd p.Program.fp_src3.(pc) (rd p.Program.fp_src2.(pc) (rd p.Program.fp_src1.(pc) m))
+
+(* Timing of one FP-path instruction at [pc] becoming available at
+   [avail] — the pre-decoded equivalent of [fpu_execute_timing]. *)
+let[@inline] fpu_timing_fast t (p : Program.t) pc ~avail =
+  let start = max t.fpu_free_at avail in
+  let start = fp_ready_from t p pc start in
+  t.fpu_free_at <- start + 1;
+  let latency =
+    let c = p.Program.fp_class.(pc) in
+    if c = Program.class_fp_load then fp_load_latency
+    else if c = Program.class_fp_store then 1
+    else fpu_latency
+  in
+  let d = p.Program.fp_dst.(pc) in
+  if d >= 0 && not (is_stream_reg t d) then t.fp_ready.(d) <- start + latency;
+  if p.Program.is_fpu.(pc) then begin
+    t.perf.fpu_busy <- t.perf.fpu_busy + 1;
+    t.perf.flops <- t.perf.flops + p.Program.flops.(pc)
+  end;
+  if start + latency > t.fpu_last_done then t.fpu_last_done <- start + latency
+
+(* --- compiled FREP bodies (fast engine) ---
+
+   FREP replay is the simulator's hot loop: the same handful of FPU
+   instructions execute hundreds of times with unchanging structure
+   (stream-ness of ft0-ft2 cannot change mid-replay — only scfgwi and
+   csrsi/csrci arm or enable streams, and bodies are FPU-only). The
+   fast engine therefore compiles a body once per (pc, stream mask)
+   into an array of fused functional+timing closures with operand
+   stream-ness, flop counts and the uniform FPU latency baked in, and
+   replays the closures for every iteration after the first. The first
+   iteration always runs through the generic per-slot path, so faults
+   (direction mismatches, non-FPU bodies) and the [avail] lower bound
+   on the first slot's start time surface identically; from the second
+   iteration on [fpu_free_at > avail] holds, so the closures can drop
+   the [avail] term.
+
+   The memory and stream accesses below replicate [Mem.load64],
+   [Mem.store64] and [Ssr.next_read_address]/[next_write_address]
+   inline (same checks, same faults — the cold paths delegate to the
+   originals) so the common case compiles to straight-line code in
+   this unit. *)
+
+external bytes_get64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external bytes_set64u : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external swap64 : int64 -> int64 = "%bswap_int64"
+
+let[@inline] mem_get64 (m : Mem.t) addr =
+  let off = addr - m.Mem.base in
+  if off < 0 || off + 8 > Bytes.length m.Mem.bytes then
+    ignore (Mem.load64 m addr) (* raises the canonical Access_fault *);
+  let v = bytes_get64u m.Mem.bytes off in
+  if Sys.big_endian then swap64 v else v
+
+let[@inline] mem_set64 (m : Mem.t) addr v =
+  let off = addr - m.Mem.base in
+  if off < 0 || off + 8 > Bytes.length m.Mem.bytes then
+    Mem.store64 m addr v (* raises the canonical Access_fault *)
+  else bytes_set64u m.Mem.bytes off (if Sys.big_endian then swap64 v else v)
+
+(* [Ssr.advance] with its common cases unrolled in this unit: repeat
+   service and the innermost no-carry bump; odometer wrap-around falls
+   back to [Ssr.bump]. *)
+let[@inline] ssr_advance_read (s : Ssr.t) =
+  if s.Ssr.rep_left > 0 then s.Ssr.rep_left <- s.Ssr.rep_left - 1
+  else begin
+    s.Ssr.rep_left <- s.Ssr.repeat;
+    let i = s.Ssr.idx.(0) + 1 in
+    if i < s.Ssr.bounds.(0) then begin
+      s.Ssr.idx.(0) <- i;
+      s.Ssr.cur <- s.Ssr.cur + s.Ssr.strides.(0)
+    end
+    else Ssr.bump s 0
+  end
+
+let[@inline] pop_stream t i =
+  let s = t.ssrs.(i) in
+  if s.Ssr.finished || s.Ssr.is_write || not s.Ssr.active then
+    ignore (Ssr.next_read_address s) (* raises the canonical Stream_fault *);
+  let a = s.Ssr.cur in
+  s.Ssr.served <- s.Ssr.served + 1;
+  ssr_advance_read s;
+  t.perf.stream_reads <- t.perf.stream_reads + 1;
+  mem_get64 t.mem a
+
+let[@inline] push_stream t i v =
+  let s = t.ssrs.(i) in
+  if s.Ssr.finished || (not s.Ssr.is_write) || not s.Ssr.active then
+    ignore (Ssr.next_write_address s) (* raises the canonical Stream_fault *);
+  let a = s.Ssr.cur in
+  s.Ssr.served <- s.Ssr.served + 1;
+  (* writes ignore the repeat count (see [Ssr.advance]) *)
+  s.Ssr.rep_left <- s.Ssr.repeat;
+  let i0 = s.Ssr.idx.(0) + 1 in
+  (if i0 < s.Ssr.bounds.(0) then begin
+     s.Ssr.idx.(0) <- i0;
+     s.Ssr.cur <- s.Ssr.cur + s.Ssr.strides.(0)
+   end
+   else Ssr.bump s 0);
+  t.perf.stream_writes <- t.perf.stream_writes + 1;
+  mem_set64 t.mem a v
+
+(* Scoreboard bookkeeping shared by the compiled slots: all FREP body
+   instructions are FPU-class, so the latency is the uniform
+   [fpu_latency] and busy/flops always count. [start] must already fold
+   in the ready times of the non-stream sources. *)
+let[@inline] compiled_timing t start ~dst ~dst_streams ~flops =
+  t.fpu_free_at <- start + 1;
+  if not dst_streams then t.fp_ready.(dst) <- start + fpu_latency;
+  t.perf.fpu_busy <- t.perf.fpu_busy + 1;
+  t.perf.flops <- t.perf.flops + flops;
+  if start + fpu_latency > t.fpu_last_done then
+    t.fpu_last_done <- start + fpu_latency
+
+(* Compile the body slot at [bpc] under the current stream mask. Only
+   the double-precision scalar shapes that dominate real kernels get a
+   fused closure; everything else falls back to the generic
+   executor+timing pair (with [avail = 0]: by the time a compiled body
+   runs, [fpu_free_at] already exceeds the replay's [avail]). *)
+let compile_slot t (p : Program.t) bpc =
+  let insn = p.Program.insns.(bpc) in
+  let flops = p.Program.flops.(bpc) in
+  match insn with
+  | Insn.Fmadd (Insn.D, fd, fs1, fs2, fs3) ->
+    let st1 = is_stream_reg t fs1
+    and st2 = is_stream_reg t fs2
+    and st3 = is_stream_reg t fs3
+    and std = is_stream_reg t fd in
+    fun () ->
+      let a = f64_of (if st1 then pop_stream t fs1 else t.fregs.(fs1))
+      and b = f64_of (if st2 then pop_stream t fs2 else t.fregs.(fs2))
+      and c = f64_of (if st3 then pop_stream t fs3 else t.fregs.(fs3)) in
+      let v = bits_of_f64 (Float.fma a b c) in
+      (if std then push_stream t fd v else t.fregs.(fd) <- v);
+      let start = t.fpu_free_at in
+      let start =
+        if st1 then start
+        else if t.fp_ready.(fs1) > start then t.fp_ready.(fs1)
+        else start
+      in
+      let start =
+        if st2 then start
+        else if t.fp_ready.(fs2) > start then t.fp_ready.(fs2)
+        else start
+      in
+      let start =
+        if st3 then start
+        else if t.fp_ready.(fs3) > start then t.fp_ready.(fs3)
+        else start
+      in
+      compiled_timing t start ~dst:fd ~dst_streams:std ~flops
+  | Insn.Fop (op, Insn.D, fd, fs1, fs2) ->
+    let st1 = is_stream_reg t fs1
+    and st2 = is_stream_reg t fs2
+    and std = is_stream_reg t fd in
+    fun () ->
+      let a = f64_of (if st1 then pop_stream t fs1 else t.fregs.(fs1))
+      and b = f64_of (if st2 then pop_stream t fs2 else t.fregs.(fs2)) in
+      let v = bits_of_f64 (apply_fop op a b) in
+      (if std then push_stream t fd v else t.fregs.(fd) <- v);
+      let start = t.fpu_free_at in
+      let start =
+        if st1 then start
+        else if t.fp_ready.(fs1) > start then t.fp_ready.(fs1)
+        else start
+      in
+      let start =
+        if st2 then start
+        else if t.fp_ready.(fs2) > start then t.fp_ready.(fs2)
+        else start
+      in
+      compiled_timing t start ~dst:fd ~dst_streams:std ~flops
+  | Insn.Fmv (fd, fs) ->
+    let st1 = is_stream_reg t fs and std = is_stream_reg t fd in
+    fun () ->
+      let v = if st1 then pop_stream t fs else t.fregs.(fs) in
+      (if std then push_stream t fd v else t.fregs.(fd) <- v);
+      let start = t.fpu_free_at in
+      let start =
+        if st1 then start
+        else if t.fp_ready.(fs) > start then t.fp_ready.(fs)
+        else start
+      in
+      compiled_timing t start ~dst:fd ~dst_streams:std ~flops
+  | _ ->
+    fun () ->
+      fpu_execute_functional t insn;
+      fpu_timing_fast t p bpc ~avail:0
+
+(* Functional-only variant of [compile_slot], for replay phases whose
+   timing is derived in closed form (the steady-state paths). The
+   functional snippets mirror [compile_slot] exactly. *)
+let compile_slot_fn t (p : Program.t) bpc =
+  let insn = p.Program.insns.(bpc) in
+  match insn with
+  | Insn.Fmadd (Insn.D, fd, fs1, fs2, fs3) ->
+    let st1 = is_stream_reg t fs1
+    and st2 = is_stream_reg t fs2
+    and st3 = is_stream_reg t fs3
+    and std = is_stream_reg t fd in
+    fun () ->
+      let a = f64_of (if st1 then pop_stream t fs1 else t.fregs.(fs1))
+      and b = f64_of (if st2 then pop_stream t fs2 else t.fregs.(fs2))
+      and c = f64_of (if st3 then pop_stream t fs3 else t.fregs.(fs3)) in
+      let v = bits_of_f64 (Float.fma a b c) in
+      if std then push_stream t fd v else t.fregs.(fd) <- v
+  | Insn.Fop (op, Insn.D, fd, fs1, fs2) ->
+    let st1 = is_stream_reg t fs1
+    and st2 = is_stream_reg t fs2
+    and std = is_stream_reg t fd in
+    fun () ->
+      let a = f64_of (if st1 then pop_stream t fs1 else t.fregs.(fs1))
+      and b = f64_of (if st2 then pop_stream t fs2 else t.fregs.(fs2)) in
+      let v = bits_of_f64 (apply_fop op a b) in
+      if std then push_stream t fd v else t.fregs.(fd) <- v
+  | Insn.Fmv (fd, fs) ->
+    let st1 = is_stream_reg t fs and std = is_stream_reg t fd in
+    fun () ->
+      let v = if st1 then pop_stream t fs else t.fregs.(fs) in
+      if std then push_stream t fd v else t.fregs.(fd) <- v
+  | _ -> fun () -> fpu_execute_functional t insn
+
+let[@inline] stream_mask t =
+  (if is_stream_reg t 0 then 1 else 0)
+  lor (if is_stream_reg t 1 then 2 else 0)
+  lor (if is_stream_reg t 2 then 4 else 0)
+
+let compiled_body t (p : Program.t) pc body_len =
+  let mask = stream_mask t in
+  match t.frep_compiled.(pc) with
+  | Some body when body.b_mask = mask -> body
+  | _ ->
+    let body =
+      {
+        b_mask = mask;
+        b_fused = Array.init body_len (fun k -> compile_slot t p (pc + k + 1));
+        b_fn = None;
+      }
+    in
+    t.frep_compiled.(pc) <- Some body;
+    body
+
+let fn_body t (p : Program.t) pc body_len body =
+  match body.b_fn with
+  | Some a -> a
+  | None ->
+    let a = Array.init body_len (fun k -> compile_slot_fn t p (pc + k + 1)) in
+    body.b_fn <- Some a;
+    a
+
+(* Execute the frep.o at [pc] on the fast engine. The frep.o instruction
+   itself has already been issued ([avail] = core time after issue).
+
+   Steady-state fast path: when every FP register the body touches is an
+   actively-streaming SSR data register, no scoreboard state constrains
+   issue — every slot starts exactly one cycle after the previous one
+   (sources always ready, destinations are streams, all body instructions
+   have the uniform [fpu_latency]). The whole replay's timing then has a
+   closed form and only the functional work (stream pops/pushes, FP
+   arithmetic) runs per iteration. Bit-identical to the per-slot
+   recurrence by construction. *)
+let frep_execute_fast t (p : Program.t) pc body_len ~iterations ~avail =
+  let insns = p.Program.insns in
+  let info =
+    match p.Program.frep_info.(pc) with
+    | Some info -> info
+    | None -> frep_decode p pc body_len
+  in
+  let start0 = max t.fpu_free_at avail in
+  let stall_free =
+    info.Program.stallfree_candidate
+    && Array.for_all (fun r -> is_stream_reg t r) info.Program.dst_regs
+    && Array.for_all
+         (fun r -> is_stream_reg t r || t.fp_ready.(r) <= start0)
+         info.Program.src_regs
+  in
+  if stall_free && not t.trace_enabled then begin
+    let total = body_len * iterations in
+    if iterations > 1 then begin
+      let body = compiled_body t p pc body_len in
+      let fn = fn_body t p pc body_len body in
+      for _iter = 1 to iterations do
+        (* Fuel is checked once per body batch; same out-of-fuel outcome
+           as the per-instruction check, at iteration granularity. *)
+        t.fuel <- t.fuel - body_len;
+        if t.fuel <= 0 then out_of_fuel ();
+        for k = 0 to body_len - 1 do (Array.unsafe_get fn k) () done
+      done
+    end
+    else
+      for _iter = 1 to iterations do
+        t.fuel <- t.fuel - body_len;
+        if t.fuel <= 0 then out_of_fuel ();
+        for k = 1 to body_len do
+          fpu_execute_functional t insns.(pc + k)
+        done
+      done;
+    t.perf.retired <- t.perf.retired + total;
+    t.perf.fpu_busy <- t.perf.fpu_busy + total;
+    t.perf.flops <- t.perf.flops + (info.Program.flops_per_iter * iterations);
+    t.fpu_free_at <- start0 + total;
+    let last = start0 + total - 1 + fpu_latency in
+    if last > t.fpu_last_done then t.fpu_last_done <- last
+  end
+  else if (not t.trace_enabled) && iterations > 1 then begin
+    (* First iteration through the generic per-slot path: body faults
+       and the [avail] lower bound on the first slot surface here.
+       Later iterations replay the compiled body.
+
+       Dense-warp: an iteration whose FPU timeline advanced by exactly
+       [body_len] issued every slot back-to-back (zero stalls). Two
+       consecutive dense iterations pin every in-body dependency to its
+       dense-relative position, so by induction all remaining
+       iterations are dense too: each start time shifts by [body_len]
+       per iteration, constants stay ready, and streams are always
+       ready. The remaining iterations then run functional-only and
+       the scoreboard is advanced in closed form — bit-identical to
+       the per-slot recurrence. *)
+    t.fuel <- t.fuel - body_len;
+    if t.fuel <= 0 then out_of_fuel ();
+    for k = 1 to body_len do
+      let bpc = pc + k in
+      fpu_execute_functional t insns.(bpc);
+      fpu_timing_fast t p bpc ~avail
+    done;
+    let body = compiled_body t p pc body_len in
+    let fused = body.b_fused in
+    let done_ = ref 1 in
+    let prev_dense = ref false and warp = ref false in
+    while (not !warp) && !done_ < iterations do
+      t.fuel <- t.fuel - body_len;
+      if t.fuel <= 0 then out_of_fuel ();
+      let free0 = t.fpu_free_at in
+      for k = 0 to body_len - 1 do (Array.unsafe_get fused k) () done;
+      incr done_;
+      let dense = t.fpu_free_at - free0 = body_len in
+      if dense && !prev_dense then warp := true else prev_dense := dense
+    done;
+    if !warp && !done_ < iterations then begin
+      let remaining = iterations - !done_ in
+      let fn = fn_body t p pc body_len body in
+      for _iter = 1 to remaining do
+        t.fuel <- t.fuel - body_len;
+        if t.fuel <= 0 then out_of_fuel ();
+        for k = 0 to body_len - 1 do (Array.unsafe_get fn k) () done
+      done;
+      let shift = body_len * remaining in
+      t.fpu_free_at <- t.fpu_free_at + shift;
+      Array.iter
+        (fun r ->
+          if not (is_stream_reg t r) then
+            t.fp_ready.(r) <- t.fp_ready.(r) + shift)
+        info.Program.dst_regs;
+      let last = t.fpu_free_at - 1 + fpu_latency in
+      if last > t.fpu_last_done then t.fpu_last_done <- last;
+      t.perf.fpu_busy <- t.perf.fpu_busy + shift;
+      t.perf.flops <-
+        t.perf.flops + (info.Program.flops_per_iter * remaining)
+    end;
+    t.perf.retired <- t.perf.retired + (body_len * iterations)
+  end
+  else begin
+    let src = if t.trace_enabled then Lazy.force p.Program.source else [||] in
+    for _iter = 1 to iterations do
+      t.fuel <- t.fuel - body_len;
+      if t.fuel <= 0 then out_of_fuel ();
+      for k = 1 to body_len do
+        let bpc = pc + k in
+        if t.trace_enabled then trace_push t t.fpu_free_at src.(bpc);
+        fpu_execute_functional t insns.(bpc);
+        fpu_timing_fast t p bpc ~avail
+      done
+    done;
+    t.perf.retired <- t.perf.retired + (body_len * iterations)
+  end
+
+(* The fast engine: pre-decoded scoreboard metadata, per-pc FREP caches,
+   no allocation per retired instruction. *)
+let run t (p : Program.t) ~entry =
+  let insns = p.Program.insns in
+  let int_src1 = p.Program.int_src1 and int_src2 = p.Program.int_src2 in
   let n = Array.length insns in
-  let pc = ref (Asm_parse.entry program entry) in
+  (match t.frep_compiled_for with
+  | Some q when q == p -> ()
+  | _ ->
+    t.frep_compiled <- Array.make n None;
+    t.frep_compiled_for <- Some p);
+  let src = if t.trace_enabled then Lazy.force p.Program.source else [||] in
+  let pc = ref (Program.entry p entry) in
   let running = ref true in
   while !running do
     if !pc < 0 || !pc >= n then err "pc %d out of program bounds" !pc;
     burn_fuel t;
     let insn = insns.(!pc) in
     t.perf.retired <- t.perf.retired + 1;
-    let int_srcs, _, _, _ = Insn.deps insn in
-    let issue = max t.core_time (ready_ints t int_srcs) in
-    if t.trace_enabled then
-      t.trace_buf <- (issue, program.source.(!pc)) :: t.trace_buf;
+    let issue =
+      let m = t.core_time in
+      let s1 = int_src1.(!pc) in
+      let m = if s1 >= 0 && t.int_ready.(s1) > m then t.int_ready.(s1) else m in
+      let s2 = int_src2.(!pc) in
+      if s2 >= 0 && t.int_ready.(s2) > m then t.int_ready.(s2) else m
+    in
+    if t.trace_enabled then trace_push t issue src.(!pc);
     (match insn with
     | Insn.Li (rd, imm) ->
       set_ireg t rd imm;
@@ -399,22 +889,7 @@ let run t (program : Asm_parse.program) ~entry =
       (* The core issues the frep plus the n buffered instructions once;
          the sequencer replays them without the core. *)
       t.core_time <- issue + 1 + body_len;
-      let avail = t.core_time in
-      for _iter = 1 to iterations do
-        for k = 1 to body_len do
-          let body_insn = insns.(!pc + k) in
-          if not (Insn.is_fpu body_insn) then
-            err "frep body contains a non-FPU instruction: %s"
-              program.source.(!pc + k);
-          burn_fuel t;
-          t.perf.retired <- t.perf.retired + 1;
-          if t.trace_enabled then
-            t.trace_buf <-
-              (t.fpu_free_at, program.source.(!pc + k)) :: t.trace_buf;
-          fpu_execute_functional t body_insn;
-          fpu_execute_timing t body_insn ~avail
-        done
-      done;
+      frep_execute_fast t p !pc body_len ~iterations ~avail:t.core_time;
       pc := !pc + 1 + body_len
     | Insn.Fload _ | Insn.Fstore _ | Insn.Fop _ | Insn.Fmadd _ | Insn.Fmv _
     | Insn.Fcvt_from_int _ | Insn.Fmv_from_bits _ | Insn.Vf _ | Insn.Vfmac _
@@ -425,15 +900,145 @@ let run t (program : Asm_parse.program) ~entry =
       let issue = max issue (t.fpu_free_at - fpu_fifo_depth) in
       t.core_time <- issue + 1;
       fpu_execute_functional t insn;
+      fpu_timing_fast t p !pc ~avail:(issue + 1);
+      incr pc)
+  done;
+  t.perf.cycles <- max t.core_time t.fpu_last_done;
+  { perf = t.perf; final_pc = !pc }
+
+(* The reference engine: the original per-instruction loop using
+   [Insn.deps] on every retired instruction. Kept as the timing oracle
+   for the fast engine (differential tests, speedup measurement). *)
+let run_reference t (p : Program.t) ~entry =
+  let insns = p.Program.insns in
+  let n = Array.length insns in
+  let src = if t.trace_enabled then Lazy.force p.Program.source else [||] in
+  let pc = ref (Program.entry p entry) in
+  let running = ref true in
+  while !running do
+    if !pc < 0 || !pc >= n then err "pc %d out of program bounds" !pc;
+    burn_fuel t;
+    let insn = insns.(!pc) in
+    t.perf.retired <- t.perf.retired + 1;
+    let int_srcs, _, _, _ = Insn.deps insn in
+    let issue = max t.core_time (ready_ints t int_srcs) in
+    if t.trace_enabled then trace_push t issue src.(!pc);
+    (match insn with
+    | Insn.Li (rd, imm) ->
+      set_ireg t rd imm;
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + 1;
+      incr pc
+    | Insn.Mv (rd, rs) ->
+      set_ireg t rd (get_ireg t rs);
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + 1;
+      incr pc
+    | Insn.Alu (op, rd, rs1, rs2) ->
+      set_ireg t rd (apply_alu op (get_ireg t rs1) (get_ireg t rs2));
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + 1;
+      incr pc
+    | Insn.Alui (op, rd, rs1, imm) ->
+      set_ireg t rd (apply_alu op (get_ireg t rs1) imm);
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + 1;
+      incr pc
+    | Insn.Load (width, rd, off, base) ->
+      let addr = Int64.to_int (get_ireg t base) + off in
+      let v =
+        if width = 8 then Mem.load64 t.mem addr
+        else Int64.of_int32 (Mem.load32 t.mem addr)
+      in
+      set_ireg t rd v;
+      t.perf.loads <- t.perf.loads + 1;
+      t.core_time <- issue + 1;
+      t.int_ready.(rd) <- issue + int_load_latency;
+      incr pc
+    | Insn.Store (width, rs, off, base) ->
+      let addr = Int64.to_int (get_ireg t base) + off in
+      (if width = 8 then Mem.store64 t.mem addr (get_ireg t rs)
+       else Mem.store32 t.mem addr (Int64.to_int32 (get_ireg t rs)));
+      t.perf.stores <- t.perf.stores + 1;
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Branch (cond, rs1, rs2, target) ->
+      let a = get_ireg t rs1 and b = get_ireg t rs2 in
+      let taken =
+        match cond with
+        | Beq -> a = b
+        | Bne -> a <> b
+        | Blt -> Int64.compare a b < 0
+        | Bge -> Int64.compare a b >= 0
+      in
+      t.core_time <- issue + (if taken then taken_branch_cost else 1);
+      pc := if taken then target else !pc + 1
+    | Insn.J target ->
+      t.core_time <- issue + taken_branch_cost;
+      pc := target
+    | Insn.Ret ->
+      t.core_time <- issue + 1;
+      running := false
+    | Insn.Nop ->
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Csrsi (csr, _) ->
+      if csr = 0x7c0 then t.ssr_enabled <- true;
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Csrci (csr, _) ->
+      if csr = 0x7c0 then t.ssr_enabled <- false;
+      t.core_time <- max (issue + 1) t.fpu_last_done;
+      incr pc
+    | Insn.Scfgwi (rs1, imm) ->
+      do_scfgwi t (get_ireg t rs1) imm;
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Frep_o (rpt_reg, body_len) ->
+      if !pc + body_len >= n then err "frep body runs past end of program";
+      let iterations = Int64.to_int (get_ireg t rpt_reg) + 1 in
+      if iterations <= 0 then err "frep with non-positive iteration count";
+      t.perf.freps <- t.perf.freps + 1;
+      t.core_time <- issue + 1 + body_len;
+      let avail = t.core_time in
+      for _iter = 1 to iterations do
+        for k = 1 to body_len do
+          let body_insn = insns.(!pc + k) in
+          if not (Insn.is_fpu body_insn) then
+            err "frep body contains a non-FPU instruction: %s"
+              (Lazy.force p.Program.source).(!pc + k);
+          burn_fuel t;
+          t.perf.retired <- t.perf.retired + 1;
+          if t.trace_enabled then trace_push t t.fpu_free_at src.(!pc + k);
+          fpu_execute_functional t body_insn;
+          fpu_execute_timing t body_insn ~avail
+        done
+      done;
+      pc := !pc + 1 + body_len
+    | Insn.Fload _ | Insn.Fstore _ | Insn.Fop _ | Insn.Fmadd _ | Insn.Fmv _
+    | Insn.Fcvt_from_int _ | Insn.Fmv_from_bits _ | Insn.Vf _ | Insn.Vfmac _
+    | Insn.Vfsum _ | Insn.Vfcpka _ ->
+      let issue = max issue (t.fpu_free_at - fpu_fifo_depth) in
+      t.core_time <- issue + 1;
+      fpu_execute_functional t insn;
       fpu_execute_timing t insn ~avail:(issue + 1);
       incr pc)
   done;
   t.perf.cycles <- max t.core_time t.fpu_last_done;
   { perf = t.perf; final_pc = !pc }
 
-(* The collected instruction trace, oldest first: "cycle: instruction". *)
+(* The collected instruction trace, oldest first: "cycle: instruction".
+   Bounded: only the most recent [trace_cap] entries (default 65536) are
+   retained; older entries are overwritten in ring order. *)
 let trace t =
-  List.rev_map (fun (c, src) -> Printf.sprintf "%8d: %s" c src) t.trace_buf
+  if not t.trace_enabled then []
+  else begin
+    let kept = min t.trace_len t.trace_cap in
+    let first = t.trace_len - kept in
+    List.init kept (fun i ->
+        let j = (first + i) mod t.trace_cap in
+        Printf.sprintf "%8d: %s" t.trace_cycles.(j) t.trace_srcs.(j))
+  end
 
 (* FPU utilisation in percent, as defined in paper §4.1. *)
 let utilization perf =

@@ -10,7 +10,13 @@
     - FREP: the sequencer replays buffered FP instructions without the
       integer core (pseudo-dual issue);
     - SSRs: accesses to ft0–ft2 while streaming move elements directly
-      between FPU and TCDM. *)
+      between FPU and TCDM.
+
+    Two engines implement the model over pre-decoded {!Program.t} values:
+    {!run} (fast: flat metadata arrays, cached FREP decode, steady-state
+    FREP replay) and {!run_reference} (the original per-instruction loop,
+    kept as the timing oracle). They produce bit-identical performance
+    counters; see DESIGN.md, "Simulator performance & timing contract". *)
 
 exception Exec_error of string
 
@@ -43,13 +49,26 @@ type t = {
   perf : perf;
   mutable fuel : int;
   trace_enabled : bool;
-  mutable trace_buf : (int * string) list;
+  trace_cap : int;
+  trace_cycles : int array;
+  trace_srcs : string array;
+  mutable trace_len : int;  (** total trace entries ever pushed *)
+  mutable frep_compiled : frep_body option array;
+      (** fast-engine cache of compiled FREP bodies (internal) *)
+  mutable frep_compiled_for : Program.t option;
+}
+
+and frep_body = {
+  b_mask : int;
+  b_fused : (unit -> unit) array;
+  mutable b_fn : (unit -> unit) array option;
 }
 
 (** [create ~fuel ~trace ()] — [fuel] bounds dynamic instructions
     (catches runaway loops); [trace] records per-instruction issue
-    cycles (see {!trace}). *)
-val create : ?fuel:int -> ?trace:bool -> unit -> t
+    cycles into a bounded ring of [trace_cap] entries (default 65536);
+    see {!trace}. *)
+val create : ?fuel:int -> ?trace:bool -> ?trace_cap:int -> unit -> t
 
 val set_ireg : t -> int -> int64 -> unit
 val get_ireg : t -> int -> int64
@@ -62,11 +81,21 @@ type outcome = { perf : perf; final_pc : int }
     counters live in [t]; total cycles are the drain point of both the
     integer core and the FPU. Raises {!Exec_error} on semantic faults
     (non-FPU op under FREP, runaway execution), {!Mem.Access_fault} and
-    {!Ssr.Stream_fault} on memory/stream violations. *)
-val run : t -> Asm_parse.program -> entry:string -> outcome
+    {!Ssr.Stream_fault} on memory/stream violations. This is the fast
+    engine; its performance counters are bit-identical to
+    {!run_reference}. *)
+val run : t -> Program.t -> entry:string -> outcome
+
+(** The original per-instruction interpretation loop, kept as the timing
+    oracle: differential tests assert [run] and [run_reference] agree on
+    every counter, and the benchmark driver measures the fast engine's
+    host-side speedup against it. *)
+val run_reference : t -> Program.t -> entry:string -> outcome
 
 (** The instruction trace, oldest first, as "cycle: instruction" lines
-    (empty unless created with [~trace:true]). *)
+    (empty unless created with [~trace:true]). Bounded: only the most
+    recent [trace_cap] entries (default 65536) are retained — earlier
+    entries of longer runs are overwritten in ring order. *)
 val trace : t -> string list
 
 (** FPU utilisation in percent (paper §4.1). *)

@@ -1,0 +1,139 @@
+(* Pre-decoded programs: the load-time representation consumed by the
+   simulator's fast execution engine (DESIGN.md, "Simulator performance &
+   timing contract").
+
+   The per-pc scoreboard metadata that [Machine.run] needs on every
+   retired instruction — integer/FP source registers, FP destination,
+   FPU-datapath membership, FLOP count, FP latency class — is extracted
+   once here into flat unboxed arrays, so the inner simulation loop never
+   calls [Insn.deps] (which allocates lists and tuples per call).
+
+   Source text is lazy: the assembler provides the original lines, the
+   direct emission path ([Insn_emit]) synthesises them only when a trace
+   or an error message actually needs them. *)
+
+(* Latency class of the FP data path an instruction occupies. *)
+let class_int = 0
+let class_fp_load = 1
+let class_fp_store = 2
+let class_fpu = 3
+
+(* Per-pc cache of FREP body facts, filled by the machine on the first
+   dynamic encounter of the frep.o at that pc (after validating that the
+   body is FPU-only):
+   - [flops_per_iter]: total FLOPs of one body replay;
+   - [src_regs] / [dst_regs]: the distinct FP source / destination
+     registers the body touches;
+   - [stallfree_candidate]: every destination lies in ft0-ft2, so the
+     body can qualify for the steady-state timing fast path: when all
+     destinations are actively streaming (no scoreboard writes) and every
+     non-streaming source is ready by the replay's first issue slot
+     (checked at runtime), each slot starts exactly one cycle after the
+     previous one and the whole replay's timing has a closed form. *)
+type frep_info = {
+  flops_per_iter : int;
+  src_regs : int array;
+  dst_regs : int array;
+  stallfree_candidate : bool;
+}
+
+type t = {
+  insns : Insn.t array;
+  labels : (string, int) Hashtbl.t;
+  source : string array Lazy.t; (* per-pc text, for traces and errors *)
+  (* flat per-pc scoreboard metadata; -1 encodes "none" *)
+  int_src1 : int array;
+  int_src2 : int array;
+  fp_src1 : int array;
+  fp_src2 : int array;
+  fp_src3 : int array;
+  fp_dst : int array;
+  is_fpu : bool array;
+  flops : int array;
+  fp_class : int array; (* class_int | class_fp_load | class_fp_store | class_fpu *)
+  frep_info : frep_info option array; (* per-pc lazy cache, see above *)
+}
+
+let pad2 = function
+  | [] -> (-1, -1)
+  | [ a ] -> (a, -1)
+  | [ a; b ] -> (a, b)
+  | _ -> invalid_arg "Program: more than two integer sources"
+
+let pad3 = function
+  | [] -> (-1, -1, -1)
+  | [ a ] -> (a, -1, -1)
+  | [ a; b ] -> (a, b, -1)
+  | [ a; b; c ] -> (a, b, c)
+  | _ -> invalid_arg "Program: more than three FP sources"
+
+let classify (insn : Insn.t) =
+  match insn with
+  | Insn.Fload _ -> class_fp_load
+  | Insn.Fstore _ -> class_fp_store
+  | i when Insn.is_fpu i -> class_fpu
+  | _ -> class_int
+
+let make ?source ~insns ~labels () =
+  let n = Array.length insns in
+  let int_src1 = Array.make n (-1)
+  and int_src2 = Array.make n (-1)
+  and fp_src1 = Array.make n (-1)
+  and fp_src2 = Array.make n (-1)
+  and fp_src3 = Array.make n (-1)
+  and fp_dst = Array.make n (-1)
+  and is_fpu = Array.make n false
+  and flops = Array.make n 0
+  and fp_class = Array.make n class_int in
+  for pc = 0 to n - 1 do
+    let insn = insns.(pc) in
+    let ints, fps, _, fdst = Insn.deps insn in
+    let i1, i2 = pad2 ints in
+    let f1, f2, f3 = pad3 fps in
+    int_src1.(pc) <- i1;
+    int_src2.(pc) <- i2;
+    fp_src1.(pc) <- f1;
+    fp_src2.(pc) <- f2;
+    fp_src3.(pc) <- f3;
+    fp_dst.(pc) <- (match fdst with Some d -> d | None -> -1);
+    is_fpu.(pc) <- Insn.is_fpu insn;
+    flops.(pc) <- Insn.flops insn;
+    fp_class.(pc) <- classify insn
+  done;
+  let source =
+    match source with
+    | Some s -> s
+    | None -> lazy (Array.map Asm_parse.render insns)
+  in
+  {
+    insns;
+    labels;
+    source;
+    int_src1;
+    int_src2;
+    fp_src1;
+    fp_src2;
+    fp_src3;
+    fp_dst;
+    is_fpu;
+    flops;
+    fp_class;
+    frep_info = Array.make n None;
+  }
+
+let of_asm (p : Asm_parse.program) =
+  make
+    ~source:(Lazy.from_val p.Asm_parse.source)
+    ~insns:p.Asm_parse.insns ~labels:p.Asm_parse.labels ()
+
+let entry t name =
+  match Hashtbl.find_opt t.labels name with
+  | Some pc -> pc
+  | None ->
+    raise (Asm_parse.Asm_error (Printf.sprintf "no such label %S" name))
+
+(* Equality of the parts that determine execution: instruction arrays and
+   label tables. Source text and decode caches are presentation only. *)
+let equal a b =
+  let table h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare in
+  a.insns = b.insns && table a.labels = table b.labels

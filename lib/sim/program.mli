@@ -1,0 +1,61 @@
+(** Pre-decoded programs: the load-time representation consumed by the
+    simulator's fast execution engine. All per-pc scoreboard metadata
+    (source/destination registers, FPU-datapath membership, FLOPs,
+    latency class) is extracted into flat arrays once at load time so
+    the [Machine.run] inner loop never calls [Insn.deps] or allocates.
+    See DESIGN.md, "Simulator performance & timing contract". *)
+
+(** Latency classes stored in [fp_class]. *)
+val class_int : int
+
+val class_fp_load : int
+val class_fp_store : int
+val class_fpu : int
+
+(** Per-pc FREP body facts, cached by the machine at the first dynamic
+    encounter (after validating the body is FPU-only). *)
+type frep_info = {
+  flops_per_iter : int;  (** total FLOPs of one body replay *)
+  src_regs : int array;  (** distinct FP source registers of the body *)
+  dst_regs : int array;  (** distinct FP destination registers *)
+  stallfree_candidate : bool;
+      (** every destination is in ft0–ft2, so the body qualifies for the
+          steady-state timing fast path while all destinations stream and
+          every non-streaming source is ready by the first issue slot *)
+}
+
+type t = {
+  insns : Insn.t array;
+  labels : (string, int) Hashtbl.t;
+  source : string array Lazy.t;  (** per-pc text, for traces and errors *)
+  int_src1 : int array;  (** -1 encodes "none" in all register arrays *)
+  int_src2 : int array;
+  fp_src1 : int array;
+  fp_src2 : int array;
+  fp_src3 : int array;
+  fp_dst : int array;
+  is_fpu : bool array;
+  flops : int array;
+  fp_class : int array;
+  frep_info : frep_info option array;
+}
+
+(** Pre-decode an instruction array. [source] defaults to lazily rendering
+    each instruction with {!Asm_parse.render}. *)
+val make :
+  ?source:string array Lazy.t ->
+  insns:Insn.t array ->
+  labels:(string, int) Hashtbl.t ->
+  unit ->
+  t
+
+(** Pre-decode an assembled program, keeping its original source lines. *)
+val of_asm : Asm_parse.program -> t
+
+(** The pc of a label; raises {!Asm_parse.Asm_error} when absent. *)
+val entry : t -> string -> int
+
+(** Equality of the execution-determining parts (instructions + labels);
+    source text and decode caches are ignored. Used by the direct-emission
+    vs print→parse equivalence tests. *)
+val equal : t -> t -> bool

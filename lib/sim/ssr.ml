@@ -14,6 +14,7 @@ type t = {
   mutable repeat : int; (* extra times each element is served *)
   mutable ptr : int; (* base byte address *)
   mutable idx : int array; (* odometer, innermost first *)
+  mutable cur : int; (* ptr + sum idx.(d) * strides.(d), kept incrementally *)
   mutable rep_left : int;
   mutable active : bool;
   mutable finished : bool; (* pattern exhausted; further access faults *)
@@ -28,6 +29,7 @@ let create () =
     repeat = 0;
     ptr = 0;
     idx = [||];
+    cur = 0;
     rep_left = 0;
     active = false;
     finished = false;
@@ -51,6 +53,7 @@ let arm t config ~dims ~ptr ~is_write =
   t.repeat <- config.c_repeat;
   t.ptr <- ptr;
   t.idx <- Array.make dims 0;
+  t.cur <- ptr;
   t.rep_left <- config.c_repeat;
   t.active <- true;
   t.finished <- false;
@@ -60,28 +63,31 @@ let arm t config ~dims ~ptr ~is_write =
 let total_elements t =
   Array.fold_left ( * ) 1 t.bounds * (t.repeat + 1)
 
-let current_address t =
-  let addr = ref t.ptr in
-  Array.iteri (fun d i -> addr := !addr + (i * t.strides.(d))) t.idx;
-  !addr
+let current_address t = t.cur
 
 (* Advance the odometer after one element has been served (accounting for
-   the repeat count on reads). *)
+   the repeat count on reads). The cached address moves with the odometer
+   so serving an element costs O(1) in the common no-carry case. *)
+let rec bump t d =
+  if d >= Array.length t.idx then t.finished <- true
+  else begin
+    let i = t.idx.(d) + 1 in
+    if i >= t.bounds.(d) then begin
+      t.idx.(d) <- 0;
+      t.cur <- t.cur - ((i - 1) * t.strides.(d));
+      bump t (d + 1)
+    end
+    else begin
+      t.idx.(d) <- i;
+      t.cur <- t.cur + t.strides.(d)
+    end
+  end
+
 let advance t =
   if t.rep_left > 0 && not t.is_write then t.rep_left <- t.rep_left - 1
   else begin
     t.rep_left <- t.repeat;
-    let rec bump d =
-      if d >= Array.length t.idx then t.finished <- true
-      else begin
-        t.idx.(d) <- t.idx.(d) + 1;
-        if t.idx.(d) >= t.bounds.(d) then begin
-          t.idx.(d) <- 0;
-          bump (d + 1)
-        end
-      end
-    in
-    bump 0
+    bump t 0
   end
 
 let next_read_address t =

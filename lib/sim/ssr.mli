@@ -12,6 +12,7 @@ type t = {
   mutable repeat : int;
   mutable ptr : int;
   mutable idx : int array;
+  mutable cur : int;  (** cached [ptr + sum idx.(d) * strides.(d)] *)
   mutable rep_left : int;
   mutable active : bool;
   mutable finished : bool;
@@ -38,3 +39,16 @@ val total_elements : t -> int
 val next_read_address : t -> int
 
 val next_write_address : t -> int
+
+(** Advance the odometer after one element has been served. Exposed for
+    the simulator's compiled FREP fast path, which inlines the
+    element-serving checks; normal clients use {!next_read_address} /
+    {!next_write_address}. *)
+val advance : t -> unit
+
+(** Carry the odometer starting at dimension [d] (increment, wrap,
+    recurse outward; marks the stream finished past the last
+    dimension). [advance] is [bump t 0] after the repeat count is
+    reloaded — exposed so the fast path can inline the common no-carry
+    innermost step and fall back here on wrap-around. *)
+val bump : t -> int -> unit

@@ -131,7 +131,7 @@ let test_rv_cf_emission_and_execution () =
   Rv_func.return_ bb [];
   Verifier.verify m;
   let asm = Asm_emit.emit_module m in
-  let program = Mlc_sim.Asm_parse.parse asm in
+  let program = Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm) in
   let check x y expected =
     let machine = Mlc_sim.Machine.create () in
     Mlc_sim.Machine.set_ireg machine (Mlc_sim.Asm_parse.xreg "t0") (Int64.of_int x);

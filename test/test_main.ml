@@ -6,4 +6,5 @@ let () =
     (Test_affine.suite @ Test_ir.suite @ Test_dialects.suite
    @ Test_interp.suite @ Test_sim.suite @ Test_transforms.suite
    @ Test_regalloc.suite @ Test_linear_scan.suite @ Test_pipeline.suite
-   @ Test_lowlevel.suite @ Test_extra.suite @ Test_regcheck.suite)
+   @ Test_lowlevel.suite @ Test_extra.suite @ Test_regcheck.suite
+   @ Test_perf_model.suite)

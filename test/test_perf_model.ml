@@ -1,0 +1,294 @@
+(* The simulator performance-model contract (DESIGN.md, "Simulator
+   performance & timing contract"):
+
+   1. Golden cycle counts: the timing model's outputs on canonical
+      kernels are pinned exactly. The fast-path machinery (pre-decoded
+      programs, FREP steady-state replay) is an implementation change,
+      not a model change — any drift in these numbers is a regression.
+   2. Engine differential: the fast engine and the reference
+      per-instruction loop produce bit-identical counters and outputs on
+      every kernel in the registry.
+   3. Emission equivalence: direct IR → Insn lowering produces the same
+      program as the print → parse text round-trip, for every registry
+      kernel and for the loop-based baseline pipeline.
+   4. Unit semantics pinned along the way: fmv.w.x packed-lane payload,
+      the bounded trace ring, and the FREP steady-state fast path on a
+      fully-streamed body. *)
+
+open Mlc
+open Mlc_sim
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+(* --- 1. golden metrics --- *)
+
+type golden = {
+  g_name : string;
+  spec : Mlc_kernels.Builders.spec;
+  cycles : int;
+  fpu_util : float;
+  flops : int;
+  loads : int;
+  stores : int;
+  freps : int;
+  retired : int;
+}
+
+let goldens =
+  let open Mlc_kernels.Builders in
+  [
+    { g_name = "matmul 4x16x8"; spec = matmul ~n:4 ~m:16 ~k:8 ();
+      cycles = 706; fpu_util = 90.793201; flops = 1024; loads = 0;
+      stores = 0; freps = 8; retired = 738 };
+    { g_name = "matmul 1x5x200"; spec = matmul ~n:1 ~m:5 ~k:200 ();
+      cycles = 1046; fpu_util = 96.653920; flops = 2000; loads = 0;
+      stores = 0; freps = 1; retired = 1042 };
+    { g_name = "sum 16x16"; spec = sum ~n:16 ~m:16 ();
+      cycles = 287; fpu_util = 89.198606; flops = 256; loads = 0;
+      stores = 0; freps = 16; retired = 347 };
+    { g_name = "sum 4x8"; spec = sum ~n:4 ~m:8 ();
+      cycles = 63; fpu_util = 50.793651; flops = 32; loads = 0;
+      stores = 0; freps = 4; retired = 75 };
+    { g_name = "relu 16x16"; spec = relu ~n:16 ~m:16 ();
+      cycles = 281; fpu_util = 91.459075; flops = 256; loads = 0;
+      stores = 0; freps = 16; retired = 341 };
+    { g_name = "relu 4x8"; spec = relu ~n:4 ~m:8 ();
+      cycles = 57; fpu_util = 57.894737; flops = 32; loads = 0;
+      stores = 0; freps = 4; retired = 69 };
+  ]
+
+let check_golden g =
+  let r = Runner.run g.spec in
+  let m = r.Runner.metrics in
+  check_int (g.g_name ^ " cycles") g.cycles m.Runner.cycles;
+  check_float (g.g_name ^ " fpu util") g.fpu_util m.Runner.fpu_util;
+  check_int (g.g_name ^ " flops") g.flops m.Runner.flop_count;
+  check_int (g.g_name ^ " loads") g.loads m.Runner.loads;
+  check_int (g.g_name ^ " stores") g.stores m.Runner.stores;
+  check_int (g.g_name ^ " freps") g.freps m.Runner.freps;
+  check_int (g.g_name ^ " retired") g.retired m.Runner.retired;
+  Alcotest.(check bool) (g.g_name ^ " validates") true (r.Runner.max_abs_err < 1e-9)
+
+let test_golden_metrics () = List.iter check_golden goldens
+
+(* The loop-based baseline pipeline exercises the integer-core side of
+   the model (branches, integer loads); pin it too. *)
+let test_golden_baseline () =
+  let spec = Mlc_kernels.Builders.matmul ~n:1 ~m:5 ~k:50 () in
+  let r = Runner.run ~flags:Mlc_transforms.Pipeline.baseline spec in
+  let m = r.Runner.metrics in
+  check_int "baseline cycles" 7084 m.Runner.cycles;
+  check_int "baseline loads" 750 m.Runner.loads;
+  check_int "baseline stores" 255 m.Runner.stores;
+  check_int "baseline retired" 6831 m.Runner.retired
+
+(* --- 2. fast engine ≡ reference engine, direct ≡ text --- *)
+
+let all_registry_specs () =
+  List.map
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      (e.Mlc_kernels.Registry.name, e.Mlc_kernels.Registry.instantiate ~n:8 ~m:8 ~k:8 ()))
+    Mlc_kernels.Registry.table1
+
+let same_metrics name (a : Runner.metrics) (b : Runner.metrics) =
+  check_int (name ^ " cycles") a.Runner.cycles b.Runner.cycles;
+  check_int (name ^ " flops") a.Runner.flop_count b.Runner.flop_count;
+  check_int (name ^ " loads") a.Runner.loads b.Runner.loads;
+  check_int (name ^ " stores") a.Runner.stores b.Runner.stores;
+  check_int (name ^ " freps") a.Runner.freps b.Runner.freps;
+  check_int (name ^ " retired") a.Runner.retired b.Runner.retired;
+  check_float (name ^ " util") a.Runner.fpu_util b.Runner.fpu_util
+
+let test_engine_differential () =
+  List.iter
+    (fun (name, spec) ->
+      let fast = Runner.run ~sim_path:Runner.Direct ~engine:Runner.Fast spec in
+      let refr =
+        Runner.run ~sim_path:Runner.Via_text ~engine:Runner.Reference spec
+      in
+      same_metrics name fast.Runner.metrics refr.Runner.metrics;
+      Alcotest.(check bool)
+        (name ^ " same outputs") true
+        (Runner.max_abs_err fast.Runner.outputs refr.Runner.outputs = 0.0))
+    (all_registry_specs ())
+
+let test_engine_differential_lowlevel () =
+  List.iter
+    (fun (name, spec) ->
+      let fast =
+        Runner.run_lowlevel ~sim_path:Runner.Direct ~engine:Runner.Fast spec
+      in
+      let refr =
+        Runner.run_lowlevel ~sim_path:Runner.Via_text ~engine:Runner.Reference
+          spec
+      in
+      same_metrics name fast.Runner.metrics refr.Runner.metrics)
+    [
+      ("lowlevel sum32", Mlc_kernels.Lowlevel.sum32 ~n:16 ~m:16 ());
+      ("lowlevel relu32", Mlc_kernels.Lowlevel.relu32 ~n:16 ~m:16 ());
+      ("lowlevel matmul_t32", Mlc_kernels.Lowlevel.matmul_t32 ~n:4 ~m:8 ~k:32 ());
+    ]
+
+(* --- 3. direct emission ≡ print → parse --- *)
+
+let equal_programs ~flags name build =
+  let m = build () in
+  let compiled = Mlc_transforms.Pipeline.compile ~flags ~verify_each:true m in
+  let direct = Mlc_riscv.Insn_emit.emit_module m in
+  let via_text =
+    Program.of_asm (Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm)
+  in
+  Alcotest.(check bool) (name ^ " direct = text") true
+    (Program.equal direct via_text)
+
+let test_emission_equivalence () =
+  List.iter
+    (fun (name, (spec : Mlc_kernels.Builders.spec)) ->
+      equal_programs ~flags:Mlc_transforms.Pipeline.ours name
+        spec.Mlc_kernels.Builders.build)
+    (all_registry_specs ())
+
+let test_emission_equivalence_baseline () =
+  (* The baseline pipeline keeps rv_scf.for loops, covering the
+     guard/body/back-branch emission and its fresh-label naming. *)
+  List.iter
+    (fun (name, (spec : Mlc_kernels.Builders.spec)) ->
+      equal_programs ~flags:Mlc_transforms.Pipeline.baseline name
+        spec.Mlc_kernels.Builders.build)
+    (all_registry_specs ())
+
+(* --- 4. unit semantics --- *)
+
+let run_asm ?(setup = fun (_ : Machine.t) -> ()) ?trace_cap ?(trace = false) asm =
+  let program = Program.of_asm (Asm_parse.parse asm) in
+  let machine = Machine.create ~trace ?trace_cap () in
+  setup machine;
+  let outcome = Machine.run machine program ~entry:"main" in
+  (machine, outcome)
+
+let test_fmv_w_x_packs_both_lanes () =
+  (* fmv.w.x carries a 32-bit payload; the simulator replicates it into
+     both packed-SIMD lanes, matching fcvt.s.w and the f32 scalar ABI. *)
+  let m, _ =
+    run_asm "main:\n    li t0, 0x3fc00000\n    fmv.w.x ft3, t0\n    ret"
+  in
+  Alcotest.(check int64) "both lanes carry the payload" 0x3fc000003fc00000L
+    (Machine.get_freg_raw m 3);
+  (* fmv.d.x moves the bits unchanged. *)
+  let m, _ =
+    run_asm "main:\n    li t0, 0x3fc00000\n    fmv.d.x ft3, t0\n    ret"
+  in
+  Alcotest.(check int64) "fmv.d.x raw bits" 0x3fc00000L (Machine.get_freg_raw m 3)
+
+let test_trace_ring_bound () =
+  let asm =
+    "main:\n    li t0, 1\n    li t1, 2\n    li t2, 3\n    li t3, 4\n\
+    \    li t4, 5\n    li t5, 6\n    ret"
+  in
+  let m, _ = run_asm ~trace:true ~trace_cap:4 asm in
+  let lines = Machine.trace m in
+  check_int "ring keeps last trace_cap entries" 4 (List.length lines);
+  (* Oldest retained entry is the 4th-from-last instruction. *)
+  Alcotest.(check bool) "oldest retained is li t3" true
+    (String.length (List.hd lines) > 0
+    && String.ends_with ~suffix:"li t3, 4" (List.hd lines));
+  Alcotest.(check bool) "newest retained is ret" true
+    (String.ends_with ~suffix:"ret" (List.nth lines 3));
+  (* An unbounded-enough cap keeps everything. *)
+  let m, _ = run_asm ~trace:true asm in
+  check_int "default cap keeps all" 7 (List.length (Machine.trace m))
+
+(* A fully-streamed FREP body (reads ft0/ft1, writes ft2) takes the
+   steady-state replay; its timing must equal the reference engine's
+   per-slot recurrence exactly. *)
+let steady_asm n =
+  Printf.sprintf
+    {|main:
+    li t0, 0
+    scfgwi t0, 8
+    li t0, %d
+    scfgwi t0, 16
+    li t0, 8
+    scfgwi t0, 48
+    scfgwi a0, 192
+    li t0, 0
+    scfgwi t0, 9
+    li t0, %d
+    scfgwi t0, 17
+    li t0, 8
+    scfgwi t0, 49
+    scfgwi a1, 193
+    li t0, 0
+    scfgwi t0, 10
+    li t0, %d
+    scfgwi t0, 18
+    li t0, 8
+    scfgwi t0, 50
+    scfgwi a2, 226
+    csrsi 0x7c0, 1
+    li t1, %d
+    frep.o t1, 1, 0, 0
+    fadd.d ft2, ft0, ft1
+    csrci 0x7c0, 1
+    ret|}
+    (n - 1) (n - 1) (n - 1) (n - 1)
+
+let test_frep_steady_state () =
+  let n = 64 in
+  let base = Mem.tcdm_base in
+  let setup (m : Machine.t) =
+    for i = 0 to n - 1 do
+      Mem.store_f64 m.Machine.mem (base + (8 * i)) (float_of_int i);
+      Mem.store_f64 m.Machine.mem (base + 1024 + (8 * i)) (float_of_int (2 * i))
+    done;
+    Machine.set_ireg m 10 (Int64.of_int base);
+    Machine.set_ireg m 11 (Int64.of_int (base + 1024));
+    Machine.set_ireg m 12 (Int64.of_int (base + 2048))
+  in
+  let asm = steady_asm n in
+  let fast_m, fast = run_asm ~setup asm in
+  let program = Program.of_asm (Asm_parse.parse asm) in
+  let ref_m = Machine.create () in
+  setup ref_m;
+  let refr = Machine.run_reference ref_m program ~entry:"main" in
+  check_int "steady cycles = reference" refr.Machine.perf.Machine.cycles
+    fast.Machine.perf.Machine.cycles;
+  check_int "steady retired = reference" refr.Machine.perf.Machine.retired
+    fast.Machine.perf.Machine.retired;
+  check_int "steady fpu_busy = reference" refr.Machine.perf.Machine.fpu_busy
+    fast.Machine.perf.Machine.fpu_busy;
+  check_int "steady stream traffic = reference"
+    refr.Machine.perf.Machine.stream_writes
+    fast.Machine.perf.Machine.stream_writes;
+  (* Functional results identical too. *)
+  for i = 0 to n - 1 do
+    check_float "streamed sum"
+      (Mem.load_f64 ref_m.Machine.mem (base + 2048 + (8 * i)))
+      (Mem.load_f64 fast_m.Machine.mem (base + 2048 + (8 * i)))
+  done;
+  (* And the replay is busy every cycle: n slots, one per cycle. *)
+  Alcotest.(check bool) "replay is stall-free" true
+    (fast.Machine.perf.Machine.fpu_busy = n)
+
+let suite =
+  [
+    ( "perf_model",
+      [
+        Alcotest.test_case "golden metrics" `Quick test_golden_metrics;
+        Alcotest.test_case "golden baseline metrics" `Quick test_golden_baseline;
+        Alcotest.test_case "fast = reference (registry)" `Quick
+          test_engine_differential;
+        Alcotest.test_case "fast = reference (lowlevel)" `Quick
+          test_engine_differential_lowlevel;
+        Alcotest.test_case "direct emission = text round-trip" `Quick
+          test_emission_equivalence;
+        Alcotest.test_case "direct emission = text (baseline)" `Quick
+          test_emission_equivalence_baseline;
+        Alcotest.test_case "fmv.w.x packs both lanes" `Quick
+          test_fmv_w_x_packs_both_lanes;
+        Alcotest.test_case "trace ring bound" `Quick test_trace_ring_bound;
+        Alcotest.test_case "frep steady-state fast path" `Quick
+          test_frep_steady_state;
+      ] );
+  ]

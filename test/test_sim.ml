@@ -5,7 +5,7 @@
 open Mlc_sim
 
 let run_asm ?(setup = fun (_ : Machine.t) -> ()) asm =
-  let program = Asm_parse.parse asm in
+  let program = Program.of_asm (Asm_parse.parse asm) in
   let machine = Machine.create () in
   setup machine;
   let outcome = Machine.run machine program ~entry:"main" in
@@ -278,7 +278,7 @@ let test_frep_non_fpu_body_rejected () =
 let test_fuel_exhaustion () =
   Alcotest.(check bool) "infinite loop runs out of fuel" true
     (match
-       let program = Asm_parse.parse "main:\n    j main\n" in
+       let program = Program.of_asm (Asm_parse.parse "main:\n    j main\n") in
        let machine = Machine.create ~fuel:10_000 () in
        Machine.run machine program ~entry:"main"
      with
