@@ -210,10 +210,76 @@ let lowlevel_cmd =
           \xC2\xA74.2; f32 packed SIMD).")
     Term.(const run $ kernel_arg $ n_arg $ m_arg $ k_arg)
 
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for case generation.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random cases to check.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"CASE"
+          ~doc:
+            "Replay a single serialised case (as printed in a mismatch \
+             report) through the full oracle matrix instead of generating \
+             random ones.")
+  in
+  let run seed count replay =
+    let report_failures frs =
+      List.iter
+        (fun fr -> Format.printf "%a@." Mlc_fuzz.Fuzz.pp_failure fr)
+        frs
+    in
+    match replay with
+    | Some case_str -> (
+      match Mlc_fuzz.Fuzz_case.of_string case_str with
+      | exception Mlc_fuzz.Fuzz_case.Parse_error m ->
+        Printf.eprintf "bad case string: %s\n" m;
+        exit 2
+      | case -> (
+        match Mlc_fuzz.Fuzz.check_one case with
+        | None ->
+          Printf.printf
+            "replay ok: case agrees with the interpreter on all %d configs\n"
+            (List.length Mlc_fuzz.Fuzz_oracle.configs)
+        | Some fr ->
+          report_failures [ fr ];
+          exit 1))
+    | None ->
+      let report =
+        Mlc_fuzz.Fuzz.run ~log:print_endline ~seed ~count ()
+      in
+      if report.Mlc_fuzz.Fuzz.failures = [] then
+        Printf.printf
+          "fuzz: %d cases x %d configs x 2 sim paths: zero mismatches \
+           (seed %d)\n"
+          report.Mlc_fuzz.Fuzz.cases report.Mlc_fuzz.Fuzz.configs seed
+      else begin
+        Printf.printf "fuzz: %d mismatches in %d cases (seed %d)\n"
+          (List.length report.Mlc_fuzz.Fuzz.failures)
+          report.Mlc_fuzz.Fuzz.cases seed;
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random linalg kernels through every \
+          pipeline config and both simulator paths, validated bit-for-bit \
+          against the reference interpreter.")
+    Term.(const run $ seed_arg $ count_arg $ replay_arg)
+
 let main =
   Cmd.group
     (Cmd.info "snitchc" ~version:"1.0.0"
        ~doc:"Multi-level compiler backend for Snitch RISC-V micro-kernels.")
-    [ list_cmd; compile_cmd; run_cmd; ablate_cmd; lowlevel_cmd ]
+    [ list_cmd; compile_cmd; run_cmd; ablate_cmd; lowlevel_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

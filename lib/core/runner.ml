@@ -90,13 +90,20 @@ let setup_machine ~elem (machine : Mlc_sim.Machine.t) (args : Builders.arg_spec 
         | Builders.Buf_in shape | Builders.Buf_out shape ->
           let total = Ty.num_elements shape in
           let addr = Mlc_sim.Mem.alloc arena (total * esz) in
-          Array.iteri
-            (fun i v ->
-              if esz = 4 then
-                Mlc_sim.Mem.store_f32 machine.Mlc_sim.Machine.mem (addr + (i * 4)) v
-              else
-                Mlc_sim.Mem.store_f64 machine.Mlc_sim.Machine.mem (addr + (i * 8)) v)
-            buf;
+          (* Only inputs are materialised; output buffers keep the
+             arena's poison fill, so an element the kernel fails to
+             store reads back loud garbage instead of the zeros the
+             reference interpreter starts from. *)
+          (match spec with
+          | Builders.Buf_out _ -> ()
+          | _ ->
+            Array.iteri
+              (fun i v ->
+                if esz = 4 then
+                  Mlc_sim.Mem.store_f32 machine.Mlc_sim.Machine.mem (addr + (i * 4)) v
+                else
+                  Mlc_sim.Mem.store_f64 machine.Mlc_sim.Machine.mem (addr + (i * 8)) v)
+              buf);
           let reg = 10 + !next_int (* a0 = x10 *) in
           incr next_int;
           Mlc_sim.Machine.set_ireg machine reg (Int64.of_int addr);

@@ -53,6 +53,12 @@ val gen_inputs :
   Mlc_kernels.Builders.arg_spec list ->
   float array list
 
+(** Reference outputs for a kernel spec on the given input buffers,
+    through the {!Mlc_interp} interpreter (output-argument order).
+    Exposed for the differential fuzzing oracle. *)
+val interp_expected :
+  Mlc_kernels.Builders.spec -> float array list -> float array list
+
 (** Load input buffers into a machine's TCDM and set up the ABI argument
     registers (pointers in a0.., scalars in fa0..). Returns the buffer
     base addresses (None for scalars). Exposed for the benchmark

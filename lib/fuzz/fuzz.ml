@@ -1,0 +1,71 @@
+(* Driver for the differential fuzzer: generate [count] cases from a
+   seed, run each through the full oracle matrix, shrink any failure and
+   report it with a one-line replay command. *)
+
+type failure_report = {
+  index : int; (* case index within the run *)
+  case : Fuzz_case.t; (* as generated *)
+  shrunk : Fuzz_case.t; (* greedily minimised, still failing *)
+  failure : Fuzz_oracle.failure; (* oracle verdict for [shrunk] *)
+}
+
+type report = {
+  seed : int;
+  cases : int;
+  configs : int;
+  failures : failure_report list;
+}
+
+let repro_line case =
+  Printf.sprintf "snitchc fuzz --replay '%s'" (Fuzz_case.to_string case)
+
+let pp_failure ppf (fr : failure_report) =
+  Format.fprintf ppf
+    "@[<v>MISMATCH (case %d) config=%s stage=%s@,  %s@,  case:   %s@,  shrunk: %s@,  repro:  %s@]"
+    fr.index fr.failure.Fuzz_oracle.config fr.failure.Fuzz_oracle.stage
+    fr.failure.Fuzz_oracle.detail
+    (Fuzz_case.to_string fr.case)
+    (Fuzz_case.to_string fr.shrunk)
+    (repro_line fr.shrunk)
+
+let fails c = Option.is_some (Fuzz_oracle.check c)
+
+(* Check one already-built case (the --replay path). *)
+let check_one ?(index = 0) case =
+  match Fuzz_oracle.check case with
+  | None -> None
+  | Some failure ->
+    let shrunk = Fuzz_shrink.minimize ~fails case in
+    let failure =
+      match Fuzz_oracle.check shrunk with
+      | Some f -> f
+      | None -> failure (* shrinker raced a flaky predicate; keep original *)
+    in
+    Some { index; case; shrunk; failure }
+
+(* Run the fuzzer. [log] receives progress lines; failures stop the run
+   after [max_failures] (shrinking is expensive, and one minimal repro
+   per root cause is what the burn-down needs). *)
+let run ?(log = fun _ -> ()) ?(max_failures = 3) ~seed ~count () =
+  let failures = ref [] in
+  (try
+     for i = 0 to count - 1 do
+       let st = Random.State.make [| seed; i; 0xF022 |] in
+       let case = Fuzz_gen.gen st in
+       if i > 0 && i mod 25 = 0 then
+         log (Printf.sprintf "fuzz: %d/%d cases, %d mismatches" i count
+                (List.length !failures));
+       match check_one ~index:i case with
+       | None -> ()
+       | Some fr ->
+         log (Format.asprintf "%a" pp_failure fr);
+         failures := fr :: !failures;
+         if List.length !failures >= max_failures then raise Exit
+     done
+   with Exit -> ());
+  {
+    seed;
+    cases = count;
+    configs = List.length Fuzz_oracle.configs;
+    failures = List.rev !failures;
+  }

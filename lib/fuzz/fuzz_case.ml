@@ -1,0 +1,364 @@
+(* A fuzz case: a compact, serialisable description of a random
+   linalg-level kernel — iteration space, operand indexing maps and a
+   body over the add/mul/max/fma grammar. A case is deterministic data:
+   the same case string always rebuilds the same module and the same
+   input buffers, so any oracle failure is replayable from its one-line
+   encoding (`snitchc fuzz --replay '<case>'`).
+
+   Grammar restrictions that keep the differential oracle bit-exact:
+   - fused multiply-adds are explicit [Fma] nodes and a [Mul] never
+     appears directly under an [Add], so the pipeline's fma contraction
+     pass is a no-op on generated bodies and the interpreter (which
+     evaluates fmaf with one rounding) agrees with the machine;
+   - constants come from a small pool of exactly-f32-representable
+     values, so f32 kernels see the same scalar on both sides;
+   - reduction bodies are rooted at the accumulator (acc+e, max(acc,e)
+     or fma(a,b,acc)), matching the fill/generic idiom of the Table 1
+     kernels, and the per-element reduction order is lexicographic in
+     the iteration space on both the interpreter and every pipeline
+     config. *)
+
+open Mlc_ir
+open Mlc_kernels
+
+type elem = F32 | F64
+
+(* Body expression. [X i] is the i-th buffer operand's element, [K c] a
+   scalar constant (materialised as a loop-invariant operand with an
+   empty indexing map, the relu idiom), [A] the reduction accumulator. *)
+type expr =
+  | X of int
+  | K of float
+  | A
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Max of expr * expr
+  | Fma of expr * expr * expr
+
+(* An input operand's indexing map, over bare iteration dims only:
+   [Perm] is a full (possibly transposed) identity over all dims, [Proj]
+   a projection onto a dim subset (a broadcast operand). *)
+type operand = Perm of int list | Proj of int list
+
+type t = {
+  elem : elem;
+  bounds : int list; (* iteration-space sizes, parallel dims first *)
+  n_red : int; (* trailing reduction dims (0 or 1) *)
+  inputs : operand list; (* input 0 must be a full Perm *)
+  body : expr;
+}
+
+let rank c = List.length c.bounds
+let n_par c = rank c - c.n_red
+
+(* --- validation --- *)
+
+let rec no_acc = function
+  | X _ | K _ -> true
+  | A -> false
+  | Add (a, b) | Mul (a, b) | Max (a, b) -> no_acc a && no_acc b
+  | Fma (a, b, c) -> no_acc a && no_acc b && no_acc c
+
+(* No Mul directly under an Add: keeps Fma_fusion a no-op (fused
+   multiply-adds must be explicit Fma nodes). *)
+let rec no_mul_under_add = function
+  | X _ | K _ | A -> true
+  | Add (a, b) ->
+    (match (a, b) with Mul _, _ | _, Mul _ -> false | _ -> true)
+    && no_mul_under_add a && no_mul_under_add b
+  | Mul (a, b) | Max (a, b) -> no_mul_under_add a && no_mul_under_add b
+  | Fma (a, b, c) ->
+    no_mul_under_add a && no_mul_under_add b && no_mul_under_add c
+
+let rec max_x = function
+  | X i -> i
+  | K _ | A -> -1
+  | Add (a, b) | Mul (a, b) | Max (a, b) -> max (max_x a) (max_x b)
+  | Fma (a, b, c) -> max (max_x a) (max (max_x b) (max_x c))
+
+let f32_exact v = Int32.float_of_bits (Int32.bits_of_float v) = v
+
+let rec consts_exact = function
+  | X _ | A -> true
+  | K c -> f32_exact c
+  | Add (a, b) | Mul (a, b) | Max (a, b) -> consts_exact a && consts_exact b
+  | Fma (a, b, c) -> consts_exact a && consts_exact b && consts_exact c
+
+let is_full_perm ~rank p =
+  List.length p = rank && List.sort compare p = List.init rank Fun.id
+
+let validate c =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rk = rank c in
+  if rk < 1 || rk > 4 then err "rank %d out of range" rk
+  else if List.exists (fun b -> b < 1 || b > 32) c.bounds then
+    err "bounds out of range"
+  else if c.n_red < 0 || c.n_red > 1 || c.n_red >= rk then
+    err "n_red %d invalid for rank %d" c.n_red rk
+  else if c.inputs = [] then err "no inputs"
+  else if
+    (match List.hd c.inputs with Perm p -> not (is_full_perm ~rank:rk p) | Proj _ -> true)
+  then err "input 0 must be a full permutation"
+  else if
+    List.exists
+      (function
+        | Perm p -> not (is_full_perm ~rank:rk p)
+        | Proj ds ->
+          ds = []
+          || List.exists (fun d -> d < 0 || d >= rk) ds
+          || List.length (List.sort_uniq compare ds) <> List.length ds)
+      c.inputs
+  then err "malformed operand map"
+  else if List.length c.inputs > 3 then err "too many inputs"
+  else if max_x c.body >= List.length c.inputs then err "body references missing input"
+  else if not (no_mul_under_add c.body) then err "mul directly under add"
+  else if c.elem = F32 && not (consts_exact c.body) then
+    err "f32 case with non-f32-exact constant"
+  else if
+    c.n_red = 0 && not (no_acc c.body)
+  then err "element-wise body uses the accumulator"
+  else if
+    c.n_red > 0
+    &&
+    match c.body with
+    | Add (A, e) | Max (A, e) -> not (no_acc e)
+    | Fma (a, b, A) -> not (no_acc a && no_acc b)
+    | _ -> true
+  then err "reduction body must be acc+e, max(acc,e) or fma(a,b,acc)"
+  else Ok ()
+
+(* --- codec: one-line case <-> string --- *)
+
+exception Parse_error of string
+
+let perr fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* Hex float literals round-trip exactly and contain no separators. *)
+let float_str v = Printf.sprintf "%h" v
+
+let rec expr_str = function
+  | X i -> Printf.sprintf "x%d" i
+  | K c -> "k" ^ float_str c
+  | A -> "A"
+  | Add (a, b) -> Printf.sprintf "+(%s,%s)" (expr_str a) (expr_str b)
+  | Mul (a, b) -> Printf.sprintf "*(%s,%s)" (expr_str a) (expr_str b)
+  | Max (a, b) -> Printf.sprintf "M(%s,%s)" (expr_str a) (expr_str b)
+  | Fma (a, b, c) ->
+    Printf.sprintf "F(%s,%s,%s)" (expr_str a) (expr_str b) (expr_str c)
+
+let operand_str = function
+  | Perm p -> "p" ^ String.concat "" (List.map string_of_int p)
+  | Proj ds -> "j" ^ String.concat "" (List.map string_of_int ds)
+
+let to_string c =
+  Printf.sprintf "%s|%s|r%d|%s|%s"
+    (match c.elem with F32 -> "f32" | F64 -> "f64")
+    (String.concat "x" (List.map string_of_int c.bounds))
+    c.n_red
+    (String.concat ";" (List.map operand_str c.inputs))
+    (expr_str c.body)
+
+(* Recursive-descent expression parser over the flat string. *)
+let parse_expr s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let expect ch =
+    if peek () = Some ch then incr pos else perr "expected %c at %d in %S" ch !pos s
+  in
+  let scan_until_sep () =
+    let start = !pos in
+    while !pos < n && s.[!pos] <> ',' && s.[!pos] <> ')' do incr pos done;
+    String.sub s start (!pos - start)
+  in
+  let rec expr () =
+    match peek () with
+    | Some 'x' ->
+      incr pos;
+      let t = scan_until_sep () in
+      (match int_of_string_opt t with
+      | Some i when i >= 0 -> X i
+      | _ -> perr "bad input index %S" t)
+    | Some 'k' ->
+      incr pos;
+      let t = scan_until_sep () in
+      (match float_of_string_opt t with
+      | Some v -> K v
+      | None -> perr "bad constant %S" t)
+    | Some 'A' -> incr pos; A
+    | Some ('+' | '*' | 'M' | 'F') ->
+      let op = s.[!pos] in
+      incr pos;
+      expect '(';
+      let a = expr () in
+      expect ',';
+      let b = expr () in
+      (match op with
+      | '+' -> expect ')'; Add (a, b)
+      | '*' -> expect ')'; Mul (a, b)
+      | 'M' -> expect ')'; Max (a, b)
+      | _ ->
+        expect ',';
+        let c = expr () in
+        expect ')';
+        Fma (a, b, c))
+    | _ -> perr "unexpected end of expression in %S" s
+  in
+  let e = expr () in
+  if !pos <> n then perr "trailing garbage at %d in %S" !pos s;
+  e
+
+let parse_digits kind s =
+  if String.length s = 0 then perr "empty %s operand" kind;
+  List.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' .. '9' -> Char.code s.[i] - Char.code '0'
+      | c -> perr "bad dim digit %c in %s operand" c kind)
+
+let parse_operand s =
+  if String.length s < 2 then perr "malformed operand %S" s
+  else
+    let rest = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'p' -> Perm (parse_digits "perm" rest)
+    | 'j' -> Proj (parse_digits "proj" rest)
+    | c -> perr "unknown operand kind %c" c
+
+let of_string str =
+  match String.split_on_char '|' (String.trim str) with
+  | [ elem_s; bounds_s; red_s; operands_s; body_s ] ->
+    let elem =
+      match elem_s with
+      | "f32" -> F32
+      | "f64" -> F64
+      | _ -> perr "bad element type %S" elem_s
+    in
+    let bounds =
+      List.map
+        (fun t ->
+          match int_of_string_opt t with
+          | Some b -> b
+          | None -> perr "bad bound %S" t)
+        (String.split_on_char 'x' bounds_s)
+    in
+    let n_red =
+      if String.length red_s >= 2 && red_s.[0] = 'r' then
+        match int_of_string_opt (String.sub red_s 1 (String.length red_s - 1)) with
+        | Some r -> r
+        | None -> perr "bad reduction count %S" red_s
+      else perr "bad reduction field %S" red_s
+    in
+    let inputs = List.map parse_operand (String.split_on_char ';' operands_s) in
+    let c = { elem; bounds; n_red; inputs; body = parse_expr body_s } in
+    (match validate c with
+    | Ok () -> c
+    | Error m -> perr "invalid case %S: %s" str m)
+  | _ -> perr "expected elem|bounds|rN|operands|body, got %S" str
+
+(* --- lowering a case to a runnable kernel spec --- *)
+
+let ty_of = function F32 -> Ty.F32 | F64 -> Ty.F64
+
+(* Distinct K constants in first-appearance order; they become trailing
+   loop-invariant operands with empty indexing maps. *)
+let body_consts body =
+  let acc = ref [] in
+  let rec go = function
+    | X _ | A -> ()
+    | K c -> if not (List.mem c !acc) then acc := c :: !acc
+    | Add (a, b) | Mul (a, b) | Max (a, b) -> go a; go b
+    | Fma (a, b, c) -> go a; go b; go c
+  in
+  go body;
+  List.rev !acc
+
+let rec op_count = function
+  | X _ | K _ | A -> 0
+  | Add (a, b) | Mul (a, b) | Max (a, b) -> 1 + op_count a + op_count b
+  | Fma (a, b, c) -> 2 + op_count a + op_count b + op_count c
+
+let operand_shape c = function
+  | Perm dims | Proj dims -> List.map (fun d -> List.nth c.bounds d) dims
+
+let operand_map ~rank = function
+  | Perm dims | Proj dims ->
+    Affine.make ~num_dims:rank ~num_syms:0 (List.map Affine.dim dims)
+
+(* Initial accumulator value for a reduction body (the linalg.fill). *)
+let fill_value c =
+  match c.body with Max (A, _) -> Float.neg_infinity | _ -> 0.0
+
+let to_spec c : Builders.spec =
+  (match validate c with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Fuzz_case.to_spec: " ^ m));
+  let rk = rank c in
+  let np = n_par c in
+  let elem = ty_of c.elem in
+  let out_shape = List.filteri (fun i _ -> i < np) c.bounds in
+  let args =
+    List.map (fun o -> Builders.Buf_in (operand_shape c o)) c.inputs
+    @ [ Builders.Buf_out out_shape ]
+  in
+  let consts = body_consts c.body in
+  let iterators =
+    List.init rk (fun i -> if i < np then Attr.Parallel else Attr.Reduction)
+  in
+  let maps =
+    List.map (operand_map ~rank:rk) c.inputs
+    @ List.map (fun _ -> Affine.empty rk) consts
+    @ [ Affine.make ~num_dims:rk ~num_syms:0 (List.init np Affine.dim) ]
+  in
+  let total_iters = List.fold_left ( * ) 1 c.bounds in
+  let flops = max 1 (op_count c.body * total_iters) in
+  let n_bufs = List.length c.inputs in
+  let build () =
+    Builders.module_with_fn ~name:"fuzz" ~args ~elem (fun bb values ->
+        let bufs = List.filteri (fun i _ -> i < n_bufs) values in
+        let out = List.nth values n_bufs in
+        let const_vals =
+          List.map (fun v -> Mlc_dialects.Arith.const_float bb ~ty:elem v) consts
+        in
+        if c.n_red > 0 then begin
+          let init =
+            Mlc_dialects.Arith.const_float bb ~ty:elem (fill_value c)
+          in
+          Mlc_dialects.Linalg.fill bb init out
+        end;
+        ignore
+          (Mlc_dialects.Linalg.generic bb ~ins:(bufs @ const_vals) ~outs:[ out ]
+             ~maps ~iterators (fun bb in_args out_args ->
+               let const_arg v =
+                 let rec idx i = function
+                   | [] -> invalid_arg "fuzz const lookup"
+                   | x :: _ when x = v -> i
+                   | _ :: tl -> idx (i + 1) tl
+                 in
+                 List.nth in_args (n_bufs + idx 0 consts)
+               in
+               let acc = match out_args with a :: _ -> a | [] -> assert false in
+               let rec emit = function
+                 | X i -> List.nth in_args i
+                 | K v -> const_arg v
+                 | A -> acc
+                 | Add (a, b) -> Mlc_dialects.Arith.addf bb (emit a) (emit b)
+                 | Mul (a, b) -> Mlc_dialects.Arith.mulf bb (emit a) (emit b)
+                 | Max (a, b) -> Mlc_dialects.Arith.maxf bb (emit a) (emit b)
+                 | Fma (a, b, acc') ->
+                   Mlc_dialects.Arith.fmaf bb (emit a) (emit b) (emit acc')
+               in
+               [ emit c.body ])))
+  in
+  {
+    Builders.kernel_name = "fuzz";
+    fn_name = "fuzz";
+    elem;
+    args;
+    flops;
+    min_cycles = flops;
+    build;
+  }
+
+(* Deterministic input seed for a case: replaying the same case string
+   always regenerates the same buffers. *)
+let input_seed c = Hashtbl.hash (to_string c) land 0xFFFFFF

@@ -1,0 +1,123 @@
+(* Seeded random case generation. All randomness flows through an
+   explicit [Random.State.t], so a (seed, index) pair fully determines a
+   case; shapes are drawn from a pool biased toward the sizes that
+   historically break loop transforms (1, primes, non-multiples of the
+   unroll factors 4 and 8). *)
+
+open Fuzz_case
+
+(* Shape pool: degenerate (1), primes (2,3,5,7,13), powers of two at the
+   unroll factors (4, 8, 16) and near-misses (6, 9, 12). *)
+let dim_pool = [| 1; 1; 2; 3; 4; 5; 5; 6; 7; 7; 8; 9; 12; 13; 13; 16 |]
+
+(* Constants exactly representable in f32, so f32 kernels agree between
+   the interpreter and the machine bit-for-bit. *)
+let const_pool = [| 0.0; 1.0; -1.0; 0.5; 2.0; 3.25; -0.75 |]
+
+let pick st arr = arr.(Random.State.int st (Array.length arr))
+
+let shuffle st l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* Random body expression; [n_ins] buffer operands are addressable. When
+   [allow_mul] is false the root cannot be a Mul (the no-Mul-under-Add
+   rule); fused multiply-adds must come from explicit Fma nodes. *)
+let rec gen_expr st ~n_ins ~allow_mul ~depth =
+  let leaf () =
+    if Random.State.int st 4 = 0 then K (pick st const_pool)
+    else X (Random.State.int st n_ins)
+  in
+  if depth = 0 then leaf ()
+  else
+    match Random.State.int st (if allow_mul then 6 else 5) with
+    | 0 -> leaf ()
+    | 1 ->
+      Add
+        ( gen_expr st ~n_ins ~allow_mul:false ~depth:(depth - 1),
+          gen_expr st ~n_ins ~allow_mul:false ~depth:(depth - 1) )
+    | 2 ->
+      Max
+        ( gen_expr st ~n_ins ~allow_mul:true ~depth:(depth - 1),
+          gen_expr st ~n_ins ~allow_mul:true ~depth:(depth - 1) )
+    | 3 | 4 ->
+      Fma
+        ( gen_expr st ~n_ins ~allow_mul:false ~depth:(depth - 1),
+          gen_expr st ~n_ins ~allow_mul:false ~depth:(depth - 1),
+          gen_expr st ~n_ins ~allow_mul:false ~depth:(depth - 1) )
+    | _ ->
+      Mul
+        ( gen_expr st ~n_ins ~allow_mul:false ~depth:(depth - 1),
+          gen_expr st ~n_ins ~allow_mul:false ~depth:(depth - 1) )
+
+(* Ensure at least one buffer read so the kernel is data-dependent. *)
+let rec references_input = function
+  | X _ -> true
+  | K _ | A -> false
+  | Add (a, b) | Mul (a, b) | Max (a, b) ->
+    references_input a || references_input b
+  | Fma (a, b, c) ->
+    references_input a || references_input b || references_input c
+
+let gen_body st ~n_ins ~reduction =
+  let rec inner () =
+    let e = gen_expr st ~n_ins ~allow_mul:(not reduction) ~depth:(1 + Random.State.int st 2) in
+    if references_input e then e else inner ()
+  in
+  if not reduction then inner ()
+  else
+    match Random.State.int st 3 with
+    | 0 -> Add (A, inner ())
+    | 1 -> Max (A, inner ())
+    | _ -> Fma (inner (), inner (), A)
+
+let gen_operand st ~rank ~full =
+  if full || Random.State.int st 2 = 0 then
+    Perm (shuffle st (List.init rank Fun.id))
+  else begin
+    (* Broadcast: keep a strict non-empty subset of dims, in a random
+       (possibly transposed) order. *)
+    let dims = shuffle st (List.init rank Fun.id) in
+    let keep = 1 + Random.State.int st (max 1 (rank - 1)) in
+    Proj (List.filteri (fun i _ -> i < keep) dims)
+  end
+
+(* Total TCDM footprint of the operand buffers for a candidate case. *)
+let footprint c =
+  let esz = match c.elem with F32 -> 4 | F64 -> 8 in
+  let shape_bytes shape = esz * List.fold_left ( * ) 1 shape in
+  List.fold_left
+    (fun acc o -> acc + shape_bytes (operand_shape c o))
+    (shape_bytes (List.filteri (fun i _ -> i < n_par c) c.bounds))
+    c.inputs
+
+let gen st =
+  let rec attempt () =
+    let elem = if Random.State.bool st then F64 else F32 in
+    (* Shape archetypes: element-wise rank 1/2, single-reduction rank
+       2 (row reduce) and rank 3 (matmul-like). *)
+    let rank, n_red =
+      match Random.State.int st 10 with
+      | 0 -> (1, 0)
+      | 1 | 2 | 3 -> (2, 0)
+      | 4 | 5 | 6 -> (2, 1)
+      | _ -> (3, 1)
+    in
+    let bounds = List.init rank (fun _ -> pick st dim_pool) in
+    let n_ins = 1 + Random.State.int st 2 in
+    let inputs =
+      List.init n_ins (fun i -> gen_operand st ~rank ~full:(i = 0))
+    in
+    let body = gen_body st ~n_ins ~reduction:(n_red > 0) in
+    let c = { elem; bounds; n_red; inputs; body } in
+    match validate c with
+    | Ok () when footprint c <= 64 * 1024 -> c
+    | _ -> attempt ()
+  in
+  attempt ()

@@ -1,0 +1,188 @@
+(* The differential oracle: one case is compiled under every pipeline
+   config (ours, the Table 3 ablation stages, the clang/mlir baseline
+   flavours) and executed on the simulator through both program paths
+   (direct Insn_emit and text print->parse) and both engines; every
+   output must match the reference interpreter bit-for-bit. Along the
+   way each pipeline checkpoint is held to the printer->parser
+   round-trip fixpoint and every allocated function to the independent
+   live-range checker — so a failure pinpoints the first level of the
+   stack that diverged, not just "wrong answer at the end". *)
+
+open Mlc_ir
+open Mlc_riscv
+
+type failure = {
+  config : string; (* pipeline config that diverged *)
+  stage : string; (* oracle stage, e.g. "sim:direct" or "roundtrip:cse" *)
+  detail : string;
+}
+
+let fail config stage fmt =
+  Printf.ksprintf (fun detail -> Some { config; stage; detail }) fmt
+
+(* Printexc renders nested exception payloads as "_"; unwrap the pass
+   manager's wrapper so the report names the real error. *)
+let rec exn_str = function
+  | Pass.Pass_failed (pass, inner) ->
+    Printf.sprintf "pass %s: %s" pass (exn_str inner)
+  | exn -> Printexc.to_string exn
+
+(* The full config matrix. Ablation stages are prefixed to keep names
+   unique (the first stage aliases [baseline], the last [ours]). *)
+let configs : (string * Mlc_transforms.Pipeline.flags) list =
+  [
+    ("ours", Mlc_transforms.Pipeline.ours);
+    ("baseline", Mlc_transforms.Pipeline.baseline);
+    ("clang", Mlc_transforms.Pipeline.clang);
+    ("mlir", Mlc_transforms.Pipeline.mlir);
+  ]
+  @ List.map
+      (fun (n, f) -> ("ablation:" ^ n, f))
+      Mlc_transforms.Pipeline.ablation_stages
+
+(* Bit-level output comparison: catches sign-of-zero and NaN-payload
+   drift that a tolerance check would wave through. *)
+let first_bit_mismatch ~got ~want =
+  let rec go bi = function
+    | [], [] -> None
+    | g :: gs, w :: ws ->
+      if Array.length g <> Array.length w then
+        Some (bi, -1, Printf.sprintf "output %d: length %d vs %d" bi
+                (Array.length g) (Array.length w))
+      else begin
+        let hit = ref None in
+        (try
+           Array.iteri
+             (fun i x ->
+               if Int64.bits_of_float x <> Int64.bits_of_float w.(i) then begin
+                 hit :=
+                   Some
+                     ( bi, i,
+                       Printf.sprintf "output %d[%d]: got %h, want %h" bi i x
+                         w.(i) );
+                 raise Exit
+               end)
+             g
+         with Exit -> ());
+        match !hit with Some m -> Some m | None -> go (bi + 1) (gs, ws)
+      end
+    | _ -> Some (bi, -1, "output count mismatch")
+  in
+  go 0 (got, want)
+
+let outputs_check config stage ~got ~want =
+  match first_bit_mismatch ~got ~want with
+  | None -> None
+  | Some (_, _, detail) -> fail config stage "%s" detail
+
+(* Printer->parser fixpoint: the printed IR, re-parsed and re-printed,
+   must reproduce itself exactly. Consecutive identical checkpoints are
+   deduplicated (no-op passes are common). *)
+let roundtrip_checkpoints config (entries : Pass.trace_entry list) =
+  let rec go prev = function
+    | [] -> None
+    | (e : Pass.trace_entry) :: rest ->
+      if Some e.ir_after = prev then go prev rest
+      else begin
+        match
+          try Ok (Printer.to_string (Parser.parse_string e.ir_after))
+          with exn -> Error (exn_str exn)
+        with
+        | Error m ->
+          fail config ("roundtrip:" ^ e.pass_name) "re-parse failed: %s" m
+        | Ok reprinted when not (String.equal reprinted e.ir_after) ->
+          fail config ("roundtrip:" ^ e.pass_name)
+            "printer->parser->printer is not a fixpoint"
+        | Ok _ -> go (Some e.ir_after) rest
+      end
+  in
+  go None entries
+
+(* Compile under one config with all mid-pipeline oracles armed.
+   Returns the assembly text and the in-place lowered module. *)
+let compile_checked config flags (m : Ir.op) =
+  let entries =
+    Pass.run_pipeline ~verify_each:true ~trace:true m
+      (Mlc_transforms.Pipeline.passes flags)
+  in
+  match roundtrip_checkpoints config entries with
+  | Some f -> Error f
+  | None -> (
+    let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
+    List.iter (fun fn -> ignore (Mlc_regalloc.Remat.allocate_with_remat fn)) fns;
+    Verifier.verify m;
+    match
+      List.find_map
+        (fun fn ->
+          match Mlc_regalloc.Check.check_result fn with
+          | Ok () -> None
+          | Error msg -> fail config "regalloc-check" "%s: %s" (Rv_func.name fn) msg)
+        fns
+    with
+    | Some f -> Error f
+    | None -> Ok (Asm_emit.emit_module m))
+
+let simulate config stage ~engine ~elem ~fn_name ~args ~data ~expected program =
+  match
+    Mlc.Runner.simulate_program ~engine ~elem ~fn_name ~args ~data program
+  with
+  | _, outputs, _ -> outputs_check config stage ~got:outputs ~want:expected
+  | exception exn ->
+    fail config stage "simulation raised %s" (exn_str exn)
+
+(* Check one case under one config; [spec], [data] and [expected] are
+   shared across configs. *)
+let check_config ~spec ~data ~expected (config, flags) =
+  let module B = Mlc_kernels.Builders in
+  match
+    let m = spec.B.build () in
+    compile_checked config flags m
+    |> Result.map (fun asm -> (m, asm))
+  with
+  | exception exn ->
+    fail config "compile" "raised %s" (exn_str exn)
+  | Error f -> Some f
+  | Ok (m, asm) -> (
+    let direct = Insn_emit.emit_module m in
+    match
+      try Ok (Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm))
+      with exn -> Error (exn_str exn)
+    with
+    | Error msg -> fail config "asm-parse" "%s" msg
+    | Ok via_text ->
+      if not (Mlc_sim.Program.equal direct via_text) then
+        fail config "program-equal"
+          "direct and print->parse programs differ"
+      else begin
+        let sim stage engine program =
+          simulate config stage ~engine ~elem:spec.B.elem
+            ~fn_name:spec.B.fn_name ~args:spec.B.args ~data ~expected program
+        in
+        match sim "sim:direct" Mlc.Runner.Fast direct with
+        | Some f -> Some f
+        | None -> (
+          match sim "sim:via-text" Mlc.Runner.Fast via_text with
+          | Some f -> Some f
+          | None -> sim "sim:reference" Mlc.Runner.Reference direct)
+      end)
+
+(* Full oracle for one case: first failure across the config matrix, or
+   None when every config, path and engine agrees with the interpreter
+   bit-for-bit. *)
+let check (case : Fuzz_case.t) : failure option =
+  match Fuzz_case.validate case with
+  | Error m -> fail "-" "invalid-case" "%s" m
+  | Ok () -> (
+    let spec = Fuzz_case.to_spec case in
+    let module B = Mlc_kernels.Builders in
+    let data =
+      Mlc.Runner.gen_inputs ~seed:(Fuzz_case.input_seed case) ~elem:spec.B.elem
+        spec.B.args
+    in
+    match
+      try Ok (Mlc.Runner.interp_expected spec data)
+      with exn -> Error (exn_str exn)
+    with
+    | Error msg -> fail "-" "interp" "reference interpreter raised %s" msg
+    | Ok expected ->
+      List.find_map (check_config ~spec ~data ~expected) configs)

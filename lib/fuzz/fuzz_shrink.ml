@@ -1,0 +1,116 @@
+(* Greedy case minimisation: repeatedly try simpler variants of a
+   failing case (smaller dims, fewer operands, smaller body, identity
+   maps) and keep the first variant that still fails, until no candidate
+   does. The oracle re-runs on every candidate, so the shrunk case fails
+   for the same observable reason class (any oracle failure), and the
+   final repro is as small as the failure allows. *)
+
+open Fuzz_case
+
+let set_nth l i v = List.mapi (fun j x -> if j = i then v else x) l
+
+(* Proper subexpressions, used as replacement candidates. *)
+let rec subexprs = function
+  | X _ | K _ | A -> []
+  | Add (a, b) | Mul (a, b) | Max (a, b) -> [ a; b ] @ subexprs a @ subexprs b
+  | Fma (a, b, c) ->
+    [ a; b; c ] @ subexprs a @ subexprs b @ subexprs c
+
+(* Body candidates, simplest first. Reduction roots keep their
+   acc-rooted shape; the inner expression shrinks. *)
+let body_candidates c =
+  match c.body with
+  | Add (A, e) when c.n_red > 0 ->
+    List.map (fun e' -> Add (A, e')) (subexprs e @ [ X 0 ])
+  | Max (A, e) when c.n_red > 0 ->
+    List.map (fun e' -> Max (A, e')) (subexprs e @ [ X 0 ])
+  | Fma (a, b, A) when c.n_red > 0 ->
+    Add (A, X 0)
+    :: List.concat_map
+         (fun a' -> List.map (fun b' -> Fma (a', b', A)) (subexprs b @ [ b; X 0 ]))
+         (subexprs a @ [ a; X 0 ])
+  | e -> subexprs e @ [ X 0 ]
+
+(* Remap X indices after dropping input [i]; None if the body still
+   references it. *)
+let rec drop_x i = function
+  | X j when j = i -> None
+  | X j when j > i -> Some (X (j - 1))
+  | (X _ | K _ | A) as e -> Some e
+  | Add (a, b) -> Option.bind (drop_x i a) (fun a' -> Option.map (fun b' -> Add (a', b')) (drop_x i b))
+  | Mul (a, b) -> Option.bind (drop_x i a) (fun a' -> Option.map (fun b' -> Mul (a', b')) (drop_x i b))
+  | Max (a, b) -> Option.bind (drop_x i a) (fun a' -> Option.map (fun b' -> Max (a', b')) (drop_x i b))
+  | Fma (a, b, c) ->
+    Option.bind (drop_x i a) (fun a' ->
+        Option.bind (drop_x i b) (fun b' ->
+            Option.map (fun c' -> Fma (a', b', c')) (drop_x i c)))
+
+let candidates c =
+  let dims =
+    List.concat
+      (List.mapi
+         (fun i b ->
+           List.filter_map
+             (fun v -> if v < b then Some { c with bounds = set_nth c.bounds i v } else None)
+             [ 1; b / 2; b - 1 ])
+         c.bounds)
+  in
+  let drop_inputs =
+    List.concat
+      (List.mapi
+         (fun i _ ->
+           if i = 0 then [] (* input 0 anchors the iteration space *)
+           else
+             match drop_x i c.body with
+             | Some body' ->
+               [ { c with
+                   inputs = List.filteri (fun j _ -> j <> i) c.inputs;
+                   body = body';
+                 } ]
+             | None -> [])
+         c.inputs)
+  in
+  let bodies = List.map (fun b -> { c with body = b }) (body_candidates c) in
+  let maps =
+    List.mapi
+      (fun i o ->
+        match o with
+        | Perm p when p <> List.sort compare p ->
+          [ { c with inputs = set_nth c.inputs i (Perm (List.sort compare p)) } ]
+        | Proj ds when ds <> List.sort compare ds ->
+          [ { c with inputs = set_nth c.inputs i (Proj (List.sort compare ds)) } ]
+        | _ -> [])
+      c.inputs
+    |> List.concat
+  in
+  let drop_reduction =
+    if c.n_red > 0 then
+      match c.body with
+      | Add (A, e) | Max (A, e) -> [ { c with n_red = 0; body = e } ]
+      | Fma (a, b, A) -> [ { c with n_red = 0; body = Mul (a, b) } ]
+      | _ -> []
+    else []
+  in
+  List.filter
+    (fun c' -> Result.is_ok (validate c'))
+    (dims @ drop_inputs @ drop_reduction @ bodies @ maps)
+
+(* [minimize ~fails case] greedily minimises a failing case. [fails]
+   must be true for [case]; the result still satisfies it. Bounded so a
+   flaky predicate cannot loop forever. *)
+let minimize ~fails case =
+  let budget = ref 200 in
+  let rec go c =
+    if !budget <= 0 then c
+    else
+      match
+        List.find_opt
+          (fun c' ->
+            decr budget;
+            !budget >= 0 && fails c')
+          (candidates c)
+      with
+      | Some c' -> go c'
+      | None -> c
+  in
+  go case

@@ -14,6 +14,14 @@ let num_ins op = Attr.get_int (Ir.Op.attr_exn op "ins")
 let patterns op =
   List.map Attr.get_stride_pattern (Attr.get_arr (Ir.Op.attr_exn op "patterns"))
 
+(* Element size in bytes served per stream access: 8 (the default; f64
+   and packed-SIMD f32) or 4 (scalar f32). Regions built before the
+   width attribute existed carry none and default to 8 per stream. *)
+let widths op =
+  match Ir.Op.attr op "widths" with
+  | Some a -> List.map Attr.get_int (Attr.get_arr a)
+  | None -> List.map (fun _ -> 8) (Ir.Op.operands op)
+
 let streaming_region_op =
   Op_registry.register "snitch_stream.streaming_region" ~verify:(fun op ->
       Op_registry.expect_num_results op 0;
@@ -25,6 +33,14 @@ let streaming_region_op =
         Op_registry.fail_op op "at most %d streams are supported" Reg.num_ssrs;
       if List.length (patterns op) <> n then
         Op_registry.fail_op op "one stride pattern per stream required";
+      let ws = widths op in
+      if List.length ws <> n then
+        Op_registry.fail_op op "one element width per stream required";
+      List.iter
+        (fun w ->
+          if w <> 4 && w <> 8 then
+            Op_registry.fail_op op "stream element width must be 4 or 8, got %d" w)
+        ws;
       List.iter
         (fun (p : Attr.stride_pattern) ->
           if List.length p.ub <> List.length p.strides then
@@ -51,11 +67,14 @@ let streaming_region_op =
               (Ty.to_string expected))
         (Ir.Block.args body))
 
-(* [streaming_region b ~patterns ~ins ~outs f]: [ins]/[outs] are pointer
-   registers; [f] receives the body builder and the SSR register values
-   (readable streams first). *)
-let streaming_region b ~patterns:pats ~ins:in_ptrs ~outs:out_ptrs f =
+(* [streaming_region b ~patterns ?widths ~ins ~outs f]: [ins]/[outs]
+   are pointer registers; [f] receives the body builder and the SSR
+   register values (readable streams first). [widths] gives the element
+   size in bytes per stream, defaulting to 8 for every stream (f64 and
+   packed-SIMD f32; scalar-f32 streams must pass 4). *)
+let streaming_region b ~patterns:pats ?widths:ws ~ins:in_ptrs ~outs:out_ptrs f =
   let n = List.length in_ptrs + List.length out_ptrs in
+  let ws = match ws with Some ws -> ws | None -> List.init n (fun _ -> 8) in
   let arg_tys =
     List.init n (fun i -> Ty.Float_reg (Some (List.nth Reg.ssr_data_registers i)))
   in
@@ -67,6 +86,7 @@ let streaming_region b ~patterns:pats ~ins:in_ptrs ~outs:out_ptrs f =
         [
           ("patterns", Attr.Arr (List.map (fun p -> Attr.Stride_pattern p) pats));
           ("ins", Attr.Int (List.length in_ptrs));
+          ("widths", Attr.Arr (List.map (fun w -> Attr.Int w) ws));
         ]
       ~regions:[ region ] ~results:[] streaming_region_op
       (in_ptrs @ out_ptrs)

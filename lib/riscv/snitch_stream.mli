@@ -12,12 +12,19 @@ val streaming_region_op : string
 val num_ins : Ir.op -> int
 val patterns : Ir.op -> Attr.stride_pattern list
 
-(** [streaming_region b ~patterns ~ins ~outs f]: [ins]/[outs] are pointer
-    registers; [f] receives the body builder and the SSR register values
-    (readable streams first). *)
+(** Element size in bytes served per stream access: 8 (f64 and
+    packed-SIMD f32) or 4 (scalar f32). Defaults to 8 per stream when
+    the region carries no widths attribute. *)
+val widths : Ir.op -> int list
+
+(** [streaming_region b ~patterns ?widths ~ins ~outs f]: [ins]/[outs]
+    are pointer registers; [f] receives the body builder and the SSR
+    register values (readable streams first). [widths] defaults to 8
+    bytes for every stream; scalar-f32 streams must pass 4. *)
 val streaming_region :
   Builder.t ->
   patterns:Attr.stride_pattern list ->
+  ?widths:int list ->
   ins:Ir.value list ->
   outs:Ir.value list ->
   (Builder.t -> Ir.value list -> unit) ->

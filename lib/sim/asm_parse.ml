@@ -2,7 +2,12 @@
    decoded instructions with resolved labels. It accepts exactly the
    mnemonics the backend emits plus conventional syntax (labels,
    #-comments), mirroring the external-assembler step of the paper's
-   toolchain (§4.1). *)
+   toolchain (§4.1).
+
+   It also accepts everything {!render} below can print — including
+   "@pc" absolute branch targets and the simulator-local immediate
+   pseudo-forms — so parse ∘ render is total over {!Insn.t} and the
+   direct and text simulation paths stay equivalence-checkable. *)
 
 exception Asm_error of string
 
@@ -116,9 +121,16 @@ let parse text =
     lines;
   let entries = List.rev !pending in
   let target label =
-    match Hashtbl.find_opt labels label with
-    | Some pc -> pc
-    | None -> err "undefined label %S" label
+    (* "@12" is a pre-resolved absolute pc, as printed by [render] for
+       decoded programs that no longer carry labels. *)
+    if String.length label > 1 && label.[0] = '@' then
+      match int_of_string_opt (String.sub label 1 (String.length label - 1)) with
+      | Some pc when pc >= 0 -> pc
+      | _ -> err "bad absolute target %S" label
+    else
+      match Hashtbl.find_opt labels label with
+      | Some pc -> pc
+      | None -> err "undefined label %S" label
   in
   let decode (mn, args, raw) : Insn.t =
     let a i = List.nth args i in
@@ -131,7 +143,8 @@ let parse text =
     | "mv" ->
       need 2;
       Mv (xreg (a 0), xreg (a 1))
-    | "add" | "sub" | "mul" | "div" | "and" | "or" | "xor" | "slt" ->
+    | "add" | "sub" | "mul" | "div" | "and" | "or" | "xor" | "slt" | "sll"
+    | "sra" ->
       need 3;
       let op : Insn.alu =
         match mn with
@@ -142,13 +155,29 @@ let parse text =
         | "and" -> And
         | "or" -> Or
         | "xor" -> Xor
+        | "sll" -> Sll
+        | "sra" -> Sra
         | _ -> Slt
       in
       Alu (op, xreg (a 0), xreg (a 1), xreg (a 2))
-    | "addi" | "slli" | "srai" | "andi" ->
+    | "addi" | "slli" | "srai" | "andi" | "ori" | "xori" | "slti" | "subi"
+    | "muli" | "divi" ->
+      (* addi..slti are real RV32I forms; subi/muli/divi are simulator-
+         local pseudo-forms printed by [render] for Alui constructors
+         that have no architectural immediate encoding. *)
       need 3;
       let op : Insn.alu =
-        match mn with "addi" -> Add | "slli" -> Sll | "srai" -> Sra | _ -> And
+        match mn with
+        | "addi" -> Add
+        | "slli" -> Sll
+        | "srai" -> Sra
+        | "andi" -> And
+        | "ori" -> Or
+        | "xori" -> Xor
+        | "slti" -> Slt
+        | "subi" -> Sub
+        | "muli" -> Mul
+        | _ -> Div
       in
       Alui (op, xreg (a 0), xreg (a 1), imm64 (a 2))
     | "lw" | "ld" ->
@@ -300,8 +329,9 @@ let vfop_mnemonic : Insn.vfop -> string = function
 
 (* One decoded instruction as assembly text. Branch targets are printed as
    resolved pcs ("@12") since the decoded form no longer carries labels;
-   used for traces of directly-emitted programs (Insn_emit), where no
-   original source line exists. *)
+   [parse] reads that form back, so render/parse round-trips. Used for
+   traces of directly-emitted programs (Insn_emit), where no original
+   source line exists. *)
 let render (insn : Insn.t) =
   let p = Printf.sprintf in
   match insn with

@@ -151,15 +151,25 @@ let trace_push t cycle src =
 
 (* --- SSR interaction --- *)
 
+(* Streams serve elements of the configured width: 8 bytes by default,
+   4 bytes for scalar-f32 streams (zero-extended on reads, low lane on
+   writes). A 4-byte write must not touch the element after the one
+   addressed — interleaved write patterns revisit neighbouring
+   addresses out of order, so a 64-bit store would clobber data that
+   has already been produced. *)
 let streaming_read t dm =
-  let addr = Ssr.next_read_address t.ssrs.(dm) in
+  let s = t.ssrs.(dm) in
+  let addr = Ssr.next_read_address s in
   t.perf.stream_reads <- t.perf.stream_reads + 1;
-  Mem.load64 t.mem addr
+  if s.Ssr.width = 8 then Mem.load64 t.mem addr
+  else Int64.logand (Int64.of_int32 (Mem.load32 t.mem addr)) 0xFFFFFFFFL
 
 let streaming_write t dm v =
-  let addr = Ssr.next_write_address t.ssrs.(dm) in
+  let s = t.ssrs.(dm) in
+  let addr = Ssr.next_write_address s in
   t.perf.stream_writes <- t.perf.stream_writes + 1;
-  Mem.store64 t.mem addr v
+  if s.Ssr.width = 8 then Mem.store64 t.mem addr v
+  else Mem.store32 t.mem addr (Int64.to_int32 v)
 
 let is_stream_reg t i = t.ssr_enabled && i < 3 && t.ssrs.(i).Ssr.active
 
@@ -347,6 +357,9 @@ let do_scfgwi t value imm =
   | 1 -> cfg.Ssr.c_repeat <- v
   | 2 | 3 | 4 | 5 -> cfg.Ssr.c_bounds.(slot - 2) <- v
   | 6 | 7 | 8 | 9 -> cfg.Ssr.c_strides.(slot - 6) <- v
+  | 10 ->
+    if v <> 4 && v <> 8 then err "scfgwi: element width must be 4 or 8, got %d" v;
+    cfg.Ssr.c_width <- v
   | s when s >= 24 && s < 28 ->
     Ssr.arm t.ssrs.(dm) cfg ~dims:(s - 24 + 1) ~ptr:v ~is_write:false
   | s when s >= 28 && s < 32 ->
@@ -466,6 +479,16 @@ let[@inline] mem_set64 (m : Mem.t) addr v =
     Mem.store64 m addr v (* raises the canonical Access_fault *)
   else bytes_set64u m.Mem.bytes off (if Sys.big_endian then swap64 v else v)
 
+(* 4-byte stream elements (scalar f32) are rare relative to the f64 hot
+   path: delegate to the bounds-checked [Mem] accessors directly. *)
+let[@inline] stream_get t (s : Ssr.t) addr =
+  if s.Ssr.width = 8 then mem_get64 t.mem addr
+  else Int64.logand (Int64.of_int32 (Mem.load32 t.mem addr)) 0xFFFFFFFFL
+
+let[@inline] stream_set t (s : Ssr.t) addr v =
+  if s.Ssr.width = 8 then mem_set64 t.mem addr v
+  else Mem.store32 t.mem addr (Int64.to_int32 v)
+
 (* [Ssr.advance] with its common cases unrolled in this unit: repeat
    service and the innermost no-carry bump; odometer wrap-around falls
    back to [Ssr.bump]. *)
@@ -489,7 +512,7 @@ let[@inline] pop_stream t i =
   s.Ssr.served <- s.Ssr.served + 1;
   ssr_advance_read s;
   t.perf.stream_reads <- t.perf.stream_reads + 1;
-  mem_get64 t.mem a
+  stream_get t s a
 
 let[@inline] push_stream t i v =
   let s = t.ssrs.(i) in
@@ -506,7 +529,7 @@ let[@inline] push_stream t i v =
    end
    else Ssr.bump s 0);
   t.perf.stream_writes <- t.perf.stream_writes + 1;
-  mem_set64 t.mem a v
+  stream_set t s a v
 
 (* Scoreboard bookkeeping shared by the compiled slots: all FREP body
    instructions are FPU-class, so the latency is the uniform

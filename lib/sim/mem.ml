@@ -8,7 +8,14 @@ exception Access_fault of string
 let tcdm_base = 0x10000000
 let tcdm_size = 128 * 1024
 
-let create () = { base = tcdm_base; bytes = Bytes.make tcdm_size '\000' }
+(* Fresh and reset TCDM contents are poisoned, not zeroed: a kernel that
+   forgets a store (e.g. a broken write-only output) must read back
+   deterministic garbage rather than a previous run's — or the harness's
+   conveniently zeroed — correct answer. 0xAA-filled doubles decode to a
+   large negative value, so any leak is loud in a differential check. *)
+let poison_byte = '\xAA'
+
+let create () = { base = tcdm_base; bytes = Bytes.make tcdm_size poison_byte }
 
 let check t addr width =
   let off = addr - t.base in
@@ -43,4 +50,6 @@ let alloc arena n_bytes =
   arena.next <- aligned + n_bytes;
   aligned
 
-let reset arena = arena.next <- arena.mem.base
+let reset arena =
+  arena.next <- arena.mem.base;
+  Bytes.fill arena.mem.bytes 0 (Bytes.length arena.mem.bytes) poison_byte

@@ -7,6 +7,12 @@ exception Access_fault of string
 
 val tcdm_base : int
 val tcdm_size : int
+
+(** The fill byte of fresh and reset TCDM contents: memory starts
+    poisoned (0xAA), not zeroed, so missing stores read back loud
+    deterministic garbage instead of stale or conveniently-zero data. *)
+val poison_byte : char
+
 val create : unit -> t
 val load64 : t -> int -> int64
 val store64 : t -> int -> int64 -> unit
@@ -26,4 +32,6 @@ val arena : t -> arena
     TCDM is exhausted. *)
 val alloc : arena -> int -> int
 
+(** Rewinds the allocator and re-poisons the whole TCDM, so nothing
+    survives from the previous run. *)
 val reset : arena -> unit

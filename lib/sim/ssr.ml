@@ -4,7 +4,10 @@
    per-dimension upper bounds and byte strides, plus an innermost repeat
    count that serves repeated accesses to the same location without
    touching the memory interconnect (the paper's stride-0 optimisation,
-   §3.2 d). The data path is 64-bit: one stream element is 8 bytes. *)
+   §3.2 d). The data path is 64-bit; the element size served per access
+   defaults to 8 bytes but scalar-f32 streams declare 4-byte elements
+   via the width config slot (assembler contract in DESIGN.md) so a
+   stream push cannot clobber the element after the one addressed. *)
 
 exception Stream_fault of string
 
@@ -19,6 +22,7 @@ type t = {
   mutable active : bool;
   mutable finished : bool; (* pattern exhausted; further access faults *)
   mutable is_write : bool;
+  mutable width : int; (* element size in bytes: 4 or 8 *)
   mutable served : int; (* elements served so far *)
 }
 
@@ -34,14 +38,21 @@ let create () =
     active = false;
     finished = false;
     is_write = false;
+    width = 8;
     served = 0;
   }
 
 (* Raw config slots as written by scfgwi before the pointer write arms the
    stream. *)
-type config = { mutable c_bounds : int array; mutable c_strides : int array; mutable c_repeat : int }
+type config = {
+  mutable c_bounds : int array;
+  mutable c_strides : int array;
+  mutable c_repeat : int;
+  mutable c_width : int;
+}
 
-let fresh_config () = { c_bounds = Array.make 4 0; c_strides = Array.make 4 0; c_repeat = 0 }
+let fresh_config () =
+  { c_bounds = Array.make 4 0; c_strides = Array.make 4 0; c_repeat = 0; c_width = 8 }
 
 (* Arm the stream with [dims] active dimensions starting at [ptr]. Bound
    slots hold the iteration count minus one, as in the Snitch ISA. *)
@@ -58,6 +69,7 @@ let arm t config ~dims ~ptr ~is_write =
   t.active <- true;
   t.finished <- false;
   t.is_write <- is_write;
+  t.width <- config.c_width;
   t.served <- 0
 
 let total_elements t =

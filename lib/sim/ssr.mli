@@ -2,7 +2,9 @@
     4-dimensional affine patterns with per-dimension bounds and byte
     strides, plus an innermost repeat count serving repeated accesses
     without touching the interconnect (§3.2's stride-0 optimisation).
-    The data path is 64-bit: one element is 8 bytes. *)
+    The data path is 64-bit; elements default to 8 bytes, with 4-byte
+    elements for scalar-f32 streams declared via the width config slot
+    (assembler contract in DESIGN.md). *)
 
 exception Stream_fault of string
 
@@ -17,6 +19,7 @@ type t = {
   mutable active : bool;
   mutable finished : bool;
   mutable is_write : bool;
+  mutable width : int;  (** element size in bytes: 4 or 8 *)
   mutable served : int;
 }
 
@@ -28,6 +31,7 @@ type config = {
   mutable c_bounds : int array;
   mutable c_strides : int array;
   mutable c_repeat : int;
+  mutable c_width : int;
 }
 
 val fresh_config : unit -> config

@@ -143,7 +143,12 @@ and convert_op ctx bb op =
     Rv.fstore bb store_name ~offset:off (cv ctx (operand 0)) addr
   | "scf.for" -> convert_scf_for ctx bb op
   | "memref_stream.read" ->
-    bind ctx (res 0) (Rv_snitch.read bb (cv ctx (operand 0)))
+    (* Each architectural read of a stream register pops one element, so
+       a value the body consumes more than once must be popped exactly
+       once and copied into an ordinary FP register. *)
+    let popped = Rv_snitch.read bb (cv ctx (operand 0)) in
+    bind ctx (res 0)
+      (if Ir.Value.num_uses (res 0) > 1 then Rv.fmv_d bb popped else popped)
   | "memref_stream.write" ->
     Rv_snitch.write bb (cv ctx (operand 0)) (cv ctx (operand 1))
   | "memref_stream.streaming_region" ->
@@ -242,10 +247,15 @@ and convert_streaming_region ?(pattern_opt = true) ctx bb op =
   in
   let in_ptrs = List.filteri (fun i _ -> i < n_in) pointers in
   let out_ptrs = List.filteri (fun i _ -> i >= n_in) pointers in
+  (* Scalar streams serve one element per access, so the stream element
+     width is the memref element width (4 bytes for f32). *)
+  let widths =
+    List.map (fun v -> Ty.byte_width (Ty.memref_elem (Ir.Value.ty v))) streams
+  in
   let old_body = Memref_stream.body op in
   ignore
-    (Snitch_stream.streaming_region bb ~patterns:hw_patterns ~ins:in_ptrs
-       ~outs:out_ptrs (fun inner stream_args ->
+    (Snitch_stream.streaming_region bb ~patterns:hw_patterns ~widths
+       ~ins:in_ptrs ~outs:out_ptrs (fun inner stream_args ->
          List.iteri
            (fun i old_arg -> bind ctx old_arg (List.nth stream_args i))
            (Ir.Block.args old_body);

@@ -1,6 +1,9 @@
 (* Classic inner-loop unrolling at the RISC-V level: replicate the body
    [u] times (chaining loop-carried values through the copies, offsetting
-   induction-variable uses by k*step) and multiply the step.
+   induction-variable uses by k*step) and multiply the step. Trip counts
+   with no usable divisor (primes, non-multiples of the factor) are
+   split into an unrolled main loop plus a scalar epilogue loop covering
+   the remaining trips.
 
    This is NOT the paper's unroll-and-jam (which interleaves independent
    iterations at the memref_stream level); it models the plain unrolling
@@ -20,6 +23,43 @@ let const_li v =
 let is_innermost loop =
   Ir.find_first loop (fun op -> Ir.Op.name op = Rv_scf.for_op) = None
 
+(* Clone [loop]'s body [u] times into a fresh rv_scf.for over
+   [lb_v, ub_v) with step [step * u], inserted before [anchor]. The
+   caller guarantees the range holds a multiple of [u] trips. *)
+let build_unrolled ~anchor (loop : Ir.op) ~lb_v ~ub_v ~iters ~step ~u =
+  let old_body = Rv_scf.body loop in
+  let old_iv = Rv_scf.induction_var loop in
+  let iter_tys = List.map Ir.Value.ty (Rv_scf.iter_args loop) in
+  let region = Ir.Region.single_block ~args:(Ty.Int_reg None :: iter_tys) () in
+  let body = Ir.Region.only_block region in
+  let new_loop =
+    Ir.Op.create ~regions:[ region ]
+      ~attrs:[ ("step", Attr.Int (step * u)) ]
+      ~results:iter_tys Rv_scf.for_op
+      ([ lb_v; ub_v ] @ iters)
+  in
+  Ir.Op.insert_before ~anchor new_loop;
+  let bb = Builder.at_end body in
+  let new_iv = Ir.Block.arg body 0 in
+  let cur = ref (List.tl (Ir.Block.args body)) in
+  for k = 0 to u - 1 do
+    let vmap = Hashtbl.create 16 in
+    let iv_k = if k = 0 then new_iv else Rv.addi bb new_iv (k * step) in
+    Hashtbl.replace vmap (Ir.Value.id old_iv) iv_k;
+    List.iter2
+      (fun old_arg v -> Hashtbl.replace vmap (Ir.Value.id old_arg) v)
+      (Rv_scf.iter_args loop) !cur;
+    cur := Util.clone_body_ops old_body bb vmap
+  done;
+  Builder.create0 bb Rv_scf.yield_op !cur;
+  new_loop
+
+let replace_with (loop : Ir.op) (results : Ir.value list) =
+  List.iter2
+    (fun r v -> Ir.replace_all_uses r ~with_:v)
+    (Ir.Op.results loop) results;
+  Ir.Op.erase loop
+
 let unroll_loop requested (loop : Ir.op) =
   let step = Rv_scf.step loop in
   match (const_li (Rv_scf.lb loop), const_li (Rv_scf.ub loop)) with
@@ -27,38 +67,36 @@ let unroll_loop requested (loop : Ir.op) =
     let trips = (ub - lb) / step in
     (* Largest divisor of the trip count within the requested factor. *)
     let rec divisor u = if u < 2 then 1 else if trips mod u = 0 then u else divisor (u - 1) in
-    let u = divisor (min requested trips) in
-    if u < 2 then ()
+    let d = divisor (min requested trips) in
+    let iters = Rv_scf.iter_operands loop in
+    if d >= 2 then begin
+      (* The trip count divides evenly: a single unrolled loop. *)
+      let new_loop =
+        build_unrolled ~anchor:loop loop ~lb_v:(Rv_scf.lb loop)
+          ~ub_v:(Rv_scf.ub loop) ~iters ~step ~u:d
+      in
+      replace_with loop (Ir.Op.results new_loop)
+    end
     else begin
-    let old_body = Rv_scf.body loop in
-    let old_iv = Rv_scf.induction_var loop in
-    let iter_tys = List.map Ir.Value.ty (Rv_scf.iter_args loop) in
-    let region = Ir.Region.single_block ~args:(Ty.Int_reg None :: iter_tys) () in
-    let body = Ir.Region.only_block region in
-    let new_loop =
-      Ir.Op.create ~regions:[ region ]
-        ~attrs:[ ("step", Attr.Int (step * u)) ]
-        ~results:iter_tys Rv_scf.for_op
-        (Ir.Op.operands loop)
-    in
-    Ir.Op.insert_before ~anchor:loop new_loop;
-    let bb = Builder.at_end body in
-    let new_iv = Ir.Block.arg body 0 in
-    let cur = ref (List.tl (Ir.Block.args body)) in
-    for k = 0 to u - 1 do
-      let vmap = Hashtbl.create 16 in
-      let iv_k = if k = 0 then new_iv else Rv.addi bb new_iv (k * step) in
-      Hashtbl.replace vmap (Ir.Value.id old_iv) iv_k;
-      List.iter2
-        (fun old_arg v -> Hashtbl.replace vmap (Ir.Value.id old_arg) v)
-        (Rv_scf.iter_args loop) !cur;
-      cur := Util.clone_body_ops old_body bb vmap
-    done;
-    Builder.create0 bb Rv_scf.yield_op !cur;
-      List.iteri
-        (fun i r -> Ir.replace_all_uses r ~with_:(Ir.Op.result new_loop i))
-        (Ir.Op.results loop);
-      Ir.Op.erase loop
+      (* No usable divisor (e.g. a prime trip count): unroll by the
+         requested factor over the largest multiple of it and mop up
+         the remaining trips in a scalar epilogue loop that chains the
+         main loop's iteration values. *)
+      let u = min requested trips in
+      if u >= 2 then begin
+        let rem = trips mod u in
+        let split = lb + ((trips - rem) * step) in
+        let split_v = Rv.li (Builder.before loop) split in
+        let main =
+          build_unrolled ~anchor:loop loop ~lb_v:(Rv_scf.lb loop)
+            ~ub_v:split_v ~iters ~step ~u
+        in
+        let epilogue =
+          build_unrolled ~anchor:loop loop ~lb_v:split_v
+            ~ub_v:(Rv_scf.ub loop) ~iters:(Ir.Op.results main) ~step ~u:1
+        in
+        replace_with loop (Ir.Op.results epilogue)
+      end
     end
   | _ -> ()
 

@@ -16,6 +16,7 @@ let fail fmt = Format.kasprintf failwith fmt
 
 let lower_region (op : Ir.op) =
   let patterns = Snitch_stream.patterns op in
+  let widths = Snitch_stream.widths op in
   let n_in = Snitch_stream.num_ins op in
   let bb = Builder.before op in
   List.iteri
@@ -47,6 +48,13 @@ let lower_region (op : Ir.op) =
            (if repeat > 0 then Printf.sprintf ", repeat %d" repeat else ""));
       let rep_reg = Rv.li bb repeat in
       Rv_snitch.scfgwi bb rep_reg ~slot:1 ~dm;
+      (* Element width (slot 10): only written when it deviates from the
+         8-byte default, i.e. for scalar-f32 streams. *)
+      let width = List.nth widths dm in
+      if width <> 8 then begin
+        let w_reg = Rv.li bb width in
+        Rv_snitch.scfgwi bb w_reg ~slot:10 ~dm
+      end;
       List.iteri
         (fun i (ub, stride) ->
           let b_reg = Rv.li bb (ub - 1) in

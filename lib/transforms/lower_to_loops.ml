@@ -187,21 +187,28 @@ let build_innermost ctx bb red_dims =
 let open_streaming_region ctx bb continue_ =
   let n_dims = List.length ctx.bounds in
   let offset_expr k =
-    (* Flat element offset of operand [k]'s access with dims >= h fixed
-       at zero: sum over map results of (restricted expr) * mem stride. *)
+    (* Flat element offset of operand [k]'s access carried by the
+       hoisted dims (d < h): sum over map results of the hoisted dims'
+       coefficients * mem stride. Constant map terms are excluded —
+       they live in the resolved pattern's offset, which the stream
+       lowering already folds into the base pointer. *)
     let m = List.nth ctx.maps k in
-    let dims =
-      Array.init n_dims (fun d ->
-          if d < ctx.hoist then Affine.dim d else Affine.const 0)
-    in
     let mem_strides =
       Stream_patterns.mem_strides_of
         (Ir.Value.ty (List.nth (Ir.Op.operands ctx.generic) k))
     in
     List.fold_left2
       (fun acc e ms ->
-        Affine.add acc
-          (Affine.mul (Affine.subst_expr ~dims ~syms:[||] e) (Affine.const ms)))
+        let dcoef, _, _ = Affine.linear_form ~num_dims:n_dims ~num_syms:0 e in
+        let acc = ref acc in
+        Array.iteri
+          (fun d coef ->
+            if d < ctx.hoist && coef <> 0 then
+              acc :=
+                Affine.add !acc
+                  (Affine.mul (Affine.dim d) (Affine.const (coef * ms))))
+          dcoef;
+        !acc)
       (Affine.const 0) m.Affine.exprs mem_strides
   in
   let offsets =

@@ -17,21 +17,64 @@ open Mlc_dialects
 let min_factor = Machine_params.fpu_pipeline_stages + 1
 let max_factor = 8
 
-(* Choose the unroll factor for a dimension of size [b]:
+(* Register-pressure model for the spill-free allocator: each
+   interleaved copy keeps its accumulator(s) live across the whole
+   loop, on top of the per-copy temporaries (body op results, popped
+   operand elements, and one extra copy for every multi-used operand —
+   stream reads pop, so reuse forces an fmv) and a fixed slack for
+   the reserved stream registers, fill constants and loop plumbing.
+   The interleave factor is capped so the estimate fits the FP file;
+   the Table 1 kernel bodies are small enough to keep the full
+   factor 8. *)
+let fp_regs = 20
+let fp_slack = 8
+
+let body_fp_pressure op =
+  let body = Memref_stream.body op in
+  let temps =
+    Ir.Block.fold_ops body ~init:0 ~f:(fun n o ->
+        n + List.length (Ir.Op.results o))
+  in
+  let n_in = Memref_stream.num_ins op in
+  let multi_use =
+    List.length
+      (List.filter
+         (fun a -> Ir.Value.num_uses a > 1)
+         (List.filteri (fun i _ -> i < n_in) (Ir.Block.args body)))
+  in
+  temps + n_in + multi_use
+
+let max_interleave op =
+  let n_out = max 1 (Memref_stream.num_outs op) in
+  min max_factor ((fp_regs - fp_slack - body_fp_pressure op) / n_out)
+
+(* How one parallel dimension of size [b] is interleaved. *)
+type plan =
+  | Whole of int (* u = b: the dim moves to the end, fully interleaved *)
+  | Split of int (* b mod u = 0: dim stays at b/u with a trailing dim u *)
+  | Split_epilogue of int * int
+      (* (u, rem): the leading b - rem iterations split as above; the
+         remaining rem run in a separate non-interleaved tail op *)
+
+(* Choose the unroll plan for a dimension of size [b] under the
+   pressure cap:
    - small dims are fully interleaved;
-   - larger dims are split by their largest divisor within
-     [min_factor, max_factor] (preferring larger);
-   - dims with no usable divisor are left alone. *)
-let choose_factor b =
-  if b < 2 then None
-  else if b <= max_factor then Some (b, false)
+   - larger dims are split by their largest divisor within [2, cap]
+     (preferring larger);
+   - dims with no usable divisor (primes, non-multiples of the factor)
+     are interleaved by the full cap with an epilogue for the rest. *)
+let choose_factor ~cap b =
+  if b < 2 || cap < 2 then None
+  else if b <= cap then Some (Whole b)
   else begin
     let rec search u =
       if u < 2 then None
-      else if b mod u = 0 then Some (u, true)
+      else if b mod u = 0 then Some u
       else search (u - 1)
     in
-    search max_factor
+    match search cap with
+    | Some u -> Some (Split u)
+    | None -> Some (Split_epilogue (cap, b mod cap))
   end
 
 let transform (op : Ir.op) =
@@ -45,101 +88,111 @@ let transform (op : Ir.op) =
   then begin
     let bounds = Memref_stream.bounds op in
     let parallel = Util.dims_of_kind iterators Attr.Parallel in
+    let cap = max_interleave op in
     (* Prefer the last parallel dimension (fastest-varying in the output). *)
     let candidate =
       List.fold_left
         (fun acc d ->
-          match choose_factor (List.nth bounds d) with
-          | Some (u, split) -> Some (d, u, split)
+          match choose_factor ~cap (List.nth bounds d) with
+          | Some plan -> Some (d, plan)
           | None -> acc)
         None parallel
     in
     match candidate with
     | None -> ()
-    | Some (p, u, split) ->
+    | Some (p, plan) ->
       let n = List.length bounds in
       let maps = Memref_stream.indexing_maps op in
       let n_in = Memref_stream.num_ins op in
       let n_out = Memref_stream.num_outs op in
-      (* New dimension layout. *)
-      let new_bounds, new_iterators, dim_subst =
-        if split then begin
-          (* dim p: b -> b/u (in place), new trailing interleaved dim u.
-             d_p := d_p * u + d_n *)
-          let nb =
-            List.mapi (fun i b -> if i = p then b / u else b) bounds @ [ u ]
-          in
-          let ni = iterators @ [ Attr.Interleaved ] in
-          let subst =
-            Array.init n (fun i ->
-                if i = p then
-                  Affine.(add (mul (dim p) (const u)) (dim n))
-                else Affine.dim i)
-          in
-          (nb, ni, subst)
-        end
-        else begin
-          (* Move dim p to the end as the interleaved dim. *)
-          let others = List.filter (fun i -> i <> p) (List.init n Fun.id) in
-          let order = others @ [ p ] in
-          let pos = Array.make n 0 in
-          List.iteri (fun new_i old_i -> pos.(old_i) <- new_i) order;
-          let nb = List.map (fun old_i -> List.nth bounds old_i) order in
-          let ni =
-            List.map
-              (fun old_i ->
-                if old_i = p then Attr.Interleaved
-                else List.nth iterators old_i)
-              order
-          in
-          let subst = Array.init n (fun i -> Affine.dim pos.(i)) in
-          (nb, ni, subst)
-        end
-      in
-      let new_num_dims = List.length new_bounds in
-      let new_maps =
-        List.map
-          (fun (m : Affine.map) ->
-            Affine.make ~num_dims:new_num_dims ~num_syms:0
-              (List.map (Affine.subst_expr ~dims:dim_subst ~syms:[||]) m.Affine.exprs))
-          maps
-      in
-      (* Replicate the body u times. *)
       let old_body = Memref_stream.body op in
       let operands = Ir.Op.operands op in
       let ins = List.filteri (fun i _ -> i < n_in) operands in
       let outs = List.filteri (fun i _ -> i >= n_in && i < n_in + n_out) operands in
       let inits = List.filteri (fun i _ -> i >= n_in + n_out) operands in
       let b = Builder.before op in
-      ignore
-        (Memref_stream.generic b ~bounds:new_bounds ~ins ~outs ~inits
-           ~maps:new_maps ~iterators:new_iterators
-           (fun bb in_args out_args ->
-             (* in_args = [copy0 ins..., copy1 ins...]; out_args
-                likewise. Clone the old single-copy body u times. *)
-             let yields = ref [] in
-             for j = 0 to u - 1 do
-               let vmap = Hashtbl.create 16 in
-               for k = 0 to n_in - 1 do
-                 Hashtbl.replace vmap
-                   (Ir.Value.id (Ir.Block.arg old_body k))
-                   (List.nth in_args ((j * n_in) + k))
-               done;
-               for k = 0 to n_out - 1 do
-                 Hashtbl.replace vmap
-                   (Ir.Value.id (Ir.Block.arg old_body (n_in + k)))
-                   (List.nth out_args ((j * n_out) + k))
-               done;
-               let copy_yields = Util.clone_body_ops old_body bb vmap in
-               yields := !yields @ copy_yields
-             done;
-             !yields));
-      let replacement =
-        match op.Ir.prev with
-        | Some r -> r
-        | None -> invalid_arg "unroll_jam: replacement not inserted"
+      (* Emit one replacement generic with the body replicated u times
+         (in_args = [copy0 ins..., copy1 ins...]; out_args likewise). *)
+      let emit ~bounds:new_bounds ~iterators:new_iterators ~dim_subst ~u =
+        let new_num_dims = List.length new_bounds in
+        let new_maps =
+          List.map
+            (fun (m : Affine.map) ->
+              Affine.make ~num_dims:new_num_dims ~num_syms:0
+                (List.map
+                   (Affine.subst_expr ~dims:dim_subst ~syms:[||])
+                   m.Affine.exprs))
+            maps
+        in
+        let g =
+          Memref_stream.generic b ~bounds:new_bounds ~ins ~outs ~inits
+            ~maps:new_maps ~iterators:new_iterators
+            (fun bb in_args out_args ->
+              let yields = ref [] in
+              for j = 0 to u - 1 do
+                let vmap = Hashtbl.create 16 in
+                for k = 0 to n_in - 1 do
+                  Hashtbl.replace vmap
+                    (Ir.Value.id (Ir.Block.arg old_body k))
+                    (List.nth in_args ((j * n_in) + k))
+                done;
+                for k = 0 to n_out - 1 do
+                  Hashtbl.replace vmap
+                    (Ir.Value.id (Ir.Block.arg old_body (n_in + k)))
+                    (List.nth out_args ((j * n_out) + k))
+                done;
+                let copy_yields = Util.clone_body_ops old_body bb vmap in
+                yields := !yields @ copy_yields
+              done;
+              !yields)
+        in
+        Ir.Op.set_attr g Scalar_replacement.attr_key (Attr.Bool true)
       in
-      Ir.Op.set_attr replacement Scalar_replacement.attr_key (Attr.Bool true);
+      (* dim p: count -> count/u (in place), new trailing interleaved
+         dim u; d_p := d_p * u + d_n + base. *)
+      let emit_split ~count ~base ~u =
+        let nb =
+          List.mapi (fun i bd -> if i = p then count / u else bd) bounds @ [ u ]
+        in
+        let ni = iterators @ [ Attr.Interleaved ] in
+        let subst =
+          Array.init n (fun i ->
+              if i = p then
+                Affine.(add (add (mul (dim p) (const u)) (dim n)) (const base))
+              else Affine.dim i)
+        in
+        emit ~bounds:nb ~iterators:ni ~dim_subst:subst ~u
+      in
+      (match plan with
+      | Whole u ->
+        (* Move dim p to the end as the interleaved dim. *)
+        let others = List.filter (fun i -> i <> p) (List.init n Fun.id) in
+        let order = others @ [ p ] in
+        let pos = Array.make n 0 in
+        List.iteri (fun new_i old_i -> pos.(old_i) <- new_i) order;
+        let nb = List.map (fun old_i -> List.nth bounds old_i) order in
+        let ni =
+          List.map
+            (fun old_i ->
+              if old_i = p then Attr.Interleaved else List.nth iterators old_i)
+            order
+        in
+        let subst = Array.init n (fun i -> Affine.dim pos.(i)) in
+        emit ~bounds:nb ~iterators:ni ~dim_subst:subst ~u
+      | Split u -> emit_split ~count:(List.nth bounds p) ~base:0 ~u
+      | Split_epilogue (u, rem) ->
+        (* Interleaved main part over the leading b - rem iterations,
+           then a non-interleaved tail over the remaining rem. The dim
+           being parallel, the two parts touch disjoint output slices. *)
+        let b_p = List.nth bounds p in
+        emit_split ~count:(b_p - rem) ~base:0 ~u;
+        let tail_b = List.mapi (fun i bd -> if i = p then rem else bd) bounds in
+        let tail_subst =
+          Array.init n (fun i ->
+              if i = p then Affine.(add (dim p) (const (b_p - rem)))
+              else Affine.dim i)
+        in
+        emit ~bounds:tail_b ~iterators ~dim_subst:tail_subst ~u:1);
       Ir.Op.erase op
   end
 

@@ -2,15 +2,30 @@
     of a parallel dimension in the innermost body so the FPU sees
     independent accumulator chains instead of one RAW chain. The factor
     is derived from the FPU pipeline depth (>= stages + 1); small dims
-    interleave whole, larger ones split by their best divisor. *)
+    interleave whole, larger ones split by their best divisor, and the
+    factor is capped by an FP register-pressure estimate so the
+    spill-free allocator always succeeds on the interleaved body. *)
 
 (** Minimum interleave covering the FPU pipeline. *)
 val min_factor : int
 
 val max_factor : int
 
-(** [choose_factor b] is [Some (u, split?)] or [None] when a dim of
-    size [b] cannot be interleaved. *)
-val choose_factor : int -> (int * bool) option
+(** Register-pressure cap on the interleave factor for a
+    [memref_stream.generic]: the largest number of interleaved copies
+    whose accumulators, temporaries and fixed overhead still fit the FP
+    register file. *)
+val max_interleave : Mlc_ir.Ir.op -> int
+
+(** How one parallel dimension is interleaved: fully ([Whole]), split
+    by an exact divisor ([Split]), or split by the full cap with a
+    non-interleaved tail covering the remainder ([Split_epilogue
+    (u, rem)]) when the size has no usable divisor. *)
+type plan = Whole of int | Split of int | Split_epilogue of int * int
+
+(** [choose_factor ~cap b] is the interleave plan for a dim of size
+    [b], or [None] when it cannot be interleaved within the pressure
+    cap. *)
+val choose_factor : cap:int -> int -> plan option
 
 val pass : Mlc_ir.Pass.t

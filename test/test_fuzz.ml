@@ -1,0 +1,318 @@
+(* Differential-fuzzer regression suite: pins every bug the fuzz
+   harness flushed out (each with its minimised repro case), checks the
+   oracle actually catches an injected miscompile, property-tests the
+   case codec and the Insn printer/parser round-trip, and covers the
+   epilogue/degenerate shapes the bugs lived in across pipeline
+   configs. *)
+
+open Mlc_transforms
+module FC = Mlc_fuzz.Fuzz_case
+module FO = Mlc_fuzz.Fuzz_oracle
+module FG = Mlc_fuzz.Fuzz_gen
+module FS = Mlc_fuzz.Fuzz_shrink
+module Fuzz = Mlc_fuzz.Fuzz
+module Insn = Mlc_sim.Insn
+module Asm_parse = Mlc_sim.Asm_parse
+
+(* --- pinned fuzzer repros ------------------------------------------- *)
+
+(* Each entry is a shrunk case from a real fuzzer-found miscompile,
+   replayed through the full oracle (every config, both program paths,
+   both engines, bit-for-bit vs the interpreter). *)
+let pinned_repros =
+  [
+    ( "stream read with multiple uses pops once",
+      (* x0 used twice under one pop: convert_to_rv must copy the popped
+         element (fmv) instead of popping the stream twice. *)
+      "f64|1x1|r0|p01|M(x0,x0)" );
+    ( "interleaved body register pressure",
+      (* Deep body under unroll-and-jam exhausted the spill-free FP
+         allocator until the interleave factor was pressure-capped. *)
+      "f32|1x6x1|r1|p012;j02|M(A,M(+(x1,x1),*(x0,x0)))" );
+    ( "f32 stream writes are 4 bytes wide",
+      (* 64-bit stream pushes clobbered the neighbouring f32 element;
+         the interleaved write order of unroll-and-jam made the clobber
+         land after the element's own write. Fixed by the scfgwi slot-10
+         element-width contract. *)
+      "f32|2x13x1|r1|p012|+(A,x0)" );
+    ( "f32 stream writes, transposed output walk",
+      "f32|2x13x1|r1|p210|M(A,x0)" );
+  ]
+
+let replay_case name s () =
+  let case = FC.of_string s in
+  match FO.check case with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "%s: config=%s stage=%s: %s" name f.FO.config f.FO.stage
+      f.FO.detail
+
+let pinned_cases =
+  List.map
+    (fun (name, s) -> Alcotest.test_case name `Quick (replay_case name s))
+    pinned_repros
+
+(* --- injected miscompile is caught ---------------------------------- *)
+
+(* The acceptance check for the oracle itself: corrupt one FPU
+   instruction of a known-good compile and make sure the bit-level
+   comparison flags it (a differential harness that cannot detect a
+   planted bug proves nothing). *)
+let injected_miscompile () =
+  let module B = Mlc_kernels.Builders in
+  let case = FC.of_string "f32|2x13x1|r1|p012|+(A,x0)" in
+  let spec = FC.to_spec case in
+  let data =
+    Mlc.Runner.gen_inputs ~seed:(FC.input_seed case) ~elem:spec.B.elem
+      spec.B.args
+  in
+  let expected = Mlc.Runner.interp_expected spec data in
+  let m = spec.B.build () in
+  match FO.compile_checked "ours" Pipeline.ours m with
+  | Error f -> Alcotest.failf "clean compile failed: %s" f.FO.detail
+  | Ok asm ->
+    let parsed = Asm_parse.parse asm in
+    let victim = ref None in
+    Array.iteri
+      (fun i insn ->
+        match (insn, !victim) with
+        | Insn.Fop (Insn.Fadd, p, d, s1, s2), None ->
+          victim := Some (i, Insn.Fop (Insn.Fsub, p, d, s1, s2))
+        | _ -> ())
+      parsed.Asm_parse.insns;
+    (match !victim with
+    | None -> Alcotest.fail "no fadd to corrupt in the compiled kernel"
+    | Some (i, bad) -> parsed.Asm_parse.insns.(i) <- bad);
+    let program = Mlc_sim.Program.of_asm parsed in
+    let _, outputs, _ =
+      Mlc.Runner.simulate_program ~elem:spec.B.elem ~fn_name:spec.B.fn_name
+        ~args:spec.B.args ~data program
+    in
+    (match FO.first_bit_mismatch ~got:outputs ~want:expected with
+    | Some _ -> ()
+    | None -> Alcotest.fail "oracle missed the injected fadd->fsub miscompile");
+    (* The report hands the user a replayable one-liner. *)
+    Alcotest.(check string)
+      "repro line" "snitchc fuzz --replay 'f32|2x13x1|r1|p012|+(A,x0)'"
+      (Fuzz.repro_line case)
+
+(* --- shrinker -------------------------------------------------------- *)
+
+(* The shrinker only needs the failure predicate, so a synthetic one
+   exercises it without a live compiler bug: "fails" while any bound is
+   >= 13. Minimisation must preserve failure and validity and never grow
+   the case. *)
+let shrinker_minimizes () =
+  let fails c = List.exists (fun b -> b >= 13) c.FC.bounds in
+  let case = FC.of_string "f32|2x13x1|r1|p012;j02|F(x0,x1,A)" in
+  Alcotest.(check bool) "original fails" true (fails case);
+  let shrunk = FS.minimize ~fails case in
+  Alcotest.(check bool) "shrunk still fails" true (fails shrunk);
+  (match FC.validate shrunk with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "shrunk case invalid: %s" m);
+  Alcotest.(check bool)
+    "shrinking never grows the case" true
+    (String.length (FC.to_string shrunk) <= String.length (FC.to_string case))
+
+(* --- case codec ------------------------------------------------------ *)
+
+let codec_roundtrip () =
+  for i = 0 to 199 do
+    let st = Random.State.make [| 0xC0DEC; i |] in
+    let c = FG.gen st in
+    (match FC.validate c with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "generated case invalid (%d): %s" i m);
+    let s = FC.to_string c in
+    if FC.of_string s <> c then
+      Alcotest.failf "codec round-trip failed for %s" s
+  done
+
+(* --- fuzz smoke ------------------------------------------------------ *)
+
+(* A small deterministic slice of the real campaign runs inside the
+   suite, so `dune runtest` itself exercises the whole oracle matrix. *)
+let fuzz_smoke () =
+  let r = Fuzz.run ~seed:7 ~count:6 () in
+  match r.Fuzz.failures with
+  | [] -> ()
+  | fr :: _ ->
+    Alcotest.failf "fuzz smoke found a mismatch: %s" (Fuzz.repro_line fr.Fuzz.shrunk)
+
+(* --- Insn printer/parser round-trip property -------------------------- *)
+
+(* parse . render must be the identity over the whole decoded
+   instruction set (the text path of the differential oracle depends on
+   it). Generator constraints mirror what render can print: csr numbers
+   are rendered in hex so must be non-negative; branch targets are
+   absolute pcs >= 0. *)
+let gen_insn : Insn.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_range 0 31 in
+  let imm = map Int64.of_int (int_range (-4096) 4096) in
+  let off = int_range (-2048) 2048 in
+  let width = oneofl [ 4; 8 ] in
+  let prec = oneofl [ Insn.D; Insn.S ] in
+  let alu =
+    oneofl
+      [
+        Insn.Add; Insn.Sub; Insn.Mul; Insn.Div; Insn.And; Insn.Or; Insn.Xor;
+        Insn.Slt; Insn.Sll; Insn.Sra;
+      ]
+  in
+  let fop =
+    oneofl [ Insn.Fadd; Insn.Fsub; Insn.Fmul; Insn.Fdiv; Insn.Fmax; Insn.Fmin ]
+  in
+  let vfop =
+    oneofl [ Insn.Vfadd; Insn.Vfsub; Insn.Vfmul; Insn.Vfmax; Insn.Vfmin ]
+  in
+  let cond = oneofl [ Insn.Beq; Insn.Bne; Insn.Blt; Insn.Bge ] in
+  let target = int_range 0 9999 in
+  oneof
+    [
+      map2 (fun rd v -> Insn.Li (rd, v)) reg (map Int64.of_int int);
+      map2 (fun rd rs -> Insn.Mv (rd, rs)) reg reg;
+      map3 (fun op rd (rs1, rs2) -> Insn.Alu (op, rd, rs1, rs2))
+        alu reg (pair reg reg);
+      map3 (fun op rd (rs1, v) -> Insn.Alui (op, rd, rs1, v))
+        alu reg (pair reg imm);
+      map3 (fun w rd (o, b) -> Insn.Load (w, rd, o, b)) width reg (pair off reg);
+      map3 (fun w rs (o, b) -> Insn.Store (w, rs, o, b)) width reg (pair off reg);
+      map3 (fun w fd (o, b) -> Insn.Fload (w, fd, o, b)) width reg (pair off reg);
+      map3 (fun w fs (o, b) -> Insn.Fstore (w, fs, o, b)) width reg (pair off reg);
+      map3 (fun (op, p) fd (fs1, fs2) -> Insn.Fop (op, p, fd, fs1, fs2))
+        (pair fop prec) reg (pair reg reg);
+      map3 (fun (p, fd) fs1 (fs2, fs3) -> Insn.Fmadd (p, fd, fs1, fs2, fs3))
+        (pair prec reg) reg (pair reg reg);
+      map2 (fun fd fs -> Insn.Fmv (fd, fs)) reg reg;
+      map3 (fun p fd rs -> Insn.Fcvt_from_int (p, fd, rs)) prec reg reg;
+      map3 (fun p fd rs -> Insn.Fmv_from_bits (p, fd, rs)) prec reg reg;
+      map3 (fun op fd (fs1, fs2) -> Insn.Vf (op, fd, fs1, fs2))
+        vfop reg (pair reg reg);
+      map3 (fun fd fs1 fs2 -> Insn.Vfmac (fd, fs1, fs2)) reg reg reg;
+      map2 (fun fd fs -> Insn.Vfsum (fd, fs)) reg reg;
+      map3 (fun fd lo hi -> Insn.Vfcpka (fd, lo, hi)) reg reg reg;
+      map2 (fun rs v -> Insn.Scfgwi (rs, v)) reg (int_range 0 255);
+      map2 (fun csr v -> Insn.Csrsi (csr, v)) (int_range 0 0xfff) (int_range 0 31);
+      map2 (fun csr v -> Insn.Csrci (csr, v)) (int_range 0 0xfff) (int_range 0 31);
+      map2 (fun rpt n -> Insn.Frep_o (rpt, n)) reg (int_range 0 64);
+      map3 (fun c (rs1, rs2) t -> Insn.Branch (c, rs1, rs2, t))
+        cond (pair reg reg) target;
+      map (fun t -> Insn.J t) target;
+      return Insn.Ret;
+      return Insn.Nop;
+    ]
+
+let arb_insn = QCheck.make ~print:Asm_parse.render gen_insn
+
+let prop_insn_roundtrip =
+  QCheck.Test.make ~name:"parse (render insn) = insn" ~count:1000 arb_insn
+    (fun insn ->
+      let p = Asm_parse.parse (Asm_parse.render insn) in
+      Array.length p.Asm_parse.insns = 1 && p.Asm_parse.insns.(0) = insn)
+
+(* --- unroll-and-jam plans --------------------------------------------- *)
+
+let plan_str = function
+  | None -> "none"
+  | Some (Unroll_jam.Whole u) -> Printf.sprintf "whole %d" u
+  | Some (Unroll_jam.Split u) -> Printf.sprintf "split %d" u
+  | Some (Unroll_jam.Split_epilogue (u, rem)) ->
+    Printf.sprintf "split %d + tail %d" u rem
+
+let check_plan ~cap b want =
+  Alcotest.(check string)
+    (Printf.sprintf "choose_factor ~cap:%d %d" cap b)
+    want
+    (plan_str (Unroll_jam.choose_factor ~cap b))
+
+let choose_factor_plans () =
+  check_plan ~cap:8 1 "none";
+  check_plan ~cap:1 5 "none";
+  check_plan ~cap:8 6 "whole 6";
+  check_plan ~cap:8 8 "whole 8";
+  check_plan ~cap:8 16 "split 8";
+  check_plan ~cap:8 12 "split 6";
+  (* primes and non-multiples get the epilogue plan *)
+  check_plan ~cap:8 13 "split 8 + tail 5";
+  check_plan ~cap:8 11 "split 8 + tail 3";
+  check_plan ~cap:4 13 "split 4 + tail 1";
+  (* 9 = 3*3 still has a divisor within the cap: no epilogue needed *)
+  check_plan ~cap:8 9 "split 3"
+
+(* --- degenerate and prime shapes across kernels and configs ----------- *)
+
+let tolerance (spec : Mlc_kernels.Builders.spec) =
+  let flops = float_of_int spec.Mlc_kernels.Builders.flops in
+  1e-12 *. Float.max 1.0 flops
+
+let run_shape ~flags name spec () =
+  let r = Mlc.Runner.run ~flags spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |err| %g within tolerance" name
+       r.Mlc.Runner.max_abs_err)
+    true
+    (r.Mlc.Runner.max_abs_err <= tolerance spec)
+
+let shape_cases ~tag ~flows shapes =
+  List.concat_map
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      List.concat_map
+        (fun (fname, flags) ->
+          List.map
+            (fun (n, m, k) ->
+              let name =
+                Printf.sprintf "%s %s %dx%dx%d via %s" tag
+                  e.Mlc_kernels.Registry.name n m k fname
+              in
+              Alcotest.test_case name `Quick (fun () ->
+                  let spec =
+                    e.Mlc_kernels.Registry.instantiate ~n ~m ~k ()
+                  in
+                  run_shape ~flags name spec ()))
+            shapes)
+        flows)
+    Mlc_kernels.Registry.table1
+
+(* Degenerate shapes: a 1 in every position of the shape template, for
+   every Table 1 kernel (bug class: epilogue/offset logic that silently
+   assumed at least one full tile). *)
+let degenerate_cases =
+  shape_cases ~tag:"degenerate"
+    ~flows:[ ("ours", Pipeline.ours); ("baseline", Pipeline.baseline) ]
+    [ (1, 4, 3); (4, 1, 3); (3, 4, 1); (1, 1, 1) ]
+
+(* Prime shapes: no divisor within the unroll caps, so both the clang
+   flow's inner-loop epilogue and the ours flow's unroll-and-jam tail
+   are on the hot path. *)
+let prime_cases =
+  shape_cases ~tag:"prime"
+    ~flows:[ ("ours", Pipeline.ours); ("clang", Pipeline.clang) ]
+    [ (5, 7, 13); (13, 5, 7) ]
+
+(* The exact shape that exposed the double-counted constant offset in
+   hoisted stream pointers (matmul tail base drifted by 2x). *)
+let matmul_epilogue_offsets () =
+  let spec = Mlc_kernels.Builders.matmul ~n:5 ~m:11 ~k:22 () in
+  run_shape ~flags:Pipeline.ours "matmul 5x11x22" spec ()
+
+let suite =
+  [
+    ( "fuzz",
+      pinned_cases
+      @ [
+          Alcotest.test_case "injected miscompile is caught" `Quick
+            injected_miscompile;
+          Alcotest.test_case "shrinker minimises under a predicate" `Quick
+            shrinker_minimizes;
+          Alcotest.test_case "case codec round-trips" `Quick codec_roundtrip;
+          Alcotest.test_case "fuzz smoke (seed 7)" `Slow fuzz_smoke;
+          QCheck_alcotest.to_alcotest prop_insn_roundtrip;
+          Alcotest.test_case "unroll-and-jam plan selection" `Quick
+            choose_factor_plans;
+          Alcotest.test_case "matmul epilogue stream offsets" `Quick
+            matmul_epilogue_offsets;
+        ] );
+    ("fuzz shapes", degenerate_cases @ prime_cases);
+  ]
