@@ -35,9 +35,20 @@ let section title =
 
 let sim_cycles = ref 0
 
+(* (kernel, rung that finally succeeded) for every run that had to fall
+   back along the degradation lattice. Expected empty on the golden
+   suite; surfaced in the --json artifact so CI can assert that. *)
+let degradations : (string * string) list ref = ref []
+
 let run ?flags ?allocator spec =
   let r = Mlc.Runner.run ?flags ?allocator spec in
   sim_cycles := !sim_cycles + r.Mlc.Runner.metrics.cycles;
+  (match r.Mlc.Runner.degradation with
+  | Some d ->
+    degradations :=
+      (spec.Mlc_kernels.Builders.kernel_name, d.Mlc.Runner.rung)
+      :: !degradations
+  | None -> ());
   r
 
 let run_lowlevel spec =
@@ -451,6 +462,12 @@ let write_json ~path ~smoke ~reps ~speedup ~bech =
         (if i = List.length secs - 1 then "" else ","))
     secs;
   add "  ],\n";
+  add "  \"degradations\": [%s],\n"
+    (String.concat ", "
+       (List.rev_map
+          (fun (kernel, rung) ->
+            Printf.sprintf "{\"kernel\": %S, \"rung\": %S}" kernel rung)
+          !degradations));
   add "  \"fig11_speedup\": {\n";
   add "    \"cells\": %d,\n" cells;
   add "    \"reps\": %d,\n" reps;

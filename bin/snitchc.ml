@@ -7,15 +7,17 @@
 
 open Cmdliner
 
+(* Flows keep their name next to the flags so replay commands and
+   crash-bundle headers can name the configuration. *)
 let flow_conv =
   let parse = function
-    | "ours" -> Ok Mlc_transforms.Pipeline.ours
-    | "mlir" -> Ok Mlc_transforms.Pipeline.mlir
-    | "clang" -> Ok Mlc_transforms.Pipeline.clang
-    | "baseline" -> Ok Mlc_transforms.Pipeline.baseline
+    | "ours" -> Ok ("ours", Mlc_transforms.Pipeline.ours)
+    | "mlir" -> Ok ("mlir", Mlc_transforms.Pipeline.mlir)
+    | "clang" -> Ok ("clang", Mlc_transforms.Pipeline.clang)
+    | "baseline" -> Ok ("baseline", Mlc_transforms.Pipeline.baseline)
     | s -> Error (`Msg (Printf.sprintf "unknown flow %S" s))
   in
-  let print fmt _ = Format.pp_print_string fmt "<flow>" in
+  let print fmt (name, _) = Format.pp_print_string fmt name in
   Arg.conv (parse, print)
 
 let kernel_arg =
@@ -36,9 +38,18 @@ let k_arg =
 let flow_arg =
   Arg.(
     value
-    & opt flow_conv Mlc_transforms.Pipeline.ours
+    & opt flow_conv ("ours", Mlc_transforms.Pipeline.ours)
     & info [ "flow" ] ~docv:"FLOW"
         ~doc:"Compilation flow: ours, mlir, clang or baseline.")
+
+let crash_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crash-dir" ] ~docv:"DIR"
+        ~doc:"Directory crash bundles are written to (default .mlc-crash).")
+
+let set_crash_dir = Option.iter Mlc_diag.Crash_bundle.set_dir
 
 let spec_of kernel n m k =
   match Mlc_kernels.Registry.by_short_name kernel with
@@ -73,10 +84,19 @@ let compile_cmd =
           ~doc:
             "Print the final register-allocated IR in readable structured              form (Figure 6 style) instead of assembly.")
   in
-  let run kernel n m k flags print_ir pretty =
+  let emit_generic =
+    Arg.(
+      value & flag
+      & info [ "emit-generic" ]
+          ~doc:
+            "Print the initial linalg-level module in generic textual form \
+             (re-parseable by compile-ir) instead of compiling it.")
+  in
+  let run kernel n m k (_, flags) print_ir pretty emit_generic =
     let spec = spec_of kernel n m k in
     let m_ = spec.Mlc_kernels.Builders.build () in
-    if pretty then begin
+    if emit_generic then print_string (Mlc_ir.Printer.to_string m_)
+    else if pretty then begin
       Mlc_ir.Pass.run m_ (Mlc_transforms.Pipeline.passes flags);
       let fns =
         Mlc_ir.Ir.collect m_ (fun op ->
@@ -112,7 +132,51 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a kernel to Snitch assembly.")
     Term.(
       const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ print_ir
-      $ pretty)
+      $ pretty $ emit_generic)
+
+let compile_ir_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Textual IR (.mlir) input file.")
+  in
+  let run file (flow_name, flags) crash_dir =
+    set_crash_dir crash_dir;
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let bundle_ctx =
+      {
+        Mlc_diag.Crash_bundle.flags =
+          Some
+            (Printf.sprintf "%s (%s)" flow_name
+               (Mlc_transforms.Pipeline.describe_flags flags));
+        replay =
+          Some (Printf.sprintf "snitchc compile-ir %s --flow %s" file flow_name);
+      }
+    in
+    let m =
+      try Mlc_ir.Parser.parse_string src
+      with Mlc_ir.Parser.Parse_error msg ->
+        let d = Mlc_diag.Diag.make ~component:"parser" msg in
+        ignore (Mlc_diag.Crash_bundle.write ~ctx:bundle_ctx d);
+        raise (Mlc_diag.Diag.Diagnostic d)
+    in
+    Mlc_ir.Verifier.verify m;
+    Mlc_ir.Pass.run ~bundle_ctx m (Mlc_transforms.Pipeline.passes flags);
+    let fns =
+      Mlc_ir.Ir.collect m (fun op ->
+          Mlc_ir.Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
+    in
+    List.iter (fun fn -> ignore (Mlc_regalloc.Remat.allocate_with_remat fn)) fns;
+    Mlc_ir.Verifier.verify m;
+    print_string (Mlc_riscv.Asm_emit.emit_module m)
+  in
+  Cmd.v
+    (Cmd.info "compile-ir"
+       ~doc:
+         "Compile a textual IR file to Snitch assembly (the crash-bundle \
+          replay entry point).")
+    Term.(const run $ file_arg $ flow_arg $ crash_dir_arg)
 
 let print_metrics (spec : Mlc_kernels.Builders.spec) (r : Mlc.Runner.run_result) =
   let m = r.Mlc.Runner.metrics in
@@ -128,6 +192,13 @@ let print_metrics (spec : Mlc_kernels.Builders.spec) (r : Mlc.Runner.run_result)
     Printf.printf "registers   : %d/20 FP, %d/15 integer\n"
       rep.Mlc_regalloc.Allocator.fp_count rep.Mlc_regalloc.Allocator.int_count
   | None -> ());
+  (match r.Mlc.Runner.degradation with
+  | None -> ()
+  | Some d ->
+    Printf.printf "degraded    : fell back to %s\n" d.Mlc.Runner.rung;
+    List.iter
+      (fun (rung, e) -> Printf.printf "  %-18s %s\n" (rung ^ ":") e)
+      d.Mlc.Runner.attempts);
   Printf.printf "max |error| : %g (vs reference interpreter)\n"
     r.Mlc.Runner.max_abs_err
 
@@ -138,9 +209,29 @@ let run_cmd =
       & info [ "trace" ]
           ~doc:"Print the per-instruction issue trace (pc cycle: instruction).")
   in
-  let run kernel n m k flags trace =
+  let no_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fallback" ]
+          ~doc:
+            "Fail instead of degrading along the fallback lattice when the \
+             requested flow cannot compile.")
+  in
+  let run kernel n m k (flow_name, flags) trace no_fallback crash_dir =
+    set_crash_dir crash_dir;
     let spec = spec_of kernel n m k in
-    let r = Mlc.Runner.run ~flags ~trace spec in
+    let crash_ctx =
+      {
+        Mlc_diag.Crash_bundle.flags = None (* filled per rung by the runner *);
+        replay =
+          Some
+            (Printf.sprintf "snitchc run -k %s -n %d -m %d -K %d --flow %s"
+               kernel n m k flow_name);
+      }
+    in
+    let r =
+      Mlc.Runner.run ~flags ~trace ~fallback:(not no_fallback) ~crash_ctx spec
+    in
     print_metrics spec r;
     if trace then begin
       print_endline "--- instruction trace ---";
@@ -152,7 +243,9 @@ let run_cmd =
        ~doc:
          "Compile a kernel, execute it on the Snitch simulator, validate and \
           report metrics.")
-    Term.(const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ trace_arg)
+    Term.(
+      const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ trace_arg
+      $ no_fallback_arg $ crash_dir_arg)
 
 let ablate_cmd =
   let run kernel n m k =
@@ -231,7 +324,8 @@ let fuzz_cmd =
              report) through the full oracle matrix instead of generating \
              random ones.")
   in
-  let run seed count replay =
+  let run seed count replay crash_dir =
+    set_crash_dir crash_dir;
     let report_failures frs =
       List.iter
         (fun fr -> Format.printf "%a@." Mlc_fuzz.Fuzz.pp_failure fr)
@@ -274,12 +368,74 @@ let fuzz_cmd =
          "Differential fuzzing: random linalg kernels through every \
           pipeline config and both simulator paths, validated bit-for-bit \
           against the reference interpreter.")
-    Term.(const run $ seed_arg $ count_arg $ replay_arg)
+    Term.(const run $ seed_arg $ count_arg $ replay_arg $ crash_dir_arg)
 
 let main =
   Cmd.group
     (Cmd.info "snitchc" ~version:"1.0.0"
        ~doc:"Multi-level compiler backend for Snitch RISC-V micro-kernels.")
-    [ list_cmd; compile_cmd; run_cmd; ablate_cmd; lowlevel_cmd; fuzz_cmd ]
+    [
+      list_cmd;
+      compile_cmd;
+      compile_ir_cmd;
+      run_cmd;
+      ablate_cmd;
+      lowlevel_cmd;
+      fuzz_cmd;
+    ]
 
-let () = exit (Cmd.eval main)
+(* Every diagnosed failure leaves through here as one structured report:
+   diagnostic to stderr, crash bundle on disk (written at the failure
+   site when possible, here as a fallback), exit 1. Only genuinely
+   unexpected exceptions keep the raw OCaml backtrace dump. *)
+let diag_of_exn exn =
+  let module D = Mlc_diag.Diag in
+  match exn with
+  | Mlc_ir.Pass.Pass_failed d | D.Diagnostic d -> d
+  | Mlc_ir.Parser.Parse_error m -> D.make ~component:"parser" m
+  | Mlc_ir.Lexer.Lex_error (m, off) ->
+    D.make ~component:"lexer" (Printf.sprintf "%s (byte offset %d)" m off)
+  | Mlc_ir.Verifier.Verification_error m -> D.make ~component:"verifier" m
+  | Mlc_regalloc.Allocator.Out_of_registers k ->
+    D.make ~component:"regalloc"
+      (Printf.sprintf "out of %s registers"
+         (match k with
+         | Mlc_riscv.Reg.Int_kind -> "integer"
+         | Mlc_riscv.Reg.Float_kind -> "float"))
+  | Mlc_regalloc.Remat.Still_out_of_registers k ->
+    D.make ~component:"regalloc"
+      (Printf.sprintf "out of %s registers after rematerialisation"
+         (match k with
+         | Mlc_riscv.Reg.Int_kind -> "integer"
+         | Mlc_riscv.Reg.Float_kind -> "float"))
+  | Mlc_regalloc.Allocator.Allocation_conflict m ->
+    D.make ~component:"regalloc" m
+  | Mlc_regalloc.Linear_scan.Cannot_spill m ->
+    D.make ~component:"regalloc" m
+  | Mlc_sim.Trap.Trap tr ->
+    D.make ~component:"simulator"
+      ~notes:(String.split_on_char '\n' (String.trim tr.Mlc_sim.Trap.state))
+      (Mlc_sim.Trap.summary tr)
+  | Mlc_sim.Mem.Access_fault { msg; _ } -> D.make ~component:"simulator" msg
+  | Mlc.Runner.Run_error m -> D.make ~component:"runner" m
+  | Mlc_riscv.Asm_emit.Emit_error m -> D.make ~component:"emit" m
+  | Failure m -> D.make ~component:"snitchc" m
+  | exn -> D.make ~component:"snitchc" (Printexc.to_string exn)
+
+let () =
+  Printexc.record_backtrace true;
+  match Cmd.eval ~catch:false main with
+  | code -> exit code
+  | exception exn ->
+    let bt = Printexc.get_backtrace () in
+    let d = diag_of_exn exn in
+    prerr_string (Mlc_diag.Diag.to_string d);
+    prerr_newline ();
+    (match Mlc_diag.Crash_bundle.last_bundle () with
+    | Some path -> Printf.eprintf "crash bundle: %s\n" path
+    | None -> (
+      let d = { d with Mlc_diag.Diag.backtrace = Some bt } in
+      match Mlc_diag.Crash_bundle.write d with
+      | Some path -> Printf.eprintf "crash bundle: %s\n" path
+      | None -> ()));
+    exit 1

@@ -36,6 +36,12 @@ type sim_path = Direct | Via_text
    produce bit-identical performance counters. *)
 type engine = Fast | Reference
 
+(* Graceful degradation: when a rung of the fallback lattice fails with
+   a diagnosed error, the next rung is tried on a freshly built module;
+   [rung] is the config that finally succeeded and [attempts] the
+   (rung, error summary) trail of the failed ones. *)
+type degradation = { rung : string; attempts : (string * string) list }
+
 type run_result = {
   asm : string;
   metrics : metrics;
@@ -45,6 +51,7 @@ type run_result = {
   report : Mlc_regalloc.Allocator.report option;
   stats : Asm_emit.stats option;
   trace : string list; (* per-instruction issue trace when requested *)
+  degradation : degradation option; (* None: succeeded at the requested rung *)
 }
 
 (* Deterministic input generation (the paper uses random input sets with
@@ -200,57 +207,161 @@ let interp_expected (spec : Builders.spec) (data : float array list) =
 
 (* --- entry points --- *)
 
+let reg_kind_name = function
+  | Reg.Int_kind -> "integer"
+  | Reg.Float_kind -> "float"
+
+(* One-line rendering of a diagnosed compile/run failure, for the
+   degradation trail and the --json report. *)
+let failure_summary = function
+  | Mlc_ir.Pass.Pass_failed d | Mlc_diag.Diag.Diagnostic d ->
+    Mlc_diag.Diag.summary d
+  | Verifier.Verification_error m -> "verifier: " ^ m
+  | Mlc_regalloc.Allocator.Out_of_registers k ->
+    Printf.sprintf "regalloc: out of %s registers" (reg_kind_name k)
+  | Mlc_regalloc.Remat.Still_out_of_registers k ->
+    Printf.sprintf "regalloc: out of %s registers after rematerialisation"
+      (reg_kind_name k)
+  | Mlc_regalloc.Allocator.Allocation_conflict m -> "regalloc: " ^ m
+  | Mlc_sim.Trap.Trap tr -> "simulator " ^ Mlc_sim.Trap.summary tr
+  | exn -> Printexc.to_string exn
+
+(* A failure is retryable at a lower rung when it is a *diagnosed*
+   compiler or simulator fault — pass failure, verification failure,
+   register-pool exhaustion, runtime trap. Anything else (harness bugs,
+   Stdlib exceptions from user callbacks) propagates unchanged. *)
+let retryable = function
+  | Mlc_ir.Pass.Pass_failed _ | Mlc_diag.Diag.Diagnostic _
+  | Verifier.Verification_error _
+  | Mlc_regalloc.Allocator.Out_of_registers _
+  | Mlc_regalloc.Allocator.Allocation_conflict _
+  | Mlc_regalloc.Remat.Still_out_of_registers _
+  | Mlc_sim.Trap.Trap _ ->
+    true
+  | _ -> false
+
+(* Compile one freshly built module under one rung's flags: pass
+   pipeline, register allocation, verification, emission. The single
+   compile path for both the default and custom-allocator cases. *)
+let compile_rung ~verify_each ~pipeline_of ~allocator ~bundle_ctx flags m :
+    Mlc_transforms.Pipeline.result =
+  Mlc_ir.Pass.run ~verify_each ~bundle_ctx m (pipeline_of flags);
+  let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
+  let allocate =
+    match allocator with
+    | Some a -> a
+    | None -> fun fn -> Mlc_regalloc.Remat.allocate_with_remat fn
+  in
+  let reports = List.map (fun fn -> (Rv_func.name fn, allocate fn)) fns in
+  if verify_each then Verifier.verify m;
+  let stats = List.map (fun fn -> (Rv_func.name fn, Asm_emit.func_stats fn)) fns in
+  { Mlc_transforms.Pipeline.asm = Asm_emit.emit_module m; reports; stats }
+
 (* Compile and run a linalg-level kernel with the given pipeline flags,
-   validating against the interpreter. *)
+   validating against the interpreter.
+
+   On a diagnosed failure the runner degrades along
+   {!Mlc_transforms.Pipeline.fallback_lattice} (disable with
+   [~fallback:false]), rebuilding the module from the spec at each rung
+   so a successful rung's result is bit-identical to compiling that
+   configuration directly; the trail is reported in [degradation].
+   [pipeline_of] substitutes the pass list a flag set induces (fault
+   injection in tests); [crash_ctx] threads the replay command recorded
+   in crash bundles. *)
 let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
     ?(verify_each = true) ?(trace = false) ?(sim_path = Direct)
-    ?(engine = Fast) ?allocator (spec : Builders.spec) : run_result =
+    ?(engine = Fast) ?allocator ?(fallback = true)
+    ?(pipeline_of = Mlc_transforms.Pipeline.passes) ?crash_ctx
+    (spec : Builders.spec) : run_result =
   let data = gen_inputs ~seed ~elem:spec.Builders.elem spec.Builders.args in
   let expected = interp_expected spec data in
-  let m = spec.Builders.build () in
-  let compiled =
-    match allocator with
-    | None -> Mlc_transforms.Pipeline.compile ~flags ~verify_each m
-    | Some allocate ->
-      (* Same pass pipeline, custom register allocation (e.g. the
-         classical linear-scan comparator). *)
-      Mlc_ir.Pass.run ~verify_each m (Mlc_transforms.Pipeline.passes flags);
-      let fns =
-        Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op)
-      in
-      let reports =
-        List.map (fun fn -> (Rv_func.name fn, allocate fn)) fns
-      in
-      let stats =
-        List.map (fun fn -> (Rv_func.name fn, Asm_emit.func_stats fn)) fns
-      in
-      {
-        Mlc_transforms.Pipeline.asm = Asm_emit.emit_module m;
-        reports;
-        stats;
-      }
+  let rungs =
+    let l = Mlc_transforms.Pipeline.fallback_lattice flags in
+    if fallback then l else [ List.hd l ]
   in
-  let program =
-    match sim_path with
-    | Direct -> Insn_emit.emit_module m
-    | Via_text ->
-      Mlc_sim.Program.of_asm
-        (Mlc_sim.Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm)
+  let describe rung rflags =
+    Printf.sprintf "%s (%s)" rung
+      (Mlc_transforms.Pipeline.describe_flags rflags)
   in
-  let metrics, outputs, trace_lines =
-    simulate_program ~trace ~engine ~elem:spec.Builders.elem
-      ~fn_name:spec.Builders.fn_name ~args:spec.Builders.args ~data program
+  let attempt rung rflags =
+    let m = spec.Builders.build () in
+    let bundle_ctx =
+      match crash_ctx with
+      | Some c ->
+        { c with Mlc_diag.Crash_bundle.flags = Some (describe rung rflags) }
+      | None ->
+        {
+          Mlc_diag.Crash_bundle.flags = Some (describe rung rflags);
+          replay = None;
+        }
+    in
+    let compiled =
+      compile_rung ~verify_each ~pipeline_of ~allocator ~bundle_ctx rflags m
+    in
+    let program =
+      match sim_path with
+      | Direct -> Insn_emit.emit_module m
+      | Via_text ->
+        Mlc_sim.Program.of_asm
+          (Mlc_sim.Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm)
+    in
+    let metrics, outputs, trace_lines =
+      simulate_program ~trace ~engine ~elem:spec.Builders.elem
+        ~fn_name:spec.Builders.fn_name ~args:spec.Builders.args ~data program
+    in
+    (compiled, metrics, outputs, trace_lines)
   in
-  {
-    asm = compiled.Mlc_transforms.Pipeline.asm;
-    metrics;
-    outputs;
-    expected;
-    max_abs_err = max_abs_err outputs expected;
-    report = List.assoc_opt spec.Builders.fn_name compiled.Mlc_transforms.Pipeline.reports;
-    stats = List.assoc_opt spec.Builders.fn_name compiled.Mlc_transforms.Pipeline.stats;
-    trace = trace_lines;
-  }
+  let rec try_rungs attempts = function
+    | [] ->
+      (* Every rung failed with a diagnosed error: raise one structured
+         diagnostic carrying the whole trail. *)
+      let d =
+        Mlc_diag.Diag.make ~component:"runner"
+          ~notes:
+            (List.rev_map
+               (fun (r, e) -> Printf.sprintf "rung %s failed: %s" r e)
+               attempts)
+          (Printf.sprintf "kernel %s failed at every fallback rung"
+             spec.Builders.fn_name)
+      in
+      (match Mlc_diag.Crash_bundle.write ?ctx:crash_ctx d with
+      | Some path ->
+        raise
+          (Mlc_diag.Diag.Diagnostic
+             (Mlc_diag.Diag.add_note d ("crash bundle: " ^ path)))
+      | None -> raise (Mlc_diag.Diag.Diagnostic d))
+    | (rung, rflags) :: rest -> (
+      match attempt rung rflags with
+      | compiled, metrics, outputs, trace_lines ->
+        let degradation =
+          match attempts with
+          | [] -> None
+          | _ -> Some { rung; attempts = List.rev attempts }
+        in
+        {
+          asm = compiled.Mlc_transforms.Pipeline.asm;
+          metrics;
+          outputs;
+          expected;
+          max_abs_err = max_abs_err outputs expected;
+          report =
+            List.assoc_opt spec.Builders.fn_name
+              compiled.Mlc_transforms.Pipeline.reports;
+          stats =
+            List.assoc_opt spec.Builders.fn_name
+              compiled.Mlc_transforms.Pipeline.stats;
+          trace = trace_lines;
+          degradation;
+        }
+      | exception exn when retryable exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        if rest = [] && attempts = [] then
+          (* Single-rung runs (fallback disabled, or already at the
+             bottom) propagate the original failure unchanged. *)
+          Printexc.raise_with_backtrace exn bt
+        else try_rungs ((rung, failure_summary exn) :: attempts) rest)
+  in
+  try_rungs [] rungs
 
 (* Compile (allocate + emit) a handwritten assembly-level kernel and run
    it, validating against its native reference. *)
@@ -302,4 +413,5 @@ let run_lowlevel ?(seed = 42) ?(verify_each = true) ?(sim_path = Direct)
     report = List.assoc_opt spec.Lowlevel.fn_name reports;
     stats = List.assoc_opt spec.Lowlevel.fn_name stats;
     trace = trace_lines;
+    degradation = None;
   }

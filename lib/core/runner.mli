@@ -30,6 +30,12 @@ type sim_path = Direct | Via_text
     Performance counters are bit-identical between the two. *)
 type engine = Fast | Reference
 
+(** The graceful-degradation record of a run that fell back: [rung] is
+    the {!Mlc_transforms.Pipeline.fallback_lattice} configuration that
+    finally succeeded, [attempts] the (rung, error summary) trail of
+    the rungs that failed before it. *)
+type degradation = { rung : string; attempts : (string * string) list }
+
 type run_result = {
   asm : string;
   metrics : metrics;
@@ -40,6 +46,8 @@ type run_result = {
   stats : Mlc_riscv.Asm_emit.stats option;
   trace : string list;
       (** per-instruction issue trace when requested via [~trace:true] *)
+  degradation : degradation option;
+      (** [None] when the requested configuration succeeded directly *)
 }
 
 (** Largest absolute element difference between two output sets. *)
@@ -96,7 +104,21 @@ val simulate :
 
 (** Compile and run a linalg-level kernel under the given pipeline flags
     (default: the full multi-level pipeline), validating against the
-    interpreter. [seed] fixes the random inputs. *)
+    interpreter. [seed] fixes the random inputs.
+
+    On a diagnosed compile or simulation failure (pass failure,
+    verification error, register-pool exhaustion, simulator trap) the
+    runner degrades along {!Mlc_transforms.Pipeline.fallback_lattice},
+    rebuilding the module from the spec at each rung — so a rung's
+    result is bit-identical to compiling that configuration directly —
+    and reports the trail in [degradation]. [~fallback:false] restricts
+    the run to the requested configuration, propagating its failure
+    unchanged. When every rung fails, one {!Mlc_diag.Diag.Diagnostic}
+    carrying the whole trail is raised (and a crash bundle written).
+
+    [pipeline_of] substitutes the pass list a flag set induces (fault
+    injection in tests); [crash_ctx] supplies the replay command
+    recorded in crash bundles. *)
 val run :
   ?flags:Mlc_transforms.Pipeline.flags ->
   ?seed:int ->
@@ -105,6 +127,9 @@ val run :
   ?sim_path:sim_path ->
   ?engine:engine ->
   ?allocator:(Mlc_ir.Ir.op -> Mlc_regalloc.Allocator.report) ->
+  ?fallback:bool ->
+  ?pipeline_of:(Mlc_transforms.Pipeline.flags -> Mlc_ir.Pass.t list) ->
+  ?crash_ctx:Mlc_diag.Crash_bundle.ctx ->
   Mlc_kernels.Builders.spec ->
   run_result
 

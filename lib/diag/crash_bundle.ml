@@ -1,0 +1,64 @@
+(* Crash bundles: on a compile or verify failure, a self-contained
+   markdown report is written to <dir>/<hash>.md holding the structured
+   diagnostic, the IR at the failing checkpoint, the pipeline flags, a
+   replay command, and the original backtrace — MLIR's "pass failure
+   reproducer" idea adapted to this backend. Writing is best-effort:
+   bundle IO must never turn a diagnosed failure into a new crash. *)
+
+(* Context the failure site knows but the pass manager does not. *)
+type ctx = { flags : string option; replay : string option }
+
+let no_ctx = { flags = None; replay = None }
+
+let enabled = ref true
+let dir = ref ".mlc-crash"
+let last = ref None
+
+let set_enabled b = enabled := b
+let set_dir d = dir := d
+let last_bundle () = !last
+
+let render ?(ctx = no_ctx) (d : Diag.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# mlc crash bundle\n\n";
+  add "- severity: %s\n" (Diag.severity_to_string d.Diag.severity);
+  add "- component: %s\n" d.Diag.component;
+  (match d.Diag.pass with Some p -> add "- pass: %s\n" p | None -> ());
+  (match d.Diag.op with Some o -> add "- op: %s\n" o | None -> ());
+  (match d.Diag.loc with
+  | Some l -> add "- location: line %d, column %d\n" l.Diag.line l.Diag.col
+  | None -> ());
+  add "\n## Diagnostic\n\n%s\n" (Diag.to_string d);
+  (match ctx.flags with
+  | Some f -> add "\n## Pipeline flags\n\n%s\n" f
+  | None -> ());
+  (match ctx.replay with
+  | Some r -> add "\n## Replay\n\n```\n%s\n```\n" r
+  | None -> ());
+  (match d.Diag.ir_before with
+  | Some ir -> add "\n## IR at the failing checkpoint\n\n```mlir\n%s\n```\n" ir
+  | None -> ());
+  (match d.Diag.backtrace with
+  | Some bt when String.trim bt <> "" -> add "\n## Backtrace\n\n```\n%s\n```\n" bt
+  | _ -> ());
+  Buffer.contents buf
+
+(* Write a bundle for [d]; returns the path, or None when disabled or on
+   any IO failure. The file name is a content hash, so identical crashes
+   dedup naturally. *)
+let write ?ctx (d : Diag.t) =
+  if not !enabled then None
+  else
+    try
+      let content = render ?ctx d in
+      let hash = String.sub (Digest.to_hex (Digest.string content)) 0 12 in
+      (try if not (Sys.file_exists !dir) then Sys.mkdir !dir 0o755
+       with Sys_error _ -> ());
+      let path = Filename.concat !dir (hash ^ ".md") in
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      last := Some path;
+      Some path
+    with _ -> None

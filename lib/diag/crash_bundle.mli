@@ -1,0 +1,26 @@
+(** Crash bundles: self-contained markdown failure reports
+    ([<dir>/<hash>.md]) holding the structured diagnostic, the IR at the
+    failing checkpoint, the pipeline flags, a replay command and the
+    original backtrace. Writing is best-effort and never raises. *)
+
+(** Context the failure site knows but the pass manager does not:
+    a rendering of the pipeline flags and a shell replay command. *)
+type ctx = { flags : string option; replay : string option }
+
+val no_ctx : ctx
+
+(** Globally enable/disable bundle writing (default: enabled). *)
+val set_enabled : bool -> unit
+
+(** Set the bundle directory (default [".mlc-crash"], created lazily). *)
+val set_dir : string -> unit
+
+(** Path of the most recently written bundle in this process, if any. *)
+val last_bundle : unit -> string option
+
+(** The bundle markdown, without writing it. *)
+val render : ?ctx:ctx -> Diag.t -> string
+
+(** Write a bundle; returns its path, or [None] when disabled or on any
+    IO error (bundle IO must never turn a failure into a crash). *)
+val write : ?ctx:ctx -> Diag.t -> string option

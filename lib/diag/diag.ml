@@ -1,0 +1,87 @@
+(* Structured diagnostics: the compiler's replacement for bare
+   [failwith]/string exceptions. A diagnostic carries severity, the
+   subsystem that produced it, pass and op provenance (filled in as the
+   error travels up the stack), a source location for textual inputs,
+   free-form notes, and — when the pass manager attaches them — a
+   printed IR snapshot from just before the failing pass and the
+   original backtrace. Mirrors MLIR's location-carrying, recoverable
+   diagnostics (Lattner et al.). *)
+
+type severity = Error | Warning | Note
+
+type loc = { line : int; col : int }
+
+type t = {
+  severity : severity;
+  component : string; (* subsystem: "pass", "affine", "attr", "parser", ... *)
+  message : string;
+  pass : string option; (* provenance: the pass that was running *)
+  op : string option; (* provenance: the op that produced the error *)
+  loc : loc option; (* line:column for textual inputs *)
+  notes : string list;
+  ir_before : string option; (* IR printed before the failing pass *)
+  backtrace : string option; (* original raise site, when recorded *)
+}
+
+exception Diagnostic of t
+
+let make ?pass ?op ?loc ?(notes = []) ?ir_before ?backtrace
+    ?(severity = Error) ~component message =
+  { severity; component; message; pass; op; loc; notes; ir_before; backtrace }
+
+let error ?op ?loc ~component fmt =
+  Printf.ksprintf
+    (fun message -> raise (Diagnostic (make ?op ?loc ~component message)))
+    fmt
+
+let add_note d note = { d with notes = d.notes @ [ note ] }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+(* One-line summary: "error[pass=x, op=y, 3:14] affine: message". *)
+let summary d =
+  let prov =
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "pass=%s") d.pass;
+        Option.map (Printf.sprintf "op=%s") d.op;
+        Option.map (fun l -> Printf.sprintf "%d:%d" l.line l.col) d.loc;
+      ]
+  in
+  let prov = if prov = [] then "" else "[" ^ String.concat ", " prov ^ "]" in
+  Printf.sprintf "%s%s %s: %s" (severity_to_string d.severity) prov d.component
+    d.message
+
+(* Human-readable multi-line rendering (the snitchc CLI format). The IR
+   snapshot and backtrace are deliberately omitted here — they go into
+   the crash bundle, not the terminal. *)
+let pp ppf d =
+  Format.fprintf ppf "@[<v>%s" (summary d);
+  List.iter (fun n -> Format.fprintf ppf "@,  note: %s" n) d.notes;
+  Format.fprintf ppf "@]"
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* Run [f], attaching op provenance to any diagnostic escaping it that
+   does not yet carry one; the original backtrace is preserved. *)
+let with_op op f =
+  try f ()
+  with Diagnostic d when d.op = None ->
+    let bt = Printexc.get_raw_backtrace () in
+    Printexc.raise_with_backtrace (Diagnostic { d with op = Some op }) bt
+
+(* Best-effort conversion of an arbitrary exception. Layers that know
+   richer exception types (Pass_failed, Out_of_registers, traps) convert
+   those themselves before falling back to this. *)
+let of_exn ?backtrace exn =
+  match exn with
+  | Diagnostic d -> (
+    match (d.backtrace, backtrace) with
+    | None, Some _ -> { d with backtrace }
+    | _ -> d)
+  | Failure msg -> make ?backtrace ~component:"internal" msg
+  | Invalid_argument msg -> make ?backtrace ~component:"internal" msg
+  | exn -> make ?backtrace ~component:"exception" (Printexc.to_string exn)

@@ -1,0 +1,66 @@
+(** Structured diagnostics: severity, subsystem, pass/op provenance,
+    source location, notes, and (attached by the pass manager) an
+    IR-before snapshot and the original backtrace. The compiler-wide
+    replacement for bare [failwith] aborts — recoverable by design, as
+    in MLIR's diagnostic infrastructure. *)
+
+type severity = Error | Warning | Note
+
+type loc = { line : int; col : int }
+
+type t = {
+  severity : severity;
+  component : string;  (** subsystem: "pass", "affine", "attr", "parser" … *)
+  message : string;
+  pass : string option;  (** provenance: the pass that was running *)
+  op : string option;  (** provenance: the op that produced the error *)
+  loc : loc option;  (** line:column for textual inputs *)
+  notes : string list;
+  ir_before : string option;  (** IR printed before the failing pass *)
+  backtrace : string option;  (** original raise site, when recorded *)
+}
+
+(** The structured raise path; caught by the pass manager, the runner's
+    fallback lattice, and the CLI's top-level renderer. *)
+exception Diagnostic of t
+
+val make :
+  ?pass:string ->
+  ?op:string ->
+  ?loc:loc ->
+  ?notes:string list ->
+  ?ir_before:string ->
+  ?backtrace:string ->
+  ?severity:severity ->
+  component:string ->
+  string ->
+  t
+
+(** [error ~component fmt …] raises {!Diagnostic} with an [Error]
+    severity. *)
+val error :
+  ?op:string ->
+  ?loc:loc ->
+  component:string ->
+  ('a, unit, string, 'b) format4 ->
+  'a
+
+val add_note : t -> string -> t
+val severity_to_string : severity -> string
+
+(** One-line summary: ["error[pass=x, op=y] affine: message"]. *)
+val summary : t -> string
+
+(** Multi-line human-readable rendering (message + notes; the IR
+    snapshot and backtrace are bundle-only). *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Run the thunk, attaching op provenance to any escaping {!Diagnostic}
+    that does not yet carry one (backtrace preserved). *)
+val with_op : string -> (unit -> 'a) -> 'a
+
+(** Best-effort conversion of an arbitrary exception into a diagnostic;
+    {!Diagnostic} payloads pass through unchanged. *)
+val of_exn : ?backtrace:string -> exn -> t

@@ -21,12 +21,16 @@ let repro_line case =
 
 let pp_failure ppf (fr : failure_report) =
   Format.fprintf ppf
-    "@[<v>MISMATCH (case %d) config=%s stage=%s@,  %s@,  case:   %s@,  shrunk: %s@,  repro:  %s@]"
+    "@[<v>MISMATCH (case %d) config=%s stage=%s@,  %s@,  case:   %s@,  shrunk: %s@,  repro:  %s"
     fr.index fr.failure.Fuzz_oracle.config fr.failure.Fuzz_oracle.stage
     fr.failure.Fuzz_oracle.detail
     (Fuzz_case.to_string fr.case)
     (Fuzz_case.to_string fr.shrunk)
-    (repro_line fr.shrunk)
+    (repro_line fr.shrunk);
+  (match Mlc_diag.Crash_bundle.last_bundle () with
+  | Some p -> Format.fprintf ppf "@,  bundle: %s" p
+  | None -> ());
+  Format.fprintf ppf "@]"
 
 let fails c = Option.is_some (Fuzz_oracle.check c)
 

@@ -20,11 +20,10 @@ type failure = {
 let fail config stage fmt =
   Printf.ksprintf (fun detail -> Some { config; stage; detail }) fmt
 
-(* Printexc renders nested exception payloads as "_"; unwrap the pass
-   manager's wrapper so the report names the real error. *)
-let rec exn_str = function
-  | Pass.Pass_failed (pass, inner) ->
-    Printf.sprintf "pass %s: %s" pass (exn_str inner)
+(* Printexc renders structured payloads as "_"; render diagnostics
+   through their own summary so the report names the real error. *)
+let exn_str = function
+  | Pass.Pass_failed d | Mlc_diag.Diag.Diagnostic d -> Mlc_diag.Diag.summary d
   | exn -> Printexc.to_string exn
 
 (* The full config matrix. Ablation stages are prefixed to keep names
@@ -100,9 +99,9 @@ let roundtrip_checkpoints config (entries : Pass.trace_entry list) =
 
 (* Compile under one config with all mid-pipeline oracles armed.
    Returns the assembly text and the in-place lowered module. *)
-let compile_checked config flags (m : Ir.op) =
+let compile_checked ?bundle_ctx config flags (m : Ir.op) =
   let entries =
-    Pass.run_pipeline ~verify_each:true ~trace:true m
+    Pass.run_pipeline ~verify_each:true ~trace:true ?bundle_ctx m
       (Mlc_transforms.Pipeline.passes flags)
   in
   match roundtrip_checkpoints config entries with
@@ -132,11 +131,20 @@ let simulate config stage ~engine ~elem ~fn_name ~args ~data ~expected program =
 
 (* Check one case under one config; [spec], [data] and [expected] are
    shared across configs. *)
-let check_config ~spec ~data ~expected (config, flags) =
+let check_config ~spec ~data ~expected ~replay (config, flags) =
   let module B = Mlc_kernels.Builders in
+  let bundle_ctx =
+    {
+      Mlc_diag.Crash_bundle.flags =
+        Some
+          (Printf.sprintf "%s (%s)" config
+             (Mlc_transforms.Pipeline.describe_flags flags));
+      replay = Some replay;
+    }
+  in
   match
     let m = spec.B.build () in
-    compile_checked config flags m
+    compile_checked ~bundle_ctx config flags m
     |> Result.map (fun asm -> (m, asm))
   with
   | exception exn ->
@@ -175,6 +183,9 @@ let check (case : Fuzz_case.t) : failure option =
   | Ok () -> (
     let spec = Fuzz_case.to_spec case in
     let module B = Mlc_kernels.Builders in
+    let replay =
+      Printf.sprintf "snitchc fuzz --replay '%s'" (Fuzz_case.to_string case)
+    in
     let data =
       Mlc.Runner.gen_inputs ~seed:(Fuzz_case.input_seed case) ~elem:spec.B.elem
         spec.B.args
@@ -185,4 +196,4 @@ let check (case : Fuzz_case.t) : failure option =
     with
     | Error msg -> fail "-" "interp" "reference interpreter raised %s" msg
     | Ok expected ->
-      List.find_map (check_config ~spec ~data ~expected) configs)
+      List.find_map (check_config ~spec ~data ~expected ~replay) configs)

@@ -21,12 +21,14 @@ type map = { num_dims : int; num_syms : int; exprs : expr list }
 
 exception Not_affine of string
 
+let err fmt = Mlc_diag.Diag.error ~component:"affine" fmt
+
 let dim i =
-  if i < 0 then invalid_arg "Affine.dim: negative index";
+  if i < 0 then err "Affine.dim: negative index %d" i;
   Dim i
 
 let sym i =
-  if i < 0 then invalid_arg "Affine.sym: negative index";
+  if i < 0 then err "Affine.sym: negative index %d" i;
   Sym i
 
 let const c = Const c
@@ -61,7 +63,7 @@ let rec mul a b =
 
 let floordiv a b =
   match (a, b) with
-  | _, Const 0 -> invalid_arg "Affine.floordiv: division by zero"
+  | _, Const 0 -> err "Affine.floordiv: division by zero"
   | e, Const 1 -> e
   | Const x, Const y ->
     (* OCaml's / truncates towards zero; emulate floor semantics. *)
@@ -72,7 +74,7 @@ let floordiv a b =
 
 let ceildiv a b =
   match (a, b) with
-  | _, Const 0 -> invalid_arg "Affine.ceildiv: division by zero"
+  | _, Const 0 -> err "Affine.ceildiv: division by zero"
   | e, Const 1 -> e
   | Const x, Const y ->
     let q = x / y and r = x mod y in
@@ -82,7 +84,7 @@ let ceildiv a b =
 
 let modulo a b =
   match (a, b) with
-  | _, Const 0 -> invalid_arg "Affine.modulo: modulo by zero"
+  | _, Const 0 -> err "Affine.modulo: modulo by zero"
   | _, Const 1 -> Const 0
   | Const x, Const y ->
     let r = x mod y in
@@ -97,10 +99,12 @@ let rec eval_expr ~dims ~syms e =
   let ev e = eval_expr ~dims ~syms e in
   match e with
   | Dim i ->
-    if i >= Array.length dims then invalid_arg "Affine.eval: dim out of range";
+    if i >= Array.length dims then
+      err "Affine.eval: dim d%d out of range (%d dims)" i (Array.length dims);
     dims.(i)
   | Sym i ->
-    if i >= Array.length syms then invalid_arg "Affine.eval: sym out of range";
+    if i >= Array.length syms then
+      err "Affine.eval: sym s%d out of range (%d syms)" i (Array.length syms);
     syms.(i)
   | Const c -> c
   | Add (a, b) -> ev a + ev b
@@ -179,8 +183,10 @@ let make ~num_dims ~num_syms exprs =
   List.iter
     (fun e ->
       let d, s = max_indices e in
-      if d > num_dims then invalid_arg "Affine.make: dim index out of range";
-      if s > num_syms then invalid_arg "Affine.make: sym index out of range")
+      if d > num_dims then
+        err "Affine.make: dim index d%d out of range (%d dims)" (d - 1) num_dims;
+      if s > num_syms then
+        err "Affine.make: sym index s%d out of range (%d syms)" (s - 1) num_syms)
     exprs;
   { num_dims; num_syms; exprs }
 
@@ -195,15 +201,15 @@ let num_results m = List.length m.exprs
 
 let eval m ~dims ?(syms = [||]) () =
   if Array.length dims <> m.num_dims then
-    invalid_arg "Affine.eval: wrong number of dims";
+    err "Affine.eval: got %d dims, map has %d" (Array.length dims) m.num_dims;
   if Array.length syms <> m.num_syms then
-    invalid_arg "Affine.eval: wrong number of syms";
+    err "Affine.eval: got %d syms, map has %d" (Array.length syms) m.num_syms;
   List.map (eval_expr ~dims ~syms) m.exprs
 
 (* [compose f g] is the map x -> f (g x): g's results feed f's dims. *)
 let compose f g =
   if num_results g <> f.num_dims then
-    invalid_arg "Affine.compose: result/dim arity mismatch";
+    err "Affine.compose: %d results feed %d dims" (num_results g) f.num_dims;
   let dims = Array.of_list g.exprs in
   let syms = Array.init f.num_syms sym in
   make ~num_dims:g.num_dims ~num_syms:(max f.num_syms g.num_syms)
@@ -235,7 +241,7 @@ let drop_dims m drop =
   List.iter
     (fun e ->
       if uses_dropped e then
-        invalid_arg "Affine.drop_dims: dropped dimension is used by a result")
+        err "Affine.drop_dims: dropped dimension is used by a result")
     m.exprs;
   make ~num_dims:(List.length keep) ~num_syms:m.num_syms
     (List.map (subst_expr ~dims ~syms:(Array.init m.num_syms sym)) m.exprs)

@@ -32,11 +32,13 @@ let iterator_to_string = function
   | Reduction -> "reduction"
   | Interleaved -> "interleaved"
 
+let err fmt = Mlc_diag.Diag.error ~component:"attr" fmt
+
 let iterator_of_string = function
   | "parallel" -> Parallel
   | "reduction" -> Reduction
   | "interleaved" -> Interleaved
-  | s -> invalid_arg ("Attr.iterator_of_string: " ^ s)
+  | s -> err "Attr.iterator_of_string: unknown iterator %S" s
 
 let rec equal a b =
   match (a, b) with
@@ -88,31 +90,35 @@ let rec pp fmt = function
 
 let to_string a = Fmt.str "%a" pp a
 
-(* Typed accessors; raise on shape mismatch, which indicates an internal
-   invariant violation rather than user error. *)
+(* Typed accessors; raise a structured {!Mlc_diag.Diag.Diagnostic} on
+   shape mismatch. Op provenance is attached by the caller's nearest
+   [Diag.with_op] scope (the verifier wraps per-op invariant checks), so
+   a malformed attribute reports which op produced it. *)
 
-let get_int = function Int i -> i | a -> invalid_arg ("Attr.get_int: " ^ to_string a)
-let get_float = function Float f -> f | a -> invalid_arg ("Attr.get_float: " ^ to_string a)
-let get_str = function Str s -> s | a -> invalid_arg ("Attr.get_str: " ^ to_string a)
-let get_bool = function Bool b -> b | a -> invalid_arg ("Attr.get_bool: " ^ to_string a)
-let get_ty = function Ty t -> t | a -> invalid_arg ("Attr.get_ty: " ^ to_string a)
-let get_arr = function Arr l -> l | a -> invalid_arg ("Attr.get_arr: " ^ to_string a)
+let shape_err what a = err "Attr.%s: got %s" what (to_string a)
+
+let get_int = function Int i -> i | a -> shape_err "get_int" a
+let get_float = function Float f -> f | a -> shape_err "get_float" a
+let get_str = function Str s -> s | a -> shape_err "get_str" a
+let get_bool = function Bool b -> b | a -> shape_err "get_bool" a
+let get_ty = function Ty t -> t | a -> shape_err "get_ty" a
+let get_arr = function Arr l -> l | a -> shape_err "get_arr" a
 
 let get_affine_map = function
   | Affine_map m -> m
-  | a -> invalid_arg ("Attr.get_affine_map: " ^ to_string a)
+  | a -> shape_err "get_affine_map" a
 
 let get_iterators = function
   | Iterators l -> l
-  | a -> invalid_arg ("Attr.get_iterators: " ^ to_string a)
+  | a -> shape_err "get_iterators" a
 
 let get_stride_pattern = function
   | Stride_pattern p -> p
-  | a -> invalid_arg ("Attr.get_stride_pattern: " ^ to_string a)
+  | a -> shape_err "get_stride_pattern" a
 
 let get_index_pattern = function
   | Index_pattern p -> p
-  | a -> invalid_arg ("Attr.get_index_pattern: " ^ to_string a)
+  | a -> shape_err "get_index_pattern" a
 
 let int_arr l = Arr (List.map (fun i -> Int i) l)
 

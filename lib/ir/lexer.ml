@@ -211,6 +211,21 @@ let create src =
   t.tok <- next_token t;
   t
 
+(* 1-based line and column of byte offset [off] in [src]. *)
+let line_col_of_offset src off =
+  let line = ref 1 and col = ref 1 in
+  let n = min off (String.length src) in
+  for i = 0 to n - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let line_col t off = line_col_of_offset t.src off
+
 let peek t = t.tok
 let next t = t.tok <- next_token t
 

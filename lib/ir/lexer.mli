@@ -34,3 +34,9 @@ val create : string -> t
 val peek : t -> token
 val next : t -> unit
 val token_to_string : token -> string
+
+(** 1-based (line, column) of a byte offset in a source string. *)
+val line_col_of_offset : string -> int -> int * int
+
+(** 1-based (line, column) of a byte offset in this lexer's source. *)
+val line_col : t -> int -> int * int

@@ -11,11 +11,11 @@ type t = {
 }
 
 let fail t msg =
+  let line, col = Lexer.line_col t.lx t.lx.Lexer.pos in
   raise
     (Parse_error
-       (Printf.sprintf "%s (at token %s, offset %d)" msg
-          (Lexer.token_to_string (Lexer.peek t.lx))
-          t.lx.Lexer.pos))
+       (Printf.sprintf "%d:%d: %s (at token %s)" line col msg
+          (Lexer.token_to_string (Lexer.peek t.lx))))
 
 let peek t = Lexer.peek t.lx
 let advance t = Lexer.next t.lx
@@ -543,9 +543,20 @@ and parse_block t =
   block
 
 let parse_string src =
-  let t =
-    { lx = Lexer.create src; values = Hashtbl.create 64; block_scopes = [] }
-  in
-  let op = parse_op t in
-  if peek t <> Lexer.Eof then fail t "trailing input after top-level op";
-  op
+  match
+    let t =
+      { lx = Lexer.create src; values = Hashtbl.create 64; block_scopes = [] }
+    in
+    let op = parse_op t in
+    if peek t <> Lexer.Eof then fail t "trailing input after top-level op";
+    op
+  with
+  | op -> op
+  | exception Lexer.Lex_error (msg, off) ->
+    (* Surface lexical errors with the same line:column convention. *)
+    let line, col = Lexer.line_col_of_offset src off in
+    raise (Parse_error (Printf.sprintf "%d:%d: %s" line col msg))
+  | exception Mlc_diag.Diag.Diagnostic d ->
+    (* Structured errors from attribute/affine construction on malformed
+       input are parse errors, not compiler bugs. *)
+    raise (Parse_error (Mlc_diag.Diag.summary d))

@@ -1,39 +1,85 @@
 (* Compilation passes and the pass manager. A pass transforms a module op
    in place. The pass manager runs a pipeline, optionally verifying the IR
    after every pass (the default in tests), mirroring the "small,
-   self-contained passes" structure of the paper's lowering (§3.4). *)
+   self-contained passes" structure of the paper's lowering (§3.4).
+
+   Failures are structured: any exception escaping a pass (or its
+   post-verification) is converted into a {!Mlc_diag.Diag.t} carrying the
+   pass name, the IR printed just before the failing pass, and the
+   original backtrace, then re-raised as {!Pass_failed} with
+   [Printexc.raise_with_backtrace] so the raise site survives. A crash
+   bundle is written on the way out (see {!Mlc_diag.Crash_bundle}). *)
+
+module Diag = Mlc_diag.Diag
+module Crash_bundle = Mlc_diag.Crash_bundle
 
 type t = { name : string; run : Ir.op -> unit }
 
 let make name run = { name; run }
 
-exception Pass_failed of string * exn
+exception Pass_failed of Diag.t
 
 type trace_entry = { pass_name : string; ir_after : string }
+
+(* Build the diagnostic for an exception escaping [pass_name], attaching
+   provenance and the pre-pass IR snapshot. *)
+let diag_of_failure ~pass_name ~ir_before ~bt exn =
+  let backtrace =
+    let s = Printexc.raw_backtrace_to_string bt in
+    if String.trim s = "" then None else Some s
+  in
+  let base =
+    match exn with
+    | Diag.Diagnostic d -> d
+    | Verifier.Verification_error msg ->
+      Diag.make ~component:"verifier"
+        (Printf.sprintf "post-pass verification: %s" msg)
+    | Affine.Not_affine msg -> Diag.make ~component:"affine" msg
+    | Failure msg -> Diag.make ~component:"pass" msg
+    | Invalid_argument msg -> Diag.make ~component:"pass" msg
+    | exn -> Diag.make ~component:"pass" (Printexc.to_string exn)
+  in
+  {
+    base with
+    Diag.pass = Some pass_name;
+    ir_before = (if base.Diag.ir_before = None then Some ir_before
+                 else base.Diag.ir_before);
+    backtrace = (if base.Diag.backtrace = None then backtrace
+                 else base.Diag.backtrace);
+  }
 
 (* Run [passes] over module [m]. When [verify_each] is set, the verifier
    runs after every pass and failures are attributed to the offending
    pass. When [trace] is set, the IR after each pass is captured (used by
-   the CLI's --print-ir-after-all). *)
-let run_pipeline ?(verify_each = true) ?(trace = false) (m : Ir.op)
-    (passes : t list) : trace_entry list =
+   the CLI's --print-ir-after-all). [bundle_ctx] supplies the pipeline
+   flags and replay command recorded in the crash bundle on failure. *)
+let run_pipeline ?(verify_each = true) ?(trace = false) ?bundle_ctx
+    (m : Ir.op) (passes : t list) : trace_entry list =
   let entries = ref [] in
+  let fail ~pass_name ~ir_before exn bt =
+    let diag = diag_of_failure ~pass_name ~ir_before ~bt exn in
+    let diag =
+      match Crash_bundle.write ?ctx:bundle_ctx diag with
+      | Some path -> Diag.add_note diag ("crash bundle: " ^ path)
+      | None -> diag
+    in
+    Printexc.raise_with_backtrace (Pass_failed diag) bt
+  in
   List.iter
     (fun pass ->
+      let ir_before = Printer.to_string m in
       (try pass.run m
-       with e when not (e = Stdlib.Exit) -> raise (Pass_failed (pass.name, e)));
-      if verify_each then begin
-        try Verifier.verify m
-        with Verifier.Verification_error msg ->
-          raise
-            (Pass_failed
-               (pass.name, Failure (Printf.sprintf "post-pass verification: %s" msg)))
-      end;
+       with e when not (e = Stdlib.Exit) ->
+         fail ~pass_name:pass.name ~ir_before e (Printexc.get_raw_backtrace ()));
+      (if verify_each then
+         try Verifier.verify m
+         with e ->
+           fail ~pass_name:pass.name ~ir_before e (Printexc.get_raw_backtrace ()));
       if trace then
         entries :=
           { pass_name = pass.name; ir_after = Printer.to_string m } :: !entries)
     passes;
   List.rev !entries
 
-let run ?(verify_each = true) m passes =
-  ignore (run_pipeline ~verify_each ~trace:false m passes)
+let run ?(verify_each = true) ?bundle_ctx m passes =
+  ignore (run_pipeline ~verify_each ~trace:false ?bundle_ctx m passes)

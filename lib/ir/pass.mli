@@ -1,23 +1,38 @@
 (** Compilation passes and the pass manager. A pass transforms a module
     op in place; pipelines are plain lists, and the IR is verified after
     every pass by default — the "small, self-contained passes" structure
-    of the paper's lowering (§3.4). *)
+    of the paper's lowering (§3.4). Failures are structured: see
+    {!Pass_failed}. *)
 
 type t = { name : string; run : Ir.op -> unit }
 
 val make : string -> (Ir.op -> unit) -> t
 
-(** Raised when a pass (or its post-verification) fails; carries the pass
-    name and the original exception. *)
-exception Pass_failed of string * exn
+(** Raised when a pass (or its post-verification) fails. The diagnostic
+    carries the pass name, the IR printed just before the failing pass,
+    and the original backtrace; a crash bundle has been written by the
+    time this propagates (see {!Mlc_diag.Crash_bundle}). The original
+    raise site is preserved with [Printexc.raise_with_backtrace]. *)
+exception Pass_failed of Mlc_diag.Diag.t
 
 type trace_entry = { pass_name : string; ir_after : string }
 
 (** Run [passes] over module [m]. [verify_each] (default true) runs the
     verifier after every pass; [trace] captures the printed IR after each
-    pass (the CLI's --print-ir). *)
+    pass (the CLI's --print-ir). [bundle_ctx] supplies the pipeline-flag
+    rendering and replay command recorded in crash bundles. *)
 val run_pipeline :
-  ?verify_each:bool -> ?trace:bool -> Ir.op -> t list -> trace_entry list
+  ?verify_each:bool ->
+  ?trace:bool ->
+  ?bundle_ctx:Mlc_diag.Crash_bundle.ctx ->
+  Ir.op ->
+  t list ->
+  trace_entry list
 
 (** {!run_pipeline} without tracing. *)
-val run : ?verify_each:bool -> Ir.op -> t list -> unit
+val run :
+  ?verify_each:bool ->
+  ?bundle_ctx:Mlc_diag.Crash_bundle.ctx ->
+  Ir.op ->
+  t list ->
+  unit

@@ -195,8 +195,13 @@ let check_terminators (root : Ir.op) =
 
 let check_registered_invariants (root : Ir.op) =
   Ir.walk_incl root (fun op ->
-      try Op_registry.verify_op op
-      with Failure msg -> err "%s" msg)
+      (* [Diag.with_op] stamps op provenance onto structured errors
+         coming out of attribute/affine accessors, so a malformed
+         attribute reports which op carried it. *)
+      try Mlc_diag.Diag.with_op (Ir.Op.name op) (fun () -> Op_registry.verify_op op)
+      with
+      | Failure msg -> err "%s" msg
+      | Mlc_diag.Diag.Diagnostic d -> err "%s" (Mlc_diag.Diag.summary d))
 
 (* Verify the whole IR rooted at [root]; raises {!Verification_error}. *)
 let verify (root : Ir.op) =

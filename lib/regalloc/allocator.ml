@@ -371,6 +371,17 @@ let allocate_func ?(reclaim_dead_args = true) fn =
   let free_float =
     List.filter (fun r -> not (Hashtbl.mem used r)) Reg.float_pool
   in
+  (* ft0-ft2 are the SSR data movers: in a function that enables
+     streaming they must never double as scratch — while streaming is
+     enabled an access hits the (possibly unconfigured) stream, not the
+     architectural register, which the simulator's trap model reports
+     as a stream fault. *)
+  let free_float =
+    if Ir.collect fn (fun op -> Ir.Op.name op = Rv_snitch.ssr_enable_op) <> []
+    then
+      List.filter (fun r -> not (List.mem r Reg.ssr_data_registers)) free_float
+    else free_float
+  in
   let managed = Hashtbl.create 32 in
   List.iter (fun r -> Hashtbl.replace managed r ()) free_int;
   List.iter (fun r -> Hashtbl.replace managed r ()) free_float;

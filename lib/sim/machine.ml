@@ -34,6 +34,11 @@
 
 exception Exec_error of string
 
+(* Internal: the fuel bound hit zero. Converted to [Trap.Out_of_fuel] at
+   the engine boundary; distinct from [Exec_error] so fuel exhaustion
+   and illegal execution produce different trap kinds. *)
+exception Fuel_exhausted
+
 let err fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
 
 type perf = {
@@ -171,7 +176,11 @@ let streaming_write t dm v =
   if s.Ssr.width = 8 then Mem.store64 t.mem addr v
   else Mem.store32 t.mem addr (Int64.to_int32 v)
 
-let is_stream_reg t i = t.ssr_enabled && i < 3 && t.ssrs.(i).Ssr.active
+(* ft0-ft2 map to the SSR data movers whenever streaming is enabled;
+   accessing an unconfigured one faults (via the canonical
+   [Ssr.Stream_fault]) instead of silently touching the architectural
+   register. *)
+let is_stream_reg t i = t.ssr_enabled && i < 3
 
 (* Fetch an FP source operand: pops a stream element if the register is a
    streaming data register. *)
@@ -372,9 +381,68 @@ type outcome = { perf : perf; final_pc : int }
 
 let burn_fuel t =
   t.fuel <- t.fuel - 1;
-  if t.fuel <= 0 then err "out of fuel: runaway execution (infinite loop?)"
+  if t.fuel <= 0 then raise Fuel_exhausted
 
-let out_of_fuel () = err "out of fuel: runaway execution (infinite loop?)"
+let out_of_fuel () = raise Fuel_exhausted
+
+(* --- the trap boundary (shared by both engines) ---
+
+   A machine-state + perf dump taken at the fault point. Only functional
+   and integer-core timing state goes in: both engines maintain it
+   identically at instruction granularity, so the dump — like the whole
+   trap record — is bit-identical across engines for the same fault. *)
+let dump_state (t : t) =
+  let b = Buffer.create 512 in
+  t.perf.cycles <- max t.core_time t.fpu_last_done;
+  Printf.bprintf b
+    "perf: cycles=%d retired=%d fpu_busy=%d flops=%d loads=%d stores=%d \
+     freps=%d stream_reads=%d stream_writes=%d\n"
+    t.perf.cycles t.perf.retired t.perf.fpu_busy t.perf.flops t.perf.loads
+    t.perf.stores t.perf.freps t.perf.stream_reads t.perf.stream_writes;
+  Printf.bprintf b "fuel left: %d\n" (max t.fuel 0);
+  Array.iteri
+    (fun i v -> if i > 0 && v <> 0L then Printf.bprintf b "x%d = 0x%Lx\n" i v)
+    t.iregs;
+  Array.iteri
+    (fun i v -> if v <> 0L then Printf.bprintf b "f%d = 0x%Lx\n" i v)
+    t.fregs;
+  Array.iteri
+    (fun i (s : Ssr.t) ->
+      if s.Ssr.active then
+        Printf.bprintf b "ssr%d: %s width=%d served=%d/%d cur=0x%x%s\n" i
+          (if s.Ssr.is_write then "write" else "read")
+          s.Ssr.width s.Ssr.served (Ssr.total_elements s) s.Ssr.cur
+          (if s.Ssr.finished then " finished" else ""))
+    t.ssrs;
+  Buffer.contents b
+
+(* Convert a fault escaping an engine's dispatch loop into a typed trap
+   at [pc]. For faults raised during FREP replay [pc] is the pc of the
+   frep.o itself in both engines (neither advances the pc until the
+   whole replay retires) — the sequencer replays without the core, so
+   the frep is the last instruction the core issued. Unknown exceptions
+   pass through; every raise preserves the original backtrace. *)
+let raise_as_trap t (p : Program.t) pc exn =
+  let bt = Printexc.get_raw_backtrace () in
+  let kind =
+    match exn with
+    | Fuel_exhausted -> Some Trap.Out_of_fuel
+    | Mem.Access_fault { addr; width; _ } ->
+      Some (Trap.Access_fault { addr; width })
+    | Ssr.Stream_fault reason -> Some (Trap.Stream_fault { reason })
+    | Exec_error reason -> Some (Trap.Illegal { reason })
+    | _ -> None
+  in
+  match kind with
+  | None -> Printexc.raise_with_backtrace exn bt
+  | Some kind ->
+    let insn =
+      let src = Lazy.force p.Program.source in
+      if pc >= 0 && pc < Array.length src then src.(pc) else "<no instruction>"
+    in
+    Printexc.raise_with_backtrace
+      (Trap.Trap { Trap.kind; pc; insn; state = dump_state t })
+      bt
 
 (* --- FREP support for the fast engine --- *)
 
@@ -468,14 +536,14 @@ external swap64 : int64 -> int64 = "%bswap_int64"
 
 let[@inline] mem_get64 (m : Mem.t) addr =
   let off = addr - m.Mem.base in
-  if off < 0 || off + 8 > Bytes.length m.Mem.bytes then
+  if off < 0 || off + 8 > Bytes.length m.Mem.bytes || off land 7 <> 0 then
     ignore (Mem.load64 m addr) (* raises the canonical Access_fault *);
   let v = bytes_get64u m.Mem.bytes off in
   if Sys.big_endian then swap64 v else v
 
 let[@inline] mem_set64 (m : Mem.t) addr v =
   let off = addr - m.Mem.base in
-  if off < 0 || off + 8 > Bytes.length m.Mem.bytes then
+  if off < 0 || off + 8 > Bytes.length m.Mem.bytes || off land 7 <> 0 then
     Mem.store64 m addr v (* raises the canonical Access_fault *)
   else bytes_set64u m.Mem.bytes off (if Sys.big_endian then swap64 v else v)
 
@@ -819,6 +887,7 @@ let run t (p : Program.t) ~entry =
   let src = if t.trace_enabled then Lazy.force p.Program.source else [||] in
   let pc = ref (Program.entry p entry) in
   let running = ref true in
+  (try
   while !running do
     if !pc < 0 || !pc >= n then err "pc %d out of program bounds" !pc;
     burn_fuel t;
@@ -925,7 +994,8 @@ let run t (p : Program.t) ~entry =
       fpu_execute_functional t insn;
       fpu_timing_fast t p !pc ~avail:(issue + 1);
       incr pc)
-  done;
+  done
+  with exn -> raise_as_trap t p !pc exn);
   t.perf.cycles <- max t.core_time t.fpu_last_done;
   { perf = t.perf; final_pc = !pc }
 
@@ -938,6 +1008,7 @@ let run_reference t (p : Program.t) ~entry =
   let src = if t.trace_enabled then Lazy.force p.Program.source else [||] in
   let pc = ref (Program.entry p entry) in
   let running = ref true in
+  (try
   while !running do
     if !pc < 0 || !pc >= n then err "pc %d out of program bounds" !pc;
     burn_fuel t;
@@ -1046,7 +1117,8 @@ let run_reference t (p : Program.t) ~entry =
       fpu_execute_functional t insn;
       fpu_execute_timing t insn ~avail:(issue + 1);
       incr pc)
-  done;
+  done
+  with exn -> raise_as_trap t p !pc exn);
   t.perf.cycles <- max t.core_time t.fpu_last_done;
   { perf = t.perf; final_pc = !pc }
 

@@ -18,6 +18,11 @@
     kept as the timing oracle). They produce bit-identical performance
     counters; see DESIGN.md, "Simulator performance & timing contract". *)
 
+(** Internal fault carrier for illegal execution (bad scfgwi, non-FPU op
+    under FREP, pc out of bounds). Never escapes {!run}/{!run_reference}:
+    the engines convert it — together with {!Mem.Access_fault},
+    {!Ssr.Stream_fault} and fuel exhaustion — into a typed {!Trap.Trap}
+    at the faulting pc. *)
 exception Exec_error of string
 
 (** Performance counters (paper §4.1 metrics). *)
@@ -79,10 +84,13 @@ type outcome = { perf : perf; final_pc : int }
 
 (** Execute from the [entry] label until [ret]. Functional state and
     counters live in [t]; total cycles are the drain point of both the
-    integer core and the FPU. Raises {!Exec_error} on semantic faults
-    (non-FPU op under FREP, runaway execution), {!Mem.Access_fault} and
-    {!Ssr.Stream_fault} on memory/stream violations. This is the fast
-    engine; its performance counters are bit-identical to
+    integer core and the FPU. Every runtime fault — fuel exhaustion,
+    out-of-bounds or misaligned TCDM access, SSR stream misuse, illegal
+    execution (non-FPU op under FREP, bad scfgwi, pc out of bounds) —
+    raises a typed {!Trap.Trap} carrying the faulting pc, the
+    disassembled instruction and a machine-state + perf dump; both
+    engines raise identical records for the same fault. This is the
+    fast engine; its performance counters are bit-identical to
     {!run_reference}. *)
 val run : t -> Program.t -> entry:string -> outcome
 

@@ -3,7 +3,12 @@
 
 type t = { base : int; bytes : Bytes.t }
 
-exception Access_fault of string
+exception Access_fault of { addr : int; width : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Access_fault { msg; _ } -> Some (Printf.sprintf "Mem.Access_fault(%s)" msg)
+    | _ -> None)
 
 let tcdm_base = 0x10000000
 let tcdm_size = 128 * 1024
@@ -22,9 +27,24 @@ let check t addr width =
   if off < 0 || off + width > Bytes.length t.bytes then
     raise
       (Access_fault
-         (Printf.sprintf "address 0x%x (+%d bytes) outside TCDM [0x%x, 0x%x)"
-            addr width t.base
-            (t.base + Bytes.length t.bytes)));
+         {
+           addr;
+           width;
+           msg =
+             Printf.sprintf "address 0x%x (+%d bytes) outside TCDM [0x%x, 0x%x)"
+               addr width t.base
+               (t.base + Bytes.length t.bytes);
+         });
+  (* Natural alignment: the TCDM banks serve power-of-two widths only at
+     multiples of the access width. *)
+  if off land (width - 1) <> 0 then
+    raise
+      (Access_fault
+         {
+           addr;
+           width;
+           msg = Printf.sprintf "misaligned %d-byte access at 0x%x" width addr;
+         });
   off
 
 let load64 t addr = Bytes.get_int64_le t.bytes (check t addr 8)
@@ -46,7 +66,7 @@ let arena mem = { mem; next = mem.base }
 let alloc arena n_bytes =
   let aligned = (arena.next + 7) / 8 * 8 in
   if aligned + n_bytes > arena.mem.base + tcdm_size then
-    raise (Access_fault "TCDM arena exhausted");
+    raise (Access_fault { addr = -1; width = 0; msg = "TCDM arena exhausted" });
   arena.next <- aligned + n_bytes;
   aligned
 

@@ -3,7 +3,10 @@
 
 type t = { base : int; bytes : Bytes.t }
 
-exception Access_fault of string
+(** Raised on an out-of-bounds or misaligned TCDM access (and, with
+    [addr = -1], on arena exhaustion). The engines convert this into a
+    {!Trap.Trap} carrying the faulting pc. *)
+exception Access_fault of { addr : int; width : int; msg : string }
 
 val tcdm_base : int
 val tcdm_size : int

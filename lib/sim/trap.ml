@@ -1,0 +1,43 @@
+(* Typed simulator traps: the uniform fault surface of both execution
+   engines. See trap.mli for the pc-attribution contract. *)
+
+type kind =
+  | Out_of_fuel
+  | Access_fault of { addr : int; width : int }
+  | Stream_fault of { reason : string }
+  | Illegal of { reason : string }
+
+type t = { kind : kind; pc : int; insn : string; state : string }
+
+exception Trap of t
+
+let describe_kind = function
+  | Out_of_fuel -> "out of fuel: runaway execution (infinite loop?)"
+  | Access_fault { addr; width } ->
+    if addr < 0 then "access fault: TCDM arena exhausted"
+    else if
+      addr >= Mem.tcdm_base
+      && addr + width <= Mem.tcdm_base + Mem.tcdm_size
+    then Printf.sprintf "misaligned TCDM access at 0x%x (%d bytes)" addr width
+    else
+      Printf.sprintf "TCDM access fault at 0x%x (%d bytes): outside [0x%x, 0x%x)"
+        addr width Mem.tcdm_base
+        (Mem.tcdm_base + Mem.tcdm_size)
+  | Stream_fault { reason } -> Printf.sprintf "stream fault: %s" reason
+  | Illegal { reason } -> Printf.sprintf "illegal instruction: %s" reason
+
+let summary t =
+  Printf.sprintf "trap at pc %d (%s): %s" t.pc t.insn (describe_kind t.kind)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@,--- machine state ---@,%s@]" (summary t)
+    (String.trim t.state)
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Alcotest-friendly registration: render the payload instead of
+   "Trap.Trap(_)". *)
+let () =
+  Printexc.register_printer (function
+    | Trap t -> Some (summary t)
+    | _ -> None)

@@ -1,0 +1,45 @@
+(** Typed simulator traps. Any runtime fault the simulator detects —
+    runaway execution, an out-of-bounds or misaligned TCDM access, a
+    misuse of an SSR stream, an illegal instruction shape — surfaces as
+    a {!Trap} exception carrying the faulting pc, the disassembled
+    instruction at that pc and a machine-state + performance-counter
+    dump taken at the fault point. Both execution engines raise
+    identical records for the same fault (see DESIGN.md, "Diagnostics,
+    traps, and degradation").
+
+    Faults raised while the FREP sequencer is replaying a body are
+    attributed to the pc of the [frep.o] instruction itself: the replay
+    happens without the integer core, so the frep is the last
+    instruction the core issued. *)
+
+type kind =
+  | Out_of_fuel  (** the fuel bound hit zero: runaway execution *)
+  | Access_fault of { addr : int; width : int }
+      (** TCDM access outside the valid window (or arena exhaustion,
+          with [addr = -1]) *)
+  | Stream_fault of { reason : string }
+      (** SSR misuse: unconfigured/exhausted/wrong-direction access *)
+  | Illegal of { reason : string }
+      (** ill-formed execution: bad scfgwi, non-FPU op under FREP,
+          pc out of program bounds, … *)
+
+type t = {
+  kind : kind;
+  pc : int;  (** pc of the faulting instruction (see FREP note above) *)
+  insn : string;  (** disassembled instruction at [pc] *)
+  state : string;  (** machine-state + perf dump at the fault point *)
+}
+
+exception Trap of t
+
+(** One-line rendering: "trap at pc N (<insn>): <kind>". *)
+val summary : t -> string
+
+(** [summary] of the kind alone, e.g. "out of fuel" or
+    "access fault at 0x10020000 (8 bytes)". *)
+val describe_kind : kind -> string
+
+(** Multi-line rendering including the state dump. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

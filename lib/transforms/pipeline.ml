@@ -98,6 +98,45 @@ let ablation_stages : (string * flags) list =
     ("+ Unroll-and-Jam", ours);
   ]
 
+(* One-line rendering of a flag set, for crash bundles and --json. *)
+let describe_flags f =
+  let b name v = Printf.sprintf "%s=%b" name v in
+  String.concat " "
+    [
+      b "streams" f.streams;
+      b "scalar_replacement" f.scalar_replacement;
+      b "frep" f.frep;
+      b "fuse_fill" f.fuse_fill;
+      b "unroll_jam" f.unroll_jam;
+      b "fma" f.fma;
+      Printf.sprintf "unroll_inner=%d" f.unroll_inner;
+      b "pattern_opt" f.pattern_opt;
+      b "cleanups" f.cleanups;
+    ]
+
+(* The graceful-degradation lattice: each rung drops the optimisation
+   most likely to have caused the failure (unroll-and-jam first — it
+   multiplies register pressure — then the Snitch extensions) until only
+   the direct lowering remains. The list starts at the first rung equal
+   to [from] so a run already below the top restarts mid-lattice; an
+   unrecognised custom flag set falls straight back to [baseline]. *)
+let fallback_lattice (from : flags) : (string * flags) list =
+  let rungs =
+    [
+      ("ours", ours);
+      ("ours-unroll_jam", { ours with unroll_jam = false });
+      ( "ours-frep-streams",
+        { ours with unroll_jam = false; frep = false; streams = false } );
+      ("baseline", baseline);
+    ]
+  in
+  let rec from_rung = function
+    | [] -> [ ("custom", from); ("baseline", baseline) ]
+    | (_, f) :: _ as l when f = from -> l
+    | _ :: rest -> from_rung rest
+  in
+  from_rung rungs
+
 let passes flags =
   List.concat
     [

@@ -44,6 +44,18 @@ val mlir : flags
 (** Table 3's cumulative stages, in paper order. *)
 val ablation_stages : (string * flags) list
 
+(** One-line [k=v] rendering of a flag set, for crash bundles and JSON
+    reports. *)
+val describe_flags : flags -> string
+
+(** The graceful-degradation lattice starting at the given flag set:
+    [ours → ours-unroll_jam → ours-frep-streams → baseline]. The result
+    begins at the first rung structurally equal to the argument (so a
+    run already below the top rung resumes mid-lattice); a flag set not
+    on the lattice degrades directly to [baseline]. The head is always
+    the argument itself. *)
+val fallback_lattice : flags -> (string * flags) list
+
 (** The pass list a flag set induces. *)
 val passes : flags -> Pass.t list
 

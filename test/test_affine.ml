@@ -80,7 +80,7 @@ let test_drop_used_dim_rejected () =
   let m = Affine.make ~num_dims:2 ~num_syms:0 [ Affine.(add (dim 0) (dim 1)) ] in
   Alcotest.(check bool) "dropping used dim raises" true
     (match Affine.drop_dims m [ 1 ] with
-    | exception Invalid_argument _ -> true
+    | exception Mlc_diag.Diag.Diagnostic _ -> true
     | _ -> false)
 
 let test_pp_roundtrip_examples () =

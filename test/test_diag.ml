@@ -1,0 +1,313 @@
+(* Tests for the diagnostics subsystem (PR 3): structured parse errors
+   with line:column, pass-failure provenance and crash bundles, the
+   runner's graceful-degradation lattice, and the simulator trap model
+   (typed traps, identical on both engines). *)
+
+open Mlc_transforms
+module Diag = Mlc_diag.Diag
+module Crash_bundle = Mlc_diag.Crash_bundle
+
+(* Sandbox every bundle this suite provokes away from the build tree. *)
+let bundle_dir =
+  Filename.concat (Filename.get_temp_dir_name ()) "mlc-diag-test-bundles"
+
+let () = Crash_bundle.set_dir bundle_dir
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- parser/lexer diagnostics --- *)
+
+let test_parse_error_line_col () =
+  (* Valid first line, malformed op on line 2, column of the bad token. *)
+  let src = "\"builtin.module\"()({\n^bb0():\n  bogus\n}) : () -> ()\n" in
+  match Mlc_ir.Parser.parse_string src with
+  | _ -> Alcotest.fail "malformed input accepted"
+  | exception Mlc_ir.Parser.Parse_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S carries line 3" msg)
+      true
+      (String.length msg >= 2 && String.sub msg 0 2 = "3:")
+
+let test_lex_error_line_col () =
+  let src = "\"builtin.module\"()({\n^bb0():\n  ?\n}) : () -> ()\n" in
+  match Mlc_ir.Parser.parse_string src with
+  | _ -> Alcotest.fail "garbage input accepted"
+  | exception Mlc_ir.Parser.Parse_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "lex error %S carries line 3" msg)
+      true
+      (String.length msg >= 2 && String.sub msg 0 2 = "3:")
+
+let test_summary_format () =
+  let d =
+    Diag.make ~pass:"lower-linalg" ~op:"linalg.generic" ~component:"affine"
+      "dropping a used dim"
+  in
+  Alcotest.(check string)
+    "summary format"
+    "error[pass=lower-linalg, op=linalg.generic] affine: dropping a used dim"
+    (Diag.summary d)
+
+(* --- pass-failure provenance and crash bundles --- *)
+
+let failing_pass = Mlc_ir.Pass.make "explode" (fun _ -> failwith "injected failure")
+
+let test_pass_failure_provenance () =
+  Printexc.record_backtrace true;
+  let spec = Mlc_kernels.Builders.sum ~n:4 ~m:4 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  match Mlc_ir.Pass.run m [ failing_pass ] with
+  | () -> Alcotest.fail "failing pass succeeded"
+  | exception Mlc_ir.Pass.Pass_failed d ->
+    Alcotest.(check (option string)) "pass name" (Some "explode") d.Diag.pass;
+    Alcotest.(check bool) "IR-before snapshot attached" true
+      (match d.Diag.ir_before with Some ir -> String.length ir > 0 | None -> false);
+    Alcotest.(check bool) "backtrace recorded" true (d.Diag.backtrace <> None);
+    Alcotest.(check bool) "message carries the cause" true
+      (contains d.Diag.message "injected failure")
+
+let test_crash_bundle_written () =
+  let spec = Mlc_kernels.Builders.sum ~n:4 ~m:4 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  let ctx =
+    { Crash_bundle.flags = Some "test-flags"; replay = Some "snitchc replay-me" }
+  in
+  (match Mlc_ir.Pass.run ~bundle_ctx:ctx m [ failing_pass ] with
+  | () -> Alcotest.fail "failing pass succeeded"
+  | exception Mlc_ir.Pass.Pass_failed _ -> ());
+  match Crash_bundle.last_bundle () with
+  | None -> Alcotest.fail "no crash bundle written"
+  | Some path ->
+    Alcotest.(check bool) "bundle exists on disk" true (Sys.file_exists path);
+    let body = In_channel.with_open_text path In_channel.input_all in
+    Alcotest.(check bool) "bundle names the pass" true (contains body "explode");
+    Alcotest.(check bool) "bundle has the replay command" true
+      (contains body "snitchc replay-me");
+    Alcotest.(check bool) "bundle has the flags" true (contains body "test-flags")
+
+let test_bundle_render_sections () =
+  let d =
+    Diag.make ~pass:"p" ~ir_before:"\"builtin.module\"()" ~component:"pass"
+      "boom"
+  in
+  let ctx = { Crash_bundle.flags = Some "f"; replay = Some "r" } in
+  let md = Crash_bundle.render ~ctx d in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "render has %S" needle)
+        true (contains md needle))
+    [ "# mlc crash bundle"; "## Diagnostic"; "## Replay"; "boom" ]
+
+(* --- the fallback lattice --- *)
+
+let rung_names flags = List.map fst (Pipeline.fallback_lattice flags)
+
+let test_lattice_order () =
+  Alcotest.(check (list string))
+    "full lattice from ours"
+    [ "ours"; "ours-unroll_jam"; "ours-frep-streams"; "baseline" ]
+    (rung_names Pipeline.ours);
+  Alcotest.(check (list string))
+    "baseline is its own lattice" [ "baseline" ]
+    (rung_names Pipeline.baseline);
+  Alcotest.(check (list string))
+    "unknown flags degrade to baseline" [ "custom"; "baseline" ]
+    (rung_names { Pipeline.ours with Pipeline.unroll_inner = 4 })
+
+(* Inject a pass failure only at the top rung: the appended pass fails
+   whenever unroll_jam is on, so "ours" fails and "ours-unroll_jam" is
+   the first clean configuration. *)
+let pipeline_failing_when_jam flags =
+  Pipeline.passes flags
+  @ (if flags.Pipeline.unroll_jam then [ failing_pass ] else [])
+
+let test_degradation_one_rung () =
+  let spec = Mlc_kernels.Builders.matmul ~n:2 ~m:4 ~k:8 () in
+  let r = Mlc.Runner.run ~pipeline_of:pipeline_failing_when_jam spec in
+  (match r.Mlc.Runner.degradation with
+  | None -> Alcotest.fail "expected a degradation record"
+  | Some d ->
+    Alcotest.(check string) "landed one rung down" "ours-unroll_jam"
+      d.Mlc.Runner.rung;
+    Alcotest.(check (list string))
+      "attempt trail" [ "ours" ]
+      (List.map fst d.Mlc.Runner.attempts));
+  (* The degraded result must be bit-identical to compiling the fallback
+     configuration directly: same asm, same outputs. *)
+  let direct =
+    Mlc.Runner.run
+      ~flags:{ Pipeline.ours with Pipeline.unroll_jam = false }
+      (Mlc_kernels.Builders.matmul ~n:2 ~m:4 ~k:8 ())
+  in
+  Alcotest.(check string) "asm identical to direct fallback compile"
+    direct.Mlc.Runner.asm r.Mlc.Runner.asm;
+  Alcotest.(check (float 0.0))
+    "outputs bit-identical to direct fallback compile" 0.0
+    (Mlc.Runner.max_abs_err r.Mlc.Runner.outputs direct.Mlc.Runner.outputs)
+
+let test_degradation_regalloc_pressure () =
+  (* An allocator that fails on its first call (the top rung) and
+     behaves normally afterwards: a register-pressure failure must
+     degrade, not crash. *)
+  let calls = ref 0 in
+  let allocator fn =
+    incr calls;
+    if !calls = 1 then
+      raise (Mlc_regalloc.Allocator.Out_of_registers Mlc_riscv.Reg.Float_kind)
+    else Mlc_regalloc.Remat.allocate_with_remat fn
+  in
+  let spec = Mlc_kernels.Builders.sum ~n:4 ~m:4 () in
+  let r = Mlc.Runner.run ~allocator spec in
+  match r.Mlc.Runner.degradation with
+  | None -> Alcotest.fail "expected a degradation record"
+  | Some d ->
+    Alcotest.(check string) "landed one rung down" "ours-unroll_jam"
+      d.Mlc.Runner.rung;
+    Alcotest.(check bool) "trail records the regalloc failure" true
+      (match d.Mlc.Runner.attempts with
+      | [ ("ours", msg) ] ->
+        String.length msg >= 8 && String.sub msg 0 8 = "regalloc"
+      | _ -> false);
+    Alcotest.(check bool) "degraded run still validates" true
+      (r.Mlc.Runner.max_abs_err < 1e-9)
+
+let test_degradation_exhaustion () =
+  (* Every rung fails: one aggregate diagnostic carrying the whole trail. *)
+  let spec = Mlc_kernels.Builders.sum ~n:4 ~m:4 () in
+  match Mlc.Runner.run ~pipeline_of:(fun f -> Pipeline.passes f @ [ failing_pass ]) spec with
+  | _ -> Alcotest.fail "expected every rung to fail"
+  | exception Diag.Diagnostic d ->
+    Alcotest.(check string) "component" "runner" d.Diag.component;
+    Alcotest.(check bool) "one note per rung" true
+      (List.length d.Diag.notes >= 4)
+
+let test_no_fallback_propagates () =
+  let spec = Mlc_kernels.Builders.sum ~n:4 ~m:4 () in
+  Alcotest.(check bool) "original Pass_failed propagates" true
+    (match
+       Mlc.Runner.run ~fallback:false
+         ~pipeline_of:(fun f -> Pipeline.passes f @ [ failing_pass ])
+         spec
+     with
+    | _ -> false
+    | exception Mlc_ir.Pass.Pass_failed _ -> true)
+
+let test_golden_set_no_degradation () =
+  (* Acceptance: every Table 1 kernel compiles at the top rung. *)
+  List.iter
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      let spec = e.Mlc_kernels.Registry.instantiate ~n:4 ~m:8 ~k:4 () in
+      let r = Mlc.Runner.run ~flags:Pipeline.ours spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s compiles without fallback" e.Mlc_kernels.Registry.name)
+        true
+        (r.Mlc.Runner.degradation = None))
+    Mlc_kernels.Registry.table1
+
+(* --- the trap model --- *)
+
+open Mlc_sim
+
+let trap_of_engine engine asm =
+  let program = Program.of_asm (Asm_parse.parse asm) in
+  let machine = Machine.create () in
+  let run = match engine with
+    | `Fast -> Machine.run
+    | `Reference -> Machine.run_reference
+  in
+  match run machine program ~entry:"main" with
+  | _ -> Alcotest.fail "expected a trap"
+  | exception Trap.Trap t -> t
+
+let check_both_engines name asm check =
+  let t_fast = trap_of_engine `Fast asm in
+  let t_ref = trap_of_engine `Reference asm in
+  Alcotest.(check bool)
+    (name ^ ": identical trap records on both engines")
+    true (t_fast = t_ref);
+  check t_fast
+
+let test_trap_oob_store () =
+  check_both_engines "OOB store"
+    {|main:
+    li t0, 64
+    fsd ft1, 0(t0)
+    ret|}
+    (fun t ->
+      Alcotest.(check bool) "access-fault kind with address and width" true
+        (t.Trap.kind = Trap.Access_fault { addr = 64; width = 8 });
+      Alcotest.(check int) "trap at the store's pc" 1 t.Trap.pc;
+      Alcotest.(check bool) "disassembly names the instruction" true
+        (contains t.Trap.insn "fsd");
+      Alcotest.(check bool) "machine-state dump attached" true
+        (String.length t.Trap.state > 0))
+
+let test_trap_misaligned () =
+  check_both_engines "misaligned load"
+    (Printf.sprintf {|main:
+    li t0, %d
+    fld ft1, 0(t0)
+    ret|} (Mem.tcdm_base + 4))
+    (fun t ->
+      Alcotest.(check bool) "access-fault kind" true
+        (t.Trap.kind = Trap.Access_fault { addr = Mem.tcdm_base + 4; width = 8 });
+      Alcotest.(check int) "trap at the load's pc" 1 t.Trap.pc)
+
+let test_trap_unconfigured_ssr () =
+  check_both_engines "unconfigured SSR read"
+    {|main:
+    csrsi 0x7c0, 1
+    fadd.d ft3, ft0, ft0
+    csrci 0x7c0, 1
+    ret|}
+    (fun t ->
+      Alcotest.(check bool) "stream-fault kind" true
+        (match t.Trap.kind with Trap.Stream_fault _ -> true | _ -> false);
+      Alcotest.(check int) "trap at the consuming op's pc" 1 t.Trap.pc)
+
+let test_trap_out_of_fuel () =
+  let program = Program.of_asm (Asm_parse.parse "main:\n    j main\n") in
+  let machine = Machine.create ~fuel:5_000 () in
+  match Machine.run machine program ~entry:"main" with
+  | _ -> Alcotest.fail "infinite loop terminated"
+  | exception Trap.Trap t ->
+    Alcotest.(check bool) "out-of-fuel kind" true (t.Trap.kind = Trap.Out_of_fuel);
+    Alcotest.(check bool) "state dump reports exhausted fuel" true
+      (contains t.Trap.state "fuel left: 0")
+
+let suite =
+  [
+    ( "diag",
+      [
+        Alcotest.test_case "parse error carries line:col" `Quick
+          test_parse_error_line_col;
+        Alcotest.test_case "lex error carries line:col" `Quick
+          test_lex_error_line_col;
+        Alcotest.test_case "summary format" `Quick test_summary_format;
+        Alcotest.test_case "pass failure provenance" `Quick
+          test_pass_failure_provenance;
+        Alcotest.test_case "crash bundle written" `Quick test_crash_bundle_written;
+        Alcotest.test_case "bundle render sections" `Quick
+          test_bundle_render_sections;
+        Alcotest.test_case "fallback lattice order" `Quick test_lattice_order;
+        Alcotest.test_case "degradation: injected pass failure" `Quick
+          test_degradation_one_rung;
+        Alcotest.test_case "degradation: regalloc pressure" `Quick
+          test_degradation_regalloc_pressure;
+        Alcotest.test_case "degradation: exhaustion diagnostic" `Quick
+          test_degradation_exhaustion;
+        Alcotest.test_case "no-fallback propagates original" `Quick
+          test_no_fallback_propagates;
+        Alcotest.test_case "golden set: no degradation" `Quick
+          test_golden_set_no_degradation;
+        Alcotest.test_case "trap: OOB store" `Quick test_trap_oob_store;
+        Alcotest.test_case "trap: misaligned access" `Quick test_trap_misaligned;
+        Alcotest.test_case "trap: unconfigured SSR read" `Quick
+          test_trap_unconfigured_ssr;
+        Alcotest.test_case "trap: out of fuel" `Quick test_trap_out_of_fuel;
+      ] );
+  ]

@@ -84,7 +84,7 @@ let prop_parser_mutation_robust =
       | _ -> true
       | exception Parser.Parse_error _ -> true
       | exception Lexer.Lex_error _ -> true
-      | exception Invalid_argument _ -> true (* e.g. malformed affine map *)
+      | exception Mlc_diag.Diag.Diagnostic _ -> true (* e.g. malformed affine map *)
       | exception Failure _ -> true (* int_of_string on huge literals *)
       | exception _ -> false)
 

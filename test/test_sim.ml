@@ -260,7 +260,7 @@ let test_ssr_overrun_detected () =
     csrci 0x7c0, 1
     ret|}
      with
-    | exception Ssr.Stream_fault _ -> true
+    | exception Trap.Trap { kind = Trap.Stream_fault _; _ } -> true
     | _ -> false)
 
 let test_frep_non_fpu_body_rejected () =
@@ -272,7 +272,7 @@ let test_frep_non_fpu_body_rejected () =
     addi t2, t1, 1
     ret|}
      with
-    | exception Machine.Exec_error _ -> true
+    | exception Trap.Trap { kind = Trap.Illegal _; _ } -> true
     | _ -> false)
 
 let test_fuel_exhaustion () =
@@ -282,7 +282,7 @@ let test_fuel_exhaustion () =
        let machine = Machine.create ~fuel:10_000 () in
        Machine.run machine program ~entry:"main"
      with
-    | exception Machine.Exec_error _ -> true
+    | exception Trap.Trap { kind = Trap.Out_of_fuel; _ } -> true
     | _ -> false)
 
 let test_tcdm_bounds () =
@@ -291,7 +291,8 @@ let test_tcdm_bounds () =
     li t0, 64
     fld ft1, 0(t0)
     ret|} with
-    | exception Mem.Access_fault _ -> true
+    | exception Trap.Trap { kind = Trap.Access_fault { addr = 64; width = 8 }; _ } ->
+      true
     | _ -> false)
 
 (* --- timing model properties --- *)
