@@ -92,7 +92,15 @@ let compile_cmd =
             "Print the initial linalg-level module in generic textual form \
              (re-parseable by compile-ir) instead of compiling it.")
   in
-  let run kernel n m k (_, flags) print_ir pretty emit_generic =
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the machine-code sanitizer on the emitted instruction \
+             stream and fail on any error-severity finding.")
+  in
+  let run kernel n m k (_, flags) print_ir pretty emit_generic lint =
     let spec = spec_of kernel n m k in
     let m_ = spec.Mlc_kernels.Builders.build () in
     if emit_generic then print_string (Mlc_ir.Printer.to_string m_)
@@ -124,7 +132,7 @@ let compile_cmd =
       print_string (Mlc_riscv.Asm_emit.emit_module m_)
     end
     else begin
-      let result = Mlc_transforms.Pipeline.compile ~flags m_ in
+      let result = Mlc_transforms.Pipeline.compile ~flags ~lint m_ in
       print_string result.Mlc_transforms.Pipeline.asm
     end
   in
@@ -132,7 +140,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a kernel to Snitch assembly.")
     Term.(
       const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ print_ir
-      $ pretty $ emit_generic)
+      $ pretty $ emit_generic $ lint)
 
 let compile_ir_cmd =
   let file_arg =
@@ -177,6 +185,76 @@ let compile_ir_cmd =
          "Compile a textual IR file to Snitch assembly (the crash-bundle \
           replay entry point).")
     Term.(const run $ file_arg $ flow_arg $ crash_dir_arg)
+
+let check_cmd =
+  let opt_kernel_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "k"; "kernel" ] ~docv:"KERNEL"
+          ~doc:
+            (Printf.sprintf "Kernel to check: one of %s."
+               (String.concat ", " Mlc_kernels.Registry.short_names)))
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Check every registry kernel under every pipeline configuration \
+             (the fuzz oracle's config matrix) instead of a single kernel.")
+  in
+  (* Compile one kernel under one flow and lint the emitted instruction
+     stream. Returns the error count; prints every finding. *)
+  let check_one ~label kernel n m k flags =
+    let spec = spec_of kernel n m k in
+    let m_ = spec.Mlc_kernels.Builders.build () in
+    ignore (Mlc_transforms.Pipeline.compile ~flags m_);
+    let findings = Mlc_analysis.Lint.check_module m_ in
+    List.iter
+      (fun d -> Printf.printf "%s: %s\n" label (Mlc_diag.Diag.summary d))
+      findings;
+    List.length (Mlc_analysis.Lint.errors findings)
+  in
+  let run kernel all n m k (flow_name, flags) =
+    let checked, errors =
+      if all then
+        List.fold_left
+          (fun (checked, errors) kernel ->
+            List.fold_left
+              (fun (checked, errors) (config, flags) ->
+                let label = Printf.sprintf "%s/%s" kernel config in
+                (checked + 1, errors + check_one ~label kernel n m k flags))
+              (checked, errors) Mlc_fuzz.Fuzz_oracle.configs)
+          (0, 0) Mlc_kernels.Registry.short_names
+      else
+        match kernel with
+        | None ->
+          Printf.eprintf "check: either --kernel or --all is required\n";
+          exit 2
+        | Some kernel ->
+          let label = Printf.sprintf "%s/%s" kernel flow_name in
+          (1, check_one ~label kernel n m k flags)
+    in
+    if errors = 0 then
+      Printf.printf "lint: %d kernel/config combination%s clean\n" checked
+        (if checked = 1 then "" else "s")
+    else begin
+      Printf.printf "lint: %d error finding%s across %d combination%s\n" errors
+        (if errors = 1 then "" else "s")
+        checked
+        (if checked = 1 then "" else "s");
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Compile a kernel and run the machine-code sanitizer (CFG + \
+          dataflow Snitch-contract checks) over the emitted instruction \
+          stream, reporting every finding.")
+    Term.(
+      const run $ opt_kernel_arg $ all_arg $ n_arg $ m_arg $ k_arg $ flow_arg)
 
 let print_metrics (spec : Mlc_kernels.Builders.spec) (r : Mlc.Runner.run_result) =
   let m = r.Mlc.Runner.metrics in
@@ -378,6 +456,7 @@ let main =
       list_cmd;
       compile_cmd;
       compile_ir_cmd;
+      check_cmd;
       run_cmd;
       ablate_cmd;
       lowlevel_cmd;

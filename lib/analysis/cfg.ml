@@ -1,0 +1,169 @@
+(* CFG construction for the machine-code linter (flat, per emitted
+   function) plus the structured pre-order linearisation shared with the
+   register-allocation checker. See cfg.mli for the model. *)
+
+open Mlc_sim
+
+type func = { fname : string; entry : int; last : int }
+
+type block = {
+  id : int;
+  first : int;
+  last : int;
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  program : Program.t;
+  func : func;
+  blocks : block array;
+  freps : (int * int) list;
+  escapes : (int * int) list;
+}
+
+let functions (p : Program.t) : func list =
+  let n = Array.length p.Program.insns in
+  let entries =
+    Hashtbl.fold
+      (fun name pc acc ->
+        if String.length name > 0 && name.[0] <> '.' then (name, pc) :: acc
+        else acc)
+      p.Program.labels []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  match entries with
+  | [] -> if n = 0 then [] else [ { fname = "<program>"; entry = 0; last = n - 1 } ]
+  | _ ->
+    let rec go = function
+      | (name, pc) :: ((_, next) :: _ as rest) ->
+        { fname = name; entry = pc; last = next - 1 } :: go rest
+      | [ (name, pc) ] -> [ { fname = name; entry = pc; last = n - 1 } ]
+      | [] -> []
+    in
+    (* Two labels on the same pc produce an empty alias function; drop it. *)
+    List.filter (fun f -> f.entry <= f.last) (go entries)
+
+let build (p : Program.t) (func : func) : t =
+  let insns = p.Program.insns in
+  let in_range pc = pc >= func.entry && pc <= func.last in
+  (* Leaders: the entry, every branch/jump target, every pc after a
+     control-flow instruction. *)
+  let leaders = Hashtbl.create 32 in
+  Hashtbl.replace leaders func.entry ();
+  let freps = ref [] and escapes = ref [] in
+  let note_target pc t =
+    if in_range t then Hashtbl.replace leaders t ()
+    else escapes := (pc, t) :: !escapes
+  in
+  let note_next pc = if pc + 1 <= func.last then Hashtbl.replace leaders (pc + 1) () in
+  for pc = func.entry to func.last do
+    match insns.(pc) with
+    | Insn.Branch (_, _, _, t) ->
+      note_target pc t;
+      note_next pc
+    | Insn.J t ->
+      note_target pc t;
+      note_next pc
+    | Insn.Ret -> note_next pc
+    | Insn.Frep_o (_, len) -> freps := (pc, len) :: !freps
+    | _ -> ()
+  done;
+  let leader_pcs =
+    Hashtbl.fold (fun pc () acc -> pc :: acc) leaders [] |> List.sort compare
+  in
+  let firsts = Array.of_list leader_pcs in
+  let nb = Array.length firsts in
+  let blocks =
+    Array.init nb (fun i ->
+        {
+          id = i;
+          first = firsts.(i);
+          last = (if i + 1 < nb then firsts.(i + 1) - 1 else func.last);
+          succs = [];
+          preds = [];
+        })
+  in
+  let id_of_first = Hashtbl.create nb in
+  Array.iter (fun b -> Hashtbl.replace id_of_first b.first b.id) blocks;
+  Array.iter
+    (fun b ->
+      let succ_pcs =
+        match insns.(b.last) with
+        | Insn.Branch (_, _, _, t) ->
+          (if in_range t then [ t ] else [])
+          @ (if b.last + 1 <= func.last then [ b.last + 1 ] else [])
+        | Insn.J t -> if in_range t then [ t ] else []
+        | Insn.Ret -> []
+        | _ -> if b.last + 1 <= func.last then [ b.last + 1 ] else []
+      in
+      b.succs <-
+        List.sort_uniq compare
+          (List.map (fun pc -> Hashtbl.find id_of_first pc) succ_pcs))
+    blocks;
+  Array.iter
+    (fun b -> List.iter (fun s -> blocks.(s).preds <- b.id :: blocks.(s).preds) b.succs)
+    blocks;
+  Array.iter (fun b -> b.preds <- List.sort_uniq compare b.preds) blocks;
+  {
+    program = p;
+    func;
+    blocks;
+    freps = List.rev !freps;
+    escapes = List.rev !escapes;
+  }
+
+let block_at t pc =
+  if pc < t.func.entry || pc > t.func.last then
+    invalid_arg "Cfg.block_at: pc outside function";
+  (* Binary search over block start pcs. *)
+  let lo = ref 0 and hi = ref (Array.length t.blocks - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.blocks.(mid).first <= pc then lo := mid else hi := mid - 1
+  done;
+  t.blocks.(!lo)
+
+let is_branch_target t pc =
+  let b = block_at t pc in
+  b.first = pc
+  && List.exists
+       (fun p ->
+         let pb = t.blocks.(p) in
+         match t.program.Program.insns.(pb.last) with
+         | Insn.Branch (_, _, _, tgt) | Insn.J tgt -> tgt = pc
+         | _ -> false)
+       b.preds
+
+(* --- structured linearisation (shared with Mlc_regalloc.Check) --- *)
+
+open Mlc_ir
+
+type linear = {
+  op_pos : (int, int) Hashtbl.t;
+  loop_extent : (int, int * int) Hashtbl.t;
+}
+
+let linearize (region : Ir.region) : linear =
+  let op_pos = Hashtbl.create 128 in
+  let loop_extent = Hashtbl.create 16 in
+  let next = ref 1 in
+  let rec walk_block (b : Ir.block) =
+    Ir.Block.iter_ops b (fun op ->
+        let start = !next in
+        incr next;
+        Hashtbl.replace op_pos (Ir.Op.id op) start;
+        List.iter
+          (fun (r : Ir.region) -> List.iter walk_block (Ir.Region.blocks r))
+          (Ir.Op.regions op);
+        if Ir.Op.regions op <> [] then begin
+          Hashtbl.replace loop_extent (Ir.Op.id op) (start, !next);
+          incr next
+        end)
+  in
+  List.iter walk_block (Ir.Region.blocks region);
+  { op_pos; loop_extent }
+
+let is_structured_loop op =
+  let open Mlc_riscv in
+  Ir.Op.name op = Rv_scf.for_op || Ir.Op.name op = Rv_snitch.frep_outer_op

@@ -1,0 +1,68 @@
+(** Control-flow structure for the machine-code linter, at two levels:
+
+    - a flat CFG over a pre-decoded {!Mlc_sim.Program.t} (basic blocks
+      with successor/predecessor edges, one per emitted function), the
+      representation every dataflow analysis in {!Dataflow} runs on;
+    - the pre-order linearisation of a *structured* [rv_func.func] body
+      (positions and loop extents), shared with the register-allocation
+      checker so both verifiers agree on what "program point" means.
+
+    FREP bodies are straight-line by construction (a branch inside one
+    is flagged by the linter) and are kept inside their enclosing block;
+    the hardware loop they form is exposed through {!t.freps}. The
+    repetition does not need a CFG back edge: a body is FPU-only, so
+    replaying it cannot change any dataflow fact a second time that it
+    did not already establish on the first replay. *)
+
+(** One emitted function: the half-open label scan of the program — a
+    non-local label (no leading ['.']) starts a function that extends to
+    the instruction before the next one (or the program end). A program
+    without any such label is treated as a single anonymous function. *)
+type func = { fname : string; entry : int; last : int }
+
+type block = {
+  id : int;
+  first : int;  (** first pc of the block *)
+  last : int;  (** last pc of the block (inclusive) *)
+  mutable succs : int list;  (** successor block ids *)
+  mutable preds : int list;  (** predecessor block ids *)
+}
+
+type t = {
+  program : Mlc_sim.Program.t;
+  func : func;
+  blocks : block array;  (** in ascending pc order; [blocks.(0)] is entry *)
+  freps : (int * int) list;  (** (frep.o pc, body length), ascending pc *)
+  escapes : (int * int) list;
+      (** (branch pc, target pc) of control transfers leaving the
+          function's pc range — always a linter finding *)
+}
+
+val functions : Mlc_sim.Program.t -> func list
+val build : Mlc_sim.Program.t -> func -> t
+
+(** The block containing [pc]; raises [Invalid_argument] outside the
+    function's range. *)
+val block_at : t -> int -> block
+
+(** Is [pc] the target of some branch or jump of this function? *)
+val is_branch_target : t -> int -> bool
+
+(** {1 Structured linearisation}
+
+    The pre-order walk shared by the allocator's independent live-range
+    checker: every op gets a position; an op with regions additionally
+    owns the extent [(start, end_)] spanning its nested ops plus one
+    trailing back-edge position. *)
+
+type linear = {
+  op_pos : (int, int) Hashtbl.t;  (** op id -> pre-order position *)
+  loop_extent : (int, int * int) Hashtbl.t;
+      (** region-holding op id -> (start, end) *)
+}
+
+val linearize : Mlc_ir.Ir.region -> linear
+
+(** Is this op one of the backend's structured loops
+    ([rv_scf.for] / [rv_snitch.frep_outer])? *)
+val is_structured_loop : Mlc_ir.Ir.op -> bool

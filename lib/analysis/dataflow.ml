@@ -1,0 +1,142 @@
+(* The generic worklist dataflow solver the linter's analyses run on.
+   Blocks are processed in layout order (reverse layout for backward
+   problems) until no block's input changes; FREP bodies need no special
+   handling (see cfg.mli). *)
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+end
+
+module Solver (D : DOMAIN) = struct
+  type result = { dir : direction; block_in : D.t array }
+
+  (* Push a value across a whole block in execution order. *)
+  let through_block ~dir ~transfer (b : Cfg.block) v =
+    let acc = ref v in
+    (match dir with
+    | Forward -> for pc = b.first to b.last do acc := transfer pc !acc done
+    | Backward -> for pc = b.last downto b.first do acc := transfer pc !acc done);
+    !acc
+
+  let solve ~dir ~init ~boundary ~join ~transfer (cfg : Cfg.t) =
+    let blocks = cfg.Cfg.blocks in
+    let n = Array.length blocks in
+    let block_in = Array.make n init in
+    let block_out = Array.make n init in
+    let is_boundary (b : Cfg.block) =
+      match dir with
+      | Forward -> b.Cfg.first = cfg.Cfg.func.Cfg.entry
+      | Backward -> b.Cfg.succs = []
+    in
+    let order =
+      Array.init n (fun i -> match dir with Forward -> i | Backward -> n - 1 - i)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun i ->
+          let b = blocks.(i) in
+          let preds =
+            match dir with Forward -> b.Cfg.preds | Backward -> b.Cfg.succs
+          in
+          let inv =
+            List.fold_left
+              (fun acc p -> join acc block_out.(p))
+              (if is_boundary b then boundary else init)
+              preds
+          in
+          if not (D.equal inv block_in.(i)) then begin
+            block_in.(i) <- inv;
+            changed := true
+          end;
+          let outv = through_block ~dir ~transfer b block_in.(i) in
+          if not (D.equal outv block_out.(i)) then begin
+            block_out.(i) <- outv;
+            changed := true
+          end)
+        order
+    done;
+    { dir; block_in }
+
+  let iter r ~transfer (cfg : Cfg.t) f =
+    Array.iteri
+      (fun i (b : Cfg.block) ->
+        match r.dir with
+        | Forward ->
+          let acc = ref r.block_in.(i) in
+          for pc = b.Cfg.first to b.Cfg.last do
+            f pc !acc;
+            acc := transfer pc !acc
+          done
+        | Backward ->
+          let acc = ref r.block_in.(i) in
+          for pc = b.Cfg.last downto b.Cfg.first do
+            f pc !acc;
+            acc := transfer pc !acc
+          done)
+      cfg.Cfg.blocks
+
+  let at r ~transfer (cfg : Cfg.t) pc =
+    let b = Cfg.block_at cfg pc in
+    let acc = ref r.block_in.(b.Cfg.id) in
+    (match r.dir with
+    | Forward ->
+      for q = b.Cfg.first to pc - 1 do
+        acc := transfer q !acc
+      done
+    | Backward ->
+      for q = b.Cfg.last downto pc + 1 do
+        acc := transfer q !acc
+      done);
+    !acc
+end
+
+module Regset = struct
+  type t = { ints : int; fps : int }
+
+  let empty = { ints = 0; fps = 0 }
+  let full = { ints = -1; fps = -1 }
+  let equal a b = a.ints = b.ints && a.fps = b.fps
+  let union a b = { ints = a.ints lor b.ints; fps = a.fps lor b.fps }
+  let inter a b = { ints = a.ints land b.ints; fps = a.fps land b.fps }
+  let add_int r s = { s with ints = s.ints lor (1 lsl r) }
+  let add_fp r s = { s with fps = s.fps lor (1 lsl r) }
+  let mem_int r s = s.ints land (1 lsl r) <> 0
+  let mem_fp r s = s.fps land (1 lsl r) <> 0
+
+  let of_lists ~ints ~fps =
+    List.fold_left (fun s r -> add_fp r s) (List.fold_left (fun s r -> add_int r s) empty ints) fps
+end
+
+module Live = Solver (Regset)
+
+let liveness (cfg : Cfg.t) =
+  let insns = cfg.Cfg.program.Mlc_sim.Program.insns in
+  let transfer pc (v : Regset.t) =
+    (* Backward: live-before = (live-after \ defs) ∪ uses. *)
+    let int_srcs, fp_srcs, int_dst, fp_dst = Mlc_sim.Insn.deps insns.(pc) in
+    let v =
+      match int_dst with
+      | Some r -> { v with Regset.ints = v.Regset.ints land lnot (1 lsl r) }
+      | None -> v
+    in
+    let v =
+      match fp_dst with
+      | Some r -> { v with Regset.fps = v.Regset.fps land lnot (1 lsl r) }
+      | None -> v
+    in
+    let v = List.fold_left (fun s r -> Regset.add_int r s) v int_srcs in
+    List.fold_left (fun s r -> Regset.add_fp r s) v fp_srcs
+  in
+  let r =
+    Live.solve ~dir:Backward ~init:Regset.empty ~boundary:Regset.empty
+      ~join:Regset.union ~transfer cfg
+  in
+  (* [iter]/[at] on a backward result deliver the value *after* the pc;
+     liveness conventionally reports live-in, so push one more step. *)
+  fun pc -> transfer pc (Live.at r ~transfer cfg pc)

@@ -1,0 +1,62 @@
+(** A generic iterative forward/backward dataflow solver over {!Cfg.t},
+    plus the register-set lattice and a liveness instance. The linter's
+    checks (definite assignment, SSR discipline, ABI preservation) are
+    instantiations in {!Lint}. *)
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+end
+
+module Solver (D : DOMAIN) : sig
+  type result
+
+  (** Solve to a fixpoint. [init] is the optimistic starting value for
+      every block boundary (bottom of the join lattice: the empty set
+      for may-analyses, the full set for must-analyses); [boundary] is
+      the value holding at the function entry (Forward) or at every
+      exit block (Backward); [transfer pc v] pushes the value across
+      one instruction. *)
+  val solve :
+    dir:direction ->
+    init:D.t ->
+    boundary:D.t ->
+    join:(D.t -> D.t -> D.t) ->
+    transfer:(int -> D.t -> D.t) ->
+    Cfg.t ->
+    result
+
+  (** Visit every pc of the function with the solved per-pc value: the
+      value holding {e before} the instruction executes (Forward) or
+      the value holding {e after} it (Backward, i.e. its live-out-style
+      fact). Blocks are visited in layout order. *)
+  val iter :
+    result -> transfer:(int -> D.t -> D.t) -> Cfg.t -> (int -> D.t -> unit) -> unit
+
+  (** The per-pc value (as delivered by {!iter}) at one pc. *)
+  val at : result -> transfer:(int -> D.t -> D.t) -> Cfg.t -> int -> D.t
+end
+
+(** Sets of hardware registers (int + FP), as a pair of 32-bit masks. *)
+module Regset : sig
+  type t = { ints : int; fps : int }
+
+  val empty : t
+  val full : t
+  val equal : t -> t -> bool
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val add_int : int -> t -> t
+  val add_fp : int -> t -> t
+  val mem_int : int -> t -> bool
+  val mem_fp : int -> t -> bool
+  val of_lists : ints:int list -> fps:int list -> t
+end
+
+(** Backward may-liveness over {!Insn.deps}: [liveness cfg pc] is the
+    set of registers live {e into} pc (read at or after pc on some path
+    before being overwritten). *)
+val liveness : Cfg.t -> int -> Regset.t

@@ -1,0 +1,516 @@
+(* The machine-code sanitizer. See lint.mli for the contract of each
+   check class and DESIGN.md ("Static analysis") for the framework.
+
+   All analyses run per emitted function on the flat CFG. Severities
+   follow the trap model: a finding is an Error only when it is a
+   genuine contract violation (and, for the classes in [trap_classes],
+   predicts a runtime trap on some path); conditions the hardware
+   tolerates silently (returning with streaming enabled, underrunning a
+   stream pattern, a width write that cannot take effect) are
+   warnings. *)
+
+open Mlc_sim
+module D = Mlc_diag.Diag
+module R = Dataflow.Regset
+
+let cls_cfg = "cfg"
+let cls_rbw = "read-before-write"
+let cls_ssr = "ssr-discipline"
+let cls_frep = "frep-legality"
+let cls_abi = "abi-preservation"
+let cls_balance = "stream-balance"
+let trap_classes = [ cls_ssr; cls_frep; cls_balance ]
+
+(* FP source operands served by the SSR streams: every [fetch_f] the
+   machine performs, with multiplicity. The packed accumulator of
+   vfmac.s/vfsum.s is read from the register file directly (a streaming
+   accumulator would be ill-formed), so it is excluded here even though
+   it is an architectural source in [Insn.deps]. *)
+let fp_stream_srcs = function
+  | Insn.Vfmac (_, fs1, fs2) -> [ fs1; fs2 ]
+  | Insn.Vfsum (_, fs) -> [ fs ]
+  | i ->
+    let _, fps, _, _ = Insn.deps i in
+    fps
+
+let ssr_csr = 0x7c0
+
+(* --- SSR discipline dataflow ---
+
+   Forward analysis; the facts are small bitsets so joins are [lor]:
+   [en]: 1 = may be disabled, 2 = may be enabled;
+   [dm*]: 1 = may be unarmed, 2 = may be armed to read, 4 = to write.
+   [None] marks not-yet-reached program points. Arming state is reset
+   at ssr_disable: a stale stream object does survive a disable in
+   hardware, but the backend always re-arms every stream a region uses,
+   and resetting keeps re-configuration of a second region (width after
+   a previous region's arm) from being misread as out of order. *)
+
+type ssr_facts = { en : int; dm0 : int; dm1 : int; dm2 : int }
+
+let get_dm s = function 0 -> s.dm0 | 1 -> s.dm1 | _ -> s.dm2
+
+let set_dm s dm v =
+  match dm with
+  | 0 -> { s with dm0 = v }
+  | 1 -> { s with dm1 = v }
+  | _ -> { s with dm2 = v }
+
+module Ssr_dom = struct
+  type t = ssr_facts option
+
+  let equal = ( = )
+
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b ->
+      Some
+        {
+          en = a.en lor b.en;
+          dm0 = a.dm0 lor b.dm0;
+          dm1 = a.dm1 lor b.dm1;
+          dm2 = a.dm2 lor b.dm2;
+        }
+end
+
+module Ssr_solver = Dataflow.Solver (Ssr_dom)
+module Reg_solver = Dataflow.Solver (Dataflow.Regset)
+
+let ssr_transfer insns pc = function
+  | None -> None
+  | Some s ->
+    Some
+      (match insns.(pc) with
+      | Insn.Csrsi (csr, _) when csr = ssr_csr -> { s with en = 2 }
+      | Insn.Csrci (csr, _) when csr = ssr_csr ->
+        { en = 1; dm0 = 1; dm1 = 1; dm2 = 1 }
+      | Insn.Scfgwi (_, imm) ->
+        let slot = imm / 8 and dm = imm mod 8 in
+        if dm < 0 || dm > 2 then s
+        else if slot >= 24 && slot < 28 then set_dm s dm 2
+        else if slot >= 28 && slot < 32 then set_dm s dm 4
+        else s
+      | _ -> s)
+
+(* --- stream balance ---
+
+   A single linear scan per function with a local constant model over
+   the integer registers (reset at every branch target, since values
+   merging there may differ). The scan mirrors the machine's SSR
+   configuration model: slot writes update per-mover config, a pointer
+   write arms the mover with a snapshot of that config, and the armed
+   capacity is prod(bounds+1) x (repeat+1) for reads (writes ignore the
+   repeat: the odometer bumps on every push). A region whose control
+   flow or trip counts the scan cannot resolve statically is abandoned
+   without findings. *)
+
+let eval_alu (op : Insn.alu) a b =
+  match op with
+  | Insn.Add -> Some (Int64.add a b)
+  | Insn.Sub -> Some (Int64.sub a b)
+  | Insn.Mul -> Some (Int64.mul a b)
+  | Insn.Div -> if b = 0L then None else Some (Int64.div a b)
+  | Insn.And -> Some (Int64.logand a b)
+  | Insn.Or -> Some (Int64.logor a b)
+  | Insn.Xor -> Some (Int64.logxor a b)
+  | Insn.Slt -> Some (if Int64.compare a b < 0 then 1L else 0L)
+  | Insn.Sll -> Some (Int64.shift_left a (Int64.to_int b land 63))
+  | Insn.Sra -> Some (Int64.shift_right a (Int64.to_int b land 63))
+
+type dm_model = {
+  bounds : int64 option array; (* 4 slots, value as written (count - 1) *)
+  mutable repeat : int64 option;
+  mutable armed : (bool * int64 option) option; (* is_write, capacity *)
+}
+
+let balance_scan ~report (cfg : Cfg.t) =
+  let func = cfg.Cfg.func in
+  let insns = cfg.Cfg.program.Program.insns in
+  let consts = Array.make 32 None in
+  let reset_consts () =
+    Array.fill consts 0 32 None;
+    consts.(0) <- Some 0L
+  in
+  reset_consts ();
+  let set_const rd v = if rd <> 0 then consts.(rd) <- v in
+  (* Fresh config matches the machine's reset state. *)
+  let model =
+    Array.init 3 (fun _ ->
+        { bounds = Array.make 4 (Some 0L); repeat = Some 0L; armed = None })
+  in
+  let in_region = ref false and abandoned = ref false in
+  let snapshot = Array.make 3 None in
+  let reads = Array.make 3 0 and writes = Array.make 3 0 in
+  let count_insn mult i =
+    List.iter
+      (fun r -> if r < 3 then reads.(r) <- reads.(r) + mult)
+      (fp_stream_srcs i);
+    match Insn.deps i with
+    | _, _, _, Some r when r < 3 -> writes.(r) <- writes.(r) + mult
+    | _ -> ()
+  in
+  let close_region pc =
+    if !in_region && not !abandoned then
+      for dm = 0 to 2 do
+        match snapshot.(dm) with
+        | Some (is_write, Some capacity) ->
+          let used = if is_write then writes.(dm) else reads.(dm) in
+          let word = if is_write then "writes" else "reads" in
+          let used64 = Int64.of_int used in
+          if Int64.compare used64 capacity > 0 then
+            report ?severity:None ~cls:cls_balance pc
+              (Printf.sprintf
+                 "stream ft%d overruns its configured pattern: %d %s of %Ld \
+                  elements"
+                 dm used word capacity)
+          else if Int64.compare used64 capacity < 0 then
+            report ?severity:(Some D.Warning) ~cls:cls_balance pc
+              (Printf.sprintf
+                 "stream ft%d underruns its configured pattern: %d %s of %Ld \
+                  elements"
+                 dm used word capacity)
+        | _ -> ()
+      done;
+    in_region := false
+  in
+  let pc = ref func.Cfg.entry in
+  while !pc <= func.Cfg.last do
+    if Cfg.is_branch_target cfg !pc then begin
+      reset_consts ();
+      if !in_region then abandoned := true
+    end;
+    (match insns.(!pc) with
+    | Insn.Li (rd, v) -> set_const rd (Some v)
+    | Insn.Mv (rd, rs) -> set_const rd consts.(rs)
+    | Insn.Alui (op, rd, rs, imm) ->
+      set_const rd (Option.bind consts.(rs) (fun a -> eval_alu op a imm))
+    | Insn.Alu (op, rd, rs1, rs2) ->
+      set_const rd
+        (match (consts.(rs1), consts.(rs2)) with
+        | Some a, Some b -> eval_alu op a b
+        | _ -> None)
+    | Insn.Scfgwi (rs, imm) ->
+      let slot = imm / 8 and dm = imm mod 8 in
+      if dm >= 0 && dm <= 2 then begin
+        let m = model.(dm) in
+        if slot >= 2 && slot <= 5 then m.bounds.(slot - 2) <- consts.(rs)
+        else if slot = 1 then m.repeat <- consts.(rs)
+        else if slot = 10 then begin
+          match consts.(rs) with
+          | Some v when v <> 4L && v <> 8L ->
+            report ?severity:None ~cls:cls_ssr !pc
+              (Printf.sprintf "scfgwi: element width must be 4 or 8, got %Ld" v)
+          | _ -> ()
+        end
+        else if slot >= 24 && slot < 32 then begin
+          let is_write = slot >= 28 in
+          let dims = (if is_write then slot - 28 else slot - 24) + 1 in
+          let capacity =
+            let rec prod d acc =
+              if d >= dims then acc
+              else
+                match (acc, m.bounds.(d)) with
+                | Some acc, Some b -> prod (d + 1) (Some (Int64.mul acc (Int64.add b 1L)))
+                | _ -> None
+            in
+            match (prod 0 (Some 1L), m.repeat) with
+            | Some p, Some rep when not is_write ->
+              (* Reads serve each element repeat+1 times. *)
+              Some (Int64.mul p (Int64.add rep 1L))
+            | Some p, _ when is_write -> Some p
+            | _ -> None
+          in
+          m.armed <- Some (is_write, capacity)
+        end
+      end
+    | Insn.Csrsi (csr, _) when csr = ssr_csr ->
+      in_region := true;
+      abandoned := false;
+      for dm = 0 to 2 do
+        snapshot.(dm) <- model.(dm).armed;
+        reads.(dm) <- 0;
+        writes.(dm) <- 0
+      done
+    | Insn.Csrci (csr, _) when csr = ssr_csr -> close_region !pc
+    | Insn.Branch _ | Insn.J _ ->
+      if !in_region then abandoned := true;
+      (match insns.(!pc) with Insn.J _ -> reset_consts () | _ -> ())
+    | Insn.Ret ->
+      if !in_region then abandoned := true;
+      in_region := false;
+      reset_consts ()
+    | Insn.Frep_o (rs, len) ->
+      (let iters = Option.map (fun v -> Int64.to_int v + 1) consts.(rs) in
+       (match iters with
+       | Some k when k <= 0 ->
+         report ?severity:None ~cls:cls_frep !pc
+           (Printf.sprintf "frep with non-positive iteration count (%d)" k)
+       | _ -> ());
+       if !in_region then begin
+         match iters with
+         | Some k when k > 0 && !pc + len <= func.Cfg.last ->
+           for b = !pc + 1 to !pc + len do
+             if Insn.is_fpu insns.(b) then count_insn k insns.(b)
+             else abandoned := true (* flagged by frep-legality *)
+           done
+         | _ -> abandoned := true
+       end);
+      (* Skip the body: its accesses are accounted above. *)
+      pc := !pc + len
+    | i ->
+      (match Insn.deps i with
+      | _, _, Some rd, _ -> set_const rd None
+      | _ -> ());
+      if !in_region then count_insn 1 i);
+    incr pc
+  done;
+  (* A region left open at the function end was abandoned (warned as
+     returns-while-streaming / fallthrough by the other checks). *)
+  ()
+
+(* --- per-function checking --- *)
+
+let check_function (p : Program.t) (func : Cfg.func) : (int * D.t) list =
+  let insns = p.Program.insns in
+  let cfg = Cfg.build p func in
+  let out = ref [] in
+  let report ?(severity = D.Error) ~cls pc fmt =
+    Printf.ksprintf
+      (fun message ->
+        out :=
+          ( pc,
+            D.make ~severity ~component:"lint" ~pass:cls
+              ~op:(Printf.sprintf "pc %d: %s" pc (Asm_parse.render insns.(pc)))
+              message )
+          :: !out)
+      fmt
+  in
+  let n_pcs = func.Cfg.last - func.Cfg.entry + 1 in
+  let rel pc = pc - func.Cfg.entry in
+
+  (* cfg: control transfers leaving the function; falling off its end. *)
+  List.iter
+    (fun (pc, t) ->
+      report ~cls:cls_cfg pc
+        "control transfer to pc %d, outside function %s [%d, %d]" t
+        func.Cfg.fname func.Cfg.entry func.Cfg.last)
+    cfg.Cfg.escapes;
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if b.Cfg.last = func.Cfg.last then
+        match insns.(b.Cfg.last) with
+        | Insn.Ret | Insn.J _ -> ()
+        | Insn.Branch _ | _ ->
+          report ~severity:D.Warning ~cls:cls_cfg b.Cfg.last
+            "control flow can fall through the end of function %s"
+            func.Cfg.fname)
+    cfg.Cfg.blocks;
+
+  (* Solve SSR discipline facts and cache the per-pc in-state. *)
+  let ssr_tf = ssr_transfer insns in
+  let ssr_res =
+    Ssr_solver.solve ~dir:Dataflow.Forward ~init:None
+      ~boundary:(Some { en = 1; dm0 = 1; dm1 = 1; dm2 = 1 })
+      ~join:Ssr_dom.join ~transfer:ssr_tf cfg
+  in
+  let ssr_in = Array.make n_pcs None in
+  Ssr_solver.iter ssr_res ~transfer:ssr_tf cfg (fun pc v -> ssr_in.(rel pc) <- v);
+  let may_enabled pc =
+    match ssr_in.(rel pc) with Some s -> s.en land 2 <> 0 | None -> false
+  in
+
+  (* Definite assignment (must-defined, forward; init = full so
+     unreachable code stays silent). *)
+  let defined_tf pc v =
+    let _, _, idst, fdst = Insn.deps insns.(pc) in
+    let v = match idst with Some r -> R.add_int r v | None -> v in
+    match fdst with
+    | Some r when r < 3 && may_enabled pc -> v (* stream push, no reg def *)
+    | Some r -> R.add_fp r v
+    | None -> v
+  in
+  let defined_res =
+    Reg_solver.solve ~dir:Dataflow.Forward ~init:R.full
+      ~boundary:
+        (R.of_lists
+           ~ints:Mlc_riscv.Reg.entry_defined_int_indices
+           ~fps:Mlc_riscv.Reg.entry_defined_float_indices)
+      ~join:R.inter ~transfer:defined_tf cfg
+  in
+  let defined_in = Array.make n_pcs R.full in
+  Reg_solver.iter defined_res ~transfer:defined_tf cfg (fun pc v ->
+      defined_in.(rel pc) <- v);
+
+  (* ABI preservation (may-dirtied callee-saved registers, forward). *)
+  let preserved =
+    R.of_lists ~ints:Mlc_riscv.Reg.preserved_int_indices
+      ~fps:Mlc_riscv.Reg.preserved_float_indices
+  in
+  let dirty_tf pc v =
+    let _, _, idst, fdst = Insn.deps insns.(pc) in
+    let v =
+      match idst with
+      | Some r when R.mem_int r preserved -> R.add_int r v
+      | _ -> v
+    in
+    match fdst with
+    | Some r when R.mem_fp r preserved -> R.add_fp r v
+    | _ -> v
+  in
+  let dirty_res =
+    Reg_solver.solve ~dir:Dataflow.Forward ~init:R.empty ~boundary:R.empty
+      ~join:R.union ~transfer:dirty_tf cfg
+  in
+
+  (* The per-pc check walk: SSR discipline + read-before-write + ABI. *)
+  for pc = func.Cfg.entry to func.Cfg.last do
+    match ssr_in.(rel pc) with
+    | None -> () (* unreachable *)
+    | Some s -> (
+      let insn = insns.(pc) in
+      let enabled = s.en land 2 <> 0 in
+      (match insn with
+      | Insn.Scfgwi (_, imm) ->
+        let slot = imm / 8 and dm = imm mod 8 in
+        if enabled then
+          report ~cls:cls_ssr pc "scfgwi while streaming is enabled"
+        else if dm < 0 || dm > 2 then
+          report ~cls:cls_ssr pc "scfgwi: bad data mover %d" dm
+        else if not ((slot >= 1 && slot <= 10) || (slot >= 24 && slot < 32))
+        then report ~cls:cls_ssr pc "scfgwi: bad slot %d" slot
+        else if slot = 10 && get_dm s dm land 6 <> 0 then
+          report ~severity:D.Warning ~cls:cls_ssr pc
+            "scfgwi: element width for data mover %d written after the \
+             stream was armed (takes effect only at the next arm)"
+            dm
+      | Insn.Ret ->
+        if enabled then
+          report ~severity:D.Warning ~cls:cls_ssr pc
+            "function returns with streaming still enabled"
+      | _ -> ());
+      (* Stream accesses of ft0-ft2 while streaming may be enabled. *)
+      if enabled then begin
+        List.iter
+          (fun r ->
+            if r < 3 then begin
+              let a = get_dm s r in
+              if a land 1 <> 0 then
+                report ~cls:cls_ssr pc "ft%d: read from an unconfigured stream" r
+              else if a land 4 <> 0 then
+                report ~cls:cls_ssr pc "ft%d: reading from a write stream" r
+            end)
+          (List.sort_uniq compare (fp_stream_srcs insn));
+        match Insn.deps insn with
+        | _, _, _, Some r when r < 3 ->
+          let a = get_dm s r in
+          if a land 1 <> 0 then
+            report ~cls:cls_ssr pc "ft%d: write to an unconfigured stream" r
+          else if a land 2 <> 0 then
+            report ~cls:cls_ssr pc "ft%d: writing to a read stream" r
+        | _ -> ()
+      end;
+      (* Read-before-write (the frep.o repetition register is checked by
+         the frep-legality class instead). *)
+      (match insn with
+      | Insn.Frep_o _ -> ()
+      | _ ->
+        let int_srcs, fp_srcs, _, _ = Insn.deps insn in
+        let defined = defined_in.(rel pc) in
+        List.iter
+          (fun r ->
+            if not (R.mem_int r defined) then
+              report ~cls:cls_rbw pc
+                "register %s may be read before it is written"
+                (Mlc_riscv.Reg.int_name_of_index r))
+          (List.sort_uniq compare int_srcs);
+        List.iter
+          (fun r ->
+            if not (r < 3 && enabled) && not (R.mem_fp r defined) then
+              report ~cls:cls_rbw pc
+                "register %s may be read before it is written"
+                (Mlc_riscv.Reg.float_name_of_index r))
+          (List.sort_uniq compare fp_srcs));
+      (* ABI preservation at returns. *)
+      match insn with
+      | Insn.Ret ->
+        let dirty =
+          R.inter (Reg_solver.at dirty_res ~transfer:dirty_tf cfg pc) preserved
+        in
+        let name_bits mask name_of =
+          List.filter_map
+            (fun i -> if mask land (1 lsl i) <> 0 then Some (name_of i) else None)
+            (List.init 32 Fun.id)
+        in
+        let clobbered =
+          name_bits dirty.R.ints Mlc_riscv.Reg.int_name_of_index
+          @ name_bits dirty.R.fps Mlc_riscv.Reg.float_name_of_index
+        in
+        if clobbered <> [] then
+          report ~cls:cls_abi pc
+            "callee-saved register%s %s clobbered on a path to this return \
+             (the backend never saves/restores)"
+            (if List.length clobbered > 1 then "s" else "")
+            (String.concat ", " clobbered)
+      | _ -> ())
+  done;
+
+  (* FREP legality. *)
+  List.iter
+    (fun (pc, len) ->
+      if pc + len > func.Cfg.last then
+        report ~cls:cls_frep pc "frep body runs past the end of the function"
+      else begin
+        if len = 0 then
+          report ~severity:D.Warning ~cls:cls_frep pc "frep with an empty body";
+        for b = pc + 1 to pc + len do
+          if not (Insn.is_fpu insns.(b)) then
+            report ~cls:cls_frep pc
+              "frep body contains a non-FPU instruction: %s"
+              (Asm_parse.render insns.(b))
+        done
+      end;
+      match (insns.(pc), ssr_in.(rel pc)) with
+      | Insn.Frep_o (rs, _), Some _ ->
+        if not (R.mem_int rs defined_in.(rel pc)) then
+          report ~cls:cls_frep pc
+            "frep repetition register %s may be read before it is written"
+            (Mlc_riscv.Reg.int_name_of_index rs)
+      | _ -> ())
+    cfg.Cfg.freps;
+  for pc = func.Cfg.entry to func.Cfg.last do
+    match insns.(pc) with
+    | Insn.Branch (_, _, _, t) | Insn.J t ->
+      List.iter
+        (fun (fpc, len) ->
+          if t > fpc && t <= fpc + len && not (pc > fpc && pc <= fpc + len) then
+            report ~cls:cls_frep pc "branch into an FREP body (target pc %d)" t)
+        cfg.Cfg.freps
+    | _ -> ()
+  done;
+
+  (* Stream balance: a linear scan with a local constant model, checking
+     statically countable regions. *)
+  balance_scan
+    ~report:(fun ?severity ~cls pc msg ->
+      match severity with
+      | Some sev -> report ~severity:sev ~cls pc "%s" msg
+      | None -> report ~cls pc "%s" msg)
+    cfg;
+
+  List.rev !out
+
+let check_program (p : Program.t) : D.t list =
+  Cfg.functions p
+  |> List.concat_map (fun f -> check_function p f)
+  |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let check_module m = check_program (Mlc_riscv.Insn_emit.emit_module m)
+let errors ds = List.filter (fun d -> d.D.severity = D.Error) ds
+
+let error_of ds =
+  match errors ds with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun d e -> D.add_note d (D.summary e)) first rest)

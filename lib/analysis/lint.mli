@@ -1,0 +1,51 @@
+(** The machine-code sanitizer: Snitch-contract checks over an emitted
+    program, run after every compile. Each check is an instantiation of
+    the {!Dataflow} framework over the {!Cfg} of each emitted function;
+    findings are structured diagnostics with [component = "lint"], the
+    check class in [pass] and pc/instruction provenance in [op].
+
+    Check classes and their contracts (DESIGN.md, "Static analysis"):
+    - ["cfg"]: control transfers must stay inside the function and every
+      path must end in [ret];
+    - ["read-before-write"]: no register is read on some path before a
+      definition reaches it (must-defined forward analysis; FP reads of
+      ft0–ft2 while streaming may be enabled are stream pops, not
+      register reads, and stream pushes do not define the register);
+    - ["ssr-discipline"]: ft0–ft2 touched only between ssr_enable and
+      ssr_disable with the corresponding data mover armed in the right
+      direction; no [scfgwi] while enabled; config writes use valid
+      slots/movers; the element width is written before the arm;
+    - ["frep-legality"]: an FREP body lies inside the function, is
+      FPU-only, no branch enters it, and the repetition register is
+      defined at the [frep.o];
+    - ["abi-preservation"]: no path to a [ret] clobbers a callee-saved
+      register (the backend never saves/restores, so writing one is
+      always a bug);
+    - ["stream-balance"]: where the stream pattern and trip counts are
+      compile-time constants, the ft0–ft2 pops/pushes of a streaming
+      region match the armed capacity (overrun = error: it traps;
+      underrun = warning: elements are silently left unserved).
+
+    Differential invariant against the simulator's trap model: an error
+    of a class in {!trap_classes} predicts a [Stream_fault]/[Illegal]
+    trap on some path; a program whose run does not trap must lint clean
+    of those classes. The fuzz oracle cross-checks this on every case. *)
+
+(** Classes whose errors correspond to runtime
+    [Trap.Stream_fault]/[Trap.Illegal] faults:
+    ["ssr-discipline"], ["frep-legality"], ["stream-balance"]. *)
+val trap_classes : string list
+
+(** All findings for a pre-decoded program, in pc order. *)
+val check_program : Mlc_sim.Program.t -> Mlc_diag.Diag.t list
+
+(** Emit an allocated module through {!Mlc_riscv.Insn_emit} and check
+    the resulting program. *)
+val check_module : Mlc_ir.Ir.op -> Mlc_diag.Diag.t list
+
+(** Error-severity findings only. *)
+val errors : Mlc_diag.Diag.t list -> Mlc_diag.Diag.t list
+
+(** Aggregate the errors of a finding list into a single diagnostic
+    (first error, remaining ones as notes), or [None] when clean. *)
+val error_of : Mlc_diag.Diag.t list -> Mlc_diag.Diag.t option

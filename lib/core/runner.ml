@@ -305,6 +305,18 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
         Mlc_sim.Program.of_asm
           (Mlc_sim.Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm)
     in
+    (* Mandatory post-emission lint: an error-severity finding is a
+       diagnosed compile failure and engages the fallback lattice. *)
+    (match Mlc_analysis.Lint.error_of (Mlc_analysis.Lint.check_program program)
+     with
+    | Some d ->
+      let d =
+        match Mlc_diag.Crash_bundle.write ~ctx:bundle_ctx d with
+        | Some path -> Mlc_diag.Diag.add_note d ("crash bundle: " ^ path)
+        | None -> d
+      in
+      raise (Mlc_diag.Diag.Diagnostic d)
+    | None -> ());
     let metrics, outputs, trace_lines =
       simulate_program ~trace ~engine ~elem:spec.Builders.elem
         ~fn_name:spec.Builders.fn_name ~args:spec.Builders.args ~data program
@@ -400,6 +412,10 @@ let run_lowlevel ?(seed = 42) ?(verify_each = true) ?(sim_path = Direct)
     | Direct -> Insn_emit.emit_module m
     | Via_text -> Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm)
   in
+  (match Mlc_analysis.Lint.error_of (Mlc_analysis.Lint.check_program program)
+   with
+  | Some d -> raise (Mlc_diag.Diag.Diagnostic d)
+  | None -> ());
   let metrics, outputs, trace_lines =
     simulate_program ~engine ~elem:spec.Lowlevel.elem
       ~fn_name:spec.Lowlevel.fn_name ~args:spec.Lowlevel.args ~data program

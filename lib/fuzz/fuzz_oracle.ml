@@ -162,6 +162,16 @@ let check_config ~spec ~data ~expected ~replay (config, flags) =
         fail config "program-equal"
           "direct and print->parse programs differ"
       else begin
+        (* Lint checkpoint: compiler output must be lint-clean. Together
+           with the simulation stages below this is a differential test
+           of the linter itself: a Stream_fault/Illegal trap on a
+           lint-clean program (or a trap-class lint error on a program
+           that runs) is a linter bug. *)
+        match
+          Mlc_analysis.Lint.errors (Mlc_analysis.Lint.check_program direct)
+        with
+        | d :: _ -> fail config "lint" "%s" (Mlc_diag.Diag.summary d)
+        | [] ->
         let sim stage engine program =
           simulate config stage ~engine ~elem:spec.B.elem
             ~fn_name:spec.B.fn_name ~args:spec.B.args ~data ~expected program

@@ -37,24 +37,10 @@ type range = {
 let check_func fn =
   if Ir.Op.name fn <> Rv_func.func_op then
     invalid_arg "Check.check_func: expected rv_func.func";
-  (* Linearise. *)
-  let op_pos = Hashtbl.create 128 in
-  let loop_extent = Hashtbl.create 16 in
-  let next = ref 1 in
-  let rec walk_block (b : Ir.block) =
-    Ir.Block.iter_ops b (fun op ->
-        let start = !next in
-        incr next;
-        Hashtbl.replace op_pos (Ir.Op.id op) start;
-        List.iter
-          (fun (r : Ir.region) -> List.iter walk_block (Ir.Region.blocks r))
-          (Ir.Op.regions op);
-        if Ir.Op.regions op <> [] then begin
-          Hashtbl.replace loop_extent (Ir.Op.id op) (start, !next);
-          incr next
-        end)
-  in
-  List.iter walk_block (Ir.Region.blocks (Rv_func.body_region fn));
+  (* Linearise with the shared pre-order walk (Mlc_analysis.Cfg). *)
+  let lin = Mlc_analysis.Cfg.linearize (Rv_func.body_region fn) in
+  let op_pos = lin.Mlc_analysis.Cfg.op_pos in
+  let loop_extent = lin.Mlc_analysis.Cfg.loop_extent in
   (* Union-find for quad unification. *)
   let parent = Hashtbl.create 64 in
   let rec find x =
@@ -70,9 +56,7 @@ let check_func fn =
     let ra = find a and rb = find b in
     if ra <> rb then Hashtbl.replace parent ra rb
   in
-  let is_loop op =
-    Ir.Op.name op = Rv_scf.for_op || Ir.Op.name op = Rv_snitch.frep_outer_op
-  in
+  let is_loop = Mlc_analysis.Cfg.is_structured_loop in
   Ir.walk fn (fun op ->
       if is_loop op then begin
         let body = Ir.Region.only_block (Ir.Op.region op 0) in

@@ -54,6 +54,23 @@ let kind_of r =
   else if is_float_reg r then Float_kind
   else invalid_arg ("Reg.kind_of: unknown register " ^ r)
 
+(* Registers a function must preserve (the standard ABI's callee-saved
+   set plus ra/sp/gp/tp), as hardware indices. The backend never saves
+   or restores, so it must simply never write these — the machine-code
+   linter enforces exactly that. *)
+let preserved_int_indices =
+  [ 1; 2; 3; 4 (* ra sp gp tp *); 8; 9 (* s0 s1 *) ]
+  @ [ 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 (* s2-s11 *) ]
+
+let preserved_float_indices =
+  [ 8; 9 (* fs0 fs1 *) ] @ [ 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 (* fs2-fs11 *) ]
+
+(* Registers carrying a defined value on function entry under the run
+   harness's calling convention: zero/ra/sp/gp/tp and the argument
+   registers a0-a7 / fa0-fa7. *)
+let entry_defined_int_indices = [ 0; 1; 2; 3; 4 ] @ [ 10; 11; 12; 13; 14; 15; 16; 17 ]
+let entry_defined_float_indices = [ 10; 11; 12; 13; 14; 15; 16; 17 ]
+
 (* Hardware encoding index (x0-x31 / f0-f31), needed by the simulator. *)
 let index_of r =
   let abi_int =
@@ -80,3 +97,14 @@ let index_of r =
     match List.assoc_opt r abi_float with
     | Some i -> i
     | None -> invalid_arg ("Reg.index_of: unknown register " ^ r))
+
+(* Inverse of [index_of], for rendering hardware indices in diagnostics. *)
+let int_name_of_index i =
+  match List.find_opt (fun r -> index_of r = i) all_int_regs with
+  | Some r -> r
+  | None -> Printf.sprintf "x%d" i
+
+let float_name_of_index i =
+  match List.find_opt (fun r -> index_of r = i) all_float_regs with
+  | Some r -> r
+  | None -> Printf.sprintf "f%d" i

@@ -38,5 +38,26 @@ val is_float_reg : string -> bool
 (** Raises [Invalid_argument] on unknown names. *)
 val kind_of : string -> kind
 
+(** Registers a function must preserve (callee-saved set plus
+    ra/sp/gp/tp), as hardware indices; the backend never saves or
+    restores, so the machine-code linter requires it never writes
+    these. *)
+val preserved_int_indices : int list
+
+val preserved_float_indices : int list
+
+(** Registers carrying a defined value on function entry under the run
+    harness's calling convention (zero/ra/sp/gp/tp, a0–a7 / fa0–fa7),
+    as hardware indices. *)
+val entry_defined_int_indices : int list
+
+val entry_defined_float_indices : int list
+
 (** Hardware encoding index (x0–x31 / f0–f31). *)
 val index_of : string -> int
+
+(** Inverse of {!index_of} (ABI name of a hardware index), for
+    diagnostics; unknown indices render as ["x%d"]/["f%d"]. *)
+val int_name_of_index : int -> string
+
+val float_name_of_index : int -> string

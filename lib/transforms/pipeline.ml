@@ -168,7 +168,8 @@ type result = {
 
 (* Run the full compilation on a module holding linalg-level functions,
    in place, returning the assembly and per-function statistics. *)
-let compile ?(flags = ours) ?(verify_each = true) (m : Ir.op) : result =
+let compile ?(flags = ours) ?(verify_each = true) ?(lint = false) (m : Ir.op) :
+    result =
   Pass.run ~verify_each m (passes flags);
   let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
   let reports =
@@ -178,4 +179,8 @@ let compile ?(flags = ours) ?(verify_each = true) (m : Ir.op) : result =
   in
   if verify_each then Verifier.verify m;
   let stats = List.map (fun fn -> (Rv_func.name fn, Asm_emit.func_stats fn)) fns in
+  if lint then (
+    match Mlc_analysis.Lint.error_of (Mlc_analysis.Lint.check_module m) with
+    | Some d -> raise (Mlc_diag.Diag.Diagnostic d)
+    | None -> ());
   { asm = Asm_emit.emit_module m; reports; stats }

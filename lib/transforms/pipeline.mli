@@ -67,5 +67,8 @@ type result = {
 
 (** Run the full compilation on a module of linalg-level functions, in
     place: the pass pipeline, spill-free register allocation (with
-    rematerialisation fallback) and assembly emission. *)
-val compile : ?flags:flags -> ?verify_each:bool -> Ir.op -> result
+    rematerialisation fallback) and assembly emission. With [~lint:true]
+    the emitted instruction stream is additionally run through the
+    machine-code sanitizer ({!Mlc_analysis.Lint}); any error-severity
+    finding raises [Mlc_diag.Diag.Diagnostic]. *)
+val compile : ?flags:flags -> ?verify_each:bool -> ?lint:bool -> Ir.op -> result

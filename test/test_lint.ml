@@ -1,0 +1,443 @@
+(* Machine-code sanitizer (Mlc_analysis.Lint) suite.
+
+   Hand-constructed instruction sequences pin one diagnostic per check
+   class — including the two miscompiles the differential fuzzer found
+   and PR 2/3 fixed, re-detected here statically: an f32 stream write
+   clobbering a neighbour via a missing slot-10 element width (the
+   width-after-arm ordering), and scratch use of an SSR data register
+   in a streaming region. A qcheck property then cross-checks the lint
+   verdict against the simulator's trap behaviour on 200 seeded fuzz
+   cases under every pipeline config: a lint-clean program must not
+   raise Stream_fault/Illegal, and such a trap on a lint-clean program
+   is a linter bug. *)
+
+module D = Mlc_diag.Diag
+module Lint = Mlc_analysis.Lint
+module Cfg = Mlc_analysis.Cfg
+module Dataflow = Mlc_analysis.Dataflow
+module Insn = Mlc_sim.Insn
+module Program = Mlc_sim.Program
+module FC = Mlc_fuzz.Fuzz_case
+module FO = Mlc_fuzz.Fuzz_oracle
+
+let prog insns =
+  let labels = Hashtbl.create 1 in
+  Hashtbl.replace labels "f" 0;
+  Program.make ~insns:(Array.of_list insns) ~labels ()
+
+let lint insns = Lint.check_program (prog insns)
+let lint_errors insns = Lint.errors (lint insns)
+
+let pp_finding d =
+  Printf.sprintf "%s: %s" (Option.value ~default:"-" d.D.pass) d.D.message
+
+let check_findings what expected got =
+  Alcotest.(check (list string))
+    what expected
+    (List.map pp_finding got)
+
+let ssr_csr = 0x7c0
+
+(* A minimal single-read-stream prologue: data mover 0 armed as a
+   1-element read with the element width written before the arm. *)
+let read_stream_prologue =
+  [
+    Insn.Li (5, 0L);
+    Insn.Scfgwi (5, (2 * 8) + 0) (* bound 0: count - 1 = 0 *);
+    Insn.Li (5, 8L);
+    Insn.Scfgwi (5, (6 * 8) + 0) (* stride 0 *);
+    Insn.Scfgwi (5, (10 * 8) + 0) (* element width 8 *);
+    Insn.Li (5, 256L);
+    Insn.Scfgwi (5, (24 * 8) + 0) (* arm 1D read *);
+  ]
+
+(* --- the two fixed miscompiles, re-detected statically --------------- *)
+
+(* PR 2's "ft2 as scratch" bug shape: an FP temporary allocated to an
+   SSR data register inside a streaming region. The write lands in the
+   (unconfigured) stream, not the register. *)
+let regression_ft2_scratch () =
+  let insns =
+    read_stream_prologue
+    @ [
+        Insn.Csrsi (ssr_csr, 1);
+        Insn.Fcvt_from_int (Insn.D, 3, 0) (* ft3 := 0.0 *);
+        Insn.Fop (Insn.Fadd, Insn.D, 2, 3, 3) (* ft2 as scratch: BUG *);
+        Insn.Fop (Insn.Fadd, Insn.D, 4, 0, 3) (* legal pop of ft0 *);
+        Insn.Csrci (ssr_csr, 1);
+        Insn.Ret;
+      ]
+  in
+  check_findings "exact diagnostic"
+    [ "ssr-discipline: ft2: write to an unconfigured stream" ]
+    (lint_errors insns)
+
+(* PR 3's config-ordering bug shape: scfgwi issued after ssr_enable.
+   The hardware rejects reconfiguration while streaming. *)
+let regression_scfgwi_while_enabled () =
+  let insns =
+    [
+      Insn.Csrsi (ssr_csr, 1);
+      Insn.Li (5, 0L);
+      Insn.Scfgwi (5, (2 * 8) + 0);
+      Insn.Csrci (ssr_csr, 1);
+      Insn.Ret;
+    ]
+  in
+  check_findings "exact diagnostic"
+    [ "ssr-discipline: scfgwi while streaming is enabled" ]
+    (lint_errors insns)
+
+(* --- ssr-discipline -------------------------------------------------- *)
+
+let width_after_arm_warns () =
+  let insns =
+    [
+      Insn.Li (5, 0L);
+      Insn.Scfgwi (5, (2 * 8) + 0);
+      Insn.Li (5, 256L);
+      Insn.Scfgwi (5, (24 * 8) + 0) (* arm first *);
+      Insn.Li (6, 8L);
+      Insn.Scfgwi (6, (10 * 8) + 0) (* width second: takes no effect *);
+      Insn.Ret;
+    ]
+  in
+  let findings = lint insns in
+  check_findings "no errors" [] (Lint.errors findings);
+  check_findings "warning"
+    [
+      "ssr-discipline: scfgwi: element width for data mover 0 written \
+       after the stream was armed (takes effect only at the next arm)";
+    ]
+    (List.filter (fun d -> d.D.severity = D.Warning) findings)
+
+let bad_width_constant () =
+  let insns =
+    [ Insn.Li (5, 6L); Insn.Scfgwi (5, (10 * 8) + 0); Insn.Ret ]
+  in
+  check_findings "exact diagnostic"
+    [ "ssr-discipline: scfgwi: element width must be 4 or 8, got 6" ]
+    (lint_errors insns)
+
+let read_write_stream_mixup () =
+  (* Arm mover 0 as a WRITE stream, then pop from it. *)
+  let insns =
+    [
+      Insn.Li (5, 0L);
+      Insn.Scfgwi (5, (2 * 8) + 0);
+      Insn.Li (5, 256L);
+      Insn.Scfgwi (5, (28 * 8) + 0) (* arm 1D write *);
+      Insn.Csrsi (ssr_csr, 1);
+      Insn.Fcvt_from_int (Insn.D, 3, 0);
+      Insn.Fop (Insn.Fadd, Insn.D, 4, 0, 3) (* read of a write stream *);
+      Insn.Fop (Insn.Fadd, Insn.D, 0, 3, 3) (* balancing write *);
+      Insn.Csrci (ssr_csr, 1);
+      Insn.Ret;
+    ]
+  in
+  check_findings "exact diagnostic"
+    [ "ssr-discipline: ft0: reading from a write stream" ]
+    (lint_errors insns)
+
+(* --- read-before-write ----------------------------------------------- *)
+
+let read_before_write_on_one_path () =
+  (* ft6 is defined on the fallthrough path only; the branch skips the
+     definition, so the use may read an undefined register. *)
+  let insns =
+    [
+      Insn.Branch (Insn.Beq, 0, 0, 2);
+      Insn.Fcvt_from_int (Insn.D, 6, 0);
+      Insn.Fop (Insn.Fadd, Insn.D, 5, 6, 6);
+      Insn.Ret;
+    ]
+  in
+  check_findings "exact diagnostic"
+    [ "read-before-write: register ft6 may be read before it is written" ]
+    (lint_errors insns);
+  (* With the definition on every path the finding disappears. *)
+  check_findings "defined on all paths" []
+    (lint_errors
+       [
+         Insn.Fcvt_from_int (Insn.D, 6, 0);
+         Insn.Fop (Insn.Fadd, Insn.D, 5, 6, 6);
+         Insn.Ret;
+       ])
+
+let argument_registers_are_defined () =
+  (* a0-a7 / fa0-fa7 are defined at entry by the calling convention. *)
+  check_findings "no findings" []
+    (lint
+       [
+         Insn.Alu (Insn.Add, 5, 10, 11);
+         Insn.Fop (Insn.Fadd, Insn.D, 5, 10, 17);
+         Insn.Ret;
+       ])
+
+(* --- abi-preservation ------------------------------------------------ *)
+
+let callee_saved_clobber () =
+  check_findings "exact diagnostic"
+    [
+      "abi-preservation: callee-saved register s0 clobbered on a path to \
+       this return (the backend never saves/restores)";
+    ]
+    (lint_errors [ Insn.Li (8, 1L); Insn.Ret ])
+
+(* --- frep-legality --------------------------------------------------- *)
+
+let frep_non_fpu_body () =
+  let insns =
+    [ Insn.Li (5, 3L); Insn.Frep_o (5, 1); Insn.Li (6, 0L); Insn.Ret ]
+  in
+  check_findings "exact diagnostic"
+    [ "frep-legality: frep body contains a non-FPU instruction: li t1, 0" ]
+    (lint_errors insns)
+
+let frep_undefined_rpt () =
+  let insns =
+    [ Insn.Frep_o (5, 1); Insn.Fcvt_from_int (Insn.D, 4, 0); Insn.Ret ]
+  in
+  check_findings "exact diagnostic"
+    [
+      "frep-legality: frep repetition register t0 may be read before it \
+       is written";
+    ]
+    (lint_errors insns)
+
+let frep_body_past_end () =
+  let insns =
+    [
+      Insn.Li (5, 1L);
+      Insn.Frep_o (5, 5);
+      Insn.Fcvt_from_int (Insn.D, 4, 0);
+      Insn.Ret;
+    ]
+  in
+  check_findings "exact diagnostic"
+    [ "frep-legality: frep body runs past the end of the function" ]
+    (lint_errors insns)
+
+let branch_into_frep_body () =
+  let insns =
+    [
+      Insn.Li (5, 1L);
+      Insn.Branch (Insn.Beq, 0, 0, 3);
+      Insn.Frep_o (5, 1);
+      Insn.Fcvt_from_int (Insn.D, 4, 0);
+      Insn.Ret;
+    ]
+  in
+  check_findings "exact diagnostic"
+    [ "frep-legality: branch into an FREP body (target pc 3)" ]
+    (lint_errors insns)
+
+(* --- stream-balance -------------------------------------------------- *)
+
+let stream_overrun () =
+  (* 1-element read stream, popped 8 times (frep x4, two pops each):
+     would trap at runtime with "read past the end". *)
+  let insns =
+    read_stream_prologue
+    @ [
+        Insn.Csrsi (ssr_csr, 1);
+        Insn.Li (6, 3L);
+        Insn.Frep_o (6, 1);
+        Insn.Fop (Insn.Fadd, Insn.D, 4, 0, 0);
+        Insn.Csrci (ssr_csr, 1);
+        Insn.Ret;
+      ]
+  in
+  check_findings "exact diagnostic"
+    [
+      "stream-balance: stream ft0 overruns its configured pattern: 8 \
+       reads of 1 elements";
+    ]
+    (lint_errors insns)
+
+let stream_underrun_warns () =
+  (* 8-element read stream, popped 4 times: legal but half the pattern
+     is left unserved. *)
+  let insns =
+    [
+      Insn.Li (5, 7L);
+      Insn.Scfgwi (5, (2 * 8) + 0);
+      Insn.Li (5, 8L);
+      Insn.Scfgwi (5, (6 * 8) + 0);
+      Insn.Scfgwi (5, (10 * 8) + 0);
+      Insn.Li (5, 256L);
+      Insn.Scfgwi (5, (24 * 8) + 0);
+      Insn.Fcvt_from_int (Insn.D, 4, 0);
+      Insn.Csrsi (ssr_csr, 1);
+      Insn.Li (6, 3L);
+      Insn.Frep_o (6, 1);
+      Insn.Fop (Insn.Fadd, Insn.D, 4, 0, 4);
+      Insn.Csrci (ssr_csr, 1);
+      Insn.Ret;
+    ]
+  in
+  let findings = lint insns in
+  check_findings "no errors" [] (Lint.errors findings);
+  check_findings "warning"
+    [
+      "stream-balance: stream ft0 underruns its configured pattern: 4 \
+       reads of 8 elements";
+    ]
+    (List.filter (fun d -> d.D.severity = D.Warning) findings)
+
+(* --- cfg -------------------------------------------------------------- *)
+
+let escaping_branch () =
+  let insns = [ Insn.Li (5, 1L); Insn.J 17; Insn.Ret ] in
+  check_findings "exact diagnostic"
+    [ "cfg: control transfer to pc 17, outside function f [0, 2]" ]
+    (lint_errors insns)
+
+(* --- framework units -------------------------------------------------- *)
+
+let liveness_smoke () =
+  let p =
+    prog [ Insn.Li (5, 1L); Insn.Alu (Insn.Add, 6, 5, 5); Insn.Ret ]
+  in
+  let func = List.hd (Cfg.functions p) in
+  let cfg = Cfg.build p func in
+  let live = Dataflow.liveness cfg in
+  Alcotest.(check bool) "x5 live into its use" true
+    (Dataflow.Regset.mem_int 5 (live 1));
+  Alcotest.(check bool) "x5 dead before its def" false
+    (Dataflow.Regset.mem_int 5 (live 0));
+  Alcotest.(check bool) "x6 never live" false
+    (Dataflow.Regset.mem_int 6 (live 0))
+
+let error_of_aggregates () =
+  (* One clobber reported at each of the two return paths. *)
+  let errs =
+    lint_errors
+      [
+        Insn.Li (8, 1L);
+        Insn.Branch (Insn.Beq, 0, 0, 3);
+        Insn.Ret;
+        Insn.Ret;
+      ]
+  in
+  Alcotest.(check int) "two clobbers" 2 (List.length errs);
+  match Lint.error_of errs with
+  | None -> Alcotest.fail "expected an aggregated diagnostic"
+  | Some d ->
+    Alcotest.(check int) "second error carried as a note" 1
+      (List.length d.D.notes)
+
+(* --- compiler output is lint-clean ------------------------------------ *)
+
+let registry_clean () =
+  List.iter
+    (fun name ->
+      match Mlc_kernels.Registry.by_short_name name with
+      | None -> Alcotest.failf "unknown registry kernel %s" name
+      | Some e ->
+        let spec = e.Mlc_kernels.Registry.instantiate ~n:8 ~m:8 ~k:8 () in
+        let m = spec.Mlc_kernels.Builders.build () in
+        ignore (Mlc_transforms.Pipeline.compile ~flags:Mlc_transforms.Pipeline.ours m);
+        check_findings (name ^ " under ours") [] (Lint.check_module m))
+    Mlc_kernels.Registry.short_names
+
+(* --- lint vs simulator differential property -------------------------- *)
+
+(* 200 deterministically seeded fuzz cases, each compiled under every
+   pipeline config. The invariant (lint.mli): a trap-class lint error
+   predicts a Stream_fault/Illegal trap on some path, so a run that
+   completes must come from a program clean of those classes — and a
+   Stream_fault/Illegal trap must not come from a lint-clean program. *)
+let lint_vs_sim_case case =
+  let module B = Mlc_kernels.Builders in
+  let spec = FC.to_spec case in
+  List.for_all
+    (fun (config, flags) ->
+      let m = spec.B.build () in
+      match
+        Mlc_transforms.Pipeline.compile ~verify_each:false ~flags m
+      with
+      | exception _ -> true (* compile failures are the oracle's domain *)
+      | _ -> (
+        let program = Mlc_riscv.Insn_emit.emit_module m in
+        let trap_errs =
+          List.filter
+            (fun d ->
+              match d.D.pass with
+              | Some c -> List.mem c Lint.trap_classes
+              | None -> false)
+            (Lint.errors (Lint.check_program program))
+        in
+        let data =
+          Mlc.Runner.gen_inputs ~seed:(FC.input_seed case) ~elem:spec.B.elem
+            spec.B.args
+        in
+        match
+          Mlc.Runner.simulate_program ~elem:spec.B.elem
+            ~fn_name:spec.B.fn_name ~args:spec.B.args ~data program
+        with
+        | _ ->
+          if trap_errs <> [] then
+            QCheck.Test.fail_reportf
+              "%s: trap-class lint error on a program that runs: %s" config
+              (D.summary (List.hd trap_errs))
+          else true
+        | exception Mlc_sim.Trap.Trap
+            ({ kind = Stream_fault _ | Illegal _; _ } as tr) ->
+          if trap_errs = [] then
+            QCheck.Test.fail_reportf
+              "%s: %s trap on a lint-clean program (linter bug)" config
+              (Mlc_sim.Trap.summary tr)
+          else true
+        | exception _ -> true))
+    FO.configs
+
+let prop_lint_vs_sim =
+  (* Deterministic seeding independent of qcheck's own state, mirroring
+     Fuzz.run's per-case scheme. *)
+  let counter = ref 0 in
+  let gen _st =
+    let st = Random.State.make [| 42; !counter; 0x117 |] in
+    incr counter;
+    Mlc_fuzz.Fuzz_gen.gen st
+  in
+  QCheck.Test.make ~name:"lint verdict agrees with simulator traps"
+    ~count:200
+    (QCheck.make ~print:FC.to_string gen)
+    lint_vs_sim_case
+
+let suite =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "regression: ft2 as scratch in streaming region"
+          `Quick regression_ft2_scratch;
+        Alcotest.test_case "regression: scfgwi after ssr_enable" `Quick
+          regression_scfgwi_while_enabled;
+        Alcotest.test_case "width after arm warns" `Quick width_after_arm_warns;
+        Alcotest.test_case "bad element-width constant" `Quick
+          bad_width_constant;
+        Alcotest.test_case "reading a write stream" `Quick
+          read_write_stream_mixup;
+        Alcotest.test_case "read-before-write on one path" `Quick
+          read_before_write_on_one_path;
+        Alcotest.test_case "argument registers defined at entry" `Quick
+          argument_registers_are_defined;
+        Alcotest.test_case "callee-saved clobber" `Quick callee_saved_clobber;
+        Alcotest.test_case "frep: non-FPU body" `Quick frep_non_fpu_body;
+        Alcotest.test_case "frep: undefined repetition register" `Quick
+          frep_undefined_rpt;
+        Alcotest.test_case "frep: body past function end" `Quick
+          frep_body_past_end;
+        Alcotest.test_case "frep: branch into body" `Quick
+          branch_into_frep_body;
+        Alcotest.test_case "stream overrun" `Quick stream_overrun;
+        Alcotest.test_case "stream underrun warns" `Quick stream_underrun_warns;
+        Alcotest.test_case "escaping control transfer" `Quick escaping_branch;
+        Alcotest.test_case "liveness smoke" `Quick liveness_smoke;
+        Alcotest.test_case "error_of aggregation" `Quick error_of_aggregates;
+        Alcotest.test_case "registry kernels lint clean under ours" `Quick
+          registry_clean;
+        QCheck_alcotest.to_alcotest prop_lint_vs_sim;
+      ] );
+  ]

@@ -7,4 +7,5 @@ let () =
    @ Test_interp.suite @ Test_sim.suite @ Test_transforms.suite
    @ Test_regalloc.suite @ Test_linear_scan.suite @ Test_pipeline.suite
    @ Test_lowlevel.suite @ Test_extra.suite @ Test_regcheck.suite
-   @ Test_perf_model.suite @ Test_fuzz.suite @ Test_diag.suite)
+   @ Test_perf_model.suite @ Test_fuzz.suite @ Test_diag.suite
+   @ Test_lint.suite)
