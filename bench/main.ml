@@ -18,10 +18,19 @@
    (EXPERIMENTS.md records both).
 
    Flags:
-     --json    write BENCH_PR1.json with per-section host wall-clock,
-               simulated-cycle tallies, the fig11 fast-path speedup and
-               the Bechamel estimates
-     --smoke   reduced sweep, no ablations/Bechamel (CI smoke test) *)
+     --json      write BENCH_PR5.json with per-section host wall-clock,
+                 simulated-cycle tallies, the fig11 fast-path speedup,
+                 the Bechamel estimates, and the jobs/wall-time/cache
+                 counters of this run
+     --smoke     reduced sweep, no ablations/Bechamel (CI smoke test)
+     -j N, --jobs N
+                 worker domains for the per-cell parallel sections
+                 (fig10, fig11); default one per core. Output is
+                 byte-identical for any job count.
+     --no-cache  disable the on-disk compile-artifact cache tier
+                 (default: .mlc-cache). Cached artifacts are
+                 content-addressed, so warm runs recompile nothing and
+                 report bit-identical simulated cycles. *)
 
 open Mlc_transforms
 
@@ -40,15 +49,22 @@ let sim_cycles = ref 0
    suite; surfaced in the --json artifact so CI can assert that. *)
 let degradations : (string * string) list ref = ref []
 
-let run ?flags ?allocator spec =
-  let r = Mlc.Runner.run ?flags ?allocator spec in
+(* Fold one finished run into the global tallies. Only ever called on
+   the main domain — parallel sections return their runs' results and
+   commit them here in submission order, so the tallies (and any output
+   derived from them) match a sequential run exactly. *)
+let tally (spec : Mlc_kernels.Builders.spec) (r : Mlc.Runner.run_result) =
   sim_cycles := !sim_cycles + r.Mlc.Runner.metrics.cycles;
-  (match r.Mlc.Runner.degradation with
+  match r.Mlc.Runner.degradation with
   | Some d ->
     degradations :=
       (spec.Mlc_kernels.Builders.kernel_name, d.Mlc.Runner.rung)
       :: !degradations
-  | None -> ());
+  | None -> ()
+
+let run ?flags ?allocator spec =
+  let r = Mlc.Runner.run ?flags ?allocator spec in
+  tally spec r;
   r
 
 let run_lowlevel spec =
@@ -142,56 +158,80 @@ let table2 () =
 
 (* --- Figure 10 --- *)
 
-let fig10 () =
+let fig10 ~pool () =
   section "Figure 10: FPU utilisation, prototype compiler vs MLIR vs Clang";
   let flows =
     [ ("ours", Pipeline.ours); ("mlir", Pipeline.mlir); ("clang", Pipeline.clang) ]
   in
   Printf.printf "%-10s %-10s %10s %10s %10s\n" "Kernel" "Shape" "ours %" "mlir %"
     "clang %";
-  List.iter
-    (fun (e : Mlc_kernels.Registry.entry) ->
-      List.iter
-        (fun (n, m, k) ->
-          let utils =
-            List.map
-              (fun (_, flags) ->
-                let spec = e.Mlc_kernels.Registry.instantiate ~n ~m ~k () in
-                let r = run ~flags spec in
-                assert (r.Mlc.Runner.max_abs_err < 1e-6);
-                r.Mlc.Runner.metrics.fpu_util)
-              flows
-          in
-          match utils with
-          | [ a; b; c ] ->
-            Printf.printf "%-10s %-10s %10.1f %10.1f %10.1f\n"
-              e.Mlc_kernels.Registry.name
-              (Printf.sprintf "%dx%dx%d" n m k)
-              a b c
-          | _ -> assert false)
-        [ (4, 8, 8); (8, 16, 16); (16, 32, 32); (16, 64, 32) ])
-    Mlc_kernels.Registry.table1
+  (* One pool item per kernel x shape cell; workers run the three flows
+     and return the results, the main domain prints and tallies in cell
+     order. *)
+  let cells =
+    List.concat_map
+      (fun (e : Mlc_kernels.Registry.entry) ->
+        List.map
+          (fun shape -> (e, shape))
+          [ (4, 8, 8); (8, 16, 16); (16, 32, 32); (16, 64, 32) ])
+      Mlc_kernels.Registry.table1
+  in
+  let rows =
+    Mlc_parallel.Pool.map pool
+      (fun ((e : Mlc_kernels.Registry.entry), (n, m, k)) ->
+        List.map
+          (fun (_, flags) ->
+            let spec = e.Mlc_kernels.Registry.instantiate ~n ~m ~k () in
+            let r = Mlc.Runner.run ~flags spec in
+            assert (r.Mlc.Runner.max_abs_err < 1e-6);
+            (spec, r))
+          flows)
+      cells
+  in
+  List.iter2
+    (fun ((e : Mlc_kernels.Registry.entry), (n, m, k)) row ->
+      List.iter (fun (spec, r) -> tally spec r) row;
+      match List.map (fun (_, r) -> r.Mlc.Runner.metrics.fpu_util) row with
+      | [ a; b; c ] ->
+        Printf.printf "%-10s %-10s %10.1f %10.1f %10.1f\n"
+          e.Mlc_kernels.Registry.name
+          (Printf.sprintf "%dx%dx%d" n m k)
+          a b c
+      | _ -> assert false)
+    cells rows
 
 (* --- Figure 11 --- *)
 
-let fig11 ~cols ~inners () =
+let fig11 ~pool ~cols ~inners () =
   section "Figure 11: 64-bit MatMul throughput (FLOPs/cycle), N = 1";
   Printf.printf "%8s |" "K \\ M";
   List.iter (fun m -> Printf.printf " %6d" m) cols;
   Printf.printf "\n%s-+%s\n" (String.make 8 '-')
     (String.make (7 * List.length cols) '-');
+  let cells = List.concat_map (fun k -> List.map (fun m -> (k, m)) cols) inners in
+  let results =
+    Mlc_parallel.Pool.map pool
+      (fun (k, m) ->
+        (* All buffers must fit the 128 KiB TCDM (paper §4.1). *)
+        if 8 * ((k * m) + k + m) > 110 * 1024 then None
+        else begin
+          let spec = Mlc_kernels.Builders.matmul ~n:1 ~m ~k () in
+          Some (spec, Mlc.Runner.run spec)
+        end)
+      cells
+  in
+  let by_cell = Hashtbl.create 64 in
+  List.iter2 (fun cell r -> Hashtbl.replace by_cell cell r) cells results;
   List.iter
     (fun k ->
       Printf.printf "%8d |" k;
       List.iter
         (fun m ->
-          (* All buffers must fit the 128 KiB TCDM (paper §4.1). *)
-          if 8 * ((k * m) + k + m) > 110 * 1024 then Printf.printf " %6s" "-"
-          else begin
-            let spec = Mlc_kernels.Builders.matmul ~n:1 ~m ~k () in
-            let r = run spec in
-            Printf.printf " %6.2f" r.Mlc.Runner.metrics.flops_per_cycle
-          end)
+          match Hashtbl.find by_cell (k, m) with
+          | None -> Printf.printf " %6s" "-"
+          | Some (spec, r) ->
+            tally spec r;
+            Printf.printf " %6.2f" r.Mlc.Runner.metrics.flops_per_cycle)
         cols;
       print_newline ())
     inners;
@@ -446,13 +486,20 @@ let speedup_measurement ~reps ~cols ~inners () =
 
 (* --- JSON artifact (--json) --- *)
 
-let write_json ~path ~smoke ~reps ~speedup ~bech =
+let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
+    ~bech =
   let cells, legacy_s, fast_s, ratio = speedup in
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"bench\": \"PR1\",\n";
+  add "  \"bench\": \"PR5\",\n";
   add "  \"smoke\": %b,\n" smoke;
+  add "  \"jobs\": %d,\n" jobs;
+  add "  \"host_wall_total_s\": %.6f,\n" total_wall;
+  add "  \"cache\": {\"enabled\": %b, \"hits\": %d, \"misses\": %d},\n"
+    cache_enabled
+    (Mlc_parallel.Cache.hits ())
+    (Mlc_parallel.Cache.misses ());
   add "  \"sections\": [\n";
   let secs = List.rev !timings in
   List.iteri
@@ -492,20 +539,38 @@ let () =
   let argv = Array.to_list Sys.argv in
   let json = List.mem "--json" argv in
   let smoke = List.mem "--smoke" argv in
+  let jobs =
+    let rec find = function
+      | ("-j" | "--jobs") :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> n
+        | _ ->
+          Printf.eprintf "bench: bad --jobs value %S\n" v;
+          exit 2)
+      | _ :: rest -> find rest
+      | [] -> Mlc_parallel.Pool.default_jobs ()
+    in
+    find argv
+  in
+  let cache_enabled = not (List.mem "--no-cache" argv) in
+  if cache_enabled then Mlc_parallel.Cache.set_disk_dir (Some ".mlc-cache");
+  let t_start = Unix.gettimeofday () in
+  let pool = Mlc_parallel.Pool.create ~jobs () in
   let cols = if smoke then [ 2; 4 ] else [ 2; 4; 8; 16; 32; 64 ] in
   let inners = if smoke then [ 2; 8 ] else [ 2; 4; 8; 16; 32; 64; 128; 256 ] in
   let reps = if smoke then 2 else 10 in
   timed "table1" table1;
   timed "fig9" fig9;
   timed "table2" table2;
-  timed "fig10" fig10;
-  timed "fig11" (fig11 ~cols ~inners);
+  timed "fig10" (fig10 ~pool);
+  timed "fig11" (fig11 ~pool ~cols ~inners);
   timed "table3" table3;
   if not smoke then begin
     timed "spilling_ablation" spilling_ablation;
     timed "pattern_ablation" pattern_ablation
   end;
   let speedup = speedup_measurement ~reps ~cols ~inners () in
+  Mlc_parallel.Pool.shutdown pool;
   let bech =
     if smoke then []
     else
@@ -515,7 +580,10 @@ let () =
           (Printexc.to_string e);
         []
   in
-  if json then write_json ~path:"BENCH_PR1.json" ~smoke ~reps ~speedup ~bech;
+  let total_wall = Unix.gettimeofday () -. t_start in
+  if json then
+    write_json ~path:"BENCH_PR5.json" ~smoke ~reps ~jobs ~cache_enabled
+      ~total_wall ~speedup ~bech;
   print_newline ();
   print_endline
     "All evaluation artifacts regenerated; outputs validated against the \

@@ -51,6 +51,31 @@ let crash_dir_arg =
 
 let set_crash_dir = Option.iter Mlc_diag.Crash_bundle.set_dir
 
+(* Parallelism: 0 (the default) resolves to one worker per core. The
+   drivers commit results in submission order, so any job count produces
+   byte-identical output. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel drivers (0 = one per core). \
+           Output is byte-identical for any job count.")
+
+let resolve_jobs j = if j <= 0 then Mlc_parallel.Pool.default_jobs () else j
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Enable the on-disk tier of the compile-artifact cache under \
+           DIR (conventionally .mlc-cache); cached artifacts survive \
+           across runs and are invalidated by content hash.")
+
+let set_cache_dir = Mlc_parallel.Cache.set_disk_dir
+
 let spec_of kernel n m k =
   match Mlc_kernels.Registry.by_short_name kernel with
   | Some entry -> entry.Mlc_kernels.Registry.instantiate ~n ~m ~k ()
@@ -204,38 +229,22 @@ let check_cmd =
             "Check every registry kernel under every pipeline configuration \
              (the fuzz oracle's config matrix) instead of a single kernel.")
   in
-  (* Compile one kernel under one flow and lint the emitted instruction
-     stream. Returns the error count; prints every finding. *)
-  let check_one ~label kernel n m k flags =
-    let spec = spec_of kernel n m k in
-    let m_ = spec.Mlc_kernels.Builders.build () in
-    ignore (Mlc_transforms.Pipeline.compile ~flags m_);
-    let findings = Mlc_analysis.Lint.check_module m_ in
-    List.iter
-      (fun d -> Printf.printf "%s: %s\n" label (Mlc_diag.Diag.summary d))
-      findings;
-    List.length (Mlc_analysis.Lint.errors findings)
-  in
-  let run kernel all n m k (flow_name, flags) =
-    let checked, errors =
+  let run kernel all n m k (flow_name, flags) jobs cache_dir =
+    set_cache_dir cache_dir;
+    let summary =
       if all then
-        List.fold_left
-          (fun (checked, errors) kernel ->
-            List.fold_left
-              (fun (checked, errors) (config, flags) ->
-                let label = Printf.sprintf "%s/%s" kernel config in
-                (checked + 1, errors + check_one ~label kernel n m k flags))
-              (checked, errors) Mlc_fuzz.Fuzz_oracle.configs)
-          (0, 0) Mlc_kernels.Registry.short_names
+        Mlc_fuzz.Check_all.run_all ~jobs:(resolve_jobs jobs) ~n ~m ~k ()
       else
         match kernel with
         | None ->
           Printf.eprintf "check: either --kernel or --all is required\n";
           exit 2
         | Some kernel ->
-          let label = Printf.sprintf "%s/%s" kernel flow_name in
-          (1, check_one ~label kernel n m k flags)
+          Mlc_fuzz.Check_all.run_one ~kernel ~flow:flow_name ~flags ~n ~m ~k ()
     in
+    List.iter print_endline summary.Mlc_fuzz.Check_all.lines;
+    let checked = summary.Mlc_fuzz.Check_all.checked in
+    let errors = summary.Mlc_fuzz.Check_all.errors in
     if errors = 0 then
       Printf.printf "lint: %d kernel/config combination%s clean\n" checked
         (if checked = 1 then "" else "s")
@@ -252,9 +261,12 @@ let check_cmd =
        ~doc:
          "Compile a kernel and run the machine-code sanitizer (CFG + \
           dataflow Snitch-contract checks) over the emitted instruction \
-          stream, reporting every finding.")
+          stream, reporting every finding. With --all the kernel x config \
+          matrix fans out over a domain pool (-j) through the \
+          compile-artifact cache.")
     Term.(
-      const run $ opt_kernel_arg $ all_arg $ n_arg $ m_arg $ k_arg $ flow_arg)
+      const run $ opt_kernel_arg $ all_arg $ n_arg $ m_arg $ k_arg $ flow_arg
+      $ jobs_arg $ cache_dir_arg)
 
 let print_metrics (spec : Mlc_kernels.Builders.spec) (r : Mlc.Runner.run_result) =
   let m = r.Mlc.Runner.metrics in
@@ -402,8 +414,9 @@ let fuzz_cmd =
              report) through the full oracle matrix instead of generating \
              random ones.")
   in
-  let run seed count replay crash_dir =
+  let run seed count replay crash_dir jobs cache_dir =
     set_crash_dir crash_dir;
+    set_cache_dir cache_dir;
     let report_failures frs =
       List.iter
         (fun fr -> Format.printf "%a@." Mlc_fuzz.Fuzz.pp_failure fr)
@@ -426,7 +439,8 @@ let fuzz_cmd =
           exit 1))
     | None ->
       let report =
-        Mlc_fuzz.Fuzz.run ~log:print_endline ~seed ~count ()
+        Mlc_fuzz.Fuzz.run ~log:print_endline ~jobs:(resolve_jobs jobs) ~seed
+          ~count ()
       in
       if report.Mlc_fuzz.Fuzz.failures = [] then
         Printf.printf
@@ -446,7 +460,9 @@ let fuzz_cmd =
          "Differential fuzzing: random linalg kernels through every \
           pipeline config and both simulator paths, validated bit-for-bit \
           against the reference interpreter.")
-    Term.(const run $ seed_arg $ count_arg $ replay_arg $ crash_dir_arg)
+    Term.(
+      const run $ seed_arg $ count_arg $ replay_arg $ crash_dir_arg $ jobs_arg
+      $ cache_dir_arg)
 
 let main =
   Cmd.group

@@ -1,0 +1,30 @@
+(* Compile-artifact caching. The key is content-addressed over the
+   generic IR *text* (the printer renumbers values per printing
+   environment, so the text is stable across runs even though value ids
+   are process-global), the rendered pipeline flags, and the compiler
+   version below — bump it whenever pass semantics, emission, or the
+   marshaled shape of [Pipeline.result] change, which retires every
+   stale entry of a persistent disk tier at once. *)
+
+let compiler_version = "snitchc-1.0.0/cache-1"
+
+let enabled = Atomic.make true
+let set_enabled b = Atomic.set enabled b
+
+let lookup ~flags m =
+  if not (Atomic.get enabled) then `Miss ""
+  else begin
+    let key =
+      Mlc_parallel.Cache.key ~namespace:"compile" ~version:compiler_version
+        [
+          Mlc_ir.Printer.to_string m;
+          Mlc_transforms.Pipeline.describe_flags flags;
+        ]
+    in
+    match Mlc_parallel.Cache.find ~key with
+    | Some (r : Mlc_transforms.Pipeline.result) -> `Hit r
+    | None -> `Miss key
+  end
+
+let store ~key (r : Mlc_transforms.Pipeline.result) =
+  if key <> "" then Mlc_parallel.Cache.add ~key r

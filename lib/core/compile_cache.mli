@@ -1,0 +1,26 @@
+(** The compiler-side view of the content-addressed artifact cache
+    ({!Mlc_parallel.Cache}): compilation results keyed by the generic IR
+    text of the module about to be compiled, the pipeline flags, and the
+    compiler version.
+
+    Invariant: only artifacts whose emitted instruction stream passed
+    the machine-code sanitizer with no error finding are ever stored, so
+    a hit may skip linting. Only default compiles qualify — drivers with
+    a custom allocator or a substituted pass pipeline must bypass the
+    cache entirely. *)
+
+(** Globally enable/disable the cache (default: enabled). When disabled,
+    {!lookup} always misses with an empty key and {!store} is a no-op. *)
+val set_enabled : bool -> unit
+
+(** [lookup ~flags m] — [m] must be a freshly built generic (pre-pass)
+    module; it is printed to compute the key. [`Miss key] hands back the
+    key to pass to {!store} once [m] has been compiled and linted. *)
+val lookup :
+  flags:Mlc_transforms.Pipeline.flags ->
+  Mlc_ir.Ir.op ->
+  [ `Hit of Mlc_transforms.Pipeline.result | `Miss of string ]
+
+(** Store a lint-clean compilation result under a key from {!lookup}.
+    No-op on the empty key. *)
+val store : key:string -> Mlc_transforms.Pipeline.result -> unit

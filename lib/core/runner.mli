@@ -118,7 +118,13 @@ val simulate :
 
     [pipeline_of] substitutes the pass list a flag set induces (fault
     injection in tests); [crash_ctx] supplies the replay command
-    recorded in crash bundles. *)
+    recorded in crash bundles.
+
+    [cache] (default true) consults the content-addressed artifact
+    cache ({!Compile_cache}): a hit skips the pass pipeline, register
+    allocation and lint, reconstructing the program from the cached
+    assembly with bit-identical results. Runs with a custom [allocator]
+    or [pipeline_of], or with [trace], bypass the cache automatically. *)
 val run :
   ?flags:Mlc_transforms.Pipeline.flags ->
   ?seed:int ->
@@ -130,6 +136,7 @@ val run :
   ?fallback:bool ->
   ?pipeline_of:(Mlc_transforms.Pipeline.flags -> Mlc_ir.Pass.t list) ->
   ?crash_ctx:Mlc_diag.Crash_bundle.ctx ->
+  ?cache:bool ->
   Mlc_kernels.Builders.spec ->
   run_result
 

@@ -10,13 +10,18 @@ type ctx = { flags : string option; replay : string option }
 
 let no_ctx = { flags = None; replay = None }
 
-let enabled = ref true
-let dir = ref ".mlc-crash"
-let last = ref None
+let enabled = Atomic.make true
+let dir = Atomic.make ".mlc-crash"
 
-let set_enabled b = enabled := b
-let set_dir d = dir := d
-let last_bundle () = !last
+(* The most recently written bundle is tracked per domain: a failure
+   diagnosed on one worker domain must report its own bundle, not
+   whichever bundle another domain happened to write last. *)
+let last_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_enabled b = Atomic.set enabled b
+let set_dir d = Atomic.set dir d
+let last_bundle () = !(Domain.DLS.get last_key)
 
 let render ?(ctx = no_ctx) (d : Diag.t) =
   let buf = Buffer.create 1024 in
@@ -46,19 +51,31 @@ let render ?(ctx = no_ctx) (d : Diag.t) =
 
 (* Write a bundle for [d]; returns the path, or None when disabled or on
    any IO failure. The file name is a content hash, so identical crashes
-   dedup naturally. *)
+   de-duplicate: an existing file already holds these exact bytes and is
+   left alone. New bundles are written to a temp file and atomically
+   renamed into place, so concurrent writers (or a reader racing a
+   writer) can never observe a partial bundle. *)
 let write ?ctx (d : Diag.t) =
-  if not !enabled then None
+  if not (Atomic.get enabled) then None
   else
     try
       let content = render ?ctx d in
       let hash = String.sub (Digest.to_hex (Digest.string content)) 0 12 in
-      (try if not (Sys.file_exists !dir) then Sys.mkdir !dir 0o755
+      let dir = Atomic.get dir in
+      (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
        with Sys_error _ -> ());
-      let path = Filename.concat !dir (hash ^ ".md") in
-      let oc = open_out path in
-      output_string oc content;
-      close_out oc;
-      last := Some path;
+      let path = Filename.concat dir (hash ^ ".md") in
+      if not (Sys.file_exists path) then begin
+        let tmp = Filename.temp_file ~temp_dir:dir ("." ^ hash) ".tmp" in
+        try
+          let oc = open_out tmp in
+          output_string oc content;
+          close_out oc;
+          Sys.rename tmp path
+        with exn ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          raise exn
+      end;
+      Domain.DLS.get last_key := Some path;
       Some path
     with _ -> None

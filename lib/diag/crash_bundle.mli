@@ -15,12 +15,17 @@ val set_enabled : bool -> unit
 (** Set the bundle directory (default [".mlc-crash"], created lazily). *)
 val set_dir : string -> unit
 
-(** Path of the most recently written bundle in this process, if any. *)
+(** Path of the most recently written bundle on the {e calling domain},
+    if any — tracked per domain so parallel workers report their own
+    bundles. *)
 val last_bundle : unit -> string option
 
 (** The bundle markdown, without writing it. *)
 val render : ?ctx:ctx -> Diag.t -> string
 
 (** Write a bundle; returns its path, or [None] when disabled or on any
-    IO error (bundle IO must never turn a failure into a crash). *)
+    IO error (bundle IO must never turn a failure into a crash). The
+    file name is a content hash: an existing bundle is de-duplicated
+    rather than rewritten, and new bundles land via temp file + atomic
+    rename so concurrent writers never expose a partial file. *)
 val write : ?ctx:ctx -> Diag.t -> string option

@@ -1,0 +1,89 @@
+(* The `snitchc check` driver: compile kernel × pipeline-config combos
+   through the content-addressed artifact cache and run the machine-code
+   sanitizer over the emitted instruction stream. Lives in the fuzz
+   library because the config matrix is the oracle's; the binary and the
+   determinism tests both drive it, with or without a domain pool.
+
+   Hits and misses lint the same program — the one re-parsed from the
+   (cached or just-emitted) assembly text — so cold and warm runs print
+   identical findings. Only lint-error-free results are stored, keeping
+   the cache-wide invariant that lets Runner hits skip linting. *)
+
+open Mlc_kernels
+
+type combo = {
+  kernel : string;
+  config : string;
+  flags : Mlc_transforms.Pipeline.flags;
+}
+
+let combos () =
+  List.concat_map
+    (fun kernel ->
+      List.map
+        (fun (config, flags) -> { kernel; config; flags })
+        Fuzz_oracle.configs)
+    Registry.short_names
+
+let label c = Printf.sprintf "%s/%s" c.kernel c.config
+
+(* Lint findings for one combo. *)
+let check_combo ~n ~m ~k (c : combo) =
+  match Registry.by_short_name c.kernel with
+  | None -> invalid_arg ("check: unknown kernel " ^ c.kernel)
+  | Some entry ->
+    let spec = entry.Registry.instantiate ~n ~m ~k () in
+    let m_ = spec.Builders.build () in
+    let result, miss_key =
+      match Mlc.Compile_cache.lookup ~flags:c.flags m_ with
+      | `Hit r -> (r, None)
+      | `Miss key ->
+        (Mlc_transforms.Pipeline.compile ~flags:c.flags m_, Some key)
+    in
+    let program =
+      Mlc_sim.Program.of_asm
+        (Mlc_sim.Asm_parse.parse result.Mlc_transforms.Pipeline.asm)
+    in
+    let findings = Mlc_analysis.Lint.check_program program in
+    (match miss_key with
+    | Some key when Mlc_analysis.Lint.errors findings = [] ->
+      Mlc.Compile_cache.store ~key result
+    | _ -> ());
+    findings
+
+type summary = {
+  lines : string list; (* "kernel/config: finding" report lines, ordered *)
+  checked : int;
+  errors : int;
+}
+
+let summarize results =
+  {
+    lines =
+      List.concat_map
+        (fun (lbl, findings) ->
+          List.map
+            (fun d -> Printf.sprintf "%s: %s" lbl (Mlc_diag.Diag.summary d))
+            findings)
+        results;
+    checked = List.length results;
+    errors =
+      List.fold_left
+        (fun acc (_, findings) ->
+          acc + List.length (Mlc_analysis.Lint.errors findings))
+        0 results;
+  }
+
+(* Every registry kernel under every oracle config. Combos are
+   independent, so they fan out over the pool; findings come back in
+   combo order regardless of [jobs]. *)
+let run_all ?jobs ?(n = 16) ?(m = 16) ?(k = 16) () =
+  summarize
+    (Mlc_parallel.Pool.map_list ?jobs
+       (fun c -> (label c, check_combo ~n ~m ~k c))
+       (combos ()))
+
+(* One kernel under one named flow (the `check -k` path). *)
+let run_one ~kernel ~flow ~flags ?(n = 16) ?(m = 16) ?(k = 16) () =
+  let c = { kernel; config = flow; flags } in
+  summarize [ (label c, check_combo ~n ~m ~k c) ]

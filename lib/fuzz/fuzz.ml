@@ -1,12 +1,22 @@
 (* Driver for the differential fuzzer: generate [count] cases from a
    seed, run each through the full oracle matrix, shrink any failure and
-   report it with a one-line replay command. *)
+   report it with a one-line replay command.
+
+   With [jobs > 1] the cases are checked on a domain pool in chunks,
+   with results committed (logged, counted, early-stopped) strictly in
+   case-index order — the transcript is byte-identical to a sequential
+   run; at most one chunk of extra cases is checked past the stop point
+   and discarded. *)
 
 type failure_report = {
   index : int; (* case index within the run *)
   case : Fuzz_case.t; (* as generated *)
   shrunk : Fuzz_case.t; (* greedily minimised, still failing *)
   failure : Fuzz_oracle.failure; (* oracle verdict for [shrunk] *)
+  bundle : string option;
+      (* last crash bundle of the domain that checked the case, captured
+         there — the process-global "last bundle" would be whichever
+         worker wrote most recently *)
 }
 
 type report = {
@@ -27,45 +37,90 @@ let pp_failure ppf (fr : failure_report) =
     (Fuzz_case.to_string fr.case)
     (Fuzz_case.to_string fr.shrunk)
     (repro_line fr.shrunk);
-  (match Mlc_diag.Crash_bundle.last_bundle () with
+  (match fr.bundle with
   | Some p -> Format.fprintf ppf "@,  bundle: %s" p
   | None -> ());
   Format.fprintf ppf "@]"
 
 let fails c = Option.is_some (Fuzz_oracle.check c)
 
-(* Check one already-built case (the --replay path). *)
+(* Check one already-built case (the --replay path). Shrinking re-checks
+   many candidates and the final verdict re-checks the winning one, so
+   oracle verdicts are memoised by the case codec: every distinct
+   candidate compiles its config matrix exactly once. *)
 let check_one ?(index = 0) case =
   match Fuzz_oracle.check case with
   | None -> None
   | Some failure ->
-    let shrunk = Fuzz_shrink.minimize ~fails case in
+    let memo : (string, Fuzz_oracle.failure option) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let check c =
+      let k = Fuzz_case.to_string c in
+      match Hashtbl.find_opt memo k with
+      | Some r -> r
+      | None ->
+        let r = Fuzz_oracle.check c in
+        Hashtbl.add memo k r;
+        r
+    in
+    let shrunk =
+      Fuzz_shrink.minimize ~fails:(fun c -> Option.is_some (check c)) case
+    in
     let failure =
-      match Fuzz_oracle.check shrunk with
+      match check shrunk with
       | Some f -> f
       | None -> failure (* shrinker raced a flaky predicate; keep original *)
     in
-    Some { index; case; shrunk; failure }
+    Some
+      {
+        index;
+        case;
+        shrunk;
+        failure;
+        bundle = Mlc_diag.Crash_bundle.last_bundle ();
+      }
 
 (* Run the fuzzer. [log] receives progress lines; failures stop the run
    after [max_failures] (shrinking is expensive, and one minimal repro
    per root cause is what the burn-down needs). *)
-let run ?(log = fun _ -> ()) ?(max_failures = 3) ~seed ~count () =
+let run ?(log = fun _ -> ()) ?(max_failures = 3) ?(jobs = 1) ~seed ~count () =
+  let gen_case i = Fuzz_gen.gen (Random.State.make [| seed; i; 0xF022 |]) in
   let failures = ref [] in
+  (* In-order commit of case [i]'s result: the progress line precedes it
+     (counting mismatches among cases 0..i-1), exactly as the sequential
+     loop logs. *)
+  let commit i result =
+    if i > 0 && i mod 25 = 0 then
+      log (Printf.sprintf "fuzz: %d/%d cases, %d mismatches" i count
+             (List.length !failures));
+    match result with
+    | None -> ()
+    | Some fr ->
+      log (Format.asprintf "%a" pp_failure fr);
+      failures := fr :: !failures;
+      if List.length !failures >= max_failures then raise Exit
+  in
   (try
-     for i = 0 to count - 1 do
-       let st = Random.State.make [| seed; i; 0xF022 |] in
-       let case = Fuzz_gen.gen st in
-       if i > 0 && i mod 25 = 0 then
-         log (Printf.sprintf "fuzz: %d/%d cases, %d mismatches" i count
-                (List.length !failures));
-       match check_one ~index:i case with
-       | None -> ()
-       | Some fr ->
-         log (Format.asprintf "%a" pp_failure fr);
-         failures := fr :: !failures;
-         if List.length !failures >= max_failures then raise Exit
-     done
+     if jobs <= 1 then
+       for i = 0 to count - 1 do
+         commit i (check_one ~index:i (gen_case i))
+       done
+     else
+       Mlc_parallel.Pool.with_pool ~jobs (fun pool ->
+           let chunk = max 1 (jobs * 4) in
+           let i = ref 0 in
+           while !i < count do
+             let hi = min count (!i + chunk) in
+             let idxs = List.init (hi - !i) (fun d -> !i + d) in
+             let results =
+               Mlc_parallel.Pool.map pool
+                 (fun idx -> check_one ~index:idx (gen_case idx))
+                 idxs
+             in
+             List.iter2 commit idxs results;
+             i := hi
+           done)
    with Exit -> ());
   {
     seed;

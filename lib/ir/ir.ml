@@ -43,11 +43,11 @@ and block = {
 
 and region = { rid : int; mutable blocks : block list; mutable rgn_parent : op option }
 
-let next_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+(* One process-global atomic id well: IR may be built on several domains
+   concurrently (the parallel drivers), and a plain shared [ref] would
+   mint colliding ids, silently corrupting anything keyed by them. *)
+let id_counter = Atomic.make 0
+let next_id () = Atomic.fetch_and_add id_counter 1 + 1
 
 module Value = struct
   type t = value

@@ -1,0 +1,129 @@
+(* Content-addressed artifact cache: Mutex-protected in-memory tier plus
+   an optional on-disk tier of self-verifying files (16-byte payload
+   digest header + Marshal payload, written temp-file-then-rename so a
+   reader can never observe a partial entry). *)
+
+let mu = Mutex.create ()
+let mem : (string, string) Hashtbl.t = Hashtbl.create 256
+let dir = Atomic.make (None : string option)
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+
+let set_disk_dir d = Atomic.set dir d
+let disk_dir () = Atomic.get dir
+
+let clear_memory () =
+  Mutex.lock mu;
+  Hashtbl.reset mem;
+  Mutex.unlock mu
+
+let hits () = Atomic.get hit_count
+let misses () = Atomic.get miss_count
+
+let reset_stats () =
+  Atomic.set hit_count 0;
+  Atomic.set miss_count 0
+
+(* Length-framed so ["ab"; "c"] and ["a"; "bc"] hash differently. *)
+let key ~namespace ~version parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    (namespace :: version :: parts);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let mem_find k =
+  Mutex.lock mu;
+  let r = Hashtbl.find_opt mem k in
+  Mutex.unlock mu;
+  r
+
+let mem_add k payload =
+  Mutex.lock mu;
+  Hashtbl.replace mem k payload;
+  Mutex.unlock mu
+
+(* --- disk tier --- *)
+
+let disk_path d k = Filename.concat d (k ^ ".bin")
+
+(* Best-effort read: any IO error, short file or digest mismatch is a
+   miss — the entry is recomputed, never trusted. *)
+let disk_find d k =
+  match open_in_bin (disk_path d k) with
+  | exception _ -> None
+  | ic -> (
+    match
+      let len = in_channel_length ic in
+      if len < 16 then None
+      else begin
+        let digest = really_input_string ic 16 in
+        let payload = really_input_string ic (len - 16) in
+        if String.equal (Digest.string payload) digest then Some payload
+        else None
+      end
+    with
+    | r ->
+      close_in_noerr ic;
+      r
+    | exception _ ->
+      close_in_noerr ic;
+      None)
+
+(* Best-effort write: cache IO must never fail the computation. *)
+let disk_add d k payload =
+  try
+    (try if not (Sys.file_exists d) then Sys.mkdir d 0o755
+     with Sys_error _ -> ());
+    let tmp = Filename.temp_file ~temp_dir:d ("." ^ k) ".tmp" in
+    (try
+       let oc = open_out_bin tmp in
+       output_string oc (Digest.string payload);
+       output_string oc payload;
+       close_out oc;
+       Sys.rename tmp (disk_path d k)
+     with exn ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise exn)
+  with _ -> ()
+
+let find ~key:k =
+  let payload =
+    match mem_find k with
+    | Some p -> Some p
+    | None -> (
+      match Atomic.get dir with
+      | None -> None
+      | Some d -> (
+        match disk_find d k with
+        | Some p ->
+          mem_add k p;
+          Some p
+        | None -> None))
+  in
+  let decoded =
+    (* A payload that does not unmarshal (corrupt memory entry cannot
+       happen, but a forged or stale-format disk file can) is a miss. *)
+    Option.bind payload (fun p ->
+        try Some (Marshal.from_string p 0) with _ -> None)
+  in
+  (match decoded with
+  | Some _ -> Atomic.incr hit_count
+  | None -> Atomic.incr miss_count);
+  decoded
+
+let add ~key:k v =
+  let payload = Marshal.to_string v [] in
+  mem_add k payload;
+  match Atomic.get dir with None -> () | Some d -> disk_add d k payload
+
+let find_or_add ~key compute =
+  match find ~key with
+  | Some v -> (v, true)
+  | None ->
+    let v = compute () in
+    add ~key v;
+    (v, false)

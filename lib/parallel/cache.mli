@@ -1,0 +1,49 @@
+(** A content-addressed artifact cache.
+
+    Two tiers: a process-wide in-memory table (always on, safe to use
+    from any domain) and an optional on-disk tier (enable with
+    {!set_disk_dir}) whose entries survive across processes. Values are
+    stored as [Marshal] payloads; the key must therefore uniquely
+    determine the stored type — derive it with {!key} and bump the
+    [version] component whenever the marshaled representation (or the
+    semantics of the computation it caches) changes. Any stale, corrupt
+    or truncated disk entry is silently treated as a miss and
+    recomputed; disk writes go through a temp file plus atomic rename so
+    concurrent writers can never expose a partial entry. *)
+
+(** [key ~namespace ~version parts] hashes the length-framed
+    concatenation of the inputs into a hex digest usable as a file
+    name. *)
+val key : namespace:string -> version:string -> string list -> string
+
+(** Enable ([Some dir], created on first write) or disable ([None], the
+    default) the on-disk tier. *)
+val set_disk_dir : string option -> unit
+
+val disk_dir : unit -> string option
+
+(** [find ~key] returns the cached value, consulting memory first and
+    then the disk tier (promoting disk finds to memory). Counts one hit
+    or one miss. *)
+val find : key:string -> 'a option
+
+(** [add ~key v] stores [v] in both enabled tiers. Does not touch the
+    counters. *)
+val add : key:string -> 'a -> unit
+
+(** [find_or_add ~key compute] returns the cached value for [key] (and
+    [true]), or runs [compute], stores its result in both enabled tiers,
+    and returns it (and [false]). Concurrent callers with the same key
+    may both compute; both store the same content, so either write is
+    valid. *)
+val find_or_add : key:string -> (unit -> 'a) -> 'a * bool
+
+(** Drop every in-memory entry (the disk tier is untouched). *)
+val clear_memory : unit -> unit
+
+(** Hit/miss counters since start or {!reset_stats} ([find_or_add]
+    outcomes, across all domains). *)
+val hits : unit -> int
+
+val misses : unit -> int
+val reset_stats : unit -> unit

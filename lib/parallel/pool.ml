@@ -1,0 +1,119 @@
+(* The deterministic domain pool. Determinism contract: [map] evaluates
+   items in whatever order the workers pick them up, but commits results
+   (and re-raises failures) in submission order, so a caller that only
+   performs side effects while folding over the returned list observes
+   exactly the sequential schedule. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+type t = {
+  jobs : int;
+  mu : Mutex.t;
+  nonempty : Condition.t; (* signalled when [q] gains work or on close *)
+  q : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t array;
+  mutable closing : bool;
+}
+
+let jobs t = t.jobs
+
+(* Workers loop: pop a task under the lock, run it outside the lock.
+   Tasks never raise — [map] wraps the user function in a [result]. *)
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mu;
+    let rec take () =
+      if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+      else if t.closing then None
+      else begin
+        Condition.wait t.nonempty t.mu;
+        take ()
+      end
+    in
+    let task = take () in
+    Mutex.unlock t.mu;
+    match task with
+    | None -> ()
+    | Some run ->
+      run ();
+      next ()
+  in
+  next ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let t =
+    {
+      jobs;
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      q = Queue.create ();
+      workers = [||];
+      closing = false;
+    }
+  in
+  if jobs > 1 then
+    t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+(* Commit in submission order: the first [Error] encountered left to
+   right is the same failure a sequential run would have raised first. *)
+let commit results =
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok v) -> v
+         | Some (Error (exn, bt)) -> Printexc.raise_with_backtrace exn bt
+         | None -> assert false)
+       results)
+
+let map t f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let eval i =
+    try Ok (f arr.(i)) with exn -> Error (exn, Printexc.get_raw_backtrace ())
+  in
+  if Array.length t.workers = 0 || n <= 1 then
+    for i = 0 to n - 1 do
+      results.(i) <- Some (eval i)
+    done
+  else begin
+    (* Per-call completion tracking: a fresh condition paired with the
+       pool mutex, so concurrent [map] calls from different callers
+       cannot steal each other's wake-ups. *)
+    let finished = Condition.create () in
+    let completed = ref 0 in
+    Mutex.lock t.mu;
+    for i = 0 to n - 1 do
+      Queue.push
+        (fun () ->
+          let r = eval i in
+          Mutex.lock t.mu;
+          results.(i) <- Some r;
+          incr completed;
+          if !completed = n then Condition.signal finished;
+          Mutex.unlock t.mu)
+        t.q
+    done;
+    Condition.broadcast t.nonempty;
+    while !completed < n do
+      Condition.wait finished t.mu
+    done;
+    Mutex.unlock t.mu
+  end;
+  commit results
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map_list ?jobs f items = with_pool ?jobs (fun t -> map t f items)

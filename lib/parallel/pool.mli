@@ -1,0 +1,40 @@
+(** A deterministic domain pool.
+
+    Work items are pure functions evaluated on worker domains pulled from
+    a shared [Mutex]/[Condition] queue; results are committed back to the
+    caller in submission order, so anything the caller prints while
+    folding over them is byte-identical to a sequential run. All logging
+    and other side effects therefore belong in the caller's commit loop,
+    never inside the work function. *)
+
+type t
+
+(** The default worker count: the runtime's recommended domain count
+    (usually the number of cores). *)
+val default_jobs : unit -> int
+
+(** [create ~jobs ()] starts a pool of [jobs] worker domains ([jobs <= 1]
+    starts none and makes {!map} run inline). Defaults to
+    {!default_jobs}. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** [map t f items] evaluates [f] on every item (concurrently when the
+    pool has workers) and returns the results in submission order.
+
+    Exceptions: every item is evaluated; if any raised, the exception of
+    the lowest-index failing item is re-raised with its backtrace — the
+    same one a sequential left-to-right run would surface first. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Drain the queue and join the worker domains. The pool is unusable
+    afterwards; idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] over a transient pool, shutting it down
+    on the way out (including on exceptions). *)
+val with_pool : ?jobs:int -> (t -> 'b) -> 'b
+
+(** [map_list ~jobs f items] — {!map} over a transient pool. *)
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -105,6 +105,9 @@ type t = {
      (see [compile_slot]) *)
   mutable frep_compiled : frep_body option array;
   mutable frep_compiled_for : Program.t option;
+  (* per-pc FREP decode facts for the program in [frep_compiled_for];
+     per machine because programs are shared across concurrent runs *)
+  mutable frep_info : Program.frep_info option array;
 }
 
 and frep_body = {
@@ -141,6 +144,7 @@ let create ?(fuel = 200_000_000) ?(trace = false) ?(trace_cap = default_trace_ca
     trace_len = 0;
     frep_compiled = [||];
     frep_compiled_for = None;
+    frep_info = [||];
   }
 
 let set_ireg t i v = if i <> 0 then t.iregs.(i) <- v
@@ -448,7 +452,7 @@ let raise_as_trap t (p : Program.t) pc exn =
 
 (* Validate the body of the frep.o at [pc] (FPU-only instructions) and
    compute its cached facts; called once per pc. *)
-let frep_decode (p : Program.t) pc body_len =
+let frep_decode t (p : Program.t) pc body_len =
   for k = 1 to body_len do
     if not p.Program.is_fpu.(pc + k) then
       err "frep body contains a non-FPU instruction: %s"
@@ -477,7 +481,7 @@ let frep_decode (p : Program.t) pc body_len =
       stallfree_candidate = Array.for_all (fun r -> r < 3) dst_regs;
     }
   in
-  p.Program.frep_info.(pc) <- Some info;
+  t.frep_info.(pc) <- Some info;
   info
 
 (* The FP-source ready time of the pre-decoded instruction at [pc],
@@ -761,9 +765,9 @@ let fn_body t (p : Program.t) pc body_len body =
 let frep_execute_fast t (p : Program.t) pc body_len ~iterations ~avail =
   let insns = p.Program.insns in
   let info =
-    match p.Program.frep_info.(pc) with
+    match t.frep_info.(pc) with
     | Some info -> info
-    | None -> frep_decode p pc body_len
+    | None -> frep_decode t p pc body_len
   in
   let start0 = max t.fpu_free_at avail in
   let stall_free =
@@ -883,6 +887,7 @@ let run t (p : Program.t) ~entry =
   | Some q when q == p -> ()
   | _ ->
     t.frep_compiled <- Array.make n None;
+    t.frep_info <- Array.make n None;
     t.frep_compiled_for <- Some p);
   let src = if t.trace_enabled then Lazy.force p.Program.source else [||] in
   let pc = ref (Program.entry p entry) in

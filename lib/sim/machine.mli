@@ -61,6 +61,9 @@ type t = {
   mutable frep_compiled : frep_body option array;
       (** fast-engine cache of compiled FREP bodies (internal) *)
   mutable frep_compiled_for : Program.t option;
+  mutable frep_info : Program.frep_info option array;
+      (** per-pc FREP decode facts for [frep_compiled_for] — per machine,
+          since programs are immutable and shared across concurrent runs *)
 }
 
 and frep_body = {

@@ -18,9 +18,12 @@ let class_fp_load = 1
 let class_fp_store = 2
 let class_fpu = 3
 
-(* Per-pc cache of FREP body facts, filled by the machine on the first
+(* Per-pc facts about an FREP body, computed by the machine on the first
    dynamic encounter of the frep.o at that pc (after validating that the
-   body is FPU-only):
+   body is FPU-only). Cached in {!Machine.t}, not here: a program is an
+   immutable artifact that may be shared by concurrently running
+   machines, so decode caches must live with the machine doing the
+   decoding.
    - [flops_per_iter]: total FLOPs of one body replay;
    - [src_regs] / [dst_regs]: the distinct FP source / destination
      registers the body touches;
@@ -51,7 +54,6 @@ type t = {
   is_fpu : bool array;
   flops : int array;
   fp_class : int array; (* class_int | class_fp_load | class_fp_store | class_fpu *)
-  frep_info : frep_info option array; (* per-pc lazy cache, see above *)
 }
 
 let pad2 = function
@@ -118,7 +120,6 @@ let make ?source ~insns ~labels () =
     is_fpu;
     flops;
     fp_class;
-    frep_info = Array.make n None;
   }
 
 let of_asm (p : Asm_parse.program) =

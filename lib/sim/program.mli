@@ -12,8 +12,10 @@ val class_fp_load : int
 val class_fp_store : int
 val class_fpu : int
 
-(** Per-pc FREP body facts, cached by the machine at the first dynamic
-    encounter (after validating the body is FPU-only). *)
+(** Per-pc FREP body facts, computed (and cached in {!Machine.t} — a
+    program is immutable and may be shared across concurrently running
+    machines) at the first dynamic encounter, after validating the body
+    is FPU-only. *)
 type frep_info = {
   flops_per_iter : int;  (** total FLOPs of one body replay *)
   src_regs : int array;  (** distinct FP source registers of the body *)
@@ -37,7 +39,6 @@ type t = {
   is_fpu : bool array;
   flops : int array;
   fp_class : int array;
-  frep_info : frep_info option array;
 }
 
 (** Pre-decode an instruction array. [source] defaults to lazily rendering

@@ -1,0 +1,234 @@
+(* Tests for the domain-parallel driver layer (PR 5): deterministic
+   pool ordering and error selection, the qcheck property that
+   concurrent IR construction never repeats an id, cold-vs-warm compile
+   cache bit-identity (memory and disk tiers, including corrupt-entry
+   recovery), concurrent crash-bundle de-duplication, and -j4 ≡ -j1
+   byte-identity of the fuzz and check drivers. *)
+
+module Pool = Mlc_parallel.Pool
+module Cache = Mlc_parallel.Cache
+module Fuzz = Mlc_fuzz.Fuzz
+module Check_all = Mlc_fuzz.Check_all
+module Diag = Mlc_diag.Diag
+module Crash_bundle = Mlc_diag.Crash_bundle
+module Ir = Mlc_ir.Ir
+module Builders = Mlc_kernels.Builders
+
+(* --- pool determinism ------------------------------------------------ *)
+
+let test_pool_ordered () =
+  let items = List.init 200 Fun.id in
+  let f i = (i * i) + 1 in
+  let expect = List.map f items in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "parallel map is in submission order"
+        expect (Pool.map pool f items);
+      Alcotest.(check (list int)) "pool is reusable" expect
+        (Pool.map pool f items));
+  Alcotest.(check (list int)) "jobs=1 runs inline with the same result"
+    expect
+    (Pool.map_list ~jobs:1 f items)
+
+let test_pool_first_error () =
+  let f i = if i >= 100 then failwith (Printf.sprintf "i=%d" i) else i in
+  let got =
+    try
+      ignore (Pool.map_list ~jobs:4 f (List.init 150 Fun.id));
+      "no exception"
+    with Failure m -> m
+  in
+  (* Many items fail; the committed exception must be the one a
+     sequential left-to-right run would surface first. *)
+  Alcotest.(check string) "lowest-index failure wins" "i=100" got
+
+(* --- concurrent IR construction never repeats an id ------------------ *)
+
+let ids_of_module m =
+  List.concat_map
+    (fun op -> Ir.Op.id op :: List.map Ir.Value.id (Ir.Op.results op))
+    (Ir.collect m (fun _ -> true))
+
+let prop_concurrent_ids_unique =
+  QCheck.Test.make ~name:"concurrent IR construction never repeats an id"
+    ~count:15
+    (QCheck.make ~print:string_of_int QCheck.Gen.(1 -- 4))
+    (fun m ->
+      let build d =
+        (* Shape varies per domain and per trial so the builds are not
+           lockstep-identical. *)
+        let spec = Builders.matmul ~n:2 ~m:(m + d) ~k:3 () in
+        ids_of_module (spec.Builders.build ())
+      in
+      let domains = List.init 4 (fun d -> Domain.spawn (fun () -> build d)) in
+      let ids = List.concat_map Domain.join domains in
+      let tbl = Hashtbl.create 256 in
+      List.iter
+        (fun id ->
+          if Hashtbl.mem tbl id then
+            QCheck.Test.fail_reportf "id %d assigned twice" id;
+          Hashtbl.add tbl id ())
+        ids;
+      true)
+
+(* --- compile cache: cold vs warm bit-identity ------------------------ *)
+
+let spec () = Builders.matmul ~n:2 ~m:4 ~k:4 ()
+
+let test_cache_hit_bit_identical () =
+  Cache.set_disk_dir None;
+  Cache.clear_memory ();
+  Cache.reset_stats ();
+  let cold = Mlc.Runner.run (spec ()) in
+  let misses_cold = Cache.misses () in
+  let warm = Mlc.Runner.run (spec ()) in
+  Alcotest.(check bool) "cold run missed" true (misses_cold > 0);
+  Alcotest.(check bool) "warm run hit" true (Cache.hits () > 0);
+  Alcotest.(check bool) "no extra miss on the warm run" true
+    (Cache.misses () = misses_cold);
+  (* The whole result record: assembly text, metrics, outputs, allocator
+     report, emission stats — bit-identical to the cold compile. *)
+  Alcotest.(check bool) "hit result is bit-identical" true (cold = warm)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let test_disk_tier_and_corruption () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mlc-test-cache"
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_disk_dir None;
+      rm_rf dir)
+    (fun () ->
+      Cache.set_disk_dir (Some dir);
+      Cache.clear_memory ();
+      Cache.reset_stats ();
+      let cold = Mlc.Runner.run (spec ()) in
+      Alcotest.(check bool) "disk tier populated" true
+        (Sys.file_exists dir && Array.length (Sys.readdir dir) > 0);
+      (* Drop the memory tier: the next run may only hit via disk. *)
+      Cache.clear_memory ();
+      let hits0 = Cache.hits () in
+      let disk_warm = Mlc.Runner.run (spec ()) in
+      Alcotest.(check bool) "disk hit recorded" true (Cache.hits () > hits0);
+      Alcotest.(check bool) "disk hit is bit-identical" true (cold = disk_warm);
+      (* Corrupt every entry: reads must degrade to a silent recompute,
+         never an error or a wrong artifact. *)
+      Array.iter
+        (fun f ->
+          let oc = open_out (Filename.concat dir f) in
+          output_string oc "not a cache entry";
+          close_out oc)
+        (Sys.readdir dir);
+      Cache.clear_memory ();
+      let misses0 = Cache.misses () in
+      let recomputed = Mlc.Runner.run (spec ()) in
+      Alcotest.(check bool) "corrupt entry is a miss" true
+        (Cache.misses () > misses0);
+      Alcotest.(check bool) "recompute after corruption is bit-identical" true
+        (cold = recomputed);
+      (* The recompute rewrote a valid entry. *)
+      Cache.clear_memory ();
+      let hits1 = Cache.hits () in
+      let repaired = Mlc.Runner.run (spec ()) in
+      Alcotest.(check bool) "repaired entry hits again" true
+        (Cache.hits () > hits1);
+      Alcotest.(check bool) "repaired hit is bit-identical" true
+        (cold = repaired))
+
+(* --- concurrent crash-bundle writes ---------------------------------- *)
+
+let test_crash_bundle_concurrent_dedup () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mlc-test-parallel-bundles"
+  in
+  rm_rf dir;
+  Crash_bundle.set_dir dir;
+  let d =
+    Diag.make ~pass:"test-parallel" ~op:"test.op" ~component:"bundle"
+      "concurrent de-duplication probe"
+  in
+  let paths = Pool.map_list ~jobs:4 (fun _ -> Crash_bundle.write d) (List.init 8 Fun.id) in
+  let path =
+    match List.filter_map Fun.id paths with
+    | [] -> Alcotest.fail "no bundle written"
+    | p :: rest ->
+      List.iter
+        (Alcotest.(check string) "every writer reports the same bundle" p)
+        rest;
+      p
+  in
+  let files = Sys.readdir dir in
+  Alcotest.(check int) "exactly one file, no temp litter" 1
+    (Array.length files);
+  Alcotest.(check string) "bundle content is the rendering of the diag"
+    (Crash_bundle.render d)
+    (In_channel.with_open_bin path In_channel.input_all);
+  (* [last_bundle] is per-domain: the worker writes above must not have
+     set this domain's last bundle to [path] (this domain has written
+     nothing in this test). *)
+  Alcotest.(check bool) "worker writes don't set this domain's last_bundle"
+    true
+    (Crash_bundle.last_bundle () <> Some path);
+  ignore (Crash_bundle.write d);
+  Alcotest.(check (option string)) "write on this domain sets last_bundle"
+    (Some path)
+    (Crash_bundle.last_bundle ());
+  rm_rf dir
+
+(* --- fuzz and check drivers: -j4 byte-identical to -j1 --------------- *)
+
+let fuzz_transcript ~jobs =
+  let buf = Buffer.create 1024 in
+  let r =
+    Fuzz.run
+      ~log:(fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      ~jobs ~seed:42 ~count:60 ()
+  in
+  (Buffer.contents buf, r)
+
+let test_fuzz_jobs_identical () =
+  let log1, r1 = fuzz_transcript ~jobs:1 in
+  let log4, r4 = fuzz_transcript ~jobs:4 in
+  Alcotest.(check string) "fuzz transcript is byte-identical" log1 log4;
+  Alcotest.(check bool) "fuzz reports are identical" true (r1 = r4)
+
+let test_check_all_jobs_identical () =
+  let s1 = Check_all.run_all ~jobs:1 ~n:4 ~m:4 ~k:4 () in
+  let s4 = Check_all.run_all ~jobs:4 ~n:4 ~m:4 ~k:4 () in
+  Alcotest.(check (list string)) "check findings are byte-identical"
+    s1.Check_all.lines s4.Check_all.lines;
+  Alcotest.(check int) "same combo count" s1.Check_all.checked
+    s4.Check_all.checked;
+  Alcotest.(check int) "same error count" s1.Check_all.errors
+    s4.Check_all.errors;
+  Alcotest.(check bool) "the full matrix is clean" true
+    (s1.Check_all.errors = 0 && s1.Check_all.checked > 0)
+
+let suite =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "pool map order" `Quick test_pool_ordered;
+        Alcotest.test_case "pool first error" `Quick test_pool_first_error;
+        QCheck_alcotest.to_alcotest prop_concurrent_ids_unique;
+        Alcotest.test_case "cache hit bit-identical" `Quick
+          test_cache_hit_bit_identical;
+        Alcotest.test_case "disk tier + corruption" `Quick
+          test_disk_tier_and_corruption;
+        Alcotest.test_case "crash bundle concurrent dedup" `Quick
+          test_crash_bundle_concurrent_dedup;
+        Alcotest.test_case "fuzz -j4 == -j1" `Slow test_fuzz_jobs_identical;
+        Alcotest.test_case "check --all -j4 == -j1" `Quick
+          test_check_all_jobs_identical;
+      ] );
+  ]
