@@ -18,10 +18,15 @@
    (EXPERIMENTS.md records both).
 
    Flags:
-     --json      write BENCH_PR5.json with per-section host wall-clock,
-                 simulated-cycle tallies, the fig11 fast-path speedup,
-                 the Bechamel estimates, and the jobs/wall-time/cache
-                 counters of this run
+     --json      write BENCH_PR6.json with per-section host wall-clock,
+                 simulated-cycle tallies and compile/load/sim phase
+                 breakdown, the fig11 fast-path speedup, the Bechamel
+                 estimates, and the jobs/wall-time/cache counters of
+                 this run
+     --phases    print a per-section host-time phase table (compile =
+                 pass pipeline + regalloc + emission + lint, load =
+                 program construction, sim = simulation + readback,
+                 other = reference interpreter + driver overhead)
      --smoke     reduced sweep, no ablations/Bechamel (CI smoke test)
      -j N, --jobs N
                  worker domains for the per-cell parallel sections
@@ -72,16 +77,57 @@ let run_lowlevel spec =
   sim_cycles := !sim_cycles + r.Mlc.Runner.metrics.cycles;
   r
 
-(* (section name, host wall seconds, simulated cycles), execution order. *)
-let timings : (string * float * int) list ref = ref []
+(* Per-section host wall seconds, simulated cycles, and harness phase
+   deltas (Runner's process-wide totals snapshotted across the
+   section), in execution order. *)
+type section_timing = {
+  s_name : string;
+  s_wall : float;
+  s_cycles : int;
+  s_phases : Mlc.Runner.phase_totals;
+}
+
+let timings : section_timing list ref = ref []
 
 let timed name f =
   let c0 = !sim_cycles in
+  let p0 = Mlc.Runner.phases () in
   let t0 = Unix.gettimeofday () in
   let x = f () in
   let dt = Unix.gettimeofday () -. t0 in
-  timings := (name, dt, !sim_cycles - c0) :: !timings;
+  let p1 = Mlc.Runner.phases () in
+  timings :=
+    {
+      s_name = name;
+      s_wall = dt;
+      s_cycles = !sim_cycles - c0;
+      s_phases =
+        {
+          Mlc.Runner.load_s = p1.Mlc.Runner.load_s -. p0.Mlc.Runner.load_s;
+          compile_s = p1.Mlc.Runner.compile_s -. p0.Mlc.Runner.compile_s;
+          sim_s = p1.Mlc.Runner.sim_s -. p0.Mlc.Runner.sim_s;
+        };
+    }
+    :: !timings;
   x
+
+(* The --phases table: where each section's host time actually went.
+   "other" is the remainder — reference interpretation on cold reps,
+   input generation, printing, pool scheduling. *)
+let print_phase_table () =
+  section "Host-time phase breakdown (--phases)";
+  Printf.printf "%-20s %9s %9s %9s %9s %9s\n" "Section" "wall s" "compile s"
+    "load s" "sim s" "other s";
+  List.iter
+    (fun s ->
+      let p = s.s_phases in
+      let attributed =
+        p.Mlc.Runner.compile_s +. p.Mlc.Runner.load_s +. p.Mlc.Runner.sim_s
+      in
+      Printf.printf "%-20s %9.4f %9.4f %9.4f %9.4f %9.4f\n" s.s_name s.s_wall
+        p.Mlc.Runner.compile_s p.Mlc.Runner.load_s p.Mlc.Runner.sim_s
+        (Float.max 0.0 (s.s_wall -. attributed)))
+    (List.rev !timings)
 
 (* --- Table 1 --- *)
 
@@ -177,7 +223,10 @@ let fig10 ~pool () =
       Mlc_kernels.Registry.table1
   in
   let rows =
-    Mlc_parallel.Pool.map pool
+    (* Cells are sub-millisecond once the compile cache is warm; batch
+       one kernel's four shapes per pool work item so the queue round
+       trip amortises over the kernel, not each cell. *)
+    Mlc_parallel.Pool.map ~batch:4 pool
       (fun ((e : Mlc_kernels.Registry.entry), (n, m, k)) ->
         List.map
           (fun (_, flags) ->
@@ -210,7 +259,8 @@ let fig11 ~pool ~cols ~inners () =
     (String.make (7 * List.length cols) '-');
   let cells = List.concat_map (fun k -> List.map (fun m -> (k, m)) cols) inners in
   let results =
-    Mlc_parallel.Pool.map pool
+    (* One inner-dimension row (all M columns) per pool work item. *)
+    Mlc_parallel.Pool.map ~batch:(List.length cols) pool
       (fun (k, m) ->
         (* All buffers must fit the 128 KiB TCDM (paper §4.1). *)
         if 8 * ((k * m) + k + m) > 110 * 1024 then None
@@ -474,7 +524,7 @@ let speedup_measurement ~reps ~cols ~inners () =
               +. time_path (fun machine ->
                      let program = Mlc_riscv.Insn_emit.emit_module modl in
                      ignore
-                       (Mlc_sim.Machine.run machine program ~entry:fn_name))
+                       (Mlc_sim.Block_exec.run machine program ~entry:fn_name))
           end)
         cols)
     inners;
@@ -492,7 +542,7 @@ let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"bench\": \"PR5\",\n";
+  add "  \"bench\": \"PR6\",\n";
   add "  \"smoke\": %b,\n" smoke;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"host_wall_total_s\": %.6f,\n" total_wall;
@@ -503,9 +553,12 @@ let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
   add "  \"sections\": [\n";
   let secs = List.rev !timings in
   List.iteri
-    (fun i (name, wall, cycles) ->
-      add "    {\"name\": %S, \"host_wall_s\": %.6f, \"sim_cycles\": %d}%s\n"
-        name wall cycles
+    (fun i s ->
+      add
+        "    {\"name\": %S, \"host_wall_s\": %.6f, \"sim_cycles\": %d, \
+         \"compile_s\": %.6f, \"load_s\": %.6f, \"sim_s\": %.6f}%s\n"
+        s.s_name s.s_wall s.s_cycles s.s_phases.Mlc.Runner.compile_s
+        s.s_phases.Mlc.Runner.load_s s.s_phases.Mlc.Runner.sim_s
         (if i = List.length secs - 1 then "" else ","))
     secs;
   add "  ],\n";
@@ -538,6 +591,7 @@ let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
 let () =
   let argv = Array.to_list Sys.argv in
   let json = List.mem "--json" argv in
+  let phases = List.mem "--phases" argv in
   let smoke = List.mem "--smoke" argv in
   let jobs =
     let rec find = function
@@ -581,8 +635,9 @@ let () =
         []
   in
   let total_wall = Unix.gettimeofday () -. t_start in
+  if phases then print_phase_table ();
   if json then
-    write_json ~path:"BENCH_PR5.json" ~smoke ~reps ~jobs ~cache_enabled
+    write_json ~path:"BENCH_PR6.json" ~smoke ~reps ~jobs ~cache_enabled
       ~total_wall ~speedup ~bech;
   print_newline ();
   print_endline

@@ -57,17 +57,20 @@ let build (p : Program.t) (func : func) : t =
     else escapes := (pc, t) :: !escapes
   in
   let note_next pc = if pc + 1 <= func.last then Hashtbl.replace leaders (pc + 1) () in
+  (* Control classification is shared with the simulator's block
+     partitioner ([Program.control_of]) so both agree on what ends a
+     straight-line region; mode barriers are not control flow here. *)
   for pc = func.entry to func.last do
-    match insns.(pc) with
-    | Insn.Branch (_, _, _, t) ->
+    match Program.control_of insns.(pc) with
+    | Program.Ctl_branch t ->
       note_target pc t;
       note_next pc
-    | Insn.J t ->
+    | Program.Ctl_jump t ->
       note_target pc t;
       note_next pc
-    | Insn.Ret -> note_next pc
-    | Insn.Frep_o (_, len) -> freps := (pc, len) :: !freps
-    | _ -> ()
+    | Program.Ctl_ret -> note_next pc
+    | Program.Ctl_frep len -> freps := (pc, len) :: !freps
+    | Program.Ctl_fall | Program.Ctl_barrier -> ()
   done;
   let leader_pcs =
     Hashtbl.fold (fun pc () acc -> pc :: acc) leaders [] |> List.sort compare
@@ -89,13 +92,14 @@ let build (p : Program.t) (func : func) : t =
   Array.iter
     (fun b ->
       let succ_pcs =
-        match insns.(b.last) with
-        | Insn.Branch (_, _, _, t) ->
+        match Program.control_of insns.(b.last) with
+        | Program.Ctl_branch t ->
           (if in_range t then [ t ] else [])
           @ (if b.last + 1 <= func.last then [ b.last + 1 ] else [])
-        | Insn.J t -> if in_range t then [ t ] else []
-        | Insn.Ret -> []
-        | _ -> if b.last + 1 <= func.last then [ b.last + 1 ] else []
+        | Program.Ctl_jump t -> if in_range t then [ t ] else []
+        | Program.Ctl_ret -> []
+        | Program.Ctl_fall | Program.Ctl_frep _ | Program.Ctl_barrier ->
+          if b.last + 1 <= func.last then [ b.last + 1 ] else []
       in
       b.succs <-
         List.sort_uniq compare

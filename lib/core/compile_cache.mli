@@ -13,14 +13,26 @@
     {!lookup} always misses with an empty key and {!store} is a no-op. *)
 val set_enabled : bool -> unit
 
-(** [lookup ~flags m] — [m] must be a freshly built generic (pre-pass)
-    module; it is printed to compute the key. [`Miss key] hands back the
-    key to pass to {!store} once [m] has been compiled and linted. *)
+(** [lookup ~flags ~ir_text] — [ir_text] must be the printed generic
+    (pre-pass) module about to be compiled; the caller prints it so one
+    rendering can serve several lookups. [`Hit (key, r)] carries the key
+    for {!program_for}; [`Miss key] hands back the key to pass to
+    {!store} once the module has been compiled and linted. *)
 val lookup :
   flags:Mlc_transforms.Pipeline.flags ->
-  Mlc_ir.Ir.op ->
-  [ `Hit of Mlc_transforms.Pipeline.result | `Miss of string ]
+  ir_text:string ->
+  [ `Hit of string * Mlc_transforms.Pipeline.result
+  | `Miss of string ]
 
 (** Store a lint-clean compilation result under a key from {!lookup}.
     No-op on the empty key. *)
 val store : key:string -> Mlc_transforms.Pipeline.result -> unit
+
+(** The pre-decoded program of a cached artifact, memoized per key so
+    warm hits skip the assembly re-parse. Programs are immutable and
+    safe to share across machines and domains. On the empty key the
+    assembly is parsed without memoization. *)
+val program_for : key:string -> Mlc_transforms.Pipeline.result -> Mlc_sim.Program.t
+
+(** Drop the per-key program memo (test isolation). *)
+val clear_programs : unit -> unit

@@ -31,10 +31,59 @@ type metrics = {
    test. *)
 type sim_path = Direct | Via_text
 
-(* Which simulation engine executes the program: the fast pre-decoded
-   engine or the reference per-instruction loop (the timing oracle). Both
-   produce bit-identical performance counters. *)
-type engine = Fast | Reference
+(* Which simulation engine executes the program: the block-fused engine
+   (default), the per-instruction fast path, or the reference
+   per-instruction loop (the timing oracle). All three produce
+   bit-identical performance counters. *)
+type engine = Fast | Per_insn | Reference
+
+(* --- host-side phase attribution ---
+
+   Process-wide wall-clock totals for the three phases a benchmark rep
+   spends its time in: [compile] (pass pipeline + register allocation +
+   emission + lint), [load] (program construction: direct emission,
+   assembly parse, or the cached-program lookup), [sim] (machine setup,
+   simulation, output readback). Mutex-protected plain refs: bench
+   drivers run kernels across pool domains and read the totals once per
+   section. *)
+type phase_totals = { load_s : float; compile_s : float; sim_s : float }
+
+let phase_mu = Mutex.create ()
+let ph_load = ref 0.0
+let ph_compile = ref 0.0
+let ph_sim = ref 0.0
+
+let reset_phases () =
+  Mutex.lock phase_mu;
+  ph_load := 0.0;
+  ph_compile := 0.0;
+  ph_sim := 0.0;
+  Mutex.unlock phase_mu
+
+let phases () =
+  Mutex.lock phase_mu;
+  let r = { load_s = !ph_load; compile_s = !ph_compile; sim_s = !ph_sim } in
+  Mutex.unlock phase_mu;
+  r
+
+(* Run [f], adding its wall time to [cell] even when it raises (a failed
+   compile is still compile time). *)
+let timed_phase cell f =
+  let t0 = Unix.gettimeofday () in
+  let add () =
+    let dt = Unix.gettimeofday () -. t0 in
+    Mutex.lock phase_mu;
+    cell := !cell +. dt;
+    Mutex.unlock phase_mu
+  in
+  match f () with
+  | v ->
+    add ();
+    v
+  | exception exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    add ();
+    Printexc.raise_with_backtrace exn bt
 
 (* Graceful degradation: when a rung of the fallback lattice fails with
    a diagnosed error, the next rung is tried on a freshly built module;
@@ -164,19 +213,26 @@ let metrics_of (perf : Mlc_sim.Machine.perf) =
 
 let simulate_program ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args
     ~data program =
-  let machine = Mlc_sim.Machine.create ~trace () in
-  let addrs = setup_machine ~elem machine args data in
-  let run =
-    match engine with
-    | Fast -> Mlc_sim.Machine.run
-    | Reference -> Mlc_sim.Machine.run_reference
-  in
-  let outcome = run machine program ~entry:fn_name in
-  let outputs = read_back ~elem machine args addrs in
-  (metrics_of outcome.Mlc_sim.Machine.perf, outputs, Mlc_sim.Machine.trace machine)
+  timed_phase ph_sim (fun () ->
+      let machine = Mlc_sim.Machine.create ~trace () in
+      let addrs = setup_machine ~elem machine args data in
+      let run =
+        match engine with
+        | Fast -> Mlc_sim.Block_exec.run
+        | Per_insn -> Mlc_sim.Machine.run
+        | Reference -> Mlc_sim.Machine.run_reference
+      in
+      let outcome = run machine program ~entry:fn_name in
+      let outputs = read_back ~elem machine args addrs in
+      ( metrics_of outcome.Mlc_sim.Machine.perf,
+        outputs,
+        Mlc_sim.Machine.trace machine ))
 
 let simulate ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args ~data asm =
-  let program = Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm) in
+  let program =
+    timed_phase ph_load (fun () ->
+        Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm))
+  in
   simulate_program ~trace ~engine ~elem ~fn_name ~args ~data program
 
 (* --- expected outputs through the interpreter --- *)
@@ -204,6 +260,65 @@ let interp_expected (spec : Builders.spec) (data : float array list) =
            [ Array.copy b.Mlc_interp.Interp.data ]
          | _ -> [])
        spec.Builders.args rt_args)
+
+(* Expected-output memo: repeated runs of the same kernel at the same
+   seed (benchmark reps, warm CI runs) re-derive identical reference
+   outputs through the interpreter — by far the most expensive part of
+   a warm, compile-cached rep. Keyed by the digest of the generic IR
+   text (which fixes the kernel's semantics and argument signature)
+   plus the input seed; only cache-eligible runs consult it, so the key
+   is always available. Stored values are private copies; hits return
+   fresh copies so callers may mutate their [expected] freely. *)
+(* Printing the generic module is pure cache-key computation on a warm
+   run (the module itself is untouched on a hit); memoize the text by
+   the spec's physical identity — the bench and property harnesses
+   reuse one spec value across reps. Specs are immutable and [build] is
+   deterministic, so identity implies identical text. Bounded LRU-ish
+   list, compared with [==]. *)
+let ir_memo_mu = Mutex.create ()
+let ir_memo : (Obj.t * string) list ref = ref []
+let ir_memo_cap = 64
+
+let ir_text_for (spec : Builders.spec) render =
+  let key = Obj.repr spec in
+  let found =
+    Mutex.lock ir_memo_mu;
+    let r = List.find_opt (fun (k, _) -> k == key) !ir_memo in
+    Mutex.unlock ir_memo_mu;
+    r
+  in
+  match found with
+  | Some (_, txt) -> txt
+  | None ->
+    let txt = render () in
+    Mutex.lock ir_memo_mu;
+    (let keep =
+       if List.length !ir_memo >= ir_memo_cap then
+         List.filteri (fun i _ -> i < ir_memo_cap - 1) !ir_memo
+       else !ir_memo
+     in
+     ir_memo := (key, txt) :: keep);
+    Mutex.unlock ir_memo_mu;
+    txt
+
+let expected_mu = Mutex.create ()
+let expected_memo : (string, float array list) Hashtbl.t = Hashtbl.create 64
+
+let interp_expected_memo ~memo_key spec data =
+  let found =
+    Mutex.lock expected_mu;
+    let r = Hashtbl.find_opt expected_memo memo_key in
+    Mutex.unlock expected_mu;
+    r
+  in
+  match found with
+  | Some e -> List.map Array.copy e
+  | None ->
+    let e = interp_expected spec data in
+    Mutex.lock expected_mu;
+    Hashtbl.replace expected_memo memo_key (List.map Array.copy e);
+    Mutex.unlock expected_mu;
+    e
 
 (* --- entry points --- *)
 
@@ -274,7 +389,6 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
     ?(pipeline_of = Mlc_transforms.Pipeline.passes) ?crash_ctx
     ?(cache = true) (spec : Builders.spec) : run_result =
   let data = gen_inputs ~seed ~elem:spec.Builders.elem spec.Builders.args in
-  let expected = interp_expected spec data in
   (* Artifact-cache gate: only the default compile qualifies — a custom
      allocator or substituted pass list changes the artifact without
      changing the key, and tracing needs the program's own source lines,
@@ -284,6 +398,27 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
     && pipeline_of == Mlc_transforms.Pipeline.passes
     && not trace
   in
+  (* Built at most once per run: the module serves the cache key
+     (printed generic IR — memoized per spec, so a warm rep skips the
+     build and the print entirely) and, on a miss, the first rung's
+     compile — the pass pipeline mutates it, so later rungs rebuild
+     from the spec. *)
+  let m0 = lazy (spec.Builders.build ()) in
+  let ir_text =
+    if use_cache then
+      Some
+        (ir_text_for spec (fun () -> Mlc_ir.Printer.to_string (Lazy.force m0)))
+    else None
+  in
+  let expected =
+    match ir_text with
+    | Some txt ->
+      let memo_key =
+        Digest.to_hex (Digest.string txt) ^ "/" ^ string_of_int seed
+      in
+      interp_expected_memo ~memo_key spec data
+    | None -> interp_expected spec data
+  in
   let rungs =
     let l = Mlc_transforms.Pipeline.fallback_lattice flags in
     if fallback then l else [ List.hd l ]
@@ -292,8 +427,7 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
     Printf.sprintf "%s (%s)" rung
       (Mlc_transforms.Pipeline.describe_flags rflags)
   in
-  let attempt rung rflags =
-    let m = spec.Builders.build () in
+  let attempt ~first rung rflags =
     let bundle_ctx =
       match crash_ctx with
       | Some c ->
@@ -306,26 +440,37 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
     in
     let compiled, program =
       match
-        if use_cache then Compile_cache.lookup ~flags:rflags m else `Miss ""
+        match ir_text with
+        | Some txt -> Compile_cache.lookup ~flags:rflags ~ir_text:txt
+        | None -> `Miss ""
       with
-      | `Hit compiled ->
+      | `Hit (key, compiled) ->
         (* Cached artifacts are lint-clean by construction (see the
            store below), and the direct and print→parse programs are
            equal (registry-wide equivalence test), so reconstructing
-           from the cached assembly is bit-identical to recompiling. *)
+           from the cached assembly is bit-identical to recompiling —
+           and the pre-decoded program itself is memoized per key, so a
+           warm hit costs two table lookups, not a parse. *)
         ( compiled,
-          Mlc_sim.Program.of_asm
-            (Mlc_sim.Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm) )
+          timed_phase ph_load (fun () -> Compile_cache.program_for ~key compiled)
+        )
       | `Miss key ->
+        (* The first attempt consumes the module already built for the
+           cache key (still pristine: it was only printed); fallback
+           rungs rebuild from the spec. *)
+        let m = if first then Lazy.force m0 else spec.Builders.build () in
         let compiled =
-          compile_rung ~verify_each ~pipeline_of ~allocator ~bundle_ctx rflags m
+          timed_phase ph_compile (fun () ->
+              compile_rung ~verify_each ~pipeline_of ~allocator ~bundle_ctx
+                rflags m)
         in
         let program =
-          match sim_path with
-          | Direct -> Insn_emit.emit_module m
-          | Via_text ->
-            Mlc_sim.Program.of_asm
-              (Mlc_sim.Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm)
+          timed_phase ph_load (fun () ->
+              match sim_path with
+              | Direct -> Insn_emit.emit_module m
+              | Via_text ->
+                Mlc_sim.Program.of_asm
+                  (Mlc_sim.Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm))
         in
         (* Mandatory post-emission lint: an error-severity finding is a
            diagnosed compile failure and engages the fallback lattice. *)
@@ -369,7 +514,7 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
              (Mlc_diag.Diag.add_note d ("crash bundle: " ^ path)))
       | None -> raise (Mlc_diag.Diag.Diagnostic d))
     | (rung, rflags) :: rest -> (
-      match attempt rung rflags with
+      match attempt ~first:(attempts = []) rung rflags with
       | compiled, metrics, outputs, trace_lines ->
         let degradation =
           match attempts with
@@ -417,26 +562,34 @@ let run_lowlevel ?(seed = 42) ?(verify_each = true) ?(sim_path = Direct)
          spec.Lowlevel.args ref_data)
   in
   let m = spec.Lowlevel.build () in
-  if verify_each then Verifier.verify m;
-  Mlc_ir.Pass.run ~verify_each m
-    [
-      Mlc_transforms.Lower_snitch_stream.pass;
-      Mlc_transforms.Rv_canonicalize.pass;
-      Mlc_transforms.Legalize_stream_writes.pass;
-    ];
-  let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
-  let reports =
-    List.map
-      (fun fn -> (Rv_func.name fn, Mlc_regalloc.Remat.allocate_with_remat fn))
-      fns
+  let asm, reports, stats =
+    timed_phase ph_compile (fun () ->
+        if verify_each then Verifier.verify m;
+        Mlc_ir.Pass.run ~verify_each m
+          [
+            Mlc_transforms.Lower_snitch_stream.pass;
+            Mlc_transforms.Rv_canonicalize.pass;
+            Mlc_transforms.Legalize_stream_writes.pass;
+          ];
+        let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
+        let reports =
+          List.map
+            (fun fn ->
+              (Rv_func.name fn, Mlc_regalloc.Remat.allocate_with_remat fn))
+            fns
+        in
+        if verify_each then Verifier.verify m;
+        let asm = Asm_emit.emit_module m in
+        let stats =
+          List.map (fun fn -> (Rv_func.name fn, Asm_emit.func_stats fn)) fns
+        in
+        (asm, reports, stats))
   in
-  if verify_each then Verifier.verify m;
-  let asm = Asm_emit.emit_module m in
-  let stats = List.map (fun fn -> (Rv_func.name fn, Asm_emit.func_stats fn)) fns in
   let program =
-    match sim_path with
-    | Direct -> Insn_emit.emit_module m
-    | Via_text -> Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm)
+    timed_phase ph_load (fun () ->
+        match sim_path with
+        | Direct -> Insn_emit.emit_module m
+        | Via_text -> Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm))
   in
   (match Mlc_analysis.Lint.error_of (Mlc_analysis.Lint.check_program program)
    with

@@ -25,10 +25,23 @@ type metrics = {
     registry-wide equivalence test. *)
 type sim_path = Direct | Via_text
 
-(** Which engine executes the program: the fast pre-decoded engine
-    (default) or the reference per-instruction loop (the timing oracle).
-    Performance counters are bit-identical between the two. *)
-type engine = Fast | Reference
+(** Which engine executes the program: the block-fused engine
+    ({!Mlc_sim.Block_exec}, the default), the per-instruction fast path
+    ({!Mlc_sim.Machine.run}), or the reference per-instruction loop (the
+    timing oracle). Performance counters — and trap records — are
+    bit-identical across all three. *)
+type engine = Fast | Per_insn | Reference
+
+(** Process-wide wall-clock totals of the harness phases: [compile_s]
+    (pass pipeline, register allocation, emission, lint), [load_s]
+    (program construction: direct emission, assembly parse, or cached
+    lookup), [sim_s] (machine setup, simulation, output readback).
+    Accumulated across all domains; the benchmark driver snapshots them
+    per section for its [--phases]/[--json] breakdown. *)
+type phase_totals = { load_s : float; compile_s : float; sim_s : float }
+
+val phases : unit -> phase_totals
+val reset_phases : unit -> unit
 
 (** The graceful-degradation record of a run that fell back: [rung] is
     the {!Mlc_transforms.Pipeline.fallback_lattice} configuration that

@@ -34,9 +34,10 @@ let check_combo ~n ~m ~k (c : combo) =
   | Some entry ->
     let spec = entry.Registry.instantiate ~n ~m ~k () in
     let m_ = spec.Builders.build () in
+    let ir_text = Mlc_ir.Printer.to_string m_ in
     let result, miss_key =
-      match Mlc.Compile_cache.lookup ~flags:c.flags m_ with
-      | `Hit r -> (r, None)
+      match Mlc.Compile_cache.lookup ~flags:c.flags ~ir_text with
+      | `Hit (_, r) -> (r, None)
       | `Miss key ->
         (Mlc_transforms.Pipeline.compile ~flags:c.flags m_, Some key)
     in

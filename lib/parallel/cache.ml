@@ -1,10 +1,19 @@
 (* Content-addressed artifact cache: Mutex-protected in-memory tier plus
    an optional on-disk tier of self-verifying files (16-byte payload
    digest header + Marshal payload, written temp-file-then-rename so a
-   reader can never observe a partial entry). *)
+   reader can never observe a partial entry).
+
+   The memory tier stores the live value ([Obj.t]-erased, never
+   marshaled): a warm in-process hit costs one table lookup, not a
+   [Marshal.from_string] of a multi-kilobyte payload per hit — the
+   dominant warm-run overhead the disk-tier format would otherwise
+   impose on both tiers. The usual [Marshal] type-safety contract
+   applies unchanged (the key uniquely determines the stored type), and
+   callers must treat cached values as immutable: the same live value is
+   returned to every hit. *)
 
 let mu = Mutex.create ()
-let mem : (string, string) Hashtbl.t = Hashtbl.create 256
+let mem : (string, Obj.t) Hashtbl.t = Hashtbl.create 256
 let dir = Atomic.make (None : string option)
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
@@ -41,9 +50,9 @@ let mem_find k =
   Mutex.unlock mu;
   r
 
-let mem_add k payload =
+let mem_add k (v : Obj.t) =
   Mutex.lock mu;
-  Hashtbl.replace mem k payload;
+  Hashtbl.replace mem k v;
   Mutex.unlock mu
 
 (* --- disk tier --- *)
@@ -91,24 +100,24 @@ let disk_add d k payload =
   with _ -> ()
 
 let find ~key:k =
-  let payload =
+  let decoded =
     match mem_find k with
-    | Some p -> Some p
+    | Some v -> Some (Obj.obj v) (* live value: no unmarshal on warm hits *)
     | None -> (
       match Atomic.get dir with
       | None -> None
       | Some d -> (
         match disk_find d k with
-        | Some p ->
-          mem_add k p;
-          Some p
+        | Some p -> (
+          (* A payload that does not unmarshal (a forged or stale-format
+             disk file) is a miss; a valid one is decoded exactly once
+             and promoted to the memory tier as a live value. *)
+          match Marshal.from_string p 0 with
+          | v ->
+            mem_add k (Obj.repr v);
+            Some v
+          | exception _ -> None)
         | None -> None))
-  in
-  let decoded =
-    (* A payload that does not unmarshal (corrupt memory entry cannot
-       happen, but a forged or stale-format disk file can) is a miss. *)
-    Option.bind payload (fun p ->
-        try Some (Marshal.from_string p 0) with _ -> None)
   in
   (match decoded with
   | Some _ -> Atomic.incr hit_count
@@ -116,9 +125,11 @@ let find ~key:k =
   decoded
 
 let add ~key:k v =
-  let payload = Marshal.to_string v [] in
-  mem_add k payload;
-  match Atomic.get dir with None -> () | Some d -> disk_add d k payload
+  mem_add k (Obj.repr v);
+  (* Marshal only when a disk tier will actually consume the bytes. *)
+  match Atomic.get dir with
+  | None -> ()
+  | Some d -> disk_add d k (Marshal.to_string v [])
 
 let find_or_add ~key compute =
   match find ~key with

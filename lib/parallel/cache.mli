@@ -2,14 +2,17 @@
 
     Two tiers: a process-wide in-memory table (always on, safe to use
     from any domain) and an optional on-disk tier (enable with
-    {!set_disk_dir}) whose entries survive across processes. Values are
-    stored as [Marshal] payloads; the key must therefore uniquely
-    determine the stored type — derive it with {!key} and bump the
-    [version] component whenever the marshaled representation (or the
-    semantics of the computation it caches) changes. Any stale, corrupt
-    or truncated disk entry is silently treated as a miss and
-    recomputed; disk writes go through a temp file plus atomic rename so
-    concurrent writers can never expose a partial entry. *)
+    {!set_disk_dir}) whose entries survive across processes. The memory
+    tier holds live values — a warm in-process hit is one table lookup,
+    no unmarshal — while the disk tier stores [Marshal] payloads
+    (decoded once per process and promoted to memory). The key must
+    uniquely determine the stored type — derive it with {!key} and bump
+    the [version] component whenever the marshaled representation (or
+    the semantics of the computation it caches) changes. Because hits
+    share one live value, callers must treat cached values as immutable.
+    Any stale, corrupt or truncated disk entry is silently treated as a
+    miss and recomputed; disk writes go through a temp file plus atomic
+    rename so concurrent writers can never expose a partial entry. *)
 
 (** [key ~namespace ~version parts] hashes the length-framed
     concatenation of the inputs into a hex digest usable as a file

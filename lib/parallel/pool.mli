@@ -20,13 +20,18 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
-(** [map t f items] evaluates [f] on every item (concurrently when the
-    pool has workers) and returns the results in submission order.
+(** [map ~batch t f items] evaluates [f] on every item (concurrently
+    when the pool has workers) and returns the results in submission
+    order. [batch] (default 1) groups that many consecutive items into
+    one queued work item — use it when individual items are too cheap
+    to amortise the queue round trip; when the whole list fits in one
+    chunk the items run inline on the caller.
 
     Exceptions: every item is evaluated; if any raised, the exception of
     the lowest-index failing item is re-raised with its backtrace — the
-    same one a sequential left-to-right run would surface first. *)
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+    same one a sequential left-to-right run would surface first
+    (regardless of [batch]). *)
+val map : ?batch:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Drain the queue and join the worker domains. The pool is unusable
     afterwards; idempotent. *)

@@ -1,0 +1,473 @@
+(* The block-fused execution engine (DESIGN.md, "Block-fused
+   execution"): the PR1 insight that compiling a hot region to OCaml
+   closures beats re-dispatching on instruction tags every cycle,
+   generalised from FREP bodies to every straight-line basic block.
+
+   At program load time [Program.partition] splits the pre-decoded
+   instruction stream into fused blocks (straight-line runs with no
+   interior label, branch target, FREP slot or mode barrier). On first
+   execution of a block under a given SSR stream mask, [compile_block]
+   chains one specialised closure per instruction — register numbers,
+   immediates, widths and stream-ness baked in — so executing the block
+   is a single call that threads the machine state through locals and
+   direct field updates, with no per-instruction fuel check, dispatch,
+   or metadata array loads.
+
+   Counter batching: fuel, retired, flops, fpu_busy, loads and stores
+   are committed once per block execution from the partition's
+   precomputed totals; the closures never touch them. Stream
+   reads/writes still tick inside [Machine.pop_stream]/[push_stream] —
+   they advance mid-instruction and the trap dump must see the exact
+   element count. When a closure faults, [reconcile] rolls the batched
+   commit back to the per-instruction engine's exact prefix (the
+   [b_adj_*] arrays), so the resulting [Trap.Trap] record — pc,
+   instruction, perf dump, fuel line — is bit-identical to the one
+   [Machine.run] raises for the same fault.
+
+   Fallback to [Machine.step_fast], the per-instruction fast path:
+   - pcs with no fused block (FREP headers — which keep their PR1 fused
+     replay — and body slots, scfgwi/csrsi/csrci barriers, blocks of
+     fewer than two instructions);
+   - a block entered with [fuel <= b_len]: out-of-fuel must trap at the
+     exact instruction, so the tail of the run is stepped;
+   - tracing runs delegate to [Machine.run] wholesale (the trace ring
+     wants per-instruction issue times).
+
+   The engines' differential test (test_block_exec) asserts
+   bit-identical registers, memory, counters and trap records against
+   [Machine.run] over the kernel registry and a fuzz corpus. *)
+
+module M = Machine
+
+(* Generic FP timing for one fused-block instruction — [fpu_timing_fast]
+   minus the fpu_busy/flops updates (those are batched). *)
+let[@inline] fpu_timing_nocount (t : M.t) (p : Program.t) pc ~avail =
+  let start = max t.M.fpu_free_at avail in
+  let rd r m =
+    if r >= 0 && not (M.is_stream_reg t r) then max m t.M.fp_ready.(r) else m
+  in
+  let start =
+    rd p.Program.fp_src3.(pc)
+      (rd p.Program.fp_src2.(pc) (rd p.Program.fp_src1.(pc) start))
+  in
+  t.M.fpu_free_at <- start + 1;
+  let latency =
+    let c = p.Program.fp_class.(pc) in
+    if c = Program.class_fp_load then M.fp_load_latency
+    else if c = Program.class_fp_store then 1
+    else M.fpu_latency
+  in
+  let d = p.Program.fp_dst.(pc) in
+  if d >= 0 && not (M.is_stream_reg t d) then t.M.fp_ready.(d) <- start + latency;
+  if start + latency > t.M.fpu_last_done then t.M.fpu_last_done <- start + latency
+
+(* Compile the fused block [b] for machine [t] under the current stream
+   mask. The closure chain executes every instruction in order and
+   returns the successor pc ([lnot retpc] for a terminating ret). Each
+   instruction's state transitions replicate [Machine.step_fast]'s arm
+   for that instruction exactly, minus the batched counters; faultable
+   instructions record their pc in [t.blk_pc] first so [reconcile] and
+   the trap know the exact fault point. *)
+let compile_block (t : M.t) (p : Program.t) (b : Program.block) : unit -> int =
+  let first = b.Program.b_first and len = b.Program.b_len in
+  let insns = p.Program.insns in
+  let iregs = t.M.iregs
+  and fregs = t.M.fregs
+  and int_ready = t.M.int_ready
+  and fp_ready = t.M.fp_ready in
+  let streaming = t.M.ssr_enabled in
+  let stream r = streaming && r < 3 in
+  let[@inline] rd_i r = if r = 0 then 0L else iregs.(r) in
+  let[@inline] wr_i r v = if r <> 0 then iregs.(r) <- v in
+  let rec mk k : unit -> int =
+    let pc = first + k in
+    let next : unit -> int =
+      if k + 1 < len then mk (k + 1) else fun () -> pc + 1
+    in
+    let insn = insns.(pc) in
+    match insn with
+    | Insn.Li (rd, imm) ->
+      fun () ->
+        let issue = t.M.core_time in
+        wr_i rd imm;
+        t.M.core_time <- issue + 1;
+        int_ready.(rd) <- issue + 1;
+        next ()
+    | Insn.Mv (rd, rs) ->
+      fun () ->
+        let m = t.M.core_time in
+        let issue = if int_ready.(rs) > m then int_ready.(rs) else m in
+        wr_i rd (rd_i rs);
+        t.M.core_time <- issue + 1;
+        int_ready.(rd) <- issue + 1;
+        next ()
+    | Insn.Alu (Insn.Add, rd, rs1, rs2) ->
+      fun () ->
+        let m = t.M.core_time in
+        let m = if int_ready.(rs1) > m then int_ready.(rs1) else m in
+        let issue = if int_ready.(rs2) > m then int_ready.(rs2) else m in
+        wr_i rd (Int64.add (rd_i rs1) (rd_i rs2));
+        t.M.core_time <- issue + 1;
+        int_ready.(rd) <- issue + 1;
+        next ()
+    | Insn.Alu (op, rd, rs1, rs2) ->
+      fun () ->
+        let m = t.M.core_time in
+        let m = if int_ready.(rs1) > m then int_ready.(rs1) else m in
+        let issue = if int_ready.(rs2) > m then int_ready.(rs2) else m in
+        wr_i rd (M.apply_alu op (rd_i rs1) (rd_i rs2));
+        t.M.core_time <- issue + 1;
+        int_ready.(rd) <- issue + 1;
+        next ()
+    | Insn.Alui (Insn.Add, rd, rs1, imm) ->
+      fun () ->
+        let m = t.M.core_time in
+        let issue = if int_ready.(rs1) > m then int_ready.(rs1) else m in
+        wr_i rd (Int64.add (rd_i rs1) imm);
+        t.M.core_time <- issue + 1;
+        int_ready.(rd) <- issue + 1;
+        next ()
+    | Insn.Alui (op, rd, rs1, imm) ->
+      fun () ->
+        let m = t.M.core_time in
+        let issue = if int_ready.(rs1) > m then int_ready.(rs1) else m in
+        wr_i rd (M.apply_alu op (rd_i rs1) imm);
+        t.M.core_time <- issue + 1;
+        int_ready.(rd) <- issue + 1;
+        next ()
+    | Insn.Load (width, rd, off, base) ->
+      if width = 8 then
+        fun () ->
+          t.M.blk_pc <- pc;
+          let m = t.M.core_time in
+          let issue = if int_ready.(base) > m then int_ready.(base) else m in
+          let addr = Int64.to_int (rd_i base) + off in
+          let v = M.mem_get64 t.M.mem addr in
+          wr_i rd v;
+          t.M.core_time <- issue + 1;
+          int_ready.(rd) <- issue + M.int_load_latency;
+          next ()
+      else
+        fun () ->
+          t.M.blk_pc <- pc;
+          let m = t.M.core_time in
+          let issue = if int_ready.(base) > m then int_ready.(base) else m in
+          let addr = Int64.to_int (rd_i base) + off in
+          let v = Int64.of_int32 (Mem.load32 t.M.mem addr) in
+          wr_i rd v;
+          t.M.core_time <- issue + 1;
+          int_ready.(rd) <- issue + M.int_load_latency;
+          next ()
+    | Insn.Store (width, rs, off, base) ->
+      if width = 8 then
+        fun () ->
+          t.M.blk_pc <- pc;
+          let m = t.M.core_time in
+          let m = if int_ready.(rs) > m then int_ready.(rs) else m in
+          let issue = if int_ready.(base) > m then int_ready.(base) else m in
+          let addr = Int64.to_int (rd_i base) + off in
+          M.mem_set64 t.M.mem addr (rd_i rs);
+          t.M.core_time <- issue + 1;
+          next ()
+      else
+        fun () ->
+          t.M.blk_pc <- pc;
+          let m = t.M.core_time in
+          let m = if int_ready.(rs) > m then int_ready.(rs) else m in
+          let issue = if int_ready.(base) > m then int_ready.(base) else m in
+          let addr = Int64.to_int (rd_i base) + off in
+          Mem.store32 t.M.mem addr (Int64.to_int32 (rd_i rs));
+          t.M.core_time <- issue + 1;
+          next ()
+    | Insn.Branch (cond, rs1, rs2, target) ->
+      (* Terminator: [partition] guarantees it is the block's last
+         instruction, so [next] is never taken from here. *)
+      fun () ->
+        let m = t.M.core_time in
+        let m = if int_ready.(rs1) > m then int_ready.(rs1) else m in
+        let issue = if int_ready.(rs2) > m then int_ready.(rs2) else m in
+        let a = rd_i rs1 and b = rd_i rs2 in
+        let taken =
+          match cond with
+          | Insn.Beq -> a = b
+          | Insn.Bne -> a <> b
+          | Insn.Blt -> Int64.compare a b < 0
+          | Insn.Bge -> Int64.compare a b >= 0
+        in
+        if taken then begin
+          t.M.core_time <- issue + M.taken_branch_cost;
+          target
+        end
+        else begin
+          t.M.core_time <- issue + 1;
+          pc + 1
+        end
+    | Insn.J target ->
+      fun () ->
+        t.M.core_time <- t.M.core_time + M.taken_branch_cost;
+        target
+    | Insn.Ret ->
+      fun () ->
+        t.M.core_time <- t.M.core_time + 1;
+        lnot pc
+    | Insn.Nop ->
+      fun () ->
+        t.M.core_time <- t.M.core_time + 1;
+        next ()
+    | Insn.Fmadd (Insn.D, fd, fs1, fs2, fs3) ->
+      let st1 = stream fs1
+      and st2 = stream fs2
+      and st3 = stream fs3
+      and std = stream fd in
+      let faultable = st1 || st2 || st3 || std in
+      fun () ->
+        if faultable then t.M.blk_pc <- pc;
+        let m = t.M.core_time in
+        let f = t.M.fpu_free_at - M.fpu_fifo_depth in
+        let issue = if f > m then f else m in
+        t.M.core_time <- issue + 1;
+        let a = M.f64_of (if st1 then M.pop_stream t fs1 else fregs.(fs1))
+        and b = M.f64_of (if st2 then M.pop_stream t fs2 else fregs.(fs2))
+        and c = M.f64_of (if st3 then M.pop_stream t fs3 else fregs.(fs3)) in
+        let v = M.bits_of_f64 (Float.fma a b c) in
+        (if std then M.push_stream t fd v else fregs.(fd) <- v);
+        let avail = issue + 1 in
+        let start =
+          let f = t.M.fpu_free_at in
+          if f > avail then f else avail
+        in
+        let start =
+          if st1 then start
+          else if fp_ready.(fs1) > start then fp_ready.(fs1)
+          else start
+        in
+        let start =
+          if st2 then start
+          else if fp_ready.(fs2) > start then fp_ready.(fs2)
+          else start
+        in
+        let start =
+          if st3 then start
+          else if fp_ready.(fs3) > start then fp_ready.(fs3)
+          else start
+        in
+        t.M.fpu_free_at <- start + 1;
+        if not std then fp_ready.(fd) <- start + M.fpu_latency;
+        if start + M.fpu_latency > t.M.fpu_last_done then
+          t.M.fpu_last_done <- start + M.fpu_latency;
+        next ()
+    | Insn.Fop (op, Insn.D, fd, fs1, fs2) ->
+      let st1 = stream fs1 and st2 = stream fs2 and std = stream fd in
+      let faultable = st1 || st2 || std in
+      fun () ->
+        if faultable then t.M.blk_pc <- pc;
+        let m = t.M.core_time in
+        let f = t.M.fpu_free_at - M.fpu_fifo_depth in
+        let issue = if f > m then f else m in
+        t.M.core_time <- issue + 1;
+        let a = M.f64_of (if st1 then M.pop_stream t fs1 else fregs.(fs1))
+        and b = M.f64_of (if st2 then M.pop_stream t fs2 else fregs.(fs2)) in
+        let v = M.bits_of_f64 (M.apply_fop op a b) in
+        (if std then M.push_stream t fd v else fregs.(fd) <- v);
+        let avail = issue + 1 in
+        let start =
+          let f = t.M.fpu_free_at in
+          if f > avail then f else avail
+        in
+        let start =
+          if st1 then start
+          else if fp_ready.(fs1) > start then fp_ready.(fs1)
+          else start
+        in
+        let start =
+          if st2 then start
+          else if fp_ready.(fs2) > start then fp_ready.(fs2)
+          else start
+        in
+        t.M.fpu_free_at <- start + 1;
+        if not std then fp_ready.(fd) <- start + M.fpu_latency;
+        if start + M.fpu_latency > t.M.fpu_last_done then
+          t.M.fpu_last_done <- start + M.fpu_latency;
+        next ()
+    | Insn.Fmv (fd, fs) ->
+      let st1 = stream fs and std = stream fd in
+      let faultable = st1 || std in
+      fun () ->
+        if faultable then t.M.blk_pc <- pc;
+        let m = t.M.core_time in
+        let f = t.M.fpu_free_at - M.fpu_fifo_depth in
+        let issue = if f > m then f else m in
+        t.M.core_time <- issue + 1;
+        let v = if st1 then M.pop_stream t fs else fregs.(fs) in
+        (if std then M.push_stream t fd v else fregs.(fd) <- v);
+        let avail = issue + 1 in
+        let start =
+          let f = t.M.fpu_free_at in
+          if f > avail then f else avail
+        in
+        let start =
+          if st1 then start
+          else if fp_ready.(fs) > start then fp_ready.(fs)
+          else start
+        in
+        t.M.fpu_free_at <- start + 1;
+        if not std then fp_ready.(fd) <- start + M.fpu_latency;
+        if start + M.fpu_latency > t.M.fpu_last_done then
+          t.M.fpu_last_done <- start + M.fpu_latency;
+        next ()
+    | Insn.Fload (width, fd, off, base) ->
+      let std = stream fd in
+      fun () ->
+        t.M.blk_pc <- pc;
+        let m = t.M.core_time in
+        let m = if int_ready.(base) > m then int_ready.(base) else m in
+        let f = t.M.fpu_free_at - M.fpu_fifo_depth in
+        let issue = if f > m then f else m in
+        t.M.core_time <- issue + 1;
+        let addr = Int64.to_int (rd_i base) + off in
+        let v =
+          if width = 8 then M.mem_get64 t.M.mem addr
+          else Int64.logand (Int64.of_int32 (Mem.load32 t.M.mem addr)) 0xFFFFFFFFL
+        in
+        (if std then M.push_stream t fd v else fregs.(fd) <- v);
+        let avail = issue + 1 in
+        let start =
+          let f = t.M.fpu_free_at in
+          if f > avail then f else avail
+        in
+        t.M.fpu_free_at <- start + 1;
+        if not std then fp_ready.(fd) <- start + M.fp_load_latency;
+        if start + M.fp_load_latency > t.M.fpu_last_done then
+          t.M.fpu_last_done <- start + M.fp_load_latency;
+        next ()
+    | Insn.Fstore (width, fs, off, base) ->
+      let sts = stream fs in
+      fun () ->
+        t.M.blk_pc <- pc;
+        let m = t.M.core_time in
+        let m = if int_ready.(base) > m then int_ready.(base) else m in
+        let f = t.M.fpu_free_at - M.fpu_fifo_depth in
+        let issue = if f > m then f else m in
+        t.M.core_time <- issue + 1;
+        let addr = Int64.to_int (rd_i base) + off in
+        let v = if sts then M.pop_stream t fs else fregs.(fs) in
+        (if width = 8 then M.mem_set64 t.M.mem addr v
+         else Mem.store32 t.M.mem addr (Int64.to_int32 v));
+        let avail = issue + 1 in
+        let start =
+          let f = t.M.fpu_free_at in
+          if f > avail then f else avail
+        in
+        let start =
+          if sts then start
+          else if fp_ready.(fs) > start then fp_ready.(fs)
+          else start
+        in
+        t.M.fpu_free_at <- start + 1;
+        if start + 1 > t.M.fpu_last_done then t.M.fpu_last_done <- start + 1;
+        next ()
+    | Insn.Fop (_, Insn.S, _, _, _)
+    | Insn.Fmadd (Insn.S, _, _, _, _)
+    | Insn.Fcvt_from_int _ | Insn.Fmv_from_bits _ | Insn.Vf _ | Insn.Vfmac _
+    | Insn.Vfsum _ | Insn.Vfcpka _ ->
+      (* Rare shapes: generic functional executor + no-count timing.
+         Their functional paths never touch loads/stores, so the
+         batched counters stay exact; stream pops/pushes inside
+         [fpu_execute_functional] still tick incrementally. *)
+      let s1 = p.Program.int_src1.(pc) in
+      fun () ->
+        t.M.blk_pc <- pc;
+        let m = t.M.core_time in
+        let m = if s1 >= 0 && int_ready.(s1) > m then int_ready.(s1) else m in
+        let f = t.M.fpu_free_at - M.fpu_fifo_depth in
+        let issue = if f > m then f else m in
+        t.M.core_time <- issue + 1;
+        M.fpu_execute_functional t insn;
+        fpu_timing_nocount t p pc ~avail:(issue + 1);
+        next ()
+    | Insn.Scfgwi _ | Insn.Csrsi _ | Insn.Csrci _ | Insn.Frep_o _ ->
+      (* [partition] never fuses these. *)
+      assert false
+  in
+  mk 0
+
+(* Batched counter commit for one execution of [b]; the matching
+   rollback is [reconcile]. Fuel is pre-checked by the caller
+   ([fuel > b_len]), so the subtraction cannot exhaust it. *)
+let[@inline] commit (t : M.t) (b : Program.block) =
+  t.M.fuel <- t.M.fuel - b.Program.b_len;
+  let perf = t.M.perf in
+  perf.M.retired <- perf.M.retired + b.Program.b_len;
+  perf.M.flops <- perf.M.flops + b.Program.b_flops;
+  perf.M.fpu_busy <- perf.M.fpu_busy + b.Program.b_fpu;
+  perf.M.loads <- perf.M.loads + b.Program.b_loads;
+  perf.M.stores <- perf.M.stores + b.Program.b_stores
+
+(* Roll the batched commit back to the exact per-instruction prefix for
+   a fault at [t.blk_pc]: the per-instruction engine would have burned
+   fuel and retired through the faulting instruction inclusive, and
+   accumulated the [b_adj_*] counts (see [Program.block]). *)
+let reconcile (t : M.t) (b : Program.block) =
+  let k = t.M.blk_pc - b.Program.b_first in
+  let k = if k < 0 then 0 else if k >= b.Program.b_len then b.Program.b_len - 1 else k in
+  let undone = b.Program.b_len - (k + 1) in
+  t.M.fuel <- t.M.fuel + undone;
+  let perf = t.M.perf in
+  perf.M.retired <- perf.M.retired - undone;
+  perf.M.flops <- perf.M.flops - (b.Program.b_flops - b.Program.b_adj_flops.(k));
+  perf.M.fpu_busy <- perf.M.fpu_busy - (b.Program.b_fpu - b.Program.b_adj_fpu.(k));
+  perf.M.loads <- perf.M.loads - (b.Program.b_loads - b.Program.b_adj_loads.(k));
+  perf.M.stores <- perf.M.stores - (b.Program.b_stores - b.Program.b_adj_stores.(k))
+
+let run (t : M.t) (p : Program.t) ~entry =
+  if t.M.trace_enabled then M.run t p ~entry
+  else begin
+    M.prepare t p;
+    let n = Array.length p.Program.insns in
+    let blocks = p.Program.blocks in
+    let blk_compiled = t.M.blk_compiled in
+    let pc = ref (Program.entry p entry) in
+    let running = ref true in
+    (try
+       while !running do
+         let pc0 = !pc in
+         if pc0 < 0 || pc0 >= n then
+           raise (M.Exec_error (Printf.sprintf "pc %d out of program bounds" pc0));
+         match blocks.(pc0) with
+         | Some b when t.M.fuel > b.Program.b_len ->
+           let exec =
+             match blk_compiled.(pc0) with
+             | Some c when c.M.bc_streaming = t.M.ssr_enabled -> c.M.bc_exec
+             | _ ->
+               let exec = compile_block t p b in
+               blk_compiled.(pc0) <-
+                 Some { M.bc_streaming = t.M.ssr_enabled; bc_exec = exec };
+               exec
+           in
+           t.M.blk_pc <- pc0;
+           commit t b;
+           let next =
+             try exec ()
+             with exn ->
+               reconcile t b;
+               pc := t.M.blk_pc;
+               raise exn
+           in
+           if next >= 0 then pc := next
+           else begin
+             (* The block ended in ret at [lnot next]: halt with the pc
+                on the ret, matching the per-instruction engines. *)
+             pc := lnot next;
+             running := false
+           end
+         | _ ->
+           (* Per-instruction fallback: no fused block here, or too
+              little fuel to guarantee the block completes (out-of-fuel
+              must trap at the exact instruction). *)
+           let next = M.step_fast t p pc0 in
+           if next = -1 then running := false else pc := next
+       done
+     with exn -> M.raise_as_trap t p !pc exn);
+    t.M.perf.M.cycles <- max t.M.core_time t.M.fpu_last_done;
+    { M.perf = t.M.perf; final_pc = !pc }
+  end

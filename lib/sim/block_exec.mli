@@ -1,0 +1,20 @@
+(** The block-fused execution engine (DESIGN.md, "Block-fused
+    execution"): executes {!Program.t} values by compiling each fused
+    basic block (precomputed by [Program.partition]) into a single
+    OCaml closure chain that threads machine state through locals, and
+    committing the block's fuel/retired/flops/fpu_busy/loads/stores in
+    one batched update per execution. Falls back to the
+    per-instruction fast path ({!Machine.step_fast}) for FREP headers
+    (which keep their fused replay), SSR/CSR mode barriers,
+    single-instruction blocks, and blocks entered with too little fuel
+    to complete; tracing runs delegate to {!Machine.run} wholesale.
+
+    Observable behaviour is bit-identical to {!Machine.run} and
+    {!Machine.run_reference}: registers, memory, performance counters,
+    [final_pc], and — via rollback of the batched counter commit to
+    the per-instruction prefix — the exact {!Trap.Trap} record for any
+    mid-block fault, attributed to the faulting pc. *)
+
+(** Execute from the [entry] label until [ret]; same contract as
+    {!Machine.run}. *)
+val run : Machine.t -> Program.t -> entry:string -> Machine.outcome

@@ -108,12 +108,26 @@ type t = {
   (* per-pc FREP decode facts for the program in [frep_compiled_for];
      per machine because programs are shared across concurrent runs *)
   mutable frep_info : Program.frep_info option array;
+  (* block-engine state (Block_exec): per block-start pc, the closure
+     compiled for [frep_compiled_for] under the recorded stream mask;
+     [blk_pc] is the pc of the instruction currently executing inside a
+     fused block, maintained by faultable closures so a trap can be
+     attributed to the exact instruction *)
+  mutable blk_compiled : blk_closure option array;
+  mutable blk_pc : int;
 }
 
 and frep_body = {
   b_mask : int;
   b_fused : (unit -> unit) array;
   mutable b_fn : (unit -> unit) array option;
+}
+
+and blk_closure = {
+  bc_streaming : bool; (* the [ssr_enabled] mask compiled against *)
+  bc_exec : unit -> int;
+      (* executes the whole block; returns the next pc, or [lnot retpc]
+         when the block ended in [ret] at [retpc] *)
 }
 
 let default_trace_cap = 65536
@@ -145,7 +159,22 @@ let create ?(fuel = 200_000_000) ?(trace = false) ?(trace_cap = default_trace_ca
     frep_compiled = [||];
     frep_compiled_for = None;
     frep_info = [||];
+    blk_compiled = [||];
+    blk_pc = 0;
   }
+
+(* (Re)size the per-program decode/compile caches when this machine
+   first sees [p] (or switches programs). Shared by both the
+   per-instruction fast path and the block engine. *)
+let prepare t (p : Program.t) =
+  match t.frep_compiled_for with
+  | Some q when q == p -> ()
+  | _ ->
+    let n = Array.length p.Program.insns in
+    t.frep_compiled <- Array.make n None;
+    t.frep_info <- Array.make n None;
+    t.blk_compiled <- Array.make n None;
+    t.frep_compiled_for <- Some p
 
 let set_ireg t i v = if i <> 0 then t.iregs.(i) <- v
 let get_ireg t i = if i = 0 then 0L else t.iregs.(i)
@@ -877,130 +906,134 @@ let frep_execute_fast t (p : Program.t) pc body_len ~iterations ~avail =
     t.perf.retired <- t.perf.retired + (body_len * iterations)
   end
 
+(* One step of the fast engine at [pc]: burns fuel, retires the
+   instruction, applies its functional and timing effects, and returns
+   the next pc (or -1 after [ret], leaving the caller's pc on the ret).
+   Shared between [run] and the per-instruction fallback of
+   [Block_exec.run]; any fault escapes with the machine state exactly as
+   the engine's trap contract requires (the caller's pc still names the
+   faulting instruction). *)
+let step_fast t (p : Program.t) pc =
+  burn_fuel t;
+  let insn = p.Program.insns.(pc) in
+  t.perf.retired <- t.perf.retired + 1;
+  let issue =
+    let m = t.core_time in
+    let s1 = p.Program.int_src1.(pc) in
+    let m = if s1 >= 0 && t.int_ready.(s1) > m then t.int_ready.(s1) else m in
+    let s2 = p.Program.int_src2.(pc) in
+    if s2 >= 0 && t.int_ready.(s2) > m then t.int_ready.(s2) else m
+  in
+  if t.trace_enabled then trace_push t issue (Lazy.force p.Program.source).(pc);
+  match insn with
+  | Insn.Li (rd, imm) ->
+    set_ireg t rd imm;
+    t.core_time <- issue + 1;
+    t.int_ready.(rd) <- issue + 1;
+    pc + 1
+  | Insn.Mv (rd, rs) ->
+    set_ireg t rd (get_ireg t rs);
+    t.core_time <- issue + 1;
+    t.int_ready.(rd) <- issue + 1;
+    pc + 1
+  | Insn.Alu (op, rd, rs1, rs2) ->
+    set_ireg t rd (apply_alu op (get_ireg t rs1) (get_ireg t rs2));
+    t.core_time <- issue + 1;
+    t.int_ready.(rd) <- issue + 1;
+    pc + 1
+  | Insn.Alui (op, rd, rs1, imm) ->
+    set_ireg t rd (apply_alu op (get_ireg t rs1) imm);
+    t.core_time <- issue + 1;
+    t.int_ready.(rd) <- issue + 1;
+    pc + 1
+  | Insn.Load (width, rd, off, base) ->
+    let addr = Int64.to_int (get_ireg t base) + off in
+    let v =
+      if width = 8 then Mem.load64 t.mem addr
+      else Int64.of_int32 (Mem.load32 t.mem addr)
+    in
+    set_ireg t rd v;
+    t.perf.loads <- t.perf.loads + 1;
+    t.core_time <- issue + 1;
+    t.int_ready.(rd) <- issue + int_load_latency;
+    pc + 1
+  | Insn.Store (width, rs, off, base) ->
+    let addr = Int64.to_int (get_ireg t base) + off in
+    (if width = 8 then Mem.store64 t.mem addr (get_ireg t rs)
+     else Mem.store32 t.mem addr (Int64.to_int32 (get_ireg t rs)));
+    t.perf.stores <- t.perf.stores + 1;
+    t.core_time <- issue + 1;
+    pc + 1
+  | Insn.Branch (cond, rs1, rs2, target) ->
+    let a = get_ireg t rs1 and b = get_ireg t rs2 in
+    let taken =
+      match cond with
+      | Beq -> a = b
+      | Bne -> a <> b
+      | Blt -> Int64.compare a b < 0
+      | Bge -> Int64.compare a b >= 0
+    in
+    t.core_time <- issue + (if taken then taken_branch_cost else 1);
+    if taken then target else pc + 1
+  | Insn.J target ->
+    t.core_time <- issue + taken_branch_cost;
+    target
+  | Insn.Ret ->
+    t.core_time <- issue + 1;
+    -1
+  | Insn.Nop ->
+    t.core_time <- issue + 1;
+    pc + 1
+  | Insn.Csrsi (csr, _) ->
+    if csr = 0x7c0 then t.ssr_enabled <- true;
+    t.core_time <- issue + 1;
+    pc + 1
+  | Insn.Csrci (csr, _) ->
+    if csr = 0x7c0 then t.ssr_enabled <- false;
+    (* Disabling streams synchronises with outstanding FP work. *)
+    t.core_time <- max (issue + 1) t.fpu_last_done;
+    pc + 1
+  | Insn.Scfgwi (rs1, imm) ->
+    do_scfgwi t (get_ireg t rs1) imm;
+    t.core_time <- issue + 1;
+    pc + 1
+  | Insn.Frep_o (rpt_reg, body_len) ->
+    if pc + body_len >= Array.length p.Program.insns then
+      err "frep body runs past end of program";
+    let iterations = Int64.to_int (get_ireg t rpt_reg) + 1 in
+    if iterations <= 0 then err "frep with non-positive iteration count";
+    t.perf.freps <- t.perf.freps + 1;
+    (* The core issues the frep plus the n buffered instructions once;
+       the sequencer replays them without the core. *)
+    t.core_time <- issue + 1 + body_len;
+    frep_execute_fast t p pc body_len ~iterations ~avail:t.core_time;
+    pc + 1 + body_len
+  | Insn.Fload _ | Insn.Fstore _ | Insn.Fop _ | Insn.Fmadd _ | Insn.Fmv _
+  | Insn.Fcvt_from_int _ | Insn.Fmv_from_bits _ | Insn.Vf _ | Insn.Vfmac _
+  | Insn.Vfsum _ | Insn.Vfcpka _ ->
+    (* Core issues the FP instruction into the FPU FIFO (one core
+       cycle); when the FIFO is full the core waits for the FPU to
+       drain below the depth. *)
+    let issue = max issue (t.fpu_free_at - fpu_fifo_depth) in
+    t.core_time <- issue + 1;
+    fpu_execute_functional t insn;
+    fpu_timing_fast t p pc ~avail:(issue + 1);
+    pc + 1
+
 (* The fast engine: pre-decoded scoreboard metadata, per-pc FREP caches,
    no allocation per retired instruction. *)
 let run t (p : Program.t) ~entry =
-  let insns = p.Program.insns in
-  let int_src1 = p.Program.int_src1 and int_src2 = p.Program.int_src2 in
-  let n = Array.length insns in
-  (match t.frep_compiled_for with
-  | Some q when q == p -> ()
-  | _ ->
-    t.frep_compiled <- Array.make n None;
-    t.frep_info <- Array.make n None;
-    t.frep_compiled_for <- Some p);
-  let src = if t.trace_enabled then Lazy.force p.Program.source else [||] in
+  let n = Array.length p.Program.insns in
+  prepare t p;
   let pc = ref (Program.entry p entry) in
   let running = ref true in
   (try
-  while !running do
-    if !pc < 0 || !pc >= n then err "pc %d out of program bounds" !pc;
-    burn_fuel t;
-    let insn = insns.(!pc) in
-    t.perf.retired <- t.perf.retired + 1;
-    let issue =
-      let m = t.core_time in
-      let s1 = int_src1.(!pc) in
-      let m = if s1 >= 0 && t.int_ready.(s1) > m then t.int_ready.(s1) else m in
-      let s2 = int_src2.(!pc) in
-      if s2 >= 0 && t.int_ready.(s2) > m then t.int_ready.(s2) else m
-    in
-    if t.trace_enabled then trace_push t issue src.(!pc);
-    (match insn with
-    | Insn.Li (rd, imm) ->
-      set_ireg t rd imm;
-      t.core_time <- issue + 1;
-      t.int_ready.(rd) <- issue + 1;
-      incr pc
-    | Insn.Mv (rd, rs) ->
-      set_ireg t rd (get_ireg t rs);
-      t.core_time <- issue + 1;
-      t.int_ready.(rd) <- issue + 1;
-      incr pc
-    | Insn.Alu (op, rd, rs1, rs2) ->
-      set_ireg t rd (apply_alu op (get_ireg t rs1) (get_ireg t rs2));
-      t.core_time <- issue + 1;
-      t.int_ready.(rd) <- issue + 1;
-      incr pc
-    | Insn.Alui (op, rd, rs1, imm) ->
-      set_ireg t rd (apply_alu op (get_ireg t rs1) imm);
-      t.core_time <- issue + 1;
-      t.int_ready.(rd) <- issue + 1;
-      incr pc
-    | Insn.Load (width, rd, off, base) ->
-      let addr = Int64.to_int (get_ireg t base) + off in
-      let v =
-        if width = 8 then Mem.load64 t.mem addr
-        else Int64.of_int32 (Mem.load32 t.mem addr)
-      in
-      set_ireg t rd v;
-      t.perf.loads <- t.perf.loads + 1;
-      t.core_time <- issue + 1;
-      t.int_ready.(rd) <- issue + int_load_latency;
-      incr pc
-    | Insn.Store (width, rs, off, base) ->
-      let addr = Int64.to_int (get_ireg t base) + off in
-      (if width = 8 then Mem.store64 t.mem addr (get_ireg t rs)
-       else Mem.store32 t.mem addr (Int64.to_int32 (get_ireg t rs)));
-      t.perf.stores <- t.perf.stores + 1;
-      t.core_time <- issue + 1;
-      incr pc
-    | Insn.Branch (cond, rs1, rs2, target) ->
-      let a = get_ireg t rs1 and b = get_ireg t rs2 in
-      let taken =
-        match cond with
-        | Beq -> a = b
-        | Bne -> a <> b
-        | Blt -> Int64.compare a b < 0
-        | Bge -> Int64.compare a b >= 0
-      in
-      t.core_time <- issue + (if taken then taken_branch_cost else 1);
-      pc := if taken then target else !pc + 1
-    | Insn.J target ->
-      t.core_time <- issue + taken_branch_cost;
-      pc := target
-    | Insn.Ret ->
-      t.core_time <- issue + 1;
-      running := false
-    | Insn.Nop ->
-      t.core_time <- issue + 1;
-      incr pc
-    | Insn.Csrsi (csr, _) ->
-      if csr = 0x7c0 then t.ssr_enabled <- true;
-      t.core_time <- issue + 1;
-      incr pc
-    | Insn.Csrci (csr, _) ->
-      if csr = 0x7c0 then t.ssr_enabled <- false;
-      (* Disabling streams synchronises with outstanding FP work. *)
-      t.core_time <- max (issue + 1) t.fpu_last_done;
-      incr pc
-    | Insn.Scfgwi (rs1, imm) ->
-      do_scfgwi t (get_ireg t rs1) imm;
-      t.core_time <- issue + 1;
-      incr pc
-    | Insn.Frep_o (rpt_reg, body_len) ->
-      if !pc + body_len >= n then err "frep body runs past end of program";
-      let iterations = Int64.to_int (get_ireg t rpt_reg) + 1 in
-      if iterations <= 0 then err "frep with non-positive iteration count";
-      t.perf.freps <- t.perf.freps + 1;
-      (* The core issues the frep plus the n buffered instructions once;
-         the sequencer replays them without the core. *)
-      t.core_time <- issue + 1 + body_len;
-      frep_execute_fast t p !pc body_len ~iterations ~avail:t.core_time;
-      pc := !pc + 1 + body_len
-    | Insn.Fload _ | Insn.Fstore _ | Insn.Fop _ | Insn.Fmadd _ | Insn.Fmv _
-    | Insn.Fcvt_from_int _ | Insn.Fmv_from_bits _ | Insn.Vf _ | Insn.Vfmac _
-    | Insn.Vfsum _ | Insn.Vfcpka _ ->
-      (* Core issues the FP instruction into the FPU FIFO (one core
-         cycle); when the FIFO is full the core waits for the FPU to
-         drain below the depth. *)
-      let issue = max issue (t.fpu_free_at - fpu_fifo_depth) in
-      t.core_time <- issue + 1;
-      fpu_execute_functional t insn;
-      fpu_timing_fast t p !pc ~avail:(issue + 1);
-      incr pc)
-  done
-  with exn -> raise_as_trap t p !pc exn);
+     while !running do
+       if !pc < 0 || !pc >= n then err "pc %d out of program bounds" !pc;
+       let next = step_fast t p !pc in
+       if next = -1 then running := false else pc := next
+     done
+   with exn -> raise_as_trap t p !pc exn);
   t.perf.cycles <- max t.core_time t.fpu_last_done;
   { perf = t.perf; final_pc = !pc }
 

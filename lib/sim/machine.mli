@@ -64,12 +64,24 @@ type t = {
   mutable frep_info : Program.frep_info option array;
       (** per-pc FREP decode facts for [frep_compiled_for] — per machine,
           since programs are immutable and shared across concurrent runs *)
+  mutable blk_compiled : blk_closure option array;
+      (** block-engine cache of compiled block closures (internal) *)
+  mutable blk_pc : int;
+      (** pc of the instruction executing inside a fused block, for
+          fault attribution (maintained by {!Block_exec}) *)
 }
 
 and frep_body = {
   b_mask : int;
   b_fused : (unit -> unit) array;
   mutable b_fn : (unit -> unit) array option;
+}
+
+and blk_closure = {
+  bc_streaming : bool;  (** the [ssr_enabled] mask compiled against *)
+  bc_exec : unit -> int;
+      (** runs the whole block; returns the next pc, or [lnot retpc]
+          when the block ended in [ret] at [retpc] *)
 }
 
 (** [create ~fuel ~trace ()] — [fuel] bounds dynamic instructions
@@ -114,3 +126,59 @@ val utilization : perf -> float
 
 (** FLOPs per cycle. *)
 val throughput : perf -> float
+
+(** {2 Engine internals shared with {!Block_exec}}
+
+    The block-fused engine lives in its own module but compiles blocks
+    down to the same primitive state transitions as the per-instruction
+    fast path; these exports are that shared vocabulary. They are not a
+    stable public API. *)
+
+(** (Re)size the per-program decode/compile caches (FREP bodies, FREP
+    facts, block closures) when [t] first sees this program or switches
+    programs. Idempotent on the same physical program. *)
+val prepare : t -> Program.t -> unit
+
+(** Execute exactly one instruction of the fast engine at [pc]: burns
+    fuel, retires, applies functional + timing effects. Returns the next
+    pc, or [-1] after [ret] (the caller's pc stays on the ret, matching
+    the engines' [final_pc]). Faults escape as raw exceptions with the
+    machine state at the faulting instruction. *)
+val step_fast : t -> Program.t -> int -> int
+
+(** Convert a fault escaping an engine loop into a typed {!Trap.Trap}
+    attributed to [pc]; unknown exceptions pass through unchanged. *)
+val raise_as_trap : t -> Program.t -> int -> exn -> 'a
+
+(** Functional execution of one FP-path instruction (no timing). *)
+val fpu_execute_functional : t -> Insn.t -> unit
+
+(** Pop/push one element of SSR data mover [i] (0-2), ticking the
+    stream perf counters; fault on misuse via {!Ssr.Stream_fault}. *)
+val pop_stream : t -> int -> int64
+
+val push_stream : t -> int -> int64 -> unit
+
+(** Is register [i] a streaming data register under the current mask? *)
+val is_stream_reg : t -> int -> bool
+
+val apply_alu : Insn.alu -> int64 -> int64 -> int64
+val apply_fop : Insn.fop -> float -> float -> float
+val f64_of : int64 -> float
+val bits_of_f64 : float -> int64
+val f32_round : float -> float
+val with_lo32 : int64 -> float -> int64
+
+(** Checked 64-bit TCDM accessors with the bounds/alignment fast path
+    inlined; the cold path raises the canonical {!Mem.Access_fault}. *)
+val mem_get64 : Mem.t -> int -> int64
+
+val mem_set64 : Mem.t -> int -> int64 -> unit
+
+(** Timing-model constants (DESIGN.md timing contract). *)
+val fpu_latency : int
+
+val int_load_latency : int
+val fp_load_latency : int
+val taken_branch_cost : int
+val fpu_fifo_depth : int

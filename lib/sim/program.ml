@@ -40,6 +40,62 @@ type frep_info = {
   stallfree_candidate : bool;
 }
 
+(* Control-flow classification shared by the simulator's block
+   partitioner (below) and the machine-code CFG in [Mlc_analysis.Cfg]:
+   one place decides what ends a straight-line region.
+   [Ctl_barrier] marks execution-mode changes (SSR configuration and
+   csr stream enable/disable) that are not control flow for CFG
+   purposes but must end a fused block: stream-ness of ft0-ft2 is baked
+   into compiled block closures at the current mask. *)
+type control =
+  | Ctl_fall
+  | Ctl_branch of int (* conditional; fall-through or target *)
+  | Ctl_jump of int
+  | Ctl_ret
+  | Ctl_frep of int (* frep.o header; body length *)
+  | Ctl_barrier (* scfgwi / csrsi / csrci *)
+
+let control_of (insn : Insn.t) =
+  match insn with
+  | Insn.Branch (_, _, _, target) -> Ctl_branch target
+  | Insn.J target -> Ctl_jump target
+  | Insn.Ret -> Ctl_ret
+  | Insn.Frep_o (_, body_len) -> Ctl_frep body_len
+  | Insn.Scfgwi _ | Insn.Csrsi _ | Insn.Csrci _ -> Ctl_barrier
+  | _ -> Ctl_fall
+
+(* A fused basic block: a maximal straight-line run of instructions
+   that contains no label, no branch target, no FREP header or body
+   slot and no mode barrier, except that a branch/jump/ret may be its
+   last instruction. The block engine executes it as one compiled
+   closure and commits the counters the per-instruction engine would
+   have accumulated ([b_flops], [b_fpu], [b_loads], [b_stores], plus
+   [b_len] each of fuel and retired) in one batched update at entry.
+
+   The [b_adj_*] arrays carry the exact counter prefix the
+   per-instruction engine would have accumulated when the instruction
+   at offset [k] faults, replicating its increment order: flops and
+   fpu_busy land after a successful execution (the faulting
+   instruction contributes none), an integer load/store counts only
+   after the access succeeds, while an FP load/store counts *before*
+   its access (the faulting instruction contributes one). On a fault
+   the engine rolls the batched commit back to [b_adj_*.(k)], making
+   the trap's perf dump bit-identical to the per-instruction engine's.
+   Stream reads/writes are not batched at all — they tick inside
+   [pop_stream]/[push_stream] mid-instruction, exactly as before. *)
+type block = {
+  b_first : int;
+  b_len : int;
+  b_flops : int;
+  b_fpu : int;
+  b_loads : int;
+  b_stores : int;
+  b_adj_flops : int array;
+  b_adj_fpu : int array;
+  b_adj_loads : int array;
+  b_adj_stores : int array;
+}
+
 type t = {
   insns : Insn.t array;
   labels : (string, int) Hashtbl.t;
@@ -54,6 +110,13 @@ type t = {
   is_fpu : bool array;
   flops : int array;
   fp_class : int array; (* class_int | class_fp_load | class_fp_store | class_fpu *)
+  blocks : block option array;
+      (* [Some b] exactly at the first pc of each fused block; pcs the
+         block engine must step per-instruction (FREP headers and body
+         slots, mode barriers, single-instruction blocks) are [None].
+         Computed eagerly: programs are shared across concurrently
+         running machines, so load-time work must finish before any
+         domain sees the value. *)
 }
 
 let pad2 = function
@@ -75,6 +138,117 @@ let classify (insn : Insn.t) =
   | Insn.Fstore _ -> class_fp_store
   | i when Insn.is_fpu i -> class_fpu
   | _ -> class_int
+
+(* Partition the instruction stream into fused basic blocks.
+
+   Leaders: pc 0, every label, every branch/jump target, every pc after
+   a branch/jump/ret/barrier, and the pc after an FREP body. FREP
+   headers, their body slots and mode barriers are excluded from fusion
+   entirely (marked per-instruction): the header keeps its PR1 fused
+   replay, a body slot reached by a stray branch must execute exactly
+   like the per-instruction engine, and barriers invalidate the stream
+   mask the closures were compiled for. Blocks of fewer than two
+   instructions gain nothing from fusion and stay per-instruction. *)
+let partition insns labels is_fpu flops =
+  let n = Array.length insns in
+  let blocks = Array.make n None in
+  if n > 0 then begin
+    let leader = Array.make n false in
+    let stepped = Array.make n false in
+    leader.(0) <- true;
+    Hashtbl.iter (fun _ pc -> if pc >= 0 && pc < n then leader.(pc) <- true) labels;
+    let note pc = if pc >= 0 && pc < n then leader.(pc) <- true in
+    for pc = 0 to n - 1 do
+      match control_of insns.(pc) with
+      | Ctl_fall -> ()
+      | Ctl_branch target ->
+        note target;
+        note (pc + 1)
+      | Ctl_jump target ->
+        note target;
+        note (pc + 1)
+      | Ctl_ret -> note (pc + 1)
+      | Ctl_barrier ->
+        stepped.(pc) <- true;
+        note pc;
+        note (pc + 1)
+      | Ctl_frep body_len ->
+        stepped.(pc) <- true;
+        note pc;
+        for k = pc + 1 to min (pc + body_len) (n - 1) do
+          stepped.(k) <- true;
+          note k
+        done;
+        note (pc + body_len + 1)
+    done;
+    let is_load pc =
+      match insns.(pc) with Insn.Load _ | Insn.Fload _ -> true | _ -> false
+    in
+    let is_store pc =
+      match insns.(pc) with Insn.Store _ | Insn.Fstore _ -> true | _ -> false
+    in
+    (* The faulting instruction's own contribution, per the increment
+       order documented on [block]. *)
+    let fault_load pc = match insns.(pc) with Insn.Fload _ -> 1 | _ -> 0 in
+    let fault_store pc = match insns.(pc) with Insn.Fstore _ -> 1 | _ -> 0 in
+    let pc = ref 0 in
+    while !pc < n do
+      if stepped.(!pc) then incr pc
+      else begin
+        (* Extend from this leader: stop after a terminator, or before
+           the next leader/stepped pc. *)
+        let last = ref !pc in
+        let stop = ref false in
+        while not !stop do
+          (match control_of insns.(!last) with
+          | Ctl_branch _ | Ctl_jump _ | Ctl_ret -> stop := true
+          | _ ->
+            if
+              !last + 1 >= n
+              || leader.(!last + 1)
+              || stepped.(!last + 1)
+            then stop := true
+            else incr last)
+        done;
+        let len = !last - !pc + 1 in
+        if len >= 2 then begin
+          let first = !pc in
+          let adj_flops = Array.make len 0
+          and adj_fpu = Array.make len 0
+          and adj_loads = Array.make len 0
+          and adj_stores = Array.make len 0 in
+          let tf = ref 0 and tb = ref 0 and tl = ref 0 and ts = ref 0 in
+          for k = 0 to len - 1 do
+            let ipc = first + k in
+            adj_flops.(k) <- !tf;
+            adj_fpu.(k) <- !tb;
+            adj_loads.(k) <- !tl + fault_load ipc;
+            adj_stores.(k) <- !ts + fault_store ipc;
+            tf := !tf + flops.(ipc);
+            if is_fpu.(ipc) then incr tb;
+            if is_load ipc then incr tl;
+            if is_store ipc then incr ts
+          done;
+          blocks.(first) <-
+            Some
+              {
+                b_first = first;
+                b_len = len;
+                b_flops = !tf;
+                b_fpu = !tb;
+                b_loads = !tl;
+                b_stores = !ts;
+                b_adj_flops = adj_flops;
+                b_adj_fpu = adj_fpu;
+                b_adj_loads = adj_loads;
+                b_adj_stores = adj_stores;
+              }
+        end;
+        pc := !last + 1
+      end
+    done
+  end;
+  blocks
 
 let make ?source ~insns ~labels () =
   let n = Array.length insns in
@@ -120,6 +294,7 @@ let make ?source ~insns ~labels () =
     is_fpu;
     flops;
     fp_class;
+    blocks = partition insns labels is_fpu flops;
   }
 
 let of_asm (p : Asm_parse.program) =

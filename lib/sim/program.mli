@@ -26,6 +26,42 @@ type frep_info = {
           every non-streaming source is ready by the first issue slot *)
 }
 
+(** Control-flow classification of one instruction, shared by the block
+    partitioner below and the machine-code CFG in [Mlc_analysis.Cfg] so
+    both agree on what ends a straight-line region. [Ctl_barrier] marks
+    execution-mode changes (scfgwi, csrsi/csrci): not control flow for
+    the CFG, but a fused-block boundary — compiled closures bake in the
+    SSR stream mask. *)
+type control =
+  | Ctl_fall
+  | Ctl_branch of int  (** conditional; carries the target pc *)
+  | Ctl_jump of int
+  | Ctl_ret
+  | Ctl_frep of int  (** frep.o header; carries the body length *)
+  | Ctl_barrier  (** scfgwi / csrsi / csrci *)
+
+val control_of : Insn.t -> control
+
+(** A fused basic block (see DESIGN.md, "Block-fused execution"): a
+    maximal straight-line instruction run with no interior label,
+    branch target, FREP slot or mode barrier. [b_flops]/[b_fpu]/
+    [b_loads]/[b_stores] are the counter totals one full execution
+    adds; the [b_adj_*] arrays give, per offset [k], the exact counts
+    the per-instruction engine would have accumulated when the
+    instruction at [k] faults (its fault-time rollback targets). *)
+type block = {
+  b_first : int;
+  b_len : int;
+  b_flops : int;
+  b_fpu : int;
+  b_loads : int;
+  b_stores : int;
+  b_adj_flops : int array;
+  b_adj_fpu : int array;
+  b_adj_loads : int array;
+  b_adj_stores : int array;
+}
+
 type t = {
   insns : Insn.t array;
   labels : (string, int) Hashtbl.t;
@@ -39,6 +75,9 @@ type t = {
   is_fpu : bool array;
   flops : int array;
   fp_class : int array;
+  blocks : block option array;
+      (** [Some b] exactly at each fused block's first pc; computed
+          eagerly at load time (programs are shared across domains) *)
 }
 
 (** Pre-decode an instruction array. [source] defaults to lazily rendering

@@ -1,0 +1,361 @@
+(* Differential contract of the block-fused execution engine
+   (DESIGN.md, "Block-fused execution"): Block_exec.run and the
+   per-instruction fast path Machine.run must leave bit-identical
+   machine state behind — registers, TCDM bytes, every performance
+   counter, final pc — and raise byte-identical trap records for the
+   same fault, including the exact faulting pc of an instruction in
+   the middle of a fused block (the batched counter commit must roll
+   back to the per-instruction prefix). Exercised over every registry
+   kernel, a 200-case seeded fuzz corpus, and handwritten
+   mid-block-fault / fuel-boundary / SSR-mask-recompile scenarios. *)
+
+open Mlc_sim
+module B = Mlc_kernels.Builders
+module FC = Mlc_fuzz.Fuzz_case
+module FG = Mlc_fuzz.Fuzz_gen
+module FO = Mlc_fuzz.Fuzz_oracle
+
+type verdict = Finished of Machine.outcome | Trapped of Trap.t
+
+let run_engine engine machine program ~entry : verdict =
+  match engine machine program ~entry with
+  | o -> Finished o
+  | exception Trap.Trap t -> Trapped t
+
+let perf_fields (p : Machine.perf) =
+  [
+    ("cycles", p.Machine.cycles);
+    ("fpu_busy", p.Machine.fpu_busy);
+    ("flops", p.Machine.flops);
+    ("loads", p.Machine.loads);
+    ("stores", p.Machine.stores);
+    ("freps", p.Machine.freps);
+    ("retired", p.Machine.retired);
+    ("stream_reads", p.Machine.stream_reads);
+    ("stream_writes", p.Machine.stream_writes);
+  ]
+
+(* First difference between two (machine, verdict) pairs, or None when
+   the block engine's state is bit-identical to the per-instruction
+   engine's. Order: outcome shape, trap record, final pc, counters,
+   registers, memory — so the report names the most telling divergence. *)
+let state_mismatch (ma : Machine.t) va (mb : Machine.t) vb =
+  let ( >>> ) a b = match a with Some _ -> a | None -> b () in
+  let verdicts () =
+    match (va, vb) with
+    | Finished a, Finished b ->
+      if a.Machine.final_pc <> b.Machine.final_pc then
+        Some
+          (Printf.sprintf "final pc: block=%d per-insn=%d" a.Machine.final_pc
+             b.Machine.final_pc)
+      else None
+    | Trapped a, Trapped b ->
+      if a <> b then
+        Some
+          (Printf.sprintf "trap records differ:\nblock:\n%s\nper-insn:\n%s"
+             (Trap.to_string a) (Trap.to_string b))
+      else None
+    | Finished _, Trapped t ->
+      Some ("block finished but per-insn trapped: " ^ Trap.summary t)
+    | Trapped t, Finished _ ->
+      Some ("block trapped but per-insn finished: " ^ Trap.summary t)
+  in
+  let counters () =
+    List.fold_left2
+      (fun acc (name, a) (_, b) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if a <> b then
+            Some (Printf.sprintf "perf.%s: block=%d per-insn=%d" name a b)
+          else None)
+      None
+      (perf_fields ma.Machine.perf)
+      (perf_fields mb.Machine.perf)
+  in
+  let regs () =
+    let diff tag get =
+      let r = ref None in
+      for i = 31 downto 0 do
+        let a = get ma i and b = get mb i in
+        if a <> b then
+          r :=
+            Some
+              (Printf.sprintf "%s%d: block=%Lx per-insn=%Lx" tag i a b)
+      done;
+      !r
+    in
+    match diff "x" Machine.get_ireg with
+    | Some _ as d -> d
+    | None -> diff "f" Machine.get_freg_raw
+  in
+  let memory () =
+    if Bytes.equal ma.Machine.mem.Mem.bytes mb.Machine.mem.Mem.bytes then None
+    else Some "TCDM contents differ"
+  in
+  verdicts () >>> counters >>> regs >>> memory
+
+let check_identical name ma va mb vb =
+  match state_mismatch ma va mb vb with
+  | None -> ()
+  | Some msg -> Alcotest.failf "%s: %s" name msg
+
+(* Run one pre-decoded program through both engines on identically
+   prepared fresh machines and demand bit-identical end state. *)
+let diff_program ?fuel ?(setup = fun (_ : Machine.t) -> ()) ~entry name
+    program =
+  let run engine =
+    let m = Machine.create ?fuel () in
+    setup m;
+    let v = run_engine engine m program ~entry in
+    (m, v)
+  in
+  let bm, bv = run Block_exec.run in
+  let pm, pv = run Machine.run in
+  check_identical name bm bv pm pv;
+  (bm, bv)
+
+let diff_asm ?fuel ?setup name asm =
+  diff_program ?fuel ?setup ~entry:"main" name
+    (Program.of_asm (Asm_parse.parse asm))
+
+(* --- every registry kernel ------------------------------------------- *)
+
+(* Full-state differential (deeper than the Runner-level metrics
+   comparison in test_perf_model): compile each Table 1 kernel, load the
+   same deterministic inputs into two machines, and compare everything. *)
+let diff_spec name (spec : B.spec) =
+  let m = spec.B.build () in
+  let compiled =
+    Mlc_transforms.Pipeline.compile ~flags:Mlc_transforms.Pipeline.ours m
+  in
+  let program =
+    Program.of_asm (Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm)
+  in
+  let data = Mlc.Runner.gen_inputs ~seed:11 ~elem:spec.B.elem spec.B.args in
+  let setup machine =
+    ignore (Mlc.Runner.setup_machine ~elem:spec.B.elem machine spec.B.args data)
+  in
+  ignore (diff_program ~setup ~entry:spec.B.fn_name name program)
+
+let test_registry_differential () =
+  List.iter
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      diff_spec e.Mlc_kernels.Registry.name
+        (e.Mlc_kernels.Registry.instantiate ~n:8 ~m:8 ~k:8 ()))
+    Mlc_kernels.Registry.table1
+
+(* --- seeded fuzz corpus ----------------------------------------------- *)
+
+(* The qcheck property: a generated linalg case, compiled through the
+   production pipeline, executes bit-identically on both engines. Cases
+   the compiler rejects are the fuzz oracle's concern, not this
+   property's — skip them. *)
+let fuzz_case_identical seed =
+  let case = FG.gen (Random.State.make [| seed; 0xB10C |]) in
+  match FC.validate case with
+  | Error _ -> true
+  | Ok () -> (
+    let spec = FC.to_spec case in
+    let m = spec.B.build () in
+    match FO.compile_checked "ours" Mlc_transforms.Pipeline.ours m with
+    | Error _ | (exception _) -> true
+    | Ok asm ->
+      let program = Program.of_asm (Asm_parse.parse asm) in
+      let data =
+        Mlc.Runner.gen_inputs ~seed:(FC.input_seed case) ~elem:spec.B.elem
+          spec.B.args
+      in
+      let setup machine =
+        ignore
+          (Mlc.Runner.setup_machine ~elem:spec.B.elem machine spec.B.args data)
+      in
+      let run engine =
+        let machine = Machine.create () in
+        setup machine;
+        let v = run_engine engine machine program ~entry:spec.B.fn_name in
+        (machine, v)
+      in
+      let bm, bv = run Block_exec.run in
+      let pm, pv = run Machine.run in
+      (match state_mismatch bm bv pm pv with
+      | None -> true
+      | Some msg ->
+        QCheck.Test.fail_reportf "case %s: %s" (FC.to_string case) msg))
+
+let prop_fuzz_differential =
+  QCheck.Test.make ~name:"block engine = per-insn engine (fuzz corpus)"
+    ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 0xFFFFFF))
+    fuzz_case_identical
+
+(* --- handwritten fault scenarios -------------------------------------- *)
+
+let expect_trap name v ~pc ~kind_check =
+  match v with
+  | Finished _ -> Alcotest.failf "%s: expected a trap, program finished" name
+  | Trapped t ->
+    Alcotest.(check int) (name ^ " faulting pc") pc t.Trap.pc;
+    Alcotest.(check bool) (name ^ " trap kind") true (kind_check t.Trap.kind)
+
+let is_access_fault = function Trap.Access_fault _ -> true | _ -> false
+let is_stream_fault = function Trap.Stream_fault _ -> true | _ -> false
+let is_out_of_fuel = function Trap.Out_of_fuel -> true | _ -> false
+
+(* An integer store faulting in the middle of a fused straight-line
+   block: the trap must name the store's own pc (not the block head) and
+   the counter rollback must leave the pre-fault prefix intact. *)
+let test_midblock_store_fault () =
+  let _, v =
+    diff_asm "mid-block sd fault"
+      "main:\n\
+      \    li t0, 4096\n\
+      \    li t1, 1234\n\
+      \    li t2, 99\n\
+      \    sd t1, 0(t0)\n\
+      \    li t3, 7\n\
+      \    ret"
+  in
+  expect_trap "mid-block sd fault" v ~pc:3 ~kind_check:is_access_fault
+
+(* FP load and store faults: loads/stores are counted *before* the
+   access on the FP path (the faulting instruction contributes 1), so
+   these pin the asymmetric b_adj_* rollback. *)
+let test_midblock_fp_faults () =
+  let _, v =
+    diff_asm "mid-block fsd fault"
+      "main:\n\
+      \    li t0, 4096\n\
+      \    fadd.d ft3, ft4, ft4\n\
+      \    fsd ft3, 0(t0)\n\
+      \    li t1, 5\n\
+      \    ret"
+  in
+  expect_trap "mid-block fsd fault" v ~pc:2 ~kind_check:is_access_fault;
+  let _, v =
+    diff_asm "mid-block fld fault"
+      "main:\n\
+      \    li t0, 4096\n\
+      \    li t1, 1\n\
+      \    fld ft3, 0(t0)\n\
+      \    ret"
+  in
+  expect_trap "mid-block fld fault" v ~pc:2 ~kind_check:is_access_fault
+
+(* Reading an unconfigured SSR stream inside a fused block, right after
+   the csrsi barrier that enabled streaming. *)
+let test_midblock_stream_fault () =
+  let _, v =
+    diff_asm "unconfigured stream read"
+      "main:\n\
+      \    li t5, 1\n\
+      \    csrsi 0x7c0, 1\n\
+      \    fadd.d ft3, ft1, ft1\n\
+      \    fadd.d ft4, ft3, ft3\n\
+      \    ret"
+  in
+  expect_trap "unconfigured stream read" v ~pc:2 ~kind_check:is_stream_fault
+
+(* Fuel boundaries: the fused path only runs a block when fuel strictly
+   exceeds its length, so exhaustion always surfaces on the
+   per-instruction path at the exact instruction — sweep every boundary
+   around a 6-instruction program and demand identical outcomes. *)
+let test_fuel_boundaries () =
+  let asm =
+    "main:\n\
+    \    li t0, 1\n\
+    \    li t1, 2\n\
+    \    li t2, 3\n\
+    \    li t3, 4\n\
+    \    li t4, 5\n\
+    \    ret"
+  in
+  for fuel = 1 to 9 do
+    let name = Printf.sprintf "fuel=%d" fuel in
+    let _, v = diff_asm ~fuel name asm in
+    if fuel <= 6 then
+      (* burn_fuel decrements then checks: the instruction consuming the
+         last unit is the one that traps. *)
+      expect_trap name v ~pc:(fuel - 1) ~kind_check:is_out_of_fuel
+    else
+      match v with
+      | Finished o -> Alcotest.(check int) (name ^ " final pc") 5 o.Machine.final_pc
+      | Trapped t -> Alcotest.failf "%s: unexpected %s" name (Trap.summary t)
+  done
+
+(* The same fused block executed first with streaming off, then with
+   streaming on: the cached closure was compiled against the old SSR
+   mask and must be recompiled, switching ft0 from a plain register read
+   to a stream pop. A stale closure diverges from the per-instruction
+   engine in both values and stream counters. *)
+let test_mask_change_recompiles () =
+  let asm =
+    "main:\n\
+    \    li t0, 0\n\
+    \    scfgwi t0, 8\n\
+    \    li t0, 3\n\
+    \    scfgwi t0, 16\n\
+    \    li t0, 8\n\
+    \    scfgwi t0, 48\n\
+    \    scfgwi a0, 192\n\
+    \    li t1, 0\n\
+    \    li t2, 2\n\
+    loop:\n\
+    \    fadd.d ft3, ft0, ft0\n\
+    \    fadd.d ft4, ft3, ft3\n\
+    \    addi t1, t1, 1\n\
+    \    csrsi 0x7c0, 1\n\
+    \    blt t1, t2, loop\n\
+    \    csrci 0x7c0, 1\n\
+    \    ret"
+  in
+  let setup (m : Machine.t) =
+    for i = 0 to 3 do
+      Mem.store_f64 m.Machine.mem
+        (Mem.tcdm_base + (8 * i))
+        (float_of_int (i + 1))
+    done;
+    Machine.set_ireg m 10 (Int64.of_int Mem.tcdm_base)
+  in
+  let bm, v = diff_asm ~setup "ssr mask change recompiles" asm in
+  (match v with
+  | Trapped t -> Alcotest.failf "unexpected %s" (Trap.summary t)
+  | Finished _ -> ());
+  (* Second iteration really streamed: two pops of ft0. *)
+  Alcotest.(check int) "stream reads" 2 bm.Machine.perf.Machine.stream_reads
+
+(* Sanity that the scenarios above exercise the fused path at all: the
+   partitioner must have produced at least one multi-instruction block
+   for a straight-line program. *)
+let test_partition_sanity () =
+  let p =
+    Program.of_asm
+      (Asm_parse.parse "main:\n    li t0, 1\n    li t1, 2\n    ret")
+  in
+  match p.Program.blocks.(0) with
+  | Some b ->
+    Alcotest.(check int) "block head" 0 b.Program.b_first;
+    Alcotest.(check int) "block length" 3 b.Program.b_len
+  | None -> Alcotest.fail "straight-line program produced no fused block"
+
+let suite =
+  [
+    ( "block_exec",
+      [
+        Alcotest.test_case "registry kernels: full-state differential" `Quick
+          test_registry_differential;
+        QCheck_alcotest.to_alcotest prop_fuzz_differential;
+        Alcotest.test_case "mid-block store fault pc + rollback" `Quick
+          test_midblock_store_fault;
+        Alcotest.test_case "mid-block FP load/store fault pc" `Quick
+          test_midblock_fp_faults;
+        Alcotest.test_case "mid-block stream fault after csrsi" `Quick
+          test_midblock_stream_fault;
+        Alcotest.test_case "fuel boundaries around block length" `Quick
+          test_fuel_boundaries;
+        Alcotest.test_case "SSR mask change recompiles the block" `Quick
+          test_mask_change_recompiles;
+        Alcotest.test_case "partitioner fuses straight-line code" `Quick
+          test_partition_sanity;
+      ] );
+  ]
