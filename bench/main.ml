@@ -18,7 +18,7 @@
    (EXPERIMENTS.md records both).
 
    Flags:
-     --json      write BENCH_PR6.json with per-section host wall-clock,
+     --json      write BENCH_PR7.json with per-section host wall-clock,
                  simulated-cycle tallies and compile/load/sim phase
                  breakdown, the fig11 fast-path speedup, the Bechamel
                  estimates, and the jobs/wall-time/cache counters of
@@ -101,12 +101,7 @@ let timed name f =
       s_name = name;
       s_wall = dt;
       s_cycles = !sim_cycles - c0;
-      s_phases =
-        {
-          Mlc.Runner.load_s = p1.Mlc.Runner.load_s -. p0.Mlc.Runner.load_s;
-          compile_s = p1.Mlc.Runner.compile_s -. p0.Mlc.Runner.compile_s;
-          sim_s = p1.Mlc.Runner.sim_s -. p0.Mlc.Runner.sim_s;
-        };
+      s_phases = Mlc.Runner.sub_phases p1 p0;
     }
     :: !timings;
   x
@@ -228,17 +223,23 @@ let fig10 ~pool () =
        trip amortises over the kernel, not each cell. *)
     Mlc_parallel.Pool.map ~batch:4 pool
       (fun ((e : Mlc_kernels.Registry.entry), (n, m, k)) ->
-        List.map
-          (fun (_, flags) ->
-            let spec = e.Mlc_kernels.Registry.instantiate ~n ~m ~k () in
-            let r = Mlc.Runner.run ~flags spec in
-            assert (r.Mlc.Runner.max_abs_err < 1e-6);
-            (spec, r))
-          flows)
+        let row =
+          List.map
+            (fun (_, flags) ->
+              let spec = e.Mlc_kernels.Registry.instantiate ~n ~m ~k () in
+              let r = Mlc.Runner.run ~flags spec in
+              assert (r.Mlc.Runner.max_abs_err < 1e-6);
+              (spec, r))
+            flows
+        in
+        (* Phase attribution accrued on this worker domain travels with
+           the result and is committed in the ordered loop below. *)
+        (row, Mlc.Runner.drain_phases ()))
       cells
   in
   List.iter2
-    (fun ((e : Mlc_kernels.Registry.entry), (n, m, k)) row ->
+    (fun ((e : Mlc_kernels.Registry.entry), (n, m, k)) (row, ph) ->
+      Mlc.Runner.commit_phases ph;
       List.iter (fun (spec, r) -> tally spec r) row;
       match List.map (fun (_, r) -> r.Mlc.Runner.metrics.fpu_util) row with
       | [ a; b; c ] ->
@@ -263,15 +264,22 @@ let fig11 ~pool ~cols ~inners () =
     Mlc_parallel.Pool.map ~batch:(List.length cols) pool
       (fun (k, m) ->
         (* All buffers must fit the 128 KiB TCDM (paper §4.1). *)
-        if 8 * ((k * m) + k + m) > 110 * 1024 then None
-        else begin
-          let spec = Mlc_kernels.Builders.matmul ~n:1 ~m ~k () in
-          Some (spec, Mlc.Runner.run spec)
-        end)
+        let r =
+          if 8 * ((k * m) + k + m) > 110 * 1024 then None
+          else begin
+            let spec = Mlc_kernels.Builders.matmul ~n:1 ~m ~k () in
+            Some (spec, Mlc.Runner.run spec)
+          end
+        in
+        (r, Mlc.Runner.drain_phases ()))
       cells
   in
   let by_cell = Hashtbl.create 64 in
-  List.iter2 (fun cell r -> Hashtbl.replace by_cell cell r) cells results;
+  List.iter2
+    (fun cell (r, ph) ->
+      Mlc.Runner.commit_phases ph;
+      Hashtbl.replace by_cell cell r)
+    cells results;
   List.iter
     (fun k ->
       Printf.printf "%8d |" k;
@@ -286,6 +294,88 @@ let fig11 ~pool ~cols ~inners () =
       print_newline ())
     inners;
   Printf.printf "(theoretical peak 2.00; the paper's >=90%% band is >=1.80)\n"
+
+(* --- Cluster: parallel tiling across cores (ISSUE 7) ---
+
+   The fig10 matmul shapes (and, in full runs, a fig11-class M=1 shape
+   that row-partitioning cannot split — reported honestly at 1 active
+   core) through the scf.forall lowering at 1, 2 and 8 cores. The
+   makespans come from the banked-TCDM cluster simulation with DMA
+   double-buffering; outputs are asserted bit-identical across core
+   counts before anything is reported. *)
+
+type cluster_row = {
+  cl_kernel : string;
+  cl_shape : string;
+  cl_cores : int list;
+  cl_makespan : int list;
+  cl_speedup8 : float; (* makespan at 1 core / makespan at 8 cores *)
+  cl_util8 : float array; (* per-core utilisation at 8 cores, percent *)
+}
+
+let cluster_rows : cluster_row list ref = ref []
+
+let cluster ~smoke () =
+  section "Cluster: parallel tiling across cores (fig10/fig11 shapes)";
+  let core_counts = [ 1; 2; 8 ] in
+  Printf.printf "%-10s %-10s %10s %10s %10s %9s %8s\n" "Kernel" "Shape"
+    "1-core" "2-core" "8-core" "speedup" "util8 %";
+  let shapes =
+    List.map (fun s -> ("matmul", s)) [ (4, 8, 8); (8, 16, 16); (16, 32, 32); (16, 64, 32) ]
+    @ if smoke then [] else [ ("matmul", (1, 64, 64)) ]
+  in
+  List.iter
+    (fun (kernel, (n, m, k)) ->
+      let runs =
+        List.map
+          (fun cores ->
+            let spec = Mlc_kernels.Builders.matmul ~n ~m ~k () in
+            let r = Mlc.Runner.run_cluster ~cores spec in
+            assert (r.Mlc.Runner.c_max_abs_err < 1e-9);
+            r)
+          core_counts
+      in
+      (* Bit-identity across core counts is the determinism contract. *)
+      let bits r =
+        List.map
+          (Array.map Int64.bits_of_float)
+          r.Mlc.Runner.c_outputs
+      in
+      let b0 = bits (List.hd runs) in
+      List.iter (fun r -> assert (bits r = b0)) runs;
+      let makespans = List.map (fun r -> r.Mlc.Runner.c_makespan) runs in
+      List.iter
+        (fun r -> sim_cycles := !sim_cycles + r.Mlc.Runner.c_makespan)
+        runs;
+      let r8 = List.nth runs 2 in
+      let speedup =
+        float_of_int (List.hd makespans)
+        /. float_of_int r8.Mlc.Runner.c_makespan
+      in
+      let util8 = r8.Mlc.Runner.c_util in
+      let mean_util8 =
+        let active = r8.Mlc.Runner.c_active in
+        Array.fold_left ( +. ) 0.0 (Array.sub util8 0 active)
+        /. float_of_int active
+      in
+      (match makespans with
+      | [ m1; m2; m8 ] ->
+        Printf.printf "%-10s %-10s %10d %10d %10d %8.2fx %8.1f\n" kernel
+          (Printf.sprintf "%dx%dx%d" n m k)
+          m1 m2 m8 speedup mean_util8
+      | _ -> assert false);
+      cluster_rows :=
+        {
+          cl_kernel = kernel;
+          cl_shape = Printf.sprintf "%dx%dx%d" n m k;
+          cl_cores = core_counts;
+          cl_makespan = makespans;
+          cl_speedup8 = speedup;
+          cl_util8 = util8;
+        }
+        :: !cluster_rows)
+    shapes;
+  cluster_rows := List.rev !cluster_rows
 
 (* --- Table 3 --- *)
 
@@ -542,7 +632,7 @@ let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"bench\": \"PR6\",\n";
+  add "  \"bench\": \"PR7\",\n";
   add "  \"smoke\": %b,\n" smoke;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"host_wall_total_s\": %.6f,\n" total_wall;
@@ -561,6 +651,21 @@ let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
         s.s_phases.Mlc.Runner.load_s s.s_phases.Mlc.Runner.sim_s
         (if i = List.length secs - 1 then "" else ","))
     secs;
+  add "  ],\n";
+  add "  \"cluster\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"kernel\": %S, \"shape\": %S, \"cores\": [%s], \"makespan\": \
+         [%s], \"speedup_8core\": %.3f, \"util_8core\": [%s]}%s\n"
+        r.cl_kernel r.cl_shape
+        (String.concat ", " (List.map string_of_int r.cl_cores))
+        (String.concat ", " (List.map string_of_int r.cl_makespan))
+        r.cl_speedup8
+        (String.concat ", "
+           (List.map (Printf.sprintf "%.1f") (Array.to_list r.cl_util8)))
+        (if i = List.length !cluster_rows - 1 then "" else ","))
+    !cluster_rows;
   add "  ],\n";
   add "  \"degradations\": [%s],\n"
     (String.concat ", "
@@ -619,6 +724,7 @@ let () =
   timed "fig10" (fig10 ~pool);
   timed "fig11" (fig11 ~pool ~cols ~inners);
   timed "table3" table3;
+  timed "cluster" (cluster ~smoke);
   if not smoke then begin
     timed "spilling_ablation" spilling_ablation;
     timed "pattern_ablation" pattern_ablation
@@ -637,7 +743,7 @@ let () =
   let total_wall = Unix.gettimeofday () -. t_start in
   if phases then print_phase_table ();
   if json then
-    write_json ~path:"BENCH_PR6.json" ~smoke ~reps ~jobs ~cache_enabled
+    write_json ~path:"BENCH_PR7.json" ~smoke ~reps ~jobs ~cache_enabled
       ~total_wall ~speedup ~bech;
   print_newline ();
   print_endline

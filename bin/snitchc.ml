@@ -2,7 +2,7 @@
 
    snitchc list                         -- show the kernel suite (Table 1)
    snitchc compile -k matmul -n 1 -m 5 -K 200 [--flow ours] [--print-ir]
-   snitchc run     -k matmul -n 1 -m 5 -K 200 [--flow ours]
+   snitchc run     -k matmul -n 1 -m 5 -K 200 [--flow ours] [--cores 8]
    snitchc ablate  -k matmul -n 1 -m 5 -K 200  -- Table 3-style ablation *)
 
 open Cmdliner
@@ -292,12 +292,55 @@ let print_metrics (spec : Mlc_kernels.Builders.spec) (r : Mlc.Runner.run_result)
   Printf.printf "max |error| : %g (vs reference interpreter)\n"
     r.Mlc.Runner.max_abs_err
 
+(* Cluster runs print a digest of the output bits instead of the raw
+   arrays so results at different core counts can be diffed for
+   bit-identity (the CI cluster-smoke job greps these lines). *)
+let print_cluster_metrics (spec : Mlc_kernels.Builders.spec)
+    (r : Mlc.Runner.cluster_result) =
+  Printf.printf "kernel      : %s\n" spec.Mlc_kernels.Builders.kernel_name;
+  Printf.printf "cores       : %d (%d active x %d chunks, %s)\n"
+    r.Mlc.Runner.c_cores r.Mlc.Runner.c_active r.Mlc.Runner.c_halves
+    (if r.Mlc.Runner.c_staged then "staged DMA" else "in-place");
+  Printf.printf "makespan    : %d cycles over %d epoch%s\n"
+    r.Mlc.Runner.c_makespan r.Mlc.Runner.c_epochs
+    (if r.Mlc.Runner.c_epochs = 1 then "" else "s");
+  Array.iteri
+    (fun c (m : Mlc.Runner.metrics) ->
+      Printf.printf
+        "  core %-2d   : %8d cycles  util %5.1f %%  conflicts %5d  dma %6d B\n"
+        c m.Mlc.Runner.cycles
+        r.Mlc.Runner.c_util.(c)
+        r.Mlc.Runner.c_conflicts.(c)
+        r.Mlc.Runner.c_dma_bytes.(c))
+    r.Mlc.Runner.c_per_core;
+  let digest =
+    let buf = Buffer.create 256 in
+    List.iter
+      (Array.iter (fun x -> Buffer.add_int64_le buf (Int64.bits_of_float x)))
+      r.Mlc.Runner.c_outputs;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  Printf.printf "output bits : %s\n" digest;
+  Printf.printf "max |error| : %g (vs reference interpreter)\n"
+    r.Mlc.Runner.c_max_abs_err
+
 let run_cmd =
   let trace_arg =
     Arg.(
       value & flag
       & info [ "trace" ]
           ~doc:"Print the per-instruction issue trace (pc cycle: instruction).")
+  in
+  let cores_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cores" ] ~docv:"N"
+          ~doc:
+            "Run on an $(docv)-core cluster (1-32): partition the kernel \
+             across cores with the scf.forall tiling lowering and simulate \
+             the banked-TCDM/DMA cluster. Results are bit-identical to the \
+             single-core run.")
   in
   let no_fallback_arg =
     Arg.(
@@ -307,26 +350,33 @@ let run_cmd =
             "Fail instead of degrading along the fallback lattice when the \
              requested flow cannot compile.")
   in
-  let run kernel n m k (flow_name, flags) trace no_fallback crash_dir =
+  let run kernel n m k (flow_name, flags) trace no_fallback crash_dir cores =
     set_crash_dir crash_dir;
     let spec = spec_of kernel n m k in
-    let crash_ctx =
-      {
-        Mlc_diag.Crash_bundle.flags = None (* filled per rung by the runner *);
-        replay =
-          Some
-            (Printf.sprintf "snitchc run -k %s -n %d -m %d -K %d --flow %s"
-               kernel n m k flow_name);
-      }
-    in
-    let r =
-      Mlc.Runner.run ~flags ~trace ~fallback:(not no_fallback) ~crash_ctx spec
-    in
-    print_metrics spec r;
-    if trace then begin
-      print_endline "--- instruction trace ---";
-      List.iter print_endline r.Mlc.Runner.trace
-    end
+    match cores with
+    | Some cores ->
+      let r = Mlc.Runner.run_cluster ~flags ~cores spec in
+      print_cluster_metrics spec r
+    | None ->
+      let crash_ctx =
+        {
+          Mlc_diag.Crash_bundle.flags =
+            None (* filled per rung by the runner *);
+          replay =
+            Some
+              (Printf.sprintf "snitchc run -k %s -n %d -m %d -K %d --flow %s"
+                 kernel n m k flow_name);
+        }
+      in
+      let r =
+        Mlc.Runner.run ~flags ~trace ~fallback:(not no_fallback) ~crash_ctx
+          spec
+      in
+      print_metrics spec r;
+      if trace then begin
+        print_endline "--- instruction trace ---";
+        List.iter print_endline r.Mlc.Runner.trace
+      end
   in
   Cmd.v
     (Cmd.info "run"
@@ -335,7 +385,7 @@ let run_cmd =
           report metrics.")
     Term.(
       const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ trace_arg
-      $ no_fallback_arg $ crash_dir_arg)
+      $ no_fallback_arg $ crash_dir_arg $ cores_arg)
 
 let ablate_cmd =
   let run kernel n m k =

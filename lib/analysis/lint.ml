@@ -19,6 +19,7 @@ let cls_ssr = "ssr-discipline"
 let cls_frep = "frep-legality"
 let cls_abi = "abi-preservation"
 let cls_balance = "stream-balance"
+let cls_dma = "dma-discipline"
 let trap_classes = [ cls_ssr; cls_frep; cls_balance ]
 
 (* FP source operands served by the SSR streams: every [fetch_f] the
@@ -76,6 +77,46 @@ end
 
 module Ssr_solver = Dataflow.Solver (Ssr_dom)
 module Reg_solver = Dataflow.Solver (Dataflow.Regset)
+
+(* --- DMA discipline facts ---
+
+   Forward may-analysis, one small bitset: bits 0-3 say the source /
+   destination / stride / repeat DMA registers may still be unprogrammed
+   (they latch: a write clears the bit on every path through it), bit 4
+   says a launched transfer may still be in flight (set by dmcpy — the
+   engine queues, so back-to-back launches are fine — cleared by
+   dmwait). [None] marks unreached program points. *)
+
+let dma_src_unset = 1
+let dma_dst_unset = 2
+let dma_str_unset = 4
+let dma_rep_unset = 8
+let dma_pending = 16
+let dma_boundary = dma_src_unset lor dma_dst_unset lor dma_str_unset lor dma_rep_unset
+
+module Dma_dom = struct
+  type t = int option
+
+  let equal = ( = )
+
+  let join a b =
+    match (a, b) with None, x | x, None -> x | Some a, Some b -> Some (a lor b)
+end
+
+module Dma_solver = Dataflow.Solver (Dma_dom)
+
+let dma_transfer insns pc = function
+  | None -> None
+  | Some s ->
+    Some
+      (match insns.(pc) with
+      | Insn.Dm_src _ -> s land lnot dma_src_unset
+      | Insn.Dm_dst _ -> s land lnot dma_dst_unset
+      | Insn.Dm_str _ -> s land lnot dma_str_unset
+      | Insn.Dm_rep _ -> s land lnot dma_rep_unset
+      | Insn.Dm_cpy _ -> s lor dma_pending
+      | Insn.Dm_wait -> s land lnot dma_pending
+      | _ -> s)
 
 let ssr_transfer insns pc = function
   | None -> None
@@ -320,6 +361,16 @@ let check_function (p : Program.t) (func : Cfg.func) : (int * D.t) list =
     match ssr_in.(rel pc) with Some s -> s.en land 2 <> 0 | None -> false
   in
 
+  (* DMA discipline facts (cheap: a 5-bit forward may-analysis). *)
+  let dma_tf = dma_transfer insns in
+  let dma_res =
+    Dma_solver.solve ~dir:Dataflow.Forward ~init:None
+      ~boundary:(Some dma_boundary) ~join:Dma_dom.join ~transfer:dma_tf cfg
+  in
+  let dma_in = Array.make n_pcs None in
+  Dma_solver.iter dma_res ~transfer:dma_tf cfg (fun pc v ->
+      dma_in.(rel pc) <- v);
+
   (* Definite assignment (must-defined, forward; init = full so
      unreachable code stays silent). *)
   let defined_tf pc v =
@@ -388,6 +439,38 @@ let check_function (p : Program.t) (func : Cfg.func) : (int * D.t) list =
         if enabled then
           report ~severity:D.Warning ~cls:cls_ssr pc
             "function returns with streaming still enabled"
+      | _ -> ());
+      (* DMA / barrier discipline: every launch fully programmed, no
+         rendezvous or return with a transfer that may still be in
+         flight (the barrier does not drain the DMA engine). *)
+      (match (insn, dma_in.(rel pc)) with
+      | Insn.Dm_cpy _, Some d ->
+        let missing =
+          List.filter_map
+            (fun (bit, name) -> if d land bit <> 0 then Some name else None)
+            [
+              (dma_src_unset, "source (dmsrc)");
+              (dma_dst_unset, "destination (dmdst)");
+              (dma_str_unset, "stride (dmstr)");
+              (dma_rep_unset, "repetition (dmrep)");
+            ]
+        in
+        if missing <> [] then
+          report ~cls:cls_dma pc
+            "dmcpy launches with the %s register%s unprogrammed on some path"
+            (String.concat ", " missing)
+            (if List.length missing > 1 then "s" else "")
+      | Insn.Barrier, Some d ->
+        if enabled then
+          report ~cls:cls_dma pc "barrier inside an SSR streaming region";
+        if d land dma_pending <> 0 then
+          report ~cls:cls_dma pc
+            "barrier with a DMA transfer still in flight: the barrier does \
+             not drain the DMA engine, issue dmwait first"
+      | Insn.Ret, Some d ->
+        if d land dma_pending <> 0 then
+          report ~severity:D.Warning ~cls:cls_dma pc
+            "function returns with a DMA transfer possibly in flight"
       | _ -> ());
       (* Stream accesses of ft0-ft2 while streaming may be enabled. *)
       if enabled then begin

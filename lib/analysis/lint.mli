@@ -24,7 +24,15 @@
     - ["stream-balance"]: where the stream pattern and trip counts are
       compile-time constants, the ft0–ft2 pops/pushes of a streaming
       region match the armed capacity (overrun = error: it traps;
-      underrun = warning: elements are silently left unserved).
+      underrun = warning: elements are silently left unserved);
+    - ["dma-discipline"]: every [dmcpy] has all four transfer registers
+      (dmsrc/dmdst/dmstr/dmrep) programmed on every path since function
+      entry; no [barrier] inside an SSR streaming region or with a DMA
+      transfer still in flight (the barrier does not drain the engine —
+      data handed to another core could race the transfer); returning
+      with a transfer in flight is a warning. These fire on the
+      cluster wrapper programs (see {!Mlc_riscv.Cluster_wrap}) —
+      single-core kernels contain none of the checked instructions.
 
     Differential invariant against the simulator's trap model: an error
     of a class in {!trap_classes} predicts a [Stream_fault]/[Illegal]

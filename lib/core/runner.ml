@@ -39,42 +39,103 @@ type engine = Fast | Per_insn | Reference
 
 (* --- host-side phase attribution ---
 
-   Process-wide wall-clock totals for the three phases a benchmark rep
-   spends its time in: [compile] (pass pipeline + register allocation +
-   emission + lint), [load] (program construction: direct emission,
-   assembly parse, or the cached-program lookup), [sim] (machine setup,
-   simulation, output readback). Mutex-protected plain refs: bench
-   drivers run kernels across pool domains and read the totals once per
-   section. *)
-type phase_totals = { load_s : float; compile_s : float; sim_s : float }
+   Wall-clock totals for the three phases a benchmark rep spends its
+   time in: [compile] (pass pipeline + register allocation + emission +
+   lint), [load] (program construction: direct emission, assembly
+   parse, or the cached-program lookup), [sim] (machine setup,
+   simulation, output readback).
 
+   Attribution is *per domain*: [timed_phase] adds to a domain-local
+   accumulator (no locking on the hot path, nothing dropped when pool
+   workers race), each worker {!drain_phases}s its accumulator when its
+   work item completes, and the caller {!commit_phases}s the drained
+   deltas in its ordered commit loop — so totals (and the entry counts,
+   which are wall-clock-free and therefore testably deterministic) are
+   identical for any [-j], including [-j 1]. *)
+type phase_totals = {
+  load_s : float;
+  compile_s : float;
+  sim_s : float;
+  load_n : int;  (** entries timed into [load_s] *)
+  compile_n : int;  (** entries timed into [compile_s] *)
+  sim_n : int;  (** entries timed into [sim_s] *)
+}
+
+let zero_phases =
+  { load_s = 0.; compile_s = 0.; sim_s = 0.; load_n = 0; compile_n = 0; sim_n = 0 }
+
+let add_phases a b =
+  {
+    load_s = a.load_s +. b.load_s;
+    compile_s = a.compile_s +. b.compile_s;
+    sim_s = a.sim_s +. b.sim_s;
+    load_n = a.load_n + b.load_n;
+    compile_n = a.compile_n + b.compile_n;
+    sim_n = a.sim_n + b.sim_n;
+  }
+
+let sub_phases a b =
+  {
+    load_s = a.load_s -. b.load_s;
+    compile_s = a.compile_s -. b.compile_s;
+    sim_s = a.sim_s -. b.sim_s;
+    load_n = a.load_n - b.load_n;
+    compile_n = a.compile_n - b.compile_n;
+    sim_n = a.sim_n - b.sim_n;
+  }
+
+type phase = Ph_load | Ph_compile | Ph_sim
+
+(* The current domain's uncommitted accumulator. *)
+let phase_key = Domain.DLS.new_key (fun () -> ref zero_phases)
+
+(* Committed totals, across all domains that drained so far. *)
 let phase_mu = Mutex.create ()
-let ph_load = ref 0.0
-let ph_compile = ref 0.0
-let ph_sim = ref 0.0
+let phase_committed = ref zero_phases
 
-let reset_phases () =
+let drain_phases () =
+  let a = Domain.DLS.get phase_key in
+  let d = !a in
+  a := zero_phases;
+  d
+
+let commit_phases d =
   Mutex.lock phase_mu;
-  ph_load := 0.0;
-  ph_compile := 0.0;
-  ph_sim := 0.0;
+  phase_committed := add_phases !phase_committed d;
   Mutex.unlock phase_mu
 
-let phases () =
+let reset_phases () =
+  ignore (drain_phases ());
   Mutex.lock phase_mu;
-  let r = { load_s = !ph_load; compile_s = !ph_compile; sim_s = !ph_sim } in
+  phase_committed := zero_phases;
+  Mutex.unlock phase_mu
+
+(* Commits the calling domain's own residue first, so single-domain
+   flows never need to drain explicitly. Pool workers' uncommitted
+   residue is invisible here — drivers drain in the worker and commit
+   in their ordered tally loop. *)
+let phases () =
+  commit_phases (drain_phases ());
+  Mutex.lock phase_mu;
+  let r = !phase_committed in
   Mutex.unlock phase_mu;
   r
 
-(* Run [f], adding its wall time to [cell] even when it raises (a failed
-   compile is still compile time). *)
+(* Run [f], adding its wall time to the current domain's [cell]
+   accumulator even when it raises (a failed compile is still compile
+   time). *)
 let timed_phase cell f =
   let t0 = Unix.gettimeofday () in
   let add () =
     let dt = Unix.gettimeofday () -. t0 in
-    Mutex.lock phase_mu;
-    cell := !cell +. dt;
-    Mutex.unlock phase_mu
+    let a = Domain.DLS.get phase_key in
+    a :=
+      (match cell with
+      | Ph_load ->
+        { !a with load_s = !a.load_s +. dt; load_n = !a.load_n + 1 }
+      | Ph_compile ->
+        { !a with compile_s = !a.compile_s +. dt; compile_n = !a.compile_n + 1 }
+      | Ph_sim -> { !a with sim_s = !a.sim_s +. dt; sim_n = !a.sim_n + 1 })
   in
   match f () with
   | v ->
@@ -213,7 +274,7 @@ let metrics_of (perf : Mlc_sim.Machine.perf) =
 
 let simulate_program ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args
     ~data program =
-  timed_phase ph_sim (fun () ->
+  timed_phase Ph_sim (fun () ->
       let machine = Mlc_sim.Machine.create ~trace () in
       let addrs = setup_machine ~elem machine args data in
       let run =
@@ -230,7 +291,7 @@ let simulate_program ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args
 
 let simulate ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args ~data asm =
   let program =
-    timed_phase ph_load (fun () ->
+    timed_phase Ph_load (fun () ->
         Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm))
   in
   simulate_program ~trace ~engine ~elem ~fn_name ~args ~data program
@@ -452,7 +513,7 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
            and the pre-decoded program itself is memoized per key, so a
            warm hit costs two table lookups, not a parse. *)
         ( compiled,
-          timed_phase ph_load (fun () -> Compile_cache.program_for ~key compiled)
+          timed_phase Ph_load (fun () -> Compile_cache.program_for ~key compiled)
         )
       | `Miss key ->
         (* The first attempt consumes the module already built for the
@@ -460,12 +521,12 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
            rungs rebuild from the spec. *)
         let m = if first then Lazy.force m0 else spec.Builders.build () in
         let compiled =
-          timed_phase ph_compile (fun () ->
+          timed_phase Ph_compile (fun () ->
               compile_rung ~verify_each ~pipeline_of ~allocator ~bundle_ctx
                 rflags m)
         in
         let program =
-          timed_phase ph_load (fun () ->
+          timed_phase Ph_load (fun () ->
               match sim_path with
               | Direct -> Insn_emit.emit_module m
               | Via_text ->
@@ -563,7 +624,7 @@ let run_lowlevel ?(seed = 42) ?(verify_each = true) ?(sim_path = Direct)
   in
   let m = spec.Lowlevel.build () in
   let asm, reports, stats =
-    timed_phase ph_compile (fun () ->
+    timed_phase Ph_compile (fun () ->
         if verify_each then Verifier.verify m;
         Mlc_ir.Pass.run ~verify_each m
           [
@@ -586,7 +647,7 @@ let run_lowlevel ?(seed = 42) ?(verify_each = true) ?(sim_path = Direct)
         (asm, reports, stats))
   in
   let program =
-    timed_phase ph_load (fun () ->
+    timed_phase Ph_load (fun () ->
         match sim_path with
         | Direct -> Insn_emit.emit_module m
         | Via_text -> Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm))
@@ -610,3 +671,268 @@ let run_lowlevel ?(seed = 42) ?(verify_each = true) ?(sim_path = Direct)
     trace = trace_lines;
     degradation = None;
   }
+
+(* --- multi-core cluster execution --- *)
+
+(* Everything the cluster run reports beyond the single-core metrics:
+   cluster geometry, the chosen staging mode, the lockstep schedule's
+   outcome and per-core counters. *)
+type cluster_result = {
+  c_cores : int;  (* cluster size N (--cores) *)
+  c_active : int;  (* cores that ran the kernel (T <= N) *)
+  c_halves : int;  (* chunks per active core (2 = double-buffered) *)
+  c_staged : bool;  (* DMA staging vs in-place pointers *)
+  c_makespan : int;  (* slowest core's drain point, conflicts included *)
+  c_epochs : int;  (* barrier-delimited lockstep rounds *)
+  c_per_core : metrics array;  (* per-core performance counters *)
+  c_conflicts : int array;  (* per-core bank-conflict cycles charged *)
+  c_util : float array;  (* per-core FPU utilisation over the run, % *)
+  c_dma_bytes : int array;  (* per-core bytes moved by the DMA engine *)
+  c_outputs : float array list;
+  c_expected : float array list;
+  c_max_abs_err : float;
+  c_asm : string;  (* the (single) compiled tile kernel *)
+}
+
+(* Mirror of [setup_machine]'s arena walk, without a machine: the
+   address each buffer argument will get, and the first free byte after
+   them, where the per-core scratch region starts. *)
+let plan_addresses ~elem (args : Builders.arg_spec list) =
+  let esz = Ty.byte_width elem in
+  let next = ref Mlc_sim.Mem.tcdm_base in
+  let addrs =
+    List.map
+      (fun spec ->
+        match spec with
+        | Builders.Buf_in shape | Builders.Buf_out shape ->
+          let aligned = (!next + 7) / 8 * 8 in
+          next := aligned + (Ty.num_elements shape * esz);
+          Some aligned
+        | Builders.Scalar_float _ -> None)
+      args
+  in
+  (addrs, (!next + 7) / 8 * 8)
+
+(* Compile and run a linalg-level kernel on an N-core cluster.
+
+   The kernel is parallel-tiled ({!Mlc_transforms.Parallel_tile}: the
+   output's leading parallel dimension is carved into contiguous row
+   chunks), lowered to one per-chunk *tile function*
+   ({!Mlc_transforms.Lower_forall}) that the standard pipeline — and
+   compile cache — compiles exactly once, and spliced into per-core
+   programs ({!Mlc_riscv.Cluster_wrap}) that DMA each core's chunks
+   through private scratch (double-buffered when the chunk count
+   allows), synchronising on the cluster barrier. {!Mlc_sim.Cluster}
+   steps the cores in lockstep epochs over one shared TCDM image with
+   per-bank contention accounting; [pool] parallelises the per-epoch
+   stepping on the host with bit-identical results for any [-j].
+
+   Raises {!Mlc_transforms.Parallel_tile.Not_partitionable} when the
+   kernel cannot be row-partitioned (conv/pool window maps). *)
+let run_cluster ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
+    ?(verify_each = true) ?(engine = Fast) ?(cache = true) ?pool ~cores
+    (spec : Builders.spec) : cluster_result =
+  if cores < 1 then err "cluster needs at least one core";
+  if cores > 32 then err "cluster larger than 32 cores";
+  let elem = spec.Builders.elem in
+  let esz = Ty.byte_width elem in
+  let data = gen_inputs ~seed ~elem spec.Builders.args in
+  let expected = interp_expected spec data in
+  (* Partition geometry from a throwaway build of the generic module. *)
+  let plan0 =
+    Mlc_transforms.Parallel_tile.plan_of ~cores
+      (spec.Builders.build ())
+      ~fn_name:spec.Builders.fn_name
+  in
+  let active = plan0.Mlc_transforms.Parallel_tile.threads in
+  let rows = plan0.Mlc_transforms.Parallel_tile.rows in
+  let partitioned = plan0.Mlc_transforms.Parallel_tile.partitioned in
+  let rows_per_core = rows / active in
+  (* Wrapper argument table: registers mirror [setup_machine]'s ABI
+     walk (pointers a0.., scalars fa0..). *)
+  let mk_args ~halves =
+    let next_x = ref 10 and next_f = ref 10 in
+    Array.of_list
+      (List.mapi
+         (fun i aspec ->
+           match aspec with
+           | Builders.Buf_in shape | Builders.Buf_out shape ->
+             let reg = !next_x in
+             incr next_x;
+             let part = partitioned.(i) in
+             let row_bytes = Ty.num_elements shape / List.hd shape * esz in
+             {
+               Mlc_riscv.Cluster_wrap.ap_reg = reg;
+               ap_scalar = false;
+               ap_partitioned = part;
+               ap_input =
+                 (part && match aspec with Builders.Buf_in _ -> true | _ -> false);
+               ap_output =
+                 (part && match aspec with Builders.Buf_out _ -> true | _ -> false);
+               ap_rows_chunk = (if part then rows_per_core / halves else 0);
+               ap_row_bytes = (if part then row_bytes else 0);
+             }
+           | Builders.Scalar_float _ ->
+             let reg = !next_f in
+             incr next_f;
+             {
+               Mlc_riscv.Cluster_wrap.ap_reg = reg;
+               ap_scalar = true;
+               ap_partitioned = false;
+               ap_input = false;
+               ap_output = false;
+               ap_rows_chunk = 0;
+               ap_row_bytes = 0;
+             })
+         spec.Builders.args)
+  in
+  (* Staging-mode choice: double-buffer when each core's rows split in
+     two and the scratch fits; single-buffer staging next; in-place
+     pointers (no scratch at all) as the always-fits floor. *)
+  let planned_addrs, scratch_base = plan_addresses ~elem spec.Builders.args in
+  let scratch_limit =
+    Mlc_sim.Mem.tcdm_base + Mlc_sim.Mem.tcdm_size
+    - (cores * Mlc_sim.Machine.stack_bytes)
+  in
+  let fits halves =
+    let need = Mlc_riscv.Cluster_wrap.scratch_needed ~halves (mk_args ~halves) in
+    scratch_base + (cores * need) <= scratch_limit
+  in
+  let halves, mode =
+    if rows_per_core mod 2 = 0 && rows_per_core >= 2 && fits 2 then
+      (2, Mlc_riscv.Cluster_wrap.Staged)
+    else if fits 1 then (1, Mlc_riscv.Cluster_wrap.Staged)
+    else (1, Mlc_riscv.Cluster_wrap.In_place)
+  in
+  let wargs = mk_args ~halves in
+  (* Build and lower the tile module at chunk granularity. *)
+  let chunks = active * halves in
+  let m = spec.Builders.build () in
+  let tplan =
+    Mlc_transforms.Parallel_tile.tile ~cores:chunks m
+      ~fn_name:spec.Builders.fn_name
+  in
+  if tplan.Mlc_transforms.Parallel_tile.threads <> chunks then
+    err "parallel tiling split %d chunks, planned %d"
+      tplan.Mlc_transforms.Parallel_tile.threads chunks;
+  Mlc_transforms.Lower_forall.lower m;
+  if verify_each then Verifier.verify m;
+  (* Compile the tile function through the standard cached path: the
+     printed tile IR (shrunk shapes and all) is its own cache key. *)
+  let ir_text = Mlc_ir.Printer.to_string m in
+  let bundle_ctx =
+    {
+      Mlc_diag.Crash_bundle.flags =
+        Some
+          (Printf.sprintf "cluster --cores %d (%s)" cores
+             (Mlc_transforms.Pipeline.describe_flags flags));
+      replay = None;
+    }
+  in
+  let compiled =
+    match
+      if cache then Compile_cache.lookup ~flags ~ir_text else `Miss ""
+    with
+    | `Hit (_, compiled) -> compiled
+    | `Miss key ->
+      let compiled =
+        timed_phase Ph_compile (fun () ->
+            compile_rung ~verify_each ~pipeline_of:Mlc_transforms.Pipeline.passes
+              ~allocator:None ~bundle_ctx flags m)
+      in
+      (match
+         Mlc_analysis.Lint.error_of
+           (Mlc_analysis.Lint.check_program (Insn_emit.emit_module m))
+       with
+      | Some d -> raise (Mlc_diag.Diag.Diagnostic d)
+      | None -> ());
+      if cache then Compile_cache.store ~key compiled;
+      compiled
+  in
+  let tile =
+    timed_phase Ph_load (fun () ->
+        Mlc_sim.Asm_parse.parse compiled.Mlc_transforms.Pipeline.asm)
+  in
+  let wplan =
+    {
+      Mlc_riscv.Cluster_wrap.cores;
+      active;
+      halves;
+      mode;
+      args = wargs;
+      scratch_base;
+      scratch_stride = Mlc_riscv.Cluster_wrap.scratch_needed ~halves wargs;
+    }
+  in
+  let programs =
+    timed_phase Ph_load (fun () ->
+        Mlc_riscv.Cluster_wrap.compose wplan ~tile ~entry:spec.Builders.fn_name)
+  in
+  (* Sanitize every composed per-core program before running it: the
+     wrapper must satisfy the DMA/barrier discipline the cluster's
+     shared-memory model assumes (dma-discipline class), on top of the
+     single-core contracts already checked on the tile compile above. *)
+  Array.iter
+    (fun p ->
+      match Mlc_analysis.Lint.error_of (Mlc_analysis.Lint.check_program p) with
+      | Some d -> raise (Mlc_diag.Diag.Diagnostic d)
+      | None -> ())
+    programs;
+  timed_phase Ph_sim (fun () ->
+      let shared = Mlc_sim.Mem.create () in
+      let machines =
+        Array.init cores (fun c ->
+            Mlc_sim.Machine.create
+              ~mem:(if c = 0 then shared else Mlc_sim.Mem.view shared)
+              ~core_id:c ~num_cores:cores ())
+      in
+      let addrs = setup_machine ~elem machines.(0) spec.Builders.args data in
+      if addrs <> planned_addrs then
+        err "cluster scratch plan disagrees with the machine arena";
+      (* Every core sees the same ABI argument registers. *)
+      for c = 1 to cores - 1 do
+        for r = 10 to 17 do
+          Mlc_sim.Machine.set_ireg machines.(c) r
+            (Mlc_sim.Machine.get_ireg machines.(0) r);
+          Mlc_sim.Machine.set_freg machines.(c) r
+            (Mlc_sim.Machine.get_freg_raw machines.(0) r)
+        done
+      done;
+      let cluster_engine =
+        match engine with
+        | Fast -> Mlc_sim.Cluster.fast
+        | Per_insn -> Mlc_sim.Cluster.per_insn
+        | Reference -> Mlc_sim.Cluster.reference
+      in
+      let triples =
+        Array.init cores (fun c ->
+            (machines.(c), programs.(c), Mlc_riscv.Cluster_wrap.entry_label))
+      in
+      let res = Mlc_sim.Cluster.run ?pool ~engine:cluster_engine triples in
+      let outputs = read_back ~elem machines.(0) spec.Builders.args addrs in
+      {
+        c_cores = cores;
+        c_active = active;
+        c_halves = halves;
+        c_staged = (mode = Mlc_riscv.Cluster_wrap.Staged);
+        c_makespan = res.Mlc_sim.Cluster.makespan;
+        c_epochs = res.Mlc_sim.Cluster.epochs;
+        c_per_core =
+          Array.map
+            (fun (mc : Mlc_sim.Machine.t) -> metrics_of mc.Mlc_sim.Machine.perf)
+            machines;
+        c_conflicts = res.Mlc_sim.Cluster.conflicts;
+        c_util =
+          Array.map
+            (fun (mc : Mlc_sim.Machine.t) ->
+              Mlc_sim.Machine.utilization mc.Mlc_sim.Machine.perf)
+            machines;
+        c_dma_bytes =
+          Array.map
+            (fun (mc : Mlc_sim.Machine.t) -> mc.Mlc_sim.Machine.dma_bytes)
+            machines;
+        c_outputs = outputs;
+        c_expected = expected;
+        c_max_abs_err = max_abs_err outputs expected;
+        c_asm = compiled.Mlc_transforms.Pipeline.asm;
+      })

@@ -32,16 +32,46 @@ type sim_path = Direct | Via_text
     bit-identical across all three. *)
 type engine = Fast | Per_insn | Reference
 
-(** Process-wide wall-clock totals of the harness phases: [compile_s]
-    (pass pipeline, register allocation, emission, lint), [load_s]
-    (program construction: direct emission, assembly parse, or cached
-    lookup), [sim_s] (machine setup, simulation, output readback).
-    Accumulated across all domains; the benchmark driver snapshots them
-    per section for its [--phases]/[--json] breakdown. *)
-type phase_totals = { load_s : float; compile_s : float; sim_s : float }
+(** Wall-clock totals of the harness phases: [compile_s] (pass
+    pipeline, register allocation, emission, lint), [load_s] (program
+    construction: direct emission, assembly parse, or cached lookup),
+    [sim_s] (machine setup, simulation, output readback), plus the
+    number of entries timed into each — counts carry no wall-clock, so
+    they are bit-identical for any [-j] (the determinism contract's
+    testable face).
 
+    Attribution is per domain: the timed sections accumulate into a
+    domain-local cell, pool workers {!drain_phases} at the end of each
+    work item and the driver {!commit_phases} the drained deltas in its
+    ordered commit loop. Single-domain flows need neither: {!phases}
+    commits the calling domain's own residue before reading. *)
+type phase_totals = {
+  load_s : float;
+  compile_s : float;
+  sim_s : float;
+  load_n : int;
+  compile_n : int;
+  sim_n : int;
+}
+
+val zero_phases : phase_totals
+val add_phases : phase_totals -> phase_totals -> phase_totals
+val sub_phases : phase_totals -> phase_totals -> phase_totals
+
+(** Committed totals plus the calling domain's drained residue. *)
 val phases : unit -> phase_totals
+
 val reset_phases : unit -> unit
+
+(** Take (and zero) the calling domain's uncommitted accumulator. Pool
+    workers call this when their work item completes and return the
+    delta with their result. *)
+val drain_phases : unit -> phase_totals
+
+(** Fold a drained delta into the committed totals. Drivers call this
+    in their ordered commit loop, making totals independent of worker
+    scheduling. *)
+val commit_phases : phase_totals -> unit
 
 (** The graceful-degradation record of a run that fell back: [rung] is
     the {!Mlc_transforms.Pipeline.fallback_lattice} configuration that
@@ -162,3 +192,45 @@ val run_lowlevel :
   ?engine:engine ->
   Mlc_kernels.Lowlevel.spec ->
   run_result
+
+(** Result of a multi-core cluster run: cluster geometry, the staging
+    mode the wrapper chose, the lockstep schedule's outcome, and
+    per-core counters, alongside the usual outputs-vs-reference
+    validation. *)
+type cluster_result = {
+  c_cores : int;  (** cluster size N ([--cores]) *)
+  c_active : int;  (** cores that ran the kernel (T <= N) *)
+  c_halves : int;  (** chunks per active core (2 = double-buffered) *)
+  c_staged : bool;  (** DMA staging vs in-place pointers *)
+  c_makespan : int;  (** slowest core's drain point, conflicts included *)
+  c_epochs : int;  (** barrier-delimited lockstep rounds *)
+  c_per_core : metrics array;  (** per-core performance counters *)
+  c_conflicts : int array;  (** per-core bank-conflict cycles charged *)
+  c_util : float array;  (** per-core FPU utilisation over the run, % *)
+  c_dma_bytes : int array;  (** per-core bytes moved by the DMA engine *)
+  c_outputs : float array list;
+  c_expected : float array list;
+  c_max_abs_err : float;
+  c_asm : string;  (** the (single) compiled tile kernel *)
+}
+
+(** Compile and run a linalg-level kernel on an N-core Snitch cluster:
+    parallel-tile ({!Mlc_transforms.Parallel_tile}), lower to the
+    per-chunk tile function ({!Mlc_transforms.Lower_forall}), compile
+    it once through the standard cached pipeline, splice per-core
+    programs with DMA staging ({!Mlc_riscv.Cluster_wrap}) and step them
+    in lockstep epochs over one shared TCDM ({!Mlc_sim.Cluster}).
+    Outputs are bit-identical across core counts, engines and host
+    [-j]; [pool] parallelises the per-epoch stepping on the host.
+    Raises {!Mlc_transforms.Parallel_tile.Not_partitionable} for
+    kernels whose maps do not row-partition (conv/pool windows). *)
+val run_cluster :
+  ?flags:Mlc_transforms.Pipeline.flags ->
+  ?seed:int ->
+  ?verify_each:bool ->
+  ?engine:engine ->
+  ?cache:bool ->
+  ?pool:Mlc_parallel.Pool.t ->
+  cores:int ->
+  Mlc_kernels.Builders.spec ->
+  cluster_result

@@ -1,0 +1,44 @@
+(* The cluster dialect: the ops that tie an scf.forall thread instance
+   to its share of the cluster-visible operands.
+
+   [cluster.slice] is a pure view computation: it carves the leading
+   dimension of a memref into [parts] equal contiguous row blocks and
+   yields thread [tid]'s block as a shrunk memref. The cluster lowering
+   turns it into base-address arithmetic (plus the DMA staging that
+   moves the block into per-core scratch memory); no data moves at this
+   level. *)
+
+open Mlc_ir
+
+let slice_op =
+  Op_registry.register "cluster.slice" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 2;
+      Op_registry.expect_num_results op 1;
+      Op_registry.expect_attr op "parts";
+      let parts = Attr.get_int (Ir.Op.attr_exn op "parts") in
+      if parts < 1 then Op_registry.fail_op op "parts must be positive";
+      if not (Ty.equal (Ir.Value.ty (Ir.Op.operand op 1)) Ty.Index) then
+        Op_registry.fail_op op "thread id must have index type";
+      match Ir.Value.ty (Ir.Op.operand op 0) with
+      | Ty.Memref { shape = rows :: rest; elem } ->
+        if rows mod parts <> 0 then
+          Op_registry.fail_op op
+            "leading dimension %d does not divide into %d parts" rows parts;
+        Op_registry.expect_result_ty op 0 (Ty.memref ((rows / parts) :: rest) elem)
+      | t ->
+        Op_registry.fail_op op "operand must be a ranked memref, got %s"
+          (Ty.to_string t))
+
+(* [slice b ~parts ~tid src]: thread [tid]'s contiguous block of [src]'s
+   leading dimension, split [parts] ways. *)
+let slice b ~parts ~tid src =
+  match Ir.Value.ty src with
+  | Ty.Memref { shape = rows :: rest; elem } ->
+    Builder.create1 b
+      ~attrs:[ ("parts", Attr.Int parts) ]
+      ~result:(Ty.memref ((rows / parts) :: rest) elem)
+      slice_op [ src; tid ]
+  | t -> invalid_arg ("Cluster.slice: not a ranked memref: " ^ Ty.to_string t)
+
+let parts op = Attr.get_int (Ir.Op.attr_exn op "parts")
+let src op = Ir.Op.operand op 0

@@ -1,0 +1,21 @@
+(** The cluster dialect: ops tying an [scf.forall] thread instance to
+    its share of the cluster-visible operands.
+
+    [cluster.slice] carves the leading dimension of a memref into
+    [parts] equal contiguous row blocks and yields the thread's block
+    as a shrunk memref — a pure view computation the cluster lowering
+    turns into base-address arithmetic plus DMA staging. *)
+
+open Mlc_ir
+
+val slice_op : string
+
+(** [slice b ~parts ~tid src] — thread [tid]'s contiguous block of
+    [src]'s leading dimension, split [parts] ways. Raises
+    [Invalid_argument] when [src] is not a ranked memref. *)
+val slice : Builder.t -> parts:int -> tid:Ir.value -> Ir.value -> Ir.value
+
+val parts : Ir.op -> int
+
+(** The sliced memref operand. *)
+val src : Ir.op -> Ir.value

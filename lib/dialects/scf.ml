@@ -33,6 +33,32 @@ let yield_op =
   Op_registry.register "scf.yield" ~terminator:true ~verify:(fun op ->
       Op_registry.expect_num_results op 0)
 
+(* [scf.forall]: N parallel thread instances of one body, distinguished
+   only by the index-typed thread-id block argument. The cluster
+   lowering maps one instance per Snitch core; there are no results and
+   no loop-carried values — cross-instance communication happens through
+   the sliced memref operands (see the cluster dialect). *)
+let forall_op =
+  Op_registry.register "scf.forall" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      Op_registry.expect_num_regions op 1;
+      Op_registry.expect_attr op "num_threads";
+      let n = Attr.get_int (Ir.Op.attr_exn op "num_threads") in
+      if n < 1 then Op_registry.fail_op op "num_threads must be positive";
+      let body = Ir.Region.only_block (Ir.Op.region op 0) in
+      if
+        Ir.Block.num_args body <> 1
+        || not (Ty.equal (Ir.Value.ty (Ir.Block.arg body 0)) Ty.Index)
+      then
+        Op_registry.fail_op op
+          "body must have a single index-typed thread-id argument";
+      match Ir.Block.terminator body with
+      | Some t when Ir.Op.name t = "scf.yield" ->
+        if Ir.Op.num_operands t <> 0 then
+          Op_registry.fail_op op "forall yield carries no values"
+      | _ -> Op_registry.fail_op op "body must terminate with scf.yield")
+
 (* [for_ b ~lb ~ub ~step ~iter_args f] creates an scf.for. [f] is called
    with a builder positioned in the body, the induction variable and the
    iteration arguments; it must return the yielded values. *)
@@ -68,3 +94,22 @@ let yield_of op =
   match Ir.Block.terminator (body op) with
   | Some t when Ir.Op.name t = yield_op -> t
   | _ -> invalid_arg "Scf.yield_of: malformed scf.for"
+
+(* [forall b ~num_threads f] creates an scf.forall; [f] is called with a
+   builder positioned in the body and the thread-id value. *)
+let forall b ~num_threads f =
+  let region = Ir.Region.single_block ~args:[ Ty.Index ] () in
+  let body = Ir.Region.only_block region in
+  let op =
+    Builder.create b
+      ~attrs:[ ("num_threads", Attr.Int num_threads) ]
+      ~regions:[ region ] ~results:[] forall_op []
+  in
+  let bb = Builder.at_end body in
+  f bb (Ir.Block.arg body 0);
+  Builder.create0 bb yield_op [];
+  op
+
+let forall_body op = Ir.Region.only_block (Ir.Op.region op 0)
+let thread_id op = Ir.Block.arg (forall_body op) 0
+let num_threads op = Attr.get_int (Ir.Op.attr_exn op "num_threads")

@@ -7,6 +7,11 @@ open Mlc_ir
 val for_op : string
 val yield_op : string
 
+(** [scf.forall]: N parallel instances of one body distinguished by the
+    index-typed thread-id block argument; no results, no loop-carried
+    values. The cluster lowering maps one instance per Snitch core. *)
+val forall_op : string
+
 (** [for_ b ~lb ~ub ~step ~iter_args f] builds a for loop; [f] receives
     the body builder, the induction variable (index-typed) and the
     iteration arguments and returns the yielded values. Bounds are
@@ -31,3 +36,11 @@ val iter_args : Ir.op -> Ir.value list
 
 (** The body's terminating scf.yield. *)
 val yield_of : Ir.op -> Ir.op
+
+(** [forall b ~num_threads f] builds an scf.forall; [f] receives the
+    body builder and the thread-id value. *)
+val forall : Builder.t -> num_threads:int -> (Builder.t -> Ir.value -> unit) -> Ir.op
+
+val forall_body : Ir.op -> Ir.block
+val thread_id : Ir.op -> Ir.value
+val num_threads : Ir.op -> int

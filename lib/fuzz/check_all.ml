@@ -52,6 +52,49 @@ let check_combo ~n ~m ~k (c : combo) =
     | _ -> ());
     findings
 
+(* --- cluster lowering configs ---
+
+   For every registry kernel and core count, drive the full parallel
+   lowering (scf.forall tiling, slice folding, per-core DMA wrapper)
+   and surface what the path itself enforces: the composed per-core
+   programs must pass the sanitizer (dma-discipline included — Runner
+   lints them before simulating) and the cluster outputs must match the
+   reference interpreter. Window kernels are not row-partitionable by
+   contract; their rejection is the expected clean outcome. *)
+
+let cluster_cores = [ 2; 8 ]
+
+let cluster_combos () =
+  List.concat_map
+    (fun kernel -> List.map (fun cores -> (kernel, cores)) cluster_cores)
+    Registry.short_names
+
+let cluster_label (kernel, cores) = Printf.sprintf "%s/cluster-%d" kernel cores
+
+let check_cluster_combo ~n ~m ~k (kernel, cores) =
+  match Registry.by_short_name kernel with
+  | None -> invalid_arg ("check: unknown kernel " ^ kernel)
+  | Some entry ->
+    let spec = entry.Registry.instantiate ~n ~m ~k () in
+    let diag message =
+      [
+        Mlc_diag.Diag.make ~component:"check" ~pass:"cluster"
+          ~op:(cluster_label (kernel, cores))
+          message;
+      ]
+    in
+    (match Mlc.Runner.run_cluster ~cores spec with
+    | r ->
+      if r.Mlc.Runner.c_max_abs_err > 1e-6 then
+        diag
+          (Printf.sprintf "cluster outputs diverge from the reference \
+                           interpreter (max |error| %g)"
+             r.Mlc.Runner.c_max_abs_err)
+      else []
+    | exception Mlc_transforms.Parallel_tile.Not_partitionable _ ->
+      [] (* window kernels: rejection is the contract *)
+    | exception Mlc_diag.Diag.Diagnostic d -> [ d ])
+
 type summary = {
   lines : string list; (* "kernel/config: finding" report lines, ordered *)
   checked : int;
@@ -75,14 +118,22 @@ let summarize results =
         0 results;
   }
 
-(* Every registry kernel under every oracle config. Combos are
-   independent, so they fan out over the pool; findings come back in
-   combo order regardless of [jobs]. *)
+(* Every registry kernel under every oracle config, then under the
+   cluster lowering at every core count. Combos are independent, so
+   they fan out over the pool; findings come back in combo order
+   regardless of [jobs]. *)
 let run_all ?jobs ?(n = 16) ?(m = 16) ?(k = 16) () =
+  let single =
+    List.map (fun c -> `Single c) (combos ())
+  and cluster =
+    List.map (fun c -> `Cluster c) (cluster_combos ())
+  in
   summarize
     (Mlc_parallel.Pool.map_list ?jobs
-       (fun c -> (label c, check_combo ~n ~m ~k c))
-       (combos ()))
+       (function
+         | `Single c -> (label c, check_combo ~n ~m ~k c)
+         | `Cluster c -> (cluster_label c, check_cluster_combo ~n ~m ~k c))
+       (single @ cluster))
 
 (* One kernel under one named flow (the `check -k` path). *)
 let run_one ~kernel ~flow ~flags ?(n = 16) ?(m = 16) ?(k = 16) () =

@@ -18,7 +18,37 @@ let dir = Atomic.make (None : string option)
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
 
-let set_disk_dir d = Atomic.set dir d
+(* A process dying between [Filename.temp_file] and [Sys.rename] in
+   [disk_add] orphans a ".<key><nonce>.tmp" file that nothing would
+   ever reclaim. Sweep such orphans when a process attaches the disk
+   tier — but only ones old enough that no live writer can still own
+   them (a concurrent process's in-flight temp is seconds old at
+   most). *)
+let stale_tmp_age_s = 600.
+
+let is_tmp_orphan f =
+  String.length f > 1 && f.[0] = '.' && Filename.check_suffix f ".tmp"
+
+let sweep_stale_tmp d =
+  match Sys.readdir d with
+  | exception Sys_error _ -> ()
+  | entries ->
+    let now = Unix.gettimeofday () in
+    Array.iter
+      (fun f ->
+        if is_tmp_orphan f then
+          let path = Filename.concat d f in
+          match Unix.stat path with
+          | st when now -. st.Unix.st_mtime > stale_tmp_age_s -> (
+            try Sys.remove path with Sys_error _ -> ())
+          | _ -> ()
+          | exception Unix.Unix_error _ -> ())
+      entries
+
+let set_disk_dir d =
+  Atomic.set dir d;
+  match d with Some d -> sweep_stale_tmp d | None -> ()
+
 let disk_dir () = Atomic.get dir
 
 let clear_memory () =

@@ -20,10 +20,17 @@
 val key : namespace:string -> version:string -> string list -> string
 
 (** Enable ([Some dir], created on first write) or disable ([None], the
-    default) the on-disk tier. *)
+    default) the on-disk tier. Attaching a directory sweeps temp files
+    orphaned by writers that died between create and rename — dot-prefixed
+    [*.tmp] entries older than {!stale_tmp_age_s}; younger ones may
+    belong to a live concurrent writer and are left alone. *)
 val set_disk_dir : string option -> unit
 
 val disk_dir : unit -> string option
+
+(** Age (seconds since last modification) beyond which an orphaned
+    temp file is reclaimed by {!set_disk_dir}. *)
+val stale_tmp_age_s : float
 
 (** [find ~key] returns the cached value, consulting memory first and
     then the disk tier (promoting disk finds to memory). Counts one hit

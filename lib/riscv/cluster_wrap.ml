@@ -1,0 +1,253 @@
+(* Per-core program composition for the cluster lowering: wrap one
+   compiled *tile kernel* (see [Lower_forall]) into [cores] per-core
+   machine-code programs with DMA staging and the end-of-kernel
+   barrier.
+
+   The wrapper works at the decoded-instruction level: the tile
+   kernel's instructions are spliced verbatim with branch targets
+   shifted to the splice base and each [ret] turned into a jump to the
+   continuation — the per-core program is one straight program with a
+   single entry label and a single final [barrier; ret].
+
+   Per active core [c], in [`Staged] mode:
+
+   - the original argument registers (and FP scalar arguments) are
+     saved to a per-core save area at the base of the core's scratch
+     carve-out: the spliced kernel clobbers argument registers, and the
+     DMA-out of later chunks still needs the original pointers;
+   - each of the core's [halves] row chunks of every partitioned input
+     is DMA-copied from the shared buffer into per-core scratch; the
+     first chunk is joined with [dmwait] before the first kernel run,
+     the second streams in while the first computes (double-buffering);
+   - the kernel runs once per chunk with argument registers pointed at
+     the chunk's scratch buffers (partitioned) or reloaded from the
+     save area (shared buffers, FP scalars);
+   - after each run the chunk of every partitioned output is DMA-copied
+     back to its place in the shared buffer, asynchronously;
+   - a final [dmwait; barrier; ret] joins the DMA engine and the
+     cluster.
+
+   [`In_place] mode (scratch does not fit) skips all staging: the
+   partitioned argument registers are offset to the core's row block
+   and the kernel runs directly against the shared TCDM — correct, but
+   exposed to bank contention on every access.
+
+   Cores [c >= active] run [barrier; ret]: every core arrives at the
+   one cluster barrier exactly once.
+
+   Correctness relies on two properties the caller guarantees: row
+   chunks of distinct cores never overlap (the [cluster.slice]
+   contract), and outputs are fully written by the kernel (the fill +
+   generic structure of every registry kernel), so copying whole chunks
+   back cannot lose data. *)
+
+open Mlc_sim
+
+exception Wrap_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Wrap_error s)) fmt
+let entry_label = "cluster_main"
+
+(* One function argument of the tile kernel, as the wrapper sees it. *)
+type arg_plan = {
+  ap_reg : int;  (** x-register (buffers) or f-register (scalars) *)
+  ap_scalar : bool;  (** FP scalar argument (lives in an f-register) *)
+  ap_partitioned : bool;
+  ap_input : bool;  (** partitioned input: DMA-in per chunk *)
+  ap_output : bool;  (** partitioned output: DMA-out per chunk *)
+  ap_rows_chunk : int;  (** rows per chunk (partitioned only) *)
+  ap_row_bytes : int;  (** bytes per row (partitioned only) *)
+}
+
+type mode = Staged | In_place
+
+type plan = {
+  cores : int;  (** cluster size N *)
+  active : int;  (** cores that run the kernel (T) *)
+  halves : int;  (** chunks per active core (1, or 2 = double-buffered) *)
+  mode : mode;
+  args : arg_plan array;
+  scratch_base : int;  (** first byte of core 0's scratch carve-out *)
+  scratch_stride : int;  (** bytes of scratch per core *)
+}
+
+let chunk_bytes a = a.ap_rows_chunk * a.ap_row_bytes
+
+(* Save-area slot of argument [i]: 8 bytes each, pointers and scalars
+   alike. *)
+let save_off i = 8 * i
+
+let save_bytes (p : plan) = ((8 * Array.length p.args) + 7) / 8 * 8
+
+(* Scratch address of argument [i]'s buffer for chunk-half [h] on core
+   [c]. Buffers are packed after the save area, all [halves] chunks of
+   each partitioned argument in turn; every size is 8-aligned by
+   construction of the plan. *)
+let scratch_addr (p : plan) ~core ~arg ~half =
+  let base = ref (p.scratch_base + (core * p.scratch_stride) + save_bytes p) in
+  let addr = ref (-1) in
+  Array.iteri
+    (fun i a ->
+      if a.ap_partitioned then begin
+        if i = arg then addr := !base + (half * ((chunk_bytes a + 7) / 8 * 8));
+        base := !base + (p.halves * ((chunk_bytes a + 7) / 8 * 8))
+      end)
+    p.args;
+  if !addr < 0 then err "argument %d is not partitioned" arg;
+  !addr
+
+(* Bytes of scratch one active core needs under this plan. *)
+let scratch_needed ~halves args =
+  let save = ((8 * Array.length args) + 7) / 8 * 8 in
+  Array.fold_left
+    (fun acc a ->
+      if a.ap_partitioned then acc + (halves * ((chunk_bytes a + 7) / 8 * 8))
+      else acc)
+    save args
+
+(* Scratch registers the wrapper burns between kernel runs; all
+   caller-saved, all reloaded before they matter. *)
+let t2 = Asm_parse.xreg "t2"
+let t3 = Asm_parse.xreg "t3"
+let t4 = Asm_parse.xreg "t4"
+let t5 = Asm_parse.xreg "t5"
+let t6 = Asm_parse.xreg "t6"
+
+(* Program one 2D contiguous-chunk transfer and launch it. [src]/[dst]
+   emit the address into the given register. *)
+let emit_dma q ~src ~dst a =
+  src t5;
+  dst t4;
+  let add i = Queue.add i q in
+  add (Insn.Dm_src t5);
+  add (Insn.Dm_dst t4);
+  add (Insn.Li (t3, Int64.of_int a.ap_row_bytes));
+  add (Insn.Dm_str (t3, t3));
+  add (Insn.Li (t2, Int64.of_int a.ap_rows_chunk));
+  add (Insn.Dm_rep t2);
+  add (Insn.Dm_cpy t3)
+
+(* Compose the per-core programs. [tile] is the assembled tile kernel,
+   [entry] the tile function's label. Returns one pre-decoded program
+   per core, each entered at {!entry_label}. *)
+let compose (p : plan) ~(tile : Asm_parse.program) ~entry : Program.t array =
+  if p.active < 1 || p.active > p.cores then err "invalid active core count";
+  if p.halves <> 1 && p.halves <> 2 then err "halves must be 1 or 2";
+  if p.mode = In_place && p.halves <> 1 then
+    err "in-place mode cannot double-buffer";
+  let tile_entry = Asm_parse.entry tile entry in
+  let tile_len = Array.length tile.Asm_parse.insns in
+  let idle_program () =
+    let insns = [| Insn.Barrier; Insn.Ret |] in
+    let labels = Hashtbl.create 1 in
+    Hashtbl.replace labels entry_label 0;
+    Program.make ~insns ~labels ()
+  in
+  let core_program c =
+    if c >= p.active then idle_program ()
+    else begin
+      let q : Insn.t Queue.t = Queue.create () in
+      let add i = Queue.add i q in
+      let li r v = add (Insn.Li (r, Int64.of_int v)) in
+      let save_base = p.scratch_base + (c * p.scratch_stride) in
+      let chunk_id h = (c * p.halves) + h in
+      (match p.mode with
+      | In_place ->
+        (* Offset partitioned pointers to this core's row block. *)
+        Array.iter
+          (fun a ->
+            if a.ap_partitioned then
+              add
+                (Insn.Alui
+                   ( Insn.Add,
+                     a.ap_reg,
+                     a.ap_reg,
+                     Int64.of_int (chunk_id 0 * chunk_bytes a) )))
+          p.args
+      | Staged ->
+        (* Save original pointers and FP scalars. *)
+        li t6 save_base;
+        Array.iteri
+          (fun i a ->
+            if a.ap_scalar then add (Insn.Fstore (8, a.ap_reg, save_off i, t6))
+            else add (Insn.Store (8, a.ap_reg, save_off i, t6)))
+          p.args;
+        (* DMA-in every chunk of every partitioned input; join the
+           first before computing, let the rest stream. *)
+        for h = 0 to p.halves - 1 do
+          Array.iteri
+            (fun i a ->
+              if a.ap_input then
+                emit_dma q a
+                  ~src:(fun r ->
+                    add
+                      (Insn.Alui
+                         ( Insn.Add,
+                           r,
+                           a.ap_reg,
+                           Int64.of_int (chunk_id h * chunk_bytes a) )))
+                  ~dst:(fun r -> li r (scratch_addr p ~core:c ~arg:i ~half:h)))
+            p.args;
+          if h = 0 then add Insn.Dm_wait
+        done);
+      (* One kernel run per chunk. *)
+      for h = 0 to (match p.mode with In_place -> 0 | Staged -> p.halves - 1) do
+        (match p.mode with
+        | In_place -> ()
+        | Staged ->
+          (* Chunk h's DMA-in must have landed (h = 0 was joined above;
+             the single-queue engine orders everything before it). *)
+          if h > 0 then add Insn.Dm_wait;
+          li t6 save_base;
+          Array.iteri
+            (fun i a ->
+              if a.ap_scalar then add (Insn.Fload (8, a.ap_reg, save_off i, t6))
+              else if a.ap_partitioned then
+                li a.ap_reg (scratch_addr p ~core:c ~arg:i ~half:h)
+              else add (Insn.Load (8, a.ap_reg, save_off i, t6)))
+            p.args);
+        (* Splice the tile kernel: jump to its entry, shift its branch
+           targets, and turn each ret into a jump past the splice. *)
+        let base = Queue.length q in
+        let cont = base + 1 + tile_len in
+        add (Insn.J (base + 1 + tile_entry));
+        Array.iter
+          (fun insn ->
+            add
+              (match insn with
+              | Insn.Branch (cond, rs1, rs2, target) ->
+                Insn.Branch (cond, rs1, rs2, base + 1 + target)
+              | Insn.J target -> Insn.J (base + 1 + target)
+              | Insn.Ret -> Insn.J cont
+              | i -> i))
+          tile.Asm_parse.insns;
+        (* DMA the chunk of every partitioned output back, async. *)
+        match p.mode with
+        | In_place -> ()
+        | Staged ->
+          li t6 save_base;
+          Array.iteri
+            (fun i a ->
+              if a.ap_output then
+                emit_dma q a
+                  ~src:(fun r -> li r (scratch_addr p ~core:c ~arg:i ~half:h))
+                  ~dst:(fun r ->
+                    add (Insn.Load (8, r, save_off i, t6));
+                    add
+                      (Insn.Alui
+                         ( Insn.Add,
+                           r,
+                           r,
+                           Int64.of_int (chunk_id h * chunk_bytes a) ))))
+            p.args
+      done;
+      (match p.mode with Staged -> add Insn.Dm_wait | In_place -> ());
+      add Insn.Barrier;
+      add Insn.Ret;
+      let insns = Array.of_seq (Queue.to_seq q) in
+      let labels = Hashtbl.create 1 in
+      Hashtbl.replace labels entry_label 0;
+      Program.make ~insns ~labels ()
+    end
+  in
+  Array.init p.cores core_program

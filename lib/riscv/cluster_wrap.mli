@@ -1,0 +1,52 @@
+(** Per-core program composition for the cluster lowering: splice one
+    compiled tile kernel (see {!Mlc_transforms.Lower_forall}) into
+    [cores] per-core programs with DMA staging of each core's row
+    chunks, optional double-buffering, and the end-of-kernel barrier.
+    See the implementation header for the full wrapper layout. *)
+
+open Mlc_sim
+
+exception Wrap_error of string
+
+(** Entry label of every composed per-core program. *)
+val entry_label : string
+
+(** One tile-function argument, as the wrapper stages it. *)
+type arg_plan = {
+  ap_reg : int;  (** x-register (buffers) or f-register (scalars) *)
+  ap_scalar : bool;  (** FP scalar argument (lives in an f-register) *)
+  ap_partitioned : bool;
+  ap_input : bool;  (** partitioned input: DMA-in per chunk *)
+  ap_output : bool;  (** partitioned output: DMA-out per chunk *)
+  ap_rows_chunk : int;  (** rows per chunk (partitioned only) *)
+  ap_row_bytes : int;  (** bytes per row (partitioned only) *)
+}
+
+type mode =
+  | Staged  (** DMA row chunks through per-core scratch *)
+  | In_place  (** offset pointers, run against shared TCDM directly *)
+
+type plan = {
+  cores : int;  (** cluster size N *)
+  active : int;  (** cores that run the kernel (T) *)
+  halves : int;  (** chunks per active core (1, or 2 = double-buffered) *)
+  mode : mode;
+  args : arg_plan array;
+  scratch_base : int;  (** first byte of core 0's scratch carve-out *)
+  scratch_stride : int;  (** bytes of scratch per core *)
+}
+
+(** Bytes of scratch (save area + chunk buffers) one active core needs
+    for these arguments at the given buffering depth. *)
+val scratch_needed : halves:int -> arg_plan array -> int
+
+(** Scratch address of argument [arg]'s chunk buffer [half] on core
+    [core]. Exposed for tests. *)
+val scratch_addr : plan -> core:int -> arg:int -> half:int -> int
+
+(** Compose the per-core programs. [tile] is the assembled tile
+    kernel, [entry] its function label. Element [c] of the result is
+    core [c]'s program, entered at {!entry_label}; cores beyond
+    [active] get [barrier; ret]. Raises {!Wrap_error} on a malformed
+    plan. *)
+val compose : plan -> tile:Asm_parse.program -> entry:string -> Program.t array

@@ -267,6 +267,27 @@ let parse text =
     | "nop" ->
       need 0;
       Nop
+    | "barrier" ->
+      need 0;
+      Barrier
+    | "dmsrc" ->
+      need 1;
+      Dm_src (xreg (a 0))
+    | "dmdst" ->
+      need 1;
+      Dm_dst (xreg (a 0))
+    | "dmstr" ->
+      need 2;
+      Dm_str (xreg (a 0), xreg (a 1))
+    | "dmrep" ->
+      need 1;
+      Dm_rep (xreg (a 0))
+    | "dmcpy" ->
+      need 1;
+      Dm_cpy (xreg (a 0))
+    | "dmwait" ->
+      need 0;
+      Dm_wait
     | other -> err "unknown mnemonic %S in %S" other raw
   in
   {
@@ -365,3 +386,10 @@ let render (insn : Insn.t) =
   | J t -> p "j @%d" t
   | Ret -> "ret"
   | Nop -> "nop"
+  | Barrier -> "barrier"
+  | Dm_src rs -> p "dmsrc %s" (x rs)
+  | Dm_dst rs -> p "dmdst %s" (x rs)
+  | Dm_str (rs1, rs2) -> p "dmstr %s, %s" (x rs1) (x rs2)
+  | Dm_rep rs -> p "dmrep %s" (x rs)
+  | Dm_cpy rs -> p "dmcpy %s" (x rs)
+  | Dm_wait -> "dmwait"

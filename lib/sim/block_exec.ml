@@ -385,8 +385,10 @@ let compile_block (t : M.t) (p : Program.t) (b : Program.block) : unit -> int =
         M.fpu_execute_functional t insn;
         fpu_timing_nocount t p pc ~avail:(issue + 1);
         next ()
-    | Insn.Scfgwi _ | Insn.Csrsi _ | Insn.Csrci _ | Insn.Frep_o _ ->
-      (* [partition] never fuses these. *)
+    | Insn.Scfgwi _ | Insn.Csrsi _ | Insn.Csrci _ | Insn.Frep_o _
+    | Insn.Barrier | Insn.Dm_src _ | Insn.Dm_dst _ | Insn.Dm_str _
+    | Insn.Dm_rep _ | Insn.Dm_cpy _ | Insn.Dm_wait ->
+      (* [partition] never fuses these (all Ctl_barrier-class). *)
       assert false
   in
   mk 0
@@ -419,14 +421,16 @@ let reconcile (t : M.t) (b : Program.block) =
   perf.M.loads <- perf.M.loads - (b.Program.b_loads - b.Program.b_adj_loads.(k));
   perf.M.stores <- perf.M.stores - (b.Program.b_stores - b.Program.b_adj_stores.(k))
 
-let run (t : M.t) (p : Program.t) ~entry =
-  if t.M.trace_enabled then M.run t p ~entry
+let run ?resume (t : M.t) (p : Program.t) ~entry =
+  if t.M.trace_enabled then M.run ?resume t p ~entry
   else begin
     M.prepare t p;
     let n = Array.length p.Program.insns in
     let blocks = p.Program.blocks in
     let blk_compiled = t.M.blk_compiled in
-    let pc = ref (Program.entry p entry) in
+    let pc =
+      ref (match resume with Some at -> at | None -> Program.entry p entry)
+    in
     let running = ref true in
     (try
        while !running do
@@ -465,7 +469,13 @@ let run (t : M.t) (p : Program.t) ~entry =
               little fuel to guarantee the block completes (out-of-fuel
               must trap at the exact instruction). *)
            let next = M.step_fast t p pc0 in
-           if next = -1 then running := false else pc := next
+           if next = -1 then running := false
+           else begin
+             pc := next;
+             (* Cluster barrier: suspend with the pc on the resume
+                point, same as [Machine.run]. *)
+             if t.M.barrier_hit then running := false
+           end
        done
      with exn -> M.raise_as_trap t p !pc exn);
     t.M.perf.M.cycles <- max t.M.core_time t.M.fpu_last_done;

@@ -16,5 +16,6 @@
     mid-block fault, attributed to the faulting pc. *)
 
 (** Execute from the [entry] label until [ret]; same contract as
-    {!Machine.run}. *)
-val run : Machine.t -> Program.t -> entry:string -> Machine.outcome
+    {!Machine.run}, including the cluster barrier suspension and
+    [?resume] semantics. *)
+val run : ?resume:int -> Machine.t -> Program.t -> entry:string -> Machine.outcome

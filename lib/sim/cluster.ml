@@ -1,0 +1,178 @@
+(* Multi-core Snitch cluster simulation (DESIGN.md, "Cluster
+   simulation"): N single-core machines sharing one TCDM byte image
+   (each through its own [Mem.view], so bank counters stay per-core),
+   stepped in lockstep *epochs*. An epoch runs every unfinished core
+   with the chosen engine until it either suspends at a [barrier]
+   ([Machine.barrier_hit]) or returns; then the scheduler
+
+   1. charges each core the epoch's TCDM bank-conflict cycles under a
+      collision-probability model: with [acc_i(b)] core i's accesses to
+      bank b this epoch and [L] the epoch's busy span (the largest
+      per-core cycle count any stepped core spent in it), each of core
+      i's accesses to bank b is beaten with probability
+      [(tot(b) - acc_i(b)) / L] — the fraction of the span the other
+      cores occupy that bank — so core i loses
+      [sum_b acc_i(b) * (tot(b) - acc_i(b)) / L] cycles (integer
+      division, exact-overlap worst case capped by construction). The
+      charge is a pure function of the per-core access multisets and
+      span, so it is independent of host scheduling;
+
+   2. synchronises every suspended core to the barrier release time
+      [max_i max(core_time_i, fpu_last_done_i) + barrier_latency] —
+      cores that already returned park at the barrier (they have
+      arrived once and for all) and keep their own finish time;
+
+   3. resets all bank counters and resumes suspended cores just past
+      their barrier.
+
+   Host-side parallelism reuses the PR5 domain pool: per-core stepping
+   is the pure work function, all commits (barrier bookkeeping, trap
+   propagation) happen in the caller's ordered commit loop, so results
+   are byte-identical for any [-j]. A trap on any core aborts the run
+   with the lowest-numbered trapping core's record — the same one a
+   sequential core-0-first schedule would surface. *)
+
+module Pool = Mlc_parallel.Pool
+
+(* Cycles from the last core arriving at a barrier to the release. *)
+let barrier_latency = 8
+
+type engine =
+  resume:int option -> Machine.t -> Program.t -> entry:string -> Machine.outcome
+
+let fast ~resume m p ~entry = Block_exec.run ?resume m p ~entry
+let per_insn ~resume m p ~entry = Machine.run ?resume m p ~entry
+let reference ~resume m p ~entry = Machine.run_reference ?resume m p ~entry
+
+type result = {
+  makespan : int;  (** slowest core's drain point, conflicts included *)
+  epochs : int;  (** barrier-delimited lockstep rounds executed *)
+  conflicts : int array;  (** per-core bank-conflict cycles charged *)
+}
+
+(* Per-epoch bank-conflict charge for every core in [stepped] (indices
+   into [cores]): each access collides with probability (others at the
+   bank / epoch busy span [l]). Resets every core's bank counters
+   afterwards. *)
+let charge_conflicts (cores : (Machine.t * Program.t * string) array) stepped
+    ~span conflicts =
+  let l = max span 1 in
+  let accs =
+    List.map
+      (fun i ->
+        let m, _, _ = cores.(i) in
+        (i, Mem.bank_accesses m.Machine.mem))
+      stepped
+  in
+  let tot = Array.make Mem.num_banks 0 in
+  List.iter
+    (fun (_, acc) ->
+      Array.iteri (fun b n -> tot.(b) <- tot.(b) + n) acc)
+    accs;
+  List.iter
+    (fun (i, acc) ->
+      let lost = ref 0 in
+      Array.iteri
+        (fun b n -> lost := !lost + (n * (tot.(b) - n) / l))
+        acc;
+      if !lost > 0 then begin
+        conflicts.(i) <- conflicts.(i) + !lost;
+        let m, _, _ = cores.(i) in
+        m.Machine.core_time <- m.Machine.core_time + !lost
+      end)
+    accs;
+  Array.iter (fun (m, _, _) -> Mem.reset_banks m.Machine.mem) cores
+
+let run ?pool ?(engine = fast) (cores : (Machine.t * Program.t * string) array) =
+  let n = Array.length cores in
+  if n = 0 then invalid_arg "Cluster.run: empty cluster";
+  let m0, _, _ = cores.(0) in
+  Array.iteri
+    (fun i (m, _, _) ->
+      if m.Machine.num_cores <> n || m.Machine.core_id <> i then
+        invalid_arg "Cluster.run: machines disagree with cluster geometry";
+      if not (m.Machine.mem.Mem.bytes == m0.Machine.mem.Mem.bytes) then
+        invalid_arg "Cluster.run: cores must share one TCDM image")
+    cores;
+  let resume = Array.make n None in
+  let finished = Array.make n false in
+  let conflicts = Array.make n 0 in
+  let epochs = ref 0 in
+  let all_done () = Array.for_all (fun d -> d) finished in
+  while not (all_done ()) do
+    incr epochs;
+    let stepped = ref [] in
+    for i = n - 1 downto 0 do
+      if not finished.(i) then stepped := i :: !stepped
+    done;
+    let stepped = !stepped in
+    let starts =
+      List.map
+        (fun i ->
+          let m, _, _ = cores.(i) in
+          m.Machine.core_time)
+        stepped
+    in
+    (* Pure work function: no shared mutation outside core [i]'s own
+       machine (cores write disjoint TCDM ranges between barriers — the
+       discipline the lowering guarantees and mlc_lint checks). *)
+    let step i =
+      let m, p, entry = cores.(i) in
+      match engine ~resume:resume.(i) m p ~entry with
+      | outcome -> Ok outcome
+      | exception Trap.Trap tr -> Error tr
+    in
+    let results =
+      match pool with
+      | Some pool when Pool.jobs pool > 1 -> Pool.map pool step stepped
+      | _ -> List.map step stepped
+    in
+    (* Ordered commit: deterministic regardless of host parallelism. *)
+    List.iter2
+      (fun i r ->
+        match r with
+        | Error tr -> raise (Trap.Trap tr)
+        | Ok (outcome : Machine.outcome) ->
+          let m, _, _ = cores.(i) in
+          if m.Machine.barrier_hit then begin
+            m.Machine.barrier_hit <- false;
+            resume.(i) <- Some outcome.Machine.final_pc
+          end
+          else finished.(i) <- true)
+      stepped results;
+    (* Busy span: the slowest stepped core's cycles inside this epoch
+       (FPU drain included — its accesses spread over that tail too). *)
+    let span =
+      List.fold_left2
+        (fun acc i start ->
+          let m, _, _ = cores.(i) in
+          max acc (max m.Machine.core_time m.Machine.fpu_last_done - start))
+        0 stepped starts
+    in
+    charge_conflicts cores stepped ~span conflicts;
+    (* Barrier release: every core still suspended resumes at the
+       rendezvous time; returned cores park and keep their own time. *)
+    if not (all_done ()) then begin
+      let t = ref 0 in
+      Array.iter
+        (fun (m, _, _) ->
+          let drain = max m.Machine.core_time m.Machine.fpu_last_done in
+          if drain > !t then t := drain)
+        cores;
+      let release = !t + barrier_latency in
+      Array.iteri
+        (fun i (m, _, _) ->
+          if not finished.(i) then m.Machine.core_time <- release)
+        cores
+    end
+  done;
+  (* Conflict charges land after the engines set [perf.cycles]; refresh
+     the drain point on every core. *)
+  let makespan = ref 0 in
+  Array.iter
+    (fun (m, _, _) ->
+      let drain = max m.Machine.core_time m.Machine.fpu_last_done in
+      m.Machine.perf.Machine.cycles <- drain;
+      if drain > !makespan then makespan := drain)
+    cores;
+  { makespan = !makespan; epochs = !epochs; conflicts }

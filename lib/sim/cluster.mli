@@ -1,0 +1,46 @@
+(** Multi-core Snitch cluster simulation: N single-core {!Machine.t}
+    values sharing one TCDM byte image (each through its own
+    {!Mem.view}), stepped in lockstep barrier-delimited epochs with
+    per-bank contention accounting and hardware-barrier rendezvous.
+    See DESIGN.md, "Cluster simulation", for the epoch model, the
+    conflict charge and the determinism contract.
+
+    Host-side parallelism reuses the PR5 domain pool with its ordered
+    commit: results — cycle counts, per-core counters, trap records —
+    are byte-identical for any [-j], including [-j 1]. *)
+
+(** Cycles from the last arrival at a barrier to its release. *)
+val barrier_latency : int
+
+(** How to step one core for one epoch: run from [entry] (or [resume])
+    until a barrier suspension or ret. *)
+type engine =
+  resume:int option -> Machine.t -> Program.t -> entry:string -> Machine.outcome
+
+val fast : engine
+(** {!Block_exec.run}: the block-fused engine (default). *)
+
+val per_insn : engine
+(** {!Machine.run}: the per-instruction fast engine. *)
+
+val reference : engine
+(** {!Machine.run_reference}: the timing oracle. *)
+
+type result = {
+  makespan : int;  (** slowest core's drain point, conflicts included *)
+  epochs : int;  (** barrier-delimited lockstep rounds executed *)
+  conflicts : int array;  (** per-core bank-conflict cycles charged *)
+}
+
+(** [run ?pool ?engine cores] steps the cluster to completion.
+    [cores.(i)] is core i's machine (created with [~mem:(Mem.view tcdm)
+    ~core_id:i ~num_cores:n]), its program and its entry label.
+    Per-core performance counters and DMA statistics are left in the
+    machines. Raises [Invalid_argument] if the machines disagree with
+    the cluster geometry or do not share one TCDM image; re-raises the
+    lowest-numbered trapping core's {!Trap.Trap} if any core faults. *)
+val run :
+  ?pool:Mlc_parallel.Pool.t ->
+  ?engine:engine ->
+  (Machine.t * Program.t * string) array ->
+  result

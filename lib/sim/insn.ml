@@ -46,6 +46,17 @@ type t =
   | J of int (* target pc *)
   | Ret
   | Nop
+  (* Cluster extensions: the hardware barrier and the cluster DMA
+     front-end (dmsrc/dmdst/dmstr/dmrep set up a 2D transfer, dmcpy
+     launches it, dmwait joins it). All are Ctl_barrier-class for the
+     block partitioner: they never appear inside fused blocks. *)
+  | Barrier
+  | Dm_src of int (* rs: source base address *)
+  | Dm_dst of int (* rs: destination base address *)
+  | Dm_str of int * int (* rs_src_stride, rs_dst_stride (bytes) *)
+  | Dm_rep of int (* rs: row count of the 2D transfer *)
+  | Dm_cpy of int (* rs: bytes per row; launches the transfer *)
+  | Dm_wait
 
 (* Does this instruction execute in the FPU data path (and therefore count
    toward FPU occupancy and may appear in an FREP body)? *)
@@ -90,3 +101,6 @@ let deps = function
   | Frep_o (rs, _) -> ([ rs ], [], None, None)
   | Branch (_, rs1, rs2, _) -> ([ rs1; rs2 ], [], None, None)
   | J _ | Ret | Nop -> ([], [], None, None)
+  | Dm_src rs | Dm_dst rs | Dm_rep rs | Dm_cpy rs -> ([ rs ], [], None, None)
+  | Dm_str (rs1, rs2) -> ([ rs1; rs2 ], [], None, None)
+  | Barrier | Dm_wait -> ([], [], None, None)

@@ -34,6 +34,13 @@ type t =
   | J of int
   | Ret
   | Nop
+  | Barrier  (** cluster hardware barrier (single-core: 1-cycle nop) *)
+  | Dm_src of int  (** DMA source base address register *)
+  | Dm_dst of int  (** DMA destination base address register *)
+  | Dm_str of int * int  (** DMA source/destination row strides (bytes) *)
+  | Dm_rep of int  (** DMA row count of the 2D transfer *)
+  | Dm_cpy of int  (** bytes per row; launches the programmed transfer *)
+  | Dm_wait  (** stall until the outstanding DMA transfer completes *)
 
 (** Executes in the FPU data path (counts toward occupancy; legal under
     FREP)? *)

@@ -83,6 +83,24 @@ type t = {
   ssrs : Ssr.t array;
   ssr_cfg : Ssr.config array;
   mutable ssr_enabled : bool;
+  (* cluster identity: which core of an [num_cores]-core cluster this
+     machine simulates. Single-core machines are core 0 of 1. *)
+  core_id : int;
+  num_cores : int;
+  (* [barrier_hit] is set when a [barrier] executes on a multi-core
+     machine: the engines stop with the pc past the barrier and the
+     cluster scheduler resumes the core there after synchronising.
+     Single-core machines treat [barrier] as a 1-cycle nop. *)
+  mutable barrier_hit : bool;
+  (* per-core DMA engine front-end registers and completion time *)
+  mutable dma_src : int;
+  mutable dma_dst : int;
+  mutable dma_sstr : int;
+  mutable dma_dstr : int;
+  mutable dma_reps : int;
+  mutable dma_done : int; (* cycle the outstanding transfer completes *)
+  mutable dma_bytes : int; (* total bytes moved (cluster reporting) *)
+  mutable dma_txns : int; (* dmcpy launches *)
   (* timing state *)
   mutable core_time : int;
   mutable fpu_free_at : int;
@@ -132,18 +150,37 @@ and blk_closure = {
 
 let default_trace_cap = 65536
 
-let create ?(fuel = 200_000_000) ?(trace = false) ?(trace_cap = default_trace_cap) () =
+(* Per-core stack carve-out at the top of the TCDM: core c's sp starts
+   [c * stack_bytes] below the top, so cluster cores never collide. *)
+let stack_bytes = 1024
+
+let create ?(fuel = 200_000_000) ?(trace = false) ?(trace_cap = default_trace_cap)
+    ?mem ?(core_id = 0) ?(num_cores = 1) () =
+  if core_id < 0 || core_id >= num_cores then
+    invalid_arg "Machine.create: core_id out of range";
   let iregs = Array.make 32 0L in
-  (* ABI stack pointer: top of the TCDM, growing down. *)
-  iregs.(2) <- Int64.of_int (Mem.tcdm_base + Mem.tcdm_size);
+  (* ABI stack pointer: top of the TCDM, growing down; cluster cores get
+     disjoint carve-outs. *)
+  iregs.(2) <- Int64.of_int (Mem.tcdm_base + Mem.tcdm_size - (core_id * stack_bytes));
   if trace_cap <= 0 then invalid_arg "Machine.create: trace_cap must be positive";
   {
-    mem = Mem.create ();
+    mem = (match mem with Some m -> m | None -> Mem.create ());
     iregs;
     fregs = Array.make 32 0L;
     ssrs = Array.init 3 (fun _ -> Ssr.create ());
     ssr_cfg = Array.init 3 (fun _ -> Ssr.fresh_config ());
     ssr_enabled = false;
+    core_id;
+    num_cores;
+    barrier_hit = false;
+    dma_src = 0;
+    dma_dst = 0;
+    dma_sstr = 0;
+    dma_dstr = 0;
+    dma_reps = 0;
+    dma_done = 0;
+    dma_bytes = 0;
+    dma_txns = 0;
     core_time = 0;
     fpu_free_at = 0;
     int_ready = Array.make 32 0;
@@ -474,7 +511,7 @@ let raise_as_trap t (p : Program.t) pc exn =
       if pc >= 0 && pc < Array.length src then src.(pc) else "<no instruction>"
     in
     Printexc.raise_with_backtrace
-      (Trap.Trap { Trap.kind; pc; insn; state = dump_state t })
+      (Trap.Trap { Trap.kind; pc; insn; state = dump_state t; core = t.core_id })
       bt
 
 (* --- FREP support for the fast engine --- *)
@@ -571,6 +608,7 @@ let[@inline] mem_get64 (m : Mem.t) addr =
   let off = addr - m.Mem.base in
   if off < 0 || off + 8 > Bytes.length m.Mem.bytes || off land 7 <> 0 then
     ignore (Mem.load64 m addr) (* raises the canonical Access_fault *);
+  Mem.tick m addr;
   let v = bytes_get64u m.Mem.bytes off in
   if Sys.big_endian then swap64 v else v
 
@@ -578,7 +616,10 @@ let[@inline] mem_set64 (m : Mem.t) addr v =
   let off = addr - m.Mem.base in
   if off < 0 || off + 8 > Bytes.length m.Mem.bytes || off land 7 <> 0 then
     Mem.store64 m addr v (* raises the canonical Access_fault *)
-  else bytes_set64u m.Mem.bytes off (if Sys.big_endian then swap64 v else v)
+  else begin
+    Mem.tick m addr;
+    bytes_set64u m.Mem.bytes off (if Sys.big_endian then swap64 v else v)
+  end
 
 (* 4-byte stream elements (scalar f32) are rare relative to the f64 hot
    path: delegate to the bounds-checked [Mem] accessors directly. *)
@@ -906,6 +947,63 @@ let frep_execute_fast t (p : Program.t) pc body_len ~iterations ~avail =
     t.perf.retired <- t.perf.retired + (body_len * iterations)
   end
 
+(* --- cluster DMA engine (one per core) --- *)
+
+(* Fixed launch overhead of a dmcpy; after that the engine moves 8
+   bytes per cycle, row by row. *)
+let dma_startup_cost = 10
+
+(* Execute the 2D transfer programmed into the DMA front-end registers
+   (dmsrc/dmdst/dmstr/dmrep) with [row_bytes] bytes per row.
+
+   Functionally the copy happens eagerly at issue: between a core's
+   dmcpy and its dmwait nothing else may touch the transfer windows
+   (the discipline mlc_lint enforces), so an eager copy is
+   observationally identical to an asynchronous one. Only the *timing*
+   is asynchronous: [dma_done] tracks when the engine would finish and
+   [dmwait] joins it, exactly like [Csrci] joins the FPU. Rows may
+   overlap ([Bytes.blit] is memmove-like). DMA traffic does not tick
+   the TCDM bank counters: the engine arbitrates at its own wide port,
+   and the cluster contention model meters core-side accesses only. *)
+let dma_launch t row_bytes =
+  let reps = t.dma_reps in
+  if reps < 0 then err "dmcpy: negative row count %d" reps;
+  if row_bytes < 0 then err "dmcpy: negative bytes-per-row %d" row_bytes;
+  let bytes = t.mem.Mem.bytes and base = t.mem.Mem.base in
+  let row_off what addr =
+    let off = addr - base in
+    if off < 0 || off + row_bytes > Bytes.length bytes then
+      raise
+        (Mem.Access_fault
+           {
+             addr;
+             width = row_bytes;
+             msg =
+               Printf.sprintf "DMA %s row at 0x%x (%d bytes) outside TCDM" what
+                 addr row_bytes;
+           });
+    (* The engine's port is word-granular: rows start 4-byte aligned. *)
+    if off land 3 <> 0 then
+      raise
+        (Mem.Access_fault
+           {
+             addr;
+             width = row_bytes;
+             msg = Printf.sprintf "misaligned DMA %s row at 0x%x" what addr;
+           });
+    off
+  in
+  for i = 0 to reps - 1 do
+    let soff = row_off "source" (t.dma_src + (i * t.dma_sstr)) in
+    let doff = row_off "destination" (t.dma_dst + (i * t.dma_dstr)) in
+    Bytes.blit bytes soff bytes doff row_bytes
+  done;
+  (* [core_time] is already the issue time + 1 when we get here. *)
+  let start = max t.core_time t.dma_done in
+  t.dma_done <- start + dma_startup_cost + (reps * ((row_bytes + 7) / 8));
+  t.dma_bytes <- t.dma_bytes + (reps * row_bytes);
+  t.dma_txns <- t.dma_txns + 1
+
 (* One step of the fast engine at [pc]: burns fuel, retires the
    instruction, applies its functional and timing effects, and returns
    the next pc (or -1 after [ret], leaving the caller's pc on the ret).
@@ -997,6 +1095,37 @@ let step_fast t (p : Program.t) pc =
     do_scfgwi t (get_ireg t rs1) imm;
     t.core_time <- issue + 1;
     pc + 1
+  | Insn.Barrier ->
+    t.core_time <- issue + 1;
+    (* Single-core: a 1-cycle nop. In a cluster the engine halts with
+       the pc past the barrier; [Cluster] synchronises and resumes. *)
+    if t.num_cores > 1 then t.barrier_hit <- true;
+    pc + 1
+  | Insn.Dm_src rs ->
+    t.dma_src <- Int64.to_int (get_ireg t rs);
+    t.core_time <- issue + 1;
+    pc + 1
+  | Insn.Dm_dst rs ->
+    t.dma_dst <- Int64.to_int (get_ireg t rs);
+    t.core_time <- issue + 1;
+    pc + 1
+  | Insn.Dm_str (rs1, rs2) ->
+    t.dma_sstr <- Int64.to_int (get_ireg t rs1);
+    t.dma_dstr <- Int64.to_int (get_ireg t rs2);
+    t.core_time <- issue + 1;
+    pc + 1
+  | Insn.Dm_rep rs ->
+    t.dma_reps <- Int64.to_int (get_ireg t rs);
+    t.core_time <- issue + 1;
+    pc + 1
+  | Insn.Dm_cpy rs ->
+    t.core_time <- issue + 1;
+    dma_launch t (Int64.to_int (get_ireg t rs));
+    pc + 1
+  | Insn.Dm_wait ->
+    (* Join the outstanding transfer, like csrci joins the FPU. *)
+    t.core_time <- max (issue + 1) t.dma_done;
+    pc + 1
   | Insn.Frep_o (rpt_reg, body_len) ->
     if pc + body_len >= Array.length p.Program.insns then
       err "frep body runs past end of program";
@@ -1022,16 +1151,24 @@ let step_fast t (p : Program.t) pc =
 
 (* The fast engine: pre-decoded scoreboard metadata, per-pc FREP caches,
    no allocation per retired instruction. *)
-let run t (p : Program.t) ~entry =
+let run ?resume t (p : Program.t) ~entry =
   let n = Array.length p.Program.insns in
   prepare t p;
-  let pc = ref (Program.entry p entry) in
+  let pc =
+    ref (match resume with Some at -> at | None -> Program.entry p entry)
+  in
   let running = ref true in
   (try
      while !running do
        if !pc < 0 || !pc >= n then err "pc %d out of program bounds" !pc;
        let next = step_fast t p !pc in
-       if next = -1 then running := false else pc := next
+       if next = -1 then running := false
+       else begin
+         pc := next;
+         (* A cluster barrier suspends the engine; [final_pc] is the
+            resume point just past the barrier. *)
+         if t.barrier_hit then running := false
+       end
      done
    with exn -> raise_as_trap t p !pc exn);
   t.perf.cycles <- max t.core_time t.fpu_last_done;
@@ -1040,11 +1177,13 @@ let run t (p : Program.t) ~entry =
 (* The reference engine: the original per-instruction loop using
    [Insn.deps] on every retired instruction. Kept as the timing oracle
    for the fast engine (differential tests, speedup measurement). *)
-let run_reference t (p : Program.t) ~entry =
+let run_reference ?resume t (p : Program.t) ~entry =
   let insns = p.Program.insns in
   let n = Array.length insns in
   let src = if t.trace_enabled then Lazy.force p.Program.source else [||] in
-  let pc = ref (Program.entry p entry) in
+  let pc =
+    ref (match resume with Some at -> at | None -> Program.entry p entry)
+  in
   let running = ref true in
   (try
   while !running do
@@ -1125,6 +1264,35 @@ let run_reference t (p : Program.t) ~entry =
     | Insn.Scfgwi (rs1, imm) ->
       do_scfgwi t (get_ireg t rs1) imm;
       t.core_time <- issue + 1;
+      incr pc
+    | Insn.Barrier ->
+      t.core_time <- issue + 1;
+      if t.num_cores > 1 then t.barrier_hit <- true;
+      incr pc;
+      if t.barrier_hit then running := false
+    | Insn.Dm_src rs ->
+      t.dma_src <- Int64.to_int (get_ireg t rs);
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Dm_dst rs ->
+      t.dma_dst <- Int64.to_int (get_ireg t rs);
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Dm_str (rs1, rs2) ->
+      t.dma_sstr <- Int64.to_int (get_ireg t rs1);
+      t.dma_dstr <- Int64.to_int (get_ireg t rs2);
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Dm_rep rs ->
+      t.dma_reps <- Int64.to_int (get_ireg t rs);
+      t.core_time <- issue + 1;
+      incr pc
+    | Insn.Dm_cpy rs ->
+      t.core_time <- issue + 1;
+      dma_launch t (Int64.to_int (get_ireg t rs));
+      incr pc
+    | Insn.Dm_wait ->
+      t.core_time <- max (issue + 1) t.dma_done;
       incr pc
     | Insn.Frep_o (rpt_reg, body_len) ->
       if !pc + body_len >= n then err "frep body runs past end of program";

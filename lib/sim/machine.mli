@@ -46,6 +46,21 @@ type t = {
   ssrs : Ssr.t array;
   ssr_cfg : Ssr.config array;
   mutable ssr_enabled : bool;
+  core_id : int;  (** which core of a [num_cores]-core cluster this is *)
+  num_cores : int;
+  mutable barrier_hit : bool;
+      (** set when a [barrier] executes on a multi-core machine: the
+          engines stop with [final_pc] just past the barrier and
+          {!Cluster} resumes the core there after synchronising. Reset
+          by the cluster scheduler, never by the engines. *)
+  mutable dma_src : int;  (** DMA front-end: source base address *)
+  mutable dma_dst : int;  (** DMA front-end: destination base address *)
+  mutable dma_sstr : int;  (** DMA front-end: source row stride (bytes) *)
+  mutable dma_dstr : int;  (** DMA front-end: destination row stride *)
+  mutable dma_reps : int;  (** DMA front-end: row count *)
+  mutable dma_done : int;  (** cycle the outstanding transfer completes *)
+  mutable dma_bytes : int;  (** total bytes moved by dmcpy (reporting) *)
+  mutable dma_txns : int;  (** dmcpy launches (reporting) *)
   mutable core_time : int;
   mutable fpu_free_at : int;
   int_ready : int array;
@@ -87,8 +102,26 @@ and blk_closure = {
 (** [create ~fuel ~trace ()] — [fuel] bounds dynamic instructions
     (catches runaway loops); [trace] records per-instruction issue
     cycles into a bounded ring of [trace_cap] entries (default 65536);
-    see {!trace}. *)
-val create : ?fuel:int -> ?trace:bool -> ?trace_cap:int -> unit -> t
+    see {!trace}.
+
+    Cluster cores pass [~mem] (a {!Mem.view} of the shared TCDM, so
+    bytes are shared but bank counters are private) plus [~core_id] and
+    [~num_cores]; the stack pointer starts [core_id * 1024] below the
+    TCDM top so core stacks never collide. The defaults (fresh memory,
+    core 0 of 1) are the single-core machine, bit-identical to the
+    pre-cluster behaviour. *)
+val create :
+  ?fuel:int ->
+  ?trace:bool ->
+  ?trace_cap:int ->
+  ?mem:Mem.t ->
+  ?core_id:int ->
+  ?num_cores:int ->
+  unit ->
+  t
+
+(** Bytes of TCDM stack reserved per cluster core, below the TCDM top. *)
+val stack_bytes : int
 
 val set_ireg : t -> int -> int64 -> unit
 val get_ireg : t -> int -> int64
@@ -106,14 +139,19 @@ type outcome = { perf : perf; final_pc : int }
     disassembled instruction and a machine-state + perf dump; both
     engines raise identical records for the same fault. This is the
     fast engine; its performance counters are bit-identical to
-    {!run_reference}. *)
-val run : t -> Program.t -> entry:string -> outcome
+    {!run_reference}.
+
+    On a multi-core machine a [barrier] suspends execution instead of
+    completing it: the engine returns with [final_pc] just past the
+    barrier and [barrier_hit] set. [?resume] restarts execution at that
+    pc instead of the entry label (the cluster scheduler's epoch loop). *)
+val run : ?resume:int -> t -> Program.t -> entry:string -> outcome
 
 (** The original per-instruction interpretation loop, kept as the timing
     oracle: differential tests assert [run] and [run_reference] agree on
     every counter, and the benchmark driver measures the fast engine's
-    host-side speedup against it. *)
-val run_reference : t -> Program.t -> entry:string -> outcome
+    host-side speedup against it. Same [?resume]/barrier contract. *)
+val run_reference : ?resume:int -> t -> Program.t -> entry:string -> outcome
 
 (** The instruction trace, oldest first, as "cycle: instruction" lines
     (empty unless created with [~trace:true]). Bounded: only the most

@@ -1,7 +1,13 @@
 (* The tightly-coupled data memory (TCDM): 128 KiB of software-managed L1,
    the only memory the evaluated kernels touch (paper §2.4, §4.1). *)
 
-type t = { base : int; bytes : Bytes.t }
+(* [banks] holds per-view access counters for the 32 TCDM banks
+   (64-bit interleaved). They never affect functional behaviour or
+   single-core timing: the cluster engine reads them after each lockstep
+   epoch to charge deterministic inter-core bank-contention stalls, then
+   resets them. Each core's [view] shares [bytes] but owns its own
+   counters, so per-core access profiles stay separable. *)
+type t = { base : int; bytes : Bytes.t; banks : int array }
 
 exception Access_fault of { addr : int; width : int; msg : string }
 
@@ -20,7 +26,25 @@ let tcdm_size = 128 * 1024
    large negative value, so any leak is loud in a differential check. *)
 let poison_byte = '\xAA'
 
-let create () = { base = tcdm_base; bytes = Bytes.make tcdm_size poison_byte }
+let num_banks = 32
+
+let create () =
+  {
+    base = tcdm_base;
+    bytes = Bytes.make tcdm_size poison_byte;
+    banks = Array.make num_banks 0;
+  }
+
+(* A second core's window onto the same TCDM contents: shared bytes,
+   private bank counters. *)
+let view t = { t with banks = Array.make num_banks 0 }
+
+let[@inline] tick t addr =
+  let b = (addr - t.base) lsr 3 land (num_banks - 1) in
+  t.banks.(b) <- t.banks.(b) + 1
+
+let bank_accesses t = Array.copy t.banks
+let reset_banks t = Array.fill t.banks 0 num_banks 0
 
 let check t addr width =
   let off = addr - t.base in
@@ -47,10 +71,25 @@ let check t addr width =
          });
   off
 
-let load64 t addr = Bytes.get_int64_le t.bytes (check t addr 8)
-let store64 t addr v = Bytes.set_int64_le t.bytes (check t addr 8) v
-let load32 t addr = Bytes.get_int32_le t.bytes (check t addr 4)
-let store32 t addr v = Bytes.set_int32_le t.bytes (check t addr 4) v
+let load64 t addr =
+  let off = check t addr 8 in
+  tick t addr;
+  Bytes.get_int64_le t.bytes off
+
+let store64 t addr v =
+  let off = check t addr 8 in
+  tick t addr;
+  Bytes.set_int64_le t.bytes off v
+
+let load32 t addr =
+  let off = check t addr 4 in
+  tick t addr;
+  Bytes.get_int32_le t.bytes off
+
+let store32 t addr v =
+  let off = check t addr 4 in
+  tick t addr;
+  Bytes.set_int32_le t.bytes off v
 
 let load_f64 t addr = Int64.float_of_bits (load64 t addr)
 let store_f64 t addr v = store64 t addr (Int64.bits_of_float v)

@@ -1,7 +1,7 @@
 (** The tightly-coupled data memory (TCDM): 128 KiB of software-managed
     L1, the only memory the evaluated kernels touch (paper §2.4, §4.1). *)
 
-type t = { base : int; bytes : Bytes.t }
+type t = { base : int; bytes : Bytes.t; banks : int array }
 
 (** Raised on an out-of-bounds or misaligned TCDM access (and, with
     [addr = -1], on arena exhaustion). The engines convert this into a
@@ -17,6 +17,26 @@ val tcdm_size : int
 val poison_byte : char
 
 val create : unit -> t
+
+(** Number of 64-bit-interleaved TCDM banks modelled for contention
+    accounting. *)
+val num_banks : int
+
+(** [view t] is a second core's window onto the same TCDM: shared
+    contents, private per-bank access counters. *)
+val view : t -> t
+
+(** Count one access to the bank serving [addr] (timing accounting only;
+    the engines call this on every data access). *)
+val tick : t -> int -> unit
+
+(** Snapshot of the per-bank access counters of this view. *)
+val bank_accesses : t -> int array
+
+(** Zero the per-bank counters (the cluster engine does this after
+    charging each epoch's contention). *)
+val reset_banks : t -> unit
+
 val load64 : t -> int -> int64
 val store64 : t -> int -> int64 -> unit
 val load32 : t -> int -> int32

@@ -62,6 +62,12 @@ let control_of (insn : Insn.t) =
   | Insn.Ret -> Ctl_ret
   | Insn.Frep_o (_, body_len) -> Ctl_frep body_len
   | Insn.Scfgwi _ | Insn.Csrsi _ | Insn.Csrci _ -> Ctl_barrier
+  | Insn.Barrier | Insn.Dm_src _ | Insn.Dm_dst _ | Insn.Dm_str _
+  | Insn.Dm_rep _ | Insn.Dm_cpy _ | Insn.Dm_wait ->
+    (* Cluster synchronisation and DMA programming: stepped individually
+       (the barrier suspends the core; dmcpy/dmwait touch cross-core
+       timing state), so they end fused blocks like the SSR barriers. *)
+    Ctl_barrier
   | _ -> Ctl_fall
 
 (* A fused basic block: a maximal straight-line run of instructions

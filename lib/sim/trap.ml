@@ -7,7 +7,10 @@ type kind =
   | Stream_fault of { reason : string }
   | Illegal of { reason : string }
 
-type t = { kind : kind; pc : int; insn : string; state : string }
+(* [core] attributes a fault to the cluster core that raised it;
+   single-core machines use core 0, whose rendering is unchanged so the
+   pre-cluster golden trap records stay bit-identical. *)
+type t = { kind : kind; pc : int; insn : string; state : string; core : int }
 
 exception Trap of t
 
@@ -27,7 +30,11 @@ let describe_kind = function
   | Illegal { reason } -> Printf.sprintf "illegal instruction: %s" reason
 
 let summary t =
-  Printf.sprintf "trap at pc %d (%s): %s" t.pc t.insn (describe_kind t.kind)
+  if t.core = 0 then
+    Printf.sprintf "trap at pc %d (%s): %s" t.pc t.insn (describe_kind t.kind)
+  else
+    Printf.sprintf "trap on core %d at pc %d (%s): %s" t.core t.pc t.insn
+      (describe_kind t.kind)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s@,--- machine state ---@,%s@]" (summary t)

@@ -28,6 +28,9 @@ type t = {
   pc : int;  (** pc of the faulting instruction (see FREP note above) *)
   insn : string;  (** disassembled instruction at [pc] *)
   state : string;  (** machine-state + perf dump at the fault point *)
+  core : int;
+      (** cluster core that faulted; 0 on single-core machines, whose
+          rendering is unchanged *)
 }
 
 exception Trap of t

@@ -1,0 +1,62 @@
+(* Lower the [scf.forall] produced by [Parallel_tile] into the *tile
+   function*: the kernel one cluster core runs over its own row block.
+
+   Because every forall instance is identical up to the thread id, and
+   the thread id only feeds [cluster.slice] ops, the per-core kernel is
+   the forall body with each slice folded away: the function argument
+   itself takes the slice's shrunk type (the per-core wrapper passes
+   core-local base addresses, so "my block of the buffer" *is* the
+   argument). Concretely, for each function with a forall:
+
+   - every [cluster.slice] is erased, its uses redirected to its source
+     argument, whose type shrinks to the slice result type;
+   - the remaining body ops move back into the function body and the
+     forall shell is erased;
+   - the function type is rewritten to the shrunk argument types.
+
+   The result is an ordinary single-core linalg function over the tile
+   shapes — the unchanged downstream pipeline (and its compile cache,
+   keyed on the printed IR) handles it from here. One compile serves
+   every active core; only the wrapper constants differ per core. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+let lower_fn fn =
+  match Ir.find_first fn (fun op -> Ir.Op.name op = Scf.forall_op) with
+  | None -> ()
+  | Some forall ->
+    let entry = Func.body fn in
+    let body = Scf.forall_body forall in
+    let tid = Scf.thread_id forall in
+    Ir.Block.iter_ops body (fun op ->
+        if Ir.Op.name op = Cluster.slice_op then begin
+          let src = Cluster.src op in
+          let sliced_ty = Ir.Value.ty (Ir.Op.result op 0) in
+          Ir.replace_all_uses (Ir.Op.result op 0) ~with_:src;
+          Ir.Op.erase op;
+          Ir.Value.set_ty src sliced_ty
+        end);
+    if Ir.Value.has_uses tid then
+      invalid_arg "Lower_forall: thread id escapes the cluster.slice ops";
+    let yield =
+      match Ir.Block.terminator body with
+      | Some y -> y
+      | None -> invalid_arg "Lower_forall: forall body has no terminator"
+    in
+    List.iter
+      (fun op ->
+        if not (Ir.Op.equal op yield) then begin
+          Ir.Op.unlink op;
+          Ir.Op.insert_before ~anchor:forall op
+        end)
+      (Ir.Block.ops body);
+    Ir.Op.erase forall;
+    let arg_tys = List.map Ir.Value.ty (Ir.Block.args entry) in
+    let result_tys = snd (Func.func_type fn) in
+    Ir.Op.set_attr fn "function_type" (Attr.Ty (Ty.Func_ty (arg_tys, result_tys)))
+
+let lower m =
+  List.iter lower_fn (Ir.collect m (fun op -> Ir.Op.name op = Func.func_op))
+
+let pass = Pass.make "lower-forall" lower

@@ -1,0 +1,14 @@
+(** Lower [scf.forall] + [cluster.slice] (as produced by
+    {!Parallel_tile}) into the per-core *tile function*: slices fold
+    into shrunk argument types, the body inlines back, and the result
+    is an ordinary single-core linalg function over the tile shapes
+    that the unchanged downstream pipeline compiles. One compile
+    serves every active core. *)
+
+open Mlc_ir
+
+(** Rewrite every function in the module that contains a forall; a
+    function without one is left untouched. *)
+val lower : Ir.op -> unit
+
+val pass : Pass.t

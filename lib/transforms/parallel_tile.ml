@@ -1,0 +1,196 @@
+(* Parallel tiling for the multi-core Snitch cluster: partition a
+   linalg-level kernel's iteration space across cores by carving the
+   output's leading (parallel) dimension into contiguous row blocks.
+
+   The transform wraps the kernel body in an [scf.forall] of
+   [num_threads] instances and replaces every *partitioned* function
+   argument with a [cluster.slice] of itself at the thread id; operands
+   whose indexing maps never touch the partition dimension stay shared.
+   The rewritten function computes exactly the same values: instance t
+   writes rows [t*rows/T, (t+1)*rows/T) of every partitioned output,
+   and those row blocks tile the original iteration space.
+
+   Partitionability is decided from the linalg indexing maps alone:
+
+   - the anchor is each [linalg.generic]'s first output map, whose
+     leading expression must be a plain parallel dimension [d];
+   - an operand is partitioned when its map's leading expression is
+     that same [d] and no other result expression mentions [d]
+     (contiguous row blocks of the operand), and shared when its map
+     never mentions [d];
+   - any other shape (e.g. the [d0+d2] window maps of conv/pool, whose
+     row blocks overlap) makes the kernel non-partitionable, as does a
+     partitioned operand that is not a function argument.
+
+   [linalg.fill] partitions its output by fiat — its iteration space is
+   the output itself, so row blocks always tile it.
+
+   The thread count is the largest divisor of the partitioned row count
+   that is at most [cores]: every instance gets the same whole number
+   of rows, keeping the per-core kernels identical (one compile serves
+   all cores) and the schedule deterministic. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+exception Not_partitionable of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Not_partitionable s)) fmt
+
+(* Does [e] mention dimension [d]? *)
+let rec mentions d (e : Affine.expr) =
+  match e with
+  | Affine.Dim i -> i = d
+  | Affine.Sym _ | Affine.Const _ -> false
+  | Affine.Add (a, b)
+  | Affine.Mul (a, b)
+  | Affine.Floordiv (a, b)
+  | Affine.Ceildiv (a, b)
+  | Affine.Mod (a, b) -> mentions d a || mentions d b
+
+type plan = {
+  threads : int;  (** forall instances = active cluster cores *)
+  rows : int;  (** total extent of the partitioned leading dimension *)
+  partitioned : bool array;  (** per function argument: sliced or shared *)
+}
+
+(* Argument index of [v] in [entry], if it is one of its block args. *)
+let arg_index entry v =
+  match Ir.Value.def v with
+  | Ir.Block_arg (b, i) when Ir.Block.equal b entry -> Some i
+  | _ -> None
+
+(* Classify every function argument of [fn] as partitioned or shared and
+   compute the partitioned row count; raises [Not_partitionable]. *)
+let analyze fn =
+  let entry = Func.body fn in
+  let nargs = Ir.Block.num_args entry in
+  let partitioned = Array.make nargs false in
+  let rows = ref (-1) in
+  let note_rows v =
+    match Ir.Value.ty v with
+    | Ty.Memref { shape = r :: _; _ } ->
+      if !rows < 0 then rows := r
+      else if !rows <> r then
+        fail "partitioned operands disagree on row count (%d vs %d)" !rows r
+    | t -> fail "partitioned operand is not a ranked memref: %s" (Ty.to_string t)
+  in
+  let partition v =
+    match arg_index entry v with
+    | Some i ->
+      note_rows v;
+      partitioned.(i) <- true
+    | None -> fail "partitioned operand is not a function argument"
+  in
+  Ir.Block.iter_ops entry (fun op ->
+      match Ir.Op.name op with
+      | "arith.constant" | "func.return" -> ()
+      | "linalg.fill" -> partition (Ir.Op.operand op 1)
+      | "linalg.generic" ->
+        let maps = Linalg.indexing_maps op in
+        let iters = Array.of_list (Linalg.iterator_types op) in
+        let out_map = List.nth maps (Linalg.num_ins op) in
+        let d =
+          match out_map.Affine.exprs with
+          | Affine.Dim d :: _ when iters.(d) = Attr.Parallel -> d
+          | _ ->
+            fail
+              "output's leading index is not a plain parallel dimension"
+        in
+        List.iter2
+          (fun (m : Affine.map) v ->
+            match m.Affine.exprs with
+            | Affine.Dim d' :: rest
+              when d' = d && not (List.exists (mentions d) rest) ->
+              partition v
+            | exprs when not (List.exists (mentions d) exprs) -> ()
+            | _ ->
+              fail
+                "operand rows overlap across the partition dimension \
+                 (e.g. window maps)")
+          maps (Ir.Op.operands op)
+      | name -> fail "unsupported op at the linalg level: %s" name);
+  if not (Array.exists (fun b -> b) partitioned) then
+    fail "no partitionable output found";
+  (partitioned, !rows)
+
+(* Largest divisor of [rows] that is at most [cores]. *)
+let split_factor ~cores rows =
+  let t = ref 1 in
+  for d = 1 to min cores rows do
+    if rows mod d = 0 then t := d
+  done;
+  !t
+
+(* Pure analysis: how [tile] would partition [fn_name] over [cores]
+   cores. *)
+let plan_of ~cores m ~fn_name =
+  match Func.lookup m fn_name with
+  | None -> fail "no function named %s" fn_name
+  | Some fn ->
+    let partitioned, rows = analyze fn in
+    { threads = split_factor ~cores rows; rows; partitioned }
+
+(* Apply the transform to [fn] in place; returns the plan. *)
+let tile_fn ~cores fn =
+  let partitioned, rows = analyze fn in
+  let threads = split_factor ~cores rows in
+  let entry = Func.body fn in
+  let ret =
+    match Ir.Block.terminator entry with
+    | Some t when Ir.Op.name t = Func.return_op -> t
+    | _ -> fail "function body must end in func.return"
+  in
+  let moved =
+    List.filter (fun op -> not (Ir.Op.equal op ret)) (Ir.Block.ops entry)
+  in
+  let b = Builder.before ret in
+  let forall = Scf.forall b ~num_threads:threads (fun _ _ -> ()) in
+  let yield =
+    match Ir.Block.terminator (Scf.forall_body forall) with
+    | Some y -> y
+    | None -> assert false
+  in
+  List.iter
+    (fun op ->
+      Ir.Op.unlink op;
+      Ir.Op.insert_before ~anchor:yield op)
+    moved;
+  (* Slices go at the top of the body; redirect every other use of each
+     partitioned argument to its slice. *)
+  let tid = Scf.thread_id forall in
+  let sb =
+    match moved with
+    | first :: _ -> Builder.before first
+    | [] -> Builder.before yield
+  in
+  Array.iteri
+    (fun i part ->
+      if part then begin
+        let arg = Ir.Block.arg entry i in
+        let sliced = Cluster.slice sb ~parts:threads ~tid arg in
+        let slice_def =
+          match Ir.Value.defining_op sliced with
+          | Some op -> op
+          | None -> assert false
+        in
+        List.iter
+          (fun (u : Ir.use) ->
+            if not (Ir.Op.equal u.Ir.user slice_def) then
+              Ir.Op.set_operand u.Ir.user u.Ir.index sliced)
+          (Ir.Value.uses arg)
+      end)
+    partitioned;
+  { threads; rows; partitioned }
+
+let tile ~cores m ~fn_name =
+  match Func.lookup m fn_name with
+  | None -> fail "no function named %s" fn_name
+  | Some fn -> tile_fn ~cores fn
+
+(* Pipeline form: tile every function (debugging / check --all). *)
+let pass ~cores =
+  Pass.make "parallel-tile" (fun m ->
+      List.iter
+        (fun fn -> ignore (tile_fn ~cores fn))
+        (Ir.collect m (fun op -> Ir.Op.name op = Func.func_op)))

@@ -1,0 +1,28 @@
+(** Parallel tiling for the multi-core Snitch cluster: wrap a
+    linalg-level kernel in an [scf.forall] of per-core instances,
+    replacing each partitioned function argument with a
+    [cluster.slice] of the thread's contiguous row block. See the
+    implementation header for the partitionability rules. *)
+
+open Mlc_ir
+
+(** The kernel cannot be row-partitioned (overlapping window maps, no
+    partitionable output, unsupported ops, …); carries the reason. *)
+exception Not_partitionable of string
+
+type plan = {
+  threads : int;  (** forall instances = active cluster cores *)
+  rows : int;  (** total extent of the partitioned leading dimension *)
+  partitioned : bool array;  (** per function argument: sliced or shared *)
+}
+
+(** Pure analysis: how [tile] would partition [fn_name] over [cores]
+    cores. Raises {!Not_partitionable}. *)
+val plan_of : cores:int -> Ir.op -> fn_name:string -> plan
+
+(** Apply the transform to [fn_name] inside module [m], in place;
+    returns the plan. Raises {!Not_partitionable}. *)
+val tile : cores:int -> Ir.op -> fn_name:string -> plan
+
+(** Pipeline form: tile every function in the module. *)
+val pass : cores:int -> Pass.t

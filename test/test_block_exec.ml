@@ -110,8 +110,8 @@ let diff_program ?fuel ?(setup = fun (_ : Machine.t) -> ()) ~entry name
     let v = run_engine engine m program ~entry in
     (m, v)
   in
-  let bm, bv = run Block_exec.run in
-  let pm, pv = run Machine.run in
+  let bm, bv = run (fun m p ~entry -> Block_exec.run m p ~entry) in
+  let pm, pv = run (fun m p ~entry -> Machine.run m p ~entry) in
   check_identical name bm bv pm pv;
   (bm, bv)
 
@@ -176,8 +176,8 @@ let fuzz_case_identical seed =
         let v = run_engine engine machine program ~entry:spec.B.fn_name in
         (machine, v)
       in
-      let bm, bv = run Block_exec.run in
-      let pm, pv = run Machine.run in
+      let bm, bv = run (fun m p ~entry -> Block_exec.run m p ~entry) in
+      let pm, pv = run (fun m p ~entry -> Machine.run m p ~entry) in
       (match state_mismatch bm bv pm pv with
       | None -> true
       | Some msg ->

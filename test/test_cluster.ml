@@ -1,0 +1,214 @@
+(* Multi-core cluster simulation: output bit-identity across core
+   counts, engines and host -j; DMA/barrier wrapper correctness over
+   the kernel registry; trap isolation at the fuel boundary; the fig10
+   speedup contract; per-domain phase-attribution determinism. *)
+
+open Mlc_kernels
+open Mlc_sim
+
+let bits outs = List.map (fun a -> Array.map Int64.bits_of_float a) outs
+
+let check_bits_equal name a b =
+  Alcotest.(check (list (array int64))) name (bits a) (bits b)
+
+(* --- output bit-identity across core counts and engines --- *)
+
+let test_identity_across_cores () =
+  let spec () = Builders.matmul ~n:8 ~m:16 ~k:16 () in
+  let single = Mlc.Runner.run (spec ()) in
+  Alcotest.(check bool) "single-core valid" true (single.Mlc.Runner.max_abs_err < 1e-9);
+  List.iter
+    (fun cores ->
+      let r = Mlc.Runner.run_cluster ~cores (spec ()) in
+      check_bits_equal
+        (Printf.sprintf "outputs at --cores %d == single-core" cores)
+        single.Mlc.Runner.outputs r.Mlc.Runner.c_outputs;
+      (* A 1-core cluster's barrier is a nop (nothing to rendezvous
+         with), so it finishes in one epoch; real clusters take two. *)
+      Alcotest.(check int)
+        (Printf.sprintf "every core arrives at the barrier (--cores %d)" cores)
+        (if cores = 1 then 1 else 2)
+        r.Mlc.Runner.c_epochs)
+    [ 1; 2; 4; 8 ]
+
+let test_identity_across_engines () =
+  let spec () = Builders.matmul ~n:8 ~m:16 ~k:16 () in
+  let fast = Mlc.Runner.run_cluster ~cores:4 (spec ()) in
+  List.iter
+    (fun (name, engine) ->
+      let r = Mlc.Runner.run_cluster ~engine ~cores:4 (spec ()) in
+      check_bits_equal (name ^ ": outputs") fast.Mlc.Runner.c_outputs
+        r.Mlc.Runner.c_outputs;
+      Alcotest.(check int)
+        (name ^ ": makespan")
+        fast.Mlc.Runner.c_makespan r.Mlc.Runner.c_makespan;
+      Alcotest.(check (array int))
+        (name ^ ": conflicts")
+        fast.Mlc.Runner.c_conflicts r.Mlc.Runner.c_conflicts;
+      Alcotest.(check (array int))
+        (name ^ ": per-core cycles")
+        (Array.map (fun (m : Mlc.Runner.metrics) -> m.Mlc.Runner.cycles)
+           fast.Mlc.Runner.c_per_core)
+        (Array.map (fun (m : Mlc.Runner.metrics) -> m.Mlc.Runner.cycles)
+           r.Mlc.Runner.c_per_core))
+    [ ("per-insn", Mlc.Runner.Per_insn); ("reference", Mlc.Runner.Reference) ]
+
+let test_identity_across_jobs () =
+  let spec () = Builders.matmul ~n:16 ~m:32 ~k:32 () in
+  let base = Mlc.Runner.run_cluster ~cores:8 (spec ()) in
+  Mlc_parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let r = Mlc.Runner.run_cluster ~pool ~cores:8 (spec ()) in
+      check_bits_equal "-j 4 outputs == -j 1" base.Mlc.Runner.c_outputs
+        r.Mlc.Runner.c_outputs;
+      Alcotest.(check int) "-j 4 makespan == -j 1" base.Mlc.Runner.c_makespan
+        r.Mlc.Runner.c_makespan;
+      Alcotest.(check (array int))
+        "-j 4 conflicts == -j 1" base.Mlc.Runner.c_conflicts
+        r.Mlc.Runner.c_conflicts)
+
+(* --- the registry beyond matmul: partitionable and not --- *)
+
+let test_registry_kernels () =
+  List.iter
+    (fun (name, spec) ->
+      let r = Mlc.Runner.run_cluster ~cores:4 spec in
+      Alcotest.(check bool)
+        (name ^ " validates against the interpreter")
+        true
+        (r.Mlc.Runner.c_max_abs_err < 1e-9))
+    [
+      ("relu", Builders.relu ~n:8 ~m:8 ());
+      ("sum", Builders.sum ~n:8 ~m:8 ());
+      ("fill", Builders.fill ~n:8 ~m:8 ());
+      ("matmul_t", Builders.matmul_t ~n:8 ~m:16 ~k:8 ());
+    ]
+
+let test_window_kernels_rejected () =
+  List.iter
+    (fun (name, spec) ->
+      match Mlc.Runner.run_cluster ~cores:4 spec with
+      | _ -> Alcotest.failf "%s should not row-partition" name
+      | exception Mlc_transforms.Parallel_tile.Not_partitionable _ -> ())
+    [
+      ("conv3x3", Builders.conv3x3 ~n:8 ~m:8 ());
+      ("max_pool", Builders.max_pool ~n:8 ~m:8 ());
+    ]
+
+(* --- fuel boundary: a trapping core must not disturb the others --- *)
+
+(* Two hand-built cores: core 0 stores a sentinel and reaches the
+   barrier; core 1 spins until its fuel runs out mid-epoch. *)
+let fuel_cluster engine =
+  let label = "main" in
+  let prog insns =
+    let labels = Hashtbl.create 1 in
+    Hashtbl.replace labels label 0;
+    Program.make ~insns ~labels ()
+  in
+  let addr = Mem.tcdm_base + 64 in
+  let p0 =
+    prog
+      [|
+        Insn.Li (5, Int64.of_int addr);
+        Insn.Li (6, 0x5EED_CAFEL);
+        Insn.Store (8, 6, 0, 5);
+        Insn.Barrier;
+        Insn.Ret;
+      |]
+  in
+  let p1 = prog [| Insn.J 0 |] in
+  let shared = Mem.create () in
+  let m0 = Machine.create ~mem:shared ~core_id:0 ~num_cores:2 () in
+  let m1 =
+    Machine.create ~mem:(Mem.view shared) ~fuel:1000 ~core_id:1 ~num_cores:2 ()
+  in
+  match Cluster.run ~engine [| (m0, p0, label); (m1, p1, label) |] with
+  | _ -> Alcotest.fail "core 1 should run out of fuel"
+  | exception Trap.Trap tr -> (tr, m0, shared)
+
+let test_fuel_trap_isolation () =
+  let tr_fast, m0_fast, mem_fast = fuel_cluster Cluster.fast in
+  let tr_ref, m0_ref, mem_ref = fuel_cluster Cluster.per_insn in
+  (* The trap is attributed to the spinning core, at its pc. *)
+  Alcotest.(check int) "trap core" 1 tr_fast.Trap.core;
+  (match tr_fast.Trap.kind with
+  | Trap.Out_of_fuel -> ()
+  | k -> Alcotest.failf "unexpected trap kind: %s" (Trap.describe_kind k));
+  Alcotest.(check bool)
+    "summary names the core" true
+    (String.length (Trap.summary tr_fast) > 0
+    && String.sub (Trap.summary tr_fast) 0 15 = "trap on core 1 ");
+  (* Trap records are bit-identical between the block-fused and
+     per-instruction engines. *)
+  Alcotest.(check string) "trap record (engines)" (Trap.to_string tr_ref)
+    (Trap.to_string tr_fast);
+  (* Core 0 finished its epoch undisturbed: counters identical across
+     engines, its store landed, and nothing else in the TCDM moved. *)
+  Alcotest.(check int) "core 0 retired" m0_ref.Machine.perf.Machine.retired
+    m0_fast.Machine.perf.Machine.retired;
+  Alcotest.(check int64) "core 0 store landed" 0x5EED_CAFEL
+    (Mem.load64 mem_fast (Mem.tcdm_base + 64));
+  Alcotest.(check bytes) "TCDM image identical across engines"
+    mem_ref.Mem.bytes mem_fast.Mem.bytes
+
+(* --- the acceptance speedup: fig10-class matmul, 8 cores vs 1 --- *)
+
+let test_speedup () =
+  let spec () = Builders.matmul ~n:16 ~m:64 ~k:32 () in
+  let r1 = Mlc.Runner.run_cluster ~cores:1 (spec ()) in
+  let r8 = Mlc.Runner.run_cluster ~cores:8 (spec ()) in
+  check_bits_equal "outputs identical 1 vs 8 cores" r1.Mlc.Runner.c_outputs
+    r8.Mlc.Runner.c_outputs;
+  let speedup =
+    float_of_int r1.Mlc.Runner.c_makespan /. float_of_int r8.Mlc.Runner.c_makespan
+  in
+  if speedup < 4.0 then
+    Alcotest.failf "8-core speedup %.2fx < 4x (makespan %d -> %d)" speedup
+      r1.Mlc.Runner.c_makespan r8.Mlc.Runner.c_makespan
+
+(* --- per-domain phase attribution: counts deterministic across -j --- *)
+
+let phase_counts ~jobs =
+  Mlc.Runner.reset_phases ();
+  Mlc_parallel.Pool.with_pool ~jobs (fun pool ->
+      let results =
+        Mlc_parallel.Pool.map pool
+          (fun (n, m, k) ->
+            let r =
+              Mlc.Runner.run ~cache:false (Builders.matmul ~n ~m ~k ())
+            in
+            assert (r.Mlc.Runner.max_abs_err < 1e-9);
+            Mlc.Runner.drain_phases ())
+          [ (4, 8, 8); (8, 16, 16); (4, 16, 8); (8, 8, 8) ]
+      in
+      List.iter Mlc.Runner.commit_phases results);
+  let p = Mlc.Runner.phases () in
+  (p.Mlc.Runner.load_n, p.Mlc.Runner.compile_n, p.Mlc.Runner.sim_n)
+
+let test_phase_count_determinism () =
+  let l1, c1, s1 = phase_counts ~jobs:1 in
+  let l4, c4, s4 = phase_counts ~jobs:4 in
+  Alcotest.(check (triple int int int))
+    "-j 4 phase counts == -j 1" (l1, c1, s1) (l4, c4, s4);
+  (* Sanity: 4 uncached runs = 4 compiles, 4 loads, 4 sims. *)
+  Alcotest.(check (triple int int int)) "expected counts" (4, 4, 4) (l4, c4, s4)
+
+let suite =
+  [
+    ( "cluster",
+      [
+        Alcotest.test_case "identity across core counts" `Quick
+          test_identity_across_cores;
+        Alcotest.test_case "identity across engines" `Quick
+          test_identity_across_engines;
+        Alcotest.test_case "identity across -j" `Quick test_identity_across_jobs;
+        Alcotest.test_case "registry kernels partition" `Quick
+          test_registry_kernels;
+        Alcotest.test_case "window kernels rejected" `Quick
+          test_window_kernels_rejected;
+        Alcotest.test_case "fuel trap isolation" `Quick test_fuel_trap_isolation;
+        Alcotest.test_case "8-core speedup >= 4x" `Slow test_speedup;
+        Alcotest.test_case "phase counts deterministic" `Quick
+          test_phase_count_determinism;
+      ] );
+  ]

@@ -392,6 +392,82 @@ let lint_vs_sim_case case =
         | exception _ -> true))
     FO.configs
 
+(* --- DMA / barrier discipline (cluster wrapper contracts) ------------ *)
+
+let dma_prologue =
+  [
+    Insn.Li (5, 0x10000100L);
+    Insn.Li (6, 0x10000200L);
+    Insn.Li (7, 64L);
+    Insn.Li (28, 4L);
+    Insn.Dm_src 5;
+    Insn.Dm_dst 6;
+    Insn.Dm_str (7, 7);
+    Insn.Dm_rep 28;
+  ]
+
+let dma_clean_sequence () =
+  let insns =
+    dma_prologue @ [ Insn.Dm_cpy 7; Insn.Dm_wait; Insn.Barrier; Insn.Ret ]
+  in
+  check_findings "fully programmed, drained before the barrier: clean" []
+    (lint insns)
+
+let dma_unprogrammed_launch () =
+  let insns =
+    [
+      Insn.Li (5, 0x10000100L);
+      Insn.Li (6, 0x10000200L);
+      Insn.Dm_src 5;
+      Insn.Dm_dst 6;
+      Insn.Li (7, 64L);
+      Insn.Dm_cpy 7 (* stride and repeat never written: BUG *);
+      Insn.Dm_wait;
+      Insn.Ret;
+    ]
+  in
+  check_findings "exact diagnostic"
+    [
+      "dma-discipline: dmcpy launches with the stride (dmstr), repetition \
+       (dmrep) registers unprogrammed on some path";
+    ]
+    (lint_errors insns)
+
+let dma_barrier_in_flight () =
+  let insns = dma_prologue @ [ Insn.Dm_cpy 7; Insn.Barrier; Insn.Ret ] in
+  check_findings "exact diagnostic"
+    [
+      "dma-discipline: barrier with a DMA transfer still in flight: the \
+       barrier does not drain the DMA engine, issue dmwait first";
+    ]
+    (lint_errors insns)
+
+let dma_return_in_flight_warns () =
+  let insns = dma_prologue @ [ Insn.Dm_cpy 7; Insn.Ret ] in
+  check_findings "no errors" [] (lint_errors insns);
+  check_findings "warning"
+    [
+      "dma-discipline: function returns with a DMA transfer possibly in \
+       flight";
+    ]
+    (lint insns)
+
+let barrier_while_streaming () =
+  let insns =
+    read_stream_prologue
+    @ [
+        Insn.Csrsi (ssr_csr, 1);
+        Insn.Fcvt_from_int (Insn.D, 4, 0) (* ft4 := 0.0 *);
+        Insn.Fop (Insn.Fadd, Insn.D, 4, 0, 4) (* pop ft0 *);
+        Insn.Barrier (* rendezvous inside the region: BUG *);
+        Insn.Csrci (ssr_csr, 1);
+        Insn.Ret;
+      ]
+  in
+  check_findings "exact diagnostic"
+    [ "dma-discipline: barrier inside an SSR streaming region" ]
+    (lint_errors insns)
+
 let prop_lint_vs_sim =
   (* Deterministic seeding independent of qcheck's own state, mirroring
      Fuzz.run's per-case scheme. *)
@@ -433,6 +509,15 @@ let suite =
           branch_into_frep_body;
         Alcotest.test_case "stream overrun" `Quick stream_overrun;
         Alcotest.test_case "stream underrun warns" `Quick stream_underrun_warns;
+        Alcotest.test_case "dma: clean sequence" `Quick dma_clean_sequence;
+        Alcotest.test_case "dma: unprogrammed launch" `Quick
+          dma_unprogrammed_launch;
+        Alcotest.test_case "dma: barrier with transfer in flight" `Quick
+          dma_barrier_in_flight;
+        Alcotest.test_case "dma: return in flight warns" `Quick
+          dma_return_in_flight_warns;
+        Alcotest.test_case "barrier while streaming" `Quick
+          barrier_while_streaming;
         Alcotest.test_case "escaping control transfer" `Quick escaping_branch;
         Alcotest.test_case "liveness smoke" `Quick liveness_smoke;
         Alcotest.test_case "error_of aggregation" `Quick error_of_aggregates;

@@ -8,4 +8,5 @@ let () =
    @ Test_regalloc.suite @ Test_linear_scan.suite @ Test_pipeline.suite
    @ Test_lowlevel.suite @ Test_extra.suite @ Test_regcheck.suite
    @ Test_perf_model.suite @ Test_fuzz.suite @ Test_diag.suite
-   @ Test_lint.suite @ Test_parallel.suite @ Test_block_exec.suite)
+   @ Test_lint.suite @ Test_parallel.suite @ Test_block_exec.suite
+   @ Test_cluster.suite)

@@ -143,6 +143,42 @@ let test_disk_tier_and_corruption () =
       Alcotest.(check bool) "repaired hit is bit-identical" true
         (cold = repaired))
 
+(* --- orphaned temp-file reclamation ---------------------------------- *)
+
+let test_stale_tmp_reclaimed () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mlc-test-cache-orphans"
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_disk_dir None;
+      rm_rf dir)
+    (fun () ->
+      Sys.mkdir dir 0o755;
+      (* A writer that died between temp-file create and rename leaves
+         this behind; back-date it past the reclamation age. *)
+      let stale = Filename.concat dir ".deadbeef123.tmp" in
+      let oc = open_out stale in
+      output_string oc "half-written entry";
+      close_out oc;
+      let old = Unix.gettimeofday () -. Cache.stale_tmp_age_s -. 60.0 in
+      Unix.utimes stale old old;
+      (* A live concurrent writer's in-flight temp (fresh mtime) and a
+         committed entry must both survive the sweep. *)
+      let fresh = Filename.concat dir ".cafe456.tmp" in
+      let oc = open_out fresh in
+      output_string oc "in-flight entry";
+      close_out oc;
+      let committed = Filename.concat dir "0123456789abcdef.bin" in
+      let oc = open_out committed in
+      output_string oc "committed entry";
+      close_out oc;
+      Cache.set_disk_dir (Some dir);
+      Alcotest.(check bool) "stale orphan reclaimed" false (Sys.file_exists stale);
+      Alcotest.(check bool) "fresh temp kept" true (Sys.file_exists fresh);
+      Alcotest.(check bool) "committed entry kept" true (Sys.file_exists committed))
+
 (* --- concurrent crash-bundle writes ---------------------------------- *)
 
 let test_crash_bundle_concurrent_dedup () =
@@ -225,6 +261,8 @@ let suite =
           test_cache_hit_bit_identical;
         Alcotest.test_case "disk tier + corruption" `Quick
           test_disk_tier_and_corruption;
+        Alcotest.test_case "stale temp reclaimed" `Quick
+          test_stale_tmp_reclaimed;
         Alcotest.test_case "crash bundle concurrent dedup" `Quick
           test_crash_bundle_concurrent_dedup;
         Alcotest.test_case "fuzz -j4 == -j1" `Slow test_fuzz_jobs_identical;
