@@ -18,11 +18,16 @@
    (EXPERIMENTS.md records both).
 
    Flags:
-     --json      write BENCH_PR7.json with per-section host wall-clock,
+     --json      write BENCH_PR8.json with per-section host wall-clock,
                  simulated-cycle tallies and compile/load/sim phase
                  breakdown, the fig11 fast-path speedup, the Bechamel
                  estimates, and the jobs/wall-time/cache counters of
                  this run
+     --serve     additionally benchmark the snitchd serving path: an
+                 in-process daemon floods itself with the chaos
+                 driver's mixed workload, then replays it to measure
+                 the idempotent warm path; adds a "serving" section to
+                 the JSON artifact
      --phases    print a per-section host-time phase table (compile =
                  pass pipeline + regalloc + emission + lint, load =
                  program construction, sim = simulation + readback,
@@ -624,6 +629,98 @@ let speedup_measurement ~reps ~cols ~inners () =
     !cells reps !legacy !fast speedup;
   (!cells, !legacy, !fast, speedup)
 
+(* --- the serving path (--serve) --- *)
+
+(* Benchmark snitchd end to end without leaving the process: serve on a
+   scratch socket from a spawned domain, drive the chaos harness's
+   deterministic flood through real client connections, then replay the
+   identical flood to time the idempotent warm path. The replay digest
+   must equal the cold digest (the PR 8 exactly-once contract) and its
+   compile_n delta must be zero — every artifact comes back from the
+   cache or the idempotency table. *)
+type serve_timing = {
+  sv_requests : int;
+  sv_jobs : int;
+  sv_cold_wall_s : float;
+  sv_warm_wall_s : float;
+  sv_retries : int;
+  sv_idem_hits : int;
+  sv_p50_ms : float;
+  sv_p99_ms : float;
+  sv_compile_p50_ms : float;
+  sv_compile_p99_ms : float;
+  sv_warm_compile_n : int;
+  sv_digest_match : bool;
+}
+
+let serve_timing : serve_timing option ref = ref None
+
+let json_num key body =
+  match List.assoc_opt key body with
+  | Some (Mlc_serve.Json.Float f) -> f
+  | Some (Mlc_serve.Json.Int i) -> float_of_int i
+  | _ -> 0.
+
+let serve_section ~jobs ~smoke () =
+  section "Serving: snitchd flood (cold + idempotent replay)";
+  let count = if smoke then 24 else 120 in
+  let socket_path = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench-snitchd-%d.sock" (Unix.getpid ())) in
+  let config =
+    {
+      Mlc_serve.Server.default_config with
+      Mlc_serve.Server.socket_path;
+      jobs;
+    }
+  in
+  let server = Mlc_serve.Server.create ~config () in
+  let server_domain = Domain.spawn (fun () -> Mlc_serve.Server.serve server) in
+  let flood () =
+    Mlc_serve.Client.flood ~socket_path ~jobs:(max 1 (jobs / 2)) ~seed:11
+      ~count ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let cold = flood () in
+  let t1 = Unix.gettimeofday () in
+  let ph0 = Mlc.Runner.phases () in
+  let warm = flood () in
+  let t2 = Unix.gettimeofday () in
+  let ph1 = Mlc.Runner.phases () in
+  let stats = Mlc_serve.Server.stats_body server in
+  Mlc_serve.Server.stop server;
+  ignore (Domain.join server_domain);
+  let timing =
+    {
+      sv_requests = count;
+      sv_jobs = jobs;
+      sv_cold_wall_s = t1 -. t0;
+      sv_warm_wall_s = t2 -. t1;
+      sv_retries =
+        cold.Mlc_serve.Client.total_retries
+        + warm.Mlc_serve.Client.total_retries;
+      sv_idem_hits = int_of_float (json_num "idem_hits" stats);
+      sv_p50_ms = json_num "p50_ms" stats;
+      sv_p99_ms = json_num "p99_ms" stats;
+      sv_compile_p50_ms = json_num "compile_p50_ms" stats;
+      sv_compile_p99_ms = json_num "compile_p99_ms" stats;
+      sv_warm_compile_n =
+        (Mlc.Runner.sub_phases ph1 ph0).Mlc.Runner.compile_n;
+      sv_digest_match =
+        cold.Mlc_serve.Client.digest = warm.Mlc_serve.Client.digest;
+    }
+  in
+  serve_timing := Some timing;
+  Printf.printf
+    "%d requests x %d workers: cold %.3f s, idempotent replay %.3f s\n" count
+    jobs timing.sv_cold_wall_s timing.sv_warm_wall_s;
+  Printf.printf "latency: p50 %.2f ms  p99 %.2f ms  (compile p50 %.2f ms)\n"
+    timing.sv_p50_ms timing.sv_p99_ms timing.sv_compile_p50_ms;
+  Printf.printf "replay: digests %s, compile_n delta %d, idem hits %d\n"
+    (if timing.sv_digest_match then "identical" else "DIFFER")
+    timing.sv_warm_compile_n timing.sv_idem_hits;
+  assert timing.sv_digest_match;
+  assert (timing.sv_warm_compile_n = 0)
+
 (* --- JSON artifact (--json) --- *)
 
 let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
@@ -632,7 +729,7 @@ let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"bench\": \"PR7\",\n";
+  add "  \"bench\": \"PR8\",\n";
   add "  \"smoke\": %b,\n" smoke;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"host_wall_total_s\": %.6f,\n" total_wall;
@@ -673,6 +770,23 @@ let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
           (fun (kernel, rung) ->
             Printf.sprintf "{\"kernel\": %S, \"rung\": %S}" kernel rung)
           !degradations));
+  (match !serve_timing with
+  | None -> ()
+  | Some s ->
+    add "  \"serving\": {\n";
+    add "    \"requests\": %d,\n" s.sv_requests;
+    add "    \"jobs\": %d,\n" s.sv_jobs;
+    add "    \"cold_wall_s\": %.6f,\n" s.sv_cold_wall_s;
+    add "    \"warm_wall_s\": %.6f,\n" s.sv_warm_wall_s;
+    add "    \"retries\": %d,\n" s.sv_retries;
+    add "    \"idem_hits\": %d,\n" s.sv_idem_hits;
+    add "    \"p50_ms\": %.3f,\n" s.sv_p50_ms;
+    add "    \"p99_ms\": %.3f,\n" s.sv_p99_ms;
+    add "    \"compile_p50_ms\": %.3f,\n" s.sv_compile_p50_ms;
+    add "    \"compile_p99_ms\": %.3f,\n" s.sv_compile_p99_ms;
+    add "    \"warm_compile_n\": %d,\n" s.sv_warm_compile_n;
+    add "    \"digest_match\": %b\n" s.sv_digest_match;
+    add "  },\n");
   add "  \"fig11_speedup\": {\n";
   add "    \"cells\": %d,\n" cells;
   add "    \"reps\": %d,\n" reps;
@@ -711,6 +825,7 @@ let () =
     in
     find argv
   in
+  let serve = List.mem "--serve" argv in
   let cache_enabled = not (List.mem "--no-cache" argv) in
   if cache_enabled then Mlc_parallel.Cache.set_disk_dir (Some ".mlc-cache");
   let t_start = Unix.gettimeofday () in
@@ -725,6 +840,7 @@ let () =
   timed "fig11" (fig11 ~pool ~cols ~inners);
   timed "table3" table3;
   timed "cluster" (cluster ~smoke);
+  if serve then timed "serve" (serve_section ~jobs ~smoke);
   if not smoke then begin
     timed "spilling_ablation" spilling_ablation;
     timed "pattern_ablation" pattern_ablation
@@ -743,7 +859,7 @@ let () =
   let total_wall = Unix.gettimeofday () -. t_start in
   if phases then print_phase_table ();
   if json then
-    write_json ~path:"BENCH_PR7.json" ~smoke ~reps ~jobs ~cache_enabled
+    write_json ~path:"BENCH_PR8.json" ~smoke ~reps ~jobs ~cache_enabled
       ~total_wall ~speedup ~bech;
   print_newline ();
   print_endline

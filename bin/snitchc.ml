@@ -514,6 +514,152 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ replay_arg $ crash_dir_arg $ jobs_arg
       $ cache_dir_arg)
 
+(* The snitchd client: one-shot requests against a running daemon, plus
+   the flood driver the chaos harness uses. Request ids default to a
+   digest of the payload, so re-running the same command line is an
+   idempotent retry, not duplicated work. *)
+let client_cmd =
+  let module P = Mlc_serve.Protocol in
+  let action_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("ping", `Ping); ("run", `Run); ("compile", `Compile);
+                  ("check", `Check); ("stats", `Stats);
+                  ("shutdown", `Shutdown); ("flood", `Flood);
+                ]))
+          None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "One of ping, run, compile, check, stats, shutdown, flood \
+             (drive a deterministic mixed workload of --count requests).")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "snitchd.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+  in
+  let opt_kernel_arg =
+    Arg.(
+      value & opt string "matmul"
+      & info [ "k"; "kernel" ] ~docv:"KERNEL" ~doc:"Kernel for run/compile/check.")
+  in
+  let id_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "id" ] ~docv:"ID"
+          ~doc:
+            "Idempotency key (default: a digest of the request payload, so \
+             identical invocations retry rather than duplicate).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"N" ~doc:"Requests for the flood action.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed for the flood action.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline (0 = server default).")
+  in
+  let patience_arg =
+    Arg.(
+      value & opt float 120.
+      & info [ "patience" ] ~docv:"S"
+          ~doc:"Total retry budget before the client gives up.")
+  in
+  let run action socket kernel n m k (flow_name, _) id count seed jobs
+      deadline_ms patience =
+    let print_body ?(skip = [ "asm" ]) body =
+      List.iter
+        (fun (key, v) ->
+          if not (List.mem key skip) then
+            Printf.printf "%-18s: %s\n" key (Mlc_serve.Json.to_string v))
+        body
+    in
+    match action with
+    | `Flood ->
+      let report =
+        Mlc_serve.Client.flood ~socket_path:socket
+          ~jobs:(resolve_jobs jobs) ~seed ~patience_s:patience ~count ()
+      in
+      Printf.printf "flood: sent %d answered %d ok %d failed %d retries %d\n"
+        report.Mlc_serve.Client.sent report.Mlc_serve.Client.answered
+        report.Mlc_serve.Client.f_ok report.Mlc_serve.Client.f_failed
+        report.Mlc_serve.Client.total_retries;
+      Printf.printf "digest: %s\n" report.Mlc_serve.Client.digest;
+      if report.Mlc_serve.Client.answered < report.Mlc_serve.Client.sent then
+        exit 1
+    | (`Ping | `Run | `Compile | `Check | `Stats | `Shutdown) as op ->
+      let op =
+        match op with
+        | `Ping -> P.Ping
+        | `Run -> P.Run
+        | `Compile -> P.Compile
+        | `Check -> P.Check
+        | `Stats -> P.Stats
+        | `Shutdown -> P.Shutdown
+      in
+      let req =
+        {
+          P.default_request with
+          P.op;
+          kernel;
+          n;
+          m;
+          k;
+          flow = flow_name;
+          deadline_ms;
+        }
+      in
+      let req =
+        { req with P.id = (if id <> "" then id else "cli-" ^ P.payload_digest req) }
+      in
+      let client = Mlc_serve.Client.create ~socket_path:socket () in
+      Fun.protect
+        ~finally:(fun () -> Mlc_serve.Client.close client)
+        (fun () ->
+          match Mlc_serve.Client.request ~patience_s:patience client req with
+          | exception Mlc_serve.Client.Gave_up msg ->
+            Printf.eprintf "client: %s\n" msg;
+            exit 1
+          | { Mlc_serve.Client.response; retries } ->
+            Printf.printf "status            : %s%s\n"
+              (P.status_name response.P.status)
+              (if retries > 0 then Printf.sprintf " (%d retries)" retries
+               else "");
+            (match op with
+            | P.Compile ->
+              (match
+                 Mlc_serve.Json.str "asm" (Mlc_serve.Json.Obj response.P.body)
+               with
+              | Some asm -> print_string asm
+              | None -> ());
+              print_body ~skip:[ "asm" ] response.P.body
+            | _ -> print_body response.P.body);
+            if response.P.status <> P.Ok_ then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running snitchd: one-shot compile/run/check/stats \
+          requests with idempotent retries, or a deterministic flood \
+          workload (the chaos harness's load generator).")
+    Term.(
+      const run $ action_arg $ socket_arg $ opt_kernel_arg $ n_arg $ m_arg
+      $ k_arg $ flow_arg $ id_arg $ count_arg $ seed_arg $ jobs_arg
+      $ deadline_arg $ patience_arg)
+
 let main =
   Cmd.group
     (Cmd.info "snitchc" ~version:"1.0.0"
@@ -527,6 +673,7 @@ let main =
       ablate_cmd;
       lowlevel_cmd;
       fuzz_cmd;
+      client_cmd;
     ]
 
 (* Every diagnosed failure leaves through here as one structured report:

@@ -1,0 +1,155 @@
+(* snitchd: the long-running compile service over the micro-kernel
+   compiler — a Unix-domain-socket daemon sharding compile/run/check
+   requests across the domain pool and serving artifacts from the
+   two-tier content-addressed cache.
+
+     snitchd --socket snitchd.sock -j 4 --cache-dir .mlc-cache
+     snitchd ... --faults crash@3,slow@5:0.5,trunc@7   (chaos harness)
+
+   SIGTERM/SIGINT drain admitted work, answer it, then exit; kill -9
+   recovery is the client's retry loop plus the disk cache tier. *)
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "snitchd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains executing requests (0 = one per core).")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string ".mlc-cache"
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "On-disk tier of the compile-artifact cache; artifacts survive \
+           daemon restarts. Empty string disables the disk tier.")
+
+let crash_dir_arg =
+  Arg.(
+    value
+    & opt string ".mlc-crash"
+    & info [ "crash-dir" ] ~docv:"DIR"
+        ~doc:"Directory crash bundles are written to.")
+
+let queue_max_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-max" ] ~docv:"N"
+        ~doc:
+          "Admitted-but-unfinished request cap; beyond it requests are \
+           rejected with a retry-after hint.")
+
+let shed_at_arg =
+  Arg.(
+    value & opt int 48
+    & info [ "shed-at" ] ~docv:"N"
+        ~doc:
+          "Queue depth at which new work is shed to the baseline \
+           configuration (the bottom of the fallback lattice) instead of \
+           the requested flow.")
+
+let deadline_arg =
+  Arg.(
+    value & opt int 60_000
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request deadline; requests past it are cancelled at \
+           the next compile/sim checkpoint.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int 200_000_000
+    & info [ "fuel" ] ~docv:"INSNS"
+        ~doc:
+          "Dynamic-instruction cap per simulation (a runaway kernel traps \
+           with out-of-fuel instead of wedging a worker).")
+
+let faults_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection for the chaos harness: \
+           comma-separated site@ordinal[:param] with sites crash (worker \
+           exception), slow (sleep param seconds), trunc (truncated \
+           response frame). Example: crash@3,slow@5:0.5,trunc@7.")
+
+let bundle_cap_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "bundle-cap-mb" ] ~docv:"MB"
+        ~doc:
+          "Cap the crash-bundle directory to this many megabytes (oldest \
+           evicted first); 0 = unbounded.")
+
+let bundle_age_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "bundle-age-s" ] ~docv:"S"
+        ~doc:"Evict crash bundles older than this many seconds; 0 = never.")
+
+let stale_tmp_arg =
+  Arg.(
+    value & opt float 600.
+    & info [ "stale-tmp-age-s" ] ~docv:"S"
+        ~doc:
+          "Age beyond which orphaned cache temp files are reclaimed when \
+           the disk tier is attached.")
+
+let serve socket jobs cache_dir crash_dir queue_max shed_at deadline_ms fuel
+    faults bundle_cap_mb bundle_age_s stale_tmp_age =
+  let jobs = if jobs <= 0 then Mlc_parallel.Pool.default_jobs () else jobs in
+  Mlc_diag.Crash_bundle.set_dir crash_dir;
+  Mlc_diag.Crash_bundle.set_eviction
+    ?max_bytes:
+      (if bundle_cap_mb > 0 then Some (bundle_cap_mb * 1024 * 1024) else None)
+    ?max_age_s:(if bundle_age_s > 0. then Some bundle_age_s else None)
+    ();
+  Mlc_parallel.Cache.set_stale_tmp_age_s stale_tmp_age;
+  if cache_dir <> "" then Mlc_parallel.Cache.set_disk_dir (Some cache_dir);
+  if faults <> "" then Mlc_serve.Fault.arm faults;
+  let config =
+    {
+      Mlc_serve.Server.socket_path = socket;
+      jobs;
+      queue_max;
+      shed_at = min shed_at queue_max;
+      default_deadline_ms = deadline_ms;
+      sim_fuel = fuel;
+      idem_cap = 4096;
+    }
+  in
+  let server = Mlc_serve.Server.create ~config () in
+  let stop _ = Mlc_serve.Server.stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Printf.printf "snitchd: listening on %s (jobs=%d, cache=%s%s)\n%!" socket
+    jobs
+    (if cache_dir = "" then "memory-only" else cache_dir)
+    (if faults = "" then "" else ", faults=" ^ faults);
+  let served = Mlc_serve.Server.serve server in
+  Printf.printf "snitchd: served %d requests, bye\n%!" served
+
+let main =
+  Cmd.v
+    (Cmd.info "snitchd" ~version:"1.0.0"
+       ~doc:
+         "Long-running compile service for Snitch micro-kernels: accepts \
+          length-framed JSON compile/run/check requests over a Unix socket, \
+          shards them across a domain pool, and serves artifacts from the \
+          content-addressed compile cache.")
+    Term.(
+      const serve $ socket_arg $ jobs_arg $ cache_dir_arg $ crash_dir_arg
+      $ queue_max_arg $ shed_at_arg $ deadline_arg $ fuel_arg $ faults_arg
+      $ bundle_cap_arg $ bundle_age_arg $ stale_tmp_arg)
+
+let () = exit (Cmd.eval main)

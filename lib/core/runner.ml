@@ -272,10 +272,10 @@ let metrics_of (perf : Mlc_sim.Machine.perf) =
     retired = perf.Mlc_sim.Machine.retired;
   }
 
-let simulate_program ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args
-    ~data program =
+let simulate_program ?(trace = false) ?(engine = Fast) ?fuel ~elem ~fn_name
+    ~args ~data program =
   timed_phase Ph_sim (fun () ->
-      let machine = Mlc_sim.Machine.create ~trace () in
+      let machine = Mlc_sim.Machine.create ?fuel ~trace () in
       let addrs = setup_machine ~elem machine args data in
       let run =
         match engine with
@@ -289,12 +289,13 @@ let simulate_program ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args
         outputs,
         Mlc_sim.Machine.trace machine ))
 
-let simulate ?(trace = false) ?(engine = Fast) ~elem ~fn_name ~args ~data asm =
+let simulate ?(trace = false) ?(engine = Fast) ?fuel ~elem ~fn_name ~args ~data
+    asm =
   let program =
     timed_phase Ph_load (fun () ->
         Mlc_sim.Program.of_asm (Mlc_sim.Asm_parse.parse asm))
   in
-  simulate_program ~trace ~engine ~elem ~fn_name ~args ~data program
+  simulate_program ~trace ~engine ?fuel ~elem ~fn_name ~args ~data program
 
 (* --- expected outputs through the interpreter --- *)
 
@@ -448,7 +449,9 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
     ?(verify_each = true) ?(trace = false) ?(sim_path = Direct)
     ?(engine = Fast) ?allocator ?(fallback = true)
     ?(pipeline_of = Mlc_transforms.Pipeline.passes) ?crash_ctx
-    ?(cache = true) (spec : Builders.spec) : run_result =
+    ?(cache = true) ?(on_phase = fun (_ : string) -> ()) ?fuel
+    (spec : Builders.spec) : run_result =
+  on_phase "expected";
   let data = gen_inputs ~seed ~elem:spec.Builders.elem spec.Builders.args in
   (* Artifact-cache gate: only the default compile qualifies — a custom
      allocator or substituted pass list changes the artifact without
@@ -489,6 +492,12 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
       (Mlc_transforms.Pipeline.describe_flags rflags)
   in
   let attempt ~first rung rflags =
+    (* Cooperative-cancellation checkpoint: a serving layer's [on_phase]
+       may raise here (deadline exceeded) — the exception is not
+       [retryable], so it aborts the whole run rather than walking the
+       lattice. Nothing partial is left behind: the compile cache only
+       stores complete lint-clean artifacts, atomically. *)
+    on_phase ("compile:" ^ rung);
     let bundle_ctx =
       match crash_ctx with
       | Some c ->
@@ -549,8 +558,9 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
         if use_cache then Compile_cache.store ~key compiled;
         (compiled, program)
     in
+    on_phase ("sim:" ^ rung);
     let metrics, outputs, trace_lines =
-      simulate_program ~trace ~engine ~elem:spec.Builders.elem
+      simulate_program ~trace ~engine ?fuel ~elem:spec.Builders.elem
         ~fn_name:spec.Builders.fn_name ~args:spec.Builders.args ~data program
     in
     (compiled, metrics, outputs, trace_lines)

@@ -127,6 +127,7 @@ val setup_machine :
 val simulate_program :
   ?trace:bool ->
   ?engine:engine ->
+  ?fuel:int ->
   elem:Mlc_ir.Ty.t ->
   fn_name:string ->
   args:Mlc_kernels.Builders.arg_spec list ->
@@ -138,6 +139,7 @@ val simulate_program :
 val simulate :
   ?trace:bool ->
   ?engine:engine ->
+  ?fuel:int ->
   elem:Mlc_ir.Ty.t ->
   fn_name:string ->
   args:Mlc_kernels.Builders.arg_spec list ->
@@ -167,7 +169,18 @@ val simulate :
     cache ({!Compile_cache}): a hit skips the pass pipeline, register
     allocation and lint, reconstructing the program from the cached
     assembly with bit-identical results. Runs with a custom [allocator]
-    or [pipeline_of], or with [trace], bypass the cache automatically. *)
+    or [pipeline_of], or with [trace], bypass the cache automatically.
+
+    [on_phase] is the cooperative-cancellation hook for serving layers:
+    it is called at every checkpoint ("expected", then per attempted
+    rung "compile:<rung>" and "sim:<rung>") and may raise to abort the
+    run — such an exception is never caught by the fallback lattice,
+    and aborting at any checkpoint leaves the compile cache and domain
+    pool in a state where an identical retry is bit-identical to a
+    never-cancelled run (artifacts are stored atomically and only when
+    complete). [fuel] bounds simulated dynamic instructions
+    ({!Mlc_sim.Machine.create}); exhaustion is a typed
+    [Trap.Out_of_fuel]. *)
 val run :
   ?flags:Mlc_transforms.Pipeline.flags ->
   ?seed:int ->
@@ -180,6 +193,8 @@ val run :
   ?pipeline_of:(Mlc_transforms.Pipeline.flags -> Mlc_ir.Pass.t list) ->
   ?crash_ctx:Mlc_diag.Crash_bundle.ctx ->
   ?cache:bool ->
+  ?on_phase:(string -> unit) ->
+  ?fuel:int ->
   Mlc_kernels.Builders.spec ->
   run_result
 

@@ -23,6 +23,68 @@ let set_enabled b = Atomic.set enabled b
 let set_dir d = Atomic.set dir d
 let last_bundle () = !(Domain.DLS.get last_key)
 
+(* --- eviction ---
+
+   Bundles are content-hashed and de-duplicated, but a daemon under a
+   fuzz-scale failure flood still accumulates distinct bundles without
+   bound; cap the directory by total size and age (mirroring the
+   cache's stale-tmp sweep) so crash reporting can never fill the
+   disk. Disabled by default outside serving: the caps are opt-in. *)
+let size_cap_a = Atomic.make max_int
+let age_cap_a = Atomic.make infinity
+let evict_count = Atomic.make 0
+let writes_since_sweep = Atomic.make 0
+
+let set_eviction ?(max_bytes = max_int) ?(max_age_s = infinity) () =
+  Atomic.set size_cap_a max_bytes;
+  Atomic.set age_cap_a max_age_s
+
+let evicted () = Atomic.get evict_count
+
+let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+(* One pass over <dir>/*.md: drop bundles older than the age cap, then
+   drop oldest-first until the directory fits the size cap. Best-effort
+   throughout — eviction IO must never turn a crash report into a
+   crash. *)
+let sweep () =
+  let d = Atomic.get dir in
+  match Sys.readdir d with
+  | exception Sys_error _ -> ()
+  | entries ->
+    let now = Unix.gettimeofday () in
+    let age_cap = Atomic.get age_cap_a and size_cap = Atomic.get size_cap_a in
+    let live = ref [] in
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".md" then
+          let path = Filename.concat d f in
+          match Unix.stat path with
+          | exception Unix.Unix_error _ -> ()
+          | st ->
+            if now -. st.Unix.st_mtime > age_cap then begin
+              remove_quiet path;
+              Atomic.incr evict_count
+            end
+            else live := (st.Unix.st_mtime, st.Unix.st_size, path) :: !live)
+      entries;
+    let total = List.fold_left (fun a (_, sz, _) -> a + sz) 0 !live in
+    if total > size_cap then begin
+      let oldest_first =
+        List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) !live
+      in
+      ignore
+        (List.fold_left
+           (fun remaining (_, sz, path) ->
+             if remaining > size_cap then begin
+               remove_quiet path;
+               Atomic.incr evict_count;
+               remaining - sz
+             end
+             else remaining)
+           total oldest_first)
+    end
+
 let render ?(ctx = no_ctx) (d : Diag.t) =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -77,5 +139,9 @@ let write ?ctx (d : Diag.t) =
           raise exn
       end;
       Domain.DLS.get last_key := Some path;
+      (* Amortise the readdir: sweep every 8th write — a failure flood
+         writes bundles far faster than the caps shrink, and the sweep
+         itself walks the whole directory. *)
+      if Atomic.fetch_and_add writes_since_sweep 1 mod 8 = 0 then sweep ();
       Some path
     with _ -> None

@@ -15,6 +15,20 @@ val set_enabled : bool -> unit
 (** Set the bundle directory (default [".mlc-crash"], created lazily). *)
 val set_dir : string -> unit
 
+(** Cap the bundle directory: [max_bytes] bounds the total size of
+    [*.md] bundles (oldest evicted first), [max_age_s] drops bundles
+    older than that many seconds. Both default to unbounded — serving
+    daemons opt in so a fuzz-scale failure flood cannot fill the disk.
+    Enforced by {!sweep}, which {!write} runs every few bundles. *)
+val set_eviction : ?max_bytes:int -> ?max_age_s:float -> unit -> unit
+
+(** Run one eviction pass over the bundle directory now (best-effort,
+    never raises). *)
+val sweep : unit -> unit
+
+(** Bundles deleted by eviction sweeps since process start. *)
+val evicted : unit -> int
+
 (** Path of the most recently written bundle on the {e calling domain},
     if any — tracked per domain so parallel workers report their own
     bundles. *)

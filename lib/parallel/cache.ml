@@ -17,6 +17,7 @@ let mem : (string, Obj.t) Hashtbl.t = Hashtbl.create 256
 let dir = Atomic.make (None : string option)
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
+let quarantine_count = Atomic.make 0
 
 (* A process dying between [Filename.temp_file] and [Sys.rename] in
    [disk_add] orphans a ".<key><nonce>.tmp" file that nothing would
@@ -24,7 +25,9 @@ let miss_count = Atomic.make 0
    tier — but only ones old enough that no live writer can still own
    them (a concurrent process's in-flight temp is seconds old at
    most). *)
-let stale_tmp_age_s = 600.
+let stale_tmp_age = Atomic.make 600.
+let stale_tmp_age_s () = Atomic.get stale_tmp_age
+let set_stale_tmp_age_s v = Atomic.set stale_tmp_age (Float.max 0. v)
 
 let is_tmp_orphan f =
   String.length f > 1 && f.[0] = '.' && Filename.check_suffix f ".tmp"
@@ -39,7 +42,7 @@ let sweep_stale_tmp d =
         if is_tmp_orphan f then
           let path = Filename.concat d f in
           match Unix.stat path with
-          | st when now -. st.Unix.st_mtime > stale_tmp_age_s -> (
+          | st when now -. st.Unix.st_mtime > Atomic.get stale_tmp_age -> (
             try Sys.remove path with Sys_error _ -> ())
           | _ -> ()
           | exception Unix.Unix_error _ -> ())
@@ -58,10 +61,12 @@ let clear_memory () =
 
 let hits () = Atomic.get hit_count
 let misses () = Atomic.get miss_count
+let quarantined () = Atomic.get quarantine_count
 
 let reset_stats () =
   Atomic.set hit_count 0;
-  Atomic.set miss_count 0
+  Atomic.set miss_count 0;
+  Atomic.set quarantine_count 0
 
 (* Length-framed so ["ab"; "c"] and ["a"; "bc"] hash differently. *)
 let key ~namespace ~version parts =
@@ -89,20 +94,34 @@ let mem_add k (v : Obj.t) =
 
 let disk_path d k = Filename.concat d (k ^ ".bin")
 
+(* A corrupt entry is renamed aside rather than left in place: a
+   persistently corrupt file would otherwise be re-read, re-hashed and
+   re-discarded on every single miss of that key (and [disk_add] may
+   never overwrite it if the computation stops being attempted). The
+   [.corrupt] suffix keeps the evidence for post-mortems while making
+   the key path miss instantly. Best-effort: a failed rename leaves the
+   old behaviour (silent recompute). *)
+let quarantine d k =
+  let path = disk_path d k in
+  (try Sys.rename path (path ^ ".corrupt") with Sys_error _ -> ());
+  Atomic.incr quarantine_count
+
 (* Best-effort read: any IO error, short file or digest mismatch is a
-   miss — the entry is recomputed, never trusted. *)
+   miss — the entry is recomputed, never trusted. [`Corrupt] (the file
+   exists but its self-check fails) is distinguished from [`Absent] so
+   the caller can quarantine without ever touching missing entries. *)
 let disk_find d k =
   match open_in_bin (disk_path d k) with
-  | exception _ -> None
+  | exception _ -> `Absent
   | ic -> (
     match
       let len = in_channel_length ic in
-      if len < 16 then None
+      if len < 16 then `Corrupt
       else begin
         let digest = really_input_string ic 16 in
         let payload = really_input_string ic (len - 16) in
-        if String.equal (Digest.string payload) digest then Some payload
-        else None
+        if String.equal (Digest.string payload) digest then `Ok payload
+        else `Corrupt
       end
     with
     | r ->
@@ -110,7 +129,7 @@ let disk_find d k =
       r
     | exception _ ->
       close_in_noerr ic;
-      None)
+      `Corrupt)
 
 (* Best-effort write: cache IO must never fail the computation. *)
 let disk_add d k payload =
@@ -138,16 +157,22 @@ let find ~key:k =
       | None -> None
       | Some d -> (
         match disk_find d k with
-        | Some p -> (
+        | `Ok p -> (
           (* A payload that does not unmarshal (a forged or stale-format
-             disk file) is a miss; a valid one is decoded exactly once
-             and promoted to the memory tier as a live value. *)
+             disk file) is as corrupt as a failed digest — quarantined
+             and recomputed; a valid one is decoded exactly once and
+             promoted to the memory tier as a live value. *)
           match Marshal.from_string p 0 with
           | v ->
             mem_add k (Obj.repr v);
             Some v
-          | exception _ -> None)
-        | None -> None))
+          | exception _ ->
+            quarantine d k;
+            None)
+        | `Corrupt ->
+          quarantine d k;
+          None
+        | `Absent -> None))
   in
   (match decoded with
   | Some _ -> Atomic.incr hit_count

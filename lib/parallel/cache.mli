@@ -10,9 +10,12 @@
     the [version] component whenever the marshaled representation (or
     the semantics of the computation it caches) changes. Because hits
     share one live value, callers must treat cached values as immutable.
-    Any stale, corrupt or truncated disk entry is silently treated as a
-    miss and recomputed; disk writes go through a temp file plus atomic
-    rename so concurrent writers can never expose a partial entry. *)
+    Any stale, corrupt or truncated disk entry is treated as a miss and
+    recomputed; the offending file is quarantined (renamed to
+    [<entry>.corrupt] and counted in {!quarantined}) so a persistently
+    bad entry is not re-read and re-discarded on every subsequent miss.
+    Disk writes go through a temp file plus atomic rename so concurrent
+    writers can never expose a partial entry. *)
 
 (** [key ~namespace ~version parts] hashes the length-framed
     concatenation of the inputs into a hex digest usable as a file
@@ -29,8 +32,12 @@ val set_disk_dir : string option -> unit
 val disk_dir : unit -> string option
 
 (** Age (seconds since last modification) beyond which an orphaned
-    temp file is reclaimed by {!set_disk_dir}. *)
-val stale_tmp_age_s : float
+    temp file is reclaimed by {!set_disk_dir}. Default 600 s; long-lived
+    daemons that restart workers aggressively can lower it with
+    {!set_stale_tmp_age_s}. *)
+val stale_tmp_age_s : unit -> float
+
+val set_stale_tmp_age_s : float -> unit
 
 (** [find ~key] returns the cached value, consulting memory first and
     then the disk tier (promoting disk finds to memory). Counts one hit
@@ -56,4 +63,9 @@ val clear_memory : unit -> unit
 val hits : unit -> int
 
 val misses : unit -> int
+
+(** Corrupt disk entries renamed aside ([<entry>.corrupt]) on read since
+    start or {!reset_stats}. *)
+val quarantined : unit -> int
+
 val reset_stats : unit -> unit

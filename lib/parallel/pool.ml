@@ -40,7 +40,7 @@ let worker_loop t =
   in
   next ()
 
-let create ?jobs () =
+let create ?jobs ?(dedicated = false) () =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let t =
     {
@@ -52,7 +52,11 @@ let create ?jobs () =
       closing = false;
     }
   in
-  if jobs > 1 then
+  (* [dedicated] spawns workers even at [jobs = 1]: a server whose
+     caller thread must keep accepting connections needs the work off
+     its own domain, where the inline [jobs <= 1] fast path would run
+     it. *)
+  if jobs > 1 || dedicated then
     t.workers <- Array.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
@@ -63,6 +67,22 @@ let shutdown t =
   Mutex.unlock t.mu;
   Array.iter Domain.join t.workers;
   t.workers <- [||]
+
+(* Fire-and-forget submission, for callers that stream work into the
+   pool (the serving daemon) rather than fanning out a closed list.
+   The worker-loop invariant is that queued tasks never raise, so the
+   task is wrapped here; completion/result delivery is entirely the
+   caller's protocol (a callback inside [task]). With no workers the
+   task runs inline on the caller. *)
+let submit t task =
+  let safe () = try task () with _ -> () in
+  if Array.length t.workers = 0 then safe ()
+  else begin
+    Mutex.lock t.mu;
+    Queue.push safe t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mu
+  end
 
 (* Commit in submission order: the first [Error] encountered left to
    right is the same failure a sequential run would have raised first. *)

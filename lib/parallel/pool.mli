@@ -15,10 +15,20 @@ val default_jobs : unit -> int
 
 (** [create ~jobs ()] starts a pool of [jobs] worker domains ([jobs <= 1]
     starts none and makes {!map} run inline). Defaults to
-    {!default_jobs}. *)
-val create : ?jobs:int -> unit -> t
+    {!default_jobs}. [~dedicated:true] spawns workers even at
+    [jobs = 1] — for callers (the serving daemon) that must keep their
+    own domain free while work drains. *)
+val create : ?jobs:int -> ?dedicated:bool -> unit -> t
 
 val jobs : t -> int
+
+(** [submit t task] enqueues a fire-and-forget task. Unlike {!map} there
+    is no result channel and no ordering contract: delivery of results
+    is the caller's protocol (a callback captured in [task]). Any
+    exception the task raises is swallowed — wrap the body in its own
+    supervisor if failures must be observed. With no workers the task
+    runs inline on the calling domain. *)
+val submit : t -> (unit -> unit) -> unit
 
 (** [map ~batch t f items] evaluates [f] on every item (concurrently
     when the pool has workers) and returns the results in submission

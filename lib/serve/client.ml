@@ -1,0 +1,180 @@
+module P = Protocol
+
+type t = {
+  socket_path : string;
+  mutable fd : Unix.file_descr option;
+}
+
+let create ?(socket_path = "snitchd.sock") () = { socket_path; fd = None }
+
+let disconnect t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let close = disconnect
+
+let connect t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX t.socket_path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    t.fd <- Some fd;
+    fd
+
+(* One exchange. The connection carries one request at a time, so the
+   next frame is our answer — except that an idempotent daemon may
+   interleave a duplicate's replay; match on id to be safe. *)
+let rpc_once t (r : P.request) =
+  let fd = connect t in
+  P.write_frame fd (Json.to_string (P.json_of_request r));
+  let rec await () =
+    match P.read_frame fd with
+    | `Closed -> raise (P.Protocol_error "connection closed before response")
+    | `Frame payload ->
+      let resp = P.response_of_json (Json.of_string payload) in
+      if resp.P.r_id = r.P.id || resp.P.r_id = "?" then resp else await ()
+  in
+  await ()
+
+type outcome = { response : P.response; retries : int }
+
+exception Gave_up of string
+
+(* Deterministic jitter: a hash of (id, attempt) spread over [0, 1).
+   Every retry schedule is reproducible from the request alone. *)
+let jitter id attempt =
+  let h = Hashtbl.hash (id, attempt, "snitchd-jitter") in
+  float_of_int (h land 0xffff) /. 65536.
+
+let backoff id attempt =
+  let base = 0.05 *. (2. ** float_of_int (min attempt 5)) in
+  Float.min 1.0 base *. (0.5 +. jitter id attempt)
+
+let request ?(patience_s = 120.) t (r : P.request) =
+  let give_up = Unix.gettimeofday () +. patience_s in
+  let rec go attempt =
+    let sleep_then_retry d why =
+      if Unix.gettimeofday () +. d > give_up then
+        raise
+          (Gave_up
+             (Printf.sprintf "request %s: out of patience after %d attempts (%s)"
+                r.P.id attempt why));
+      Unix.sleepf d;
+      go (attempt + 1)
+    in
+    match rpc_once t r with
+    | resp -> (
+      match resp.P.status with
+      | P.Ok_ | P.Error_ when not resp.P.transient ->
+        { response = resp; retries = attempt }
+      | P.Rejected ->
+        let after =
+          match Json.int "retry_after_ms" (Json.Obj resp.P.body) with
+          | Some ms -> float_of_int ms /. 1000.
+          | None -> 0.1
+        in
+        sleep_then_retry (after *. (0.5 +. jitter r.P.id attempt)) "rejected"
+      | P.Deadline | P.Error_ | P.Ok_ ->
+        (* transient error/deadline (and the impossible transient ok) *)
+        sleep_then_retry (backoff r.P.id attempt) "transient")
+    | exception (Unix.Unix_error _ | P.Protocol_error _ | Json.Parse_error _) ->
+      (* refused connect, daemon restart, torn frame from a truncated
+         write: reconnect and retry under the same id *)
+      disconnect t;
+      sleep_then_retry (backoff r.P.id attempt) "transport"
+  in
+  go 0
+
+(* --- the flood workload --- *)
+
+(* A small deterministic matrix: enough shape and op variety to exercise
+   cache hits, misses and all three executable ops, small enough that a
+   200-request flood completes in CI seconds. *)
+let flood_kernels = [| "matmul"; "relu"; "sum" |]
+let flood_shapes = [| (4, 4, 4); (8, 4, 4); (4, 8, 8) |]
+let flood_flows = [| "ours"; "ours"; "ours"; "baseline" |]
+
+let flood_request ~seed i =
+  (* an LCG keyed on (seed, i): stable across processes, unlike
+     Hashtbl.hash would be across OCaml versions *)
+  let x = ref ((seed * 1_000_003) + (i * 69_069) + 12_345) in
+  let next m =
+    x := ((!x * 1_103_515_245) + 12_345) land 0x3FFFFFFF;
+    !x mod m
+  in
+  let kernel = flood_kernels.(next (Array.length flood_kernels)) in
+  let n, m, k = flood_shapes.(next (Array.length flood_shapes)) in
+  let flow = flood_flows.(next (Array.length flood_flows)) in
+  let op = match next 4 with 0 -> P.Compile | 1 -> P.Check | _ -> P.Run in
+  {
+    P.default_request with
+    P.id = Printf.sprintf "flood-%d-%d" seed i;
+    op;
+    kernel;
+    n;
+    m;
+    k;
+    flow;
+    seed = 42;
+  }
+
+type flood_report = {
+  sent : int;
+  answered : int;
+  f_ok : int;
+  f_failed : int;
+  total_retries : int;
+  digest : string;
+}
+
+let flood ?(socket_path = "snitchd.sock") ?(jobs = 1) ?(seed = 7)
+    ?(patience_s = 120.) ~count () =
+  let jobs = max 1 jobs in
+  let stripe j =
+    let client = create ~socket_path () in
+    Fun.protect
+      ~finally:(fun () -> close client)
+      (fun () ->
+        let acc = ref [] in
+        let i = ref j in
+        while !i < count do
+          let r = flood_request ~seed !i in
+          (match request ~patience_s client r with
+          | outcome -> acc := (r.P.id, Some outcome) :: !acc
+          | exception Gave_up _ -> acc := (r.P.id, None) :: !acc);
+          i := !i + jobs
+        done;
+        !acc)
+  in
+  let results =
+    if jobs = 1 then stripe 0
+    else
+      List.init jobs (fun j -> Domain.spawn (fun () -> stripe j))
+      |> List.concat_map Domain.join
+  in
+  let answered = List.filter_map (fun (id, o) -> Option.map (fun o -> (id, o)) o) results in
+  let cores =
+    List.map (fun (id, o) -> (id, P.stable_core o.response)) answered
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    sent = count;
+    answered = List.length answered;
+    f_ok =
+      List.length
+        (List.filter (fun (_, o) -> o.response.P.status = P.Ok_) answered);
+    f_failed =
+      List.length
+        (List.filter (fun (_, o) -> o.response.P.status <> P.Ok_) answered);
+    total_retries = List.fold_left (fun a (_, o) -> a + o.retries) 0 answered;
+    digest =
+      Digest.to_hex
+        (Digest.string (String.concat "\n" (List.map snd cores)));
+  }

@@ -1,0 +1,63 @@
+(** The snitchd client: one connection, one in-flight request, and the
+    retry loop that makes the daemon's idempotency guarantee usable —
+    any transport failure (refused connect, torn frame, daemon restart)
+    or transient response (injected fault, deadline, overload rejection)
+    is retried with exponential backoff and deterministic per-id jitter,
+    under the same request id, so the daemon never duplicates work. *)
+
+type t
+
+(** No I/O happens until the first request (lazy connect), so a client
+    may be created before its daemon. *)
+val create : ?socket_path:string -> unit -> t
+
+val close : t -> unit
+
+(** One request/response exchange, no retries; raises [Unix.Unix_error]
+    or {!Protocol.Protocol_error} on transport failure. *)
+val rpc_once : t -> Protocol.request -> Protocol.response
+
+type outcome = {
+  response : Protocol.response;
+  retries : int;  (** transport + transient retries before this answer *)
+}
+
+exception Gave_up of string
+  (** {!request} exhausted its patience budget. *)
+
+(** Send with retries until a non-transient response arrives: transport
+    errors reconnect, [Rejected] honours [retry_after_ms], transient
+    errors and deadlines back off exponentially (base 50 ms, factor 2,
+    cap 1 s) with jitter derived from the request id and attempt number
+    — deterministic, no wall-clock randomness. Gives up (raises
+    {!Gave_up}) after [patience_s] (default 120 s) of total waiting. *)
+val request : ?patience_s:float -> t -> Protocol.request -> outcome
+
+type flood_report = {
+  sent : int;
+  answered : int;
+  f_ok : int;
+  f_failed : int;  (** non-ok terminal responses *)
+  total_retries : int;
+  digest : string;
+      (** MD5 over the id-sorted {!Protocol.stable_core}s of every
+          terminal response — the chaos driver's bit-identity probe *)
+}
+
+(** Drive a deterministic mixed workload (run/compile/check over a
+    seed-chosen kernel/shape/flow matrix) of [count] requests through
+    [jobs] client domains. Request ids are [flood-<seed>-<i>], so
+    re-running the same flood against a warm daemon exercises the
+    idempotency path end to end. *)
+val flood :
+  ?socket_path:string ->
+  ?jobs:int ->
+  ?seed:int ->
+  ?patience_s:float ->
+  count:int ->
+  unit ->
+  flood_report
+
+(** The request the flood driver issues at index [i] (exposed so tests
+    can replay a single flood element). *)
+val flood_request : seed:int -> int -> Protocol.request

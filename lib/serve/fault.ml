@@ -1,0 +1,138 @@
+(* Deterministic fault injection, keyed by per-site ordinal hit
+   counters rather than wall clock or randomness: "crash@3" fires on
+   the 3rd supervised request no matter how the pool schedules it. *)
+
+type site = Worker_crash | Slow_request | Truncated_write
+
+exception Injected of string
+
+let site_name = function
+  | Worker_crash -> "crash"
+  | Slow_request -> "slow"
+  | Truncated_write -> "trunc"
+
+let site_index = function
+  | Worker_crash -> 0
+  | Slow_request -> 1
+  | Truncated_write -> 2
+
+(* Armed (ordinal, param) pairs per site, and hit counters. Protected
+   by one mutex: sites fire from pool workers and the select loop
+   concurrently, and firing must be exactly-once per armed ordinal. *)
+let mu = Mutex.create ()
+let armed : (int * float) list array = [| []; []; [] |]
+let counters = [| 0; 0; 0 |]
+let fired_log : string list ref = ref []
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let reset () =
+  locked (fun () ->
+      Array.fill armed 0 3 [];
+      Array.fill counters 0 3 0;
+      fired_log := [])
+
+let arm spec =
+  reset ();
+  let parse_one part =
+    let part = String.trim part in
+    let site, rest =
+      match String.index_opt part '@' with
+      | None -> invalid_arg (Printf.sprintf "fault spec %S: missing @" part)
+      | Some i ->
+        ( String.sub part 0 i,
+          String.sub part (i + 1) (String.length part - i - 1) )
+    in
+    let ordinal, param =
+      match String.index_opt rest ':' with
+      | None -> (rest, None)
+      | Some i ->
+        ( String.sub rest 0 i,
+          Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+    in
+    let ordinal =
+      match int_of_string_opt ordinal with
+      | Some n when n >= 1 -> n
+      | _ ->
+        invalid_arg (Printf.sprintf "fault spec %S: bad ordinal %S" part ordinal)
+    in
+    let param =
+      match param with
+      | None -> 0.2
+      | Some p -> (
+        match float_of_string_opt p with
+        | Some f -> f
+        | None ->
+          invalid_arg (Printf.sprintf "fault spec %S: bad param %S" part p))
+    in
+    let site =
+      match site with
+      | "crash" -> Worker_crash
+      | "slow" -> Slow_request
+      | "trunc" -> Truncated_write
+      | s -> invalid_arg (Printf.sprintf "fault spec %S: unknown site %S" part s)
+    in
+    (site, ordinal, param)
+  in
+  if String.trim spec <> "" then
+    String.split_on_char ',' spec
+    |> List.iter (fun part ->
+           let site, ordinal, param = parse_one part in
+           let i = site_index site in
+           armed.(i) <- (ordinal, param) :: armed.(i))
+
+(* Count a hit; return the armed param if this ordinal fires. *)
+let strike site =
+  locked (fun () ->
+      let i = site_index site in
+      counters.(i) <- counters.(i) + 1;
+      let n = counters.(i) in
+      match List.assoc_opt n armed.(i) with
+      | None -> None
+      | Some param ->
+        fired_log := Printf.sprintf "%s@%d" (site_name site) n :: !fired_log;
+        Some param)
+
+let hit site =
+  match strike site with
+  | None -> ()
+  | Some param -> (
+    match site with
+    | Worker_crash ->
+      raise (Injected (Printf.sprintf "injected worker crash (hit %s)"
+                         (site_name site)))
+    | Slow_request -> Unix.sleepf param
+    | Truncated_write -> ())
+
+let fires site = strike site <> None
+let hits site = locked (fun () -> counters.(site_index site))
+let fired () = locked (fun () -> List.rev !fired_log)
+
+let corrupt_cache_entries ~dir ~n =
+  let entries =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> [||]
+    | files ->
+      let bins =
+        Array.to_list files
+        |> List.filter (fun f -> Filename.check_suffix f ".bin")
+        |> List.sort compare
+      in
+      Array.of_list bins
+  in
+  let count = min n (Array.length entries) in
+  for i = 0 to count - 1 do
+    let path = Filename.concat dir entries.(i) in
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        let off = size / 2 in
+        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        let b = Bytes.make 4 '\xa5' in
+        ignore (Unix.write fd b 0 (min 4 (max 1 (size - off)))))
+  done;
+  count

@@ -1,0 +1,57 @@
+(** Deterministic fault injection for the serving daemon's chaos
+    harness. Faults are {e armed} before the daemon starts (from the
+    [--faults] flag or a test) as a set of (site, ordinal) pairs; each
+    instrumented site keeps a global hit counter and {e fires} exactly
+    when its counter reaches an armed ordinal — so "the 3rd request
+    supervised by a worker crashes" is reproducible regardless of how
+    the domain pool schedules it. *)
+
+(** The injectable fault classes (the ISSUE 8 fault matrix). Disk-cache
+    corruption has no in-process site: it is injected by scribbling on
+    [.mlc-cache] files ({!corrupt_cache_entries}) and exercised through
+    {!Mlc_parallel.Cache}'s quarantine path. Mid-request SIGTERM and
+    kill-and-restart are injected from outside the process by the CI
+    chaos job. *)
+type site =
+  | Worker_crash  (** raise inside the worker supervisor region *)
+  | Slow_request  (** sleep before executing a request *)
+  | Truncated_write  (** write half a response frame, then shut down *)
+
+exception Injected of string
+  (** Raised by a firing {!Worker_crash} site — deliberately not a
+      [Diag.Diagnostic] so it exercises the supervisor's
+      arbitrary-exception path. *)
+
+(** Parse and arm a fault spec: comma-separated [site@ordinal[:param]]
+    with sites [crash], [slow], [trunc]; [param] is the sleep duration
+    in seconds for [slow] (default 0.2). Example:
+    ["crash@3,slow@5:0.5,trunc@7"]. Raises [Invalid_argument] on a
+    malformed spec. Arming replaces the previous spec and resets all
+    hit counters. *)
+val arm : string -> unit
+
+(** Disarm everything and reset the hit counters. *)
+val reset : unit -> unit
+
+(** Count a hit at [site]; if armed for this ordinal, {!Worker_crash}
+    raises {!Injected} and {!Slow_request} sleeps its parameter.
+    {!Truncated_write} never raises or sleeps — the writer asks with
+    {!fires} instead. *)
+val hit : site -> unit
+
+(** Count a hit at [site] and report whether it fires (used by the
+    response writer for {!Truncated_write}). *)
+val fires : site -> bool
+
+(** Total hits recorded at a site (test observability). *)
+val hits : site -> int
+
+(** Fired injections so far, as "site@ordinal" strings in firing order
+    (surfaced by the daemon's [stats] response). *)
+val fired : unit -> string list
+
+(** Chaos-harness helper: flip bytes in the middle of [n] entries (in
+    sorted filename order, for determinism) of an on-disk cache
+    directory, returning how many files were corrupted. The daemon must
+    quarantine and recompute them. *)
+val corrupt_cache_entries : dir:string -> n:int -> int

@@ -1,0 +1,32 @@
+(** A minimal JSON codec for the serving protocol. The container ships
+    no JSON library, and the wire format only ever carries messages this
+    codebase itself produces, so a small exact implementation beats a
+    dependency: objects, arrays, strings (with escapes), ints, floats,
+    bools, null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+(** Parse a complete JSON document; raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+val of_string : string -> t
+
+(** Object-field accessors used by the protocol layer. [mem] returns
+    [None] for a missing field or a non-object; the typed getters
+    return [None] on a type mismatch. *)
+val mem : string -> t -> t option
+
+val str : string -> t -> string option
+val int : string -> t -> int option
+val float : string -> t -> float option
+val bool : string -> t -> bool option

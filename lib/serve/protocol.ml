@@ -1,0 +1,226 @@
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+let max_frame = 16 * 1024 * 1024
+
+(* --- framing --- *)
+
+(* Read exactly [n] bytes; [`Eof got] reports a short read. Retries
+   EINTR; a read of 0 is EOF. *)
+let really_read fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> `Eof off
+      | r -> go (off + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_frame fd =
+  match really_read fd 4 with
+  | `Eof 0 -> `Closed
+  | `Eof _ -> fail "torn frame: EOF inside length prefix"
+  | `Ok hdr ->
+    let len =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if len > max_frame then fail "frame length %d exceeds max %d" len max_frame;
+    (match really_read fd len with
+    | `Ok payload -> `Frame (Bytes.unsafe_to_string payload)
+    | `Eof got -> fail "torn frame: EOF at %d of %d payload bytes" got len)
+
+let really_write fd buf off len =
+  let rec go off len =
+    if len > 0 then
+      match Unix.write fd buf off len with
+      | w -> go (off + w) (len - w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+  in
+  go off len
+
+let write_frame ?(truncate = false) fd payload =
+  let len = String.length payload in
+  if len > max_frame then fail "frame length %d exceeds max %d" len max_frame;
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set hdr 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set hdr 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set hdr 3 (Char.chr (len land 0xff));
+  really_write fd hdr 0 4;
+  let n = if truncate then len / 2 else len in
+  really_write fd (Bytes.unsafe_of_string payload) 0 n
+
+(* --- requests --- *)
+
+type op = Ping | Compile | Run | Check | Stats | Shutdown
+
+let op_name = function
+  | Ping -> "ping"
+  | Compile -> "compile"
+  | Run -> "run"
+  | Check -> "check"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let op_of_name = function
+  | "ping" -> Ping
+  | "compile" -> Compile
+  | "run" -> Run
+  | "check" -> Check
+  | "stats" -> Stats
+  | "shutdown" -> Shutdown
+  | s -> fail "unknown op %S" s
+
+type request = {
+  id : string;
+  op : op;
+  kernel : string;
+  n : int;
+  m : int;
+  k : int;
+  flow : string;
+  seed : int;
+  deadline_ms : int;
+}
+
+let default_request =
+  {
+    id = "";
+    op = Ping;
+    kernel = "matmul";
+    n = 8;
+    m = 8;
+    k = 8;
+    flow = "ours";
+    seed = 42;
+    deadline_ms = 0;
+  }
+
+let json_of_request r =
+  Json.Obj
+    [
+      ("id", Json.Str r.id);
+      ("op", Json.Str (op_name r.op));
+      ("kernel", Json.Str r.kernel);
+      ("n", Json.Int r.n);
+      ("m", Json.Int r.m);
+      ("k", Json.Int r.k);
+      ("flow", Json.Str r.flow);
+      ("seed", Json.Int r.seed);
+      ("deadline_ms", Json.Int r.deadline_ms);
+    ]
+
+let request_of_json j =
+  let str k = match Json.str k j with Some s -> s | None -> fail "missing %s" k in
+  let int_or k d = match Json.int k j with Some i -> i | None -> d in
+  let d = default_request in
+  let id = str "id" in
+  if id = "" then fail "empty request id";
+  {
+    id;
+    op = op_of_name (str "op");
+    kernel = (match Json.str "kernel" j with Some s -> s | None -> d.kernel);
+    n = int_or "n" d.n;
+    m = int_or "m" d.m;
+    k = int_or "k" d.k;
+    flow = (match Json.str "flow" j with Some s -> s | None -> d.flow);
+    seed = int_or "seed" d.seed;
+    deadline_ms = int_or "deadline_ms" d.deadline_ms;
+  }
+
+let payload_digest r =
+  (* The id and deadline identify the attempt, not the work. *)
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            op_name r.op;
+            r.kernel;
+            string_of_int r.n;
+            string_of_int r.m;
+            string_of_int r.k;
+            r.flow;
+            string_of_int r.seed;
+          ]))
+
+(* --- responses --- *)
+
+type status = Ok_ | Error_ | Rejected | Deadline
+
+let status_name = function
+  | Ok_ -> "ok"
+  | Error_ -> "error"
+  | Rejected -> "rejected"
+  | Deadline -> "deadline"
+
+let status_of_name = function
+  | "ok" -> Ok_
+  | "error" -> Error_
+  | "rejected" -> Rejected
+  | "deadline" -> Deadline
+  | s -> fail "unknown status %S" s
+
+type response = {
+  r_id : string;
+  status : status;
+  transient : bool;
+  body : (string * Json.t) list;
+}
+
+let json_of_response r =
+  Json.Obj
+    (("id", Json.Str r.r_id)
+    :: ("status", Json.Str (status_name r.status))
+    :: ("transient", Json.Bool r.transient)
+    :: r.body)
+
+let response_of_json j =
+  match j with
+  | Json.Obj fields ->
+    let get k =
+      match List.assoc_opt k fields with
+      | Some v -> v
+      | None -> fail "response missing %s" k
+    in
+    let r_id = match get "id" with Json.Str s -> s | _ -> fail "bad id" in
+    let status =
+      match get "status" with
+      | Json.Str s -> status_of_name s
+      | _ -> fail "bad status"
+    in
+    let transient =
+      match get "transient" with Json.Bool b -> b | _ -> fail "bad transient"
+    in
+    let body =
+      List.filter
+        (fun (k, _) -> k <> "id" && k <> "status" && k <> "transient")
+        fields
+    in
+    { r_id; status; transient; body }
+  | _ -> fail "response is not an object"
+
+(* Timing, queueing and fault bookkeeping legitimately differ between a
+   fault-free run and a faulted-but-recovered one; the semantic payload
+   must not. *)
+let volatile_fields =
+  [
+    "total_ms"; "queue_ms"; "retry_after_ms"; "degraded"; "shed"; "cached";
+    "attempt"; "worker";
+  ]
+
+let stable_core r =
+  let body =
+    List.filter (fun (k, _) -> not (List.mem k volatile_fields)) r.body
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Json.to_string
+    (Json.Obj
+       (("id", Json.Str r.r_id)
+       :: ("status", Json.Str (status_name r.status))
+       :: body))

@@ -1,0 +1,85 @@
+(** The snitchd wire protocol: length-framed canonical JSON over a Unix
+    domain socket. Every frame is a 4-byte big-endian payload length
+    followed by that many bytes of JSON. Requests carry a client-chosen
+    idempotency [id]; the daemon guarantees that two requests with the
+    same [id] and payload observe exactly one execution. *)
+
+exception Protocol_error of string
+
+(** Frames larger than this are rejected before allocation (a corrupt
+    or malicious length prefix must not OOM the daemon). *)
+val max_frame : int
+
+(** Read one length-framed payload. [`Closed] on clean EOF at a frame
+    boundary; raises {!Protocol_error} on a torn frame (EOF mid-length
+    or mid-payload — the truncated-write fault lands here on the
+    peer). *)
+val read_frame : Unix.file_descr -> [ `Frame of string | `Closed ]
+
+(** Write [payload] as one frame. [truncate:true] writes the length
+    prefix but only half the payload and stops — the injected
+    truncated-write fault. *)
+val write_frame : ?truncate:bool -> Unix.file_descr -> string -> unit
+
+type op =
+  | Ping
+  | Compile  (** compile (or serve cached) artifact; returns asm *)
+  | Run  (** compile + simulate + validate; returns metrics *)
+  | Check  (** compile + lint report on the emitted program *)
+  | Stats  (** daemon counters; never queued, answered inline *)
+  | Shutdown  (** graceful drain-and-exit *)
+
+type request = {
+  id : string;  (** idempotency key, client-chosen, non-empty *)
+  op : op;
+  kernel : string;  (** registry short name (compile/run/check) *)
+  n : int;
+  m : int;
+  k : int;
+  flow : string;  (** "ours" | "ours-unroll_jam" | ... | "baseline" *)
+  seed : int;
+  deadline_ms : int;  (** 0 = server default *)
+}
+
+val default_request : request
+
+(** Encode/decode a request. [request_of_json] raises
+    {!Protocol_error} on a missing/invalid field. *)
+val json_of_request : request -> Json.t
+
+val request_of_json : Json.t -> request
+
+(** Canonical digest of the request fields that define its work (not
+    the id): two ids with equal payload digests are idempotent retries;
+    one id across different digests is a client bug the daemon
+    rejects. *)
+val payload_digest : request -> string
+
+type status =
+  | Ok_
+  | Error_  (** execution failed; [transient] says whether to retry *)
+  | Rejected  (** queue full — back off [retry_after_ms] and retry *)
+  | Deadline  (** cancelled at a checkpoint past its deadline *)
+
+val status_name : status -> string
+val status_of_name : string -> status
+
+(** A response is the request [id], a [status], and a bag of fields
+    ([body]) whose keys depend on the op — kept schemaless here so the
+    server can attach counters without protocol churn. [transient]
+    marks outcomes (injected faults, deadline, rejection) that a client
+    should retry and the idempotency table must never memoize. *)
+type response = {
+  r_id : string;
+  status : status;
+  transient : bool;
+  body : (string * Json.t) list;
+}
+
+val json_of_response : response -> Json.t
+val response_of_json : Json.t -> response
+
+(** The response fields that must be bit-identical across retries,
+    restarts and fault schedules: everything except timing, queueing
+    and degradation bookkeeping. The chaos driver digests these. *)
+val stable_core : response -> string

@@ -1,0 +1,561 @@
+(* The snitchd engine. One select loop owns the listening socket, every
+   connection's reads, and admission; dedicated pool workers execute
+   admitted requests and write their own responses. All shared state
+   (admission depth, idempotency table, counters) lives behind one
+   mutex — request bodies are milliseconds-to-seconds of compile/sim
+   work, so a single lock is nowhere near contended. *)
+
+module P = Protocol
+
+exception Deadline_exceeded
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_max : int;
+  shed_at : int;
+  default_deadline_ms : int;
+  sim_fuel : int;
+  idem_cap : int;
+}
+
+let default_config =
+  {
+    socket_path = "snitchd.sock";
+    jobs = 2;
+    queue_max = 64;
+    shed_at = 48;
+    default_deadline_ms = 60_000;
+    sim_fuel = 200_000_000;
+    idem_cap = 4096;
+  }
+
+(* A connection is shared between the select loop (reads, admission)
+   and pool workers (response writes): [wmu] guards the fd's write side
+   and the lifecycle fields. [pending] counts admitted requests whose
+   response this connection still awaits; the fd is closed only when
+   the select loop has dropped the conn ([alive = false]) AND no worker
+   still holds a send ticket — otherwise a freshly accepted connection
+   could reuse the descriptor number and receive a stale response. *)
+type conn = {
+  fd : Unix.file_descr;
+  wmu : Mutex.t;
+  mutable alive : bool;
+  mutable pending : int;
+}
+
+(* Idempotency entries. [In_flight] collects every connection that asked
+   for the id while it executes; [Done] replays the encoded response
+   bytes verbatim. Transient outcomes (injected faults, deadlines) are
+   never stored as [Done] — a retry must re-execute. *)
+type idem =
+  | In_flight of { digest : string; mutable waiters : conn list }
+  | Done of { digest : string; encoded : string }
+
+type lat = { l_total_ms : float; l_phases : Mlc.Runner.phase_totals }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  pool : Mlc_parallel.Pool.t;
+  mu : Mutex.t;
+  idem : (string, idem) Hashtbl.t;
+  idem_order : string Queue.t;  (** Done-entry FIFO for the cap *)
+  mutable depth : int;  (** admitted, not yet answered *)
+  mutable peak : int;
+  mutable served : int;
+  mutable n_ok : int;
+  mutable n_err : int;
+  mutable n_rejected : int;
+  mutable n_deadline : int;
+  mutable n_shed : int;
+  mutable n_idem : int;
+  mutable lats : lat list;  (** newest first, capped *)
+  stopping : bool Atomic.t;
+}
+
+let lat_cap = 8192
+
+let create ?(config = default_config) () =
+  let cfg = config in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  {
+    cfg;
+    listen_fd;
+    pool = Mlc_parallel.Pool.create ~jobs:(max 1 cfg.jobs) ~dedicated:true ();
+    mu = Mutex.create ();
+    idem = Hashtbl.create 256;
+    idem_order = Queue.create ();
+    depth = 0;
+    peak = 0;
+    served = 0;
+    n_ok = 0;
+    n_err = 0;
+    n_rejected = 0;
+    n_deadline = 0;
+    n_shed = 0;
+    n_idem = 0;
+    lats = [];
+    stopping = Atomic.make false;
+  }
+
+let config t = t.cfg
+let stop t = Atomic.set t.stopping true
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* --- connection lifecycle --- *)
+
+let ticket conn =
+  Mutex.lock conn.wmu;
+  conn.pending <- conn.pending + 1;
+  Mutex.unlock conn.wmu
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A worker returns its send ticket; the last ticket on a dropped conn
+   closes the fd. *)
+let release conn =
+  Mutex.lock conn.wmu;
+  conn.pending <- conn.pending - 1;
+  let close_now = (not conn.alive) && conn.pending = 0 in
+  Mutex.unlock conn.wmu;
+  if close_now then close_fd conn.fd
+
+(* The select loop drops a conn (EOF or torn frame). *)
+let retire conn =
+  Mutex.lock conn.wmu;
+  conn.alive <- false;
+  let close_now = conn.pending = 0 in
+  Mutex.unlock conn.wmu;
+  if close_now then close_fd conn.fd
+
+(* Write one pre-encoded response frame; a firing truncated-write fault
+   sends half the payload and shuts the socket down (shutdown, not
+   close: the fd stays owned, the select loop reaps it on the resulting
+   EOF, so the descriptor number cannot be reused underneath a
+   worker). *)
+let send_raw conn payload =
+  Mutex.lock conn.wmu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wmu)
+    (fun () ->
+      if conn.alive then begin
+        let truncate = Fault.fires Fault.Truncated_write in
+        (try P.write_frame ~truncate conn.fd payload
+         with Unix.Unix_error _ | P.Protocol_error _ -> ());
+        if truncate then
+          try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ()
+      end)
+
+let send conn (resp : P.response) =
+  send_raw conn (Json.to_string (P.json_of_response resp))
+
+let resp ?(transient = false) ~id status body =
+  { P.r_id = id; status; transient; body }
+
+let error_body ?(notes = []) msg =
+  ("message", Json.Str msg)
+  ::
+  (match notes with
+  | [] -> []
+  | ns -> [ ("notes", Json.Arr (List.map (fun n -> Json.Str n) ns)) ])
+
+(* --- request execution (worker side) --- *)
+
+let flags_of_flow flow =
+  match flow with
+  | "ours" -> Some Mlc_transforms.Pipeline.ours
+  | "mlir" -> Some Mlc_transforms.Pipeline.mlir
+  | "clang" -> Some Mlc_transforms.Pipeline.clang
+  | "baseline" -> Some Mlc_transforms.Pipeline.baseline
+  | rung ->
+    (* lattice rung names double as flow names, so a client can pin the
+       exact configuration a degraded run reported *)
+    List.assoc_opt rung
+      (Mlc_transforms.Pipeline.fallback_lattice Mlc_transforms.Pipeline.ours)
+
+let spec_of (r : P.request) =
+  match Mlc_kernels.Registry.by_short_name r.P.kernel with
+  | Some entry ->
+    entry.Mlc_kernels.Registry.instantiate ~n:r.P.n ~m:r.P.m ~k:r.P.k ()
+  | None -> failwith (Printf.sprintf "unknown kernel %S" r.P.kernel)
+
+let output_digest outputs =
+  let buf = Buffer.create 256 in
+  List.iter
+    (Array.iter (fun x -> Buffer.add_int64_le buf (Int64.bits_of_float x)))
+    outputs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let crash_ctx (r : P.request) =
+  {
+    Mlc_diag.Crash_bundle.flags = None;
+    replay =
+      Some
+        (Printf.sprintf "snitchc %s -k %s -n %d -m %d -K %d --flow %s"
+           (match r.P.op with P.Run -> "run" | _ -> "compile")
+           r.P.kernel r.P.n r.P.m r.P.k r.P.flow);
+  }
+
+(* Compile through the shared artifact cache with the same key the
+   runner uses (flags x generic IR text), so a daemon [compile] warms
+   subsequent [run] requests and vice versa. *)
+let compile_cached ~check_deadline ~flags (spec : Mlc_kernels.Builders.spec) =
+  check_deadline ();
+  let m = spec.Mlc_kernels.Builders.build () in
+  let ir_text = Mlc_ir.Printer.to_string m in
+  match Mlc.Compile_cache.lookup ~flags ~ir_text with
+  | `Hit (key, result) -> (key, result, true)
+  | `Miss key ->
+    check_deadline ();
+    let result = Mlc_transforms.Pipeline.compile ~flags ~lint:true m in
+    Mlc.Compile_cache.store ~key result;
+    (key, result, false)
+
+let exec t (r : P.request) ~shed ~check_deadline : P.response =
+  let flow = if shed then "baseline" else r.P.flow in
+  let flags =
+    match flags_of_flow flow with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "unknown flow %S" flow)
+  in
+  let shed_field = if shed then [ ("shed", Json.Bool true) ] else [] in
+  match r.P.op with
+  | P.Ping -> resp ~id:r.P.id P.Ok_ [ ("pong", Json.Bool true) ]
+  | P.Stats | P.Shutdown ->
+    (* answered inline by the select loop; reaching a worker is a bug *)
+    resp ~id:r.P.id P.Error_ (error_body "internal: queued control op")
+  | P.Run ->
+    let spec = spec_of r in
+    let res =
+      Mlc.Runner.run ~flags ~seed:r.P.seed ~fallback:true
+        ~crash_ctx:(crash_ctx r) ~fuel:t.cfg.sim_fuel
+        ~on_phase:(fun _ -> check_deadline ())
+        spec
+    in
+    let m = res.Mlc.Runner.metrics in
+    resp ~id:r.P.id P.Ok_
+      ([
+         ("kernel", Json.Str r.P.kernel);
+         ("flow", Json.Str flow);
+         ("cycles", Json.Int m.Mlc.Runner.cycles);
+         ("fpu_util", Json.Float m.Mlc.Runner.fpu_util);
+         ("flops_per_cycle", Json.Float m.Mlc.Runner.flops_per_cycle);
+         ("max_abs_err", Json.Float res.Mlc.Runner.max_abs_err);
+         ("output_md5", Json.Str (output_digest res.Mlc.Runner.outputs));
+         ( "asm_md5",
+           Json.Str (Digest.to_hex (Digest.string res.Mlc.Runner.asm)) );
+       ]
+      @ (match res.Mlc.Runner.degradation with
+        | None -> []
+        | Some d -> [ ("degraded", Json.Str d.Mlc.Runner.rung) ])
+      @ shed_field)
+  | P.Compile ->
+    let spec = spec_of r in
+    let _key, result, cached = compile_cached ~check_deadline ~flags spec in
+    resp ~id:r.P.id P.Ok_
+      ([
+         ("kernel", Json.Str r.P.kernel);
+         ("flow", Json.Str flow);
+         ("asm", Json.Str result.Mlc_transforms.Pipeline.asm);
+         ( "asm_md5",
+           Json.Str
+             (Digest.to_hex (Digest.string result.Mlc_transforms.Pipeline.asm))
+         );
+         ("cached", Json.Bool cached);
+       ]
+      @ shed_field)
+  | P.Check ->
+    let spec = spec_of r in
+    let key, result, cached = compile_cached ~check_deadline ~flags spec in
+    check_deadline ();
+    let program = Mlc.Compile_cache.program_for ~key result in
+    let findings = Mlc_analysis.Lint.check_program program in
+    let errors = List.length (Mlc_analysis.Lint.errors findings) in
+    resp ~id:r.P.id P.Ok_
+      ([
+         ("kernel", Json.Str r.P.kernel);
+         ("flow", Json.Str flow);
+         ("findings", Json.Int (List.length findings));
+         ("errors", Json.Int errors);
+         ("clean", Json.Bool (errors = 0));
+         ("cached", Json.Bool cached);
+       ]
+      @ shed_field)
+
+(* The worker supervisor: whatever the execution raises becomes one
+   structured response (and, for real faults, a crash bundle) — a
+   worker domain never dies and a request never goes unanswered. *)
+let supervise t (r : P.request) ~shed ~deadline : P.response =
+  let check_deadline () =
+    if Unix.gettimeofday () > deadline then raise Deadline_exceeded
+  in
+  match
+    check_deadline ();
+    Fault.hit Fault.Slow_request;
+    Fault.hit Fault.Worker_crash;
+    exec t r ~shed ~check_deadline
+  with
+  | response -> response
+  | exception Deadline_exceeded ->
+    resp ~transient:true ~id:r.P.id P.Deadline
+      (error_body "deadline exceeded at a cancellation checkpoint")
+  | exception Fault.Injected msg ->
+    (* injected crashes are transient by construction: the retry path
+       must recompute, not replay the failure *)
+    let d = Mlc_diag.Diag.make ~component:"serve" msg in
+    ignore (Mlc_diag.Crash_bundle.write ~ctx:(crash_ctx r) d);
+    resp ~transient:true ~id:r.P.id P.Error_ (error_body msg)
+  | exception exn ->
+    let d = Mlc_diag.Diag.of_exn exn in
+    ignore (Mlc_diag.Crash_bundle.write ~ctx:(crash_ctx r) d);
+    resp ~id:r.P.id P.Error_
+      (error_body
+         ~notes:(List.filteri (fun i _ -> i < 4) d.Mlc_diag.Diag.notes)
+         (Mlc_diag.Diag.summary d))
+
+(* Worker task for one admitted request: execute under the supervisor,
+   fold the domain's phase residue into the committed totals (the PR 7
+   attribution contract — workers drain, one lock commits), record the
+   latency sample, deliver to every waiter, and retire or forget the
+   idempotency entry. *)
+let run_admitted t (r : P.request) ~shed ~deadline =
+  let t0 = Unix.gettimeofday () in
+  let response = supervise t r ~shed ~deadline in
+  let phase_delta = Mlc.Runner.drain_phases () in
+  let total_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let response =
+    {
+      response with
+      P.body = response.P.body @ [ ("total_ms", Json.Float total_ms) ];
+    }
+  in
+  let encoded = Json.to_string (P.json_of_response response) in
+  let waiters =
+    locked t (fun () ->
+        Mlc.Runner.commit_phases phase_delta;
+        t.lats <-
+          { l_total_ms = total_ms; l_phases = phase_delta }
+          ::
+          (if List.length t.lats >= lat_cap then
+             List.filteri (fun i _ -> i < lat_cap - 1) t.lats
+           else t.lats);
+        t.depth <- t.depth - 1;
+        t.served <- t.served + 1;
+        (match response.P.status with
+        | P.Ok_ -> t.n_ok <- t.n_ok + 1
+        | P.Error_ -> t.n_err <- t.n_err + 1
+        | P.Rejected -> t.n_rejected <- t.n_rejected + 1
+        | P.Deadline -> t.n_deadline <- t.n_deadline + 1);
+        match Hashtbl.find_opt t.idem r.P.id with
+        | Some (In_flight { waiters; digest }) ->
+          if response.P.transient then
+            (* never memoize a transient outcome: the retry must
+               re-execute, and it will land on a fresh entry *)
+            Hashtbl.remove t.idem r.P.id
+          else begin
+            Hashtbl.replace t.idem r.P.id (Done { digest; encoded });
+            Queue.push r.P.id t.idem_order;
+            while Queue.length t.idem_order > t.cfg.idem_cap do
+              let old = Queue.pop t.idem_order in
+              match Hashtbl.find_opt t.idem old with
+              | Some (Done _) -> Hashtbl.remove t.idem old
+              | _ -> ()
+            done
+          end;
+          waiters
+        | _ -> [])
+  in
+  List.iter
+    (fun c ->
+      send_raw c encoded;
+      release c)
+    waiters
+
+(* --- stats --- *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let stats_body t =
+  let served, ok, err, rejected, deadline, shed, idem, depth, peak, lats =
+    locked t (fun () ->
+        ( t.served, t.n_ok, t.n_err, t.n_rejected, t.n_deadline, t.n_shed,
+          t.n_idem, t.depth, t.peak, t.lats ))
+  in
+  let totals = Array.of_list (List.map (fun l -> l.l_total_ms) lats) in
+  let compiles =
+    Array.of_list
+      (List.filter_map
+         (fun l ->
+           if l.l_phases.Mlc.Runner.compile_n > 0 then
+             Some (l.l_phases.Mlc.Runner.compile_s *. 1000.)
+           else None)
+         lats)
+  in
+  Array.sort compare totals;
+  Array.sort compare compiles;
+  let ph = Mlc.Runner.phases () in
+  [
+    ("requests", Json.Int served);
+    ("ok", Json.Int ok);
+    ("errors", Json.Int err);
+    ("rejected", Json.Int rejected);
+    ("deadline", Json.Int deadline);
+    ("shed", Json.Int shed);
+    ("idem_hits", Json.Int idem);
+    ("queue_depth", Json.Int depth);
+    ("queue_peak", Json.Int peak);
+    ("cache_hits", Json.Int (Mlc_parallel.Cache.hits ()));
+    ("cache_misses", Json.Int (Mlc_parallel.Cache.misses ()));
+    ("cache_quarantined", Json.Int (Mlc_parallel.Cache.quarantined ()));
+    ("bundles_evicted", Json.Int (Mlc_diag.Crash_bundle.evicted ()));
+    ("p50_ms", Json.Float (percentile totals 0.50));
+    ("p90_ms", Json.Float (percentile totals 0.90));
+    ("p99_ms", Json.Float (percentile totals 0.99));
+    ("compile_p50_ms", Json.Float (percentile compiles 0.50));
+    ("compile_p99_ms", Json.Float (percentile compiles 0.99));
+    ("compile_s", Json.Float ph.Mlc.Runner.compile_s);
+    ("sim_s", Json.Float ph.Mlc.Runner.sim_s);
+    ("load_s", Json.Float ph.Mlc.Runner.load_s);
+    ("compile_n", Json.Int ph.Mlc.Runner.compile_n);
+    ("sim_n", Json.Int ph.Mlc.Runner.sim_n);
+    ("load_n", Json.Int ph.Mlc.Runner.load_n);
+    ("faults_fired", Json.Arr (List.map (fun s -> Json.Str s) (Fault.fired ())));
+  ]
+
+(* --- admission (select-loop side) --- *)
+
+let admit t conn (r : P.request) =
+  let digest = P.payload_digest r in
+  let verdict =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.idem r.P.id with
+        | Some (Done { digest = d; encoded }) ->
+          if d = digest then begin
+            t.n_idem <- t.n_idem + 1;
+            `Replay encoded
+          end
+          else `Payload_mismatch
+        | Some (In_flight entry) ->
+          if entry.digest = digest then begin
+            t.n_idem <- t.n_idem + 1;
+            if not (List.memq conn entry.waiters) then begin
+              ticket conn;
+              entry.waiters <- conn :: entry.waiters
+            end;
+            `Joined
+          end
+          else `Payload_mismatch
+        | None ->
+          if t.depth >= t.cfg.queue_max then `Reject
+          else begin
+            let shed = t.depth >= t.cfg.shed_at in
+            if shed then t.n_shed <- t.n_shed + 1;
+            t.depth <- t.depth + 1;
+            if t.depth > t.peak then t.peak <- t.depth;
+            ticket conn;
+            Hashtbl.replace t.idem r.P.id
+              (In_flight { digest; waiters = [ conn ] });
+            `Admitted shed
+          end)
+  in
+  match verdict with
+  | `Replay encoded ->
+    (* bit-identical by construction: the stored bytes are resent *)
+    send_raw conn encoded
+  | `Joined -> ()
+  | `Payload_mismatch ->
+    send conn
+      (resp ~id:r.P.id P.Error_
+         (error_body "id reused with a different payload"))
+  | `Reject ->
+    locked t (fun () -> t.n_rejected <- t.n_rejected + 1);
+    send conn
+      (resp ~transient:true ~id:r.P.id P.Rejected
+         (error_body "admission queue full"
+         @ [ ("retry_after_ms", Json.Int 100) ]))
+  | `Admitted shed ->
+    let ms =
+      if r.P.deadline_ms > 0 then r.P.deadline_ms else t.cfg.default_deadline_ms
+    in
+    let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+    Mlc_parallel.Pool.submit t.pool (fun () ->
+        run_admitted t r ~shed ~deadline)
+
+(* --- the select loop --- *)
+
+let handle_frame t conn payload =
+  match P.request_of_json (Json.of_string payload) with
+  | exception (Json.Parse_error msg | P.Protocol_error msg) ->
+    send conn (resp ~id:"?" P.Error_ (error_body ("bad request: " ^ msg)))
+  | r -> (
+    match r.P.op with
+    | P.Stats -> send conn (resp ~id:r.P.id P.Ok_ (stats_body t))
+    | P.Shutdown ->
+      send conn (resp ~id:r.P.id P.Ok_ [ ("stopping", Json.Bool true) ]);
+      stop t
+    | P.Ping -> send conn (resp ~id:r.P.id P.Ok_ [ ("pong", Json.Bool true) ])
+    | _ -> admit t conn r)
+
+let serve t =
+  let conns : conn list ref = ref [] in
+  let accepting = ref true in
+  let finished = ref false in
+  while not !finished do
+    (* stop: close the door, then drain admitted work before exiting *)
+    if Atomic.get t.stopping && !accepting then begin
+      accepting := false;
+      close_fd t.listen_fd
+    end;
+    if (not !accepting) && locked t (fun () -> t.depth) = 0 then
+      finished := true
+    else begin
+      let fds =
+        (if !accepting then [ t.listen_fd ] else [])
+        @ List.map (fun c -> c.fd) !conns
+      in
+      match Unix.select fds [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if !accepting && fd = t.listen_fd then begin
+              match Unix.accept t.listen_fd with
+              | cfd, _ ->
+                conns :=
+                  { fd = cfd; wmu = Mutex.create (); alive = true; pending = 0 }
+                  :: !conns
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match List.find_opt (fun c -> c.fd = fd) !conns with
+              | None -> ()
+              | Some conn -> (
+                match P.read_frame conn.fd with
+                | `Frame payload -> handle_frame t conn payload
+                | `Closed ->
+                  conns := List.filter (fun c -> c != conn) !conns;
+                  retire conn
+                | exception (P.Protocol_error _ | Unix.Unix_error _) ->
+                  conns := List.filter (fun c -> c != conn) !conns;
+                  retire conn))
+          readable
+    end
+  done;
+  (* joining the pool flushes every in-flight response before the
+     remaining connections are dropped *)
+  Mlc_parallel.Pool.shutdown t.pool;
+  List.iter retire !conns;
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
+  locked t (fun () -> t.served)

@@ -1,0 +1,56 @@
+(** snitchd's engine: a Unix-domain-socket compile/run/check server over
+    the domain pool and the two-tier artifact cache, with the robustness
+    layer of ISSUE 8 — bounded admission with overload shedding,
+    per-request deadlines with cooperative cancellation, a supervisor
+    that converts any worker exception into a structured error plus a
+    crash bundle, and an idempotency table making client retries
+    exactly-once.
+
+    Threading: {!serve} runs a select loop on the calling domain that
+    owns accepts, reads and admission; execution happens on dedicated
+    pool workers ({!Mlc_parallel.Pool.submit}) which write their own
+    responses under a per-connection mutex. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** pool worker domains (>= 1, dedicated) *)
+  queue_max : int;  (** admitted-but-unfinished cap; beyond: reject *)
+  shed_at : int;
+      (** depth at which new work is shed to the bottom fallback rung
+          (baseline flags) instead of the requested flow; must be
+          [<= queue_max]. Shed responses are marked ["shed": true]. *)
+  default_deadline_ms : int;  (** for requests with [deadline_ms = 0] *)
+  sim_fuel : int;  (** dynamic-instruction cap per simulation *)
+  idem_cap : int;  (** completed idempotency entries kept (FIFO) *)
+}
+
+val default_config : config
+
+type t
+
+(** Bind the socket (unlinking any stale one), start the worker pool,
+    install the SIGPIPE ignore. The server is not accepting until
+    {!serve}. *)
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+(** Accept and serve until {!stop} or a [shutdown] request; drains
+    admitted work, answers it, then closes the socket and joins the
+    pool. Returns the number of requests served. *)
+val serve : t -> int
+
+(** Request a graceful stop from a signal handler or another domain:
+    stop admitting, drain in-flight work, exit {!serve}. *)
+val stop : t -> unit
+
+(** The stats body served for a [stats] request (also handy for tests
+    running the server in-process). Keys include [requests], [ok],
+    [errors], [rejected], [deadline], [shed], [idem_hits],
+    [queue_depth], [queue_peak], [cache_hits], [cache_misses],
+    [cache_quarantined], [bundles_evicted], [p50_ms], [p90_ms],
+    [p99_ms], [compile_p50_ms], [compile_p99_ms], per-phase totals
+    ([compile_s], [sim_s], [load_s], [compile_n], [sim_n], [load_n] —
+    the PR 7 attribution, drained per worker request and committed in
+    the stats lock), and [faults_fired]. *)
+val stats_body : t -> (string * Json.t) list

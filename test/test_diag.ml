@@ -279,6 +279,66 @@ let test_trap_out_of_fuel () =
     Alcotest.(check bool) "state dump reports exhausted fuel" true
       (contains t.Trap.state "fuel left: 0")
 
+(* --- bundle eviction (the serving daemon's disk cap) --- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_bundle_eviction () =
+  let edir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mlc-diag-test-evict"
+  in
+  rm_rf edir;
+  Fun.protect
+    ~finally:(fun () ->
+      Crash_bundle.set_eviction ();
+      Crash_bundle.set_dir bundle_dir;
+      rm_rf edir)
+    (fun () ->
+      Crash_bundle.set_dir edir;
+      let write i =
+        let d =
+          Diag.make ~component:"test"
+            ~ir_before:(String.make 512 (Char.chr (Char.code 'a' + i)))
+            (Printf.sprintf "eviction fodder %d" i)
+        in
+        Option.get (Crash_bundle.write d)
+      in
+      let paths = List.init 4 write in
+      (* Distinct mtimes, oldest first, so the size sweep's victim order
+         is deterministic. *)
+      let now = Unix.gettimeofday () in
+      List.iteri
+        (fun i p ->
+          let t = now -. float_of_int (100 * (4 - i)) in
+          Unix.utimes p t t)
+        paths;
+      let newest = List.nth paths 3 in
+      let newest_size = (Unix.stat newest).Unix.st_size in
+      (* Size cap: room for the newest bundle only. *)
+      Crash_bundle.set_eviction ~max_bytes:(newest_size + 1) ();
+      let ev0 = Crash_bundle.evicted () in
+      Crash_bundle.sweep ();
+      Alcotest.(check int) "three oldest bundles evicted" (ev0 + 3)
+        (Crash_bundle.evicted ());
+      Alcotest.(check bool) "newest bundle survives" true
+        (Sys.file_exists newest);
+      List.iteri
+        (fun i p ->
+          if i < 3 then
+            Alcotest.(check bool)
+              (Printf.sprintf "bundle %d evicted" i)
+              false (Sys.file_exists p))
+        paths;
+      (* Age cap: back-dated bundles go regardless of size. *)
+      Crash_bundle.set_eviction ~max_age_s:60. ();
+      Crash_bundle.sweep ();
+      Alcotest.(check bool) "age-expired bundle evicted" false
+        (Sys.file_exists newest))
+
 let suite =
   [
     ( "diag",
@@ -309,5 +369,7 @@ let suite =
         Alcotest.test_case "trap: unconfigured SSR read" `Quick
           test_trap_unconfigured_ssr;
         Alcotest.test_case "trap: out of fuel" `Quick test_trap_out_of_fuel;
+        Alcotest.test_case "bundle eviction: size and age caps" `Quick
+          test_bundle_eviction;
       ] );
   ]

@@ -134,6 +134,14 @@ let test_disk_tier_and_corruption () =
         (Cache.misses () > misses0);
       Alcotest.(check bool) "recompute after corruption is bit-identical" true
         (cold = recomputed);
+      (* The corrupt file was quarantined aside (renamed, counted), not
+         silently re-read on every subsequent miss. *)
+      Alcotest.(check bool) "corrupt entry counted as quarantined" true
+        (Cache.quarantined () > 0);
+      Alcotest.(check bool) "corrupt entry renamed to .corrupt" true
+        (Array.exists
+           (fun f -> Filename.check_suffix f ".corrupt")
+           (Sys.readdir dir));
       (* The recompute rewrote a valid entry. *)
       Cache.clear_memory ();
       let hits1 = Cache.hits () in
@@ -162,7 +170,7 @@ let test_stale_tmp_reclaimed () =
       let oc = open_out stale in
       output_string oc "half-written entry";
       close_out oc;
-      let old = Unix.gettimeofday () -. Cache.stale_tmp_age_s -. 60.0 in
+      let old = Unix.gettimeofday () -. Cache.stale_tmp_age_s () -. 60.0 in
       Unix.utimes stale old old;
       (* A live concurrent writer's in-flight temp (fresh mtime) and a
          committed entry must both survive the sweep. *)

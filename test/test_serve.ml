@@ -1,0 +1,510 @@
+(* Tests for the serving layer (PR 8): the JSON codec and frame
+   protocol, deterministic fault injection, and the snitchd engine run
+   in-process over real Unix sockets — round trips, idempotent retries,
+   worker-crash supervision, deadlines, truncated-write recovery,
+   overload shedding and rejection, disk-cache bit-identity across a
+   simulated restart, and the qcheck property that a run cancelled at
+   any cooperative checkpoint leaves the cache such that an identical
+   retry is bit-identical to a never-cancelled run. *)
+
+module Json = Mlc_serve.Json
+module Fault = Mlc_serve.Fault
+module P = Mlc_serve.Protocol
+module Server = Mlc_serve.Server
+module Client = Mlc_serve.Client
+module Cache = Mlc_parallel.Cache
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* Sandbox the crash bundles this suite provokes. *)
+let () =
+  Mlc_diag.Crash_bundle.set_dir
+    (Filename.concat (Filename.get_temp_dir_name ()) "mlc-serve-test-bundles")
+
+(* --- JSON codec ------------------------------------------------------ *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "with \"quotes\", a \\ and a \ttab");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("fi", Json.Float 3.0);
+        ("b", Json.Bool true);
+        ("nul", Json.Null);
+        ("arr", Json.Arr [ Json.Int 1; Json.Str "two"; Json.Bool false ]);
+        ("obj", Json.Obj [ ("nested", Json.Arr []) ]);
+      ]
+  in
+  Alcotest.(check bool) "print/parse round trip" true
+    (Json.of_string (Json.to_string v) = v);
+  (* Canonical printing: integral floats keep their ".0" so they
+     re-parse as Float, and control characters escape as \uXXXX. *)
+  Alcotest.(check string) "integral float keeps .0" "{\"f\":3.0}"
+    (Json.to_string (Json.Obj [ ("f", Json.Float 3.0) ]));
+  Alcotest.(check bool) "whitespace tolerated on parse" true
+    (Json.of_string "  { \"a\" : [ 1 , 2 ] }  "
+    = Json.Obj [ ("a", Json.Arr [ Json.Int 1; Json.Int 2 ]) ])
+
+let test_json_errors () =
+  let bad s =
+    match Json.of_string s with
+    | _ -> false
+    | exception Json.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "trailing garbage rejected" true (bad "{} x");
+  Alcotest.(check bool) "unterminated string rejected" true (bad "\"abc");
+  Alcotest.(check bool) "bare word rejected" true (bad "bogus");
+  Alcotest.(check bool) "unclosed object rejected" true (bad "{\"a\":1")
+
+let prop_json_round_trip =
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_bound 3) (fix (fun self n ->
+          let scalar =
+            oneof
+              [
+                map (fun i -> Json.Int i) small_signed_int;
+                map (fun s -> Json.Str s) (string_size (int_bound 8));
+                map (fun b -> Json.Bool b) bool;
+                return Json.Null;
+                map
+                  (fun f -> Json.Float (Float.of_int f /. 8.))
+                  small_signed_int;
+              ]
+          in
+          if n = 0 then scalar
+          else
+            oneof
+              [
+                scalar;
+                map (fun xs -> Json.Arr xs) (list_size (int_bound 4) (self (n - 1)));
+                map
+                  (fun kvs ->
+                    (* object keys must be unique for = comparison *)
+                    Json.Obj
+                      (List.mapi
+                         (fun i v -> (Printf.sprintf "k%d" i, v))
+                         kvs))
+                  (list_size (int_bound 4) (self (n - 1)));
+              ])))
+  in
+  QCheck.Test.make ~name:"json print/parse round trips" ~count:200
+    (QCheck.make ~print:Json.to_string gen)
+    (fun v -> Json.of_string (Json.to_string v) = v)
+
+(* --- framing --------------------------------------------------------- *)
+
+let test_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      P.write_frame a "hello";
+      P.write_frame a "";
+      P.write_frame a (String.make 100_000 'x');
+      Alcotest.(check bool) "frame 1" true (P.read_frame b = `Frame "hello");
+      Alcotest.(check bool) "empty frame" true (P.read_frame b = `Frame "");
+      Alcotest.(check bool) "large frame" true
+        (P.read_frame b = `Frame (String.make 100_000 'x'));
+      (* A truncated write must surface as a torn frame, not data. *)
+      P.write_frame ~truncate:true a "truncated payload";
+      Unix.close a;
+      Alcotest.(check bool) "torn frame raises" true
+        (match P.read_frame b with
+        | exception P.Protocol_error _ -> true
+        | _ -> false))
+
+let test_frame_eof_clean () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close a;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      Alcotest.(check bool) "EOF at frame boundary is `Closed" true
+        (P.read_frame b = `Closed))
+
+(* --- fault injection ------------------------------------------------- *)
+
+let test_fault_determinism () =
+  Fault.reset ();
+  Fun.protect ~finally:Fault.reset (fun () ->
+      Fault.arm "crash@2,trunc@3";
+      Fault.hit Fault.Worker_crash;
+      Alcotest.(check bool) "ordinal 2 fires" true
+        (match Fault.hit Fault.Worker_crash with
+        | exception Fault.Injected _ -> true
+        | () -> false);
+      Fault.hit Fault.Worker_crash;
+      Alcotest.(check int) "hits counted" 3 (Fault.hits Fault.Worker_crash);
+      Alcotest.(check bool) "trunc 1st" false (Fault.fires Fault.Truncated_write);
+      Alcotest.(check bool) "trunc 2nd" false (Fault.fires Fault.Truncated_write);
+      Alcotest.(check bool) "trunc 3rd fires" true
+        (Fault.fires Fault.Truncated_write);
+      Alcotest.(check (list string)) "firing log" [ "crash@2"; "trunc@3" ]
+        (Fault.fired ());
+      Alcotest.(check bool) "bad spec rejected" true
+        (match Fault.arm "bogus" with
+        | exception Invalid_argument _ -> true
+        | () -> false);
+      Fault.reset ())
+
+(* --- the daemon, in process ------------------------------------------ *)
+
+let next_port = ref 0
+
+let with_server ?(jobs = 2) ?(queue_max = 64) ?(shed_at = 64)
+    ?(default_deadline_ms = 60_000) f =
+  incr next_port;
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mlc-serve-test-%d-%d.sock" (Unix.getpid ()) !next_port)
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path;
+      jobs;
+      queue_max;
+      shed_at;
+      default_deadline_ms;
+    }
+  in
+  let server = Server.create ~config () in
+  let dom = Domain.spawn (fun () -> Server.serve server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      ignore (Domain.join dom);
+      Fault.reset ())
+    (fun () -> f ~socket_path ~server)
+
+let run_req ?(id = "r1") ?(kernel = "matmul") ?(flow = "ours")
+    ?(deadline_ms = 0) ?(op = P.Run) () =
+  {
+    P.default_request with
+    P.id;
+    op;
+    kernel;
+    n = 4;
+    m = 4;
+    k = 4;
+    flow;
+    deadline_ms;
+  }
+
+let body_int key (r : P.response) =
+  match Json.int key (Json.Obj r.P.body) with
+  | Some i -> i
+  | None -> Alcotest.failf "response lacks int field %s" key
+
+let stats_int key server =
+  match Json.int key (Json.Obj (Server.stats_body server)) with
+  | Some i -> i
+  | None -> Alcotest.failf "stats lack %s" key
+
+let test_round_trip () =
+  with_server (fun ~socket_path ~server:_ ->
+      let client = Client.create ~socket_path () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let { Client.response; retries } =
+            Client.request client (run_req ())
+          in
+          Alcotest.(check bool) "ok" true (response.P.status = P.Ok_);
+          Alcotest.(check int) "no retries needed" 0 retries;
+          Alcotest.(check bool) "cycles positive" true
+            (body_int "cycles" response > 0)))
+
+let test_idempotency () =
+  with_server (fun ~socket_path ~server ->
+      let client = Client.create ~socket_path () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let r1 = (Client.request client (run_req ~id:"dup" ())).Client.response in
+          let r2 = (Client.request client (run_req ~id:"dup" ())).Client.response in
+          Alcotest.(check string) "bit-identical replay (stable core)"
+            (P.stable_core r1) (P.stable_core r2);
+          Alcotest.(check int) "executed exactly once" 1
+            (stats_int "requests" server);
+          Alcotest.(check int) "replay counted" 1 (stats_int "idem_hits" server);
+          (* Same id, different payload: a client bug, not a replay. *)
+          let r3 =
+            (Client.request client (run_req ~id:"dup" ~kernel:"relu" ()))
+              .Client.response
+          in
+          Alcotest.(check bool) "payload mismatch rejected" true
+            (r3.P.status = P.Error_ && not r3.P.transient)))
+
+let test_worker_crash_supervised () =
+  with_server (fun ~socket_path ~server ->
+      Fault.arm "crash@1";
+      let client = Client.create ~socket_path () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let { Client.response; retries } =
+            Client.request client (run_req ~id:"crashy" ())
+          in
+          Alcotest.(check bool) "retry recovered" true
+            (response.P.status = P.Ok_);
+          Alcotest.(check bool) "at least one retry" true (retries >= 1);
+          Alcotest.(check int) "injected crash surfaced as error" 1
+            (stats_int "errors" server);
+          Alcotest.(check bool) "fault logged" true
+            (List.mem "crash@1" (Fault.fired ()))))
+
+let test_deadline_cancellation () =
+  with_server (fun ~socket_path ~server ->
+      (* Every attempt sleeps 150 ms before reaching the checkpoints, so
+         a 50 ms deadline cancels deterministically; the fourth attempt
+         runs unimpeded. *)
+      Fault.arm "slow@1:0.15,slow@2:0.15,slow@3:0.15";
+      let client = Client.create ~socket_path () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let { Client.response; retries } =
+            Client.request client (run_req ~id:"late" ~deadline_ms:50 ())
+          in
+          Alcotest.(check bool) "eventually ok" true
+            (response.P.status = P.Ok_);
+          Alcotest.(check bool) "retried past the slow attempts" true
+            (retries >= 3);
+          Alcotest.(check bool) "deadline cancellations counted" true
+            (stats_int "deadline" server >= 1)))
+
+let test_truncated_write_retry () =
+  with_server (fun ~socket_path ~server ->
+      Fault.arm "trunc@1";
+      let client = Client.create ~socket_path () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let { Client.response; retries } =
+            Client.request client (run_req ~id:"torn" ())
+          in
+          Alcotest.(check bool) "ok after torn frame" true
+            (response.P.status = P.Ok_);
+          Alcotest.(check bool) "reconnect retry happened" true (retries >= 1);
+          (* The retry replays the memoized response: executed once. *)
+          Alcotest.(check int) "executed exactly once" 1
+            (stats_int "requests" server)))
+
+let test_shed_and_reject () =
+  (* One worker, one admission slot, shedding from depth 0: the first
+     request (slowed so it occupies the slot) sheds to baseline; a
+     second concurrent request is rejected with a retry hint. *)
+  with_server ~jobs:1 ~queue_max:1 ~shed_at:0 (fun ~socket_path ~server ->
+      Fault.arm "slow@1:0.4";
+      let c1 = Client.create ~socket_path () in
+      let c2 = Client.create ~socket_path () in
+      Fun.protect
+        ~finally:(fun () ->
+          Client.close c1;
+          Client.close c2)
+        (fun () ->
+          let d =
+            Domain.spawn (fun () ->
+                Client.request c1 (run_req ~id:"slowpoke" ()))
+          in
+          Unix.sleepf 0.1;
+          (* the slot is held; a bare rpc must be rejected *)
+          let rejected = Client.rpc_once c2 (run_req ~id:"turned-away" ()) in
+          Alcotest.(check bool) "rejected while full" true
+            (rejected.P.status = P.Rejected && rejected.P.transient);
+          Alcotest.(check bool) "retry hint present" true
+            (Json.int "retry_after_ms" (Json.Obj rejected.P.body) <> None);
+          let r1 = (Domain.join d).Client.response in
+          Alcotest.(check bool) "shed request still ok" true
+            (r1.P.status = P.Ok_);
+          Alcotest.(check bool) "shed to the baseline rung" true
+            (Json.str "flow" (Json.Obj r1.P.body) = Some "baseline"
+            && Json.bool "shed" (Json.Obj r1.P.body) = Some true);
+          Alcotest.(check bool) "shed counted" true
+            (stats_int "shed" server >= 1);
+          Alcotest.(check bool) "rejection counted" true
+            (stats_int "rejected" server >= 1)))
+
+let test_restart_bit_identity () =
+  (* A daemon "restart" inside one process: new server, same disk cache
+     directory, memory tier dropped — the warm flood must answer with
+     bit-identical artifacts and compile nothing. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mlc-serve-test-cache"
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_disk_dir None;
+      rm_rf dir)
+    (fun () ->
+      Cache.set_disk_dir (Some dir);
+      Cache.clear_memory ();
+      Mlc.Compile_cache.clear_programs ();
+      let flood socket_path =
+        Client.flood ~socket_path ~jobs:2 ~seed:5 ~count:10 ()
+      in
+      let cold =
+        with_server (fun ~socket_path ~server:_ -> flood socket_path)
+      in
+      Alcotest.(check int) "cold flood all answered" 10
+        cold.Client.answered;
+      (* restart: fresh server state, cold memory, warm disk *)
+      Cache.clear_memory ();
+      Mlc.Compile_cache.clear_programs ();
+      Mlc.Runner.reset_phases ();
+      let warm =
+        with_server (fun ~socket_path ~server:_ -> flood socket_path)
+      in
+      Alcotest.(check string) "restart serves bit-identical artifacts"
+        cold.Client.digest warm.Client.digest;
+      let ph = Mlc.Runner.phases () in
+      Alcotest.(check int) "warm restart compiles nothing" 0
+        ph.Mlc.Runner.compile_n)
+
+let test_cache_corruption_recovery () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mlc-serve-test-corrupt"
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_disk_dir None;
+      rm_rf dir)
+    (fun () ->
+      Cache.set_disk_dir (Some dir);
+      Cache.clear_memory ();
+      Mlc.Compile_cache.clear_programs ();
+      Cache.reset_stats ();
+      let compile id =
+        with_server (fun ~socket_path ~server:_ ->
+            let client = Client.create ~socket_path () in
+            Fun.protect
+              ~finally:(fun () -> Client.close client)
+              (fun () ->
+                (Client.request client (run_req ~id ~op:P.Compile ()))
+                  .Client.response))
+      in
+      let cold = compile "c1" in
+      Alcotest.(check bool) "cold compile ok" true (cold.P.status = P.Ok_);
+      (* Scribble on the stored artifacts, drop the memory tier: the
+         daemon must quarantine and recompute, bit-identically. *)
+      Alcotest.(check bool) "entries corrupted" true
+        (Fault.corrupt_cache_entries ~dir ~n:10 > 0);
+      Cache.clear_memory ();
+      Mlc.Compile_cache.clear_programs ();
+      let recovered = compile "c2" in
+      Alcotest.(check bool) "recovered compile ok" true
+        (recovered.P.status = P.Ok_);
+      Alcotest.(check bool) "artifact identical after quarantine" true
+        (Json.str "asm_md5" (Json.Obj cold.P.body)
+        = Json.str "asm_md5" (Json.Obj recovered.P.body));
+      Alcotest.(check bool) "quarantine counted" true
+        (Cache.quarantined () > 0))
+
+(* --- satellite 3: cancellation at any checkpoint is artifact-safe ---- *)
+
+(* Cancel a cached run at the [n]th cooperative checkpoint, then retry
+   without cancellation: the retry must be bit-identical to a run that
+   was never cancelled (computed on a pristine cache). Exercises every
+   checkpoint the runner emits ("expected", "compile:<rung>",
+   "sim:<rung>") across both cache tiers. *)
+exception Cut
+
+let prop_cancel_then_retry_bit_identical =
+  QCheck.Test.make
+    ~name:"cancelled request retries to a bit-identical artifact" ~count:12
+    QCheck.(
+      make
+        ~print:(fun (cut, kernel) -> Printf.sprintf "cut=%d kernel=%s" cut kernel)
+        Gen.(pair (int_bound 3) (oneofl [ "matmul"; "relu"; "sum" ])))
+    (fun (cut, kernel) ->
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ()) "mlc-serve-test-cancel"
+      in
+      rm_rf dir;
+      Fun.protect
+        ~finally:(fun () ->
+          Cache.set_disk_dir None;
+          rm_rf dir)
+        (fun () ->
+          let spec =
+            (Option.get (Mlc_kernels.Registry.by_short_name kernel))
+              .Mlc_kernels.Registry.instantiate ~n:4 ~m:4 ~k:4 ()
+          in
+          let fingerprint (r : Mlc.Runner.run_result) =
+            ( r.Mlc.Runner.asm,
+              r.Mlc.Runner.metrics,
+              List.map (Array.map Int64.bits_of_float) r.Mlc.Runner.outputs )
+          in
+          (* reference: pristine cache, never cancelled *)
+          Cache.set_disk_dir (Some dir);
+          Cache.clear_memory ();
+          Mlc.Compile_cache.clear_programs ();
+          let reference = fingerprint (Mlc.Runner.run spec) in
+          (* victim: pristine cache again, cancelled at checkpoint [cut] *)
+          rm_rf dir;
+          Cache.set_disk_dir (Some dir);
+          Cache.clear_memory ();
+          Mlc.Compile_cache.clear_programs ();
+          let seen = ref 0 in
+          let cancelled =
+            match
+              Mlc.Runner.run
+                ~on_phase:(fun _ ->
+                  if !seen = cut then raise Cut;
+                  incr seen)
+                spec
+            with
+            | (_ : Mlc.Runner.run_result) -> false
+            | exception Cut -> true
+          in
+          (* checkpoints past the run's count: nothing to cancel *)
+          if not cancelled then QCheck.assume_fail ()
+          else begin
+            let retry = fingerprint (Mlc.Runner.run spec) in
+            if retry <> reference then
+              QCheck.Test.fail_reportf
+                "retry after cancellation at checkpoint %d differs" cut;
+            true
+          end))
+
+let suite =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+        Alcotest.test_case "json malformed inputs" `Quick test_json_errors;
+        QCheck_alcotest.to_alcotest prop_json_round_trip;
+        Alcotest.test_case "length framing" `Quick test_framing;
+        Alcotest.test_case "clean EOF" `Quick test_frame_eof_clean;
+        Alcotest.test_case "fault injection is ordinal-deterministic" `Quick
+          test_fault_determinism;
+        Alcotest.test_case "daemon round trip" `Quick test_round_trip;
+        Alcotest.test_case "idempotent retries execute once" `Quick
+          test_idempotency;
+        Alcotest.test_case "worker crash is supervised" `Quick
+          test_worker_crash_supervised;
+        Alcotest.test_case "deadline cancels at checkpoints" `Quick
+          test_deadline_cancellation;
+        Alcotest.test_case "truncated write recovers by replay" `Quick
+          test_truncated_write_retry;
+        Alcotest.test_case "overload sheds then rejects" `Quick
+          test_shed_and_reject;
+        Alcotest.test_case "restart over warm disk cache is bit-identical"
+          `Quick test_restart_bit_identity;
+        Alcotest.test_case "cache corruption quarantined and recomputed"
+          `Quick test_cache_corruption_recovery;
+        QCheck_alcotest.to_alcotest prop_cancel_then_retry_bit_identical;
+      ] );
+  ]
