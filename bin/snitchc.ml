@@ -76,6 +76,20 @@ let cache_dir_arg =
 
 let set_cache_dir = Mlc_parallel.Cache.set_disk_dir
 
+(* Opt-in disk-cache size cap, enforced oldest-first by the cache's own
+   amortised sweep. 0 (the default) leaves the tier unbounded. *)
+let cache_cap_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-cap-mb" ] ~docv:"MB"
+        ~doc:
+          "Bound the on-disk compile-artifact cache at $(docv) megabytes; \
+           the oldest entries are evicted first (0 = unbounded).")
+
+let set_cache_cap mb =
+  if mb > 0 then
+    Mlc_parallel.Cache.set_eviction ~max_bytes:(mb * 1024 * 1024) ()
+
 let spec_of kernel n m k =
   match Mlc_kernels.Registry.by_short_name kernel with
   | Some entry -> entry.Mlc_kernels.Registry.instantiate ~n ~m ~k ()
@@ -125,12 +139,31 @@ let compile_cmd =
             "Run the machine-code sanitizer on the emitted instruction \
              stream and fail on any error-severity finding.")
   in
-  let run kernel n m k (_, flags) print_ir pretty emit_generic lint =
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Run the IR static analyses (structural verifier, \
+             abstract-interpretation bounds proof, cluster race check) on \
+             the input module and at every pipeline checkpoint, failing on \
+             the first error-severity finding.")
+  in
+  let run kernel n m k (_, flags) print_ir pretty emit_generic lint verify =
     let spec = spec_of kernel n m k in
     let m_ = spec.Mlc_kernels.Builders.build () in
+    if verify then (
+      (* The per-pass checkpoint only covers post-pass states; check the
+         input module too so a bad builder fails before the pipeline. *)
+      match Mlc_verify.Verify.error_of (Mlc_verify.Verify.check_module m_) with
+      | Some d -> raise (Mlc_diag.Diag.Diagnostic d)
+      | None -> ());
+    let checkpoint =
+      if verify then Some Mlc_verify.Verify.checkpoint else None
+    in
     if emit_generic then print_string (Mlc_ir.Printer.to_string m_)
     else if pretty then begin
-      Mlc_ir.Pass.run m_ (Mlc_transforms.Pipeline.passes flags);
+      Mlc_ir.Pass.run ?checkpoint m_ (Mlc_transforms.Pipeline.passes flags);
       let fns =
         Mlc_ir.Ir.collect m_ (fun op ->
             Mlc_ir.Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
@@ -140,7 +173,7 @@ let compile_cmd =
     end
     else if print_ir then begin
       let entries =
-        Mlc_ir.Pass.run_pipeline ~trace:true m_
+        Mlc_ir.Pass.run_pipeline ~trace:true ?checkpoint m_
           (Mlc_transforms.Pipeline.passes flags)
       in
       List.iter
@@ -165,7 +198,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a kernel to Snitch assembly.")
     Term.(
       const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ print_ir
-      $ pretty $ emit_generic $ lint)
+      $ pretty $ emit_generic $ lint $ verify)
 
 let compile_ir_cmd =
   let file_arg =
@@ -174,7 +207,19 @@ let compile_ir_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Textual IR (.mlir) input file.")
   in
-  let run file (flow_name, flags) crash_dir =
+  let verify_at_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "verify-at" ] ~docv:"PASS"
+          ~doc:
+            "Run the pipeline only up to (and including) $(docv) with the \
+             IR static-analysis checkpoint armed after every pass, then \
+             print the surviving IR instead of assembly. On a checkpoint \
+             failure the diagnostic and the IR at the failing checkpoint \
+             are printed to stderr (and captured in the crash bundle).")
+  in
+  let run file (flow_name, flags) crash_dir verify_at =
     set_crash_dir crash_dir;
     let src = In_channel.with_open_text file In_channel.input_all in
     let bundle_ctx =
@@ -195,21 +240,59 @@ let compile_ir_cmd =
         raise (Mlc_diag.Diag.Diagnostic d)
     in
     Mlc_ir.Verifier.verify m;
-    Mlc_ir.Pass.run ~bundle_ctx m (Mlc_transforms.Pipeline.passes flags);
-    let fns =
-      Mlc_ir.Ir.collect m (fun op ->
-          Mlc_ir.Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
-    in
-    List.iter (fun fn -> ignore (Mlc_regalloc.Remat.allocate_with_remat fn)) fns;
-    Mlc_ir.Verifier.verify m;
-    print_string (Mlc_riscv.Asm_emit.emit_module m)
+    match verify_at with
+    | Some target ->
+      let all = Mlc_transforms.Pipeline.passes flags in
+      let rec up_to = function
+        | [] ->
+          Printf.eprintf "compile-ir: no pass named %S in flow %s (have: %s)\n"
+            target flow_name
+            (String.concat ", "
+               (List.map (fun (p : Mlc_ir.Pass.t) -> p.Mlc_ir.Pass.name) all));
+          exit 2
+        | (p : Mlc_ir.Pass.t) :: rest ->
+          if p.Mlc_ir.Pass.name = target then [ p ] else p :: up_to rest
+      in
+      let prefix = up_to all in
+      (match
+         Mlc_ir.Pass.run ~bundle_ctx
+           ~checkpoint:Mlc_verify.Verify.checkpoint m prefix
+       with
+      | () ->
+        Printf.printf "// verify: clean through %d pass%s (up to %s)\n"
+          (List.length prefix)
+          (if List.length prefix = 1 then "" else "es")
+          target;
+        print_string (Mlc_ir.Printer.to_string m)
+      | exception Mlc_ir.Pass.Pass_failed d ->
+        prerr_string (Mlc_diag.Diag.to_string d);
+        prerr_newline ();
+        (match d.Mlc_diag.Diag.ir_before with
+        | Some ir ->
+          Printf.eprintf "--- IR at the failing checkpoint ---\n%s" ir
+        | None -> ());
+        (match Mlc_diag.Crash_bundle.last_bundle () with
+        | Some path -> Printf.eprintf "crash bundle: %s\n" path
+        | None -> ());
+        exit 1)
+    | None ->
+      Mlc_ir.Pass.run ~bundle_ctx m (Mlc_transforms.Pipeline.passes flags);
+      let fns =
+        Mlc_ir.Ir.collect m (fun op ->
+            Mlc_ir.Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
+      in
+      List.iter
+        (fun fn -> ignore (Mlc_regalloc.Remat.allocate_with_remat fn))
+        fns;
+      Mlc_ir.Verifier.verify m;
+      print_string (Mlc_riscv.Asm_emit.emit_module m)
   in
   Cmd.v
     (Cmd.info "compile-ir"
        ~doc:
          "Compile a textual IR file to Snitch assembly (the crash-bundle \
           replay entry point).")
-    Term.(const run $ file_arg $ flow_arg $ crash_dir_arg)
+    Term.(const run $ file_arg $ flow_arg $ crash_dir_arg $ verify_at_arg)
 
 let check_cmd =
   let opt_kernel_arg =
@@ -229,27 +312,41 @@ let check_cmd =
             "Check every registry kernel under every pipeline configuration \
              (the fuzz oracle's config matrix) instead of a single kernel.")
   in
-  let run kernel all n m k (flow_name, flags) jobs cache_dir =
+  let ir_arg =
+    Arg.(
+      value & flag
+      & info [ "ir" ]
+          ~doc:
+            "Check the IR instead of the machine code: re-compile with a \
+             collecting Mlc_verify checkpoint after every pass and report \
+             every structural / bounds / race finding, stamped with the \
+             checkpoint that first surfaced it.")
+  in
+  let run kernel all ir n m k (flow_name, flags) jobs cache_dir cache_cap =
     set_cache_dir cache_dir;
+    set_cache_cap cache_cap;
     let summary =
       if all then
-        Mlc_fuzz.Check_all.run_all ~jobs:(resolve_jobs jobs) ~n ~m ~k ()
+        Mlc_fuzz.Check_all.run_all ~jobs:(resolve_jobs jobs) ~n ~m ~k ~ir ()
       else
         match kernel with
         | None ->
           Printf.eprintf "check: either --kernel or --all is required\n";
           exit 2
         | Some kernel ->
-          Mlc_fuzz.Check_all.run_one ~kernel ~flow:flow_name ~flags ~n ~m ~k ()
+          Mlc_fuzz.Check_all.run_one ~kernel ~flow:flow_name ~flags ~n ~m ~k
+            ~ir ()
     in
     List.iter print_endline summary.Mlc_fuzz.Check_all.lines;
     let checked = summary.Mlc_fuzz.Check_all.checked in
     let errors = summary.Mlc_fuzz.Check_all.errors in
+    let what = if ir then "verify" else "lint" in
     if errors = 0 then
-      Printf.printf "lint: %d kernel/config combination%s clean\n" checked
+      Printf.printf "%s: %d kernel/config combination%s clean\n" what checked
         (if checked = 1 then "" else "s")
     else begin
-      Printf.printf "lint: %d error finding%s across %d combination%s\n" errors
+      Printf.printf "%s: %d error finding%s across %d combination%s\n" what
+        errors
         (if errors = 1 then "" else "s")
         checked
         (if checked = 1 then "" else "s");
@@ -261,12 +358,13 @@ let check_cmd =
        ~doc:
          "Compile a kernel and run the machine-code sanitizer (CFG + \
           dataflow Snitch-contract checks) over the emitted instruction \
-          stream, reporting every finding. With --all the kernel x config \
-          matrix fans out over a domain pool (-j) through the \
-          compile-artifact cache.")
+          stream, reporting every finding; with --ir, run the per-pass IR \
+          verifier and bounds/race abstract interpretation instead. With \
+          --all the kernel x config matrix fans out over a domain pool \
+          (-j) through the compile-artifact cache.")
     Term.(
-      const run $ opt_kernel_arg $ all_arg $ n_arg $ m_arg $ k_arg $ flow_arg
-      $ jobs_arg $ cache_dir_arg)
+      const run $ opt_kernel_arg $ all_arg $ ir_arg $ n_arg $ m_arg $ k_arg
+      $ flow_arg $ jobs_arg $ cache_dir_arg $ cache_cap_arg)
 
 let print_metrics (spec : Mlc_kernels.Builders.spec) (r : Mlc.Runner.run_result) =
   let m = r.Mlc.Runner.metrics in
@@ -464,9 +562,10 @@ let fuzz_cmd =
              report) through the full oracle matrix instead of generating \
              random ones.")
   in
-  let run seed count replay crash_dir jobs cache_dir =
+  let run seed count replay crash_dir jobs cache_dir cache_cap =
     set_crash_dir crash_dir;
     set_cache_dir cache_dir;
+    set_cache_cap cache_cap;
     let report_failures frs =
       List.iter
         (fun fr -> Format.printf "%a@." Mlc_fuzz.Fuzz.pp_failure fr)
@@ -512,7 +611,7 @@ let fuzz_cmd =
           against the reference interpreter.")
     Term.(
       const run $ seed_arg $ count_arg $ replay_arg $ crash_dir_arg $ jobs_arg
-      $ cache_dir_arg)
+      $ cache_dir_arg $ cache_cap_arg)
 
 (* The snitchd client: one-shot requests against a running daemon, plus
    the flood driver the chaos harness uses. Request ids default to a

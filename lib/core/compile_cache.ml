@@ -11,7 +11,10 @@
    like the runner's expected-output memo — prints once, not once per
    lookup. *)
 
-let compiler_version = "snitchc-1.0.0/cache-1"
+(* cache-2: entries are additionally IR-verifier-clean — the per-pass
+   Mlc_verify checkpoint was armed on the compile that produced them, so
+   pre-checkpoint artifacts must be retired. *)
+let compiler_version = "snitchc-1.0.0/cache-2"
 
 let enabled = Atomic.make true
 let set_enabled b = Atomic.set enabled b

@@ -418,11 +418,15 @@ let retryable = function
   | _ -> false
 
 (* Compile one freshly built module under one rung's flags: pass
-   pipeline, register allocation, verification, emission. The single
+   pipeline (with the Mlc_verify bounds/race checkpoint armed after
+   every pass), register allocation, verification, emission. The single
    compile path for both the default and custom-allocator cases. *)
 let compile_rung ~verify_each ~pipeline_of ~allocator ~bundle_ctx flags m :
     Mlc_transforms.Pipeline.result =
-  Mlc_ir.Pass.run ~verify_each ~bundle_ctx m (pipeline_of flags);
+  let checkpoint =
+    if verify_each then Some Mlc_verify.Verify.checkpoint else None
+  in
+  Mlc_ir.Pass.run ~verify_each ~bundle_ctx ?checkpoint m (pipeline_of flags);
   let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
   let allocate =
     match allocator with
@@ -825,6 +829,13 @@ let run_cluster ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
   if tplan.Mlc_transforms.Parallel_tile.threads <> chunks then
     err "parallel tiling split %d chunks, planned %d"
       tplan.Mlc_transforms.Parallel_tile.threads chunks;
+  (* Static race check on the tiled module while the scf.forall is still
+     present: per-chunk cluster.slices must be pairwise disjoint and
+     every write inside the forall slice-derived or thread-private. *)
+  (if verify_each then
+     match Mlc_verify.Verify.error_of (Mlc_verify.Verify.race_findings m) with
+     | Some d -> raise (Mlc_diag.Diag.Diagnostic d)
+     | None -> ());
   Mlc_transforms.Lower_forall.lower m;
   if verify_each then Verifier.verify m;
   (* Compile the tile function through the standard cached path: the
@@ -874,6 +885,46 @@ let run_cluster ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
       scratch_stride = Mlc_riscv.Cluster_wrap.scratch_needed ~halves wargs;
     }
   in
+  (* Prove the cluster's TCDM layout race-free before composing: the
+     shared buffers, each core's private scratch (save area + staged
+     chunks, Staged mode only) and each core's stack must be pairwise
+     disjoint — a DMA-staged chunk landing in live TCDM would corrupt a
+     neighbour silently. *)
+  (if verify_each then
+     let buffers =
+       List.concat
+         (List.map2
+            (fun aspec addr ->
+              match (aspec, addr) with
+              | (Builders.Buf_in shape | Builders.Buf_out shape), Some a ->
+                [
+                  ( Printf.sprintf "buffer@0x%x" a,
+                    a,
+                    Ty.num_elements shape * esz );
+                ]
+              | _ -> [])
+            spec.Builders.args planned_addrs)
+     in
+     let scratch =
+       if mode = Mlc_riscv.Cluster_wrap.Staged then
+         List.init cores (fun c ->
+             ( Printf.sprintf "core %d scratch" c,
+               scratch_base + (c * wplan.Mlc_riscv.Cluster_wrap.scratch_stride),
+               wplan.Mlc_riscv.Cluster_wrap.scratch_stride ))
+       else []
+     in
+     let stacks =
+       List.init cores (fun c ->
+           ( Printf.sprintf "core %d stack" c,
+             scratch_limit + (c * Mlc_sim.Machine.stack_bytes),
+             Mlc_sim.Machine.stack_bytes ))
+     in
+     match
+       Mlc_verify.Verify.error_of
+         (Mlc_verify.Verify.check_staging (buffers @ scratch @ stacks))
+     with
+     | Some d -> raise (Mlc_diag.Diag.Diagnostic d)
+     | None -> ());
   let programs =
     timed_phase Ph_load (fun () ->
         Mlc_riscv.Cluster_wrap.compose wplan ~tile ~entry:spec.Builders.fn_name)

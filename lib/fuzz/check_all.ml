@@ -52,6 +52,48 @@ let check_combo ~n ~m ~k (c : combo) =
     | _ -> ());
     findings
 
+(* Per-pass IR verification for one combo (the `check --ir` mode): the
+   kernel is re-compiled with a *collecting* Mlc_verify checkpoint —
+   bounds/race findings are gathered at the input and after every pass
+   instead of aborting the pipeline, so one sweep reports everything.
+   Findings are deduplicated across checkpoints (an un-lowered access
+   pattern recurs at every level until a pass rewrites it) and stamped
+   with the checkpoint that first surfaced them. Structural failures
+   (the per-pass verifier) surface as Pass_failed and are reported as
+   one finding. The combo always recompiles — the artifact cache keeps
+   no per-checkpoint information. *)
+let check_ir_combo ~n ~m ~k (c : combo) =
+  match Registry.by_short_name c.kernel with
+  | None -> invalid_arg ("check: unknown kernel " ^ c.kernel)
+  | Some entry ->
+    let spec = entry.Registry.instantiate ~n ~m ~k () in
+    let m_ = spec.Builders.build () in
+    let findings = ref [] and seen = Hashtbl.create 8 in
+    let record ~at ds =
+      List.iter
+        (fun d ->
+          let key = Mlc_diag.Diag.summary d in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            findings :=
+              Mlc_diag.Diag.add_note d ("first at checkpoint: " ^ at)
+              :: !findings
+          end)
+        ds
+    in
+    record ~at:"input" (Mlc_verify.Verify.check_module m_);
+    (match
+       Mlc_ir.Pass.run ~verify_each:true
+         ~checkpoint:(fun ~pass_name mod_ ->
+           record ~at:pass_name (Mlc_verify.Verify.analysis_findings mod_))
+         m_
+         (Mlc_transforms.Pipeline.passes c.flags)
+     with
+    | () -> ()
+    | exception Mlc_ir.Pass.Pass_failed d -> record ~at:"pipeline" [ d ]
+    | exception Mlc_diag.Diag.Diagnostic d -> record ~at:"pipeline" [ d ]);
+    List.rev !findings
+
 (* --- cluster lowering configs ---
 
    For every registry kernel and core count, drive the full parallel
@@ -121,21 +163,31 @@ let summarize results =
 (* Every registry kernel under every oracle config, then under the
    cluster lowering at every core count. Combos are independent, so
    they fan out over the pool; findings come back in combo order
-   regardless of [jobs]. *)
-let run_all ?jobs ?(n = 16) ?(m = 16) ?(k = 16) () =
-  let single =
-    List.map (fun c -> `Single c) (combos ())
-  and cluster =
-    List.map (fun c -> `Cluster c) (cluster_combos ())
-  in
-  summarize
-    (Mlc_parallel.Pool.map_list ?jobs
-       (function
-         | `Single c -> (label c, check_combo ~n ~m ~k c)
-         | `Cluster c -> (cluster_label c, check_cluster_combo ~n ~m ~k c))
-       (single @ cluster))
+   regardless of [jobs]. [ir] switches from the machine-code sanitizer
+   to the per-pass IR verifier sweep (cluster combos don't apply: their
+   race discipline is checked inside Runner.run_cluster itself). *)
+let run_all ?jobs ?(n = 16) ?(m = 16) ?(k = 16) ?(ir = false) () =
+  if ir then
+    summarize
+      (Mlc_parallel.Pool.map_list ?jobs
+         (fun c -> (label c, check_ir_combo ~n ~m ~k c))
+         (combos ()))
+  else
+    let single =
+      List.map (fun c -> `Single c) (combos ())
+    and cluster =
+      List.map (fun c -> `Cluster c) (cluster_combos ())
+    in
+    summarize
+      (Mlc_parallel.Pool.map_list ?jobs
+         (function
+           | `Single c -> (label c, check_combo ~n ~m ~k c)
+           | `Cluster c -> (cluster_label c, check_cluster_combo ~n ~m ~k c))
+         (single @ cluster))
 
 (* One kernel under one named flow (the `check -k` path). *)
-let run_one ~kernel ~flow ~flags ?(n = 16) ?(m = 16) ?(k = 16) () =
+let run_one ~kernel ~flow ~flags ?(n = 16) ?(m = 16) ?(k = 16) ?(ir = false) ()
+    =
   let c = { kernel; config = flow; flags } in
-  summarize [ (label c, check_combo ~n ~m ~k c) ]
+  let check = if ir then check_ir_combo else check_combo in
+  summarize [ (label c, check ~n ~m ~k c) ]

@@ -97,11 +97,14 @@ let roundtrip_checkpoints config (entries : Pass.trace_entry list) =
   in
   go None entries
 
-(* Compile under one config with all mid-pipeline oracles armed.
-   Returns the assembly text and the in-place lowered module. *)
+(* Compile under one config with all mid-pipeline oracles armed — the
+   printer->parser fixpoint, the structural verifier, and the Mlc_verify
+   bounds/race checkpoint after every pass. Returns the assembly text
+   and the in-place lowered module. *)
 let compile_checked ?bundle_ctx config flags (m : Ir.op) =
   let entries =
-    Pass.run_pipeline ~verify_each:true ~trace:true ?bundle_ctx m
+    Pass.run_pipeline ~verify_each:true ~trace:true ?bundle_ctx
+      ~checkpoint:Mlc_verify.Verify.checkpoint m
       (Mlc_transforms.Pipeline.passes flags)
   in
   match roundtrip_checkpoints config entries with

@@ -53,7 +53,13 @@ let diag_of_failure ~pass_name ~ir_before ~bt exn =
    pass. When [trace] is set, the IR after each pass is captured (used by
    the CLI's --print-ir-after-all). [bundle_ctx] supplies the pipeline
    flags and replay command recorded in the crash bundle on failure. *)
+(* [checkpoint] is an additional per-pass analysis hook (the IR-level
+   static analyses of [Mlc_verify], injected here to keep the dependency
+   arrow pointing outward): it runs right after post-pass verification
+   and any exception it raises is attributed to the pass just run, with
+   the same crash-bundle treatment. *)
 let run_pipeline ?(verify_each = true) ?(trace = false) ?bundle_ctx
+    ?(checkpoint : (pass_name:string -> Ir.op -> unit) option)
     (m : Ir.op) (passes : t list) : trace_entry list =
   let entries = ref [] in
   let fail ~pass_name ~ir_before exn bt =
@@ -75,11 +81,17 @@ let run_pipeline ?(verify_each = true) ?(trace = false) ?bundle_ctx
          try Verifier.verify m
          with e ->
            fail ~pass_name:pass.name ~ir_before e (Printexc.get_raw_backtrace ()));
+      (match checkpoint with
+      | Some cp -> (
+        try cp ~pass_name:pass.name m
+        with e when not (e = Stdlib.Exit) ->
+          fail ~pass_name:pass.name ~ir_before e (Printexc.get_raw_backtrace ()))
+      | None -> ());
       if trace then
         entries :=
           { pass_name = pass.name; ir_after = Printer.to_string m } :: !entries)
     passes;
   List.rev !entries
 
-let run ?(verify_each = true) ?bundle_ctx m passes =
-  ignore (run_pipeline ~verify_each ~trace:false ?bundle_ctx m passes)
+let run ?(verify_each = true) ?bundle_ctx ?checkpoint m passes =
+  ignore (run_pipeline ~verify_each ~trace:false ?bundle_ctx ?checkpoint m passes)

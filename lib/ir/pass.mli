@@ -20,11 +20,20 @@ type trace_entry = { pass_name : string; ir_after : string }
 (** Run [passes] over module [m]. [verify_each] (default true) runs the
     verifier after every pass; [trace] captures the printed IR after each
     pass (the CLI's --print-ir). [bundle_ctx] supplies the pipeline-flag
-    rendering and replay command recorded in crash bundles. *)
+    rendering and replay command recorded in crash bundles.
+
+    [checkpoint] is an additional per-pass analysis hook (the IR-level
+    static analyses of [Mlc_verify]): it runs right after post-pass
+    verification, and any exception it raises is attributed to the pass
+    just run — same diagnostic provenance, same crash bundle. A
+    checkpoint that pre-attaches [ir_before] to its diagnostic (the IR
+    at the checkpoint, i.e. after the offending pass) keeps that
+    snapshot in the bundle. *)
 val run_pipeline :
   ?verify_each:bool ->
   ?trace:bool ->
   ?bundle_ctx:Mlc_diag.Crash_bundle.ctx ->
+  ?checkpoint:(pass_name:string -> Ir.op -> unit) ->
   Ir.op ->
   t list ->
   trace_entry list
@@ -33,6 +42,7 @@ val run_pipeline :
 val run :
   ?verify_each:bool ->
   ?bundle_ctx:Mlc_diag.Crash_bundle.ctx ->
+  ?checkpoint:(pass_name:string -> Ir.op -> unit) ->
   Ir.op ->
   t list ->
   unit

@@ -94,6 +94,73 @@ let mem_add k (v : Obj.t) =
 
 let disk_path d k = Filename.concat d (k ^ ".bin")
 
+(* --- eviction ---
+
+   Content-addressing de-duplicates entries, but a long-lived cache
+   directory still only grows: every new kernel shape, flag set or
+   compiler-version bump adds entries nothing ever deletes. Opt-in caps
+   (the crash-bundle eviction shape): a total-size bound and an age
+   bound, enforced oldest-mtime-first so the hottest artifacts survive.
+   Eviction is correctness-neutral — an evicted entry is a future miss
+   that recomputes, never a wrong answer. *)
+let size_cap_a = Atomic.make max_int
+let age_cap_a = Atomic.make infinity
+let evict_count = Atomic.make 0
+let writes_since_sweep = Atomic.make 0
+
+let set_eviction ?(max_bytes = max_int) ?(max_age_s = infinity) () =
+  Atomic.set size_cap_a max_bytes;
+  Atomic.set age_cap_a max_age_s
+
+let evicted () = Atomic.get evict_count
+
+let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+(* One pass over <dir>/*.bin: drop entries older than the age cap, then
+   drop oldest-first until the directory fits the size cap. Best-effort
+   throughout — eviction IO must never fail the computation. A reader
+   racing an eviction sees an ordinary miss (open fails → recompute). *)
+let sweep () =
+  match Atomic.get dir with
+  | None -> ()
+  | Some d -> (
+    match Sys.readdir d with
+    | exception Sys_error _ -> ()
+    | entries ->
+      let now = Unix.gettimeofday () in
+      let age_cap = Atomic.get age_cap_a
+      and size_cap = Atomic.get size_cap_a in
+      let live = ref [] in
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".bin" then
+            let path = Filename.concat d f in
+            match Unix.stat path with
+            | exception Unix.Unix_error _ -> ()
+            | st ->
+              if now -. st.Unix.st_mtime > age_cap then begin
+                remove_quiet path;
+                Atomic.incr evict_count
+              end
+              else live := (st.Unix.st_mtime, st.Unix.st_size, path) :: !live)
+        entries;
+      let total = List.fold_left (fun a (_, sz, _) -> a + sz) 0 !live in
+      if total > size_cap then begin
+        let oldest_first =
+          List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) !live
+        in
+        ignore
+          (List.fold_left
+             (fun remaining (_, sz, path) ->
+               if remaining > size_cap then begin
+                 remove_quiet path;
+                 Atomic.incr evict_count;
+                 remaining - sz
+               end
+               else remaining)
+             total oldest_first)
+      end)
+
 (* A corrupt entry is renamed aside rather than left in place: a
    persistently corrupt file would otherwise be re-read, re-hashed and
    re-discarded on every single miss of that key (and [disk_add] may
@@ -142,7 +209,10 @@ let disk_add d k payload =
        output_string oc (Digest.string payload);
        output_string oc payload;
        close_out oc;
-       Sys.rename tmp (disk_path d k)
+       Sys.rename tmp (disk_path d k);
+       (* Amortise the readdir: sweep every 8th write, as the
+          crash-bundle eviction does. *)
+       if Atomic.fetch_and_add writes_since_sweep 1 mod 8 = 0 then sweep ()
      with exn ->
        (try Sys.remove tmp with Sys_error _ -> ());
        raise exn)

@@ -69,3 +69,18 @@ val misses : unit -> int
 val quarantined : unit -> int
 
 val reset_stats : unit -> unit
+
+(** Opt-in disk-tier caps (default: unbounded, the historical
+    behaviour): [max_bytes] bounds the directory's total entry size,
+    [max_age_s] the age of any entry. Enforced by {!sweep} — run
+    automatically every 8th disk write — dropping age-cap violators
+    first and then the oldest-mtime entries until the size cap holds.
+    Eviction is correctness-neutral: an evicted entry is a future miss
+    that recomputes. *)
+val set_eviction : ?max_bytes:int -> ?max_age_s:float -> unit -> unit
+
+(** Run one eviction pass over the disk tier now. *)
+val sweep : unit -> unit
+
+(** Entries evicted since process start. *)
+val evicted : unit -> int

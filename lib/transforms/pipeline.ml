@@ -167,10 +167,18 @@ type result = {
 }
 
 (* Run the full compilation on a module holding linalg-level functions,
-   in place, returning the assembly and per-function statistics. *)
-let compile ?(flags = ours) ?(verify_each = true) ?(lint = false) (m : Ir.op) :
-    result =
-  Pass.run ~verify_each m (passes flags);
+   in place, returning the assembly and per-function statistics.
+   [verify_each] arms both the structural verifier and the Mlc_verify
+   bounds/race checkpoint after every pass; [checkpoint] substitutes the
+   per-pass analysis hook (tests use it to collect verdicts). *)
+let compile ?(flags = ours) ?(verify_each = true) ?checkpoint ?(lint = false)
+    (m : Ir.op) : result =
+  let checkpoint =
+    match checkpoint with
+    | Some _ as cp -> cp
+    | None -> if verify_each then Some Mlc_verify.Verify.checkpoint else None
+  in
+  Pass.run ~verify_each ?checkpoint m (passes flags);
   let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
   let reports =
     List.map

@@ -70,5 +70,16 @@ type result = {
     rematerialisation fallback) and assembly emission. With [~lint:true]
     the emitted instruction stream is additionally run through the
     machine-code sanitizer ({!Mlc_analysis.Lint}); any error-severity
-    finding raises [Mlc_diag.Diag.Diagnostic]. *)
-val compile : ?flags:flags -> ?verify_each:bool -> ?lint:bool -> Ir.op -> result
+    finding raises [Mlc_diag.Diag.Diagnostic].
+
+    [verify_each] (default true) arms both the structural verifier and
+    the {!Mlc_verify.Verify.checkpoint} bounds/race analysis after every
+    pass; [checkpoint] substitutes that per-pass hook (used by tests to
+    collect per-checkpoint verdicts). *)
+val compile :
+  ?flags:flags ->
+  ?verify_each:bool ->
+  ?checkpoint:(pass_name:string -> Ir.op -> unit) ->
+  ?lint:bool ->
+  Ir.op ->
+  result

@@ -1,0 +1,36 @@
+type t = Top | Range of int * int
+
+let top = Top
+let const n = Range (n, n)
+let range lo hi = if lo <= hi then Range (lo, hi) else Range (hi, lo)
+
+let join a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Range (l1, h1), Range (l2, h2) -> Range (min l1 l2, max h1 h2)
+
+let add a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Range (l1, h1), Range (l2, h2) -> Range (l1 + l2, h1 + h2)
+
+let sub a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Range (l1, h1), Range (l2, h2) -> Range (l1 - h2, h1 - l2)
+
+let mul a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Range (l1, h1), Range (l2, h2) ->
+    let p1 = l1 * l2 and p2 = l1 * h2 and p3 = h1 * l2 and p4 = h1 * h2 in
+    Range (min (min p1 p2) (min p3 p4), max (max p1 p2) (max p3 p4))
+
+let within t ~lo ~hi =
+  match t with
+  | Top -> `Unknown
+  | Range (l, h) -> if l >= lo && h <= hi then `Yes else `Escapes
+
+let to_string = function
+  | Top -> "⊤"
+  | Range (l, h) -> if l = h then string_of_int l else Printf.sprintf "[%d, %d]" l h

@@ -1,0 +1,33 @@
+(** The interval abstract domain over machine integers, the lattice the
+    bounds checker ({!Verify.bounds_findings}) interprets index
+    arithmetic in. Intervals are inclusive; [Top] is the unknown
+    element. After lowering, every loop bound and affine coefficient in
+    the structured IR is a compile-time constant, so the domain needs no
+    widening: fixpoints are reached in one pass and the only source of
+    [Top] is a genuinely data-dependent value (an [iter_args] carry, an
+    unrecognised op). *)
+
+type t =
+  | Top  (** any integer *)
+  | Range of int * int  (** [lo, hi], inclusive, lo <= hi *)
+
+val top : t
+val const : int -> t
+
+(** [range lo hi] normalises a possibly-swapped pair. *)
+val range : int -> int -> t
+
+val join : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** Product interval: min/max over the four corner products. *)
+val mul : t -> t -> t
+
+(** Is every point of the interval within [lo, hi] (inclusive)?
+    [`Yes] — provably inside; [`Escapes] — some concrete point lies
+    outside (for the exact post-lowering constants this means a real
+    out-of-bounds access exists); [`Unknown] — [Top], nothing provable. *)
+val within : t -> lo:int -> hi:int -> [ `Yes | `Escapes | `Unknown ]
+
+val to_string : t -> string

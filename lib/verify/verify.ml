@@ -1,0 +1,417 @@
+(* IR-level bounds + race analysis. See verify.mli for the contract.
+
+   The bounds interpreter is a single in-order walk per function: SSA
+   dominance guarantees a value's definition is visited before any use,
+   so with loop-carried values pinned to ⊤ one pass reaches the
+   fixpoint. Intervals are exact boxes — after lowering, every loop
+   bound, affine coefficient and memref shape is a compile-time
+   constant, so `Escapes` is a real out-of-bounds witness, not an
+   artifact of abstraction. *)
+
+open Mlc_ir
+open Mlc_dialects
+module D = Mlc_diag.Diag
+
+type verdict = Proved | Unproved | Oob
+
+let verdict_join a b =
+  match (a, b) with
+  | Oob, _ | _, Oob -> Oob
+  | Unproved, _ | _, Unproved -> Unproved
+  | Proved, Proved -> Proved
+
+let verdict_to_string = function
+  | Proved -> "proved"
+  | Unproved -> "unproved"
+  | Oob -> "out-of-bounds"
+
+let finding ?(severity = D.Error) ?op cls fmt =
+  Format.kasprintf
+    (fun message -> D.make ~severity ?op ~pass:cls ~component:"verify" message)
+    fmt
+
+let errors ds = List.filter (fun d -> d.D.severity = D.Error) ds
+
+let error_of ds =
+  match errors ds with
+  | [] -> None
+  | d :: rest ->
+    Some (List.fold_left (fun acc e -> D.add_note acc (D.summary e)) d rest)
+
+(* ------------------------------------------------------------------ *)
+(* Bounds: interval abstract interpretation                            *)
+(* ------------------------------------------------------------------ *)
+
+type env = { ivals : (int, Interval.t) Hashtbl.t }
+
+let bind env v i = Hashtbl.replace env.ivals (Ir.Value.id v) i
+
+let interval_of env v =
+  match Hashtbl.find_opt env.ivals (Ir.Value.id v) with
+  | Some i -> i
+  | None -> (
+    match Arith.as_constant v with
+    | Some (Attr.Int n) -> Interval.const n
+    | _ -> Interval.top)
+
+(* Interval of one result expression of an affine map evaluated over the
+   iteration box [0, ub_d - 1] per dimension. Exact for linear forms
+   (dimensions are independent); Top on division/modulo or symbols. *)
+let expr_interval (m : Affine.map) ubs expr =
+  match
+    Affine.linear_form ~num_dims:m.Affine.num_dims ~num_syms:m.Affine.num_syms
+      expr
+  with
+  | exception Affine.Not_affine _ -> Interval.top
+  | dcoefs, scoefs, c ->
+    if Array.exists (fun s -> s <> 0) scoefs then Interval.top
+    else begin
+      let lo = ref c and hi = ref c in
+      Array.iteri
+        (fun d coef ->
+          let ub = try List.nth ubs d with _ -> 0 in
+          let a = 0 and b = max 0 (ub - 1) in
+          let p = coef * a and q = coef * b in
+          lo := !lo + min p q;
+          hi := !hi + max p q)
+        dcoefs;
+      Interval.range !lo !hi
+    end
+
+let describe_access v =
+  match Ir.Value.ty v with
+  | Ty.Memref { shape; _ } ->
+    Printf.sprintf "memref<%s>"
+      (String.concat "x" (List.map string_of_int shape))
+  | t -> Ty.to_string t
+
+(* One finding per out-of-range (or undecidable) index. *)
+let check_index ~findings ~opname ~what ~dim iv extent =
+  match Interval.within iv ~lo:0 ~hi:(extent - 1) with
+  | `Yes -> ()
+  | `Escapes ->
+    findings :=
+      finding ~op:opname "bounds"
+        "%s: index %s escapes dimension %d of extent %d" what
+        (Interval.to_string iv) dim extent
+      :: !findings
+  | `Unknown ->
+    findings :=
+      finding ~severity:D.Warning ~op:opname "bounds"
+        "%s: index into dimension %d of extent %d not statically bounded"
+        what dim extent
+      :: !findings
+
+(* Map-based operand accesses (linalg.generic / memref_stream.generic):
+   each map result is an element coordinate of the operand. *)
+let check_mapped_access ~findings ~opname ubs (m : Affine.map) v =
+  match Ir.Value.ty v with
+  | Ty.Memref { shape; _ } ->
+    List.iteri
+      (fun dim expr ->
+        match List.nth_opt shape dim with
+        | None -> ()
+        | Some extent ->
+          check_index ~findings ~opname
+            ~what:(Printf.sprintf "access to %s" (describe_access v))
+            ~dim
+            (expr_interval m ubs expr)
+            extent)
+      m.Affine.exprs
+  | _ -> ()
+
+let rec eval_block env findings blk =
+  Ir.Block.iter_ops blk (fun op -> eval_op env findings op)
+
+and eval_region env findings op =
+  List.iter
+    (fun r -> List.iter (eval_block env findings) (Ir.Region.blocks r))
+    (Ir.Op.regions op)
+
+and eval_op env findings op =
+  let name = Ir.Op.name op in
+  if name = Arith.constant_op then begin
+    match Arith.as_constant (Ir.Op.result op 0) with
+    | Some (Attr.Int n) -> bind env (Ir.Op.result op 0) (Interval.const n)
+    | _ -> ()
+  end
+  else if name = Arith.addi_op then
+    bind env (Ir.Op.result op 0)
+      (Interval.add
+         (interval_of env (Ir.Op.operand op 0))
+         (interval_of env (Ir.Op.operand op 1)))
+  else if name = Arith.subi_op then
+    bind env (Ir.Op.result op 0)
+      (Interval.sub
+         (interval_of env (Ir.Op.operand op 0))
+         (interval_of env (Ir.Op.operand op 1)))
+  else if name = Arith.muli_op then
+    bind env (Ir.Op.result op 0)
+      (Interval.mul
+         (interval_of env (Ir.Op.operand op 0))
+         (interval_of env (Ir.Op.operand op 1)))
+  else if name = Memref.dim_op then begin
+    (* memref.dim of a static shape with a constant dimension index. *)
+    match
+      ( Ir.Value.ty (Ir.Op.operand op 0),
+        interval_of env (Ir.Op.operand op 1) )
+    with
+    | Ty.Memref { shape; _ }, Interval.Range (d, d') when d = d' -> (
+      match List.nth_opt shape d with
+      | Some extent -> bind env (Ir.Op.result op 0) (Interval.const extent)
+      | None -> ())
+    | _ -> ()
+  end
+  else if name = Scf.for_op then begin
+    let lb = interval_of env (Scf.lb op)
+    and ub = interval_of env (Scf.ub op)
+    and step = interval_of env (Scf.step op) in
+    let iv =
+      match (lb, ub, step) with
+      | Interval.Range (llo, _), Interval.Range (_, uhi), Interval.Range (s, _)
+        when s >= 1 ->
+        if uhi - 1 >= llo then Interval.Range (llo, uhi - 1)
+        else Interval.const llo (* body never runs; any value is sound *)
+      | _ -> Interval.top
+    in
+    bind env (Scf.induction_var op) iv;
+    List.iter (fun a -> bind env a Interval.top) (Scf.iter_args op);
+    List.iter (fun r -> bind env r Interval.top) (Ir.Op.results op);
+    eval_block env findings (Scf.body op)
+  end
+  else if name = Scf.forall_op then begin
+    bind env (Scf.thread_id op)
+      (Interval.range 0 (max 0 (Scf.num_threads op - 1)));
+    eval_block env findings (Scf.forall_body op)
+  end
+  else if name = Memref.load_op || name = Memref.store_op then begin
+    (* load: memref :: indices; store: value :: memref :: indices *)
+    let base = if name = Memref.load_op then 0 else 1 in
+    (match Ir.Value.ty (Ir.Op.operand op base) with
+    | Ty.Memref { shape; _ } ->
+      List.iteri
+        (fun dim extent ->
+          check_index ~findings ~opname:name
+            ~what:
+              (Printf.sprintf "%s on %s" name
+                 (describe_access (Ir.Op.operand op base)))
+            ~dim
+            (interval_of env (Ir.Op.operand op (base + 1 + dim)))
+            extent)
+        shape
+    | _ -> ());
+    List.iter (fun r -> bind env r Interval.top) (Ir.Op.results op)
+  end
+  else if name = Linalg.generic_op then begin
+    match Linalg.infer_bounds op with
+    | exception Failure _ -> eval_region env findings op
+    | ubs ->
+      let operands = Linalg.ins op @ Linalg.outs op in
+      let maps = Linalg.indexing_maps op in
+      List.iter2
+        (fun v m -> check_mapped_access ~findings ~opname:name ubs m v)
+        operands maps;
+      eval_region env findings op
+  end
+  else if name = Memref_stream.generic_op then begin
+    let ubs = Memref_stream.bounds op in
+    let operands = Memref_stream.ins op @ Memref_stream.outs op in
+    let maps = Memref_stream.indexing_maps op in
+    List.iter2
+      (fun v m -> check_mapped_access ~findings ~opname:name ubs m v)
+      operands maps;
+    eval_region env findings op
+  end
+  else if name = Memref_stream.streaming_region_op then begin
+    (* Each stream walks flat element offsets: the pattern's coordinate
+       box × row-major strides, plus the optional hoisted offset. *)
+    let streams = Memref_stream.streamed_operands op in
+    let patterns = Memref_stream.patterns op in
+    let offsets = Memref_stream.offset_operands op in
+    List.iteri
+      (fun k v ->
+        match Ir.Value.ty v with
+        | Ty.Memref { shape; _ } ->
+          let p = List.nth patterns k in
+          let m = p.Attr.ip_map in
+          let strides = Ty.row_major_strides shape in
+          let flat =
+            List.fold_left2
+              (fun acc expr stride ->
+                Interval.add acc
+                  (Interval.mul
+                     (expr_interval m p.Attr.ip_ub expr)
+                     (Interval.const stride)))
+              (Interval.const 0) m.Affine.exprs strides
+          in
+          let off =
+            match List.nth_opt offsets k with
+            | Some v -> interval_of env v
+            | None -> Interval.const 0
+          in
+          let total = Interval.add flat off in
+          let n = Ty.num_elements shape in
+          (match Interval.within total ~lo:0 ~hi:(n - 1) with
+          | `Yes -> ()
+          | `Escapes ->
+            findings :=
+              finding ~op:name "bounds"
+                "stream %d over %s: element offsets %s escape [0, %d)" k
+                (describe_access v) (Interval.to_string total) n
+              :: !findings
+          | `Unknown ->
+            findings :=
+              finding ~severity:D.Warning ~op:name "bounds"
+                "stream %d over %s: element offsets not statically bounded"
+                k (describe_access v)
+              :: !findings)
+        | _ -> ())
+      streams;
+    eval_region env findings op
+  end
+  else begin
+    (* Unknown op: results and nested block args stay ⊤ (sound). *)
+    List.iter (fun r -> bind env r Interval.top) (Ir.Op.results op);
+    eval_region env findings op
+  end
+
+let bounds_findings m =
+  let findings = ref [] in
+  Ir.walk_incl m (fun op ->
+      if Ir.Op.name op = Func.func_op then begin
+        let env = { ivals = Hashtbl.create 64 } in
+        eval_block env findings (Func.body op)
+      end);
+  List.rev !findings
+
+let verdict_of ds =
+  if List.exists (fun d -> d.D.severity = D.Error) ds then Oob
+  else if List.exists (fun d -> d.D.severity = D.Warning) ds then Unproved
+  else Proved
+
+let bounds_verdict m = verdict_of (bounds_findings m)
+
+(* ------------------------------------------------------------------ *)
+(* Races: forall/slice discipline + staging disjointness               *)
+(* ------------------------------------------------------------------ *)
+
+let inside_forall forall v =
+  let anchor =
+    match Ir.Value.def v with
+    | Ir.Op_result (o, _) -> Some o
+    | Ir.Block_arg (blk, _) -> Ir.Block.parent_op blk
+  in
+  match anchor with
+  | None -> false
+  | Some o ->
+    Ir.Op.equal o forall
+    || Option.is_some (Ir.ancestor_op o (fun a -> Ir.Op.equal a forall))
+
+let check_forall findings forall =
+  let tid = Scf.thread_id forall in
+  let n = Scf.num_threads forall in
+  let check_write who dest =
+    match Ir.Value.defining_op dest with
+    | Some d when Ir.Op.name d = Cluster.slice_op -> ()
+    | _ when inside_forall forall dest -> () (* thread-private *)
+    | _ ->
+      findings :=
+        finding ~op:who "race"
+          "%s writes to %s, which is neither a cluster.slice of a shared \
+           buffer nor thread-private: the %d forall instances race"
+          who (describe_access dest) n
+        :: !findings
+  in
+  Ir.walk forall (fun op ->
+      let name = Ir.Op.name op in
+      if name = Cluster.slice_op then begin
+        if not (Ir.Value.equal (Ir.Op.operand op 1) tid) then
+          findings :=
+            finding ~op:name "race"
+              "cluster.slice is not keyed by the enclosing scf.forall's \
+               thread id: instances may pick the same block"
+            :: !findings;
+        let parts = Cluster.parts op in
+        if parts <> n then
+          findings :=
+            finding ~op:name "race"
+              "cluster.slice splits %d ways under a %d-thread scf.forall: \
+               per-core blocks are not disjoint"
+              parts n
+            :: !findings
+      end
+      else if name = Memref.store_op then check_write name (Ir.Op.operand op 1)
+      else if name = Linalg.fill_op || name = Memref_stream.fill_op then
+        List.iter
+          (fun v ->
+            match Ir.Value.ty v with
+            | Ty.Memref _ -> check_write name v
+            | _ -> ())
+          (Ir.Op.operands op)
+      else if name = Linalg.generic_op then
+        List.iter
+          (fun v ->
+            match Ir.Value.ty v with
+            | Ty.Memref _ -> check_write name v
+            | _ -> ())
+          (Linalg.outs op)
+      else if name = Memref_stream.generic_op then
+        List.iter
+          (fun v ->
+            match Ir.Value.ty v with
+            | Ty.Memref _ -> check_write name v
+            | _ -> ())
+          (Memref_stream.outs op)
+      else if name = Memref_stream.streaming_region_op then begin
+        let n_in = Memref_stream.num_ins op in
+        List.iteri
+          (fun k v ->
+            if k >= n_in then
+              match Ir.Value.ty v with
+              | Ty.Memref _ -> check_write name v
+              | _ -> ())
+          (Memref_stream.streamed_operands op)
+      end)
+
+let race_findings m =
+  let findings = ref [] in
+  Ir.walk_incl m (fun op ->
+      if Ir.Op.name op = Scf.forall_op then check_forall findings op);
+  List.rev !findings
+
+let check_staging regions =
+  let sorted =
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+      (List.filter (fun (_, _, sz) -> sz > 0) regions)
+  in
+  let rec go acc = function
+    | (l1, b1, s1) :: ((l2, b2, s2) :: _ as rest) ->
+      let acc =
+        if b2 < b1 + s1 then
+          finding "race"
+            "staged TCDM regions overlap: %s [0x%x, +%d) and %s [0x%x, +%d)"
+            l1 b1 s1 l2 b2 s2
+          :: acc
+        else acc
+      in
+      go acc rest
+    | _ -> List.rev acc
+  in
+  go [] sorted
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_findings m = bounds_findings m @ race_findings m
+
+let check_module m =
+  match Verifier.verify_result m with
+  | Error msg -> [ finding "structure" "%s" msg ]
+  | Ok () -> analysis_findings m
+
+let checkpoint ~pass_name:_ m =
+  match error_of (analysis_findings m) with
+  | None -> ()
+  | Some d ->
+    raise (D.Diagnostic { d with D.ir_before = Some (Printer.to_string m) })

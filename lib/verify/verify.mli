@@ -1,0 +1,75 @@
+(** IR-level static analysis over the structured pipeline — the third
+    leg of the correctness tripod (differential fuzzer ⟂ asm lint ⟂ IR
+    verifier). Run as a mandatory checkpoint after every pipeline pass
+    (see {!Mlc_ir.Pass.run_pipeline}'s [checkpoint]), it complements the
+    structural {!Mlc_ir.Verifier} with two semantic analyses:
+
+    - {b bounds}: an interval-domain abstract interpretation
+      ({!Interval}) over structured loops proving every
+      memref/stream/TCDM access in-bounds statically. An [Error]
+      finding means a concrete out-of-bounds access exists (the
+      post-lowering constants make the box analysis exact for linear
+      maps); a [Warning] means the access could not be proven either
+      way (a data-dependent index).
+    - {b race}: every [cluster.slice] under an [scf.forall] must split
+      the buffer exactly [num_threads] ways keyed by the forall's own
+      thread id (pairwise-disjoint per-core row blocks), and every
+      write inside the forall must land in a slice-derived or
+      thread-private buffer. {!check_staging} separately proves the
+      cluster wrapper's DMA-staged TCDM regions disjoint.
+
+    Findings are {!Mlc_diag.Diag.t} values with [component = "verify"]
+    and the check class ("structure", "bounds", "race") in the [pass]
+    field, mirroring {!Mlc_analysis.Lint}'s conventions. *)
+
+open Mlc_ir
+
+(** The bounds checker's three-valued verdict for a module. *)
+type verdict =
+  | Proved  (** every access statically in-bounds *)
+  | Unproved  (** at least one access could not be decided *)
+  | Oob  (** a concrete out-of-bounds access exists *)
+
+(** The weaker of two verdicts ([Oob] < [Unproved] < [Proved]); used to
+    aggregate per-checkpoint verdicts over a whole pipeline. *)
+val verdict_join : verdict -> verdict -> verdict
+
+val verdict_to_string : verdict -> string
+
+(** Interval bounds analysis over every function in the module. *)
+val bounds_findings : Ir.op -> Mlc_diag.Diag.t list
+
+val bounds_verdict : Ir.op -> verdict
+
+(** Cluster race analysis over every [scf.forall] in the module. *)
+val race_findings : Ir.op -> Mlc_diag.Diag.t list
+
+(** [bounds_findings] plus [race_findings] — the semantic layer alone
+    (structural verification is the pass manager's own
+    {!Mlc_ir.Verifier} run). *)
+val analysis_findings : Ir.op -> Mlc_diag.Diag.t list
+
+(** Full standalone check: structural verification first (reported as a
+    "structure" finding, guarding the analyses against corrupt IR),
+    then the semantic analyses. The entry point of
+    [snitchc check --ir] and [compile --verify]. *)
+val check_module : Ir.op -> Mlc_diag.Diag.t list
+
+(** Prove a set of TCDM regions [(label, base, bytes)] pairwise
+    disjoint; overlaps are "race" errors. The cluster runner feeds it
+    the staged buffers, per-core scratch areas and per-core stacks. *)
+val check_staging : (string * int * int) list -> Mlc_diag.Diag.t list
+
+(** The per-pass checkpoint for {!Mlc_ir.Pass.run_pipeline}: raises
+    {!Mlc_diag.Diag.Diagnostic} on the first error-severity analysis
+    finding, with the at-checkpoint IR attached as [ir_before] so the
+    pass manager's crash bundle shows the IR exactly as the offending
+    pass left it. *)
+val checkpoint : pass_name:string -> Ir.op -> unit
+
+(** Error-severity findings only. *)
+val errors : Mlc_diag.Diag.t list -> Mlc_diag.Diag.t list
+
+(** Aggregate errors into one diagnostic (rest as notes), as
+    {!Mlc_analysis.Lint.error_of}. *)
+val error_of : Mlc_diag.Diag.t list -> Mlc_diag.Diag.t option

@@ -1,0 +1,431 @@
+(* Mlc_verify suite: interval-domain unit tests, hand-built
+   out-of-bounds and race modules, the three injected-bug drills (a
+   corruption spliced into the pipeline must be pinned to exactly that
+   pass, with the at-checkpoint IR captured), the golden-kernel sweep
+   (every registry kernel under every oracle config is verifier-clean at
+   every checkpoint), a qcheck differential holding the bounds verdict
+   to the simulator's Access_fault behaviour on 2000 seeded fuzz cases,
+   and the disk-cache eviction contract. *)
+
+module D = Mlc_diag.Diag
+module V = Mlc_verify.Verify
+module I = Mlc_verify.Interval
+module Ir = Mlc_ir.Ir
+module Ty = Mlc_ir.Ty
+module Attr = Mlc_ir.Attr
+module Builder = Mlc_ir.Builder
+module Pass = Mlc_ir.Pass
+module Builtin = Mlc_dialects.Builtin
+module Func = Mlc_dialects.Func
+module Arith = Mlc_dialects.Arith
+module Scf = Mlc_dialects.Scf
+module Memref = Mlc_dialects.Memref
+module Cluster = Mlc_dialects.Cluster
+module FC = Mlc_fuzz.Fuzz_case
+module FO = Mlc_fuzz.Fuzz_oracle
+
+let pp_finding d =
+  Printf.sprintf "%s: %s" (Option.value ~default:"-" d.D.pass) d.D.message
+
+let check_has what substring got =
+  if
+    not
+      (List.exists
+         (fun d ->
+           let s = pp_finding d in
+           let n = String.length substring in
+           let rec scan i =
+             i + n <= String.length s
+             && (String.sub s i n = substring || scan (i + 1))
+           in
+           scan 0)
+         got)
+  then
+    Alcotest.failf "%s: no finding mentions %S among [%s]" what substring
+      (String.concat "; " (List.map pp_finding got))
+
+(* --- interval domain -------------------------------------------------- *)
+
+let interval_ops () =
+  Alcotest.(check string) "join" "[1, 9]"
+    (I.to_string (I.join (I.range 1 4) (I.range 3 9)));
+  Alcotest.(check string) "join top" "⊤" (I.to_string (I.join I.top (I.const 2)));
+  Alcotest.(check string) "add" "[5, 11]"
+    (I.to_string (I.add (I.range 2 4) (I.range 3 7)));
+  Alcotest.(check string) "sub" "[-5, 1]"
+    (I.to_string (I.sub (I.range 2 4) (I.range 3 7)));
+  Alcotest.(check string) "mul mixed signs" "[-8, 12]"
+    (I.to_string (I.mul (I.range (-2) 3) (I.range 1 4)));
+  Alcotest.(check bool) "within yes" true
+    (I.within (I.range 0 3) ~lo:0 ~hi:3 = `Yes);
+  Alcotest.(check bool) "within escapes" true
+    (I.within (I.range 0 4) ~lo:0 ~hi:3 = `Escapes);
+  Alcotest.(check bool) "within unknown" true
+    (I.within I.top ~lo:0 ~hi:3 = `Unknown)
+
+(* --- bounds on hand-built loops --------------------------------------- *)
+
+(* for i in [0, trip): load a[i] against memref<extent x f64>. *)
+let loop_module ~extent ~trip =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let mref = Ty.memref [ extent ] Ty.F64 in
+  let _fn, entry = Func.func b ~name:"f" ~args:[ mref ] ~results:[] in
+  let bb = Builder.at_end entry in
+  let a = Ir.Block.arg entry 0 in
+  let lb = Arith.const_index bb 0 in
+  let ub = Arith.const_index bb trip in
+  let step = Arith.const_index bb 1 in
+  ignore
+    (Scf.for_ bb ~lb ~ub ~step (fun fb iv _ ->
+         ignore (Memref.load fb a [ iv ]);
+         []));
+  Func.return_ bb [];
+  m
+
+let bounds_in_bounds () =
+  let m = loop_module ~extent:4 ~trip:4 in
+  Alcotest.(check (list string)) "no findings" []
+    (List.map pp_finding (V.bounds_findings m));
+  Alcotest.(check string) "verdict" "proved"
+    (V.verdict_to_string (V.bounds_verdict m))
+
+let bounds_oob () =
+  let m = loop_module ~extent:4 ~trip:6 in
+  check_has "oob loop" "index [0, 5] escapes dimension 0 of extent 4"
+    (V.errors (V.bounds_findings m));
+  Alcotest.(check string) "verdict" "out-of-bounds"
+    (V.verdict_to_string (V.bounds_verdict m))
+
+(* --- races on hand-built foralls -------------------------------------- *)
+
+(* An scf.forall over a memref<8x8> argument; [key] selects what the
+   cluster.slice is keyed by, [parts] its split count. *)
+let forall_module ~num_threads ~parts ~key =
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let mref = Ty.memref [ 8; 8 ] Ty.F64 in
+  let _fn, entry = Func.func b ~name:"f" ~args:[ mref ] ~results:[] in
+  let bb = Builder.at_end entry in
+  let a = Ir.Block.arg entry 0 in
+  ignore
+    (Scf.forall bb ~num_threads (fun fb tid ->
+         let k = match key with `Tid -> tid | `Const -> Arith.const_index fb 0 in
+         let s = Cluster.slice fb ~parts ~tid:k a in
+         let z = Arith.const_float fb 0.0 in
+         let i0 = Arith.const_index fb 0 in
+         Memref.store fb z s [ i0; i0 ]));
+  Func.return_ bb [];
+  m
+
+let race_clean () =
+  let m = forall_module ~num_threads:4 ~parts:4 ~key:`Tid in
+  Alcotest.(check (list string)) "no findings" []
+    (List.map pp_finding (V.race_findings m))
+
+let race_wrong_key () =
+  let m = forall_module ~num_threads:4 ~parts:4 ~key:`Const in
+  check_has "constant-keyed slice"
+    "not keyed by the enclosing scf.forall's thread id"
+    (V.errors (V.race_findings m))
+
+let race_parts_mismatch () =
+  let m = forall_module ~num_threads:4 ~parts:2 ~key:`Tid in
+  check_has "parts mismatch" "splits 2 ways under a 4-thread scf.forall"
+    (V.errors (V.race_findings m))
+
+let race_unsliced_write () =
+  (* A store straight into the shared argument: every instance writes
+     the same cell. *)
+  let m = Builtin.create_module () in
+  let b = Builder.at_end (Builtin.module_body m) in
+  let mref = Ty.memref [ 8; 8 ] Ty.F64 in
+  let _fn, entry = Func.func b ~name:"f" ~args:[ mref ] ~results:[] in
+  let bb = Builder.at_end entry in
+  let a = Ir.Block.arg entry 0 in
+  ignore
+    (Scf.forall bb ~num_threads:4 (fun fb _tid ->
+         let z = Arith.const_float fb 0.0 in
+         let i0 = Arith.const_index fb 0 in
+         Memref.store fb z a [ i0; i0 ]));
+  Func.return_ bb [];
+  check_has "shared write" "neither a cluster.slice"
+    (V.errors (V.race_findings m))
+
+let staging_disjointness () =
+  Alcotest.(check (list string)) "disjoint regions clean" []
+    (List.map pp_finding
+       (V.check_staging
+          [ ("a", 0x1000, 256); ("b", 0x1100, 256); ("stack", 0x2000, 512) ]));
+  check_has "overlap detected" "staged TCDM regions overlap"
+    (V.check_staging [ ("a", 0x1000, 512); ("b", 0x1100, 256) ])
+
+(* --- injected-bug drills ---------------------------------------------- *)
+
+(* Splice a mutator pass right after [after] and run the pipeline with
+   the checkpoint armed; the resulting Pass_failed must name the mutator
+   and carry the at-checkpoint IR. *)
+let inject ~after ~name mutate passes =
+  let rec go = function
+    | [] -> Alcotest.failf "drill: no pass named %s to inject after" after
+    | (p : Pass.t) :: rest ->
+      if p.Pass.name = after then p :: Pass.make name mutate :: rest
+      else p :: go rest
+  in
+  go passes
+
+let expect_pinned ~drill ~ir_required run =
+  match run () with
+  | () -> Alcotest.failf "%s: corruption not detected" drill
+  | exception Pass.Pass_failed d ->
+    Alcotest.(check (option string)) (drill ^ " pinned to the mutator")
+      (Some drill) d.D.pass;
+    if ir_required then
+      Alcotest.(check bool) (drill ^ " carries checkpoint IR") true
+        (d.D.ir_before <> None)
+
+let drill_swapped_indices () =
+  (* Swap the two indices of a lowered load on a 4x8 buffer: the [0,7]
+     column index lands in the extent-4 row dimension. *)
+  let spec = Mlc_kernels.Builders.relu ~n:4 ~m:8 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  let drill = "drill-swap-indices" in
+  let mutate m =
+    match
+      Ir.find_first m (fun op ->
+          Ir.Op.name op = Memref.load_op
+          && List.length (Ir.Op.operands op) = 3
+          && not (Ir.Value.equal (Ir.Op.operand op 1) (Ir.Op.operand op 2)))
+    with
+    | None -> Alcotest.fail "drill: no two-index load after lowering"
+    | Some op ->
+      let i = Ir.Op.operand op 1 and j = Ir.Op.operand op 2 in
+      Ir.Op.set_operand op 1 j;
+      Ir.Op.set_operand op 2 i
+  in
+  expect_pinned ~drill ~ir_required:true (fun () ->
+      Pass.run ~checkpoint:V.checkpoint m
+        (inject ~after:"lower-memref-stream-to-loops" ~name:drill mutate
+           (Mlc_transforms.Pipeline.passes Mlc_transforms.Pipeline.baseline)))
+
+let drill_widened_forall () =
+  (* Blow up the forall's thread count out from under a matching slice:
+     parts no longer covers the threads, so blocks are reused. *)
+  let m = forall_module ~num_threads:2 ~parts:2 ~key:`Tid in
+  let drill = "drill-widen-forall" in
+  let mutate m =
+    match Ir.find_first m (fun op -> Ir.Op.name op = Scf.forall_op) with
+    | None -> Alcotest.fail "drill: no forall"
+    | Some op -> Ir.Op.set_attr op "num_threads" (Attr.Int 4)
+  in
+  expect_pinned ~drill ~ir_required:true (fun () ->
+      Pass.run ~checkpoint:V.checkpoint m [ Pass.make drill mutate ])
+
+let drill_broken_dominance () =
+  (* Move a loop bound's defining constant below the loop: the use no
+     longer dominates — the structural verifier's domain. *)
+  let spec = Mlc_kernels.Builders.relu ~n:4 ~m:8 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  let drill = "drill-break-dominance" in
+  let mutate m =
+    match Ir.find_first m (fun op -> Ir.Op.name op = Scf.for_op) with
+    | None -> Alcotest.fail "drill: no scf.for after lowering"
+    | Some for_op -> (
+      match Ir.Value.defining_op (Scf.lb for_op) with
+      | Some c when Ir.Op.name c = Arith.constant_op ->
+        Ir.Op.unlink c;
+        Ir.Op.insert_after ~anchor:for_op c
+      | _ -> Alcotest.fail "drill: loop bound is not a constant")
+  in
+  expect_pinned ~drill ~ir_required:false (fun () ->
+      Pass.run ~checkpoint:V.checkpoint m
+        (inject ~after:"lower-memref-stream-to-loops" ~name:drill mutate
+           (Mlc_transforms.Pipeline.passes Mlc_transforms.Pipeline.baseline)))
+
+(* --- golden kernels: zero findings at every checkpoint ----------------- *)
+
+let golden_kernels_clean () =
+  List.iter
+    (fun (c : Mlc_fuzz.Check_all.combo) ->
+      let findings =
+        Mlc_fuzz.Check_all.check_ir_combo ~n:8 ~m:8 ~k:8 c
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s/%s verifier-clean" c.Mlc_fuzz.Check_all.kernel
+           c.Mlc_fuzz.Check_all.config)
+        []
+        (List.map pp_finding (V.errors findings)))
+    (Mlc_fuzz.Check_all.combos ())
+
+(* --- bounds verdict vs simulator Access_fault differential ------------- *)
+
+(* 2000 deterministically seeded fuzz cases, each compiled under one
+   oracle config (rotating through the matrix) with a collecting
+   checkpoint folding the weakest bounds verdict across all pipeline
+   levels. The invariant: a program every checkpoint proved in-bounds,
+   whose buffers and stack fit the TCDM, must not raise Access_fault —
+   such a trap is a soundness bug in the abstract interpreter. Arena
+   exhaustion (addr = -1) and non-access traps are out of scope. *)
+let footprint_fits (spec : Mlc_kernels.Builders.spec) =
+  let module B = Mlc_kernels.Builders in
+  let elem_bytes = Ty.byte_width spec.B.elem in
+  let bytes =
+    List.fold_left
+      (fun acc -> function
+        | B.Buf_in sh | B.Buf_out sh ->
+          acc + (Ty.num_elements sh * elem_bytes) + 64 (* alignment slack *)
+        | B.Scalar_float _ -> acc)
+      0 spec.B.args
+  in
+  bytes + Mlc_sim.Machine.stack_bytes + 4096 < Mlc_sim.Mem.tcdm_size
+
+let config_counter = ref 0
+
+let bounds_vs_trap_case case =
+  let module B = Mlc_kernels.Builders in
+  let spec = FC.to_spec case in
+  let config, flags =
+    List.nth FO.configs (!config_counter mod List.length FO.configs)
+  in
+  incr config_counter;
+  if not (footprint_fits spec) then true
+  else begin
+    let m = spec.B.build () in
+    let verdict = ref (V.bounds_verdict m) in
+    let collect ~pass_name:_ mod_ =
+      verdict := V.verdict_join !verdict (V.bounds_verdict mod_)
+    in
+    match Mlc_transforms.Pipeline.compile ~flags ~checkpoint:collect m with
+    | exception _ -> true (* compile failures are the oracle's domain *)
+    | result -> (
+      let data =
+        Mlc.Runner.gen_inputs ~seed:(FC.input_seed case) ~elem:spec.B.elem
+          spec.B.args
+      in
+      match
+        Mlc.Runner.simulate ~elem:spec.B.elem ~fn_name:spec.B.fn_name
+          ~args:spec.B.args ~data result.Mlc_transforms.Pipeline.asm
+      with
+      | _ -> true
+      | exception
+          Mlc_sim.Trap.Trap
+            { kind = Mlc_sim.Trap.Access_fault { addr; width }; _ }
+        when addr >= 0 ->
+        if !verdict = V.Proved then
+          QCheck.Test.fail_reportf
+            "%s: %d-byte Access_fault at 0x%x on a program every checkpoint \
+             proved in-bounds (abstract interpreter soundness bug)"
+            config width addr
+        else true
+      | exception _ -> true)
+  end
+
+let prop_bounds_vs_trap =
+  (* Deterministic seeding independent of qcheck's own state, mirroring
+     Fuzz.run's per-case scheme (distinct salt from test_lint's). *)
+  let counter = ref 0 in
+  let gen _st =
+    let st = Random.State.make [| 42; !counter; 0x9E5 |] in
+    incr counter;
+    Mlc_fuzz.Fuzz_gen.gen st
+  in
+  QCheck.Test.make
+    ~name:"bounds verdict never falsely proves a trapping program"
+    ~count:2000
+    (QCheck.make ~print:FC.to_string gen)
+    bounds_vs_trap_case
+
+(* --- disk-cache eviction ---------------------------------------------- *)
+
+let with_temp_cache_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mlc-evict-%d" (Unix.getpid ()))
+  in
+  Mlc_parallel.Cache.set_disk_dir (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+      Mlc_parallel.Cache.set_eviction ();
+      Mlc_parallel.Cache.set_disk_dir None;
+      Mlc_parallel.Cache.clear_memory ();
+      match Sys.readdir dir with
+      | entries ->
+        Array.iter
+          (fun e -> try Sys.remove (Filename.concat dir e) with _ -> ())
+          entries;
+        (try Sys.rmdir dir with _ -> ())
+      | exception Sys_error _ -> ())
+    (fun () -> f dir)
+
+let cache_eviction () =
+  with_temp_cache_dir (fun dir ->
+      let payload = String.make 1024 'x' in
+      let keys =
+        List.init 6 (fun i ->
+            Mlc_parallel.Cache.key ~namespace:"evict-test" ~version:"v1"
+              [ string_of_int i ])
+      in
+      List.iter (fun k -> Mlc_parallel.Cache.add ~key:k payload) keys;
+      let path k = Filename.concat dir (k ^ ".bin") in
+      let live k = Sys.file_exists (path k) in
+      List.iter
+        (fun k -> Alcotest.(check bool) "written" true (live k))
+        keys;
+      let entry_size = (Unix.stat (path (List.hd keys))).Unix.st_size in
+      (* Back-date the first three entries so they are unambiguously the
+         oldest, then cap the directory at three entries' worth. *)
+      let old = Unix.gettimeofday () -. 3600. in
+      List.iteri
+        (fun i k -> if i < 3 then Unix.utimes (path k) old old)
+        keys;
+      let before = Mlc_parallel.Cache.evicted () in
+      Mlc_parallel.Cache.set_eviction ~max_bytes:(3 * entry_size) ();
+      Mlc_parallel.Cache.sweep ();
+      List.iteri
+        (fun i k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "entry %d %s" i (if i < 3 then "evicted" else "kept"))
+            (i >= 3) (live k))
+        keys;
+      Alcotest.(check int) "size-cap evictions counted" (before + 3)
+        (Mlc_parallel.Cache.evicted ());
+      (* Age cap: back-date the survivors and drop everything stale. *)
+      List.iter (fun k -> if live k then Unix.utimes (path k) old old) keys;
+      Mlc_parallel.Cache.set_eviction ~max_age_s:60. ();
+      Mlc_parallel.Cache.sweep ();
+      List.iter
+        (fun k -> Alcotest.(check bool) "age-capped away" false (live k))
+        keys;
+      Alcotest.(check int) "age-cap evictions counted" (before + 6)
+        (Mlc_parallel.Cache.evicted ()))
+
+let suite =
+  [
+    ( "verify",
+      [
+        Alcotest.test_case "interval arithmetic and ordering" `Quick
+          interval_ops;
+        Alcotest.test_case "bounds: in-bounds loop proved" `Quick
+          bounds_in_bounds;
+        Alcotest.test_case "bounds: concrete out-of-bounds loop" `Quick
+          bounds_oob;
+        Alcotest.test_case "race: tid-keyed full split is clean" `Quick
+          race_clean;
+        Alcotest.test_case "race: constant-keyed slice" `Quick race_wrong_key;
+        Alcotest.test_case "race: slice parts / thread-count mismatch" `Quick
+          race_parts_mismatch;
+        Alcotest.test_case "race: unsliced shared write" `Quick
+          race_unsliced_write;
+        Alcotest.test_case "staging disjointness" `Quick staging_disjointness;
+        Alcotest.test_case "drill: swapped load indices pinned" `Quick
+          drill_swapped_indices;
+        Alcotest.test_case "drill: widened forall pinned" `Quick
+          drill_widened_forall;
+        Alcotest.test_case "drill: broken dominance pinned" `Quick
+          drill_broken_dominance;
+        Alcotest.test_case "golden kernels clean at every checkpoint" `Slow
+          golden_kernels_clean;
+        QCheck_alcotest.to_alcotest prop_bounds_vs_trap;
+        Alcotest.test_case "disk-cache eviction caps" `Quick cache_eviction;
+      ] );
+  ]
