@@ -18,7 +18,7 @@
    (EXPERIMENTS.md records both).
 
    Flags:
-     --json      write BENCH_PR8.json with per-section host wall-clock,
+     --json      write BENCH_PR10.json with per-section host wall-clock,
                  simulated-cycle tallies and compile/load/sim phase
                  breakdown, the fig11 fast-path speedup, the Bechamel
                  estimates, and the jobs/wall-time/cache counters of
@@ -205,12 +205,20 @@ let table2 () =
 (* --- Figure 10 --- *)
 
 let fig10 ~pool () =
-  section "Figure 10: FPU utilisation, prototype compiler vs MLIR vs Clang";
+  section "Figure 10: FPU utilisation, prototype compiler vs MLIR vs Clang vs RVV";
+  (* The three paper flows target Snitch; the fourth column reruns the
+     "ours" schedule through the RVV backend (same front half, vector
+     lowering instead of SSR/FREP) as the retargetability check. *)
   let flows =
-    [ ("ours", Pipeline.ours); ("mlir", Pipeline.mlir); ("clang", Pipeline.clang) ]
+    [
+      ("ours", Pipeline.ours, Backend.snitch);
+      ("mlir", Pipeline.mlir, Backend.snitch);
+      ("clang", Pipeline.clang, Backend.snitch);
+      ("rvv", Pipeline.ours, Backend.rvv);
+    ]
   in
-  Printf.printf "%-10s %-10s %10s %10s %10s\n" "Kernel" "Shape" "ours %" "mlir %"
-    "clang %";
+  Printf.printf "%-10s %-10s %10s %10s %10s %10s\n" "Kernel" "Shape" "ours %"
+    "mlir %" "clang %" "rvv %";
   (* One pool item per kernel x shape cell; workers run the three flows
      and return the results, the main domain prints and tallies in cell
      order. *)
@@ -230,9 +238,9 @@ let fig10 ~pool () =
       (fun ((e : Mlc_kernels.Registry.entry), (n, m, k)) ->
         let row =
           List.map
-            (fun (_, flags) ->
+            (fun (_, flags, backend) ->
               let spec = e.Mlc_kernels.Registry.instantiate ~n ~m ~k () in
-              let r = Mlc.Runner.run ~flags spec in
+              let r = Mlc.Runner.run ~flags ~backend spec in
               assert (r.Mlc.Runner.max_abs_err < 1e-6);
               (spec, r))
             flows
@@ -247,11 +255,11 @@ let fig10 ~pool () =
       Mlc.Runner.commit_phases ph;
       List.iter (fun (spec, r) -> tally spec r) row;
       match List.map (fun (_, r) -> r.Mlc.Runner.metrics.fpu_util) row with
-      | [ a; b; c ] ->
-        Printf.printf "%-10s %-10s %10.1f %10.1f %10.1f\n"
+      | [ a; b; c; d ] ->
+        Printf.printf "%-10s %-10s %10.1f %10.1f %10.1f %10.1f\n"
           e.Mlc_kernels.Registry.name
           (Printf.sprintf "%dx%dx%d" n m k)
-          a b c
+          a b c d
       | _ -> assert false)
     cells rows
 
@@ -729,7 +737,7 @@ let write_json ~path ~smoke ~reps ~jobs ~cache_enabled ~total_wall ~speedup
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"bench\": \"PR8\",\n";
+  add "  \"bench\": \"PR10\",\n";
   add "  \"smoke\": %b,\n" smoke;
   add "  \"jobs\": %d,\n" jobs;
   add "  \"host_wall_total_s\": %.6f,\n" total_wall;
@@ -859,7 +867,7 @@ let () =
   let total_wall = Unix.gettimeofday () -. t_start in
   if phases then print_phase_table ();
   if json then
-    write_json ~path:"BENCH_PR8.json" ~smoke ~reps ~jobs ~cache_enabled
+    write_json ~path:"BENCH_PR10.json" ~smoke ~reps ~jobs ~cache_enabled
       ~total_wall ~speedup ~bech;
   print_newline ();
   print_endline

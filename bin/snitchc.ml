@@ -20,6 +20,43 @@ let flow_conv =
   let print fmt (name, _) = Format.pp_print_string fmt name in
   Arg.conv (parse, print)
 
+(* Backend targets resolve through the Backend registry so the error
+   path always lists exactly the linked-in backends. *)
+let target_conv =
+  let parse s =
+    match Mlc_transforms.Backend.by_name s with
+    | Some b -> Ok b
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown target %S (have: %s)" s
+             (String.concat ", "
+                (List.map
+                   (fun (b : Mlc_transforms.Backend.t) ->
+                     b.Mlc_transforms.Backend.name)
+                   Mlc_transforms.Backend.all))))
+  in
+  let print fmt (b : Mlc_transforms.Backend.t) =
+    Format.pp_print_string fmt b.Mlc_transforms.Backend.name
+  in
+  Arg.conv (parse, print)
+
+let target_arg =
+  Arg.(
+    value
+    & opt target_conv Mlc_transforms.Backend.snitch
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          (Printf.sprintf
+             "Backend target: one of %s. The front half of the pipeline is \
+              shared; the target supplies the lowering tail, machine \
+              parameters and lint classes."
+             (String.concat ", "
+                (List.map
+                   (fun (b : Mlc_transforms.Backend.t) ->
+                     b.Mlc_transforms.Backend.name)
+                   Mlc_transforms.Backend.all))))
+
 let kernel_arg =
   Arg.(
     required
@@ -149,9 +186,11 @@ let compile_cmd =
              the input module and at every pipeline checkpoint, failing on \
              the first error-severity finding.")
   in
-  let run kernel n m k (_, flags) print_ir pretty emit_generic lint verify =
+  let run kernel n m k (_, flags) backend print_ir pretty emit_generic lint
+      verify =
     let spec = spec_of kernel n m k in
     let m_ = spec.Mlc_kernels.Builders.build () in
+    let passes = Mlc_transforms.Backend.passes_for backend flags in
     if verify then (
       (* The per-pass checkpoint only covers post-pass states; check the
          input module too so a bad builder fails before the pipeline. *)
@@ -163,7 +202,7 @@ let compile_cmd =
     in
     if emit_generic then print_string (Mlc_ir.Printer.to_string m_)
     else if pretty then begin
-      Mlc_ir.Pass.run ?checkpoint m_ (Mlc_transforms.Pipeline.passes flags);
+      Mlc_ir.Pass.run ?checkpoint m_ passes;
       let fns =
         Mlc_ir.Ir.collect m_ (fun op ->
             Mlc_ir.Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
@@ -173,8 +212,7 @@ let compile_cmd =
     end
     else if print_ir then begin
       let entries =
-        Mlc_ir.Pass.run_pipeline ~trace:true ?checkpoint m_
-          (Mlc_transforms.Pipeline.passes flags)
+        Mlc_ir.Pass.run_pipeline ~trace:true ?checkpoint m_ passes
       in
       List.iter
         (fun (e : Mlc_ir.Pass.trace_entry) ->
@@ -190,15 +228,15 @@ let compile_cmd =
       print_string (Mlc_riscv.Asm_emit.emit_module m_)
     end
     else begin
-      let result = Mlc_transforms.Pipeline.compile ~flags ~lint m_ in
+      let result = Mlc_transforms.Pipeline.compile ~flags ~lint ~passes m_ in
       print_string result.Mlc_transforms.Pipeline.asm
     end
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a kernel to Snitch assembly.")
     Term.(
-      const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ print_ir
-      $ pretty $ emit_generic $ lint $ verify)
+      const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ target_arg
+      $ print_ir $ pretty $ emit_generic $ lint $ verify)
 
 let compile_ir_cmd =
   let file_arg =
@@ -219,7 +257,7 @@ let compile_ir_cmd =
              failure the diagnostic and the IR at the failing checkpoint \
              are printed to stderr (and captured in the crash bundle).")
   in
-  let run file (flow_name, flags) crash_dir verify_at =
+  let run file (flow_name, flags) backend crash_dir verify_at =
     set_crash_dir crash_dir;
     let src = In_channel.with_open_text file In_channel.input_all in
     let bundle_ctx =
@@ -242,18 +280,16 @@ let compile_ir_cmd =
     Mlc_ir.Verifier.verify m;
     match verify_at with
     | Some target ->
-      let all = Mlc_transforms.Pipeline.passes flags in
-      let rec up_to = function
-        | [] ->
+      let all = Mlc_transforms.Backend.passes_for backend flags in
+      let prefix =
+        match Mlc_transforms.Pipeline.passes_up_to all target with
+        | Ok prefix -> prefix
+        | Error available ->
           Printf.eprintf "compile-ir: no pass named %S in flow %s (have: %s)\n"
             target flow_name
-            (String.concat ", "
-               (List.map (fun (p : Mlc_ir.Pass.t) -> p.Mlc_ir.Pass.name) all));
+            (String.concat ", " available);
           exit 2
-        | (p : Mlc_ir.Pass.t) :: rest ->
-          if p.Mlc_ir.Pass.name = target then [ p ] else p :: up_to rest
       in
-      let prefix = up_to all in
       (match
          Mlc_ir.Pass.run ~bundle_ctx
            ~checkpoint:Mlc_verify.Verify.checkpoint m prefix
@@ -276,7 +312,8 @@ let compile_ir_cmd =
         | None -> ());
         exit 1)
     | None ->
-      Mlc_ir.Pass.run ~bundle_ctx m (Mlc_transforms.Pipeline.passes flags);
+      Mlc_ir.Pass.run ~bundle_ctx m
+        (Mlc_transforms.Backend.passes_for backend flags);
       let fns =
         Mlc_ir.Ir.collect m (fun op ->
             Mlc_ir.Ir.Op.name op = Mlc_riscv.Rv_func.func_op)
@@ -292,7 +329,9 @@ let compile_ir_cmd =
        ~doc:
          "Compile a textual IR file to Snitch assembly (the crash-bundle \
           replay entry point).")
-    Term.(const run $ file_arg $ flow_arg $ crash_dir_arg $ verify_at_arg)
+    Term.(
+      const run $ file_arg $ flow_arg $ target_arg $ crash_dir_arg
+      $ verify_at_arg)
 
 let check_cmd =
   let opt_kernel_arg =
@@ -322,7 +361,8 @@ let check_cmd =
              every structural / bounds / race finding, stamped with the \
              checkpoint that first surfaced it.")
   in
-  let run kernel all ir n m k (flow_name, flags) jobs cache_dir cache_cap =
+  let run kernel all ir n m k (flow_name, flags) backend jobs cache_dir
+      cache_cap =
     set_cache_dir cache_dir;
     set_cache_cap cache_cap;
     let summary =
@@ -334,8 +374,8 @@ let check_cmd =
           Printf.eprintf "check: either --kernel or --all is required\n";
           exit 2
         | Some kernel ->
-          Mlc_fuzz.Check_all.run_one ~kernel ~flow:flow_name ~flags ~n ~m ~k
-            ~ir ()
+          Mlc_fuzz.Check_all.run_one ~backend ~kernel ~flow:flow_name ~flags
+            ~n ~m ~k ~ir ()
     in
     List.iter print_endline summary.Mlc_fuzz.Check_all.lines;
     let checked = summary.Mlc_fuzz.Check_all.checked in
@@ -364,7 +404,7 @@ let check_cmd =
           (-j) through the compile-artifact cache.")
     Term.(
       const run $ opt_kernel_arg $ all_arg $ ir_arg $ n_arg $ m_arg $ k_arg
-      $ flow_arg $ jobs_arg $ cache_dir_arg $ cache_cap_arg)
+      $ flow_arg $ target_arg $ jobs_arg $ cache_dir_arg $ cache_cap_arg)
 
 let print_metrics (spec : Mlc_kernels.Builders.spec) (r : Mlc.Runner.run_result) =
   let m = r.Mlc.Runner.metrics in
@@ -448,13 +488,26 @@ let run_cmd =
             "Fail instead of degrading along the fallback lattice when the \
              requested flow cannot compile.")
   in
-  let run kernel n m k (flow_name, flags) trace no_fallback crash_dir cores =
+  let run kernel n m k (flow_name, flags) backend trace no_fallback crash_dir
+      cores =
     set_crash_dir crash_dir;
     let spec = spec_of kernel n m k in
     match cores with
-    | Some cores ->
-      let r = Mlc.Runner.run_cluster ~flags ~cores spec in
-      print_cluster_metrics spec r
+    | Some _
+      when backend.Mlc_transforms.Backend.name
+           <> Mlc_transforms.Backend.snitch.Mlc_transforms.Backend.name ->
+      Printf.eprintf
+        "run: --cores drives the Snitch cluster lowering and cannot be \
+         combined with --target %s\n"
+        backend.Mlc_transforms.Backend.name;
+      exit 2
+    | Some cores -> (
+      (* The graceful front door: window kernels that do not
+         row-partition degrade to the single-core pipeline with the
+         substitution recorded, instead of failing hard. *)
+      match Mlc.Runner.run_parallel ~flags ~cores spec with
+      | `Cluster r -> print_cluster_metrics spec r
+      | `Degraded r -> print_metrics spec r)
     | None ->
       let crash_ctx =
         {
@@ -468,7 +521,7 @@ let run_cmd =
       in
       let r =
         Mlc.Runner.run ~flags ~trace ~fallback:(not no_fallback) ~crash_ctx
-          spec
+          ~backend spec
       in
       print_metrics spec r;
       if trace then begin
@@ -482,8 +535,8 @@ let run_cmd =
          "Compile a kernel, execute it on the Snitch simulator, validate and \
           report metrics.")
     Term.(
-      const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ trace_arg
-      $ no_fallback_arg $ crash_dir_arg $ cores_arg)
+      const run $ kernel_arg $ n_arg $ m_arg $ k_arg $ flow_arg $ target_arg
+      $ trace_arg $ no_fallback_arg $ crash_dir_arg $ cores_arg)
 
 let ablate_cmd =
   let run kernel n m k =

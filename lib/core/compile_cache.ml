@@ -13,18 +13,20 @@
 
 (* cache-2: entries are additionally IR-verifier-clean — the per-pass
    Mlc_verify checkpoint was armed on the compile that produced them, so
-   pre-checkpoint artifacts must be retired. *)
-let compiler_version = "snitchc-1.0.0/cache-2"
+   pre-checkpoint artifacts must be retired.
+   cache-3: the key gains the backend name (the same IR text and flags
+   compile to different artifacts per target). *)
+let compiler_version = "snitchc-1.0.0/cache-3"
 
 let enabled = Atomic.make true
 let set_enabled b = Atomic.set enabled b
 
-let lookup ~flags ~ir_text =
+let lookup ?(target = "snitch") ~flags ~ir_text () =
   if not (Atomic.get enabled) then `Miss ""
   else begin
     let key =
       Mlc_parallel.Cache.key ~namespace:"compile" ~version:compiler_version
-        [ ir_text; Mlc_transforms.Pipeline.describe_flags flags ]
+        [ ir_text; Mlc_transforms.Pipeline.describe_flags flags; target ]
     in
     match Mlc_parallel.Cache.find ~key with
     | Some (r : Mlc_transforms.Pipeline.result) -> `Hit (key, r)

@@ -13,14 +13,17 @@
     {!lookup} always misses with an empty key and {!store} is a no-op. *)
 val set_enabled : bool -> unit
 
-(** [lookup ~flags ~ir_text] — [ir_text] must be the printed generic
-    (pre-pass) module about to be compiled; the caller prints it so one
-    rendering can serve several lookups. [`Hit (key, r)] carries the key
-    for {!program_for}; [`Miss key] hands back the key to pass to
-    {!store} once the module has been compiled and linted. *)
+(** [lookup ?target ~flags ~ir_text ()] — [ir_text] must be the printed
+    generic (pre-pass) module about to be compiled; the caller prints it
+    so one rendering can serve several lookups. [target] is the backend
+    name (default ["snitch"]) and is part of the key. [`Hit (key, r)]
+    carries the key for {!program_for}; [`Miss key] hands back the key
+    to pass to {!store} once the module has been compiled and linted. *)
 val lookup :
+  ?target:string ->
   flags:Mlc_transforms.Pipeline.flags ->
   ir_text:string ->
+  unit ->
   [ `Hit of string * Mlc_transforms.Pipeline.result
   | `Miss of string ]
 

@@ -454,17 +454,40 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
     ?(engine = Fast) ?allocator ?(fallback = true)
     ?(pipeline_of = Mlc_transforms.Pipeline.passes) ?crash_ctx
     ?(cache = true) ?(on_phase = fun (_ : string) -> ()) ?fuel
-    (spec : Builders.spec) : run_result =
+    ?(backend = Mlc_transforms.Backend.snitch) (spec : Builders.spec) :
+    run_result =
   on_phase "expected";
+  (* The backend's flag adjustment applies before everything else —
+     including the fallback lattice, so degradation rungs are computed
+     over configurations the target can actually compile. *)
+  let flags = backend.Mlc_transforms.Backend.adjust_flags flags in
   let data = gen_inputs ~seed ~elem:spec.Builders.elem spec.Builders.args in
   (* Artifact-cache gate: only the default compile qualifies — a custom
      allocator or substituted pass list changes the artifact without
      changing the key, and tracing needs the program's own source lines,
-     which differ between the Direct and Via_text constructions. *)
+     which differ between the Direct and Via_text constructions. (A
+     non-Snitch backend still qualifies: its name is part of the cache
+     key.) *)
   let use_cache =
     cache && allocator = None
     && pipeline_of == Mlc_transforms.Pipeline.passes
     && not trace
+  in
+  let pipeline_of =
+    if backend.Mlc_transforms.Backend.name = Mlc_transforms.Backend.snitch.name
+    then pipeline_of
+    else fun f -> Mlc_transforms.Backend.passes_for backend f
+  in
+  (* Post-emission lint, restricted to the check classes meaningful for
+     this backend's code (e.g. SSR/FREP discipline never fires on rvv
+     programs). *)
+  let lint_error program =
+    Mlc_analysis.Lint.check_program program
+    |> List.filter (fun (d : Mlc_diag.Diag.t) ->
+           match d.Mlc_diag.Diag.pass with
+           | Some c -> List.mem c backend.Mlc_transforms.Backend.lint_classes
+           | None -> true)
+    |> Mlc_analysis.Lint.error_of
   in
   (* Built at most once per run: the module serves the cache key
      (printed generic IR — memoized per spec, so a warm rep skips the
@@ -515,7 +538,9 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
     let compiled, program =
       match
         match ir_text with
-        | Some txt -> Compile_cache.lookup ~flags:rflags ~ir_text:txt
+        | Some txt ->
+          Compile_cache.lookup ~target:backend.Mlc_transforms.Backend.name
+            ~flags:rflags ~ir_text:txt ()
         | None -> `Miss ""
       with
       | `Hit (key, compiled) ->
@@ -548,9 +573,7 @@ let run ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
         in
         (* Mandatory post-emission lint: an error-severity finding is a
            diagnosed compile failure and engages the fallback lattice. *)
-        (match
-           Mlc_analysis.Lint.error_of (Mlc_analysis.Lint.check_program program)
-         with
+        (match lint_error program with
         | Some d ->
           let d =
             match Mlc_diag.Crash_bundle.write ~ctx:bundle_ctx d with
@@ -852,7 +875,7 @@ let run_cluster ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
   in
   let compiled =
     match
-      if cache then Compile_cache.lookup ~flags ~ir_text else `Miss ""
+      if cache then Compile_cache.lookup ~flags ~ir_text () else `Miss ""
     with
     | `Hit (_, compiled) -> compiled
     | `Miss key ->
@@ -997,3 +1020,26 @@ let run_cluster ?(flags = Mlc_transforms.Pipeline.ours) ?(seed = 42)
         c_max_abs_err = max_abs_err outputs expected;
         c_asm = compiled.Mlc_transforms.Pipeline.asm;
       })
+
+(* Graceful multi-core entry point (the [--cores N] front door): kernels
+   whose maps do not row-partition (conv/pool windows) used to fail the
+   whole run with [Not_partitionable]; they now degrade to the standard
+   single-core pipeline, with the substitution recorded as a degradation
+   trail entry so [run --json] and [bench] surface it. *)
+let run_parallel ?flags ?seed ?verify_each ?engine ?cache ?pool ~cores
+    (spec : Builders.spec) :
+    [ `Cluster of cluster_result | `Degraded of run_result ] =
+  match run_cluster ?flags ?seed ?verify_each ?engine ?cache ?pool ~cores spec with
+  | r -> `Cluster r
+  | exception Mlc_transforms.Parallel_tile.Not_partitionable reason ->
+    let r = run ?flags ?seed ?verify_each ?engine ?cache spec in
+    let attempt =
+      ( Printf.sprintf "cores=%d" cores,
+        Printf.sprintf "not partitionable: %s" reason )
+    in
+    let degradation =
+      match r.degradation with
+      | None -> { rung = "single-core"; attempts = [ attempt ] }
+      | Some d -> { d with attempts = attempt :: d.attempts }
+    in
+    `Degraded { r with degradation = Some degradation }

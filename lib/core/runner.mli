@@ -171,6 +171,13 @@ val simulate :
     assembly with bit-identical results. Runs with a custom [allocator]
     or [pipeline_of], or with [trace], bypass the cache automatically.
 
+    [backend] (default {!Mlc_transforms.Backend.snitch}) selects the
+    target: its flag adjustment is applied before everything else
+    (including the fallback lattice), its lowering replaces the Snitch
+    tail after {!Mlc_transforms.Pipeline.front_passes}, and post-
+    emission lint is restricted to its check classes. Cached artifacts
+    are keyed per backend name.
+
     [on_phase] is the cooperative-cancellation hook for serving layers:
     it is called at every checkpoint ("expected", then per attempted
     rung "compile:<rung>" and "sim:<rung>") and may raise to abort the
@@ -195,6 +202,7 @@ val run :
   ?cache:bool ->
   ?on_phase:(string -> unit) ->
   ?fuel:int ->
+  ?backend:Mlc_transforms.Backend.t ->
   Mlc_kernels.Builders.spec ->
   run_result
 
@@ -249,3 +257,20 @@ val run_cluster :
   cores:int ->
   Mlc_kernels.Builders.spec ->
   cluster_result
+
+(** Graceful multi-core front door: {!run_cluster}, except that a kernel
+    whose maps do not row-partition (conv/pool windows) degrades to the
+    standard single-core {!run} instead of raising [Not_partitionable].
+    The substitution is recorded in the returned result's [degradation]
+    trail (rung ["single-core"], one attempt entry naming the requested
+    core count). *)
+val run_parallel :
+  ?flags:Mlc_transforms.Pipeline.flags ->
+  ?seed:int ->
+  ?verify_each:bool ->
+  ?engine:engine ->
+  ?cache:bool ->
+  ?pool:Mlc_parallel.Pool.t ->
+  cores:int ->
+  Mlc_kernels.Builders.spec ->
+  [ `Cluster of cluster_result | `Degraded of run_result ]

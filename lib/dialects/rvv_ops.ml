@@ -1,0 +1,167 @@
+(* The rvv dialect: vector-length-agnostic operations produced by
+   [Rvv_vectorize] and consumed by [Convert_to_rv]'s RVV lowering.
+
+   Vector values never enter the SSA graph: each op names its vector
+   registers directly through integer attributes (vd/vs1/vs2), so the
+   scalar register allocator and the existing loop machinery see only
+   the scalar operands (addresses, the AVL, scalar float sources).
+   [rvv.setvl] strip-mines an enclosing loop: it requests AVL lanes and
+   the hardware clamps to VLMAX; all later vector ops in program order
+   operate on the active vl. *)
+
+open Mlc_ir
+
+let expect_vreg op key =
+  Op_registry.expect_attr op key;
+  let v = Attr.get_int (Ir.Op.attr_exn op key) in
+  if v < 0 || v > 31 then
+    Op_registry.fail_op op "%s: vector register v%d out of range" key v
+
+let expect_sew op =
+  Op_registry.expect_attr op "sew";
+  match Attr.get_int (Ir.Op.attr_exn op "sew") with
+  | 32 | 64 -> ()
+  | s -> Op_registry.fail_op op "unsupported element width e%d" s
+
+(* vl = min(avl, VLMAX) for the given element width. *)
+let setvl_op =
+  Op_registry.register "rvv.setvl" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      expect_sew op)
+
+let check_mem op base_idx =
+  let n = Ir.Op.num_operands op - base_idx - 1 in
+  match Ir.Value.ty (Ir.Op.operand op base_idx) with
+  | Ty.Memref { shape; _ } ->
+    if List.length shape <> n then
+      Op_registry.fail_op op "expected %d indices, got %d"
+        (List.length shape) n
+  | _ -> Op_registry.fail_op op "expected a memref operand"
+
+(* Unit-stride load of the active vl lanes starting at the element the
+   indices select. *)
+let load_op =
+  Op_registry.register "rvv.load" ~verify:(fun op ->
+      Op_registry.expect_num_results op 0;
+      if Ir.Op.num_operands op < 1 then
+        Op_registry.fail_op op "expected memref operand";
+      check_mem op 0;
+      expect_vreg op "vd")
+
+let store_op =
+  Op_registry.register "rvv.store" ~verify:(fun op ->
+      Op_registry.expect_num_results op 0;
+      if Ir.Op.num_operands op < 1 then
+        Op_registry.fail_op op "expected memref operand";
+      check_mem op 0;
+      expect_vreg op "vs")
+
+(* Broadcast a scalar float into the active lanes of vd. *)
+let splat_op =
+  Op_registry.register "rvv.splat" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      if not (Ty.is_float (Ir.Value.ty (Ir.Op.operand op 0))) then
+        Op_registry.fail_op op "expected a floating-point operand";
+      expect_vreg op "vd")
+
+let copy_op =
+  Op_registry.register "rvv.copy" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      expect_vreg op "vd";
+      expect_vreg op "vs")
+
+let vv_ops = [ "vfadd"; "vfsub"; "vfmul"; "vfdiv"; "vfmax"; "vfmin" ]
+let vf_ops = vv_ops @ [ "vfrsub"; "vfrdiv" ]
+
+let expect_op_attr op allowed =
+  Op_registry.expect_attr op "op";
+  let s = Attr.get_str (Ir.Op.attr_exn op "op") in
+  if not (List.mem s allowed) then
+    Op_registry.fail_op op "unknown vector op %S" s
+
+(* vd[i] = vs1[i] <op> vs2[i] over the active lanes. *)
+let binary_vv_op =
+  Op_registry.register "rvv.binary_vv" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      expect_op_attr op vv_ops;
+      expect_vreg op "vd";
+      expect_vreg op "vs1";
+      expect_vreg op "vs2")
+
+(* vd[i] = vs2[i] <op> scalar (vfrsub/vfrdiv reverse the operands). *)
+let binary_vf_op =
+  Op_registry.register "rvv.binary_vf" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      if not (Ty.is_float (Ir.Value.ty (Ir.Op.operand op 0))) then
+        Op_registry.fail_op op "expected a floating-point operand";
+      expect_op_attr op vf_ops;
+      expect_vreg op "vd";
+      expect_vreg op "vs2")
+
+(* vd[i] += scalar * vs2[i], single rounding (vfmacc.vf). *)
+let macc_vf_op =
+  Op_registry.register "rvv.macc_vf" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      if not (Ty.is_float (Ir.Value.ty (Ir.Op.operand op 0))) then
+        Op_registry.fail_op op "expected a floating-point operand";
+      expect_vreg op "vd";
+      expect_vreg op "vs2")
+
+(* vd[i] += vs1[i] * vs2[i], single rounding (vfmacc.vv). *)
+let macc_vv_op =
+  Op_registry.register "rvv.macc_vv" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      expect_vreg op "vd";
+      expect_vreg op "vs1";
+      expect_vreg op "vs2")
+
+(* --- smart constructors --- *)
+
+let vreg key v = (key, Attr.Int v)
+
+let setvl b ~sew avl =
+  Builder.create0 b ~attrs:[ ("sew", Attr.Int sew) ] setvl_op [ avl ]
+
+let load b ~vd memref indices =
+  Builder.create0 b ~attrs:[ vreg "vd" vd ] load_op (memref :: indices)
+
+let store b ~vs memref indices =
+  Builder.create0 b ~attrs:[ vreg "vs" vs ] store_op (memref :: indices)
+
+let splat b ~vd scalar =
+  Builder.create0 b ~attrs:[ vreg "vd" vd ] splat_op [ scalar ]
+
+let copy b ~vd ~vs =
+  Builder.create0 b ~attrs:[ vreg "vd" vd; vreg "vs" vs ] copy_op []
+
+let binary_vv b ~op ~vd ~vs1 ~vs2 =
+  Builder.create0 b
+    ~attrs:[ ("op", Attr.Str op); vreg "vd" vd; vreg "vs1" vs1; vreg "vs2" vs2 ]
+    binary_vv_op []
+
+let binary_vf b ~op ~vd ~vs2 scalar =
+  Builder.create0 b
+    ~attrs:[ ("op", Attr.Str op); vreg "vd" vd; vreg "vs2" vs2 ]
+    binary_vf_op [ scalar ]
+
+let macc_vf b ~vd ~vs2 scalar =
+  Builder.create0 b ~attrs:[ vreg "vd" vd; vreg "vs2" vs2 ] macc_vf_op [ scalar ]
+
+let macc_vv b ~vd ~vs1 ~vs2 =
+  Builder.create0 b
+    ~attrs:[ vreg "vd" vd; vreg "vs1" vs1; vreg "vs2" vs2 ]
+    macc_vv_op []
+
+let vd_of op = Attr.get_int (Ir.Op.attr_exn op "vd")
+let vs_of op = Attr.get_int (Ir.Op.attr_exn op "vs")
+let vs1_of op = Attr.get_int (Ir.Op.attr_exn op "vs1")
+let vs2_of op = Attr.get_int (Ir.Op.attr_exn op "vs2")
+let sew_of op = Attr.get_int (Ir.Op.attr_exn op "sew")
+let op_of op = Attr.get_str (Ir.Op.attr_exn op "op")

@@ -15,13 +15,14 @@ type combo = {
   kernel : string;
   config : string;
   flags : Mlc_transforms.Pipeline.flags;
+  backend : Mlc_transforms.Backend.t;
 }
 
 let combos () =
   List.concat_map
     (fun kernel ->
       List.map
-        (fun (config, flags) -> { kernel; config; flags })
+        (fun (config, flags, backend) -> { kernel; config; flags; backend })
         Fuzz_oracle.configs)
     Registry.short_names
 
@@ -36,16 +37,29 @@ let check_combo ~n ~m ~k (c : combo) =
     let m_ = spec.Builders.build () in
     let ir_text = Mlc_ir.Printer.to_string m_ in
     let result, miss_key =
-      match Mlc.Compile_cache.lookup ~flags:c.flags ~ir_text with
+      match
+        Mlc.Compile_cache.lookup ~target:c.backend.Mlc_transforms.Backend.name
+          ~flags:c.flags ~ir_text ()
+      with
       | `Hit (_, r) -> (r, None)
       | `Miss key ->
-        (Mlc_transforms.Pipeline.compile ~flags:c.flags m_, Some key)
+        ( Mlc_transforms.Pipeline.compile ~flags:c.flags
+            ~passes:(Mlc_transforms.Backend.passes_for c.backend c.flags)
+            m_,
+          Some key )
     in
     let program =
       Mlc_sim.Program.of_asm
         (Mlc_sim.Asm_parse.parse result.Mlc_transforms.Pipeline.asm)
     in
-    let findings = Mlc_analysis.Lint.check_program program in
+    let findings =
+      Mlc_analysis.Lint.check_program program
+      |> List.filter (fun (d : Mlc_diag.Diag.t) ->
+             match d.Mlc_diag.Diag.pass with
+             | Some cls ->
+               List.mem cls c.backend.Mlc_transforms.Backend.lint_classes
+             | None -> true)
+    in
     (match miss_key with
     | Some key when Mlc_analysis.Lint.errors findings = [] ->
       Mlc.Compile_cache.store ~key result
@@ -87,7 +101,7 @@ let check_ir_combo ~n ~m ~k (c : combo) =
          ~checkpoint:(fun ~pass_name mod_ ->
            record ~at:pass_name (Mlc_verify.Verify.analysis_findings mod_))
          m_
-         (Mlc_transforms.Pipeline.passes c.flags)
+         (Mlc_transforms.Backend.passes_for c.backend c.flags)
      with
     | () -> ()
     | exception Mlc_ir.Pass.Pass_failed d -> record ~at:"pipeline" [ d ]
@@ -186,8 +200,8 @@ let run_all ?jobs ?(n = 16) ?(m = 16) ?(k = 16) ?(ir = false) () =
          (single @ cluster))
 
 (* One kernel under one named flow (the `check -k` path). *)
-let run_one ~kernel ~flow ~flags ?(n = 16) ?(m = 16) ?(k = 16) ?(ir = false) ()
-    =
-  let c = { kernel; config = flow; flags } in
+let run_one ?(backend = Mlc_transforms.Backend.snitch) ~kernel ~flow ~flags
+    ?(n = 16) ?(m = 16) ?(k = 16) ?(ir = false) () =
+  let c = { kernel; config = flow; flags; backend } in
   let check = if ir then check_ir_combo else check_combo in
   summarize [ (label c, check ~n ~m ~k c) ]

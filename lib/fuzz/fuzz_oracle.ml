@@ -26,18 +26,30 @@ let exn_str = function
   | Pass.Pass_failed d | Mlc_diag.Diag.Diagnostic d -> Mlc_diag.Diag.summary d
   | exn -> Printexc.to_string exn
 
-(* The full config matrix. Ablation stages are prefixed to keep names
-   unique (the first stage aliases [baseline], the last [ours]). *)
-let configs : (string * Mlc_transforms.Pipeline.flags) list =
+(* The full config matrix: (name, flags, backend) triples. Ablation
+   stages are prefixed to keep names unique (the first stage aliases
+   [baseline], the last [ours]). The rvv configs compile the same cases
+   through the RISC-V Vector backend — the vectorized programs must
+   agree with the interpreter bit-for-bit too (tail lanes, accumulator
+   carries, reversed .vf forms and all). *)
+let configs :
+    (string * Mlc_transforms.Pipeline.flags * Mlc_transforms.Backend.t) list =
+  let snitch = Mlc_transforms.Backend.snitch in
   [
-    ("ours", Mlc_transforms.Pipeline.ours);
-    ("baseline", Mlc_transforms.Pipeline.baseline);
-    ("clang", Mlc_transforms.Pipeline.clang);
-    ("mlir", Mlc_transforms.Pipeline.mlir);
+    ("ours", Mlc_transforms.Pipeline.ours, snitch);
+    ("baseline", Mlc_transforms.Pipeline.baseline, snitch);
+    ("clang", Mlc_transforms.Pipeline.clang, snitch);
+    ("mlir", Mlc_transforms.Pipeline.mlir, snitch);
   ]
   @ List.map
-      (fun (n, f) -> ("ablation:" ^ n, f))
+      (fun (n, f) -> ("ablation:" ^ n, f, snitch))
       Mlc_transforms.Pipeline.ablation_stages
+  @ [
+      ("rvv", Mlc_transforms.Pipeline.ours, Mlc_transforms.Backend.rvv);
+      ( "rvv-baseline",
+        Mlc_transforms.Pipeline.baseline,
+        Mlc_transforms.Backend.rvv );
+    ]
 
 (* Bit-level output comparison: catches sign-of-zero and NaN-payload
    drift that a tolerance check would wave through. *)
@@ -101,11 +113,12 @@ let roundtrip_checkpoints config (entries : Pass.trace_entry list) =
    printer->parser fixpoint, the structural verifier, and the Mlc_verify
    bounds/race checkpoint after every pass. Returns the assembly text
    and the in-place lowered module. *)
-let compile_checked ?bundle_ctx config flags (m : Ir.op) =
+let compile_checked ?bundle_ctx
+    ?(backend = Mlc_transforms.Backend.snitch) config flags (m : Ir.op) =
   let entries =
     Pass.run_pipeline ~verify_each:true ~trace:true ?bundle_ctx
       ~checkpoint:Mlc_verify.Verify.checkpoint m
-      (Mlc_transforms.Pipeline.passes flags)
+      (Mlc_transforms.Backend.passes_for backend flags)
   in
   match roundtrip_checkpoints config entries with
   | Some f -> Error f
@@ -134,7 +147,7 @@ let simulate config stage ~engine ~elem ~fn_name ~args ~data ~expected program =
 
 (* Check one case under one config; [spec], [data] and [expected] are
    shared across configs. *)
-let check_config ~spec ~data ~expected ~replay (config, flags) =
+let check_config ~spec ~data ~expected ~replay (config, flags, backend) =
   let module B = Mlc_kernels.Builders in
   let bundle_ctx =
     {
@@ -147,7 +160,7 @@ let check_config ~spec ~data ~expected ~replay (config, flags) =
   in
   match
     let m = spec.B.build () in
-    compile_checked ~bundle_ctx config flags m
+    compile_checked ~bundle_ctx ~backend config flags m
     |> Result.map (fun asm -> (m, asm))
   with
   | exception exn ->
@@ -171,7 +184,13 @@ let check_config ~spec ~data ~expected ~replay (config, flags) =
            lint-clean program (or a trap-class lint error on a program
            that runs) is a linter bug. *)
         match
-          Mlc_analysis.Lint.errors (Mlc_analysis.Lint.check_program direct)
+          Mlc_analysis.Lint.check_program direct
+          |> List.filter (fun (d : Mlc_diag.Diag.t) ->
+                 match d.Mlc_diag.Diag.pass with
+                 | Some c ->
+                   List.mem c backend.Mlc_transforms.Backend.lint_classes
+                 | None -> true)
+          |> Mlc_analysis.Lint.errors
         with
         | d :: _ -> fail config "lint" "%s" (Mlc_diag.Diag.summary d)
         | [] ->

@@ -108,6 +108,17 @@ let age_cap_a = Atomic.make infinity
 let evict_count = Atomic.make 0
 let writes_since_sweep = Atomic.make 0
 
+(* Running estimate of the directory's byte total: the live total
+   measured by the last sweep plus every byte written since. The
+   periodic every-8th-write sweep alone is not enough — a burst of
+   fewer than 8 large artifacts can leave the directory arbitrarily
+   far above the size cap until some later write happens to sweep — so
+   [disk_add] also sweeps whenever this estimate crosses the cap. The
+   estimate only ever over-approximates (concurrent processes and
+   evictions by other writers make the true total smaller), so a
+   crossing can at worst cause one redundant readdir. *)
+let est_bytes = Atomic.make 0
+
 let set_eviction ?(max_bytes = max_int) ?(max_age_s = infinity) () =
   Atomic.set size_cap_a max_bytes;
   Atomic.set age_cap_a max_age_s
@@ -145,21 +156,24 @@ let sweep () =
               else live := (st.Unix.st_mtime, st.Unix.st_size, path) :: !live)
         entries;
       let total = List.fold_left (fun a (_, sz, _) -> a + sz) 0 !live in
-      if total > size_cap then begin
-        let oldest_first =
-          List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) !live
-        in
-        ignore
-          (List.fold_left
-             (fun remaining (_, sz, path) ->
-               if remaining > size_cap then begin
-                 remove_quiet path;
-                 Atomic.incr evict_count;
-                 remaining - sz
-               end
-               else remaining)
-             total oldest_first)
-      end)
+      let remaining =
+        if total > size_cap then begin
+          let oldest_first =
+            List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) !live
+          in
+          List.fold_left
+            (fun remaining (_, sz, path) ->
+              if remaining > size_cap then begin
+                remove_quiet path;
+                Atomic.incr evict_count;
+                remaining - sz
+              end
+              else remaining)
+            total oldest_first
+        end
+        else total
+      in
+      Atomic.set est_bytes remaining)
 
 (* A corrupt entry is renamed aside rather than left in place: a
    persistently corrupt file would otherwise be re-read, re-hashed and
@@ -211,8 +225,14 @@ let disk_add d k payload =
        close_out oc;
        Sys.rename tmp (disk_path d k);
        (* Amortise the readdir: sweep every 8th write, as the
-          crash-bundle eviction does. *)
-       if Atomic.fetch_and_add writes_since_sweep 1 mod 8 = 0 then sweep ()
+          crash-bundle eviction does — and additionally whenever the
+          running byte estimate crosses the size cap, so a burst of
+          large artifacts cannot leave the directory above the cap
+          until the next periodic sweep. *)
+       let written = String.length payload + 16 in
+       let est = Atomic.fetch_and_add est_bytes written + written in
+       let periodic = Atomic.fetch_and_add writes_since_sweep 1 mod 8 = 0 in
+       if periodic || est > Atomic.get size_cap_a then sweep ()
      with exn ->
        (try Sys.remove tmp with Sys_error _ -> ());
        raise exn)

@@ -73,7 +73,10 @@ val reset_stats : unit -> unit
 (** Opt-in disk-tier caps (default: unbounded, the historical
     behaviour): [max_bytes] bounds the directory's total entry size,
     [max_age_s] the age of any entry. Enforced by {!sweep} — run
-    automatically every 8th disk write — dropping age-cap violators
+    automatically every 8th disk write, and immediately whenever the
+    running byte estimate of the directory crosses [max_bytes] (so a
+    burst of large artifacts cannot sit above the cap waiting for the
+    periodic sweep) — dropping age-cap violators
     first and then the oldest-mtime entries until the size cap holds.
     Eviction is correctness-neutral: an evicted entry is a future miss
     that recomputes. *)

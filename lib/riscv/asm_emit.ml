@@ -106,6 +106,31 @@ let rec op_lines ctx ~next_block op =
   | "rv.fmv.d" -> [ Printf.sprintf "    fmv.d %s, %s" (d op) (r op 0) ]
   | "rv.fcvt.d.w" | "rv.fcvt.s.w" | "rv.fmv.d.x" | "rv.fmv.w.x" ->
     [ Printf.sprintf "    %s %s, %s" (Rv.mnemonic name) (d op) (r op 0) ]
+  | "rvv.vsetvli" ->
+    [ Printf.sprintf "    vsetvli zero, %s, e%d, m1, ta, ma" (r op 0)
+        (Rvv.sew_of op) ]
+  | "rvv.vle" ->
+    [ Printf.sprintf "    vle%d.v v%d, (%s)" (Rvv.sew_of op) (Rvv.vd_of op)
+        (r op 0) ]
+  | "rvv.vse" ->
+    [ Printf.sprintf "    vse%d.v v%d, (%s)" (Rvv.sew_of op) (Rvv.vs_of op)
+        (r op 0) ]
+  | "rvv.vfmv.v.f" ->
+    [ Printf.sprintf "    vfmv.v.f v%d, %s" (Rvv.vd_of op) (r op 0) ]
+  | "rvv.vmv.v.v" ->
+    [ Printf.sprintf "    vmv.v.v v%d, v%d" (Rvv.vd_of op) (Rvv.vs_of op) ]
+  | "rvv.vfvv" ->
+    [ Printf.sprintf "    %s.vv v%d, v%d, v%d" (Rvv.op_of op) (Rvv.vd_of op)
+        (Rvv.vs1_of op) (Rvv.vs2_of op) ]
+  | "rvv.vfvf" ->
+    [ Printf.sprintf "    %s.vf v%d, v%d, %s" (Rvv.op_of op) (Rvv.vd_of op)
+        (Rvv.vs2_of op) (r op 0) ]
+  | "rvv.vfmacc.vf" ->
+    [ Printf.sprintf "    vfmacc.vf v%d, %s, v%d" (Rvv.vd_of op) (r op 0)
+        (Rvv.vs2_of op) ]
+  | "rvv.vfmacc.vv" ->
+    [ Printf.sprintf "    vfmacc.vv v%d, v%d, v%d" (Rvv.vd_of op)
+        (Rvv.vs1_of op) (Rvv.vs2_of op) ]
   | "rv_snitch.scfgwi" ->
     [ Printf.sprintf "    scfgwi %s, %d" (r op 0) (imm op "imm") ]
   | "rv_snitch.ssr_enable" -> [ "    csrsi 0x7c0, 1" ]

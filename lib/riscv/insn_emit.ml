@@ -144,6 +144,31 @@ let rec op_items ctx ~next_block op =
   | "rv.fcvt.s.w" -> [ Ins (Insn.Fcvt_from_int (S, fd op, xr op 0)) ]
   | "rv.fmv.d.x" -> [ Ins (Insn.Fmv_from_bits (D, fd op, xr op 0)) ]
   | "rv.fmv.w.x" -> [ Ins (Insn.Fmv_from_bits (S, fd op, xr op 0)) ]
+  | "rvv.vsetvli" -> [ Ins (Insn.Vsetvli (xr op 0, Rvv.sew_of op)) ]
+  | "rvv.vle" -> [ Ins (Insn.Vle (Rvv.vd_of op, xr op 0, Rvv.sew_of op / 8)) ]
+  | "rvv.vse" -> [ Ins (Insn.Vse (Rvv.vs_of op, xr op 0, Rvv.sew_of op / 8)) ]
+  | "rvv.vfmv.v.f" -> [ Ins (Insn.Vfmv_vf (Rvv.vd_of op, fr op 0)) ]
+  | "rvv.vmv.v.v" -> [ Ins (Insn.Vmv_vv (Rvv.vd_of op, Rvv.vs_of op)) ]
+  | "rvv.vfvv" | "rvv.vfvf" ->
+    let fop, reversed =
+      match Rvv.op_of op with
+      | "vfadd" -> (Insn.Fadd, false)
+      | "vfsub" -> (Insn.Fsub, false)
+      | "vfmul" -> (Insn.Fmul, false)
+      | "vfdiv" -> (Insn.Fdiv, false)
+      | "vfmax" -> (Insn.Fmax, false)
+      | "vfmin" -> (Insn.Fmin, false)
+      | "vfrsub" -> (Insn.Fsub, true)
+      | _ -> (Insn.Fdiv, true)
+    in
+    if name = "rvv.vfvv" then
+      [ Ins (Insn.Vfvv (fop, Rvv.vd_of op, Rvv.vs1_of op, Rvv.vs2_of op)) ]
+    else
+      [ Ins (Insn.Vfvf (fop, reversed, Rvv.vd_of op, Rvv.vs2_of op, fr op 0)) ]
+  | "rvv.vfmacc.vf" ->
+    [ Ins (Insn.Vfmacc_vf (Rvv.vd_of op, fr op 0, Rvv.vs2_of op)) ]
+  | "rvv.vfmacc.vv" ->
+    [ Ins (Insn.Vfmacc_vv (Rvv.vd_of op, Rvv.vs1_of op, Rvv.vs2_of op)) ]
   | "rv_snitch.scfgwi" -> [ Ins (Insn.Scfgwi (xr op 0, imm op "imm")) ]
   | "rv_snitch.ssr_enable" -> [ Ins (Insn.Csrsi (0x7c0, 1)) ]
   | "rv_snitch.ssr_disable" -> [ Ins (Insn.Csrci (0x7c0, 1)) ]

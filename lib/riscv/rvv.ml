@@ -1,0 +1,158 @@
+(* The machine-level rvv dialect: RISC-V Vector instructions as emitted
+   into rv_func bodies by [Convert_to_rv]'s RVV lowering. Vector
+   registers are named by integer attributes (the scalar allocator never
+   sees them); scalar operands (the AVL, addresses, broadcast sources)
+   are ordinary register-typed SSA values.
+
+   The vsetvli form is always [vsetvli zero, rs, e<sew>, m1, ta, ma]:
+   the lowering never needs the granted vl in a scalar register — strip
+   mining advances the loop index by the compile-time VLMAX and the
+   hardware clamps the tail. *)
+
+open Mlc_ir
+
+let expect_vreg op key =
+  Op_registry.expect_attr op key;
+  let v = Attr.get_int (Ir.Op.attr_exn op key) in
+  if v < 0 || v > 31 then
+    Op_registry.fail_op op "%s: vector register v%d out of range" key v
+
+let expect_int_reg op i =
+  match Ir.Value.ty (Ir.Op.operand op i) with
+  | Ty.Int_reg _ -> ()
+  | _ -> Op_registry.fail_op op "operand %d must be an integer register" i
+
+let expect_float_reg op i =
+  match Ir.Value.ty (Ir.Op.operand op i) with
+  | Ty.Float_reg _ -> ()
+  | _ -> Op_registry.fail_op op "operand %d must be a float register" i
+
+let expect_sew op =
+  Op_registry.expect_attr op "sew";
+  match Attr.get_int (Ir.Op.attr_exn op "sew") with
+  | 32 | 64 -> ()
+  | s -> Op_registry.fail_op op "unsupported element width e%d" s
+
+let vsetvli_op =
+  Op_registry.register "rvv.vsetvli" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      expect_int_reg op 0;
+      expect_sew op)
+
+let vle_op =
+  Op_registry.register "rvv.vle" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      expect_int_reg op 0;
+      expect_vreg op "vd";
+      expect_sew op)
+
+let vse_op =
+  Op_registry.register "rvv.vse" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      expect_int_reg op 0;
+      expect_vreg op "vs";
+      expect_sew op)
+
+let vfmv_vf_op =
+  Op_registry.register "rvv.vfmv.v.f" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      expect_float_reg op 0;
+      expect_vreg op "vd")
+
+let vmv_vv_op =
+  Op_registry.register "rvv.vmv.v.v" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      expect_vreg op "vd";
+      expect_vreg op "vs")
+
+let vv_mnemonics = [ "vfadd"; "vfsub"; "vfmul"; "vfdiv"; "vfmax"; "vfmin" ]
+let vf_mnemonics = vv_mnemonics @ [ "vfrsub"; "vfrdiv" ]
+
+let expect_op_attr op allowed =
+  Op_registry.expect_attr op "op";
+  let s = Attr.get_str (Ir.Op.attr_exn op "op") in
+  if not (List.mem s allowed) then
+    Op_registry.fail_op op "unknown vector mnemonic %S" s
+
+let vfvv_op =
+  Op_registry.register "rvv.vfvv" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      expect_op_attr op vv_mnemonics;
+      expect_vreg op "vd";
+      expect_vreg op "vs1";
+      expect_vreg op "vs2")
+
+let vfvf_op =
+  Op_registry.register "rvv.vfvf" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      expect_float_reg op 0;
+      expect_op_attr op vf_mnemonics;
+      expect_vreg op "vd";
+      expect_vreg op "vs2")
+
+let vfmacc_vf_op =
+  Op_registry.register "rvv.vfmacc.vf" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 1;
+      Op_registry.expect_num_results op 0;
+      expect_float_reg op 0;
+      expect_vreg op "vd";
+      expect_vreg op "vs2")
+
+let vfmacc_vv_op =
+  Op_registry.register "rvv.vfmacc.vv" ~verify:(fun op ->
+      Op_registry.expect_num_operands op 0;
+      Op_registry.expect_num_results op 0;
+      expect_vreg op "vd";
+      expect_vreg op "vs1";
+      expect_vreg op "vs2")
+
+(* --- smart constructors --- *)
+
+let vreg key v = (key, Attr.Int v)
+
+let vsetvli b ~sew rs =
+  Builder.create0 b ~attrs:[ ("sew", Attr.Int sew) ] vsetvli_op [ rs ]
+
+let vle b ~vd ~sew addr =
+  Builder.create0 b ~attrs:[ vreg "vd" vd; ("sew", Attr.Int sew) ] vle_op [ addr ]
+
+let vse b ~vs ~sew addr =
+  Builder.create0 b ~attrs:[ vreg "vs" vs; ("sew", Attr.Int sew) ] vse_op [ addr ]
+
+let vfmv_vf b ~vd fs =
+  Builder.create0 b ~attrs:[ vreg "vd" vd ] vfmv_vf_op [ fs ]
+
+let vmv_vv b ~vd ~vs =
+  Builder.create0 b ~attrs:[ vreg "vd" vd; vreg "vs" vs ] vmv_vv_op []
+
+let vfvv b ~op ~vd ~vs1 ~vs2 =
+  Builder.create0 b
+    ~attrs:[ ("op", Attr.Str op); vreg "vd" vd; vreg "vs1" vs1; vreg "vs2" vs2 ]
+    vfvv_op []
+
+let vfvf b ~op ~vd ~vs2 fs =
+  Builder.create0 b
+    ~attrs:[ ("op", Attr.Str op); vreg "vd" vd; vreg "vs2" vs2 ]
+    vfvf_op [ fs ]
+
+let vfmacc_vf b ~vd ~vs2 fs =
+  Builder.create0 b ~attrs:[ vreg "vd" vd; vreg "vs2" vs2 ] vfmacc_vf_op [ fs ]
+
+let vfmacc_vv b ~vd ~vs1 ~vs2 =
+  Builder.create0 b
+    ~attrs:[ vreg "vd" vd; vreg "vs1" vs1; vreg "vs2" vs2 ]
+    vfmacc_vv_op []
+
+let vd_of op = Attr.get_int (Ir.Op.attr_exn op "vd")
+let vs_of op = Attr.get_int (Ir.Op.attr_exn op "vs")
+let vs1_of op = Attr.get_int (Ir.Op.attr_exn op "vs1")
+let vs2_of op = Attr.get_int (Ir.Op.attr_exn op "vs2")
+let sew_of op = Attr.get_int (Ir.Op.attr_exn op "sew")
+let op_of op = Attr.get_str (Ir.Op.attr_exn op "op")

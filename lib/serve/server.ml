@@ -212,7 +212,7 @@ let compile_cached ~check_deadline ~flags (spec : Mlc_kernels.Builders.spec) =
   check_deadline ();
   let m = spec.Mlc_kernels.Builders.build () in
   let ir_text = Mlc_ir.Printer.to_string m in
-  match Mlc.Compile_cache.lookup ~flags ~ir_text with
+  match Mlc.Compile_cache.lookup ~flags ~ir_text () with
   | `Hit (key, result) -> (key, result, true)
   | `Miss key ->
     check_deadline ();

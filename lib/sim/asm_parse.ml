@@ -51,6 +51,15 @@ let freg name =
   | Some i -> i
   | None -> err "unknown float register %S" name
 
+(* Vector registers have no ABI names: v0..v31 literally. *)
+let vreg name =
+  let bad () = err "unknown vector register %S" name in
+  if String.length name >= 2 && name.[0] = 'v' then
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some i when i >= 0 && i <= 31 -> i
+    | _ -> bad ()
+  else bad ()
+
 let imm64 s =
   match Int64.of_string_opt s with
   | Some v -> v
@@ -288,6 +297,67 @@ let parse text =
     | "dmwait" ->
       need 0;
       Dm_wait
+    | "vsetvli" ->
+      (* vsetvli zero, rs, e<sew>, m1, ta, ma — the only vtype the
+         backend emits (rd is architecturally free but always zero
+         here: the strip-mined loop advances by VLMAX, not vl). *)
+      need 6;
+      if a 0 <> "zero" then err "vsetvli rd must be zero: %S" raw;
+      let sew =
+        match a 2 with
+        | "e64" -> 64
+        | "e32" -> 32
+        | s -> err "unsupported element width %S in %S" s raw
+      in
+      if a 3 <> "m1" || a 4 <> "ta" || a 5 <> "ma" then
+        err "unsupported vtype in %S" raw;
+      Vsetvli (xreg (a 1), sew)
+    | "vle64.v" | "vle32.v" ->
+      need 2;
+      Vle (vreg (a 0), xreg (a 1), if mn = "vle64.v" then 8 else 4)
+    | "vse64.v" | "vse32.v" ->
+      need 2;
+      Vse (vreg (a 0), xreg (a 1), if mn = "vse64.v" then 8 else 4)
+    | "vfmv.v.f" ->
+      need 2;
+      Vfmv_vf (vreg (a 0), freg (a 1))
+    | "vmv.v.v" ->
+      need 2;
+      Vmv_vv (vreg (a 0), vreg (a 1))
+    | "vfadd.vv" | "vfsub.vv" | "vfmul.vv" | "vfdiv.vv" | "vfmax.vv"
+    | "vfmin.vv" ->
+      need 3;
+      let op : Insn.fop =
+        match mn with
+        | "vfadd.vv" -> Fadd
+        | "vfsub.vv" -> Fsub
+        | "vfmul.vv" -> Fmul
+        | "vfdiv.vv" -> Fdiv
+        | "vfmax.vv" -> Fmax
+        | _ -> Fmin
+      in
+      Vfvv (op, vreg (a 0), vreg (a 1), vreg (a 2))
+    | "vfadd.vf" | "vfsub.vf" | "vfmul.vf" | "vfdiv.vf" | "vfmax.vf"
+    | "vfmin.vf" | "vfrsub.vf" | "vfrdiv.vf" ->
+      need 3;
+      let op, reversed =
+        match mn with
+        | "vfadd.vf" -> (Insn.Fadd, false)
+        | "vfsub.vf" -> (Insn.Fsub, false)
+        | "vfmul.vf" -> (Insn.Fmul, false)
+        | "vfdiv.vf" -> (Insn.Fdiv, false)
+        | "vfmax.vf" -> (Insn.Fmax, false)
+        | "vfmin.vf" -> (Insn.Fmin, false)
+        | "vfrsub.vf" -> (Insn.Fsub, true)
+        | _ -> (Insn.Fdiv, true)
+      in
+      Vfvf (op, reversed, vreg (a 0), vreg (a 1), freg (a 2))
+    | "vfmacc.vf" ->
+      need 3;
+      Vfmacc_vf (vreg (a 0), freg (a 1), vreg (a 2))
+    | "vfmacc.vv" ->
+      need 3;
+      Vfmacc_vv (vreg (a 0), vreg (a 1), vreg (a 2))
     | other -> err "unknown mnemonic %S in %S" other raw
   in
   {
@@ -341,6 +411,17 @@ let fop_mnemonic (op : Insn.fop) (p : Insn.prec) =
   in
   base ^ "." ^ prec_suffix p
 
+let rvv_fop (op : Insn.fop) ~reversed =
+  match (op, reversed) with
+  | Insn.Fadd, _ -> "vfadd"
+  | Fsub, false -> "vfsub"
+  | Fsub, true -> "vfrsub"
+  | Fmul, _ -> "vfmul"
+  | Fdiv, false -> "vfdiv"
+  | Fdiv, true -> "vfrdiv"
+  | Fmax, _ -> "vfmax"
+  | Fmin, _ -> "vfmin"
+
 let vfop_mnemonic : Insn.vfop -> string = function
   | Vfadd -> "vfadd.s"
   | Vfsub -> "vfsub.s"
@@ -386,6 +467,17 @@ let render (insn : Insn.t) =
   | J t -> p "j @%d" t
   | Ret -> "ret"
   | Nop -> "nop"
+  | Vsetvli (rs, sew) -> p "vsetvli zero, %s, e%d, m1, ta, ma" (x rs) sew
+  | Vle (vd, base, esz) -> p "vle%d.v v%d, (%s)" (esz * 8) vd (x base)
+  | Vse (vs, base, esz) -> p "vse%d.v v%d, (%s)" (esz * 8) vs (x base)
+  | Vfmv_vf (vd, fs) -> p "vfmv.v.f v%d, %s" vd (f fs)
+  | Vmv_vv (vd, vs) -> p "vmv.v.v v%d, v%d" vd vs
+  | Vfvv (op, vd, vs1, vs2) ->
+    p "%s.vv v%d, v%d, v%d" (rvv_fop op ~reversed:false) vd vs1 vs2
+  | Vfvf (op, reversed, vd, vs2, fs) ->
+    p "%s.vf v%d, v%d, %s" (rvv_fop op ~reversed) vd vs2 (f fs)
+  | Vfmacc_vf (vd, fs, vs2) -> p "vfmacc.vf v%d, %s, v%d" vd (f fs) vs2
+  | Vfmacc_vv (vd, vs1, vs2) -> p "vfmacc.vv v%d, v%d, v%d" vd vs1 vs2
   | Barrier -> "barrier"
   | Dm_src rs -> p "dmsrc %s" (x rs)
   | Dm_dst rs -> p "dmdst %s" (x rs)

@@ -387,7 +387,10 @@ let compile_block (t : M.t) (p : Program.t) (b : Program.block) : unit -> int =
         next ()
     | Insn.Scfgwi _ | Insn.Csrsi _ | Insn.Csrci _ | Insn.Frep_o _
     | Insn.Barrier | Insn.Dm_src _ | Insn.Dm_dst _ | Insn.Dm_str _
-    | Insn.Dm_rep _ | Insn.Dm_cpy _ | Insn.Dm_wait ->
+    | Insn.Dm_rep _ | Insn.Dm_cpy _ | Insn.Dm_wait
+    | Insn.Vsetvli _ | Insn.Vle _ | Insn.Vse _ | Insn.Vfmv_vf _
+    | Insn.Vmv_vv _ | Insn.Vfvv _ | Insn.Vfvf _ | Insn.Vfmacc_vf _
+    | Insn.Vfmacc_vv _ ->
       (* [partition] never fuses these (all Ctl_barrier-class). *)
       assert false
   in

@@ -50,6 +50,23 @@ type t =
      front-end (dmsrc/dmdst/dmstr/dmrep set up a 2D transfer, dmcpy
      launches it, dmwait joins it). All are Ctl_barrier-class for the
      block partitioner: they never appear inside fused blocks. *)
+  (* RVV extension (the rvv backend): vl/vtype state, unit-stride
+     vector memory, single-width FP arithmetic. Arithmetic element
+     width comes from the machine's vtype state (set by vsetvli), as in
+     the real ISA; loads/stores carry it in the mnemonic. All are
+     stepped per-instruction (Ctl_barrier for the block partitioner);
+     their cost model lives in the machine's vector execution path. *)
+  | Vsetvli of int * int (* rs (AVL), sew bits; rd is always zero *)
+  | Vle of int * int * int (* vd, base, element size in bytes *)
+  | Vse of int * int * int (* vs, base, element size in bytes *)
+  | Vfmv_vf of int * int (* vd, fs: broadcast scalar *)
+  | Vmv_vv of int * int (* vd, vs *)
+  | Vfvv of fop * int * int * int (* vd, vs1, vs2: vd = vs1 op vs2 *)
+  | Vfvf of fop * bool * int * int * int
+      (* vd, vs2, fs; the bool marks the reversed (vfrsub/vfrdiv)
+         forms: vd = fs op vs2 instead of vs2 op fs *)
+  | Vfmacc_vf of int * int * int (* vd, fs, vs2: vd += fs * vs2 *)
+  | Vfmacc_vv of int * int * int (* vd, vs1, vs2: vd += vs1 * vs2 *)
   | Barrier
   | Dm_src of int (* rs: source base address *)
   | Dm_dst of int (* rs: destination base address *)
@@ -101,6 +118,11 @@ let deps = function
   | Frep_o (rs, _) -> ([ rs ], [], None, None)
   | Branch (_, rs1, rs2, _) -> ([ rs1; rs2 ], [], None, None)
   | J _ | Ret | Nop -> ([], [], None, None)
+  | Vsetvli (rs, _) -> ([ rs ], [], None, None)
+  | Vle (_, base, _) | Vse (_, base, _) -> ([ base ], [], None, None)
+  | Vfmv_vf (_, fs) | Vfvf (_, _, _, _, fs) | Vfmacc_vf (_, fs, _) ->
+    ([], [ fs ], None, None)
+  | Vmv_vv _ | Vfvv _ | Vfmacc_vv _ -> ([], [], None, None)
   | Dm_src rs | Dm_dst rs | Dm_rep rs | Dm_cpy rs -> ([ rs ], [], None, None)
   | Dm_str (rs1, rs2) -> ([ rs1; rs2 ], [], None, None)
   | Barrier | Dm_wait -> ([], [], None, None)

@@ -34,6 +34,17 @@ type t =
   | J of int
   | Ret
   | Nop
+  | Vsetvli of int * int  (** rs (AVL), sew bits; rd is always zero *)
+  | Vle of int * int * int  (** vd, base, element size in bytes *)
+  | Vse of int * int * int  (** vs, base, element size in bytes *)
+  | Vfmv_vf of int * int  (** vd, fs: broadcast scalar *)
+  | Vmv_vv of int * int  (** vd, vs *)
+  | Vfvv of fop * int * int * int  (** vd, vs1, vs2: vd = vs1 op vs2 *)
+  | Vfvf of fop * bool * int * int * int
+      (** vd, vs2, fs; the bool marks the reversed (vfrsub/vfrdiv)
+          forms: vd = fs op vs2 *)
+  | Vfmacc_vf of int * int * int  (** vd, fs, vs2: vd += fs * vs2 *)
+  | Vfmacc_vv of int * int * int  (** vd, vs1, vs2: vd += vs1 * vs2 *)
   | Barrier  (** cluster hardware barrier (single-core: 1-cycle nop) *)
   | Dm_src of int  (** DMA source base address register *)
   | Dm_dst of int  (** DMA destination base address register *)

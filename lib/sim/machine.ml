@@ -76,6 +76,13 @@ let taken_branch_cost = 2
    unbounded). *)
 let fpu_fifo_depth = 16
 
+(* RVV vector unit (the rvv backend): VLEN in bits, the memory port
+   width (bytes per cycle of a unit-stride access) and the arithmetic
+   datapath width (bits of elements processed per cycle). *)
+let vlen_bits = 256
+let vmem_bytes_per_cycle = 8
+let valu_bits_per_cycle = 128
+
 type t = {
   mem : Mem.t;
   iregs : int64 array;
@@ -101,6 +108,12 @@ type t = {
   mutable dma_done : int; (* cycle the outstanding transfer completes *)
   mutable dma_bytes : int; (* total bytes moved (cluster reporting) *)
   mutable dma_txns : int; (* dmcpy launches *)
+  (* RVV state (the rvv backend): vector register file as one flat byte
+     buffer (32 registers x VLEN/8 bytes), the active vector length in
+     elements, and the vtype element width in bits *)
+  vregs : Bytes.t;
+  mutable vl : int;
+  mutable vsew : int;
   (* timing state *)
   mutable core_time : int;
   mutable fpu_free_at : int;
@@ -181,6 +194,9 @@ let create ?(fuel = 200_000_000) ?(trace = false) ?(trace_cap = default_trace_ca
     dma_done = 0;
     dma_bytes = 0;
     dma_txns = 0;
+    vregs = Bytes.make (32 * (vlen_bits / 8)) '\000';
+    vl = 0;
+    vsew = 64;
     core_time = 0;
     fpu_free_at = 0;
     int_ready = Array.make 32 0;
@@ -445,6 +461,172 @@ let do_scfgwi t value imm =
     Ssr.arm t.ssrs.(dm) cfg ~dims:(s - 28 + 1) ~ptr:v ~is_write:true
   | s -> err "scfgwi: bad slot %d" s
 
+(* --- RVV vector unit (shared by both engines) ---
+
+   Functional semantics and cost model for the vector instructions. The
+   vector unit blocks the core for the whole operation (no overlap with
+   scalar issue), so both engines call this one helper with the same
+   integer-source [issue] time and stay cycle-identical by construction.
+
+   Per-lane arithmetic composes exactly as the scalar FPU path does
+   (f64 via [apply_fop]/[Float.fma] on the raw lane bits, f32 through
+   [f32_round]), so vectorized kernels stay bit-identical to their
+   scalar lowering and to the interpreter. Tail lanes (>= vl) are
+   unchanged (tail-agnostic in the undisturbed sense, identically in
+   both engines). *)
+
+let vreg_bytes = vlen_bits / 8
+
+let vget64 t r i = Bytes.get_int64_le t.vregs ((r * vreg_bytes) + (i * 8))
+let vset64 t r i v = Bytes.set_int64_le t.vregs ((r * vreg_bytes) + (i * 8)) v
+let vgetf32 t r i =
+  Int32.float_of_bits (Bytes.get_int32_le t.vregs ((r * vreg_bytes) + (i * 4)))
+let vsetf32 t r i f =
+  Bytes.set_int32_le t.vregs ((r * vreg_bytes) + (i * 4)) (Int32.bits_of_float f)
+
+(* Cycles a vector arithmetic/move op occupies the datapath. *)
+let varith_cost t =
+  max 1 (((t.vl * t.vsew) + valu_bits_per_cycle - 1) / valu_bits_per_cycle)
+
+let exec_vector t insn ~issue =
+  match insn with
+  | Insn.Vsetvli (rs, sew) ->
+    let avl = Int64.to_int (get_ireg t rs) in
+    t.vl <- max 0 (min avl (vlen_bits / sew));
+    t.vsew <- sew;
+    t.core_time <- issue + 1
+  | Insn.Vle (vd, base, esz) ->
+    let addr = Int64.to_int (get_ireg t base) in
+    t.perf.loads <- t.perf.loads + 1;
+    (if esz = 8 then
+       for i = 0 to t.vl - 1 do
+         vset64 t vd i (Mem.load64 t.mem (addr + (i * 8)))
+       done
+     else
+       for i = 0 to t.vl - 1 do
+         vsetf32 t vd i
+           (Int32.float_of_bits (Mem.load32 t.mem (addr + (i * 4))))
+       done);
+    t.core_time <-
+      issue
+      + max 1 (((t.vl * esz) + vmem_bytes_per_cycle - 1) / vmem_bytes_per_cycle)
+  | Insn.Vse (vs, base, esz) ->
+    let addr = Int64.to_int (get_ireg t base) in
+    t.perf.stores <- t.perf.stores + 1;
+    (if esz = 8 then
+       for i = 0 to t.vl - 1 do
+         Mem.store64 t.mem (addr + (i * 8)) (vget64 t vs i)
+       done
+     else
+       for i = 0 to t.vl - 1 do
+         Mem.store32 t.mem (addr + (i * 4))
+           (Int32.bits_of_float (vgetf32 t vs i))
+       done);
+    t.core_time <-
+      issue
+      + max 1 (((t.vl * esz) + vmem_bytes_per_cycle - 1) / vmem_bytes_per_cycle)
+  | Insn.Vfmv_vf (vd, fs) ->
+    let issue = max issue t.fp_ready.(fs) in
+    let bits = get_freg_raw t fs in
+    (if t.vsew = 64 then
+       for i = 0 to t.vl - 1 do
+         vset64 t vd i bits
+       done
+     else
+       for i = 0 to t.vl - 1 do
+         vsetf32 t vd i (lo32 bits)
+       done);
+    let c = varith_cost t in
+    t.perf.fpu_busy <- t.perf.fpu_busy + c;
+    t.core_time <- issue + c
+  | Insn.Vmv_vv (vd, vs) ->
+    Bytes.blit t.vregs (vs * vreg_bytes) t.vregs (vd * vreg_bytes) vreg_bytes;
+    let c = varith_cost t in
+    t.perf.fpu_busy <- t.perf.fpu_busy + c;
+    t.core_time <- issue + c
+  | Insn.Vfvv (op, vd, vs1, vs2) ->
+    (if t.vsew = 64 then
+       for i = 0 to t.vl - 1 do
+         vset64 t vd i
+           (bits_of_f64
+              (apply_fop op (f64_of (vget64 t vs1 i)) (f64_of (vget64 t vs2 i))))
+       done
+     else
+       for i = 0 to t.vl - 1 do
+         vsetf32 t vd i
+           (f32_round (apply_fop op (vgetf32 t vs1 i) (vgetf32 t vs2 i)))
+       done);
+    let c = varith_cost t in
+    t.perf.fpu_busy <- t.perf.fpu_busy + c;
+    t.perf.flops <- t.perf.flops + t.vl;
+    t.core_time <- issue + c
+  | Insn.Vfvf (op, reversed, vd, vs2, fs) ->
+    let issue = max issue t.fp_ready.(fs) in
+    let bits = get_freg_raw t fs in
+    (if t.vsew = 64 then begin
+       let s = f64_of bits in
+       for i = 0 to t.vl - 1 do
+         let a = f64_of (vget64 t vs2 i) in
+         let r = if reversed then apply_fop op s a else apply_fop op a s in
+         vset64 t vd i (bits_of_f64 r)
+       done
+     end
+     else begin
+       let s = lo32 bits in
+       for i = 0 to t.vl - 1 do
+         let a = vgetf32 t vs2 i in
+         let r = if reversed then apply_fop op s a else apply_fop op a s in
+         vsetf32 t vd i (f32_round r)
+       done
+     end);
+    let c = varith_cost t in
+    t.perf.fpu_busy <- t.perf.fpu_busy + c;
+    t.perf.flops <- t.perf.flops + t.vl;
+    t.core_time <- issue + c
+  | Insn.Vfmacc_vf (vd, fs, vs2) ->
+    let issue = max issue t.fp_ready.(fs) in
+    let bits = get_freg_raw t fs in
+    (if t.vsew = 64 then begin
+       let s = f64_of bits in
+       for i = 0 to t.vl - 1 do
+         vset64 t vd i
+           (bits_of_f64
+              (Float.fma s (f64_of (vget64 t vs2 i)) (f64_of (vget64 t vd i))))
+       done
+     end
+     else begin
+       let s = lo32 bits in
+       for i = 0 to t.vl - 1 do
+         vsetf32 t vd i
+           (f32_round (Float.fma s (vgetf32 t vs2 i) (vgetf32 t vd i)))
+       done
+     end);
+    let c = varith_cost t in
+    t.perf.fpu_busy <- t.perf.fpu_busy + c;
+    t.perf.flops <- t.perf.flops + (2 * t.vl);
+    t.core_time <- issue + c
+  | Insn.Vfmacc_vv (vd, vs1, vs2) ->
+    (if t.vsew = 64 then
+       for i = 0 to t.vl - 1 do
+         vset64 t vd i
+           (bits_of_f64
+              (Float.fma
+                 (f64_of (vget64 t vs1 i))
+                 (f64_of (vget64 t vs2 i))
+                 (f64_of (vget64 t vd i))))
+       done
+     else
+       for i = 0 to t.vl - 1 do
+         vsetf32 t vd i
+           (f32_round
+              (Float.fma (vgetf32 t vs1 i) (vgetf32 t vs2 i) (vgetf32 t vd i)))
+       done);
+    let c = varith_cost t in
+    t.perf.fpu_busy <- t.perf.fpu_busy + c;
+    t.perf.flops <- t.perf.flops + (2 * t.vl);
+    t.core_time <- issue + c
+  | _ -> err "instruction is not vector executable"
+
 (* --- main loops --- *)
 
 type outcome = { perf : perf; final_pc : int }
@@ -470,6 +652,7 @@ let dump_state (t : t) =
     t.perf.cycles t.perf.retired t.perf.fpu_busy t.perf.flops t.perf.loads
     t.perf.stores t.perf.freps t.perf.stream_reads t.perf.stream_writes;
   Printf.bprintf b "fuel left: %d\n" (max t.fuel 0);
+  if t.vl <> 0 then Printf.bprintf b "vl=%d sew=e%d\n" t.vl t.vsew;
   Array.iteri
     (fun i v -> if i > 0 && v <> 0L then Printf.bprintf b "x%d = 0x%Lx\n" i v)
     t.iregs;
@@ -1137,6 +1320,10 @@ let step_fast t (p : Program.t) pc =
     t.core_time <- issue + 1 + body_len;
     frep_execute_fast t p pc body_len ~iterations ~avail:t.core_time;
     pc + 1 + body_len
+  | Insn.Vsetvli _ | Insn.Vle _ | Insn.Vse _ | Insn.Vfmv_vf _ | Insn.Vmv_vv _
+  | Insn.Vfvv _ | Insn.Vfvf _ | Insn.Vfmacc_vf _ | Insn.Vfmacc_vv _ ->
+    exec_vector t insn ~issue;
+    pc + 1
   | Insn.Fload _ | Insn.Fstore _ | Insn.Fop _ | Insn.Fmadd _ | Insn.Fmv _
   | Insn.Fcvt_from_int _ | Insn.Fmv_from_bits _ | Insn.Vf _ | Insn.Vfmac _
   | Insn.Vfsum _ | Insn.Vfcpka _ ->
@@ -1315,6 +1502,11 @@ let run_reference ?resume t (p : Program.t) ~entry =
         done
       done;
       pc := !pc + 1 + body_len
+    | Insn.Vsetvli _ | Insn.Vle _ | Insn.Vse _ | Insn.Vfmv_vf _
+    | Insn.Vmv_vv _ | Insn.Vfvv _ | Insn.Vfvf _ | Insn.Vfmacc_vf _
+    | Insn.Vfmacc_vv _ ->
+      exec_vector t insn ~issue;
+      incr pc
     | Insn.Fload _ | Insn.Fstore _ | Insn.Fop _ | Insn.Fmadd _ | Insn.Fmv _
     | Insn.Fcvt_from_int _ | Insn.Fmv_from_bits _ | Insn.Vf _ | Insn.Vfmac _
     | Insn.Vfsum _ | Insn.Vfcpka _ ->

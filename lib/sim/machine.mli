@@ -61,6 +61,9 @@ type t = {
   mutable dma_done : int;  (** cycle the outstanding transfer completes *)
   mutable dma_bytes : int;  (** total bytes moved by dmcpy (reporting) *)
   mutable dma_txns : int;  (** dmcpy launches (reporting) *)
+  vregs : bytes;  (** RVV register file: 32 × VLEN/8 bytes, little-endian *)
+  mutable vl : int;  (** active vector length (elements), set by vsetvli *)
+  mutable vsew : int;  (** selected element width in bits (32 or 64) *)
   mutable core_time : int;
   mutable fpu_free_at : int;
   int_ready : int array;

@@ -68,6 +68,13 @@ let control_of (insn : Insn.t) =
        (the barrier suspends the core; dmcpy/dmwait touch cross-core
        timing state), so they end fused blocks like the SSR barriers. *)
     Ctl_barrier
+  | Insn.Vsetvli _ | Insn.Vle _ | Insn.Vse _ | Insn.Vfmv_vf _
+  | Insn.Vmv_vv _ | Insn.Vfvv _ | Insn.Vfvf _ | Insn.Vfmacc_vf _
+  | Insn.Vfmacc_vv _ ->
+    (* RVV: vector ops read the machine's vl/vtype state and the vector
+       register file, neither of which the fused-block compiler models,
+       so they are stepped individually like the SSR barriers. *)
+    Ctl_barrier
   | _ -> Ctl_fall
 
 (* A fused basic block: a maximal straight-line run of instructions

@@ -1,0 +1,79 @@
+(* The backend interface behind the retargetable pipeline: a target is
+   the lowering tail it appends to [Pipeline.front_passes], the flag
+   adjustments it needs (dropping schedule transforms that only make
+   sense for another target's hardware), its machine parameters, and the
+   lint classes that are meaningful for the code it emits.
+
+   [passes_for] is the only composition point: the Snitch backend
+   reproduces [Pipeline.passes] exactly (the identity adjustment plus
+   [Pipeline.snitch_lowering]), which the seam tests pin down, so
+   retargeting is provably a no-op for the existing flow. *)
+
+type t = {
+  name : string;
+  (* vector register width in bits; 0 for scalar-only targets *)
+  vlen_bits : int;
+  (* drop flags whose transforms target another backend's hardware *)
+  adjust_flags : Pipeline.flags -> Pipeline.flags;
+  (* the target-specific lowering appended to [Pipeline.front_passes] *)
+  lowering : Pipeline.flags -> Mlc_ir.Pass.t list;
+  (* lint check classes that can fire on this target's code *)
+  lint_classes : string list;
+}
+
+let snitch =
+  {
+    name = "snitch";
+    vlen_bits = 0;
+    adjust_flags = (fun f -> f);
+    lowering = Pipeline.snitch_lowering;
+    lint_classes =
+      [
+        "cfg";
+        "read-before-write";
+        "ssr-discipline";
+        "frep-legality";
+        "abi-preservation";
+        "stream-balance";
+        "dma-discipline";
+      ];
+  }
+
+let rvv_vlen_bits = 256
+
+(* The RVV tail mirrors the Snitch one minus the Snitch-only stages
+   (stream lowering, FREP formation, stream-write legalization), with
+   the strip-mining vectorizer in front of the rv conversion. *)
+let rvv_lowering (flags : Pipeline.flags) =
+  List.concat
+    [
+      [ Rvv_vectorize.pass ~vlen_bits:rvv_vlen_bits ];
+      [ Convert_to_rv.pass flags.pattern_opt; Rv_canonicalize.pass ];
+      (if flags.cleanups then
+         [ Cse.pass; Licm.pass; Iv_strength_reduce.pass ]
+       else []);
+      [ Loop_unroll.pass flags.unroll_inner; Rv_canonicalize.pass ];
+      (if flags.cleanups then [ Cse.pass ] else []);
+    ]
+
+let rvv =
+  {
+    name = "rvv";
+    vlen_bits = rvv_vlen_bits;
+    (* SSR streams and FREP are Snitch hardware; unroll-and-jam exists
+       to hide the scalar FPU latency, and its constant-fixed trailing
+       indices would defeat the unit-stride vectorizer *)
+    adjust_flags =
+      (fun f -> { f with streams = false; frep = false; unroll_jam = false });
+    lowering = rvv_lowering;
+    lint_classes = [ "cfg"; "read-before-write"; "abi-preservation" ];
+  }
+
+let all = [ snitch; rvv ]
+let by_name name = List.find_opt (fun b -> b.name = name) all
+
+(* The full pass list for a backend: the shared front half over the
+   adjusted flags, then the target lowering. *)
+let passes_for backend flags =
+  let f = backend.adjust_flags flags in
+  Pipeline.front_passes f @ backend.lowering f

@@ -1,0 +1,34 @@
+(** The backend interface behind the retargetable pipeline: a target
+    bundles the lowering tail it appends to {!Pipeline.front_passes},
+    the flag adjustments it needs, its machine parameters and the lint
+    classes meaningful for its code. *)
+
+type t = {
+  name : string;
+  vlen_bits : int;
+      (** vector register width in bits; 0 for scalar-only targets *)
+  adjust_flags : Pipeline.flags -> Pipeline.flags;
+      (** drops flags whose transforms target another backend's
+          hardware (applied before the front half too, so the shared
+          passes see the adjusted schedule) *)
+  lowering : Pipeline.flags -> Mlc_ir.Pass.t list;
+      (** the target-specific lowering appended to the front half *)
+  lint_classes : string list;
+      (** lint check classes that can fire on this target's code *)
+}
+
+(** The Snitch backend: identity flag adjustment plus
+    {!Pipeline.snitch_lowering} — [passes_for snitch flags] equals
+    [Pipeline.passes flags] exactly. *)
+val snitch : t
+
+(** The RISC-V Vector backend: vsetvli strip-mining vectorizer plus the
+    generic rv lowering, VLEN = 256. *)
+val rvv : t
+
+val all : t list
+val by_name : string -> t option
+
+(** The full pass list for a backend: [front_passes] over the adjusted
+    flags, then the backend lowering. *)
+val passes_for : t -> Pipeline.flags -> Mlc_ir.Pass.t list

@@ -142,6 +142,34 @@ and convert_op ctx bb op =
     let store_name = if Ty.equal elem Ty.F32 then Rv.fsw_op else Rv.fsd_op in
     Rv.fstore bb store_name ~offset:off (cv ctx (operand 0)) addr
   | "scf.for" -> convert_scf_for ctx bb op
+  | "rvv.setvl" ->
+    Rvv.vsetvli bb ~sew:(Rvv_ops.sew_of op) (cv ctx (operand 0))
+  | "rvv.load" | "rvv.store" ->
+    let memref = operand 0 in
+    let indices = List.tl (Ir.Op.operands op) in
+    let addr, off = emit_address ctx bb memref indices in
+    let addr = if off = 0 then addr else Rv.addi bb addr off in
+    let sew =
+      if Ty.equal (Ty.memref_elem (Ir.Value.ty memref)) Ty.F32 then 32 else 64
+    in
+    if name = "rvv.load" then Rvv.vle bb ~vd:(Rvv_ops.vd_of op) ~sew addr
+    else Rvv.vse bb ~vs:(Rvv_ops.vs_of op) ~sew addr
+  | "rvv.splat" -> Rvv.vfmv_vf bb ~vd:(Rvv_ops.vd_of op) (cv ctx (operand 0))
+  | "rvv.copy" ->
+    Rvv.vmv_vv bb ~vd:(Rvv_ops.vd_of op) ~vs:(Rvv_ops.vs_of op)
+  | "rvv.binary_vv" ->
+    Rvv.vfvv bb ~op:(Rvv_ops.op_of op) ~vd:(Rvv_ops.vd_of op)
+      ~vs1:(Rvv_ops.vs1_of op) ~vs2:(Rvv_ops.vs2_of op)
+  | "rvv.binary_vf" ->
+    Rvv.vfvf bb ~op:(Rvv_ops.op_of op) ~vd:(Rvv_ops.vd_of op)
+      ~vs2:(Rvv_ops.vs2_of op)
+      (cv ctx (operand 0))
+  | "rvv.macc_vf" ->
+    Rvv.vfmacc_vf bb ~vd:(Rvv_ops.vd_of op) ~vs2:(Rvv_ops.vs2_of op)
+      (cv ctx (operand 0))
+  | "rvv.macc_vv" ->
+    Rvv.vfmacc_vv bb ~vd:(Rvv_ops.vd_of op) ~vs1:(Rvv_ops.vs1_of op)
+      ~vs2:(Rvv_ops.vs2_of op)
   | "memref_stream.read" ->
     (* Each architectural read of a stream register pops one element, so
        a value the body consumes more than once must be popped exactly

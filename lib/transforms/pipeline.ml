@@ -114,6 +114,29 @@ let describe_flags f =
       b "cleanups" f.cleanups;
     ]
 
+(* An unrecognised custom flag set degrades straight to [baseline]; that
+   substitution used to be silent, hiding e.g. a mistyped ablation flag
+   behind baseline numbers. Warn once per distinct flag set (the runner
+   consults the lattice eagerly on every run, so an unmemoised warning
+   would repeat for every kernel of a bench sweep). Tests redirect the
+   hook to capture the diagnostic. *)
+let on_custom_fallback : (Mlc_diag.Diag.t -> unit) ref =
+  ref (fun d -> prerr_endline (Mlc_diag.Diag.summary d))
+
+let warned_custom : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let warn_custom_fallback from =
+  let key = describe_flags from in
+  if not (Hashtbl.mem warned_custom key) then begin
+    Hashtbl.add warned_custom key ();
+    !on_custom_fallback
+      (Mlc_diag.Diag.make ~severity:Mlc_diag.Diag.Warning ~component:"pipeline"
+         (Printf.sprintf
+            "unrecognised flag set not on the fallback lattice (%s): \
+             degradation will fall back to baseline"
+            key))
+  end
+
 (* The graceful-degradation lattice: each rung drops the optimisation
    most likely to have caused the failure (unroll-and-jam first — it
    multiplies register pressure — then the Snitch extensions) until only
@@ -131,13 +154,32 @@ let fallback_lattice (from : flags) : (string * flags) list =
     ]
   in
   let rec from_rung = function
-    | [] -> [ ("custom", from); ("baseline", baseline) ]
+    | [] ->
+      (* The named baseline flows are recognised non-lattice starting
+         points (they degrade straight to the direct lowering); only a
+         flag set matching nothing named anywhere warrants the
+         unrecognised-custom warning. *)
+      let named =
+        if from = clang then Some "clang"
+        else if from = mlir then Some "mlir"
+        else None
+      in
+      (match named with
+      | Some n -> [ (n, from); ("baseline", baseline) ]
+      | None ->
+        warn_custom_fallback from;
+        [ ("custom", from); ("baseline", baseline) ])
     | (_, f) :: _ as l when f = from -> l
     | _ :: rest -> from_rung rest
   in
   from_rung rungs
 
-let passes flags =
+(* The target-independent front half: linalg -> structured scf loops,
+   with the schedule transforms (scalar replacement, fill fusion,
+   unroll-and-jam, stream annotation) and the generic cleanups. Every
+   backend lowering starts from this IR; [Backend] pairs it with a
+   per-target tail. *)
+let front_passes flags =
   List.concat
     [
       [ Linalg_to_stream.pass ];
@@ -149,6 +191,13 @@ let passes flags =
       (if flags.fma then [ Fma_fusion.pass ] else []);
       [ Canonicalize.pass ];
       (if flags.cleanups then [ Cse.pass; Licm.pass; Canonicalize.pass ] else []);
+    ]
+
+(* The Snitch backend tail: conversion to the rv dialects, machine-level
+   cleanups, SSR/FREP formation. *)
+let snitch_lowering flags =
+  List.concat
+    [
       [ Convert_to_rv.pass flags.pattern_opt; Rv_canonicalize.pass ];
       (if flags.cleanups then
          [ Cse.pass; Licm.pass; Iv_strength_reduce.pass ]
@@ -160,6 +209,23 @@ let passes flags =
       [ Rv_canonicalize.pass; Legalize_stream_writes.pass ];
     ]
 
+let passes flags = front_passes flags @ snitch_lowering flags
+
+(* The pass-list prefix through the pass named [upto], for staged IR
+   dumps (snitchc compile-ir --verify-at). Unknown names report the
+   available ones so the CLI error can list them. *)
+let passes_up_to plist upto =
+  if not (List.exists (fun (p : Pass.t) -> p.Pass.name = upto) plist) then
+    Error (List.map (fun (p : Pass.t) -> p.Pass.name) plist)
+  else begin
+    let rec prefix = function
+      | [] -> []
+      | (p : Pass.t) :: rest ->
+        if p.Pass.name = upto then [ p ] else p :: prefix rest
+    in
+    Ok (prefix plist)
+  end
+
 type result = {
   asm : string;
   reports : (string * Mlc_regalloc.Allocator.report) list;
@@ -170,15 +236,20 @@ type result = {
    in place, returning the assembly and per-function statistics.
    [verify_each] arms both the structural verifier and the Mlc_verify
    bounds/race checkpoint after every pass; [checkpoint] substitutes the
-   per-pass analysis hook (tests use it to collect verdicts). *)
+   per-pass analysis hook (tests use it to collect verdicts); [passes]
+   substitutes the whole pass list (backends compose their own via
+   [Backend.passes_for]). *)
 let compile ?(flags = ours) ?(verify_each = true) ?checkpoint ?(lint = false)
-    (m : Ir.op) : result =
+    ?passes:pass_list (m : Ir.op) : result =
   let checkpoint =
     match checkpoint with
     | Some _ as cp -> cp
     | None -> if verify_each then Some Mlc_verify.Verify.checkpoint else None
   in
-  Pass.run ~verify_each ?checkpoint m (passes flags);
+  let pass_list =
+    match pass_list with Some p -> p | None -> passes flags
+  in
+  Pass.run ~verify_each ?checkpoint m pass_list;
   let fns = Ir.collect m (fun op -> Ir.Op.name op = Rv_func.func_op) in
   let reports =
     List.map

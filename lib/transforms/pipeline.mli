@@ -56,8 +56,29 @@ val describe_flags : flags -> string
     the argument itself. *)
 val fallback_lattice : flags -> (string * flags) list
 
-(** The pass list a flag set induces. *)
+(** Hook receiving the warning emitted when {!fallback_lattice} is asked
+    about a flag set not on the lattice (which degrades straight to
+    [baseline]). Fired at most once per distinct flag set per process;
+    defaults to printing the diagnostic summary on stderr. *)
+val on_custom_fallback : (Mlc_diag.Diag.t -> unit) ref
+
+(** The target-independent front half of the pipeline: linalg through
+    schedule transforms to structured scf loops plus generic cleanups.
+    Shared by every backend; see {!Backend}. *)
+val front_passes : flags -> Pass.t list
+
+(** The Snitch backend tail: rv conversion, machine-level cleanups,
+    SSR/FREP formation. [passes flags = front_passes flags @
+    snitch_lowering flags], exactly. *)
+val snitch_lowering : flags -> Pass.t list
+
+(** The full Snitch pass list a flag set induces. *)
 val passes : flags -> Pass.t list
+
+(** [passes_up_to plist name] is the prefix of [plist] up to and
+    including the pass named [name], or [Error available_names] if no
+    pass has that name. *)
+val passes_up_to : Pass.t list -> string -> (Pass.t list, string list) result
 
 type result = {
   asm : string;
@@ -75,11 +96,13 @@ type result = {
     [verify_each] (default true) arms both the structural verifier and
     the {!Mlc_verify.Verify.checkpoint} bounds/race analysis after every
     pass; [checkpoint] substitutes that per-pass hook (used by tests to
-    collect per-checkpoint verdicts). *)
+    collect per-checkpoint verdicts); [passes] substitutes the whole pass
+    list (backends compose their own via {!Backend.passes_for}). *)
 val compile :
   ?flags:flags ->
   ?verify_each:bool ->
   ?checkpoint:(pass_name:string -> Ir.op -> unit) ->
   ?lint:bool ->
+  ?passes:Pass.t list ->
   Ir.op ->
   result

@@ -1,0 +1,437 @@
+(* RVV strip-mining vectorizer: rewrite the innermost parallel scf.for
+   of each loop nest into a vector strip loop advancing by VLMAX, with
+   [rvv.setvl] clamping the tail.
+
+   The candidate is the deepest scf.for with no iter_args, constant
+   bounds and unit step. Values in its body are classified against the
+   candidate induction variable:
+
+   - [Uniform]: identical across lanes (defined outside, constants,
+     integer arithmetic on uniform values, loads at uniform addresses,
+     nested-reduction induction variables). Cloned as scalar code.
+   - [Vindex]: the induction variable or [addi iv, uniform] — the only
+     address forms accepted, and only in the trailing (unit-stride)
+     index position of a load/store.
+   - [Vlane r]: a per-lane float held in vector register [r]. Loads at
+     a Vindex address root the lanes; float arithmetic with any Vlane
+     operand stays in vector registers.
+
+   Nested scf.for reduction loops keep their float iter_args as
+   accumulator vector registers carried across iterations (the loop is
+   re-emitted without iter_args; a copy/splat before the loop seeds the
+   register, and a copy after the cloned yield writes it back unless the
+   producing op already targeted it). fmaf with a lane accumulator maps
+   onto the destructive vfmacc forms, preserving the single rounding —
+   per lane the arithmetic is composed exactly as the scalar pipeline
+   composes it, so results stay bit-identical to the interpreter.
+
+   Any body op, address shape, or element type outside this fragment
+   rejects the loop, leaving it to the scalar lowering. Rejection is
+   decided by a pure analysis pass before any IR is touched. *)
+
+open Mlc_ir
+open Mlc_dialects
+
+exception Reject
+
+type vclass = Uniform | Vindex | Vlane of int
+
+type access = { a_store : bool; a_vector : bool; a_idx : int list }
+
+type st = {
+  tbl : (int, vclass) Hashtbl.t; (* value id -> class *)
+  splat : (int, int) Hashtbl.t; (* op id -> scratch vreg for a splat *)
+  mem : (int, access list ref) Hashtbl.t; (* memref value id -> accesses *)
+  mutable next_vreg : int;
+  mutable sew : int option; (* element width, uniform over all accesses *)
+  mutable n_vector_mem : int;
+}
+
+let fresh st =
+  let r = st.next_vreg in
+  if r > 31 then raise Reject;
+  st.next_vreg <- r + 1;
+  r
+
+let class_of st v =
+  match Hashtbl.find_opt st.tbl (Ir.Value.id v) with
+  | Some c -> c
+  | None -> Uniform
+
+let set_class st v c = Hashtbl.replace st.tbl (Ir.Value.id v) c
+
+let width_of_float = function
+  | Ty.F64 -> 64
+  | Ty.F32 -> 32
+  | _ -> raise Reject (* F16 and non-floats never enter vector registers *)
+
+let note_sew st w =
+  match st.sew with
+  | Some s -> if s <> w then raise Reject
+  | None -> st.sew <- Some w
+
+let note_access st memref ~store ~vector ~idx =
+  let key = Ir.Value.id memref in
+  let l =
+    match Hashtbl.find_opt st.mem key with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.replace st.mem key l;
+      l
+  in
+  l := { a_store = store; a_vector = vector; a_idx = List.map Ir.Value.id idx }
+       :: !l
+
+(* A Vlane operand's register may be reused as the destination (the
+   vector ops read sources before writing) when this op is its only
+   user and it is defined in the op's own block — a single use from
+   inside a nested loop still needs the value on every iteration. *)
+let may_reuse op v =
+  Ir.Value.num_uses v = 1
+  &&
+  match (Ir.Value.owner_block v, Ir.Op.parent op) with
+  | Some b, Some b' -> Ir.Block.equal b b'
+  | _ -> false
+
+let float_binops =
+  [
+    (Arith.addf_op, "vfadd");
+    (Arith.subf_op, "vfsub");
+    (Arith.mulf_op, "vfmul");
+    (Arith.divf_op, "vfdiv");
+    (Arith.maxf_op, "vfmax");
+    (Arith.minf_op, "vfmin");
+  ]
+
+(* Mnemonic computing [scalar <op> lane] with the scalar operand second,
+   as the .vf forms require. *)
+let commuted = function
+  | "vfsub" -> "vfrsub"
+  | "vfdiv" -> "vfrdiv"
+  | m -> m (* add/mul/max/min commute *)
+
+let split_last l =
+  match List.rev l with
+  | last :: rev_init -> (List.rev rev_init, last)
+  | [] -> raise Reject
+
+(* --- analysis ------------------------------------------------------ *)
+
+let rec analyze_op st op =
+  let name = Ir.Op.name op in
+  let cls i = class_of st (Ir.Op.operand op i) in
+  if name = Arith.constant_op then ()
+  else if name = Arith.addi_op then (
+    match (cls 0, cls 1) with
+    | Uniform, Uniform -> ()
+    | Vindex, Uniform | Uniform, Vindex ->
+      set_class st (Ir.Op.result op 0) Vindex
+    | _ -> raise Reject)
+  else if name = Arith.subi_op || name = Arith.muli_op then (
+    match (cls 0, cls 1) with Uniform, Uniform -> () | _ -> raise Reject)
+  else if name = Memref.load_op then begin
+    let memref = Ir.Op.operand op 0 in
+    if class_of st memref <> Uniform then raise Reject;
+    let indices = List.tl (Ir.Op.operands op) in
+    let init, last = split_last indices in
+    if List.exists (fun v -> class_of st v <> Uniform) init then raise Reject;
+    match class_of st last with
+    | Uniform -> note_access st memref ~store:false ~vector:false ~idx:indices
+    | Vindex ->
+      note_sew st (width_of_float (Ty.memref_elem (Ir.Value.ty memref)));
+      st.n_vector_mem <- st.n_vector_mem + 1;
+      note_access st memref ~store:false ~vector:true ~idx:indices;
+      set_class st (Ir.Op.result op 0) (Vlane (fresh st))
+    | Vlane _ -> raise Reject
+  end
+  else if name = Memref.store_op then begin
+    let value = Ir.Op.operand op 0 in
+    let memref = Ir.Op.operand op 1 in
+    if class_of st memref <> Uniform then raise Reject;
+    let indices = List.filteri (fun i _ -> i >= 2) (Ir.Op.operands op) in
+    let init, last = split_last indices in
+    if List.exists (fun v -> class_of st v <> Uniform) init then raise Reject;
+    match class_of st last with
+    | Uniform ->
+      if class_of st value <> Uniform then raise Reject;
+      note_access st memref ~store:true ~vector:false ~idx:indices
+    | Vindex ->
+      note_sew st (width_of_float (Ty.memref_elem (Ir.Value.ty memref)));
+      st.n_vector_mem <- st.n_vector_mem + 1;
+      note_access st memref ~store:true ~vector:true ~idx:indices;
+      (match class_of st value with
+       | Vlane _ -> ()
+       | Uniform -> Hashtbl.replace st.splat (Ir.Op.id op) (fresh st)
+       | Vindex -> raise Reject)
+    | Vlane _ -> raise Reject
+  end
+  else if List.mem_assoc name float_binops then (
+    match (cls 0, cls 1) with
+    | Uniform, Uniform -> ()
+    | (Uniform | Vlane _), (Uniform | Vlane _) ->
+      note_sew st (width_of_float (Ir.Value.ty (Ir.Op.result op 0)));
+      let reuse i =
+        match cls i with
+        | Vlane r when may_reuse op (Ir.Op.operand op i) -> Some r
+        | _ -> None
+      in
+      let vd =
+        match reuse 0 with
+        | Some r -> r
+        | None -> (match reuse 1 with Some r -> r | None -> fresh st)
+      in
+      set_class st (Ir.Op.result op 0) (Vlane vd)
+    | _ -> raise Reject)
+  else if name = Arith.fmaf_op then (
+    match (cls 0, cls 1, cls 2) with
+    | Uniform, Uniform, Uniform -> ()
+    | (Uniform | Vlane _), (Uniform | Vlane _), (Uniform | Vlane _) ->
+      note_sew st (width_of_float (Ir.Value.ty (Ir.Op.result op 0)));
+      let vd =
+        match cls 2 with
+        | Vlane r when may_reuse op (Ir.Op.operand op 2) -> r
+        | _ -> fresh st
+      in
+      (* both multiplicands uniform: one is broadcast into a scratch
+         register so the destructive vfmacc keeps the single rounding *)
+      (match (cls 0, cls 1) with
+       | Uniform, Uniform -> Hashtbl.replace st.splat (Ir.Op.id op) (fresh st)
+       | _ -> ());
+      set_class st (Ir.Op.result op 0) (Vlane vd)
+    | _ -> raise Reject)
+  else if name = Scf.for_op then analyze_nested_for st op
+  else raise Reject
+
+and analyze_nested_for st op =
+  List.iter
+    (fun v -> if class_of st v <> Uniform then raise Reject)
+    [ Scf.lb op; Scf.ub op; Scf.step op ];
+  let inits = Scf.iter_operands op in
+  let args = Scf.iter_args op in
+  List.iter2
+    (fun init arg ->
+      ignore (width_of_float (Ir.Value.ty arg));
+      let acc =
+        match class_of st init with
+        | Vlane r when may_reuse op init -> r
+        | _ -> fresh st
+      in
+      set_class st arg (Vlane acc))
+    inits args;
+  analyze_body st (Scf.body op);
+  List.iter2
+    (fun arg result -> set_class st result (class_of st arg))
+    args (Ir.Op.results op)
+
+and analyze_body st body =
+  let term = Ir.Block.terminator body in
+  Ir.Block.iter_ops body (fun op ->
+      match term with
+      | Some t when Ir.Op.equal t op -> ()
+      | _ -> analyze_op st op)
+
+(* Memory-dependence screen. Scalar iterations interleave loads and
+   stores; lanes execute a whole strip of loads before the matching
+   stores, so cross-lane dependences through memory must be ruled out:
+   a memref with any vector access admits no uniform store; one with a
+   vector store admits no uniform access at all; and vector loads and
+   stores of the same memref must address through the same index values
+   (the matmul/conv read-modify-write form), keeping every dependence
+   lane-local. *)
+let check_mem_deps st =
+  Hashtbl.iter
+    (fun _ accs ->
+      let accs = !accs in
+      let vec = List.filter (fun a -> a.a_vector) accs in
+      if vec <> [] then begin
+        if List.exists (fun a -> (not a.a_vector) && a.a_store) accs then
+          raise Reject;
+        if List.exists (fun a -> a.a_store) vec then begin
+          if List.exists (fun a -> not a.a_vector) accs then raise Reject;
+          match vec with
+          | first :: rest ->
+            if List.exists (fun a -> a.a_idx <> first.a_idx) rest then
+              raise Reject
+          | [] -> ()
+        end
+      end)
+    st.mem
+
+let analyze loop =
+  let st =
+    {
+      tbl = Hashtbl.create 64;
+      splat = Hashtbl.create 8;
+      mem = Hashtbl.create 8;
+      next_vreg = 0;
+      sew = None;
+      n_vector_mem = 0;
+    }
+  in
+  set_class st (Scf.induction_var loop) Vindex;
+  analyze_body st (Scf.body loop);
+  check_mem_deps st;
+  (* a loop with no vector memory traffic has nothing to vectorize *)
+  if st.n_vector_mem = 0 then raise Reject;
+  st
+
+(* --- translation --------------------------------------------------- *)
+
+let mapv vmap v =
+  match Hashtbl.find_opt vmap (Ir.Value.id v) with Some v' -> v' | None -> v
+
+let clone_scalar vmap bb op =
+  let clone =
+    Builder.create bb ~attrs:(Ir.Op.attrs op)
+      ~results:(List.map Ir.Value.ty (Ir.Op.results op))
+      (Ir.Op.name op)
+      (List.map (mapv vmap) (Ir.Op.operands op))
+  in
+  List.iteri
+    (fun i r -> Hashtbl.replace vmap (Ir.Value.id r) (Ir.Op.result clone i))
+    (Ir.Op.results op)
+
+let lane_of st v =
+  match class_of st v with Vlane r -> r | _ -> assert false
+
+let rec translate_op st vmap bb op =
+  let name = Ir.Op.name op in
+  let cls i = class_of st (Ir.Op.operand op i) in
+  let m i = mapv vmap (Ir.Op.operand op i) in
+  if name = Scf.for_op then translate_nested_for st vmap bb op
+  else if name = Memref.load_op then (
+    match Hashtbl.find_opt st.tbl (Ir.Value.id (Ir.Op.result op 0)) with
+    | Some (Vlane vd) ->
+      let indices = List.tl (Ir.Op.operands op) in
+      Rvv_ops.load bb ~vd (m 0) (List.map (mapv vmap) indices)
+    | _ -> clone_scalar vmap bb op)
+  else if name = Memref.store_op then begin
+    let indices = List.filteri (fun i _ -> i >= 2) (Ir.Op.operands op) in
+    let _, last = split_last indices in
+    match class_of st last with
+    | Vindex ->
+      let vs =
+        match cls 0 with
+        | Vlane r -> r
+        | Uniform ->
+          let r = Hashtbl.find st.splat (Ir.Op.id op) in
+          Rvv_ops.splat bb ~vd:r (m 0);
+          r
+        | Vindex -> assert false
+      in
+      Rvv_ops.store bb ~vs (m 1) (List.map (mapv vmap) indices)
+    | _ -> clone_scalar vmap bb op
+  end
+  else if List.mem_assoc name float_binops then (
+    match Hashtbl.find_opt st.tbl (Ir.Value.id (Ir.Op.result op 0)) with
+    | Some (Vlane vd) ->
+      let mn = List.assoc name float_binops in
+      (match (cls 0, cls 1) with
+       | Vlane vs1, Vlane vs2 -> Rvv_ops.binary_vv bb ~op:mn ~vd ~vs1 ~vs2
+       | Vlane vs2, Uniform -> Rvv_ops.binary_vf bb ~op:mn ~vd ~vs2 (m 1)
+       | Uniform, Vlane vs2 ->
+         Rvv_ops.binary_vf bb ~op:(commuted mn) ~vd ~vs2 (m 0)
+       | _ -> assert false)
+    | _ -> clone_scalar vmap bb op)
+  else if name = Arith.fmaf_op then (
+    match Hashtbl.find_opt st.tbl (Ir.Value.id (Ir.Op.result op 0)) with
+    | Some (Vlane vd) ->
+      (* seed the destructive accumulator *)
+      (match cls 2 with
+       | Vlane r when r = vd -> ()
+       | Vlane r -> Rvv_ops.copy bb ~vd ~vs:r
+       | Uniform -> Rvv_ops.splat bb ~vd (m 2)
+       | Vindex -> assert false);
+      (match (cls 0, cls 1) with
+       | Vlane vs1, Vlane vs2 -> Rvv_ops.macc_vv bb ~vd ~vs1 ~vs2
+       | Uniform, Vlane vs2 -> Rvv_ops.macc_vf bb ~vd ~vs2 (m 0)
+       | Vlane vs2, Uniform -> Rvv_ops.macc_vf bb ~vd ~vs2 (m 1)
+       | Uniform, Uniform ->
+         let s = Hashtbl.find st.splat (Ir.Op.id op) in
+         Rvv_ops.splat bb ~vd:s (m 0);
+         Rvv_ops.macc_vf bb ~vd ~vs2:s (m 1)
+       | _ -> assert false)
+    | _ -> clone_scalar vmap bb op)
+  else clone_scalar vmap bb op
+
+and translate_nested_for st vmap bb op =
+  (* seed each accumulator register before entering the loop *)
+  List.iter2
+    (fun init arg ->
+      let acc = lane_of st arg in
+      match class_of st init with
+      | Vlane r when r = acc -> ()
+      | Vlane r -> Rvv_ops.copy bb ~vd:acc ~vs:r
+      | Uniform -> Rvv_ops.splat bb ~vd:acc (mapv vmap init)
+      | Vindex -> assert false)
+    (Scf.iter_operands op) (Scf.iter_args op);
+  let new_for =
+    Scf.for_ bb ~lb:(mapv vmap (Scf.lb op)) ~ub:(mapv vmap (Scf.ub op))
+      ~step:(mapv vmap (Scf.step op)) (fun bb2 iv _ ->
+        Hashtbl.replace vmap (Ir.Value.id (Scf.induction_var op)) iv;
+        translate_body st vmap bb2 (Scf.body op);
+        (* write each accumulator back unless the yielded value's
+           producer already targeted the accumulator register *)
+        let yield = Scf.yield_of op in
+        List.iter2
+          (fun yv arg ->
+            let acc = lane_of st arg in
+            match class_of st yv with
+            | Vlane r when r = acc -> ()
+            | Vlane r -> Rvv_ops.copy bb2 ~vd:acc ~vs:r
+            | Uniform -> Rvv_ops.splat bb2 ~vd:acc (mapv vmap yv)
+            | Vindex -> assert false)
+          (Ir.Op.operands yield) (Scf.iter_args op);
+        [])
+  in
+  ignore new_for
+
+and translate_body st vmap bb body =
+  let term = Ir.Block.terminator body in
+  Ir.Block.iter_ops body (fun op ->
+      match term with
+      | Some t when Ir.Op.equal t op -> ()
+      | _ -> translate_op st vmap bb op)
+
+let vectorize ~vlen_bits loop =
+  match analyze loop with
+  | exception Reject -> ()
+  | st ->
+    let sew = Option.get st.sew in
+    let vlmax = vlen_bits / sew in
+    let b = Builder.before loop in
+    let ub = Scf.ub loop in
+    let step = Arith.const_index b vlmax in
+    let vmap = Hashtbl.create 64 in
+    let _ =
+      Scf.for_ b ~lb:(Scf.lb loop) ~ub ~step (fun bb iv _ ->
+          Hashtbl.replace vmap (Ir.Value.id (Scf.induction_var loop)) iv;
+          let rem = Arith.subi bb ub iv in
+          Rvv_ops.setvl bb ~sew rem;
+          translate_body st vmap bb (Scf.body loop);
+          [])
+    in
+    Ir.Op.erase loop
+
+let is_candidate loop =
+  Ir.Op.name loop = Scf.for_op
+  && Scf.iter_args loop = []
+  &&
+  match
+    ( Arith.as_constant (Scf.lb loop),
+      Arith.as_constant (Scf.ub loop),
+      Arith.as_constant (Scf.step loop) )
+  with
+  | Some (Attr.Int _), Some (Attr.Int _), Some (Attr.Int 1) -> true
+  | _ -> false
+
+let pass ~vlen_bits =
+  Pass.make "rvv-vectorize" (fun m ->
+      Util.ops_named m Scf.for_op
+      |> List.filter (fun l ->
+             is_candidate l
+             && Ir.find_first l (fun op ->
+                    Ir.Op.name op = Scf.for_op && is_candidate op)
+                = None)
+      |> List.iter (vectorize ~vlen_bits))

@@ -352,10 +352,12 @@ let lint_vs_sim_case case =
   let module B = Mlc_kernels.Builders in
   let spec = FC.to_spec case in
   List.for_all
-    (fun (config, flags) ->
+    (fun (config, flags, backend) ->
       let m = spec.B.build () in
       match
-        Mlc_transforms.Pipeline.compile ~verify_each:false ~flags m
+        Mlc_transforms.Pipeline.compile ~verify_each:false ~flags
+          ~passes:(Mlc_transforms.Backend.passes_for backend flags)
+          m
       with
       | exception _ -> true (* compile failures are the oracle's domain *)
       | _ -> (

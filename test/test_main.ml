@@ -9,4 +9,4 @@ let () =
    @ Test_lowlevel.suite @ Test_extra.suite @ Test_regcheck.suite
    @ Test_perf_model.suite @ Test_fuzz.suite @ Test_diag.suite
    @ Test_lint.suite @ Test_parallel.suite @ Test_block_exec.suite
-   @ Test_cluster.suite @ Test_serve.suite @ Test_verify.suite)
+   @ Test_cluster.suite @ Test_serve.suite @ Test_verify.suite @ Test_rvv.suite)

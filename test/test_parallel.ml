@@ -151,6 +151,50 @@ let test_disk_tier_and_corruption () =
       Alcotest.(check bool) "repaired hit is bit-identical" true
         (cold = repaired))
 
+(* A burst of large artifacts must never leave the directory above the
+   size cap: the amortised every-8th-write sweep alone could sit on a
+   burst of up to 7 oversized entries, so disk_add also sweeps whenever
+   its running byte estimate crosses the cap. The invariant is checked
+   after every single write — under the amortised-only behaviour most
+   of these writes leave the directory over the cap. *)
+let test_burst_respects_cache_cap () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "mlc-test-cache-burst"
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_eviction ();
+      Cache.set_disk_dir None;
+      Cache.clear_memory ();
+      rm_rf dir)
+    (fun () ->
+      Cache.set_disk_dir (Some dir);
+      Cache.clear_memory ();
+      let cap = 64 * 1024 in
+      Cache.set_eviction ~max_bytes:cap ();
+      let payload = String.make (32 * 1024) 'p' in
+      let dir_total () =
+        Array.fold_left
+          (fun acc f ->
+            if Filename.check_suffix f ".bin" then
+              acc + (Unix.stat (Filename.concat dir f)).Unix.st_size
+            else acc)
+          0 (Sys.readdir dir)
+      in
+      List.iter
+        (fun i ->
+          let key =
+            Cache.key ~namespace:"burst-test" ~version:"v1" [ string_of_int i ]
+          in
+          Cache.add ~key (payload ^ string_of_int i);
+          let total = dir_total () in
+          Alcotest.(check bool)
+            (Printf.sprintf "after write %d: %d bytes within cap %d" i total
+               cap)
+            true (total <= cap))
+        (List.init 12 Fun.id))
+
 (* --- orphaned temp-file reclamation ---------------------------------- *)
 
 let test_stale_tmp_reclaimed () =
@@ -269,6 +313,8 @@ let suite =
           test_cache_hit_bit_identical;
         Alcotest.test_case "disk tier + corruption" `Quick
           test_disk_tier_and_corruption;
+        Alcotest.test_case "burst stays within cache cap" `Quick
+          test_burst_respects_cache_cap;
         Alcotest.test_case "stale temp reclaimed" `Quick
           test_stale_tmp_reclaimed;
         Alcotest.test_case "crash bundle concurrent dedup" `Quick

@@ -1,0 +1,357 @@
+(* The retargetable-pipeline seam and the RVV backend.
+
+   The refactor contract: splitting [Pipeline.passes] into
+   [front_passes @ snitch_lowering] must be a no-op for Snitch — the
+   pass list is the same by name, and running the two halves
+   sequentially produces bit-identical IR to the one-shot pipeline for
+   every registry kernel under every Snitch oracle config.
+
+   The RVV contract: every registry kernel compiled through
+   [Backend.rvv] runs on the vector execution model and reproduces the
+   Snitch-compiled outputs bit-for-bit — the per-lane vector math is
+   the same composition of operations as the scalar path, so even
+   fused-multiply-add rounding agrees lane by lane. (Both backends sit
+   exactly one fma contraction away from the reference interpreter,
+   which evaluates the linalg module as written; kernels without a
+   mul+add chain are bit-identical to the interpreter too.) *)
+
+open Mlc_transforms
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+let snitch_configs =
+  List.filter_map
+    (fun (name, flags, (b : Backend.t)) ->
+      if b.Backend.name = "snitch" then Some (name, flags) else None)
+    Mlc_fuzz.Fuzz_oracle.configs
+
+let pass_names ps = List.map (fun (p : Mlc_ir.Pass.t) -> p.Mlc_ir.Pass.name) ps
+
+(* [Backend.passes_for snitch] is [Pipeline.passes], pass for pass. *)
+let test_snitch_passes_unchanged () =
+  List.iter
+    (fun (cname, flags) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: passes_for snitch = front @ snitch_lowering" cname)
+        (pass_names (Pipeline.passes flags))
+        (pass_names (Backend.passes_for Backend.snitch flags));
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: passes = front_passes @ snitch_lowering" cname)
+        (pass_names (Pipeline.passes flags))
+        (pass_names (Pipeline.front_passes flags @ Pipeline.snitch_lowering flags)))
+    snitch_configs
+
+(* Running the front half, then the Snitch tail, is bit-identical to the
+   one-shot pipeline: both the IR at the seam and the final IR print the
+   same for every kernel x Snitch config. *)
+let seam_cases =
+  List.concat_map
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      List.map
+        (fun (cname, flags) ->
+          let name =
+            Printf.sprintf "seam %s/%s" e.Mlc_kernels.Registry.name cname
+          in
+          Alcotest.test_case name `Quick (fun () ->
+              let build () =
+                let spec =
+                  e.Mlc_kernels.Registry.instantiate ~n:4 ~m:6 ~k:5 ()
+                in
+                spec.Mlc_kernels.Builders.build ()
+              in
+              let split = build () and oneshot = build () in
+              Mlc_ir.Pass.run ~verify_each:false split
+                (Pipeline.front_passes flags);
+              let front_ir = Mlc_ir.Printer.to_string split in
+              Mlc_ir.Pass.run ~verify_each:false split
+                (Pipeline.snitch_lowering flags);
+              Mlc_ir.Pass.run ~verify_each:false oneshot (Pipeline.passes flags);
+              (* The front-half checkpoint re-parses and re-prints to its
+                 own text (it is genuine pipeline IR, not a print-only
+                 state). *)
+              Alcotest.(check string)
+                (name ^ ": front-half IR is a printer fixpoint")
+                front_ir
+                (Mlc_ir.Printer.to_string (Mlc_ir.Parser.parse_string front_ir));
+              Alcotest.(check string)
+                (name ^ ": split and one-shot final IR identical")
+                (Mlc_ir.Printer.to_string oneshot)
+                (Mlc_ir.Printer.to_string split)))
+        snitch_configs)
+    Mlc_kernels.Registry.table1
+
+(* Fail on the first lane whose bits differ between two output sets. *)
+let check_bits name ~got ~want =
+  List.iteri
+    (fun oi (g : float array) ->
+      let w = List.nth want oi in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: output %d length" name oi)
+        (Array.length w) (Array.length g);
+      Array.iteri
+        (fun i x ->
+          if Int64.bits_of_float x <> Int64.bits_of_float w.(i) then
+            Alcotest.failf "%s: output %d[%d]: got %h, want %h" name oi i x
+              w.(i))
+        g)
+    got
+
+let interp_tolerance (spec : Mlc_kernels.Builders.spec) =
+  (* one fma contraction per reduction step away from the interpreter,
+     scaled to the element width's ulp *)
+  let eps =
+    match spec.Mlc_kernels.Builders.elem with
+    | Mlc_ir.Ty.F32 -> 1e-6
+    | _ -> 1e-12
+  in
+  eps *. Float.max 1.0 (float_of_int spec.Mlc_kernels.Builders.flops)
+
+let check_rvv_run ?(n = 4) ?(m = 9) ?(k = 6) name entry_spec engine =
+  let spec = entry_spec ~n ~m ~k () in
+  let r = Mlc.Runner.run ~engine ~backend:Backend.rvv spec in
+  let snitch = Mlc.Runner.run ~engine spec in
+  check_bits
+    (name ^ ": rvv vs snitch-compiled outputs")
+    ~got:r.Mlc.Runner.outputs ~want:snitch.Mlc.Runner.outputs;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |err| %g vs interpreter within tolerance" name
+       r.Mlc.Runner.max_abs_err)
+    true
+    (r.Mlc.Runner.max_abs_err <= interp_tolerance spec)
+
+(* Every registry kernel through the RVV backend, on the block-fused
+   engine and the reference per-instruction loop. *)
+let rvv_kernel_cases =
+  List.concat_map
+    (fun (e : Mlc_kernels.Registry.entry) ->
+      List.map
+        (fun (ename, engine) ->
+          let name =
+            Printf.sprintf "rvv %s (%s)" e.Mlc_kernels.Registry.name ename
+          in
+          Alcotest.test_case name `Quick (fun () ->
+              check_rvv_run name
+                (fun ~n ~m ~k () ->
+                  e.Mlc_kernels.Registry.instantiate ~n ~m ~k ())
+                engine))
+        [ ("fast", Mlc.Runner.Fast); ("reference", Mlc.Runner.Reference) ])
+    Mlc_kernels.Registry.table1
+
+(* Shapes around the VLEN=256 strip boundary (4 f64 lanes / 8 f32 lanes):
+   tail strips of every length must come out exact. *)
+let rvv_shape_cases =
+  List.map
+    (fun (n, m, k) ->
+      let name = Printf.sprintf "rvv matmul %dx%dx%d" n m k in
+      Alcotest.test_case name `Quick (fun () ->
+          check_rvv_run ~n ~m ~k name
+            (fun ~n ~m ~k () -> Mlc_kernels.Builders.matmul ~n ~m ~k ())
+            Mlc.Runner.Fast))
+    [ (1, 1, 1); (1, 3, 4); (2, 4, 7); (3, 5, 5); (1, 8, 16); (2, 13, 3) ]
+
+(* f32 kernels drive the e32 vector configuration (8 lanes at VLEN=256,
+   odd tails). *)
+let rvv_f32_cases =
+  List.map
+    (fun (kname, mk) ->
+      let name = Printf.sprintf "rvv %s f32" kname in
+      Alcotest.test_case name `Quick (fun () ->
+          check_rvv_run name mk Mlc.Runner.Fast))
+    [
+      ( "relu",
+        fun ~n ~m ~k:_ () ->
+          Mlc_kernels.Builders.relu ~elem:Mlc_ir.Ty.F32 ~n ~m () );
+      ( "sum",
+        fun ~n ~m ~k:_ () ->
+          Mlc_kernels.Builders.sum ~elem:Mlc_ir.Ty.F32 ~n ~m () );
+      ( "matmul",
+        fun ~n ~m ~k () ->
+          Mlc_kernels.Builders.matmul ~elem:Mlc_ir.Ty.F32 ~n ~m ~k () );
+    ]
+
+(* The rvv-compiled program actually contains vector instructions for the
+   vectorizable kernels (guards against the vectorizer silently rejecting
+   everything and the suite green-lighting a scalar backend). *)
+let test_rvv_emits_vector_code () =
+  List.iter
+    (fun kernel ->
+      let spec =
+        (Option.get (Mlc_kernels.Registry.by_short_name kernel))
+          .Mlc_kernels.Registry.instantiate ~n:4 ~m:8 ~k:4 ()
+      in
+      let r = Mlc.Runner.run ~backend:Backend.rvv spec in
+      let has_vsetvli =
+        List.exists
+          (fun line ->
+            let line = String.trim line in
+            String.length line >= 7 && String.sub line 0 7 = "vsetvli")
+          (String.split_on_char '\n' r.Mlc.Runner.asm)
+      in
+      Alcotest.(check bool)
+        (kernel ^ ": rvv assembly contains vsetvli")
+        true has_vsetvli)
+    [ "fill"; "sum"; "relu"; "matmul" ]
+
+(* passes_up_to: prefix through a named pass, and the error path listing
+   the available names for the CLI message. *)
+let test_passes_up_to () =
+  let plist = Pipeline.passes Pipeline.ours in
+  (match Pipeline.passes_up_to plist "canonicalize" with
+  | Error _ -> Alcotest.fail "canonicalize should be found"
+  | Ok prefix ->
+    let names = pass_names prefix in
+    Alcotest.(check string)
+      "prefix ends at the first canonicalize" "canonicalize"
+      (List.nth names (List.length names - 1));
+    Alcotest.(check bool)
+      "prefix is a proper prefix" true
+      (List.length prefix < List.length plist));
+  match Pipeline.passes_up_to plist "no-such-pass" with
+  | Ok _ -> Alcotest.fail "unknown pass must be rejected"
+  | Error available ->
+    Alcotest.(check (list string))
+      "error lists exactly the pipeline's pass names" (pass_names plist)
+      available
+
+(* The CLI pin for the error path: `snitchc compile-ir --verify-at
+   <unknown>` must exit 2 with a stderr message naming the pass and
+   listing the available ones. Runs the real binary (declared as a
+   runtest dep in test/dune; the test executable's cwd is the test
+   build directory). *)
+let snitchc_exe () =
+  (* cwd is _build/default/test under `dune runtest`, the workspace root
+     under `dune exec` *)
+  match
+    List.find_opt Sys.file_exists
+      [ "../bin/snitchc.exe"; "_build/default/bin/snitchc.exe" ]
+  with
+  | Some exe -> exe
+  | None -> Alcotest.fail "snitchc.exe not built (declared as a runtest dep)"
+
+let test_compile_ir_unknown_pass_cli () =
+  let spec = Mlc_kernels.Builders.sum ~n:2 ~m:3 () in
+  let m = spec.Mlc_kernels.Builders.build () in
+  let tmp = Filename.get_temp_dir_name () in
+  let ir = Filename.temp_file ~temp_dir:tmp "mlc-cli" ".mlir" in
+  let err = Filename.temp_file ~temp_dir:tmp "mlc-cli" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ ir; err ])
+    (fun () ->
+      let oc = open_out ir in
+      output_string oc (Mlc_ir.Printer.to_string m);
+      close_out oc;
+      let code =
+        Sys.command
+          (Printf.sprintf "%s compile-ir %s --verify-at no-such-pass 2>%s >/dev/null"
+             (Filename.quote (snitchc_exe ())) (Filename.quote ir)
+             (Filename.quote err))
+      in
+      Alcotest.(check int) "exit code 2" 2 code;
+      let msg = In_channel.with_open_text err In_channel.input_all in
+      Alcotest.(check bool)
+        ("stderr names the missing pass: " ^ msg)
+        true
+        (contains msg "compile-ir: no pass named \"no-such-pass\" in flow ours");
+      Alcotest.(check bool)
+        ("stderr lists the available passes: " ^ msg)
+        true
+        (contains msg "(have: " && contains msg "convert-to-rv"))
+
+(* Satellite: the silent-baseline fallback now warns, once per distinct
+   unrecognised flag set, and the recognised named flows never warn. *)
+let test_custom_fallback_warns () =
+  let warnings = ref [] in
+  let saved = !Pipeline.on_custom_fallback in
+  Fun.protect
+    ~finally:(fun () -> Pipeline.on_custom_fallback := saved)
+    (fun () ->
+      Pipeline.on_custom_fallback :=
+        (fun d -> warnings := Mlc_diag.Diag.summary d :: !warnings);
+      (* clang/mlir are recognised non-lattice starting points: they
+         degrade straight to baseline with no warning. *)
+      List.iter
+        (fun (fname, flags) ->
+          let l = Pipeline.fallback_lattice flags in
+          Alcotest.(check (list string))
+            (fname ^ " degrades to baseline without warning")
+            [ fname; "baseline" ] (List.map fst l))
+        [ ("clang", Pipeline.clang); ("mlir", Pipeline.mlir) ];
+      Alcotest.(check (list string)) "no warnings for named flows" [] !warnings;
+      (* A genuinely unrecognised set warns exactly once, memoised. *)
+      let weird = { Pipeline.ours with Pipeline.unroll_inner = 31 } in
+      let l = Pipeline.fallback_lattice weird in
+      Alcotest.(check (list string))
+        "custom set degrades to baseline" [ "custom"; "baseline" ]
+        (List.map fst l);
+      Alcotest.(check int) "exactly one warning" 1 (List.length !warnings);
+      let summary = List.hd !warnings in
+      Alcotest.(check bool)
+        (Printf.sprintf "warning names the flag set (%s)" summary)
+        true
+        (contains summary "unroll_inner=31");
+      ignore (Pipeline.fallback_lattice weird);
+      Alcotest.(check int) "second query is memoised" 1 (List.length !warnings))
+
+(* Satellite: --cores on a window kernel degrades to the single-core
+   pipeline with a degradation record instead of failing hard. *)
+let test_run_parallel_degrades () =
+  let spec = Mlc_kernels.Builders.conv3x3 ~n:6 ~m:6 () in
+  match Mlc.Runner.run_parallel ~cores:4 spec with
+  | `Cluster _ -> Alcotest.fail "conv3x3 is not row-partitionable"
+  | `Degraded r ->
+    Alcotest.(check bool)
+      "single-core result validates" true
+      (r.Mlc.Runner.max_abs_err <= 1e-9);
+    (match r.Mlc.Runner.degradation with
+    | None -> Alcotest.fail "degradation record missing"
+    | Some d ->
+      Alcotest.(check string) "rung" "single-core" d.Mlc.Runner.rung;
+      (match d.Mlc.Runner.attempts with
+      | [ (rung, reason) ] ->
+        Alcotest.(check string) "attempt names the core count" "cores=4" rung;
+        Alcotest.(check bool)
+          (Printf.sprintf "reason says not partitionable (%s)" reason)
+          true
+          (contains reason "not partitionable")
+      | l ->
+        Alcotest.fail
+          (Printf.sprintf "expected one attempt, got %d" (List.length l))))
+
+(* A partitionable kernel still takes the cluster path through the same
+   front door. *)
+let test_run_parallel_cluster_path () =
+  let spec = Mlc_kernels.Builders.matmul ~n:8 ~m:8 ~k:8 () in
+  match Mlc.Runner.run_parallel ~cores:2 spec with
+  | `Degraded _ -> Alcotest.fail "matmul must row-partition"
+  | `Cluster r ->
+    Alcotest.(check int) "cores" 2 r.Mlc.Runner.c_cores;
+    Alcotest.(check bool)
+      "cluster outputs validate" true
+      (r.Mlc.Runner.c_max_abs_err <= 1e-9)
+
+let suite =
+  [
+    ( "rvv-backend",
+      [
+        Alcotest.test_case "snitch pass list unchanged by the split" `Quick
+          test_snitch_passes_unchanged;
+        Alcotest.test_case "rvv emits vector code" `Quick
+          test_rvv_emits_vector_code;
+        Alcotest.test_case "passes_up_to prefix and error path" `Quick
+          test_passes_up_to;
+        Alcotest.test_case "compile-ir --verify-at unknown pass (CLI)" `Quick
+          test_compile_ir_unknown_pass_cli;
+        Alcotest.test_case "custom fallback warns once" `Quick
+          test_custom_fallback_warns;
+        Alcotest.test_case "run_parallel degrades window kernels" `Quick
+          test_run_parallel_degrades;
+        Alcotest.test_case "run_parallel keeps the cluster path" `Quick
+          test_run_parallel_cluster_path;
+      ]
+      @ rvv_kernel_cases @ rvv_shape_cases @ rvv_f32_cases );
+    ("pipeline-seam", seam_cases);
+  ]

@@ -284,7 +284,7 @@ let config_counter = ref 0
 let bounds_vs_trap_case case =
   let module B = Mlc_kernels.Builders in
   let spec = FC.to_spec case in
-  let config, flags =
+  let config, flags, backend =
     List.nth FO.configs (!config_counter mod List.length FO.configs)
   in
   incr config_counter;
@@ -295,7 +295,11 @@ let bounds_vs_trap_case case =
     let collect ~pass_name:_ mod_ =
       verdict := V.verdict_join !verdict (V.bounds_verdict mod_)
     in
-    match Mlc_transforms.Pipeline.compile ~flags ~checkpoint:collect m with
+    match
+      Mlc_transforms.Pipeline.compile ~flags ~checkpoint:collect
+        ~passes:(Mlc_transforms.Backend.passes_for backend flags)
+        m
+    with
     | exception _ -> true (* compile failures are the oracle's domain *)
     | result -> (
       let data =
